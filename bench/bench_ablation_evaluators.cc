@@ -1,0 +1,87 @@
+// Ablation (DESIGN.md §6): the three evaluation pipelines the paper
+// discusses, on the same data and queries.
+//
+//   QHD      — q-hypertree decomposition, single rooted bottom-up pass
+//              (Section 4: what Condition 2 of Definition 2 buys);
+//   Classic  — hypertree decomposition without out(Q) rooting + the
+//              three-pass Yannakakis evaluation (Section 3.2, S2'+S2'');
+//   Yannakakis — the plain three-pass algorithm on the atom join forest
+//              (acyclic/line queries only).
+//
+// Dataset: the Fig. 9 configuration (cardinality 450, selectivity 60).
+// Benchmark arg: num_atoms.
+
+#include "bench_common.h"
+
+#include "stats/statistics.h"
+#include "workload/query_gen.h"
+#include "workload/synthetic.h"
+
+namespace htqo {
+namespace bench {
+namespace {
+
+struct Env {
+  Catalog catalog;
+  StatisticsRegistry registry;
+};
+
+Env& GetEnv() {
+  static Env* env = [] {
+    auto* e = new Env();
+    SyntheticConfig config;
+    config.cardinality = 450;
+    config.selectivity = 60;
+    config.num_relations = 10;
+    config.seed = 20070415;
+    PopulateSyntheticCatalog(config, &e->catalog);
+    e->registry.AnalyzeAll(e->catalog);
+    return e;
+  }();
+  return *env;
+}
+
+void Run(benchmark::State& state, bool chain, OptimizerMode mode) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Env& env = GetEnv();
+  HybridOptimizer optimizer(&env.catalog, &env.registry);
+  const std::string sql = chain ? ChainQuerySql(n) : LineQuerySql(n);
+  RunOutcome outcome;
+  for (auto _ : state) {
+    outcome = RunOnce(optimizer, sql, mode);
+  }
+  SetCounters(state, outcome);
+}
+
+void Ablation_Line_QHD(benchmark::State& state) {
+  Run(state, /*chain=*/false, OptimizerMode::kQhdHybrid);
+}
+void Ablation_Line_ClassicHD(benchmark::State& state) {
+  Run(state, /*chain=*/false, OptimizerMode::kClassicHd);
+}
+void Ablation_Line_Yannakakis(benchmark::State& state) {
+  Run(state, /*chain=*/false, OptimizerMode::kYannakakis);
+}
+void Ablation_Chain_QHD(benchmark::State& state) {
+  Run(state, /*chain=*/true, OptimizerMode::kQhdHybrid);
+}
+void Ablation_Chain_ClassicHD(benchmark::State& state) {
+  Run(state, /*chain=*/true, OptimizerMode::kClassicHd);
+}
+
+void Sweep(benchmark::internal::Benchmark* b) {
+  for (int n = 2; n <= 10; ++n) b->Arg(n);
+  b->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(Ablation_Line_QHD)->Apply(Sweep);
+BENCHMARK(Ablation_Line_ClassicHD)->Apply(Sweep);
+BENCHMARK(Ablation_Line_Yannakakis)->Apply(Sweep);
+BENCHMARK(Ablation_Chain_QHD)->Apply(Sweep);
+BENCHMARK(Ablation_Chain_ClassicHD)->Apply(Sweep);
+
+}  // namespace
+}  // namespace bench
+}  // namespace htqo
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Shared harness for the figure benchmarks.
+//
+// Every figure bench runs the relevant optimizer modes through the
+// HybridOptimizer under a work/row budget. A run that exceeds the budget is
+// reported as DNF (the paper reports these as "does not terminate after
+// more than 10 minutes") via the `dnf` counter instead of burning wall
+// clock. Counters:
+//   work  — abstract work units (scan rows + hash/NL probes + join output)
+//   rows  — rows produced by operators (intermediate result volume)
+//   out   — final result rows
+//   dnf   — 1 when the budget was exceeded
+//   width — q-HD decomposition width (q-HD modes only)
+
+#ifndef HTQO_BENCH_BENCH_COMMON_H_
+#define HTQO_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "api/hybrid_optimizer.h"
+#include "util/check.h"
+
+namespace htqo {
+namespace bench {
+
+// The paper's ">10 minutes" cutoff, expressed as abstract work. 2e8 units
+// is a few seconds of wall clock on current hardware.
+constexpr std::size_t kWorkBudget = 200'000'000;
+constexpr std::size_t kRowBudget = 50'000'000;
+
+struct RunOutcome {
+  bool dnf = false;
+  std::size_t work = 0;
+  std::size_t rows = 0;
+  std::size_t out = 0;
+  std::size_t width = 0;
+  std::size_t pruned = 0;
+};
+
+inline RunOutcome RunOnce(const HybridOptimizer& optimizer,
+                          const std::string& sql, OptimizerMode mode,
+                          uint64_t seed = 1, std::size_t max_width = 4) {
+  RunOptions options;
+  options.mode = mode;
+  options.seed = seed;
+  options.max_width = max_width;
+  options.work_budget = kWorkBudget;
+  options.row_budget = kRowBudget;
+  options.fallback_to_dp = false;
+  auto run = optimizer.Run(sql, options);
+  RunOutcome outcome;
+  if (!run.ok()) {
+    // Budget exceeded = DNF; anything else is a harness bug.
+    HTQO_CHECK(run.status().code() == StatusCode::kResourceExhausted);
+    outcome.dnf = true;
+    outcome.work = kWorkBudget;
+    return outcome;
+  }
+  outcome.work = run->ctx.work_charged;
+  outcome.rows = run->ctx.rows_charged;
+  outcome.out = run->output.NumRows();
+  outcome.width = run->decomposition_width;
+  outcome.pruned = run->pruned_lambda_entries;
+  return outcome;
+}
+
+inline void SetCounters(benchmark::State& state, const RunOutcome& outcome) {
+  state.counters["work"] = static_cast<double>(outcome.work);
+  state.counters["rows"] = static_cast<double>(outcome.rows);
+  state.counters["out"] = static_cast<double>(outcome.out);
+  state.counters["dnf"] = outcome.dnf ? 1 : 0;
+  if (outcome.width > 0) {
+    state.counters["width"] = static_cast<double>(outcome.width);
+  }
+}
+
+}  // namespace bench
+}  // namespace htqo
+
+#endif  // HTQO_BENCH_BENCH_COMMON_H_

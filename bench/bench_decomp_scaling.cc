@@ -1,0 +1,81 @@
+// Decomposition-algorithm scaling on the structured hypergraph zoo (the
+// instance culture of the paper's ref [10]): time to decide/build
+// width-bounded hypertree decompositions as instances grow, for the
+// first-feasible det-k-decomp and the min-cost cost-k-decomp.
+//
+// Benchmark arg: instance size (cycle length / grid columns / clique size).
+// Counter `width` reports the width found.
+
+#include <benchmark/benchmark.h>
+
+#include "decomp/cost_k_decomp.h"
+#include "decomp/det_k_decomp.h"
+#include "util/check.h"
+#include "workload/hypergraph_zoo.h"
+
+namespace htqo {
+namespace bench {
+namespace {
+
+void RunDet(benchmark::State& state, const Hypergraph& h, std::size_t k) {
+  std::size_t width = 0;
+  for (auto _ : state) {
+    auto hd = DetKDecomp(h, k);
+    HTQO_CHECK(hd.ok());
+    width = hd->Width();
+    benchmark::DoNotOptimize(hd);
+  }
+  state.counters["width"] = static_cast<double>(width);
+  state.counters["edges"] = static_cast<double>(h.NumEdges());
+}
+
+void RunCost(benchmark::State& state, const Hypergraph& h, std::size_t k) {
+  StructuralCostModel model;
+  std::size_t width = 0;
+  for (auto _ : state) {
+    auto hd = CostKDecomp(h, k, model);
+    HTQO_CHECK(hd.ok());
+    width = hd->Width();
+    benchmark::DoNotOptimize(hd);
+  }
+  state.counters["width"] = static_cast<double>(width);
+  state.counters["edges"] = static_cast<double>(h.NumEdges());
+}
+
+void Det_Cycle(benchmark::State& state) {
+  RunDet(state, CycleHypergraph(static_cast<std::size_t>(state.range(0))),
+         2);
+}
+void Cost_Cycle(benchmark::State& state) {
+  RunCost(state, CycleHypergraph(static_cast<std::size_t>(state.range(0))),
+          2);
+}
+void Det_Grid2xN(benchmark::State& state) {
+  RunDet(state, GridHypergraph(2, static_cast<std::size_t>(state.range(0))),
+         2);
+}
+void Cost_Grid2xN(benchmark::State& state) {
+  RunCost(state, GridHypergraph(2, static_cast<std::size_t>(state.range(0))),
+          2);
+}
+void Det_Clique(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  RunDet(state, CliqueHypergraph(n), (n + 1) / 2);
+}
+void Det_Wheel(benchmark::State& state) {
+  RunDet(state, WheelHypergraph(static_cast<std::size_t>(state.range(0))),
+         2);
+}
+
+BENCHMARK(Det_Cycle)->DenseRange(4, 16, 4)->Unit(benchmark::kMillisecond);
+BENCHMARK(Cost_Cycle)->DenseRange(4, 16, 4)->Unit(benchmark::kMillisecond);
+BENCHMARK(Det_Grid2xN)->DenseRange(2, 8, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(Cost_Grid2xN)->DenseRange(2, 8, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(Det_Clique)->DenseRange(4, 8, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK(Det_Wheel)->DenseRange(4, 12, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace htqo
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Fig. 7 (c) and (d): CommDB vs q-HD on Acyclic (line) and Chain queries,
+// execution time vs number of body atoms (2..10), relation cardinality
+// 500 / 750 / 1000, attribute selectivity 30.
+//
+// Benchmark args: {num_atoms, cardinality}.
+
+#include "bench_common.h"
+
+#include <map>
+
+#include "stats/statistics.h"
+#include "workload/query_gen.h"
+#include "workload/synthetic.h"
+
+namespace htqo {
+namespace bench {
+namespace {
+
+constexpr std::size_t kSelectivity = 30;
+
+struct Env {
+  Catalog catalog;
+  StatisticsRegistry registry;
+};
+
+Env& EnvFor(std::size_t cardinality) {
+  static std::map<std::size_t, Env>* envs = new std::map<std::size_t, Env>();
+  auto it = envs->find(cardinality);
+  if (it == envs->end()) {
+    it = envs->emplace(std::piecewise_construct,
+                       std::forward_as_tuple(cardinality),
+                       std::forward_as_tuple())
+             .first;
+    SyntheticConfig config;
+    config.cardinality = cardinality;
+    config.selectivity = kSelectivity;
+    config.num_relations = 10;
+    config.seed = 20070415;
+    PopulateSyntheticCatalog(config, &it->second.catalog);
+    it->second.registry.AnalyzeAll(it->second.catalog);
+  }
+  return it->second;
+}
+
+void Run(benchmark::State& state, bool chain, OptimizerMode mode) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t cardinality = static_cast<std::size_t>(state.range(1));
+  Env& env = EnvFor(cardinality);
+  HybridOptimizer optimizer(&env.catalog, &env.registry);
+  const std::string sql = chain ? ChainQuerySql(n) : LineQuerySql(n);
+  RunOutcome outcome;
+  for (auto _ : state) {
+    outcome = RunOnce(optimizer, sql, mode);
+  }
+  SetCounters(state, outcome);
+}
+
+void Fig7c_Acyclic_CommDB(benchmark::State& state) {
+  Run(state, /*chain=*/false, OptimizerMode::kDpStatistics);
+}
+void Fig7c_Acyclic_QHD(benchmark::State& state) {
+  Run(state, /*chain=*/false, OptimizerMode::kQhdStructural);
+}
+void Fig7d_Chain_CommDB(benchmark::State& state) {
+  Run(state, /*chain=*/true, OptimizerMode::kDpStatistics);
+}
+void Fig7d_Chain_QHD(benchmark::State& state) {
+  Run(state, /*chain=*/true, OptimizerMode::kQhdStructural);
+}
+
+void Sweep(benchmark::internal::Benchmark* b) {
+  for (int card : {500, 750, 1000}) {
+    for (int n = 2; n <= 10; ++n) {
+      b->Args({n, card});
+    }
+  }
+  b->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(Fig7c_Acyclic_CommDB)->Apply(Sweep);
+BENCHMARK(Fig7c_Acyclic_QHD)->Apply(Sweep);
+BENCHMARK(Fig7d_Chain_CommDB)->Apply(Sweep);
+BENCHMARK(Fig7d_Chain_QHD)->Apply(Sweep);
+
+}  // namespace
+}  // namespace bench
+}  // namespace htqo
+
+BENCHMARK_MAIN();

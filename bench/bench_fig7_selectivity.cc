@@ -1,0 +1,94 @@
+// Fig. 7 (a) and (b): CommDB vs q-HD on Acyclic (line) and Chain queries,
+// execution time vs number of body atoms (2..10), attribute selectivity
+// 30 / 60 / 90, cardinality 500.
+//
+// Methods:
+//   CommDB  = dp-statistics (bushy DP join ordering on exact statistics)
+//   q-HD    = qhd-structural (the paper's stand-alone structural method;
+//             Section 6.1 notes statistics did not change its plans here)
+//
+// Benchmark args: {num_atoms, selectivity}.
+
+#include "bench_common.h"
+
+#include <map>
+
+#include "stats/statistics.h"
+#include "workload/query_gen.h"
+#include "workload/synthetic.h"
+
+namespace htqo {
+namespace bench {
+namespace {
+
+constexpr std::size_t kCardinality = 500;
+
+struct Env {
+  Catalog catalog;
+  StatisticsRegistry registry;
+};
+
+Env& EnvFor(std::size_t selectivity) {
+  static std::map<std::size_t, Env>* envs = new std::map<std::size_t, Env>();
+  auto it = envs->find(selectivity);
+  if (it == envs->end()) {
+    it = envs->emplace(std::piecewise_construct,
+                       std::forward_as_tuple(selectivity),
+                       std::forward_as_tuple())
+             .first;
+    SyntheticConfig config;
+    config.cardinality = kCardinality;
+    config.selectivity = selectivity;
+    config.num_relations = 10;
+    config.seed = 20070415;
+    PopulateSyntheticCatalog(config, &it->second.catalog);
+    it->second.registry.AnalyzeAll(it->second.catalog);
+  }
+  return it->second;
+}
+
+void Run(benchmark::State& state, bool chain, OptimizerMode mode) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t selectivity = static_cast<std::size_t>(state.range(1));
+  Env& env = EnvFor(selectivity);
+  HybridOptimizer optimizer(&env.catalog, &env.registry);
+  const std::string sql = chain ? ChainQuerySql(n) : LineQuerySql(n);
+  RunOutcome outcome;
+  for (auto _ : state) {
+    outcome = RunOnce(optimizer, sql, mode);
+  }
+  SetCounters(state, outcome);
+}
+
+void Fig7a_Acyclic_CommDB(benchmark::State& state) {
+  Run(state, /*chain=*/false, OptimizerMode::kDpStatistics);
+}
+void Fig7a_Acyclic_QHD(benchmark::State& state) {
+  Run(state, /*chain=*/false, OptimizerMode::kQhdStructural);
+}
+void Fig7b_Chain_CommDB(benchmark::State& state) {
+  Run(state, /*chain=*/true, OptimizerMode::kDpStatistics);
+}
+void Fig7b_Chain_QHD(benchmark::State& state) {
+  Run(state, /*chain=*/true, OptimizerMode::kQhdStructural);
+}
+
+void Sweep(benchmark::internal::Benchmark* b) {
+  for (int sel : {30, 60, 90}) {
+    for (int n = 2; n <= 10; ++n) {
+      b->Args({n, sel});
+    }
+  }
+  b->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(Fig7a_Acyclic_CommDB)->Apply(Sweep);
+BENCHMARK(Fig7a_Acyclic_QHD)->Apply(Sweep);
+BENCHMARK(Fig7b_Chain_CommDB)->Apply(Sweep);
+BENCHMARK(Fig7b_Chain_QHD)->Apply(Sweep);
+
+}  // namespace
+}  // namespace bench
+}  // namespace htqo
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Fig. 8 (a) and (b): execution time of TPC-H Q5 and Q8 as the database
+// grows. The paper sweeps 200 MB..1000 MB; we sweep scale factors
+// 0.002..0.010 (the same 1:5 spread, laptop-scale — see DESIGN.md).
+//
+// Methods:
+//   CommDB_NoStats = naive (FROM-order nested loops: the "without its
+//                    standard optimizer" regime, which "dramatically grows
+//                    with the database size")
+//   CommDB_Stats   = dp-statistics
+//   QHD            = qhd-structural (stand-alone; the paper notes
+//                    statistics did not change its Q5/Q8 plans)
+//
+// Benchmark arg: scale factor in thousandths (2 -> SF 0.002).
+
+#include "bench_common.h"
+
+#include <map>
+
+#include "stats/statistics.h"
+#include "workload/tpch_gen.h"
+#include "workload/tpch_queries.h"
+
+namespace htqo {
+namespace bench {
+namespace {
+
+struct Env {
+  Catalog catalog;
+  StatisticsRegistry registry;
+};
+
+Env& EnvFor(int sf_thousandths) {
+  static std::map<int, Env>* envs = new std::map<int, Env>();
+  auto it = envs->find(sf_thousandths);
+  if (it == envs->end()) {
+    it = envs->emplace(std::piecewise_construct,
+                       std::forward_as_tuple(sf_thousandths),
+                       std::forward_as_tuple())
+             .first;
+    TpchConfig config;
+    config.scale_factor = sf_thousandths / 1000.0;
+    config.seed = 42;
+    PopulateTpch(config, &it->second.catalog);
+    it->second.registry.AnalyzeAll(it->second.catalog);
+  }
+  return it->second;
+}
+
+void Run(benchmark::State& state, const std::string& sql,
+         OptimizerMode mode) {
+  Env& env = EnvFor(static_cast<int>(state.range(0)));
+  HybridOptimizer optimizer(&env.catalog, &env.registry);
+  RunOutcome outcome;
+  for (auto _ : state) {
+    outcome = RunOnce(optimizer, sql, mode);
+  }
+  SetCounters(state, outcome);
+}
+
+void Fig8a_Q5_CommDB_NoStats(benchmark::State& state) {
+  Run(state, TpchQ5(), OptimizerMode::kNaive);
+}
+void Fig8a_Q5_CommDB_Stats(benchmark::State& state) {
+  Run(state, TpchQ5(), OptimizerMode::kDpStatistics);
+}
+void Fig8a_Q5_QHD(benchmark::State& state) {
+  Run(state, TpchQ5(), OptimizerMode::kQhdStructural);
+}
+void Fig8b_Q8_CommDB_NoStats(benchmark::State& state) {
+  Run(state, TpchQ8(), OptimizerMode::kNaive);
+}
+void Fig8b_Q8_CommDB_Stats(benchmark::State& state) {
+  Run(state, TpchQ8(), OptimizerMode::kDpStatistics);
+}
+void Fig8b_Q8_QHD(benchmark::State& state) {
+  Run(state, TpchQ8(), OptimizerMode::kQhdStructural);
+}
+
+void Sweep(benchmark::internal::Benchmark* b) {
+  for (int sf : {2, 4, 6, 8, 10}) b->Arg(sf);
+  b->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(Fig8a_Q5_CommDB_NoStats)->Apply(Sweep);
+BENCHMARK(Fig8a_Q5_CommDB_Stats)->Apply(Sweep);
+BENCHMARK(Fig8a_Q5_QHD)->Apply(Sweep);
+BENCHMARK(Fig8b_Q8_CommDB_NoStats)->Apply(Sweep);
+BENCHMARK(Fig8b_Q8_CommDB_Stats)->Apply(Sweep);
+BENCHMARK(Fig8b_Q8_QHD)->Apply(Sweep);
+
+}  // namespace
+}  // namespace bench
+}  // namespace htqo
+
+BENCHMARK_MAIN();

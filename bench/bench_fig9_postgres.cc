@@ -1,0 +1,81 @@
+// Fig. 9: PostgreSQL basic vs PostgreSQL + q-HD on Acyclic and Chain
+// queries — selectivity 60, cardinality 450, atoms 2..10.
+//
+// Methods:
+//   PostgreSQL      = geqo-defaults (GEQO left-deep search on default
+//                     estimates, nested-loop-prone — the no-ANALYZE regime)
+//   PostgreSQL_QHD  = qhd-hybrid (the tight coupling of Section 5.1:
+//                     structural skeleton + the DBMS's statistics)
+//
+// Benchmark arg: num_atoms.
+
+#include "bench_common.h"
+
+#include "stats/statistics.h"
+#include "workload/query_gen.h"
+#include "workload/synthetic.h"
+
+namespace htqo {
+namespace bench {
+namespace {
+
+struct Env {
+  Catalog catalog;
+  StatisticsRegistry registry;
+};
+
+Env& GetEnv() {
+  static Env* env = [] {
+    auto* e = new Env();
+    SyntheticConfig config;
+    config.cardinality = 450;
+    config.selectivity = 60;
+    config.num_relations = 10;
+    config.seed = 20070415;
+    PopulateSyntheticCatalog(config, &e->catalog);
+    e->registry.AnalyzeAll(e->catalog);
+    return e;
+  }();
+  return *env;
+}
+
+void Run(benchmark::State& state, bool chain, OptimizerMode mode) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Env& env = GetEnv();
+  HybridOptimizer optimizer(&env.catalog, &env.registry);
+  const std::string sql = chain ? ChainQuerySql(n) : LineQuerySql(n);
+  RunOutcome outcome;
+  for (auto _ : state) {
+    outcome = RunOnce(optimizer, sql, mode);
+  }
+  SetCounters(state, outcome);
+}
+
+void Fig9_Acyclic_PostgreSQL(benchmark::State& state) {
+  Run(state, /*chain=*/false, OptimizerMode::kGeqoDefaults);
+}
+void Fig9_Acyclic_PostgreSQL_QHD(benchmark::State& state) {
+  Run(state, /*chain=*/false, OptimizerMode::kQhdHybrid);
+}
+void Fig9_Chain_PostgreSQL(benchmark::State& state) {
+  Run(state, /*chain=*/true, OptimizerMode::kGeqoDefaults);
+}
+void Fig9_Chain_PostgreSQL_QHD(benchmark::State& state) {
+  Run(state, /*chain=*/true, OptimizerMode::kQhdHybrid);
+}
+
+void Sweep(benchmark::internal::Benchmark* b) {
+  for (int n = 2; n <= 10; ++n) b->Arg(n);
+  b->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(Fig9_Acyclic_PostgreSQL)->Apply(Sweep);
+BENCHMARK(Fig9_Acyclic_PostgreSQL_QHD)->Apply(Sweep);
+BENCHMARK(Fig9_Chain_PostgreSQL)->Apply(Sweep);
+BENCHMARK(Fig9_Chain_PostgreSQL_QHD)->Apply(Sweep);
+
+}  // namespace
+}  // namespace bench
+}  // namespace htqo
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Physical-operator microbenchmarks: the three join algorithms, semijoin
+// and DISTINCT, across input sizes and join fan-outs. Not a paper figure —
+// engine-level baselines that make the figure benches interpretable
+// (work-unit-to-wall-clock calibration).
+//
+// Benchmark arg: rows per input.
+
+#include <benchmark/benchmark.h>
+
+#include "exec/operators.h"
+#include "util/check.h"
+#include "workload/synthetic.h"
+
+namespace htqo {
+namespace bench {
+namespace {
+
+// Pair of joinable relations r(a,b), s(b,c) with ~3x fan-out on b.
+std::pair<Relation, Relation> MakeInputs(std::size_t rows) {
+  Relation left = MakeSyntheticRelation(rows, {"a", "b"}, 30, 1);
+  Relation right = MakeSyntheticRelation(rows, {"b", "c"}, 30, 2);
+  return {std::move(left), std::move(right)};
+}
+
+void HashJoin(benchmark::State& state) {
+  auto [left, right] = MakeInputs(static_cast<std::size_t>(state.range(0)));
+  std::size_t out_rows = 0;
+  for (auto _ : state) {
+    ExecContext ctx;
+    auto out = NaturalHashJoin(left, right, &ctx);
+    HTQO_CHECK(out.ok());
+    out_rows = out->NumRows();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["out"] = static_cast<double>(out_rows);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(state.range(0)));
+}
+
+void SortMergeJoin(benchmark::State& state) {
+  auto [left, right] = MakeInputs(static_cast<std::size_t>(state.range(0)));
+  std::size_t out_rows = 0;
+  for (auto _ : state) {
+    ExecContext ctx;
+    auto out = NaturalSortMergeJoin(left, right, &ctx);
+    HTQO_CHECK(out.ok());
+    out_rows = out->NumRows();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["out"] = static_cast<double>(out_rows);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(state.range(0)));
+}
+
+void NestedLoopJoin(benchmark::State& state) {
+  auto [left, right] = MakeInputs(static_cast<std::size_t>(state.range(0)));
+  std::size_t out_rows = 0;
+  for (auto _ : state) {
+    ExecContext ctx;
+    auto out = NaturalNestedLoopJoin(left, right, &ctx);
+    HTQO_CHECK(out.ok());
+    out_rows = out->NumRows();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["out"] = static_cast<double>(out_rows);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(state.range(0)));
+}
+
+void SemiJoin(benchmark::State& state) {
+  auto [left, right] = MakeInputs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    ExecContext ctx;
+    auto out = NaturalSemiJoin(left, right, &ctx);
+    HTQO_CHECK(out.ok());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(state.range(0)));
+}
+
+void DistinctOp(benchmark::State& state) {
+  Relation rel = MakeSyntheticRelation(
+      static_cast<std::size_t>(state.range(0)), {"a", "b"}, 20, 3);
+  for (auto _ : state) {
+    Relation out = rel.Distinct();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(state.range(0)));
+}
+
+BENCHMARK(HashJoin)->RangeMultiplier(4)->Range(256, 65536);
+BENCHMARK(SortMergeJoin)->RangeMultiplier(4)->Range(256, 65536);
+BENCHMARK(NestedLoopJoin)->RangeMultiplier(4)->Range(256, 4096);
+BENCHMARK(SemiJoin)->RangeMultiplier(4)->Range(256, 65536);
+BENCHMARK(DistinctOp)->RangeMultiplier(4)->Range(256, 65536);
+
+}  // namespace
+}  // namespace bench
+}  // namespace htqo
+
+BENCHMARK_MAIN();

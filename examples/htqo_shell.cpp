@@ -1,0 +1,259 @@
+// Interactive shell: the stand-alone face of the hybrid optimizer. Loads a
+// workload, runs SQL under any optimizer mode, and can explain the
+// decomposition it used (including Graphviz output).
+//
+//   $ ./htqo_shell
+//   htqo> \load tpch 0.005
+//   htqo> \mode qhd-hybrid
+//   htqo> SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS r ...;
+//   htqo> \help
+//
+// Also scriptable:  echo '...' | ./htqo_shell
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "api/hybrid_optimizer.h"
+#include "cq/hypergraph_builder.h"
+#include "decomp/qhd.h"
+#include "storage/csv.h"
+#include "workload/synthetic.h"
+#include "workload/tpch_gen.h"
+#include "workload/tpch_queries.h"
+
+namespace {
+
+using namespace htqo;
+
+struct ShellState {
+  Catalog catalog;
+  StatisticsRegistry stats;
+  RunOptions options;
+  bool explain = false;
+};
+
+const struct {
+  const char* name;
+  OptimizerMode mode;
+} kModes[] = {
+    {"qhd-hybrid", OptimizerMode::kQhdHybrid},
+    {"qhd-structural", OptimizerMode::kQhdStructural},
+    {"qhd-no-optimize", OptimizerMode::kQhdNoOptimize},
+    {"dp-statistics", OptimizerMode::kDpStatistics},
+    {"naive", OptimizerMode::kNaive},
+    {"geqo-defaults", OptimizerMode::kGeqoDefaults},
+    {"yannakakis", OptimizerMode::kYannakakis},
+    {"classic-hd", OptimizerMode::kClassicHd},
+    {"tree-decomposition", OptimizerMode::kTreeDecomposition},
+};
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  \\load tpch <scale-factor>          generate the TPC-H database\n"
+      "  \\load synthetic <card> <sel> <n>   generate r1..rN(a,b)\n"
+      "  \\mode <name>                       pick the optimizer mode\n"
+      "  \\width <k>                         decomposition width bound\n"
+      "  \\explain                           toggle plan explanation\n"
+      "  \\dot <sql>                         print the decomposition as DOT\n"
+      "  \\rewrite <sql>                     print the SQL-views rewriting\n"
+      "  \\import <name> <path.csv>          load a relation from CSV\n"
+      "  \\export <name> <path.csv>          write a relation to CSV\n"
+      "  \\relations                         list relations\n"
+      "  \\q5 / \\q8                          run the TPC-H queries\n"
+      "  \\help, \\quit\n"
+      "modes:");
+  for (const auto& m : kModes) std::printf(" %s", m.name);
+  std::printf("\nSQL statements end with ';'.\n");
+}
+
+void RunSql(ShellState& state, const std::string& sql) {
+  HybridOptimizer optimizer(&state.catalog, &state.stats);
+  auto run = optimizer.Run(sql, state.options);
+  if (!run.ok()) {
+    std::printf("error: %s\n", run.status().ToString().c_str());
+    return;
+  }
+  if (state.explain) {
+    std::printf("plan: %s%s\n", run->plan_description.c_str(),
+                run->used_fallback ? " (fallback)" : "");
+    if (!run->plan_details.empty()) {
+      std::printf("%s", run->plan_details.c_str());
+    }
+    std::printf("plan time: %.2f ms, exec time: %.2f ms, work: %zu, "
+                "peak intermediate: %zu rows\n",
+                run->plan_seconds * 1e3, run->exec_seconds * 1e3,
+                run->ctx.work_charged, run->ctx.peak_rows);
+  }
+  std::printf("%s", run->output.ToString(25).c_str());
+}
+
+void Dot(ShellState& state, const std::string& sql) {
+  HybridOptimizer optimizer(&state.catalog, &state.stats);
+  auto rq = optimizer.Resolve(sql, TidMode::kNone);
+  if (!rq.ok()) {
+    std::printf("error: %s\n", rq.status().ToString().c_str());
+    return;
+  }
+  Hypergraph h = BuildHypergraph(rq->cq);
+  Estimator estimator(&state.stats);
+  StatsDecompositionCostModel model(h, BuildEdgeStats(rq->cq, estimator));
+  QhdOptions qhd;
+  qhd.max_width = state.options.max_width;
+  auto decomp = QHypertreeDecomp(h, OutputVarsBitset(rq->cq), model, qhd);
+  if (!decomp.ok()) {
+    std::printf("error: %s\n", decomp.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", decomp->hd.ToDot(h).c_str());
+}
+
+void Rewrite(ShellState& state, const std::string& sql) {
+  HybridOptimizer optimizer(&state.catalog, &state.stats);
+  auto rewritten = optimizer.RewriteQuery(sql, state.options);
+  if (!rewritten.ok()) {
+    std::printf("error: %s\n", rewritten.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", rewritten->ToScript().c_str());
+}
+
+bool HandleCommand(ShellState& state, const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd == "\\quit" || cmd == "\\q") return false;
+  if (cmd == "\\help") {
+    PrintHelp();
+  } else if (cmd == "\\load") {
+    std::string kind;
+    in >> kind;
+    if (kind == "tpch") {
+      double sf = 0.005;
+      in >> sf;
+      PopulateTpch(TpchConfig{sf, 42}, &state.catalog);
+      state.stats.AnalyzeAll(state.catalog);
+      std::printf("loaded TPC-H at SF %g (%zu rows total)\n", sf,
+                  state.catalog.TotalRows());
+    } else if (kind == "synthetic") {
+      SyntheticConfig config;
+      in >> config.cardinality >> config.selectivity >>
+          config.num_relations;
+      PopulateSyntheticCatalog(config, &state.catalog);
+      state.stats.AnalyzeAll(state.catalog);
+      std::printf("loaded r1..r%zu (card %zu, selectivity %zu%%)\n",
+                  config.num_relations, config.cardinality,
+                  config.selectivity);
+    } else {
+      std::printf("usage: \\load tpch <sf> | \\load synthetic <card> <sel> "
+                  "<n>\n");
+    }
+  } else if (cmd == "\\mode") {
+    std::string name;
+    in >> name;
+    bool found = false;
+    for (const auto& m : kModes) {
+      if (name == m.name) {
+        state.options.mode = m.mode;
+        found = true;
+      }
+    }
+    std::printf(found ? "mode = %s\n" : "unknown mode: %s\n", name.c_str());
+  } else if (cmd == "\\width") {
+    in >> state.options.max_width;
+    std::printf("width bound k = %zu\n", state.options.max_width);
+  } else if (cmd == "\\explain") {
+    state.explain = !state.explain;
+    std::printf("explain %s\n", state.explain ? "on" : "off");
+  } else if (cmd == "\\stats") {
+    // Manual statistics (Section 5 stand-alone usage): relation name, row
+    // count, then one distinct count per column (0 or omitted = unknown).
+    std::string name;
+    std::size_t rows = 0;
+    in >> name >> rows;
+    std::vector<std::size_t> distinct;
+    std::size_t d;
+    while (in >> d) distinct.push_back(d);
+    const Relation* rel = state.catalog.Find(name);
+    if (rel != nullptr) distinct.resize(rel->arity(), 0);
+    state.stats.Put(name, MakeManualStats(rows, distinct));
+    std::printf("declared stats for %s: %zu rows, %zu column counts\n",
+                name.c_str(), rows, distinct.size());
+  } else if (cmd == "\\import") {
+    std::string name, path;
+    in >> name >> path;
+    auto rel = ReadCsvFile(path);
+    if (!rel.ok()) {
+      std::printf("error: %s\n", rel.status().ToString().c_str());
+    } else {
+      std::printf("loaded %zu rows into %s\n", rel->NumRows(), name.c_str());
+      state.catalog.Put(name, std::move(rel.value()));
+      state.stats.AnalyzeAll(state.catalog);
+    }
+  } else if (cmd == "\\export") {
+    std::string name, path;
+    in >> name >> path;
+    const Relation* rel = state.catalog.Find(name);
+    if (rel == nullptr) {
+      std::printf("error: unknown relation %s\n", name.c_str());
+    } else {
+      Status s = WriteCsvFile(*rel, path);
+      std::printf("%s\n", s.ok() ? "written" : s.ToString().c_str());
+    }
+  } else if (cmd == "\\relations") {
+    for (const std::string& name : state.catalog.Names()) {
+      std::printf("  %-12s %8zu rows %s\n", name.c_str(),
+                  state.catalog.Find(name)->NumRows(),
+                  state.catalog.Find(name)->schema().ToString().c_str());
+    }
+  } else if (cmd == "\\dot") {
+    std::string rest;
+    std::getline(in, rest);
+    Dot(state, rest);
+  } else if (cmd == "\\rewrite") {
+    std::string rest;
+    std::getline(in, rest);
+    Rewrite(state, rest);
+  } else if (cmd == "\\q5") {
+    RunSql(state, TpchQ5());
+  } else if (cmd == "\\q8") {
+    RunSql(state, TpchQ8());
+  } else {
+    std::printf("unknown command: %s (try \\help)\n", cmd.c_str());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  ShellState state;
+  state.options.mode = OptimizerMode::kQhdHybrid;
+  state.explain = true;
+  std::printf("htqo shell — hypertree decompositions for query "
+              "optimization.\nType \\help for commands.\n");
+
+  std::string buffer;
+  std::string line;
+  bool interactive = true;
+  while (interactive) {
+    std::printf(buffer.empty() ? "htqo> " : "  ...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (buffer.empty() && !line.empty() && line[0] == '\\') {
+      if (!HandleCommand(state, line)) break;
+      continue;
+    }
+    buffer += line + "\n";
+    if (line.find(';') != std::string::npos) {
+      RunSql(state, buffer);
+      buffer.clear();
+    } else if (line.empty()) {
+      buffer.clear();
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

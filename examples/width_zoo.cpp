@@ -1,0 +1,61 @@
+// Width measures side by side: hypertree width vs treewidth (min-fill
+// upper bound) vs degree of cyclicity (hinge trees) vs biconnected-
+// component width, across the structured hypergraph zoo — the
+// generalization hierarchy the paper's related-work section walks through.
+// Hypertree width is never worse than any of the others, and on cycles and
+// big atoms it is strictly better.
+//
+//   $ ./width_zoo
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "decomp/biconnected.h"
+#include "decomp/det_k_decomp.h"
+#include "decomp/hinge.h"
+#include "decomp/tree_decomposition.h"
+#include "hypergraph/gyo.h"
+#include "workload/hypergraph_zoo.h"
+
+int main() {
+  using namespace htqo;
+
+  struct Instance {
+    std::string name;
+    Hypergraph h;
+  };
+  std::vector<Instance> instances;
+  instances.push_back({"line-8", LineHypergraph(8)});
+  instances.push_back({"cycle-6", CycleHypergraph(6)});
+  instances.push_back({"cycle-10", CycleHypergraph(10)});
+  instances.push_back({"clique-5", CliqueHypergraph(5)});
+  instances.push_back({"clique-6", CliqueHypergraph(6)});
+  instances.push_back({"grid-2x5", GridHypergraph(2, 5)});
+  instances.push_back({"grid-3x3", GridHypergraph(3, 3)});
+  instances.push_back({"wheel-8", WheelHypergraph(8)});
+  instances.push_back({"window-9/3", SlidingWindowCycle(9, 3)});
+
+  std::printf("%-12s %6s %8s %4s %5s %8s %8s\n", "instance", "edges",
+              "acyclic", "hw", "tw", "cyc.deg", "bicomp");
+  for (const Instance& inst : instances) {
+    const Hypergraph& h = inst.h;
+    auto hw = ComputeHypertreeWidth(h, 6);
+    TreeDecomposition td = MinFillTreeDecomposition(h);
+    auto degree = DegreeOfCyclicity(h);
+    BiconnectedDecomposition bc = BiconnectedComponents(h);
+    std::printf("%-12s %6zu %8s %4s %5zu %8s %8zu\n", inst.name.c_str(),
+                h.NumEdges(), IsAcyclic(h) ? "yes" : "no",
+                hw.ok() ? std::to_string(*hw).c_str() : ">6",
+                td.Width(),
+                degree.ok() ? std::to_string(*degree).c_str() : "-",
+                bc.Width());
+  }
+
+  std::printf(
+      "\nReading: hw <= each of the others (hypertree decompositions\n"
+      "strongly generalize the older methods); cycles separate hw (2) from\n"
+      "the degree of cyclicity (n); cliques and big atoms separate hw from\n"
+      "treewidth.\n");
+  return 0;
+}

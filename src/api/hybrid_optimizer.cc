@@ -1,0 +1,534 @@
+#include "api/hybrid_optimizer.h"
+
+#include <chrono>
+
+#include "cq/hypergraph_builder.h"
+#include "exec/executor.h"
+#include "exec/plan.h"
+#include "opt/dp_optimizer.h"
+#include "opt/geqo_optimizer.h"
+#include "opt/naive_optimizer.h"
+#include "decomp/tree_decomposition.h"
+#include "opt/yannakakis.h"
+#include "sql/parser.h"
+
+namespace htqo {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+bool IsQhdMode(OptimizerMode mode) {
+  return mode == OptimizerMode::kQhdHybrid ||
+         mode == OptimizerMode::kQhdStructural ||
+         mode == OptimizerMode::kQhdNoOptimize;
+}
+
+}  // namespace
+
+std::string OptimizerModeName(OptimizerMode mode) {
+  switch (mode) {
+    case OptimizerMode::kQhdHybrid:
+      return "qhd-hybrid";
+    case OptimizerMode::kQhdStructural:
+      return "qhd-structural";
+    case OptimizerMode::kQhdNoOptimize:
+      return "qhd-no-optimize";
+    case OptimizerMode::kDpStatistics:
+      return "dp-statistics";
+    case OptimizerMode::kNaive:
+      return "naive";
+    case OptimizerMode::kGeqoDefaults:
+      return "geqo-defaults";
+    case OptimizerMode::kYannakakis:
+      return "yannakakis";
+    case OptimizerMode::kClassicHd:
+      return "classic-hd";
+    case OptimizerMode::kTreeDecomposition:
+      return "tree-decomposition";
+  }
+  return "?";
+}
+
+Result<ResolvedQuery> HybridOptimizer::Resolve(std::string_view sql,
+                                               TidMode tid_mode) const {
+  auto stmt = ParseSelect(sql);
+  if (!stmt.ok()) return stmt.status();
+  IsolatorOptions options;
+  options.tid_mode = tid_mode;
+  return IsolateConjunctiveQuery(*stmt, *catalog_, options);
+}
+
+Result<QueryRun> HybridOptimizer::Run(std::string_view sql,
+                                      const RunOptions& options) const {
+  auto stmt = ParseSelect(sql);
+  if (!stmt.ok()) return stmt.status();
+  return RunStatement(*stmt, options);
+}
+
+Result<QueryRun> HybridOptimizer::RunStatement(const SelectStatement& stmt,
+                                               const RunOptions& options)
+    const {
+  // Uncorrelated scalar subqueries in WHERE evaluate first and become
+  // literals: x > (SELECT avg(y) FROM ...) compares against the computed
+  // value. SQL semantics: more than one row is an error; zero rows compare
+  // as unknown, i.e. the conjunct (and with it the whole WHERE) is false.
+  bool has_scalar = false;
+  for (const Comparison& cmp : stmt.where) {
+    has_scalar |= cmp.lhs.ContainsScalarSubquery() ||
+                  cmp.rhs.ContainsScalarSubquery();
+  }
+  if (has_scalar) {
+    SelectStatement rewritten = stmt.Clone();
+    QueryRun accumulated;
+    bool always_false = false;
+    std::function<Status(Expr*)> replace = [&](Expr* e) -> Status {
+      if (e->kind == ExprKind::kScalarSubquery) {
+        auto sub_run = RunStatement(*e->subquery, options);
+        if (!sub_run.ok()) return sub_run.status();
+        accumulated.ctx.rows_charged += sub_run->ctx.rows_charged;
+        accumulated.ctx.work_charged += sub_run->ctx.work_charged;
+        accumulated.ctx.NotePeak(sub_run->ctx.peak_rows);
+        accumulated.plan_seconds += sub_run->plan_seconds;
+        accumulated.exec_seconds += sub_run->exec_seconds;
+        const Relation& out = sub_run->output;
+        if (out.arity() != 1) {
+          return Status::InvalidArgument(
+              "scalar subquery must select exactly one column");
+        }
+        if (out.NumRows() > 1) {
+          return Status::InvalidArgument(
+              "scalar subquery returned more than one row");
+        }
+        if (out.NumRows() == 0) {
+          always_false = true;
+          *e = Expr::MakeLiteral(Value::Int64(0));
+          return Status::Ok();
+        }
+        *e = Expr::MakeLiteral(out.At(0, 0));
+        return Status::Ok();
+      }
+      if (e->lhs) {
+        Status s = replace(e->lhs.get());
+        if (!s.ok()) return s;
+      }
+      if (e->rhs) {
+        Status s = replace(e->rhs.get());
+        if (!s.ok()) return s;
+      }
+      return Status::Ok();
+    };
+    for (Comparison& cmp : rewritten.where) {
+      Status s = replace(&cmp.lhs);
+      if (!s.ok()) return s;
+      s = replace(&cmp.rhs);
+      if (!s.ok()) return s;
+    }
+    if (always_false) {
+      rewritten.where.clear();
+      rewritten.where_in.clear();
+      rewritten.where.emplace_back(Expr::MakeLiteral(Value::Int64(1)),
+                                   CompareOp::kEq,
+                                   Expr::MakeLiteral(Value::Int64(2)));
+    }
+    auto run = RunStatement(rewritten, options);
+    if (!run.ok()) return run.status();
+    run->ctx.rows_charged += accumulated.ctx.rows_charged;
+    run->ctx.work_charged += accumulated.ctx.work_charged;
+    run->ctx.NotePeak(accumulated.ctx.peak_rows);
+    run->plan_seconds += accumulated.plan_seconds;
+    run->exec_seconds += accumulated.exec_seconds;
+    return run;
+  }
+
+  // Uncorrelated IN-subqueries rewrite into a join with a DISTINCT derived
+  // table: x IN (SELECT y FROM ...) ≡ JOIN (SELECT DISTINCT y ...) s ON
+  // x = s.y — exact under bag semantics since the distinct single column
+  // matches each outer row at most once. The rewritten statement then goes
+  // through the derived-table materialization below.
+  if (stmt.HasInSubqueries()) {
+    SelectStatement rewritten = stmt.Clone();
+    std::vector<InCondition> remaining;
+    std::size_t counter = 0;
+    QueryRun accumulated_in;
+    for (InCondition& cond : rewritten.where_in) {
+      if (cond.subquery == nullptr) {
+        remaining.push_back(std::move(cond));
+        continue;
+      }
+      if (cond.subquery->items.size() != 1) {
+        return Status::InvalidArgument(
+            "IN subquery must select exactly one column");
+      }
+      if (cond.negated) {
+        // NOT IN: a join rewrite would be wrong (anti-semijoin); instead
+        // materialize the subquery's values into a negated membership
+        // filter.
+        auto sub_run = RunStatement(*cond.subquery, options);
+        if (!sub_run.ok()) return sub_run.status();
+        accumulated_in.ctx.rows_charged += sub_run->ctx.rows_charged;
+        accumulated_in.ctx.work_charged += sub_run->ctx.work_charged;
+        accumulated_in.ctx.NotePeak(sub_run->ctx.peak_rows);
+        accumulated_in.plan_seconds += sub_run->plan_seconds;
+        accumulated_in.exec_seconds += sub_run->exec_seconds;
+        InCondition literal;
+        literal.lhs = std::move(cond.lhs);
+        literal.negated = true;
+        literal.values.reserve(sub_run->output.NumRows());
+        for (std::size_t r = 0; r < sub_run->output.NumRows(); ++r) {
+          literal.values.push_back(sub_run->output.At(r, 0));
+        }
+        remaining.push_back(std::move(literal));
+        continue;
+      }
+      // Wrap the subquery so its single output column gets a collision-free
+      // name (outer unqualified references would otherwise become
+      // ambiguous): SELECT DISTINCT w.<col> AS htqo_in_N FROM (<sub>) w.
+      const SelectItem& item = cond.subquery->items[0];
+      std::string inner_column = item.alias;
+      if (inner_column.empty()) {
+        inner_column = item.expr.kind == ExprKind::kColumnRef
+                           ? item.expr.column
+                           : "col0";
+      }
+      std::string unique = "htqo_in_" + std::to_string(counter);
+      SelectStatement wrapper;
+      wrapper.distinct = true;
+      wrapper.items.emplace_back(Expr::MakeColumnRef("w", inner_column),
+                                 unique);
+      TableRef inner_ref;
+      inner_ref.alias = "w";
+      inner_ref.subquery = cond.subquery;
+      wrapper.from.push_back(std::move(inner_ref));
+
+      TableRef ref;
+      ref.alias = "htqo_insub_" + std::to_string(counter);
+      ref.subquery =
+          std::make_shared<const SelectStatement>(std::move(wrapper));
+      rewritten.from.push_back(ref);
+      rewritten.where.emplace_back(std::move(cond.lhs), CompareOp::kEq,
+                                   Expr::MakeColumnRef(ref.alias, unique));
+      ++counter;
+    }
+    rewritten.where_in = std::move(remaining);
+    auto run = RunStatement(rewritten, options);
+    if (!run.ok()) return run.status();
+    run->ctx.rows_charged += accumulated_in.ctx.rows_charged;
+    run->ctx.work_charged += accumulated_in.ctx.work_charged;
+    run->ctx.NotePeak(accumulated_in.ctx.peak_rows);
+    run->plan_seconds += accumulated_in.plan_seconds;
+    run->exec_seconds += accumulated_in.exec_seconds;
+    return run;
+  }
+
+  if (!stmt.HasDerivedTables()) {
+    IsolatorOptions iso;
+    iso.tid_mode = options.tid_mode;
+    auto rq = IsolateConjunctiveQuery(stmt, *catalog_, iso);
+    if (!rq.ok()) return rq.status();
+    return RunResolved(*rq, options);
+  }
+
+  // Materialize every derived table into a scratch database, then run the
+  // rewritten outer statement against it.
+  Catalog scratch;
+  for (const std::string& name : catalog_->Names()) {
+    scratch.Put(name, *catalog_->Find(name));
+  }
+  StatisticsRegistry scratch_stats;
+  if (stats_ != nullptr) scratch_stats = *stats_;
+
+  SelectStatement rewritten = stmt.Clone();
+  QueryRun accumulated;
+  std::size_t derived_count = 0;
+  for (TableRef& table : rewritten.from) {
+    if (!table.IsDerived()) continue;
+    // Bag semantics must survive materialization: a non-DISTINCT subquery
+    // feeding an outer aggregate contributes multiplicities.
+    RunOptions sub_options = options;
+    sub_options.tid_mode = TidMode::kAllAtoms;
+    HybridOptimizer sub_engine(&scratch, &scratch_stats);
+    auto sub_run = sub_engine.RunStatement(*table.subquery, sub_options);
+    if (!sub_run.ok()) return sub_run.status();
+
+    std::string derived_name =
+        "htqo_derived_" + std::to_string(derived_count++) + "_" + table.alias;
+    scratch_stats.Put(derived_name, CollectStats(sub_run->output));
+    scratch.Put(derived_name, std::move(sub_run->output));
+    table.name = derived_name;
+    table.subquery.reset();
+
+    accumulated.ctx.rows_charged += sub_run->ctx.rows_charged;
+    accumulated.ctx.work_charged += sub_run->ctx.work_charged;
+    accumulated.ctx.NotePeak(sub_run->ctx.peak_rows);
+    accumulated.plan_seconds += sub_run->plan_seconds;
+    accumulated.exec_seconds += sub_run->exec_seconds;
+    accumulated.used_fallback |= sub_run->used_fallback;
+  }
+
+  HybridOptimizer outer(&scratch, &scratch_stats);
+  auto run = outer.RunStatement(rewritten, options);
+  if (!run.ok()) return run.status();
+  run->ctx.rows_charged += accumulated.ctx.rows_charged;
+  run->ctx.work_charged += accumulated.ctx.work_charged;
+  run->ctx.NotePeak(accumulated.ctx.peak_rows);
+  run->plan_seconds += accumulated.plan_seconds;
+  run->exec_seconds += accumulated.exec_seconds;
+  run->used_fallback |= accumulated.used_fallback;
+  run->plan_description += " [+" + std::to_string(derived_count) +
+                           " materialized subquer" +
+                           (derived_count == 1 ? "y" : "ies") + "]";
+  return run;
+}
+
+Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
+                                              const RunOptions& options)
+    const {
+  QueryRun run;
+  run.ctx.row_budget = options.row_budget;
+  run.ctx.work_budget = options.work_budget;
+
+  if (rq.cq.always_false) {
+    auto out = EvaluateSelectOutput(rq, EmptyAnswer(rq), &run.ctx);
+    if (!out.ok()) return out.status();
+    run.output = std::move(out.value());
+    run.plan_description = "constant-false";
+    return run;
+  }
+
+  OptimizerMode mode = options.mode;
+  auto start = std::chrono::steady_clock::now();
+
+  if (mode == OptimizerMode::kYannakakis) {
+    auto answer = YannakakisEvaluate(rq, *catalog_, &run.ctx);
+    if (!answer.ok()) {
+      if (answer.status().code() == StatusCode::kNotFound &&
+          options.fallback_to_dp) {
+        run.used_fallback = true;
+        mode = OptimizerMode::kDpStatistics;
+      } else {
+        return answer.status();
+      }
+    } else {
+      run.plan_description = "yannakakis three-pass over the join forest";
+      auto out = EvaluateSelectOutput(rq, *answer, &run.ctx);
+      if (!out.ok()) return out.status();
+      run.output = std::move(out.value());
+      run.exec_seconds = SecondsSince(start);
+      return run;
+    }
+  }
+
+  if (mode == OptimizerMode::kTreeDecomposition) {
+    Hypergraph h = BuildHypergraph(rq.cq);
+    TreeDecomposition td = MinFillTreeDecomposition(h);
+    Hypertree hd = TreeDecompositionToHypertree(h, td);
+    CompleteDecomposition(h, &hd);
+    run.plan_seconds = SecondsSince(start);
+    run.decomposition_width = hd.Width();
+    run.plan_description = "min-fill tree decomposition (treewidth " +
+                           std::to_string(td.Width()) + ", cover width " +
+                           std::to_string(hd.Width()) + ") + Yannakakis";
+    auto exec_start = std::chrono::steady_clock::now();
+    auto answer = EvaluateDecompositionClassic(rq, *catalog_, h, hd,
+                                               &run.ctx);
+    if (!answer.ok()) return answer.status();
+    auto out = EvaluateSelectOutput(rq, *answer, &run.ctx);
+    if (!out.ok()) return out.status();
+    run.output = std::move(out.value());
+    run.exec_seconds = SecondsSince(exec_start);
+    return run;
+  }
+
+  if (mode == OptimizerMode::kClassicHd) {
+    Hypergraph h = BuildHypergraph(rq.cq);
+    Estimator estimator(stats_);
+    StatsDecompositionCostModel model(h, BuildEdgeStats(rq.cq, estimator));
+    // No out(Q) rooting, no Optimize: the pre-q-HD pipeline.
+    auto hd = CostKDecomp(h, options.max_width, model, /*root_conn=*/nullptr);
+    run.plan_seconds = SecondsSince(start);
+    if (!hd.ok()) {
+      if (!options.fallback_to_dp) return hd.status();
+      run.used_fallback = true;
+      mode = OptimizerMode::kDpStatistics;
+    } else {
+      CompleteDecomposition(h, &hd.value());
+      run.decomposition_width = hd->Width();
+      run.plan_description = "classic HD + Yannakakis (width " +
+                             std::to_string(hd->Width()) + ")";
+      auto exec_start = std::chrono::steady_clock::now();
+      auto answer =
+          EvaluateDecompositionClassic(rq, *catalog_, h, *hd, &run.ctx);
+      if (!answer.ok()) return answer.status();
+      auto out = EvaluateSelectOutput(rq, *answer, &run.ctx);
+      if (!out.ok()) return out.status();
+      run.output = std::move(out.value());
+      run.exec_seconds = SecondsSince(exec_start);
+      return run;
+    }
+  }
+
+  if (IsQhdMode(mode)) {
+    QhdPlanOptions qhd;
+    qhd.decomp.max_width = options.max_width;
+    qhd.decomp.run_optimize = mode != OptimizerMode::kQhdNoOptimize;
+    qhd.use_statistics = mode != OptimizerMode::kQhdStructural;
+
+    // Split plan/exec timing around the decomposition.
+    Hypergraph h = BuildHypergraph(rq.cq);
+    Bitset out_vars = OutputVarsBitset(rq.cq);
+    Result<QhdResult> decomp = Status::Internal("unset");
+    if (qhd.use_statistics) {
+      Estimator estimator(stats_);
+      StatsDecompositionCostModel model(h, BuildEdgeStats(rq.cq, estimator));
+      decomp = QHypertreeDecomp(h, out_vars, model, qhd.decomp);
+    } else {
+      StructuralCostModel model;
+      decomp = QHypertreeDecomp(h, out_vars, model, qhd.decomp);
+    }
+    run.plan_seconds = SecondsSince(start);
+
+    if (!decomp.ok()) {
+      if (!options.fallback_to_dp) return decomp.status();
+      run.used_fallback = true;
+      mode = OptimizerMode::kDpStatistics;  // hybrid fallback below
+    } else {
+      run.decomposition_width = decomp->width;
+      run.pruned_lambda_entries = decomp->pruned;
+      run.plan_description =
+          "q-hypertree decomposition (width " +
+          std::to_string(decomp->width) + ", " +
+          std::to_string(decomp->pruned) + " pruned)";
+      run.plan_details = decomp->hd.ToString(h);
+      auto exec_start = std::chrono::steady_clock::now();
+      auto answer = EvaluateDecomposition(rq, *catalog_, h, decomp->hd,
+                                          &run.ctx);
+      if (!answer.ok()) return answer.status();
+      auto out = EvaluateSelectOutput(rq, *answer, &run.ctx);
+      if (!out.ok()) return out.status();
+      run.output = std::move(out.value());
+      run.exec_seconds = SecondsSince(exec_start);
+      return run;
+    }
+  }
+
+  // --- Quantitative plan modes (and the hybrid fallback). -------------------
+  start = std::chrono::steady_clock::now();
+  std::unique_ptr<JoinPlan> plan;
+  switch (mode) {
+    case OptimizerMode::kDpStatistics: {
+      Estimator estimator(stats_);
+      JoinGraph graph = BuildJoinGraph(rq, estimator);
+      PlanCostModel cost(graph);
+      // Left-deep System-R search: the plan space of the commercial
+      // optimizers the paper benchmarked against. (Bushy DP is available
+      // via DpOptions for library users.)
+      DpOptions dp_options;
+      dp_options.bushy = false;
+      auto dp = DpOptimize(graph, cost, dp_options);
+      if (!dp.ok()) return dp.status();
+      plan = std::move(dp.value());
+      break;
+    }
+    case OptimizerMode::kNaive: {
+      plan = NaiveFromOrderPlan(rq.cq.atoms.size(), JoinAlgo::kNestedLoop);
+      break;
+    }
+    case OptimizerMode::kGeqoDefaults: {
+      // No statistics: the estimator runs on PostgreSQL-style defaults, and
+      // the optimizer prefers nested loops for inputs it believes are small
+      // — which, under default estimates, is all of them.
+      Estimator estimator(nullptr);
+      JoinGraph graph = BuildJoinGraph(rq, estimator);
+      PlanCostModel cost(graph);
+      GeqoOptions geqo;
+      geqo.seed = options.seed;
+      geqo.nested_loop_threshold = 2000.0;
+      auto best = GeqoOptimize(graph, cost, geqo);
+      if (!best.ok()) return best.status();
+      plan = std::move(best.value());
+      break;
+    }
+    default:
+      return Status::Internal("unhandled optimizer mode");
+  }
+  run.plan_seconds += SecondsSince(start);
+  if (run.plan_description.empty() || run.used_fallback) {
+    run.plan_description = (run.used_fallback ? "fallback: " : "") +
+                           plan->ToString(rq);
+  }
+  run.plan_details = plan->ToString(rq) + "\n";
+
+  auto exec_start = std::chrono::steady_clock::now();
+  auto joined = ExecuteJoinPlan(*plan, rq, *catalog_, &run.ctx);
+  if (!joined.ok()) return joined.status();
+  auto answer = ProjectToOutputVars(rq, *joined, &run.ctx);
+  if (!answer.ok()) return answer.status();
+  auto out = EvaluateSelectOutput(rq, *answer, &run.ctx);
+  if (!out.ok()) return out.status();
+  run.output = std::move(out.value());
+  run.exec_seconds = SecondsSince(exec_start);
+  return run;
+}
+
+Result<RewrittenQuery> HybridOptimizer::RewriteQuery(
+    std::string_view sql, const RunOptions& options) const {
+  auto rq = Resolve(sql, TidMode::kNone);
+  if (!rq.ok()) return rq.status();
+
+  Hypergraph h = BuildHypergraph(rq->cq);
+  Bitset out_vars = OutputVarsBitset(rq->cq);
+  QhdOptions qhd;
+  qhd.max_width = options.max_width;
+  qhd.run_optimize = options.mode != OptimizerMode::kQhdNoOptimize;
+
+  Result<QhdResult> decomp = Status::Internal("unset");
+  if (options.mode == OptimizerMode::kQhdStructural || stats_ == nullptr) {
+    StructuralCostModel model;
+    decomp = QHypertreeDecomp(h, out_vars, model, qhd);
+  } else {
+    Estimator estimator(stats_);
+    StatsDecompositionCostModel model(h, BuildEdgeStats(rq->cq, estimator));
+    decomp = QHypertreeDecomp(h, out_vars, model, qhd);
+  }
+  if (!decomp.ok()) return decomp.status();
+  return RewriteAsViews(*rq, h, decomp->hd);
+}
+
+Result<Relation> ExecuteRewrittenQuery(const RewrittenQuery& rewritten,
+                                       const Catalog& base,
+                                       ExecContext* ctx) {
+  // Scratch catalog: base relations plus materialized views.
+  Catalog scratch;
+  for (const std::string& name : base.Names()) {
+    scratch.Put(name, *base.Find(name));
+  }
+
+  RunOptions options;
+  options.mode = OptimizerMode::kDpStatistics;  // any engine would do
+  options.row_budget = ctx->row_budget;
+  options.work_budget = ctx->work_budget;
+
+  for (std::size_t i = 0; i < rewritten.view_bodies.size(); ++i) {
+    HybridOptimizer engine(&scratch, nullptr);
+    auto run = engine.Run(rewritten.view_bodies[i], options);
+    if (!run.ok()) return run.status();
+    ctx->rows_charged += run->ctx.rows_charged;
+    ctx->work_charged += run->ctx.work_charged;
+    ctx->NotePeak(run->ctx.peak_rows);
+    scratch.Put(rewritten.view_names[i], std::move(run->output));
+  }
+  HybridOptimizer engine(&scratch, nullptr);
+  auto run = engine.Run(rewritten.final_statement, options);
+  if (!run.ok()) return run.status();
+  ctx->rows_charged += run->ctx.rows_charged;
+  ctx->work_charged += run->ctx.work_charged;
+  ctx->NotePeak(run->ctx.peak_rows);
+  return std::move(run->output);
+}
+
+}  // namespace htqo

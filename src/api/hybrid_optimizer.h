@@ -1,0 +1,138 @@
+// The public entry point: the hybrid optimizer of Section 5 (Fig. 5/6).
+//
+// A HybridOptimizer wraps a database (Catalog + optional statistics) and
+// runs SQL through the full pipeline — parse, isolate CQ(Q), decompose /
+// plan, execute, evaluate aggregates — under one of several optimizer modes
+// that reproduce the comparison axes of Section 6:
+//
+//   kQhdHybrid       q-HD with the statistics cost model; the tight
+//                    PostgreSQL coupling ("PostgreSQL + q-HD").
+//   kQhdStructural   q-HD with the structural cost model; the stand-alone
+//                    regime when statistics are unavailable ("q-HD").
+//   kQhdNoOptimize   kQhdHybrid without Procedure Optimize (Fig. 10).
+//   kDpStatistics    bushy DP join ordering on exact statistics, hash
+//                    joins ("CommDB" with its standard optimizer).
+//   kNaive           FROM-order nested-loop evaluation ("CommDB without
+//                    its standard optimizer" / statistics disabled).
+//   kGeqoDefaults    GEQO left-deep search on default estimates with the
+//                    nested-loop misestimation pathology ("PostgreSQL"
+//                    basic, no ANALYZE).
+//   kYannakakis      the classical three-pass semijoin algorithm (Section
+//                    3.2, ref [12]); acyclic queries only (falls back to DP
+//                    on cyclic inputs when fallback_to_dp is set).
+//   kClassicHd       the classic decomposition pipeline S2'+S2'': cost-k-
+//                    decomp *without* the out(Q) rooting, then Yannakakis
+//                    over the vertex relations — what the literature
+//                    offered before q-hypertree decompositions.
+
+#ifndef HTQO_API_HYBRID_OPTIMIZER_H_
+#define HTQO_API_HYBRID_OPTIMIZER_H_
+
+#include <string>
+#include <string_view>
+
+#include "cq/isolator.h"
+#include "exec/operators.h"
+#include "opt/qhd_planner.h"
+#include "rewrite/view_rewriter.h"
+#include "stats/statistics.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace htqo {
+
+enum class OptimizerMode {
+  kQhdHybrid,
+  kQhdStructural,
+  kQhdNoOptimize,
+  kDpStatistics,
+  kNaive,
+  kGeqoDefaults,
+  kYannakakis,
+  kClassicHd,
+  // Tree-decomposition method (related work [9,7,1]): min-fill tree
+  // decomposition of the primal graph, converted to a generalized hypertree
+  // decomposition and evaluated with the classic three-pass pipeline.
+  kTreeDecomposition,
+};
+
+std::string OptimizerModeName(OptimizerMode mode);
+
+struct RunOptions {
+  OptimizerMode mode = OptimizerMode::kQhdHybrid;
+  std::size_t max_width = 4;  // the constant k of Fig. 4
+  TidMode tid_mode = TidMode::kAggregatesOnly;
+  std::size_t row_budget = std::numeric_limits<std::size_t>::max();
+  std::size_t work_budget = std::numeric_limits<std::size_t>::max();
+  uint64_t seed = 1;  // GEQO determinism
+  // On q-HD "Failure" (no width-<=k rooted decomposition), fall back to the
+  // DP plan instead of erroring — the hybrid behaviour.
+  bool fallback_to_dp = true;
+};
+
+struct QueryRun {
+  Relation output;           // final SELECT result
+  ExecContext ctx;           // rows/work metering
+  double plan_seconds = 0;   // optimization time (decomposition or search)
+  double exec_seconds = 0;   // evaluation time
+  std::string plan_description;
+  // Multi-line plan rendering (the decomposition tree for q-HD modes, the
+  // join tree for plan modes); for EXPLAIN-style output.
+  std::string plan_details;
+  bool used_fallback = false;
+  // q-HD modes only:
+  std::size_t decomposition_width = 0;
+  std::size_t pruned_lambda_entries = 0;
+};
+
+class HybridOptimizer {
+ public:
+  // `stats` may be nullptr (no statistics gathered). Both pointees must
+  // outlive the optimizer.
+  HybridOptimizer(const Catalog* catalog, const StatisticsRegistry* stats)
+      : catalog_(catalog), stats_(stats) {}
+
+  // Parse + isolate only.
+  Result<ResolvedQuery> Resolve(std::string_view sql,
+                                TidMode tid_mode = TidMode::kAggregatesOnly)
+      const;
+
+  // Full pipeline on a SQL string. Nested queries (derived tables in FROM)
+  // are supported: each subquery is recursively evaluated — under
+  // TidMode::kAllAtoms, so bag semantics survive the materialization — and
+  // registered as a scratch relation before the outer query runs.
+  Result<QueryRun> Run(std::string_view sql, const RunOptions& options) const;
+
+  // As Run, on an already parsed statement.
+  Result<QueryRun> RunStatement(const SelectStatement& stmt,
+                                const RunOptions& options) const;
+
+  // Full pipeline on an already resolved query (lets benchmarks exclude
+  // parse time and reuse isolations).
+  Result<QueryRun> RunResolved(const ResolvedQuery& rq,
+                               const RunOptions& options) const;
+
+  // Stand-alone mode output: the query rewritten as SQL views following its
+  // q-hypertree decomposition (requires a TidMode::kNone isolation).
+  Result<RewrittenQuery> RewriteQuery(std::string_view sql,
+                                      const RunOptions& options) const;
+
+  const Catalog& catalog() const { return *catalog_; }
+  const StatisticsRegistry* stats() const { return stats_; }
+
+ private:
+  const Catalog* catalog_;
+  const StatisticsRegistry* stats_;
+};
+
+// Executes a RewrittenQuery by materializing every view bottom-up in a
+// scratch catalog (copying the base relations of `base`) and running the
+// final statement — the "evaluated on top of any DBMS" path, using our own
+// engine as that DBMS. Used by tests and examples to validate rewritings.
+Result<Relation> ExecuteRewrittenQuery(const RewrittenQuery& rewritten,
+                                       const Catalog& base,
+                                       ExecContext* ctx);
+
+}  // namespace htqo
+
+#endif  // HTQO_API_HYBRID_OPTIMIZER_H_

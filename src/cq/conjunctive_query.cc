@@ -1,0 +1,53 @@
+#include "cq/conjunctive_query.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace htqo {
+
+bool AtomFilter::Matches(const Value& v) const {
+  if (!in_values.empty() || negated) {
+    bool member = false;
+    for (const Value& candidate : in_values) {
+      if (v.Compare(candidate) == 0) {
+        member = true;
+        break;
+      }
+    }
+    return member != negated;
+  }
+  return EvalCompare(op, v, value);
+}
+
+std::vector<VarId> Atom::Vars() const {
+  std::vector<VarId> out;
+  out.reserve(bindings.size() + 1);
+  for (const AtomBinding& b : bindings) {
+    if (std::find(out.begin(), out.end(), b.var) == out.end()) {
+      out.push_back(b.var);
+    }
+  }
+  if (has_tid) out.push_back(tid_var);
+  return out;
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::vector<std::string> head;
+  head.reserve(output_vars.size());
+  for (VarId v : output_vars) head.push_back(vars[v].name);
+  std::string out = "ans(" + Join(head, ",") + ") <- ";
+  std::vector<std::string> body;
+  body.reserve(atoms.size());
+  for (const Atom& a : atoms) {
+    std::vector<std::string> args;
+    for (VarId v : a.Vars()) args.push_back(vars[v].name);
+    std::string atom_str = a.alias + "(" + Join(args, ",") + ")";
+    if (a.alias != a.relation) atom_str += "[" + a.relation + "]";
+    body.push_back(std::move(atom_str));
+  }
+  out += Join(body, ", ") + ".";
+  return out;
+}
+
+}  // namespace htqo

@@ -1,0 +1,100 @@
+// Conjunctive-query model (Section 2 of the paper).
+//
+// A ConjunctiveQuery is the structural skeleton extracted from a SQL
+// statement: atoms (one per FROM entry), variables (one per equivalence
+// class of attributes joined by equality, plus one per attribute used in the
+// SELECT/GROUP BY), the output variables out(Q), and per-atom selection
+// predicates (comparisons against constants), which are applied at scan time
+// and deliberately do not appear in the hypergraph — exactly as in the
+// paper's Example 1, where region(RegionKey) drops the filtered r_name.
+
+#ifndef HTQO_CQ_CONJUNCTIVE_QUERY_H_
+#define HTQO_CQ_CONJUNCTIVE_QUERY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "storage/value.h"
+
+namespace htqo {
+
+using VarId = std::size_t;
+
+struct VarInfo {
+  std::string name;    // unique within the query, derived from an attribute
+  bool is_tid = false;  // synthetic tuple-id variable (bag-semantics device)
+};
+
+// One (column -> variable) binding inside an atom. A variable may bind
+// several columns of the same atom (e.g. WHERE r.a = r.b).
+struct AtomBinding {
+  std::size_t column;  // column index in the base relation's schema
+  VarId var;
+};
+
+// Selection predicate local to an atom: column <op> constant, or — when
+// `in_values` is non-empty — a membership test column IN {values} (op and
+// value are then unused). The column name is carried alongside the index so
+// the SQL view rewriter can render the predicate without re-resolving
+// schemas.
+struct AtomFilter {
+  std::size_t column;
+  CompareOp op;
+  Value value;
+  std::string column_name;
+  std::vector<Value> in_values;
+  bool negated = false;  // NOT IN (membership filters only)
+
+  // Does `v` satisfy this filter?
+  bool Matches(const Value& v) const;
+};
+
+// Same-atom column/column comparison (non-equality ops allowed locally).
+struct LocalComparison {
+  std::size_t lcolumn;
+  std::size_t rcolumn;
+  CompareOp op;
+  std::string lcolumn_name;
+  std::string rcolumn_name;
+};
+
+struct Atom {
+  std::string relation;  // base relation (catalog key, lowercase)
+  std::string alias;     // unique within the query (lowercase)
+  std::vector<AtomBinding> bindings;
+  std::vector<AtomFilter> filters;
+  std::vector<LocalComparison> local_comparisons;
+
+  bool has_tid = false;  // true when a tuple-id variable was materialized
+  VarId tid_var = 0;
+
+  // Distinct variable ids bound by this atom, tid included, in first-binding
+  // order (tid last).
+  std::vector<VarId> Vars() const;
+};
+
+struct ConjunctiveQuery {
+  std::vector<VarInfo> vars;
+  std::vector<Atom> atoms;
+  // out(Q): variables of attributes in the SELECT list (including aggregate
+  // arguments) and GROUP BY, plus any tuple-id variables required to
+  // preserve multiplicities. In first-appearance order, duplicates removed.
+  std::vector<VarId> output_vars;
+
+  // True when the WHERE clause contains a constant condition that folded to
+  // false; the answer is empty regardless of the data.
+  bool always_false = false;
+
+  std::size_t NumVars() const { return vars.size(); }
+  std::size_t NumAtoms() const { return atoms.size(); }
+
+  // Datalog-style rendering, e.g.
+  //   ans(CustKey,Name) <- customer(CustKey,NationKey), nation(Name,...).
+  std::string ToString() const;
+};
+
+}  // namespace htqo
+
+#endif  // HTQO_CQ_CONJUNCTIVE_QUERY_H_

@@ -1,0 +1,26 @@
+#include "cq/hypergraph_builder.h"
+
+namespace htqo {
+
+Hypergraph BuildHypergraph(const ConjunctiveQuery& cq) {
+  std::vector<std::string> vertex_names;
+  vertex_names.reserve(cq.vars.size());
+  for (const VarInfo& v : cq.vars) vertex_names.push_back(v.name);
+  std::vector<std::string> edge_names;
+  edge_names.reserve(cq.atoms.size());
+  for (const Atom& a : cq.atoms) edge_names.push_back(a.alias);
+  Hypergraph h(cq.vars.size(), std::move(vertex_names),
+               std::move(edge_names));
+  for (const Atom& a : cq.atoms) {
+    h.AddEdge(a.Vars());
+  }
+  return h;
+}
+
+Bitset OutputVarsBitset(const ConjunctiveQuery& cq) {
+  Bitset out(cq.vars.size());
+  for (VarId v : cq.output_vars) out.Set(v);
+  return out;
+}
+
+}  // namespace htqo

@@ -1,0 +1,20 @@
+// H(Q): the hypergraph of a conjunctive query (Section 2). One vertex per
+// variable, one hyperedge per atom (edge index == atom index), names taken
+// from the CQ so decompositions print readably.
+
+#ifndef HTQO_CQ_HYPERGRAPH_BUILDER_H_
+#define HTQO_CQ_HYPERGRAPH_BUILDER_H_
+
+#include "cq/conjunctive_query.h"
+#include "hypergraph/hypergraph.h"
+
+namespace htqo {
+
+Hypergraph BuildHypergraph(const ConjunctiveQuery& cq);
+
+// out(Q) as a vertex bitset of H(Q).
+Bitset OutputVarsBitset(const ConjunctiveQuery& cq);
+
+}  // namespace htqo
+
+#endif  // HTQO_CQ_HYPERGRAPH_BUILDER_H_

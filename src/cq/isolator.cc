@@ -1,0 +1,505 @@
+#include "cq/isolator.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "util/strings.h"
+
+namespace htqo {
+
+namespace {
+
+// A resolved attribute: column `column` of the atom at index `atom`.
+struct AttrRef {
+  std::size_t atom;
+  std::size_t column;
+
+  bool operator<(const AttrRef& other) const {
+    return atom != other.atom ? atom < other.atom : column < other.column;
+  }
+  bool operator==(const AttrRef& other) const {
+    return atom == other.atom && column == other.column;
+  }
+};
+
+// Union-find over attribute refs, keyed through a map.
+class AttrUnionFind {
+ public:
+  std::size_t Id(const AttrRef& a) {
+    auto it = index_.find(a);
+    if (it != index_.end()) return it->second;
+    std::size_t id = parent_.size();
+    index_.emplace(a, id);
+    parent_.push_back(id);
+    attrs_.push_back(a);
+    return id;
+  }
+
+  std::size_t Find(std::size_t i) {
+    while (parent_[i] != i) {
+      parent_[i] = parent_[parent_[i]];
+      i = parent_[i];
+    }
+    return i;
+  }
+
+  void Union(std::size_t a, std::size_t b) { parent_[Find(a)] = Find(b); }
+
+  std::size_t size() const { return parent_.size(); }
+  const AttrRef& attr(std::size_t i) const { return attrs_[i]; }
+
+ private:
+  std::map<AttrRef, std::size_t> index_;
+  std::vector<std::size_t> parent_;
+  std::vector<AttrRef> attrs_;
+};
+
+// Evaluates an expression containing no column references; nullopt when the
+// expression does reference a column or uses an unsupported construct.
+std::optional<Value> FoldConstant(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kColumnRef:
+    case ExprKind::kAggregate:
+    case ExprKind::kScalarSubquery:
+      return std::nullopt;
+    case ExprKind::kBinary: {
+      auto l = FoldConstant(*e.lhs);
+      auto r = FoldConstant(*e.rhs);
+      if (!l || !r) return std::nullopt;
+      if (!l->IsNumeric() || !r->IsNumeric()) return std::nullopt;
+      double a = l->AsDouble();
+      double b = r->AsDouble();
+      double out = 0;
+      switch (e.op) {
+        case '+':
+          out = a + b;
+          break;
+        case '-':
+          out = a - b;
+          break;
+        case '*':
+          out = a * b;
+          break;
+        case '/':
+          out = b == 0 ? 0 : a / b;
+          break;
+        default:
+          return std::nullopt;
+      }
+      // Keep integers integral when both operands were.
+      if (l->type() == ValueType::kInt64 && r->type() == ValueType::kInt64 &&
+          e.op != '/') {
+        return Value::Int64(static_cast<int64_t>(out));
+      }
+      return Value::Double(out);
+    }
+  }
+  return std::nullopt;
+}
+
+CompareOp MirrorOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    default:
+      return op;  // = and <> are symmetric
+  }
+}
+
+}  // namespace
+
+Result<VarId> ResolvedQuery::VarOf(const std::string& alias,
+                                   const std::string& column) const {
+  auto it = var_of.find({ToLower(alias), ToLower(column)});
+  if (it == var_of.end()) {
+    return Status::InvalidArgument("attribute " + alias + "." + column +
+                                   " has no variable");
+  }
+  return it->second;
+}
+
+Result<VarId> ResolvedQuery::ResolveRef(const Expr& column_ref) const {
+  HTQO_CHECK(column_ref.kind == ExprKind::kColumnRef);
+  if (!column_ref.table.empty()) {
+    return VarOf(column_ref.table, column_ref.column);
+  }
+  std::string column = ToLower(column_ref.column);
+  std::optional<VarId> found;
+  for (const auto& [key, var] : var_of) {
+    if (key.second != column) continue;
+    if (found && *found != var) {
+      return Status::InvalidArgument("ambiguous column reference: " + column);
+    }
+    found = var;
+  }
+  if (!found) {
+    return Status::InvalidArgument("column has no variable: " + column);
+  }
+  return *found;
+}
+
+Result<ResolvedQuery> IsolateConjunctiveQuery(const SelectStatement& stmt,
+                                              const Catalog& catalog,
+                                              const IsolatorOptions& options) {
+  ResolvedQuery out;
+  out.stmt = stmt.Clone();
+  ConjunctiveQuery& cq = out.cq;
+
+  if (stmt.from.empty()) {
+    return Status::InvalidArgument("query has no FROM clause");
+  }
+  for (const SelectItem& item : stmt.items) {
+    if (item.expr.ContainsScalarSubquery()) {
+      return Status::InvalidArgument(
+          "scalar subqueries are supported in WHERE only");
+    }
+  }
+  for (const Comparison& hv : stmt.having) {
+    if (hv.lhs.ContainsScalarSubquery() || hv.rhs.ContainsScalarSubquery()) {
+      return Status::InvalidArgument(
+          "scalar subqueries are supported in WHERE only");
+    }
+  }
+  for (const Comparison& cmp : stmt.where) {
+    if (cmp.lhs.ContainsScalarSubquery() ||
+        cmp.rhs.ContainsScalarSubquery()) {
+      return Status::InvalidArgument(
+          "scalar subqueries must be materialized before isolation "
+          "(HybridOptimizer::Run does this automatically)");
+    }
+  }
+
+  // -- Atoms, one per FROM entry. ------------------------------------------
+  std::vector<const Relation*> base;  // schema source per atom
+  std::map<std::string, std::size_t> alias_index;
+  for (const TableRef& t : stmt.from) {
+    if (t.IsDerived()) {
+      return Status::InvalidArgument(
+          "derived tables must be materialized before isolation "
+          "(HybridOptimizer::Run does this automatically)");
+    }
+  }
+  for (const TableRef& t : stmt.from) {
+    std::string rel = ToLower(t.name);
+    std::string alias = ToLower(t.alias);
+    auto rel_ptr = catalog.Get(rel);
+    if (!rel_ptr.ok()) return rel_ptr.status();
+    if (alias_index.count(alias) > 0) {
+      return Status::InvalidArgument("duplicate alias in FROM: " + alias);
+    }
+    alias_index[alias] = cq.atoms.size();
+    Atom atom;
+    atom.relation = rel;
+    atom.alias = alias;
+    cq.atoms.push_back(std::move(atom));
+    base.push_back(rel_ptr.value());
+  }
+
+  // -- Attribute resolution. ------------------------------------------------
+  auto resolve = [&](const Expr& col) -> Result<AttrRef> {
+    HTQO_DCHECK(col.kind == ExprKind::kColumnRef);
+    std::string column = ToLower(col.column);
+    if (!col.table.empty()) {
+      auto it = alias_index.find(ToLower(col.table));
+      if (it == alias_index.end()) {
+        return Status::InvalidArgument("unknown alias: " + col.table);
+      }
+      auto idx = base[it->second]->schema().IndexOf(column);
+      if (!idx) {
+        return Status::InvalidArgument("relation " +
+                                       cq.atoms[it->second].relation +
+                                       " has no column " + column);
+      }
+      return AttrRef{it->second, *idx};
+    }
+    std::optional<AttrRef> found;
+    for (std::size_t a = 0; a < cq.atoms.size(); ++a) {
+      auto idx = base[a]->schema().IndexOf(column);
+      if (idx) {
+        if (found) {
+          return Status::InvalidArgument("ambiguous column: " + column);
+        }
+        found = AttrRef{a, *idx};
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("unknown column: " + column);
+    }
+    return *found;
+  };
+
+  // -- WHERE conditions. -----------------------------------------------------
+  AttrUnionFind uf;
+  std::vector<std::pair<std::size_t, std::size_t>> equalities;  // uf ids
+  for (const Comparison& cmp : stmt.where) {
+    auto lconst = FoldConstant(cmp.lhs);
+    auto rconst = FoldConstant(cmp.rhs);
+    if (lconst && rconst) {
+      if (!EvalCompare(cmp.op, *lconst, *rconst)) {
+        cq.always_false = true;
+      }
+      continue;
+    }
+    const bool l_is_col = cmp.lhs.kind == ExprKind::kColumnRef;
+    const bool r_is_col = cmp.rhs.kind == ExprKind::kColumnRef;
+    auto column_name = [&](const AttrRef& a) {
+      return ToLower(base[a.atom]->schema().column(a.column).name);
+    };
+    if (l_is_col && rconst) {
+      auto attr = resolve(cmp.lhs);
+      if (!attr.ok()) return attr.status();
+      AtomFilter filter;
+      filter.column = attr->column;
+      filter.op = cmp.op;
+      filter.value = *rconst;
+      filter.column_name = column_name(*attr);
+      cq.atoms[attr->atom].filters.push_back(std::move(filter));
+      continue;
+    }
+    if (r_is_col && lconst) {
+      auto attr = resolve(cmp.rhs);
+      if (!attr.ok()) return attr.status();
+      AtomFilter filter;
+      filter.column = attr->column;
+      filter.op = MirrorOp(cmp.op);
+      filter.value = *lconst;
+      filter.column_name = column_name(*attr);
+      cq.atoms[attr->atom].filters.push_back(std::move(filter));
+      continue;
+    }
+    if (l_is_col && r_is_col) {
+      auto la = resolve(cmp.lhs);
+      if (!la.ok()) return la.status();
+      auto ra = resolve(cmp.rhs);
+      if (!ra.ok()) return ra.status();
+      if (cmp.op == CompareOp::kEq) {
+        uf.Union(uf.Id(*la), uf.Id(*ra));
+        continue;
+      }
+      if (la->atom == ra->atom) {
+        cq.atoms[la->atom].local_comparisons.push_back(
+            LocalComparison{la->column, ra->column, cmp.op, column_name(*la),
+                            column_name(*ra)});
+        continue;
+      }
+      return Status::InvalidArgument(
+          "cross-relation non-equality comparison is outside the supported "
+          "fragment: " + cmp.ToString());
+    }
+    return Status::InvalidArgument("unsupported WHERE condition: " +
+                                   cmp.ToString());
+  }
+
+  // -- IN conjuncts. ----------------------------------------------------------
+  for (const InCondition& cond : stmt.where_in) {
+    if (cond.subquery != nullptr) {
+      return Status::InvalidArgument(
+          "IN (SELECT ...) must be rewritten before isolation "
+          "(HybridOptimizer::Run does this automatically)");
+    }
+    if (cond.lhs.kind != ExprKind::kColumnRef) {
+      return Status::InvalidArgument(
+          "IN requires a bare column on the left: " + cond.ToString());
+    }
+    auto attr = resolve(cond.lhs);
+    if (!attr.ok()) return attr.status();
+    AtomFilter filter;
+    filter.column = attr->column;
+    filter.op = CompareOp::kEq;
+    filter.column_name =
+        ToLower(base[attr->atom]->schema().column(attr->column).name);
+    filter.in_values = cond.values;
+    filter.negated = cond.negated;
+    cq.atoms[attr->atom].filters.push_back(std::move(filter));
+  }
+
+  // -- Attributes needing variables: SELECT + GROUP BY references. ----------
+  std::vector<AttrRef> needed;  // in appearance order
+  auto need = [&](const Expr& col) -> Status {
+    auto attr = resolve(col);
+    if (!attr.ok()) return attr.status();
+    uf.Id(*attr);  // ensure present in union-find
+    needed.push_back(*attr);
+    return Status::Ok();
+  };
+  std::vector<const Expr*> select_refs;
+  for (const SelectItem& item : stmt.items) {
+    item.expr.CollectColumnRefs(&select_refs);
+  }
+  for (const Comparison& hv : stmt.having) {
+    hv.lhs.CollectColumnRefs(&select_refs);
+    hv.rhs.CollectColumnRefs(&select_refs);
+  }
+  for (const Expr* col : select_refs) {
+    Status s = need(*col);
+    if (!s.ok()) return s;
+  }
+  for (const Expr& g : stmt.group_by) {
+    if (g.kind != ExprKind::kColumnRef) {
+      return Status::InvalidArgument("GROUP BY supports column references only");
+    }
+    Status s = need(g);
+    if (!s.ok()) return s;
+  }
+
+  // -- Variables: one per union-find class. ----------------------------------
+  // Iterate classes in a deterministic order (smallest member attr).
+  std::map<std::size_t, std::vector<std::size_t>> classes;  // root -> members
+  for (std::size_t i = 0; i < uf.size(); ++i) {
+    classes[uf.Find(i)].push_back(i);
+  }
+  std::set<std::string> used_names;
+  std::map<std::size_t, VarId> var_of_root;
+  // Order classes by their smallest attribute for stable output.
+  std::vector<std::pair<AttrRef, std::size_t>> ordered_classes;
+  for (const auto& [root, members] : classes) {
+    AttrRef smallest = uf.attr(members[0]);
+    for (std::size_t m : members) {
+      smallest = std::min(smallest, uf.attr(m));
+    }
+    ordered_classes.emplace_back(smallest, root);
+  }
+  std::sort(ordered_classes.begin(), ordered_classes.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  for (const auto& [smallest, root] : ordered_classes) {
+    VarId var = cq.vars.size();
+    std::string base_name =
+        base[smallest.atom]->schema().column(smallest.column).name;
+    std::string name = base_name;
+    int suffix = 2;
+    while (used_names.count(name) > 0) {
+      name = base_name + "_" + std::to_string(suffix++);
+    }
+    used_names.insert(name);
+    cq.vars.push_back(VarInfo{name, /*is_tid=*/false});
+    var_of_root[root] = var;
+    for (std::size_t m : classes[root]) {
+      const AttrRef& a = uf.attr(m);
+      cq.atoms[a.atom].bindings.push_back(AtomBinding{a.column, var});
+      out.var_of[{cq.atoms[a.atom].alias,
+                  ToLower(base[a.atom]->schema().column(a.column).name)}] =
+          var;
+    }
+  }
+
+  // -- out(Q). ----------------------------------------------------------------
+  auto add_output = [&](VarId v) {
+    if (std::find(cq.output_vars.begin(), cq.output_vars.end(), v) ==
+        cq.output_vars.end()) {
+      cq.output_vars.push_back(v);
+    }
+  };
+  for (const AttrRef& a : needed) {
+    add_output(var_of_root.at(uf.Find(uf.Id(a))));
+  }
+
+  // -- Tuple-id variables. ----------------------------------------------------
+  std::set<std::size_t> tid_atoms;
+  if (options.tid_mode == TidMode::kAllAtoms) {
+    for (std::size_t a = 0; a < cq.atoms.size(); ++a) tid_atoms.insert(a);
+  } else if (options.tid_mode == TidMode::kAggregatesOnly) {
+    // count(*) counts join rows, so it needs the multiplicities of every
+    // atom; argument-bearing aggregates need their source atoms'.
+    std::function<bool(const Expr&)> has_count_star = [&](const Expr& e) {
+      if (e.kind == ExprKind::kAggregate && e.lhs == nullptr) return true;
+      if (e.lhs && has_count_star(*e.lhs)) return true;
+      if (e.rhs && has_count_star(*e.rhs)) return true;
+      return false;
+    };
+    // Expressions whose aggregates need multiplicity: the select list and
+    // the HAVING conjuncts.
+    std::vector<const Expr*> agg_scopes;
+    for (const SelectItem& item : stmt.items) agg_scopes.push_back(&item.expr);
+    for (const Comparison& hv : stmt.having) {
+      agg_scopes.push_back(&hv.lhs);
+      agg_scopes.push_back(&hv.rhs);
+    }
+    bool all_atoms = false;
+    for (const Expr* e : agg_scopes) {
+      if (has_count_star(*e)) all_atoms = true;
+    }
+    if (all_atoms) {
+      for (std::size_t a = 0; a < cq.atoms.size(); ++a) tid_atoms.insert(a);
+    } else {
+      for (const Expr* e : agg_scopes) {
+        if (!e->ContainsAggregate()) continue;
+        std::vector<const Expr*> refs;
+        e->CollectColumnRefs(&refs);
+        for (const Expr* col : refs) {
+          auto attr = resolve(*col);
+          if (!attr.ok()) return attr.status();
+          tid_atoms.insert(attr->atom);
+        }
+      }
+    }
+  }
+  for (std::size_t a : tid_atoms) {
+    VarId var = cq.vars.size();
+    std::string name = cq.atoms[a].alias + "$tid";
+    cq.vars.push_back(VarInfo{name, /*is_tid=*/true});
+    cq.atoms[a].has_tid = true;
+    cq.atoms[a].tid_var = var;
+    add_output(var);
+  }
+
+  // -- Validation. -------------------------------------------------------------
+  for (const Atom& atom : cq.atoms) {
+    if (atom.bindings.empty() && !atom.has_tid) {
+      return Status::InvalidArgument(
+          "relation " + atom.alias +
+          " participates in no join and exports no attribute (pure "
+          "cross-product factor); outside the supported fragment");
+    }
+  }
+  if (stmt.HasAggregates() || !stmt.having.empty()) {
+    // Every bare (non-aggregated) column reference in the SELECT list and
+    // HAVING conjuncts must be grouped.
+    std::set<VarId> grouped;
+    for (const Expr& g : stmt.group_by) {
+      auto attr = resolve(g);
+      if (!attr.ok()) return attr.status();
+      grouped.insert(var_of_root.at(uf.Find(uf.Id(*attr))));
+    }
+    // Collects column refs outside any aggregate subtree.
+    std::function<void(const Expr&, std::vector<const Expr*>*)> bare_refs =
+        [&](const Expr& e, std::vector<const Expr*>* out) {
+          if (e.kind == ExprKind::kAggregate) return;  // skip agg arguments
+          if (e.kind == ExprKind::kColumnRef) {
+            out->push_back(&e);
+            return;
+          }
+          if (e.lhs) bare_refs(*e.lhs, out);
+          if (e.rhs) bare_refs(*e.rhs, out);
+        };
+    std::vector<const Expr*> refs;
+    for (const SelectItem& item : stmt.items) bare_refs(item.expr, &refs);
+    for (const Comparison& hv : stmt.having) {
+      bare_refs(hv.lhs, &refs);
+      bare_refs(hv.rhs, &refs);
+    }
+    for (const Expr* col : refs) {
+      auto attr = resolve(*col);
+      if (!attr.ok()) return attr.status();
+      VarId v = var_of_root.at(uf.Find(uf.Id(*attr)));
+      if (grouped.count(v) == 0) {
+        return Status::InvalidArgument(
+            "column " + col->column +
+            " must appear in GROUP BY or inside an aggregate");
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace htqo

@@ -1,0 +1,76 @@
+// The Conjunctive Query Isolator (Fig. 5): SQL statement -> CQ(Q).
+//
+// Follows Section 2 of the paper: every set of attributes connected by
+// equality conditions forms an equivalence class and yields one variable;
+// attributes used in SELECT/GROUP BY but in no equality condition yield one
+// variable each; comparisons against constants become atom-local filters and
+// do not enter the hypergraph.
+//
+// Extension beyond the paper's Boolean fragment (its point (2)): tuple-id
+// variables. SQL aggregates are bag-semantics, CQ evaluation is
+// set-semantics. The isolator optionally appends the "fresh variable" of
+// Section 2 (a synthetic tuple id) to atoms so that multiplicities survive:
+// kAggregatesOnly adds it to atoms feeding aggregate arguments (the default),
+// kAllAtoms to every atom (full SQL bag equivalence, used by tests), kNone
+// reproduces the paper's pure set semantics.
+
+#ifndef HTQO_CQ_ISOLATOR_H_
+#define HTQO_CQ_ISOLATOR_H_
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "cq/conjunctive_query.h"
+#include "sql/ast.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace htqo {
+
+enum class TidMode {
+  kNone,            // pure set semantics (paper default)
+  kAggregatesOnly,  // preserve multiplicities of aggregate sources
+  kAllAtoms,        // full bag semantics
+};
+
+struct IsolatorOptions {
+  TidMode tid_mode = TidMode::kAggregatesOnly;
+};
+
+// The isolation result: the CQ plus the bridge back to SQL semantics.
+struct ResolvedQuery {
+  ConjunctiveQuery cq;
+  SelectStatement stmt;  // the statement the CQ was isolated from
+
+  // (alias, lowercase column name) -> variable, for every attribute that
+  // received a variable. Used to evaluate SELECT expressions over the CQ
+  // answer relation.
+  std::map<std::pair<std::string, std::string>, VarId> var_of;
+
+  // Variable bound to (alias, column); InvalidArgument when the attribute
+  // has no variable (it was only filtered against constants).
+  Result<VarId> VarOf(const std::string& alias,
+                      const std::string& column) const;
+
+  // Variable for a column-reference expression. Qualified references look up
+  // (alias, column); unqualified ones match by column name across atoms and
+  // must resolve to a single variable.
+  Result<VarId> ResolveRef(const Expr& column_ref) const;
+};
+
+// Computes CQ(Q) for `stmt` against the schemas in `catalog`.
+//
+// Rejected inputs (with InvalidArgument): unknown relations/columns,
+// ambiguous unqualified columns, cross-atom non-equality comparisons (theta
+// joins — outside the paper's fragment), atoms left with no variables
+// (pure cross-product factors), and aggregates mixed with bare non-grouped
+// columns.
+Result<ResolvedQuery> IsolateConjunctiveQuery(const SelectStatement& stmt,
+                                              const Catalog& catalog,
+                                              const IsolatorOptions& options =
+                                                  IsolatorOptions());
+
+}  // namespace htqo
+
+#endif  // HTQO_CQ_ISOLATOR_H_

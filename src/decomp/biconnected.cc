@@ -1,0 +1,102 @@
+#include "decomp/biconnected.h"
+
+#include <algorithm>
+
+#include "decomp/tree_decomposition.h"
+
+namespace htqo {
+
+std::size_t BiconnectedDecomposition::Width() const {
+  std::size_t w = 0;
+  for (const Bitset& b : blocks) w = std::max(w, b.Count());
+  return w;
+}
+
+BiconnectedDecomposition BiconnectedComponents(const Hypergraph& h) {
+  const std::size_t n = h.NumVertices();
+  BiconnectedDecomposition out;
+  if (n == 0) return out;
+
+  std::vector<Bitset> adjacency = PrimalGraph(h);
+
+  // Iterative Hopcroft–Tarjan with an explicit edge stack.
+  std::vector<int> depth(n, -1);
+  std::vector<int> low(n, 0);
+  std::vector<std::size_t> parent(n, n);
+  std::vector<bool> is_cut(n, false);
+  std::vector<std::pair<std::size_t, std::size_t>> edge_stack;
+
+  for (std::size_t start = 0; start < n; ++start) {
+    if (depth[start] != -1) continue;
+
+    struct Frame {
+      std::size_t v;
+      std::vector<std::size_t> nbrs;
+      std::size_t next = 0;
+      std::size_t tree_children = 0;
+    };
+    std::vector<Frame> stack;
+    stack.push_back(Frame{start, adjacency[start].ToVector(), 0, 0});
+    depth[start] = 0;
+    low[start] = 0;
+
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      std::size_t v = frame.v;
+      if (frame.next < frame.nbrs.size()) {
+        std::size_t u = frame.nbrs[frame.next++];
+        if (depth[u] == -1) {
+          // Tree edge.
+          parent[u] = v;
+          depth[u] = depth[v] + 1;
+          low[u] = depth[u];
+          edge_stack.emplace_back(v, u);
+          ++frame.tree_children;
+          stack.push_back(Frame{u, adjacency[u].ToVector(), 0, 0});
+        } else if (u != parent[v] && depth[u] < depth[v]) {
+          // Back edge.
+          edge_stack.emplace_back(v, u);
+          low[v] = std::min(low[v], depth[u]);
+        }
+      } else {
+        stack.pop_back();
+        if (stack.empty()) {
+          // Root of this DFS tree: cut vertex iff >= 2 tree children.
+          if (frame.tree_children >= 2) is_cut[v] = true;
+          continue;
+        }
+        std::size_t p = stack.back().v;
+        low[p] = std::min(low[p], low[v]);
+        if (low[v] >= depth[p]) {
+          // p separates v's subtree: pop one block off the edge stack.
+          // (Non-root articulation rule; the root's >=2-children rule is
+          // applied when the root frame pops.)
+          if (depth[p] > 0) is_cut[p] = true;
+          Bitset block = h.EmptyVertexSet();
+          while (!edge_stack.empty()) {
+            auto [a, b] = edge_stack.back();
+            // Stop after popping the tree edge (p, v).
+            edge_stack.pop_back();
+            block.Set(a);
+            block.Set(b);
+            if (a == p && b == v) break;
+          }
+          if (block.Any()) out.blocks.push_back(std::move(block));
+        }
+      }
+    }
+    // Isolated vertex: its own singleton block.
+    if (adjacency[start].None()) {
+      Bitset block = h.EmptyVertexSet();
+      block.Set(start);
+      out.blocks.push_back(std::move(block));
+    }
+  }
+
+  for (std::size_t v = 0; v < n; ++v) {
+    if (is_cut[v]) out.cut_vertices.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace htqo

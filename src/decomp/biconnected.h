@@ -1,0 +1,31 @@
+// Biconnected components of the primal graph — the oldest structural
+// decomposition method the paper cites (Freuder, ref [2]). The method's
+// width is the size of the largest block; queries whose primal graph has
+// small blocks admit backtrack-bounded evaluation. Included as an analysis
+// baseline: tests compare its width against hypertree width (hw is never
+// larger on the same query).
+
+#ifndef HTQO_DECOMP_BICONNECTED_H_
+#define HTQO_DECOMP_BICONNECTED_H_
+
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace htqo {
+
+struct BiconnectedDecomposition {
+  // Vertex sets of the biconnected components (blocks) of the primal graph.
+  std::vector<Bitset> blocks;
+  // Articulation (cut) vertices.
+  std::vector<std::size_t> cut_vertices;
+
+  // max |block| — the BICOMP width.
+  std::size_t Width() const;
+};
+
+BiconnectedDecomposition BiconnectedComponents(const Hypergraph& h);
+
+}  // namespace htqo
+
+#endif  // HTQO_DECOMP_BICONNECTED_H_

@@ -1,0 +1,201 @@
+#include "decomp/cost_k_decomp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <utility>
+
+#include "decomp/separator_enum.h"
+
+namespace htqo {
+
+double StructuralCostModel::VertexRows(const Bitset& lambda,
+                                       const Bitset& chi) const {
+  (void)chi;
+  return std::pow(default_rows_, static_cast<double>(lambda.Count()));
+}
+
+double StructuralCostModel::VertexCost(const Bitset& lambda,
+                                       const Bitset& chi) const {
+  return VertexRows(lambda, chi);
+}
+
+double StatsDecompositionCostModel::DistinctOf(std::size_t v,
+                                               const Bitset& lambda) const {
+  double best = 0;
+  for (std::size_t e = lambda.FirstSet(); e < lambda.size();
+       e = lambda.NextSet(e)) {
+    if (!h_.edge(e).Test(v)) continue;
+    auto it = edges_[e].distinct.find(v);
+    double d = it != edges_[e].distinct.end() ? it->second : edges_[e].rows;
+    best = std::max(best, d);
+  }
+  return best > 0 ? best : 1000.0;
+}
+
+double StatsDecompositionCostModel::JoinRows(const Bitset& lambda) const {
+  double rows = 1.0;
+  for (std::size_t e = lambda.FirstSet(); e < lambda.size();
+       e = lambda.NextSet(e)) {
+    rows *= std::max(1.0, edges_[e].rows);
+  }
+  Bitset vars = h_.VarsOf(lambda);
+  for (std::size_t v = vars.FirstSet(); v < vars.size(); v = vars.NextSet(v)) {
+    std::size_t occurrences = 0;
+    for (std::size_t e = lambda.FirstSet(); e < lambda.size();
+         e = lambda.NextSet(e)) {
+      if (h_.edge(e).Test(v)) ++occurrences;
+    }
+    if (occurrences >= 2) {
+      double d = DistinctOf(v, lambda);
+      rows /= std::pow(std::max(1.0, d),
+                       static_cast<double>(occurrences - 1));
+    }
+  }
+  return std::max(1.0, rows);
+}
+
+double StatsDecompositionCostModel::VertexRows(const Bitset& lambda,
+                                               const Bitset& chi) const {
+  double join_rows = JoinRows(lambda);
+  // Projection onto chi: cannot exceed the product of distinct counts.
+  double cap = 1.0;
+  for (std::size_t v = chi.FirstSet(); v < chi.size(); v = chi.NextSet(v)) {
+    cap *= DistinctOf(v, lambda);
+    if (cap >= join_rows) return join_rows;  // early out, cap not binding
+  }
+  return std::max(1.0, std::min(join_rows, cap));
+}
+
+double StatsDecompositionCostModel::VertexCost(const Bitset& lambda,
+                                               const Bitset& chi) const {
+  (void)chi;
+  // Work of materializing the lambda join: simulate the evaluator's
+  // connected-first greedy fold and charge every intermediate join size —
+  // a separator of mutually disconnected edges is thereby charged its cross
+  // products.
+  std::vector<std::size_t> edges = lambda.ToVector();
+  if (edges.empty()) return 0.0;
+  std::sort(edges.begin(), edges.end(), [&](std::size_t a, std::size_t b) {
+    return edges_[a].rows < edges_[b].rows;
+  });
+  Bitset subset(lambda.size());
+  subset.Set(edges[0]);
+  Bitset covered = h_.edge(edges[0]);
+  double cost = std::max(1.0, edges_[edges[0]].rows);
+  std::vector<bool> used(edges.size(), false);
+  used[0] = true;
+  for (std::size_t step = 1; step < edges.size(); ++step) {
+    std::size_t best = edges.size();
+    bool best_connected = false;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (used[i]) continue;
+      bool conn = h_.edge(edges[i]).Intersects(covered);
+      if (best == edges.size() || (conn && !best_connected)) {
+        best = i;
+        best_connected = conn;
+      }
+    }
+    used[best] = true;
+    subset.Set(edges[best]);
+    covered |= h_.edge(edges[best]);
+    cost += JoinRows(subset) + std::max(1.0, edges_[edges[best]].rows);
+  }
+  return cost;
+}
+
+namespace {
+
+using SubproblemKey = std::pair<Bitset, Bitset>;
+
+struct Solution {
+  Bitset sep;
+  Bitset chi;
+  double rows = 0;   // estimated rows of this vertex relation
+  double cost = 0;   // total cost of the subtree rooted here
+  std::vector<SubproblemKey> children;
+};
+
+class CostSearch {
+ public:
+  CostSearch(const Hypergraph& h, std::size_t k,
+             const DecompositionCostModel& model)
+      : h_(h), k_(k), model_(model) {}
+
+  // Minimum subtree cost for the subproblem, or nullopt when infeasible.
+  const std::optional<Solution>& Decompose(const Bitset& comp,
+                                           const Bitset& conn) {
+    SubproblemKey key{comp, conn};
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    // Recursive calls only see strictly smaller components, so no cycle can
+    // reach this key before it is memoized below.
+    std::optional<Solution> best;
+    decomp_internal::ForEachSeparator(
+        h_, comp, conn, k_, [&](const Bitset& sep) {
+          Bitset chi = h_.VarsOf(sep) & (conn | h_.VarsOf(comp));
+          std::vector<Bitset> components = h_.ComponentsOf(comp, chi);
+          Solution sol;
+          sol.sep = sep;
+          sol.chi = chi;
+          sol.rows = model_.VertexRows(sep, chi);
+          sol.cost = model_.VertexCost(sep, chi);
+          for (const Bitset& child : components) {
+            if (child == comp) return false;  // no progress
+            Bitset child_conn = h_.VarsOf(child) & chi;
+            const std::optional<Solution>& sub = Decompose(child, child_conn);
+            if (!sub.has_value()) return false;
+            sol.cost += sub->cost + model_.JoinCost(sol.rows, sub->rows);
+            sol.children.emplace_back(child, child_conn);
+          }
+          if (!best.has_value() || sol.cost < best->cost) {
+            best = std::move(sol);
+          }
+          return false;  // keep enumerating: we want the minimum
+        });
+    auto [pos, inserted] = memo_.emplace(std::move(key), std::move(best));
+    HTQO_CHECK(inserted);
+    return pos->second;
+  }
+
+  void Build(const Bitset& comp, const Bitset& conn, std::size_t parent,
+             Hypertree* out) const {
+    const std::optional<Solution>& sol = memo_.at({comp, conn});
+    HTQO_CHECK(sol.has_value());
+    std::size_t node = out->AddNode(sol->chi, sol->sep, parent);
+    for (const SubproblemKey& child : sol->children) {
+      Build(child.first, child.second, node, out);
+    }
+  }
+
+ private:
+  const Hypergraph& h_;
+  std::size_t k_;
+  const DecompositionCostModel& model_;
+  std::map<SubproblemKey, std::optional<Solution>> memo_;
+};
+
+}  // namespace
+
+Result<Hypertree> CostKDecomp(const Hypergraph& h, std::size_t k,
+                              const DecompositionCostModel& model,
+                              const Bitset* root_conn) {
+  HTQO_CHECK(k >= 1);
+  if (h.NumEdges() == 0) {
+    Hypertree empty;
+    empty.AddNode(h.EmptyVertexSet(), h.EmptyEdgeSet());
+    return empty;
+  }
+  Bitset all = h.AllEdges();
+  Bitset conn = root_conn != nullptr ? *root_conn : h.EmptyVertexSet();
+  CostSearch search(h, k, model);
+  if (!search.Decompose(all, conn).has_value()) {
+    return Status::NotFound("no hypertree decomposition of width <= " +
+                            std::to_string(k));
+  }
+  Hypertree out;
+  search.Build(all, conn, HypertreeNode::kNoParent, &out);
+  return out;
+}
+
+}  // namespace htqo

@@ -1,0 +1,103 @@
+// cost-k-decomp (the fundamental module of the paper's architecture,
+// Fig. 5): search for a *minimum-cost* normal-form hypertree decomposition
+// of width at most k, following the weighted-decomposition approach of
+// Scarcello–Greco–Leone (PODS'04, the paper's ref [11]).
+//
+// The search space is the same subproblem lattice as det-k-decomp; instead
+// of stopping at the first feasible separator, every subproblem keeps the
+// separator minimizing
+//     VertexCost(sep, chi) + sum_children [ cost(child) +
+//                                           JoinCost(rows(p), rows(child)) ]
+// under a pluggable DecompositionCostModel. With statistics, the model
+// estimates intermediate-result sizes; without, a purely structural model is
+// used (the hybrid/structural axis of Section 6).
+
+#ifndef HTQO_DECOMP_COST_K_DECOMP_H_
+#define HTQO_DECOMP_COST_K_DECOMP_H_
+
+#include <map>
+#include <vector>
+
+#include "decomp/hypertree.h"
+#include "hypergraph/hypergraph.h"
+#include "util/status.h"
+
+namespace htqo {
+
+// Cost model interface for decomposition search.
+class DecompositionCostModel {
+ public:
+  virtual ~DecompositionCostModel() = default;
+
+  // Estimated rows of the vertex relation after step P' (join of lambda,
+  // projected to chi).
+  virtual double VertexRows(const Bitset& lambda, const Bitset& chi) const = 0;
+
+  // Estimated work of computing that vertex relation.
+  virtual double VertexCost(const Bitset& lambda, const Bitset& chi)
+      const = 0;
+
+  // Work of one P''-step join between a parent and child vertex relation.
+  virtual double JoinCost(double parent_rows, double child_rows) const {
+    return parent_rows + child_rows;
+  }
+};
+
+// No-statistics model: every edge contributes a default cardinality; the
+// cost is dominated by the number of joined edges per vertex, so the search
+// degenerates to "prefer narrow lambda labels" — a purely structural method.
+class StructuralCostModel : public DecompositionCostModel {
+ public:
+  explicit StructuralCostModel(double default_rows = 1000.0)
+      : default_rows_(default_rows) {}
+
+  double VertexRows(const Bitset& lambda, const Bitset& chi) const override;
+  double VertexCost(const Bitset& lambda, const Bitset& chi) const override;
+
+ private:
+  double default_rows_;
+};
+
+// Statistics-driven model. Per hyperedge: estimated rows (after atom-local
+// filters) and per-variable distinct counts. Join size estimation follows
+// the textbook formula: product of edge cardinalities divided, per shared
+// variable, by max(V)^(occurrences-1); projection onto chi caps the result
+// by the product of the chi variables' distinct counts.
+class StatsDecompositionCostModel : public DecompositionCostModel {
+ public:
+  struct EdgeStats {
+    double rows = 1000.0;
+    // distinct value estimate per hypergraph vertex bound by this edge
+    std::map<std::size_t, double> distinct;
+  };
+
+  StatsDecompositionCostModel(const Hypergraph& h,
+                              std::vector<EdgeStats> edges)
+      : h_(h), edges_(std::move(edges)) {
+    HTQO_CHECK(edges_.size() == h.NumEdges());
+  }
+
+  double VertexRows(const Bitset& lambda, const Bitset& chi) const override;
+  double VertexCost(const Bitset& lambda, const Bitset& chi) const override;
+
+  // Estimated join size of the edges in `lambda` (before projection).
+  double JoinRows(const Bitset& lambda) const;
+
+  // Largest distinct-count estimate for vertex `v` among edges of `lambda`
+  // containing it (falls back to 1000 when unknown).
+  double DistinctOf(std::size_t v, const Bitset& lambda) const;
+
+ private:
+  const Hypergraph& h_;
+  std::vector<EdgeStats> edges_;
+};
+
+// Runs the min-cost search. Returns NotFound when no decomposition of width
+// <= k exists (with *root_conn ⊆ chi(root) when root_conn is non-null).
+Result<Hypertree> CostKDecomp(const Hypergraph& h, std::size_t k,
+                              const DecompositionCostModel& model,
+                              const Bitset* root_conn = nullptr);
+
+}  // namespace htqo
+
+#endif  // HTQO_DECOMP_COST_K_DECOMP_H_

@@ -1,0 +1,100 @@
+#include "decomp/det_k_decomp.h"
+
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "decomp/separator_enum.h"
+
+namespace htqo {
+
+namespace {
+
+using SubproblemKey = std::pair<Bitset, Bitset>;  // (component, connector)
+
+struct Solution {
+  Bitset sep;
+  Bitset chi;
+  std::vector<SubproblemKey> children;
+};
+
+class DetSearch {
+ public:
+  DetSearch(const Hypergraph& h, std::size_t k) : h_(h), k_(k) {}
+
+  bool Decompose(const Bitset& comp, const Bitset& conn) {
+    SubproblemKey key{comp, conn};
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second.has_value();
+
+    std::optional<Solution> found;
+    decomp_internal::ForEachSeparator(
+        h_, comp, conn, k_, [&](const Bitset& sep) {
+          Bitset chi = h_.VarsOf(sep) & (conn | h_.VarsOf(comp));
+          std::vector<Bitset> components = h_.ComponentsOf(comp, chi);
+          Solution sol;
+          sol.sep = sep;
+          sol.chi = chi;
+          for (const Bitset& child : components) {
+            if (child == comp) return false;  // no progress, next separator
+            Bitset child_conn = h_.VarsOf(child) & chi;
+            if (!Decompose(child, child_conn)) return false;
+            sol.children.emplace_back(child, child_conn);
+          }
+          found = std::move(sol);
+          return true;  // stop enumeration
+        });
+    memo_.emplace(std::move(key), std::move(found));
+    return memo_.at({comp, conn}).has_value();
+  }
+
+  // Rebuilds the hypertree from the memoized solutions.
+  void Build(const Bitset& comp, const Bitset& conn, std::size_t parent,
+             Hypertree* out) const {
+    const std::optional<Solution>& sol = memo_.at({comp, conn});
+    HTQO_CHECK(sol.has_value());
+    std::size_t node = out->AddNode(sol->chi, sol->sep, parent);
+    for (const SubproblemKey& child : sol->children) {
+      Build(child.first, child.second, node, out);
+    }
+  }
+
+ private:
+  const Hypergraph& h_;
+  std::size_t k_;
+  std::map<SubproblemKey, std::optional<Solution>> memo_;
+};
+
+}  // namespace
+
+Result<Hypertree> DetKDecomp(const Hypergraph& h, std::size_t k,
+                             const Bitset* root_conn) {
+  HTQO_CHECK(k >= 1);
+  Bitset all = h.AllEdges();
+  Bitset conn = root_conn != nullptr ? *root_conn : h.EmptyVertexSet();
+  if (h.NumEdges() == 0) {
+    Hypertree empty;
+    empty.AddNode(h.EmptyVertexSet(), h.EmptyEdgeSet());
+    return empty;
+  }
+  DetSearch search(h, k);
+  if (!search.Decompose(all, conn)) {
+    return Status::NotFound("no hypertree decomposition of width <= " +
+                            std::to_string(k));
+  }
+  Hypertree out;
+  search.Build(all, conn, HypertreeNode::kNoParent, &out);
+  return out;
+}
+
+Result<std::size_t> ComputeHypertreeWidth(const Hypergraph& h,
+                                          std::size_t max_k) {
+  if (h.NumEdges() == 0) return std::size_t{0};
+  for (std::size_t k = 1; k <= max_k; ++k) {
+    auto hd = DetKDecomp(h, k);
+    if (hd.ok()) return k;
+  }
+  return Status::NotFound("hypertree width exceeds " + std::to_string(max_k));
+}
+
+}  // namespace htqo

@@ -1,0 +1,31 @@
+// det-k-decomp: deterministic search for normal-form hypertree
+// decompositions of width at most k (Gottlob–Samer style backtracking with
+// memoization over (component, connector) subproblems).
+//
+// The optional `root_conn` argument forces the root lambda to cover a given
+// variable set — with root_conn = out(Q) this yields exactly the rooted
+// decompositions required by Condition 2 of Definition 2 (Fig. 4).
+
+#ifndef HTQO_DECOMP_DET_K_DECOMP_H_
+#define HTQO_DECOMP_DET_K_DECOMP_H_
+
+#include "decomp/hypertree.h"
+#include "hypergraph/hypergraph.h"
+#include "util/status.h"
+
+namespace htqo {
+
+// Returns a width-<=k hypertree decomposition of `h`, or NotFound when none
+// exists. When `root_conn` is non-null, additionally requires
+// *root_conn ⊆ chi(root).
+Result<Hypertree> DetKDecomp(const Hypergraph& h, std::size_t k,
+                             const Bitset* root_conn = nullptr);
+
+// Exact hypertree width of `h`, computed by trying k = 1..max_k; NotFound
+// when hw(h) > max_k. Edgeless hypergraphs have width 0.
+Result<std::size_t> ComputeHypertreeWidth(const Hypergraph& h,
+                                          std::size_t max_k);
+
+}  // namespace htqo
+
+#endif  // HTQO_DECOMP_DET_K_DECOMP_H_

@@ -1,0 +1,152 @@
+#include "decomp/hinge.h"
+
+#include <functional>
+
+namespace htqo {
+
+std::size_t HingeTree::Width() const {
+  std::size_t w = 0;
+  for (const Node& n : nodes) w = std::max(w, n.edges.Count());
+  return w;
+}
+
+bool IsHinge(const Hypergraph& h, const Bitset& universe,
+             const Bitset& candidate) {
+  HTQO_DCHECK(candidate.IsSubsetOf(universe));
+  Bitset rest = universe - candidate;
+  if (rest.None()) return true;  // F = universe is trivially a hinge
+  Bitset hinge_vars = h.VarsOf(candidate);
+  for (const Bitset& component :
+       h.ComponentsOf(rest, h.EmptyVertexSet())) {
+    Bitset shared = h.VarsOf(component) & hinge_vars;
+    bool covered = false;
+    for (std::size_t e = candidate.FirstSet(); e < candidate.size();
+         e = candidate.NextSet(e)) {
+      if (shared.IsSubsetOf(h.edge(e))) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// The F-edge a component hangs on (precondition: IsHinge held).
+std::size_t HangingEdge(const Hypergraph& h, const Bitset& hinge,
+                        const Bitset& component) {
+  Bitset shared = h.VarsOf(component) & h.VarsOf(hinge);
+  for (std::size_t e = hinge.FirstSet(); e < hinge.size();
+       e = hinge.NextSet(e)) {
+    if (shared.IsSubsetOf(h.edge(e))) return e;
+  }
+  HTQO_CHECK(false);
+  return 0;
+}
+
+// Smallest proper hinge (>= 2 edges) of the sub-hypergraph `scope`
+// containing `required` (pass scope.size() for "no requirement"), or an
+// empty bitset when none exists (scope itself is a minimal hinge). In the
+// GJC construction a child node's hinge must contain the edge it hangs on,
+// so adjacent tree nodes share exactly that edge.
+Bitset SmallestProperHinge(const Hypergraph& h, const Bitset& scope,
+                           std::size_t required) {
+  std::vector<std::size_t> edges;
+  for (std::size_t e : scope.ToVector()) {
+    if (e != required) edges.push_back(e);
+  }
+  const bool has_required = required < scope.size();
+  const std::size_t free_budget_offset = has_required ? 1 : 0;
+  const std::size_t n = edges.size();
+  for (std::size_t size = 2; size < scope.Count(); ++size) {
+    if (size < free_budget_offset) continue;
+    const std::size_t free_picks = size - free_budget_offset;
+    if (free_picks > n) continue;
+    std::vector<std::size_t> pick(free_picks);
+    std::function<bool(std::size_t, std::size_t)> recurse =
+        [&](std::size_t start, std::size_t chosen) -> bool {
+      if (chosen == free_picks) {
+        Bitset candidate(scope.size());
+        if (has_required) candidate.Set(required);
+        for (std::size_t i : pick) candidate.Set(i);
+        return IsHinge(h, scope, candidate);
+      }
+      for (std::size_t i = start; i < n; ++i) {
+        pick[chosen] = edges[i];
+        if (recurse(i + 1, chosen + 1)) return true;
+      }
+      return false;
+    };
+    if (recurse(0, 0)) {
+      Bitset out(scope.size());
+      if (has_required) out.Set(required);
+      for (std::size_t i : pick) out.Set(i);
+      return out;
+    }
+  }
+  return Bitset(scope.size());  // none: scope is a minimal hinge
+}
+
+}  // namespace
+
+Result<HingeTree> BuildHingeTree(const Hypergraph& h, const Bitset& universe) {
+  if (universe.None()) {
+    return Status::InvalidArgument("empty edge set has no hinge tree");
+  }
+  if (h.ComponentsOf(universe, h.EmptyVertexSet()).size() != 1) {
+    return Status::InvalidArgument(
+        "hinge trees are defined for connected hypergraphs; decompose per "
+        "component (DegreeOfCyclicity does)");
+  }
+
+  HingeTree tree;
+  // Recursive splitting: each call owns one node's scope (which must
+  // contain `required`, the edge shared with the parent) and returns its id.
+  std::function<std::size_t(const Bitset&, std::size_t, std::size_t)> build =
+      [&](const Bitset& scope, std::size_t required,
+          std::size_t parent) -> std::size_t {
+    Bitset hinge = scope.Count() >= 3
+                       ? SmallestProperHinge(h, scope, required)
+                       : Bitset(scope.size());
+    if (hinge.None()) hinge = scope;  // scope itself is minimal
+
+    std::size_t id = tree.nodes.size();
+    HingeTree::Node node;
+    node.edges = hinge;
+    node.parent = parent;
+    tree.nodes.push_back(std::move(node));
+    if (parent != static_cast<std::size_t>(-1)) {
+      tree.nodes[parent].children.push_back(id);
+    }
+
+    if (hinge != scope) {
+      Bitset rest = scope - hinge;
+      for (const Bitset& component :
+           h.ComponentsOf(rest, h.EmptyVertexSet())) {
+        Bitset child_scope = component;
+        std::size_t hanging = HangingEdge(h, hinge, component);
+        child_scope.Set(hanging);
+        build(child_scope, hanging, id);
+      }
+    }
+    return id;
+  };
+  build(universe, /*required=*/h.NumEdges(), static_cast<std::size_t>(-1));
+  return tree;
+}
+
+Result<std::size_t> DegreeOfCyclicity(const Hypergraph& h) {
+  if (h.NumEdges() == 0) return std::size_t{0};
+  std::size_t degree = 0;
+  for (const Bitset& component :
+       h.ComponentsOf(h.AllEdges(), h.EmptyVertexSet())) {
+    auto tree = BuildHingeTree(h, component);
+    if (!tree.ok()) return tree.status();
+    degree = std::max(degree, tree->Width());
+  }
+  return degree;
+}
+
+}  // namespace htqo

@@ -1,0 +1,53 @@
+// Hinge decompositions (Gyssens–Jeavons–Cohen, the paper's related work
+// [8]). A hinge of a connected hypergraph is a set F of at least two edges
+// such that every connected component of the remaining edges "hangs" on a
+// single edge of F: the vertices the component shares with F are all inside
+// one edge of F. A hinge tree recursively splits the hypergraph at minimal
+// hinges; its width — the size of the largest node — is the *degree of
+// cyclicity*. Hypertree width never exceeds it (hypertree decompositions
+// strongly generalize hinge trees), which the tests verify.
+//
+// The construction here is definition-faithful and exponential in the
+// number of edges (it enumerates candidate hinges by increasing size);
+// queries have few atoms, so this is perfectly fine at query-optimization
+// scale — the same trade-off det-k-decomp makes.
+
+#ifndef HTQO_DECOMP_HINGE_H_
+#define HTQO_DECOMP_HINGE_H_
+
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "util/status.h"
+
+namespace htqo {
+
+struct HingeTree {
+  struct Node {
+    Bitset edges;  // the hinge (a set of hyperedge indices)
+    std::size_t parent = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> children;
+  };
+  std::vector<Node> nodes;
+
+  // Degree of cyclicity: max |node| over the tree.
+  std::size_t Width() const;
+};
+
+// True when `candidate` (>= 2 edges, or all edges) is a hinge of the edge
+// set `universe` of `h`: every connected component of universe \ candidate
+// shares vertices with var(candidate) only inside a single candidate edge.
+bool IsHinge(const Hypergraph& h, const Bitset& universe,
+             const Bitset& candidate);
+
+// Builds a hinge tree of the (connected) subhypergraph `universe`;
+// InvalidArgument when `universe` is not connected or empty. For the full
+// hypergraph use h.AllEdges().
+Result<HingeTree> BuildHingeTree(const Hypergraph& h, const Bitset& universe);
+
+// Degree of cyclicity of `h` (per connected component, the max).
+Result<std::size_t> DegreeOfCyclicity(const Hypergraph& h);
+
+}  // namespace htqo
+
+#endif  // HTQO_DECOMP_HINGE_H_

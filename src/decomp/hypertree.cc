@@ -1,0 +1,107 @@
+#include "decomp/hypertree.h"
+
+#include "util/strings.h"
+
+namespace htqo {
+
+std::size_t Hypertree::AddNode(Bitset chi, Bitset lambda, std::size_t parent) {
+  std::size_t id = nodes_.size();
+  if (parent == HypertreeNode::kNoParent) {
+    HTQO_CHECK(nodes_.empty());  // only the first node is a root
+  } else {
+    HTQO_CHECK(parent < nodes_.size());
+    nodes_[parent].children.push_back(id);
+  }
+  HypertreeNode node;
+  node.chi = std::move(chi);
+  node.lambda = std::move(lambda);
+  node.parent = parent;
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+std::size_t Hypertree::Width() const {
+  std::size_t w = 0;
+  for (const HypertreeNode& n : nodes_) {
+    w = std::max(w, n.lambda.Count());
+  }
+  return w;
+}
+
+std::vector<std::size_t> Hypertree::PreOrder() const {
+  std::vector<std::size_t> order;
+  if (nodes_.empty()) return order;
+  order.reserve(nodes_.size());
+  std::vector<std::size_t> stack{root()};
+  while (!stack.empty()) {
+    std::size_t p = stack.back();
+    stack.pop_back();
+    order.push_back(p);
+    const auto& ch = nodes_[p].children;
+    for (auto it = ch.rbegin(); it != ch.rend(); ++it) stack.push_back(*it);
+  }
+  return order;
+}
+
+std::vector<std::size_t> Hypertree::PostOrder() const {
+  std::vector<std::size_t> order = PreOrder();
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+Bitset Hypertree::SubtreeChi(std::size_t p) const {
+  Bitset out = nodes_[p].chi;
+  for (std::size_t c : nodes_[p].children) {
+    out |= SubtreeChi(c);
+  }
+  return out;
+}
+
+std::string Hypertree::ToString(const Hypergraph& h) const {
+  std::string out;
+  std::vector<std::pair<std::size_t, int>> stack{{root(), 0}};
+  while (!stack.empty()) {
+    auto [p, depth] = stack.back();
+    stack.pop_back();
+    const HypertreeNode& n = nodes_[p];
+    std::vector<std::string> chi_names;
+    for (std::size_t v : n.chi.ToVector()) chi_names.push_back(h.vertex_name(v));
+    std::vector<std::string> lambda_names;
+    for (std::size_t e : n.lambda.ToVector()) {
+      lambda_names.push_back(h.edge_name(e));
+    }
+    out += std::string(static_cast<std::size_t>(depth) * 2, ' ') + "[" +
+           std::to_string(p) + "] chi={" + Join(chi_names, ",") +
+           "} lambda={" + Join(lambda_names, ",") + "}\n";
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back({*it, depth + 1});
+    }
+  }
+  return out;
+}
+
+std::string Hypertree::ToDot(const Hypergraph& h) const {
+  std::string out = "digraph hypertree {\n  node [shape=box];\n";
+  for (std::size_t p = 0; p < nodes_.size(); ++p) {
+    std::vector<std::string> chi_names;
+    for (std::size_t v : nodes_[p].chi.ToVector()) {
+      chi_names.push_back(h.vertex_name(v));
+    }
+    std::vector<std::string> lambda_names;
+    for (std::size_t e : nodes_[p].lambda.ToVector()) {
+      lambda_names.push_back(h.edge_name(e));
+    }
+    out += "  n" + std::to_string(p) + " [label=\"chi: {" +
+           Join(chi_names, ",") + "}\\nlambda: {" + Join(lambda_names, ",") +
+           "}\"];\n";
+  }
+  for (std::size_t p = 0; p < nodes_.size(); ++p) {
+    for (std::size_t c : nodes_[p].children) {
+      out += "  n" + std::to_string(p) + " -> n" + std::to_string(c) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace htqo

@@ -1,0 +1,68 @@
+// Hypertrees <T, chi, lambda> (Section 3.1): a rooted tree whose nodes carry
+// a variable label chi(p) (vertex bitset) and an edge label lambda(p)
+// (hyperedge bitset). Used for hypertree decompositions, generalized
+// hypertree decompositions, and the paper's q-hypertree decompositions.
+
+#ifndef HTQO_DECOMP_HYPERTREE_H_
+#define HTQO_DECOMP_HYPERTREE_H_
+
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "util/bitset.h"
+
+namespace htqo {
+
+struct HypertreeNode {
+  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+
+  Bitset chi;     // variables (over hypergraph vertices)
+  Bitset lambda;  // hyperedges (over hypergraph edge indices)
+  std::size_t parent = kNoParent;
+  std::vector<std::size_t> children;
+
+  // Filled by Procedure Optimize: children that justified a lambda removal,
+  // in removal order. The q-hypertree evaluator joins these children into
+  // their parent before the other siblings (Section 4.1's topological-order
+  // caveat).
+  std::vector<std::size_t> priority_children;
+};
+
+class Hypertree {
+ public:
+  Hypertree() = default;
+
+  // Adds a node; `parent` is kNoParent for the root (must be added first).
+  std::size_t AddNode(Bitset chi, Bitset lambda,
+                      std::size_t parent = HypertreeNode::kNoParent);
+
+  std::size_t NumNodes() const { return nodes_.size(); }
+  std::size_t root() const { return 0; }
+  const HypertreeNode& node(std::size_t i) const { return nodes_[i]; }
+  HypertreeNode& mutable_node(std::size_t i) { return nodes_[i]; }
+
+  // Width = max |lambda(p)| (Section 3.1).
+  std::size_t Width() const;
+
+  // Node ids with parents before children (root first).
+  std::vector<std::size_t> PreOrder() const;
+  // Node ids with children before parents (root last).
+  std::vector<std::size_t> PostOrder() const;
+
+  // chi(T_p): union of chi over the subtree rooted at p.
+  Bitset SubtreeChi(std::size_t p) const;
+
+  // Pretty-print against the hypergraph's vertex/edge names.
+  std::string ToString(const Hypergraph& h) const;
+
+  // Graphviz rendering: one box per node showing chi and lambda.
+  std::string ToDot(const Hypergraph& h) const;
+
+ private:
+  std::vector<HypertreeNode> nodes_;
+};
+
+}  // namespace htqo
+
+#endif  // HTQO_DECOMP_HYPERTREE_H_

@@ -1,0 +1,54 @@
+#include "decomp/optimize.h"
+
+#include <algorithm>
+
+namespace htqo {
+
+std::size_t OptimizeDecomposition(const Hypergraph& h, Hypertree* hd) {
+  // Anchor counts: nodes where the atom is applied in full (e ∈ lambda(p),
+  // e ⊆ chi(p)). The Fig. 4 rule is applied with one safety guard: never
+  // remove an atom's last anchor — the removed occurrence's bounding effect
+  // is replaced by the child's atom, but the atom's own tuples must still be
+  // enforced somewhere (see DESIGN.md).
+  std::vector<std::size_t> anchors(h.NumEdges(), 0);
+  for (std::size_t p = 0; p < hd->NumNodes(); ++p) {
+    const HypertreeNode& node = hd->node(p);
+    for (std::size_t e = node.lambda.FirstSet(); e < node.lambda.size();
+         e = node.lambda.NextSet(e)) {
+      if (h.edge(e).IsSubsetOf(node.chi)) ++anchors[e];
+    }
+  }
+
+  std::size_t removed = 0;
+  for (std::size_t p : hd->PreOrder()) {
+    HypertreeNode& node = hd->mutable_node(p);
+    for (std::size_t a : node.lambda.ToVector()) {
+      const bool is_anchor = h.edge(a).IsSubsetOf(node.chi);
+      if (is_anchor && anchors[a] <= 1) continue;  // last full application
+      Bitset bound = h.edge(a) & node.chi;  // variables a bounds at p
+      bool dropped = false;
+      for (std::size_t q : node.children) {
+        const HypertreeNode& child = hd->node(q);
+        for (std::size_t b = child.lambda.FirstSet();
+             b < child.lambda.size() && !dropped;
+             b = child.lambda.NextSet(b)) {
+          if (bound.IsSubsetOf(h.edge(b) & child.chi)) {
+            node.lambda.Reset(a);
+            if (is_anchor) --anchors[a];
+            ++removed;
+            if (std::find(node.priority_children.begin(),
+                          node.priority_children.end(),
+                          q) == node.priority_children.end()) {
+              node.priority_children.push_back(q);
+            }
+            dropped = true;
+          }
+        }
+        if (dropped) break;
+      }
+    }
+  }
+  return removed;
+}
+
+}  // namespace htqo

@@ -1,0 +1,28 @@
+// Procedure Optimize (Fig. 4): prunes hyperedges from lambda labels.
+//
+// An atom a may be dropped from lambda(p) whenever some child q carries an
+// atom b with a ∩ chi(p) ⊆ b ∩ chi(q): the bounding effect of a on the
+// variables it shares with chi(p) is then guaranteed by b arriving from q
+// during the bottom-up evaluation. This realizes feature (b) of q-hypertree
+// decompositions — condition 3 of Definition 1 may be violated afterwards,
+// saving join work at p.
+
+#ifndef HTQO_DECOMP_OPTIMIZE_H_
+#define HTQO_DECOMP_OPTIMIZE_H_
+
+#include "decomp/hypertree.h"
+#include "hypergraph/hypergraph.h"
+
+namespace htqo {
+
+// Runs Optimize(HD, root) in place. Records, per node, the children that
+// justified a removal in `priority_children` — the evaluator must join these
+// before the other siblings (Section 4.1), otherwise intermediate relations
+// may grow exponentially.
+//
+// Returns the number of hyperedge occurrences removed from lambda labels.
+std::size_t OptimizeDecomposition(const Hypergraph& h, Hypertree* hd);
+
+}  // namespace htqo
+
+#endif  // HTQO_DECOMP_OPTIMIZE_H_

@@ -1,0 +1,109 @@
+#include "decomp/qhd.h"
+
+#include <algorithm>
+
+#include "decomp/det_k_decomp.h"
+#include "decomp/optimize.h"
+
+namespace htqo {
+
+std::size_t CompleteDecomposition(const Hypergraph& h, Hypertree* hd) {
+  // An atom is *anchored* at p when e ∈ lambda(p) and e ⊆ chi(p): only there
+  // is its constraint applied in full (lambda joins are projected to chi, so
+  // an occurrence with variables outside chi is a partial, bounding-only
+  // application). Every atom needs at least one anchor or the rewritten
+  // query is weaker than Q.
+  std::size_t added = 0;
+  for (std::size_t e = 0; e < h.NumEdges(); ++e) {
+    bool anchored = false;
+    for (std::size_t p = 0; p < hd->NumNodes() && !anchored; ++p) {
+      anchored = hd->node(p).lambda.Test(e) &&
+                 h.edge(e).IsSubsetOf(hd->node(p).chi);
+    }
+    if (anchored) continue;
+    // Find a node whose chi covers the edge (exists by condition 1) and
+    // attach a width-1 anchor child below it.
+    std::size_t cover = HypertreeNode::kNoParent;
+    for (std::size_t p = 0; p < hd->NumNodes(); ++p) {
+      if (h.edge(e).IsSubsetOf(hd->node(p).chi)) {
+        cover = p;
+        break;
+      }
+    }
+    HTQO_CHECK(cover != HypertreeNode::kNoParent);
+    Bitset lambda = h.EmptyEdgeSet();
+    lambda.Set(e);
+    hd->AddNode(h.edge(e), lambda, cover);
+    ++added;
+  }
+  return added;
+}
+
+Result<QhdResult> QHypertreeDecomp(const Hypergraph& h, const Bitset& out_vars,
+                                   const DecompositionCostModel& model,
+                                   const QhdOptions& options) {
+  auto hd = options.first_feasible
+                ? DetKDecomp(h, options.max_width, &out_vars)
+                : CostKDecomp(h, options.max_width, model, &out_vars);
+  if (!hd.ok()) {
+    return Status::NotFound(
+        "Failure: no hypertree decomposition of width <= " +
+        std::to_string(options.max_width) +
+        " whose root covers the output variables");
+  }
+  QhdResult result;
+  result.hd = std::move(hd.value());
+  CompleteDecomposition(h, &result.hd);
+  result.width = result.hd.Width();
+  if (options.run_optimize) {
+    result.pruned = OptimizeDecomposition(h, &result.hd);
+  }
+  return result;
+}
+
+std::vector<StatsDecompositionCostModel::EdgeStats> BuildEdgeStats(
+    const ConjunctiveQuery& cq, const Estimator& estimator) {
+  std::vector<StatsDecompositionCostModel::EdgeStats> out;
+  out.reserve(cq.atoms.size());
+  for (const Atom& atom : cq.atoms) {
+    StatsDecompositionCostModel::EdgeStats stats;
+    double rows = estimator.Rows(atom.relation);
+    for (const AtomFilter& f : atom.filters) {
+      if (!f.in_values.empty() || f.negated) {
+        // IN list: sum of per-value equality selectivities, capped;
+        // NOT IN keeps the complement.
+        double sel = 0;
+        for (const Value& v : f.in_values) {
+          sel += estimator.ConstantSelectivity(atom.relation, f.column, "=",
+                                               v);
+        }
+        sel = std::min(1.0, sel);
+        rows *= f.negated ? std::max(0.0, 1.0 - sel) : sel;
+      } else {
+        rows *= estimator.ConstantSelectivity(atom.relation, f.column,
+                                              CompareOpSymbol(f.op), f.value);
+      }
+    }
+    rows = std::max(1.0, rows);
+    stats.rows = rows;
+    for (const AtomBinding& b : atom.bindings) {
+      double distinct =
+          std::min(estimator.DistinctCount(atom.relation, b.column), rows);
+      auto it = stats.distinct.find(b.var);
+      if (it == stats.distinct.end()) {
+        stats.distinct[b.var] = std::max(1.0, distinct);
+      } else {
+        // A variable bound to several columns of the same atom: keep the
+        // tighter bound.
+        it->second = std::max(1.0, std::min(it->second, distinct));
+      }
+    }
+    if (atom.has_tid) {
+      stats.distinct[atom.tid_var] = rows;  // tuple ids are unique
+    }
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+}  // namespace htqo

@@ -1,0 +1,63 @@
+// Algorithm q-HypertreeDecomp (Fig. 4): computes a good q-hypertree
+// decomposition of a conjunctive query.
+//
+// Pipeline:
+//   1. cost-k-decomp over H(Q) with the root forced to cover out(Q)
+//      (Condition 2 of Definition 2), minimizing the cost model;
+//   2. completion: every atom absorbed during the normal-form search (an
+//      edge covered by some chi but present in no lambda) is attached as a
+//      width-1 child below a covering node, so the evaluator touches every
+//      relation exactly once;
+//   3. Procedure Optimize (unless disabled), pruning redundant lambda
+//      entries and recording evaluation priorities.
+
+#ifndef HTQO_DECOMP_QHD_H_
+#define HTQO_DECOMP_QHD_H_
+
+#include "cq/conjunctive_query.h"
+#include "decomp/cost_k_decomp.h"
+#include "decomp/hypertree.h"
+#include "hypergraph/hypergraph.h"
+#include "stats/estimator.h"
+#include "util/status.h"
+
+namespace htqo {
+
+struct QhdOptions {
+  std::size_t max_width = 4;  // the fixed constant k ("typically k=4")
+  bool run_optimize = true;   // feature (b); Fig. 10 ablates this
+  // Use the first-feasible det-k-decomp search instead of the min-cost
+  // search (the cost model is then ignored). First-feasible normal-form
+  // trees carry bounding copies of separator atoms down the tree — the HD1
+  // of Fig. 3 — which is precisely what Procedure Optimize prunes; the
+  // min-cost search tends to produce guard-free trees directly.
+  bool first_feasible = false;
+};
+
+struct QhdResult {
+  Hypertree hd;
+  std::size_t width = 0;   // width before Optimize
+  std::size_t pruned = 0;  // lambda entries removed by Optimize
+};
+
+// Attaches a child node (chi = edge's vars, lambda = {edge}) under a node
+// covering each edge that appears in no lambda label. Returns the number of
+// nodes added. Exposed for tests.
+std::size_t CompleteDecomposition(const Hypergraph& h, Hypertree* hd);
+
+// Runs the Fig. 4 algorithm on an explicit hypergraph + output set.
+// NotFound ("Failure") when no width-<=k decomposition covering `out_vars`
+// at the root exists.
+Result<QhdResult> QHypertreeDecomp(const Hypergraph& h, const Bitset& out_vars,
+                                   const DecompositionCostModel& model,
+                                   const QhdOptions& options = QhdOptions());
+
+// Builds the per-edge statistics views for a CQ: estimated rows after
+// atom-local filters and per-variable distinct counts. Works with or without
+// gathered statistics (the Estimator supplies defaults).
+std::vector<StatsDecompositionCostModel::EdgeStats> BuildEdgeStats(
+    const ConjunctiveQuery& cq, const Estimator& estimator);
+
+}  // namespace htqo
+
+#endif  // HTQO_DECOMP_QHD_H_

@@ -1,0 +1,59 @@
+// Internal helper shared by det_k_decomp and cost_k_decomp: enumeration of
+// candidate separators (lambda labels) for a subproblem.
+//
+// A subproblem is a pair (comp, conn): `comp` is an edge set to decompose,
+// `conn` the variables connecting it to the parent node. Candidate
+// separators are subsets of at most k hyperedges, each intersecting
+// var(comp) ∪ conn, whose variables cover conn — the det-k-decomp guess
+// space, complete for normal-form decompositions.
+
+#ifndef HTQO_DECOMP_SEPARATOR_ENUM_H_
+#define HTQO_DECOMP_SEPARATOR_ENUM_H_
+
+#include <functional>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace htqo {
+namespace decomp_internal {
+
+// Invokes `cb` once per candidate separator. `cb` returns true to stop the
+// enumeration early (used by the first-feasible det variant).
+inline void ForEachSeparator(const Hypergraph& h, const Bitset& comp,
+                             const Bitset& conn, std::size_t k,
+                             const std::function<bool(const Bitset&)>& cb) {
+  Bitset comp_vars = h.VarsOf(comp);
+  Bitset relevant = comp_vars | conn;
+  std::vector<std::size_t> candidates;
+  for (std::size_t e = 0; e < h.NumEdges(); ++e) {
+    if (h.edge(e).Intersects(relevant)) candidates.push_back(e);
+  }
+
+  Bitset sep = h.EmptyEdgeSet();
+  bool stop = false;
+  // Depth-first subset enumeration with a coverage check at emission.
+  std::function<void(std::size_t, std::size_t, const Bitset&)> recurse =
+      [&](std::size_t start, std::size_t chosen, const Bitset& covered) {
+        if (stop) return;
+        if (chosen > 0 && conn.IsSubsetOf(covered)) {
+          if (cb(sep)) {
+            stop = true;
+            return;
+          }
+        }
+        if (chosen == k) return;
+        for (std::size_t i = start; i < candidates.size() && !stop; ++i) {
+          std::size_t e = candidates[i];
+          sep.Set(e);
+          recurse(i + 1, chosen + 1, covered | h.edge(e));
+          sep.Reset(e);
+        }
+      };
+  recurse(0, 0, h.EmptyVertexSet());
+}
+
+}  // namespace decomp_internal
+}  // namespace htqo
+
+#endif  // HTQO_DECOMP_SEPARATOR_ENUM_H_

@@ -1,0 +1,249 @@
+#include "decomp/tree_decomposition.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace htqo {
+
+std::size_t TreeDecomposition::Width() const {
+  std::size_t max_bag = 0;
+  for (const Node& n : nodes) max_bag = std::max(max_bag, n.bag.Count());
+  return max_bag == 0 ? 0 : max_bag - 1;
+}
+
+std::vector<Bitset> PrimalGraph(const Hypergraph& h) {
+  std::vector<Bitset> adjacency(h.NumVertices(), h.EmptyVertexSet());
+  for (std::size_t e = 0; e < h.NumEdges(); ++e) {
+    for (std::size_t v : h.edge(e).ToVector()) {
+      adjacency[v] |= h.edge(e);
+    }
+  }
+  for (std::size_t v = 0; v < h.NumVertices(); ++v) {
+    adjacency[v].Reset(v);  // no self loops
+  }
+  return adjacency;
+}
+
+TreeDecomposition MinFillTreeDecomposition(const Hypergraph& h) {
+  const std::size_t n = h.NumVertices();
+  TreeDecomposition td;
+  if (n == 0) {
+    TreeDecomposition::Node node;
+    node.bag = h.EmptyVertexSet();
+    td.nodes.push_back(std::move(node));
+    return td;
+  }
+
+  std::vector<Bitset> adjacency = PrimalGraph(h);
+  std::vector<bool> eliminated(n, false);
+  std::vector<Bitset> bags;                 // bag per elimination step
+  std::vector<std::size_t> elim_vertex;     // vertex eliminated at step i
+  std::vector<std::size_t> step_of(n, 0);   // elimination step per vertex
+  bags.reserve(n);
+
+  auto fill_cost = [&](std::size_t v) {
+    // Number of missing edges among v's non-eliminated neighbours.
+    std::vector<std::size_t> nbrs;
+    for (std::size_t u : adjacency[v].ToVector()) {
+      if (!eliminated[u]) nbrs.push_back(u);
+    }
+    std::size_t missing = 0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (!adjacency[nbrs[i]].Test(nbrs[j])) ++missing;
+      }
+    }
+    return missing;
+  };
+
+  for (std::size_t step = 0; step < n; ++step) {
+    // Pick the non-eliminated vertex with minimal fill.
+    std::size_t best = n;
+    std::size_t best_cost = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (eliminated[v]) continue;
+      std::size_t cost = fill_cost(v);
+      if (best == n || cost < best_cost) {
+        best = v;
+        best_cost = cost;
+      }
+    }
+    // Bag: v plus its remaining neighbours; then connect the neighbours.
+    Bitset bag = h.EmptyVertexSet();
+    bag.Set(best);
+    std::vector<std::size_t> nbrs;
+    for (std::size_t u : adjacency[best].ToVector()) {
+      if (!eliminated[u]) {
+        bag.Set(u);
+        nbrs.push_back(u);
+      }
+    }
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        adjacency[nbrs[i]].Set(nbrs[j]);
+        adjacency[nbrs[j]].Set(nbrs[i]);
+      }
+    }
+    eliminated[best] = true;
+    step_of[best] = step;
+    elim_vertex.push_back(best);
+    bags.push_back(std::move(bag));
+  }
+
+  // Tree construction: the node of step i attaches to the node of the
+  // earliest-eliminated vertex among bag \ {v} — but parents must come
+  // later in the elimination order, so attach to the *next* eliminated bag
+  // member. The last bag is the root.
+  td.nodes.resize(n);
+  std::size_t root = n - 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    td.nodes[i].bag = bags[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    Bitset rest = bags[i];
+    rest.Reset(elim_vertex[i]);
+    if (rest.None()) {
+      // Isolated component root: attach under the global root later.
+      continue;
+    }
+    // Parent: node of the bag member eliminated soonest after step i.
+    std::size_t parent_step = n;
+    for (std::size_t u : rest.ToVector()) {
+      parent_step = std::min(parent_step, step_of[u]);
+    }
+    HTQO_DCHECK(parent_step > i && parent_step < n);
+    td.nodes[i].parent = parent_step;
+    td.nodes[parent_step].children.push_back(i);
+  }
+  // Attach parentless non-root nodes (other connected components) under the
+  // root so the structure is a single tree.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != root && td.nodes[i].parent == static_cast<std::size_t>(-1)) {
+      td.nodes[i].parent = root;
+      td.nodes[root].children.push_back(i);
+    }
+  }
+  td.root = root;
+  return td;
+}
+
+bool ValidateTreeDecomposition(const Hypergraph& h,
+                               const TreeDecomposition& td) {
+  // Every hyperedge inside some bag (subsumes vertex cover for non-isolated
+  // vertices).
+  for (std::size_t e = 0; e < h.NumEdges(); ++e) {
+    bool covered = false;
+    for (const auto& node : td.nodes) {
+      if (h.edge(e).IsSubsetOf(node.bag)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  // Connectedness per vertex.
+  for (std::size_t v = 0; v < h.NumVertices(); ++v) {
+    std::size_t count = 0;
+    std::size_t links = 0;
+    for (std::size_t i = 0; i < td.nodes.size(); ++i) {
+      if (!td.nodes[i].bag.Test(v)) continue;
+      ++count;
+      std::size_t p = td.nodes[i].parent;
+      if (p != static_cast<std::size_t>(-1) && td.nodes[p].bag.Test(v)) {
+        ++links;
+      }
+    }
+    if (count > 0 && links != count - 1) return false;
+  }
+  return true;
+}
+
+Hypertree TreeDecompositionToHypertree(const Hypergraph& h,
+                                       const TreeDecomposition& td) {
+  Hypertree hd;
+  // Add nodes in a pre-order of the td so parents precede children.
+  std::vector<std::size_t> order;
+  std::vector<std::size_t> stack{td.root};
+  while (!stack.empty()) {
+    std::size_t p = stack.back();
+    stack.pop_back();
+    order.push_back(p);
+    for (std::size_t c : td.nodes[p].children) stack.push_back(c);
+  }
+  std::vector<std::size_t> new_id(td.nodes.size());
+
+  // Vertices that occur in some hyperedge; isolated primal vertices cannot
+  // be covered by any lambda and carry no query meaning, so they are
+  // stripped from the chi labels.
+  Bitset in_some_edge = h.VarsOf(h.AllEdges());
+
+  for (std::size_t p : order) {
+    Bitset bag = td.nodes[p].bag & in_some_edge;
+    // Greedy set cover of the bag by hyperedges.
+    Bitset lambda = h.EmptyEdgeSet();
+    Bitset uncovered = bag;
+    while (uncovered.Any()) {
+      std::size_t best_edge = h.NumEdges();
+      std::size_t best_gain = 0;
+      for (std::size_t e = 0; e < h.NumEdges(); ++e) {
+        if (lambda.Test(e)) continue;
+        std::size_t gain = (h.edge(e) & uncovered).Count();
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_edge = e;
+        }
+      }
+      HTQO_CHECK(best_edge < h.NumEdges());  // every vertex is in some edge
+      lambda.Set(best_edge);
+      uncovered -= h.edge(best_edge);
+    }
+    // Degenerate empty bag (all vertices were isolated): give the node a
+    // harmless non-empty label so evaluators have something to scan.
+    if (lambda.None() && h.NumEdges() > 0) lambda.Set(0);
+    std::size_t parent = td.nodes[p].parent == static_cast<std::size_t>(-1)
+                             ? HypertreeNode::kNoParent
+                             : new_id[td.nodes[p].parent];
+    new_id[p] = hd.AddNode(bag, lambda, parent);
+  }
+  return hd;
+}
+
+Hypertree RerootHypertree(const Hypertree& hd, std::size_t new_root) {
+  HTQO_CHECK(new_root < hd.NumNodes());
+  // Undirected adjacency, then rebuild parents by BFS from the new root.
+  std::vector<std::vector<std::size_t>> adjacency(hd.NumNodes());
+  for (std::size_t p = 0; p < hd.NumNodes(); ++p) {
+    for (std::size_t c : hd.node(p).children) {
+      adjacency[p].push_back(c);
+      adjacency[c].push_back(p);
+    }
+  }
+  Hypertree out;
+  std::vector<bool> visited(hd.NumNodes(), false);
+  std::deque<std::pair<std::size_t, std::size_t>> queue;
+  queue.emplace_back(new_root, HypertreeNode::kNoParent);
+  visited[new_root] = true;
+  while (!queue.empty()) {
+    auto [p, parent] = queue.front();
+    queue.pop_front();
+    std::size_t id = out.AddNode(hd.node(p).chi, hd.node(p).lambda, parent);
+    for (std::size_t next : adjacency[p]) {
+      if (!visited[next]) {
+        visited[next] = true;
+        queue.emplace_back(next, id);
+      }
+    }
+  }
+  HTQO_CHECK(out.NumNodes() == hd.NumNodes());
+  return out;
+}
+
+Result<std::size_t> FindCoveringNode(const Hypertree& hd,
+                                     const Bitset& vars) {
+  for (std::size_t p = 0; p < hd.NumNodes(); ++p) {
+    if (vars.IsSubsetOf(hd.node(p).chi)) return p;
+  }
+  return Status::NotFound("no chi label covers the given variable set");
+}
+
+}  // namespace htqo

@@ -1,0 +1,64 @@
+// Tree decompositions of the primal graph (the paper's related work [9, 7,
+// 1]) and their conversion into generalized hypertree decompositions.
+//
+// The min-fill elimination heuristic produces a tree decomposition whose
+// bags can be covered greedily by hyperedges, yielding a hypertree usable
+// by the classic evaluator — the "tree-decomposition method" baseline the
+// structural-decomposition literature offered before hypertree
+// decompositions. Since every hyperedge induces a clique of the primal
+// graph, every atom is contained in some bag (the clique-containment
+// property), so the conversion always yields a valid complete GHD.
+
+#ifndef HTQO_DECOMP_TREE_DECOMPOSITION_H_
+#define HTQO_DECOMP_TREE_DECOMPOSITION_H_
+
+#include <vector>
+
+#include "decomp/hypertree.h"
+#include "hypergraph/hypergraph.h"
+#include "util/status.h"
+
+namespace htqo {
+
+struct TreeDecomposition {
+  struct Node {
+    Bitset bag;  // vertex set
+    std::size_t parent = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> children;
+  };
+  std::vector<Node> nodes;
+  std::size_t root = 0;
+
+  // Treewidth convention: max bag size minus one.
+  std::size_t Width() const;
+};
+
+// Adjacency sets of the primal graph of `h`: vertices are the hypergraph's
+// vertices, with an edge whenever two vertices co-occur in a hyperedge.
+std::vector<Bitset> PrimalGraph(const Hypergraph& h);
+
+// Min-fill elimination-order heuristic. Deterministic (ties by index).
+TreeDecomposition MinFillTreeDecomposition(const Hypergraph& h);
+
+// Checks vertex cover (every hypergraph vertex in some bag), edge
+// containment (every hyperedge inside some bag) and connectedness.
+bool ValidateTreeDecomposition(const Hypergraph& h,
+                               const TreeDecomposition& td);
+
+// Converts a tree decomposition into a hypertree: chi = bag, lambda =
+// greedy edge cover of the bag. The result is a generalized hypertree
+// decomposition (condition 4 may fail; conditions 1-3 hold).
+Hypertree TreeDecompositionToHypertree(const Hypergraph& h,
+                                       const TreeDecomposition& td);
+
+// Re-roots `hd` at node `new_root`, reversing parent/child links on the
+// path to the old root. Used to satisfy Condition 2 of Definition 2 when
+// some chi already covers out(Q).
+Hypertree RerootHypertree(const Hypertree& hd, std::size_t new_root);
+
+// Node whose chi covers `vars`, if any.
+Result<std::size_t> FindCoveringNode(const Hypertree& hd, const Bitset& vars);
+
+}  // namespace htqo
+
+#endif  // HTQO_DECOMP_TREE_DECOMPOSITION_H_

@@ -1,0 +1,90 @@
+#include "decomp/validate.h"
+
+namespace htqo {
+
+std::string DecompositionCheck::ToString() const {
+  auto b = [](bool v) { return v ? "yes" : "NO"; };
+  std::string out;
+  out += std::string("edge_cover=") + b(edge_cover);
+  out += std::string(" connectedness=") + b(connectedness);
+  out += std::string(" chi_covered=") + b(chi_covered_by_lambda);
+  out += std::string(" special_descendant=") + b(special_descendant);
+  out += std::string(" output_covered=") + b(output_covered);
+  out += std::string(" root_covers_output=") + b(root_covers_output);
+  return out;
+}
+
+DecompositionCheck ValidateDecomposition(const Hypergraph& h,
+                                         const Hypertree& hd,
+                                         const Bitset& output_vars) {
+  DecompositionCheck check;
+  const std::size_t n = hd.NumNodes();
+  if (n == 0) return check;
+
+  // Condition 1: every hyperedge covered by some chi.
+  check.edge_cover = true;
+  for (std::size_t e = 0; e < h.NumEdges(); ++e) {
+    bool covered = false;
+    for (std::size_t p = 0; p < n && !covered; ++p) {
+      covered = h.edge(e).IsSubsetOf(hd.node(p).chi);
+    }
+    if (!covered) {
+      check.edge_cover = false;
+      break;
+    }
+  }
+
+  // Connectedness: for each variable, nodes containing it induce a subtree.
+  check.connectedness = true;
+  for (std::size_t v = 0; v < h.NumVertices() && check.connectedness; ++v) {
+    std::size_t count = 0;
+    std::size_t links = 0;
+    for (std::size_t p = 0; p < n; ++p) {
+      if (!hd.node(p).chi.Test(v)) continue;
+      ++count;
+      std::size_t parent = hd.node(p).parent;
+      if (parent != HypertreeNode::kNoParent && hd.node(parent).chi.Test(v)) {
+        ++links;
+      }
+    }
+    if (count > 0 && links != count - 1) check.connectedness = false;
+  }
+
+  // Condition 3: chi(p) subset of var(lambda(p)).
+  check.chi_covered_by_lambda = true;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (!hd.node(p).chi.IsSubsetOf(h.VarsOf(hd.node(p).lambda))) {
+      check.chi_covered_by_lambda = false;
+      break;
+    }
+  }
+
+  // Condition 4: var(lambda(p)) ∩ chi(T_p) ⊆ chi(p).
+  check.special_descendant = true;
+  for (std::size_t p = 0; p < n; ++p) {
+    Bitset intersection = h.VarsOf(hd.node(p).lambda) & hd.SubtreeChi(p);
+    if (!intersection.IsSubsetOf(hd.node(p).chi)) {
+      check.special_descendant = false;
+      break;
+    }
+  }
+
+  // Definition 2 condition 2: out(Q) inside some chi; and root-rooting.
+  if (output_vars.None()) {
+    check.output_covered = true;
+    check.root_covers_output = true;
+  } else {
+    for (std::size_t p = 0; p < n; ++p) {
+      if (output_vars.IsSubsetOf(hd.node(p).chi)) {
+        check.output_covered = true;
+        break;
+      }
+    }
+    check.root_covers_output =
+        output_vars.IsSubsetOf(hd.node(hd.root()).chi);
+  }
+
+  return check;
+}
+
+}  // namespace htqo

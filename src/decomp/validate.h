@@ -1,0 +1,48 @@
+// Validators for the decomposition conditions of Definition 1 (hypertree
+// decompositions), generalized hypertree decompositions, and Definition 2
+// (q-hypertree decompositions). Used by tests and by debug checks.
+
+#ifndef HTQO_DECOMP_VALIDATE_H_
+#define HTQO_DECOMP_VALIDATE_H_
+
+#include <string>
+
+#include "decomp/hypertree.h"
+#include "hypergraph/hypergraph.h"
+
+namespace htqo {
+
+struct DecompositionCheck {
+  bool edge_cover = false;          // Def.1 cond 1 / Def.2 cond 1
+  bool connectedness = false;       // Def.1 cond 2 / Def.2 cond 3
+  bool chi_covered_by_lambda = false;  // Def.1 cond 3 (dropped in Def.2)
+  bool special_descendant = false;  // Def.1 cond 4 (dropped in GHD/Def.2)
+  bool output_covered = false;      // Def.2 cond 2 (some chi covers out(Q))
+  bool root_covers_output = false;  // the stronger rooting used by Fig. 4
+
+  // Definition 1: hypertree decomposition.
+  bool IsHypertreeDecomposition() const {
+    return edge_cover && connectedness && chi_covered_by_lambda &&
+           special_descendant;
+  }
+  // Generalized hypertree decomposition (Def. 1 minus condition 4).
+  bool IsGeneralizedHD() const {
+    return edge_cover && connectedness && chi_covered_by_lambda;
+  }
+  // Definition 2: q-hypertree decomposition.
+  bool IsQHypertreeDecomposition() const {
+    return edge_cover && connectedness && output_covered;
+  }
+
+  std::string ToString() const;
+};
+
+// Checks every condition of `hd` against `h`. `output_vars` may be empty
+// (then output_covered/root_covers_output are trivially true).
+DecompositionCheck ValidateDecomposition(const Hypergraph& h,
+                                         const Hypertree& hd,
+                                         const Bitset& output_vars);
+
+}  // namespace htqo
+
+#endif  // HTQO_DECOMP_VALIDATE_H_

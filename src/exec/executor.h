@@ -1,0 +1,41 @@
+// Final-stage execution: step (4) of the paper's pipeline. Takes the CQ
+// answer relation (one column per output variable) and evaluates the SQL
+// surface on top: SELECT expressions, aggregates with GROUP BY, DISTINCT,
+// and ORDER BY.
+
+#ifndef HTQO_EXEC_EXECUTOR_H_
+#define HTQO_EXEC_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "cq/isolator.h"
+#include "exec/operators.h"
+#include "storage/relation.h"
+#include "util/status.h"
+
+namespace htqo {
+
+// Projects a (bag-semantics) join result onto the output variables of the
+// CQ and deduplicates: turns a baseline join plan's output into the
+// canonical CQ answer relation (columns named after out(Q) variables, in
+// out(Q) order).
+Result<Relation> ProjectToOutputVars(const ResolvedQuery& rq,
+                                     const Relation& join_result,
+                                     ExecContext* ctx);
+
+// The empty CQ answer relation (used when always_false).
+Relation EmptyAnswer(const ResolvedQuery& rq);
+
+// Evaluates the SELECT list over the CQ answer relation `answer` (whose
+// columns must be the out(Q) variables by name): computes expressions, runs
+// aggregation/GROUP BY when present, applies DISTINCT and ORDER BY. Output
+// columns are named by select-item alias, else by the referenced column
+// name, else "col<i>" (uniquified).
+Result<Relation> EvaluateSelectOutput(const ResolvedQuery& rq,
+                                      const Relation& answer,
+                                      ExecContext* ctx);
+
+}  // namespace htqo
+
+#endif  // HTQO_EXEC_EXECUTOR_H_

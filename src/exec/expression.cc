@@ -1,0 +1,96 @@
+#include "exec/expression.h"
+
+#include <cmath>
+
+namespace htqo {
+
+Value EvalScalar(const Expr& e, const ColumnLookup& col_lookup,
+                 const AggregateLookup* agg_lookup) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kColumnRef:
+      return col_lookup(e);
+    case ExprKind::kAggregate: {
+      HTQO_CHECK(agg_lookup != nullptr);
+      return (*agg_lookup)(e);
+    }
+    case ExprKind::kScalarSubquery:
+      // Rewritten into a literal by HybridOptimizer::Run before evaluation.
+      HTQO_CHECK(false);
+      return Value();
+    case ExprKind::kBinary: {
+      Value l = EvalScalar(*e.lhs, col_lookup, agg_lookup);
+      Value r = EvalScalar(*e.rhs, col_lookup, agg_lookup);
+      HTQO_CHECK(l.type() != ValueType::kString &&
+                 r.type() != ValueType::kString);
+      const bool integral = l.type() == ValueType::kInt64 &&
+                            r.type() == ValueType::kInt64 && e.op != '/';
+      double a = l.AsDouble();
+      double b = r.AsDouble();
+      double out = 0;
+      switch (e.op) {
+        case '+':
+          out = a + b;
+          break;
+        case '-':
+          out = a - b;
+          break;
+        case '*':
+          out = a * b;
+          break;
+        case '/':
+          out = b == 0 ? 0 : a / b;
+          break;
+        default:
+          HTQO_CHECK(false);
+      }
+      if (integral) return Value::Int64(static_cast<int64_t>(out));
+      return Value::Double(out);
+    }
+  }
+  HTQO_CHECK(false);
+  return Value();
+}
+
+void AggAccumulator::Add(const Value& v) {
+  ++count_;
+  switch (func_) {
+    case AggFunc::kCount:
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      sum_ += v.AsDouble();
+      if (v.type() != ValueType::kInt64) sum_is_integral_ = false;
+      break;
+    case AggFunc::kMin:
+      if (!min_ || v < *min_) min_ = v;
+      break;
+    case AggFunc::kMax:
+      if (!max_ || v > *max_) max_ = v;
+      break;
+  }
+}
+
+Value AggAccumulator::Finish() const {
+  switch (func_) {
+    case AggFunc::kCount:
+      return Value::Int64(static_cast<int64_t>(count_));
+    case AggFunc::kSum:
+      if (count_ == 0) return Value::Int64(0);
+      if (sum_is_integral_) {
+        return Value::Int64(static_cast<int64_t>(std::llround(sum_)));
+      }
+      return Value::Double(sum_);
+    case AggFunc::kAvg:
+      if (count_ == 0) return Value::Double(0);
+      return Value::Double(sum_ / static_cast<double>(count_));
+    case AggFunc::kMin:
+      return min_ ? *min_ : Value::Int64(0);
+    case AggFunc::kMax:
+      return max_ ? *max_ : Value::Int64(0);
+  }
+  return Value();
+}
+
+}  // namespace htqo

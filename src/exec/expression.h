@@ -1,0 +1,48 @@
+// Scalar expression evaluation and aggregate accumulation.
+
+#ifndef HTQO_EXEC_EXPRESSION_H_
+#define HTQO_EXEC_EXPRESSION_H_
+
+#include <functional>
+#include <optional>
+
+#include "sql/ast.h"
+#include "storage/value.h"
+
+namespace htqo {
+
+// Resolves a kColumnRef node to its runtime value.
+using ColumnLookup = std::function<Value(const Expr& column_ref)>;
+// Resolves a kAggregate node to its (already accumulated) value.
+using AggregateLookup = std::function<Value(const Expr& aggregate)>;
+
+// Evaluates `e` bottom-up. Aggregate nodes require `agg_lookup`; evaluating
+// one without it is a checked failure (aggregates never appear in WHERE in
+// the supported fragment).
+Value EvalScalar(const Expr& e, const ColumnLookup& col_lookup,
+                 const AggregateLookup* agg_lookup = nullptr);
+
+// Streaming accumulator for one aggregate call.
+class AggAccumulator {
+ public:
+  explicit AggAccumulator(AggFunc func) : func_(func) {}
+
+  void Add(const Value& v);
+  void AddCountStar() { ++count_; }
+
+  // Final value. Empty groups yield 0 for every function (the engine has no
+  // NULL; documented in DESIGN.md).
+  Value Finish() const;
+
+ private:
+  AggFunc func_;
+  std::size_t count_ = 0;
+  double sum_ = 0;
+  bool sum_is_integral_ = true;
+  std::optional<Value> min_;
+  std::optional<Value> max_;
+};
+
+}  // namespace htqo
+
+#endif  // HTQO_EXEC_EXPRESSION_H_

@@ -1,0 +1,333 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+
+#include "util/hash_chain.h"
+
+namespace htqo {
+
+namespace {
+
+// Shared column names of two schemas, with their indices on both sides.
+void SharedColumns(const Schema& left, const Schema& right,
+                   std::vector<std::size_t>* lcols,
+                   std::vector<std::size_t>* rcols,
+                   std::vector<std::size_t>* right_only) {
+  for (std::size_t r = 0; r < right.arity(); ++r) {
+    auto l = left.IndexOf(right.column(r).name);
+    if (l) {
+      lcols->push_back(*l);
+      rcols->push_back(r);
+    } else {
+      right_only->push_back(r);
+    }
+  }
+}
+
+Schema JoinedSchema(const Schema& left, const Schema& right,
+                    const std::vector<std::size_t>& right_only) {
+  std::vector<Column> cols = left.columns();
+  for (std::size_t r : right_only) cols.push_back(right.column(r));
+  return Schema(std::move(cols));
+}
+
+}  // namespace
+
+std::vector<std::size_t> IndicesOf(const Relation& rel,
+                                   const std::vector<std::string>& names) {
+  std::vector<std::size_t> out;
+  out.reserve(names.size());
+  for (const std::string& n : names) {
+    auto idx = rel.schema().IndexOf(n);
+    HTQO_CHECK(idx.has_value());
+    out.push_back(*idx);
+  }
+  return out;
+}
+
+Relation ProjectByName(const Relation& rel,
+                       const std::vector<std::string>& columns,
+                       bool distinct) {
+  Relation projected = rel.Project(IndicesOf(rel, columns));
+  return distinct ? projected.Distinct() : projected;
+}
+
+Result<Relation> ScanAtom(const ResolvedQuery& rq, std::size_t atom_index,
+                          const Catalog& catalog, ExecContext* ctx) {
+  const Atom& atom = rq.cq.atoms[atom_index];
+  auto base = catalog.Get(atom.relation);
+  if (!base.ok()) return base.status();
+  const Relation& rel = **base;
+
+  // Output columns: one per distinct variable (first binding wins), tid last.
+  std::vector<VarId> vars = atom.Vars();
+  std::vector<Column> cols;
+  std::vector<std::size_t> source_col;  // base column per output var; tid = -1
+  constexpr std::size_t kTid = static_cast<std::size_t>(-1);
+  for (VarId v : vars) {
+    if (atom.has_tid && v == atom.tid_var) {
+      cols.push_back(Column{rq.cq.vars[v].name, ValueType::kInt64});
+      source_col.push_back(kTid);
+      continue;
+    }
+    for (const AtomBinding& b : atom.bindings) {
+      if (b.var == v) {
+        cols.push_back(
+            Column{rq.cq.vars[v].name, rel.schema().column(b.column).type});
+        source_col.push_back(b.column);
+        break;
+      }
+    }
+  }
+  Relation out{Schema(std::move(cols))};
+
+  std::vector<Value> row(source_col.size());
+  for (std::size_t r = 0; r < rel.NumRows(); ++r) {
+    Status work = ctx->ChargeWork(1);
+    if (!work.ok()) return work;
+    auto src = rel.Row(r);
+    bool pass = true;
+    for (const AtomFilter& f : atom.filters) {
+      if (!f.Matches(src[f.column])) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    for (const LocalComparison& c : atom.local_comparisons) {
+      if (!EvalCompare(c.op, src[c.lcolumn], src[c.rcolumn])) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    // Intra-atom variable equality: every binding of a var must agree.
+    for (const AtomBinding& b : atom.bindings) {
+      std::size_t first_col = b.column;
+      for (const AtomBinding& b2 : atom.bindings) {
+        if (b2.var == b.var && b2.column != first_col &&
+            src[b2.column].Compare(src[first_col]) != 0) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) break;
+    }
+    if (!pass) continue;
+    for (std::size_t i = 0; i < source_col.size(); ++i) {
+      row[i] = source_col[i] == kTid ? Value::Int64(static_cast<int64_t>(r))
+                                     : src[source_col[i]];
+    }
+    Status s = ctx->ChargeRows(1);
+    if (!s.ok()) return s;
+    out.AddRow(row);
+  }
+  ctx->NotePeak(out.NumRows());
+  return out;
+}
+
+Result<Relation> NaturalHashJoin(const Relation& left, const Relation& right,
+                                 ExecContext* ctx) {
+  std::vector<std::size_t> lcols, rcols, right_only;
+  SharedColumns(left.schema(), right.schema(), &lcols, &rcols, &right_only);
+  Relation out{JoinedSchema(left.schema(), right.schema(), right_only)};
+
+  // Build on the smaller input.
+  const bool build_left = left.NumRows() <= right.NumRows();
+  const Relation& build = build_left ? left : right;
+  const Relation& probe = build_left ? right : left;
+  const std::vector<std::size_t>& bcols = build_left ? lcols : rcols;
+  const std::vector<std::size_t>& pcols = build_left ? rcols : lcols;
+
+  Status s = ctx->ChargeWork(build.NumRows() + probe.NumRows());
+  if (!s.ok()) return s;
+
+  std::vector<std::size_t> build_hash(build.NumRows());
+  HashChainIndex table(build.NumRows());
+  for (std::size_t r = 0; r < build.NumRows(); ++r) {
+    build_hash[r] = HashRowKey(build.Row(r), bcols);
+    table.Insert(build_hash[r], r);
+  }
+
+  std::vector<Value> row(out.arity());
+  for (std::size_t p = 0; p < probe.NumRows(); ++p) {
+    auto probe_row = probe.Row(p);
+    auto emit = [&](std::size_t b) -> Status {
+      auto build_row = build.Row(b);
+      auto lrow = build_left ? build_row : probe_row;
+      auto rrow = build_left ? probe_row : build_row;
+      std::size_t i = 0;
+      for (; i < left.arity(); ++i) row[i] = lrow[i];
+      for (std::size_t r : right_only) row[i++] = rrow[r];
+      Status st = ctx->ChargeRows(1);
+      if (!st.ok()) return st;
+      out.AddRow(row);
+      return Status::Ok();
+    };
+    if (lcols.empty()) {
+      // Cross product: every build row matches.
+      for (std::size_t b = 0; b < build.NumRows(); ++b) {
+        Status st = ctx->ChargeWork(1);
+        if (!st.ok()) return st;
+        st = emit(b);
+        if (!st.ok()) return st;
+      }
+      continue;
+    }
+    std::size_t h = HashRowKey(probe_row, pcols);
+    for (uint32_t it = table.First(h); it != HashChainIndex::kEnd;
+         it = table.Next(it)) {
+      Status st = ctx->ChargeWork(1);
+      if (!st.ok()) return st;
+      if (build_hash[it] == h &&
+          RowKeysEqual(build.Row(it), bcols, probe_row, pcols)) {
+        st = emit(it);
+        if (!st.ok()) return st;
+      }
+    }
+  }
+  ctx->NotePeak(out.NumRows());
+  return out;
+}
+
+Result<Relation> NaturalNestedLoopJoin(const Relation& left,
+                                       const Relation& right,
+                                       ExecContext* ctx) {
+  std::vector<std::size_t> lcols, rcols, right_only;
+  SharedColumns(left.schema(), right.schema(), &lcols, &rcols, &right_only);
+  Relation out{JoinedSchema(left.schema(), right.schema(), right_only)};
+
+  std::vector<Value> row(out.arity());
+  for (std::size_t l = 0; l < left.NumRows(); ++l) {
+    auto lrow = left.Row(l);
+    for (std::size_t r = 0; r < right.NumRows(); ++r) {
+      Status st = ctx->ChargeWork(1);
+      if (!st.ok()) return st;
+      auto rrow = right.Row(r);
+      if (!RowKeysEqual(lrow, lcols, rrow, rcols)) continue;
+      std::size_t i = 0;
+      for (; i < left.arity(); ++i) row[i] = lrow[i];
+      for (std::size_t rc : right_only) row[i++] = rrow[rc];
+      st = ctx->ChargeRows(1);
+      if (!st.ok()) return st;
+      out.AddRow(row);
+    }
+  }
+  ctx->NotePeak(out.NumRows());
+  return out;
+}
+
+Result<Relation> NaturalSortMergeJoin(const Relation& left,
+                                      const Relation& right,
+                                      ExecContext* ctx) {
+  std::vector<std::size_t> lcols, rcols, right_only;
+  SharedColumns(left.schema(), right.schema(), &lcols, &rcols, &right_only);
+  if (lcols.empty()) {
+    // Cross product: no merge order exists; delegate to the hash join's
+    // cross-product path.
+    return NaturalHashJoin(left, right, ctx);
+  }
+
+  Relation sorted_left = left;
+  Relation sorted_right = right;
+  sorted_left.SortBy(lcols);
+  sorted_right.SortBy(rcols);
+  Status s = ctx->ChargeWork(left.NumRows() + right.NumRows());
+  if (!s.ok()) return s;
+
+  Relation out{JoinedSchema(left.schema(), right.schema(), right_only)};
+  auto compare_keys = [&](std::size_t l, std::size_t r) {
+    auto lrow = sorted_left.Row(l);
+    auto rrow = sorted_right.Row(r);
+    for (std::size_t i = 0; i < lcols.size(); ++i) {
+      int cmp = lrow[lcols[i]].Compare(rrow[rcols[i]]);
+      if (cmp != 0) return cmp;
+    }
+    return 0;
+  };
+
+  std::vector<Value> row(out.arity());
+  std::size_t l = 0, r = 0;
+  while (l < sorted_left.NumRows() && r < sorted_right.NumRows()) {
+    int cmp = compare_keys(l, r);
+    if (cmp < 0) {
+      ++l;
+      continue;
+    }
+    if (cmp > 0) {
+      ++r;
+      continue;
+    }
+    // Duplicate runs: emit the cross product of equal-key blocks.
+    std::size_t l_end = l + 1;
+    while (l_end < sorted_left.NumRows() &&
+           RowKeysEqual(sorted_left.Row(l_end), lcols, sorted_left.Row(l),
+                        lcols)) {
+      ++l_end;
+    }
+    std::size_t r_end = r + 1;
+    while (r_end < sorted_right.NumRows() &&
+           RowKeysEqual(sorted_right.Row(r_end), rcols, sorted_right.Row(r),
+                        rcols)) {
+      ++r_end;
+    }
+    for (std::size_t li = l; li < l_end; ++li) {
+      auto lrow = sorted_left.Row(li);
+      for (std::size_t ri = r; ri < r_end; ++ri) {
+        Status st = ctx->ChargeWork(1);
+        if (!st.ok()) return st;
+        auto rrow = sorted_right.Row(ri);
+        std::size_t i = 0;
+        for (; i < left.arity(); ++i) row[i] = lrow[i];
+        for (std::size_t rc : right_only) row[i++] = rrow[rc];
+        st = ctx->ChargeRows(1);
+        if (!st.ok()) return st;
+        out.AddRow(row);
+      }
+    }
+    l = l_end;
+    r = r_end;
+  }
+  ctx->NotePeak(out.NumRows());
+  return out;
+}
+
+Result<Relation> NaturalSemiJoin(const Relation& left, const Relation& right,
+                                 ExecContext* ctx) {
+  std::vector<std::size_t> lcols, rcols, right_only;
+  SharedColumns(left.schema(), right.schema(), &lcols, &rcols, &right_only);
+  Relation out{left.schema()};
+  if (lcols.empty()) {
+    // Degenerate: keep left iff right nonempty.
+    if (right.NumRows() == 0) return out;
+    Status s = ctx->ChargeRows(left.NumRows());
+    if (!s.ok()) return s;
+    return left;
+  }
+  Status s = ctx->ChargeWork(left.NumRows() + right.NumRows());
+  if (!s.ok()) return s;
+  std::vector<std::size_t> right_hash(right.NumRows());
+  HashChainIndex table(right.NumRows());
+  for (std::size_t r = 0; r < right.NumRows(); ++r) {
+    right_hash[r] = HashRowKey(right.Row(r), rcols);
+    table.Insert(right_hash[r], r);
+  }
+  for (std::size_t l = 0; l < left.NumRows(); ++l) {
+    auto lrow = left.Row(l);
+    std::size_t h = HashRowKey(lrow, lcols);
+    for (uint32_t it = table.First(h); it != HashChainIndex::kEnd;
+         it = table.Next(it)) {
+      if (right_hash[it] == h &&
+          RowKeysEqual(right.Row(it), rcols, lrow, lcols)) {
+        Status st = ctx->ChargeRows(1);
+        if (!st.ok()) return st;
+        out.AddRow(lrow);
+        break;
+      }
+    }
+  }
+  ctx->NotePeak(out.NumRows());
+  return out;
+}
+
+}  // namespace htqo

@@ -1,0 +1,58 @@
+#include "exec/plan.h"
+
+namespace htqo {
+
+std::unique_ptr<JoinPlan> JoinPlan::Leaf(std::size_t atom) {
+  auto node = std::make_unique<JoinPlan>();
+  node->atom = atom;
+  return node;
+}
+
+std::unique_ptr<JoinPlan> JoinPlan::Join(std::unique_ptr<JoinPlan> l,
+                                         std::unique_ptr<JoinPlan> r,
+                                         JoinAlgo algo) {
+  auto node = std::make_unique<JoinPlan>();
+  node->left = std::move(l);
+  node->right = std::move(r);
+  node->algo = algo;
+  return node;
+}
+
+void JoinPlan::CollectAtoms(std::vector<std::size_t>* out) const {
+  if (IsLeaf()) {
+    out->push_back(atom);
+    return;
+  }
+  left->CollectAtoms(out);
+  right->CollectAtoms(out);
+}
+
+std::string JoinPlan::ToString(const ResolvedQuery& rq) const {
+  if (IsLeaf()) return rq.cq.atoms[atom].alias;
+  const char* op = algo == JoinAlgo::kHash
+                       ? " HJ "
+                       : (algo == JoinAlgo::kNestedLoop ? " NL " : " SM ");
+  return "(" + left->ToString(rq) + op + right->ToString(rq) + ")";
+}
+
+Result<Relation> ExecuteJoinPlan(const JoinPlan& plan, const ResolvedQuery& rq,
+                                 const Catalog& catalog, ExecContext* ctx) {
+  if (plan.IsLeaf()) {
+    return ScanAtom(rq, plan.atom, catalog, ctx);
+  }
+  auto left = ExecuteJoinPlan(*plan.left, rq, catalog, ctx);
+  if (!left.ok()) return left.status();
+  auto right = ExecuteJoinPlan(*plan.right, rq, catalog, ctx);
+  if (!right.ok()) return right.status();
+  switch (plan.algo) {
+    case JoinAlgo::kHash:
+      return NaturalHashJoin(*left, *right, ctx);
+    case JoinAlgo::kNestedLoop:
+      return NaturalNestedLoopJoin(*left, *right, ctx);
+    case JoinAlgo::kSortMerge:
+      return NaturalSortMergeJoin(*left, *right, ctx);
+  }
+  return Status::Internal("unknown join algorithm");
+}
+
+}  // namespace htqo

@@ -1,0 +1,68 @@
+#include "hypergraph/gyo.h"
+
+namespace htqo {
+
+bool IsAcyclicSubset(const Hypergraph& h, const Bitset& edge_subset) {
+  // Working copies of the surviving edges.
+  std::vector<Bitset> edges;
+  for (std::size_t e = edge_subset.FirstSet(); e < edge_subset.size();
+       e = edge_subset.NextSet(e)) {
+    edges.push_back(h.edge(e));
+  }
+  if (edges.size() <= 1) return true;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // (a) Remove vertices occurring in exactly one edge ("ears' private
+    // vertices"). Count occurrences.
+    std::vector<int> occurrences(h.NumVertices(), 0);
+    for (const Bitset& e : edges) {
+      for (std::size_t v = e.FirstSet(); v < e.size(); v = e.NextSet(v)) {
+        ++occurrences[v];
+      }
+    }
+    for (Bitset& e : edges) {
+      for (std::size_t v = e.FirstSet(); v < e.size(); v = e.NextSet(v)) {
+        if (occurrences[v] == 1) {
+          e.Reset(v);
+          changed = true;
+        }
+      }
+    }
+
+    // (b) Remove empty edges and edges contained in another edge.
+    std::vector<Bitset> kept;
+    kept.reserve(edges.size());
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (edges[i].None()) {
+        changed = true;
+        continue;
+      }
+      bool contained = false;
+      for (std::size_t j = 0; j < edges.size(); ++j) {
+        if (i == j) continue;
+        // Break ties by index so two identical edges don't delete each other.
+        if (edges[i] == edges[j] ? (i > j) : edges[i].IsSubsetOf(edges[j])) {
+          contained = true;
+          break;
+        }
+      }
+      if (contained) {
+        changed = true;
+      } else {
+        kept.push_back(edges[i]);
+      }
+    }
+    edges = std::move(kept);
+    if (edges.size() <= 1) return true;
+  }
+  return edges.size() <= 1;
+}
+
+bool IsAcyclic(const Hypergraph& h) {
+  return IsAcyclicSubset(h, h.AllEdges());
+}
+
+}  // namespace htqo

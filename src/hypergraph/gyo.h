@@ -1,0 +1,21 @@
+// GYO (Graham / Yu–Özsoyoğlu) reduction: the classical linear-ish acyclicity
+// test for hypergraphs. A hypergraph is acyclic iff repeatedly (a) removing
+// vertices that occur in exactly one edge and (b) removing edges contained
+// in another edge empties the edge set.
+
+#ifndef HTQO_HYPERGRAPH_GYO_H_
+#define HTQO_HYPERGRAPH_GYO_H_
+
+#include "hypergraph/hypergraph.h"
+
+namespace htqo {
+
+// True when `h` is an acyclic hypergraph. Edgeless hypergraphs are acyclic.
+bool IsAcyclic(const Hypergraph& h);
+
+// True when the sub-hypergraph given by `edge_subset` is acyclic.
+bool IsAcyclicSubset(const Hypergraph& h, const Bitset& edge_subset);
+
+}  // namespace htqo
+
+#endif  // HTQO_HYPERGRAPH_GYO_H_

@@ -1,0 +1,137 @@
+#include "hypergraph/hypergraph.h"
+
+#include "util/strings.h"
+
+namespace htqo {
+
+Hypergraph::Hypergraph(std::size_t num_vertices,
+                       std::vector<std::string> vertex_names,
+                       std::vector<std::string> edge_names)
+    : num_vertices_(num_vertices),
+      vertex_names_(std::move(vertex_names)),
+      edge_names_(std::move(edge_names)) {
+  HTQO_CHECK(vertex_names_.size() == num_vertices_);
+}
+
+Hypergraph::Hypergraph(std::size_t num_vertices)
+    : num_vertices_(num_vertices) {
+  vertex_names_.reserve(num_vertices);
+  for (std::size_t i = 0; i < num_vertices; ++i) {
+    vertex_names_.push_back("v" + std::to_string(i));
+  }
+}
+
+std::size_t Hypergraph::AddEdge(const std::vector<std::size_t>& vertices) {
+  Bitset e(num_vertices_);
+  for (std::size_t v : vertices) {
+    HTQO_CHECK(v < num_vertices_);
+    e.Set(v);
+  }
+  return AddEdge(std::move(e));
+}
+
+std::size_t Hypergraph::AddEdge(Bitset vertices) {
+  HTQO_CHECK(vertices.size() == num_vertices_);
+  std::size_t idx = edges_.size();
+  edges_.push_back(std::move(vertices));
+  if (edge_names_.size() < edges_.size()) {
+    edge_names_.push_back("e" + std::to_string(idx));
+  }
+  return idx;
+}
+
+Bitset Hypergraph::VarsOf(const Bitset& edge_set) const {
+  HTQO_DCHECK(edge_set.size() == edges_.size());
+  Bitset out(num_vertices_);
+  for (std::size_t e = edge_set.FirstSet(); e < edge_set.size();
+       e = edge_set.NextSet(e)) {
+    out |= edges_[e];
+  }
+  return out;
+}
+
+Bitset Hypergraph::AllVertices() const {
+  Bitset out(num_vertices_);
+  for (std::size_t i = 0; i < num_vertices_; ++i) out.Set(i);
+  return out;
+}
+
+Bitset Hypergraph::AllEdges() const {
+  Bitset out(edges_.size());
+  for (std::size_t i = 0; i < edges_.size(); ++i) out.Set(i);
+  return out;
+}
+
+std::vector<Bitset> Hypergraph::ComponentsOf(const Bitset& edge_subset,
+                                             const Bitset& separator) const {
+  std::vector<Bitset> components;
+  Bitset remaining = edge_subset;
+  // Drop edges entirely covered by the separator.
+  for (std::size_t e = remaining.FirstSet(); e < remaining.size();
+       e = remaining.NextSet(e)) {
+    if (edges_[e].IsSubsetOf(separator)) remaining.Reset(e);
+  }
+  while (remaining.Any()) {
+    std::size_t seed = remaining.FirstSet();
+    Bitset comp = EmptyEdgeSet();
+    comp.Set(seed);
+    remaining.Reset(seed);
+    Bitset frontier_vars = edges_[seed] - separator;
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (std::size_t e = remaining.FirstSet(); e < remaining.size();
+           e = remaining.NextSet(e)) {
+        Bitset outside = edges_[e] - separator;
+        if (outside.Intersects(frontier_vars)) {
+          comp.Set(e);
+          remaining.Reset(e);
+          frontier_vars |= outside;
+          grew = true;
+        }
+      }
+    }
+    components.push_back(std::move(comp));
+  }
+  return components;
+}
+
+Bitset Hypergraph::EdgesIntersecting(const Bitset& edge_subset,
+                                     const Bitset& vars) const {
+  Bitset out = EmptyEdgeSet();
+  for (std::size_t e = edge_subset.FirstSet(); e < edge_subset.size();
+       e = edge_subset.NextSet(e)) {
+    if (edges_[e].Intersects(vars)) out.Set(e);
+  }
+  return out;
+}
+
+std::string Hypergraph::ToString() const {
+  std::string out = "Hypergraph(" + std::to_string(num_vertices_) +
+                    " vertices):\n";
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    std::vector<std::string> vars;
+    for (std::size_t v : edges_[e].ToVector()) vars.push_back(vertex_names_[v]);
+    out += "  " + edge_names_[e] + "(" + Join(vars, ",") + ")\n";
+  }
+  return out;
+}
+
+std::string Hypergraph::ToDot() const {
+  std::string out = "graph hypergraph {\n";
+  for (std::size_t v = 0; v < num_vertices_; ++v) {
+    out += "  v" + std::to_string(v) + " [label=\"" + vertex_names_[v] +
+           "\" shape=ellipse];\n";
+  }
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    out += "  e" + std::to_string(e) + " [label=\"" + edge_names_[e] +
+           "\" shape=box style=filled fillcolor=lightgray];\n";
+    for (std::size_t v : edges_[e].ToVector()) {
+      out += "  e" + std::to_string(e) + " -- v" + std::to_string(v) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace htqo

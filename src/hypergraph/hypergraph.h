@@ -1,0 +1,76 @@
+// Query hypergraphs H(Q) = (V, E): one vertex per variable, one hyperedge
+// per query atom (Section 2). Edges are identified by index, so two atoms
+// with identical variable sets remain distinct edges — the paper's
+// "fresh variable per atom" device is realized structurally.
+
+#ifndef HTQO_HYPERGRAPH_HYPERGRAPH_H_
+#define HTQO_HYPERGRAPH_HYPERGRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "util/bitset.h"
+
+namespace htqo {
+
+class Hypergraph {
+ public:
+  Hypergraph(std::size_t num_vertices, std::vector<std::string> vertex_names,
+             std::vector<std::string> edge_names);
+
+  // Convenience constructor with generated names (v0..., e0...).
+  explicit Hypergraph(std::size_t num_vertices);
+
+  std::size_t NumVertices() const { return num_vertices_; }
+  std::size_t NumEdges() const { return edges_.size(); }
+
+  // Adds an edge over the given vertex ids; returns its index.
+  std::size_t AddEdge(const std::vector<std::size_t>& vertices);
+  std::size_t AddEdge(Bitset vertices);
+
+  const Bitset& edge(std::size_t i) const { return edges_[i]; }
+  const std::vector<Bitset>& edges() const { return edges_; }
+
+  const std::string& vertex_name(std::size_t v) const {
+    return vertex_names_[v];
+  }
+  const std::string& edge_name(std::size_t e) const { return edge_names_[e]; }
+
+  // Union of the vertex sets of the edges in `edge_set` (λ -> var(λ)).
+  Bitset VarsOf(const Bitset& edge_set) const;
+
+  // All-vertices / all-edges bitsets.
+  Bitset AllVertices() const;
+  Bitset AllEdges() const;
+
+  // Empty bitset sized for vertices / edges.
+  Bitset EmptyVertexSet() const { return Bitset(num_vertices_); }
+  Bitset EmptyEdgeSet() const { return Bitset(edges_.size()); }
+
+  // [S]-components (Section 3 / det-k-decomp): partitions the edges of
+  // `edge_subset` that have at least one vertex outside `separator` into
+  // maximal groups connected through vertices outside `separator`. Edges
+  // entirely inside `separator` belong to no component (they are covered).
+  std::vector<Bitset> ComponentsOf(const Bitset& edge_subset,
+                                   const Bitset& separator) const;
+
+  // Edges (within `edge_subset`) intersecting the vertex set `vars`.
+  Bitset EdgesIntersecting(const Bitset& edge_subset, const Bitset& vars)
+      const;
+
+  std::string ToString() const;
+
+  // Graphviz rendering: bipartite graph of variable nodes (circles) and
+  // atom nodes (boxes).
+  std::string ToDot() const;
+
+ private:
+  std::size_t num_vertices_;
+  std::vector<Bitset> edges_;
+  std::vector<std::string> vertex_names_;
+  std::vector<std::string> edge_names_;
+};
+
+}  // namespace htqo
+
+#endif  // HTQO_HYPERGRAPH_HYPERGRAPH_H_

@@ -1,0 +1,122 @@
+#include "hypergraph/join_tree.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace htqo {
+
+std::vector<std::size_t> JoinForest::ChildrenOf(std::size_t e) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < parent.size(); ++i) {
+    if (parent[i] == e) out.push_back(i);
+  }
+  return out;
+}
+
+namespace {
+
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t Find(std::size_t i) {
+    while (parent_[i] != i) {
+      parent_[i] = parent_[parent_[i]];
+      i = parent_[i];
+    }
+    return i;
+  }
+  bool Union(std::size_t a, std::size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+Result<JoinForest> BuildJoinForest(const Hypergraph& h) {
+  const std::size_t m = h.NumEdges();
+  JoinForest forest;
+  forest.parent.assign(m, JoinForest::kNoParent);
+  if (m == 0) return forest;
+
+  // Kruskal on the intersection graph, heaviest first.
+  struct Link {
+    std::size_t a, b, weight;
+  };
+  std::vector<Link> links;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      std::size_t w = (h.edge(i) & h.edge(j)).Count();
+      if (w > 0) links.push_back(Link{i, j, w});
+    }
+  }
+  std::stable_sort(links.begin(), links.end(),
+                   [](const Link& x, const Link& y) {
+                     return x.weight > y.weight;
+                   });
+
+  DisjointSets sets(m);
+  std::vector<std::vector<std::size_t>> adjacency(m);
+  for (const Link& l : links) {
+    if (sets.Union(l.a, l.b)) {
+      adjacency[l.a].push_back(l.b);
+      adjacency[l.b].push_back(l.a);
+    }
+  }
+
+  // Root every connected component at its smallest edge index.
+  std::vector<bool> visited(m, false);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (visited[r]) continue;
+    forest.roots.push_back(r);
+    std::vector<std::size_t> stack{r};
+    visited[r] = true;
+    while (!stack.empty()) {
+      std::size_t cur = stack.back();
+      stack.pop_back();
+      for (std::size_t next : adjacency[cur]) {
+        if (!visited[next]) {
+          visited[next] = true;
+          forest.parent[next] = cur;
+          stack.push_back(next);
+        }
+      }
+    }
+  }
+
+  if (!VerifyJoinForest(h, forest)) {
+    return Status::NotFound("hypergraph is cyclic: no join forest exists");
+  }
+  return forest;
+}
+
+bool VerifyJoinForest(const Hypergraph& h, const JoinForest& forest) {
+  const std::size_t m = h.NumEdges();
+  if (forest.parent.size() != m) return false;
+  // For each variable, the edges containing it must form a connected subtree
+  // of the forest — equivalent to the pairwise path property but linear to
+  // check: count edges containing v and the tree-links (child,parent) where
+  // both contain v; connected iff links == count - 1 within one component.
+  for (std::size_t v = 0; v < h.NumVertices(); ++v) {
+    std::size_t count = 0;
+    std::size_t internal_links = 0;
+    for (std::size_t e = 0; e < m; ++e) {
+      if (!h.edge(e).Test(v)) continue;
+      ++count;
+      std::size_t p = forest.parent[e];
+      if (p != JoinForest::kNoParent && h.edge(p).Test(v)) ++internal_links;
+    }
+    if (count > 0 && internal_links != count - 1) return false;
+  }
+  return true;
+}
+
+}  // namespace htqo

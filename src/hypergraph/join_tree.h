@@ -1,0 +1,38 @@
+// Join trees / join forests for acyclic hypergraphs (Section 2).
+//
+// Construction uses the Bernstein–Goodman theorem: a hypergraph is acyclic
+// iff every maximum-weight spanning tree of its intersection graph (edge
+// weight = number of shared variables) is a join tree. We build one maximal
+// spanning forest and verify the running-intersection property; verification
+// failure means the hypergraph is cyclic.
+
+#ifndef HTQO_HYPERGRAPH_JOIN_TREE_H_
+#define HTQO_HYPERGRAPH_JOIN_TREE_H_
+
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "util/status.h"
+
+namespace htqo {
+
+struct JoinForest {
+  // parent[e] = parent edge index in the forest, or kNoParent for roots.
+  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> parent;
+  std::vector<std::size_t> roots;
+
+  std::vector<std::size_t> ChildrenOf(std::size_t e) const;
+};
+
+// Builds a join forest for `h`; NotFound when `h` is cyclic.
+Result<JoinForest> BuildJoinForest(const Hypergraph& h);
+
+// Verifies the connectedness (running intersection) property: for every
+// pair of edges, their shared variables occur in every edge on the forest
+// path between them.
+bool VerifyJoinForest(const Hypergraph& h, const JoinForest& forest);
+
+}  // namespace htqo
+
+#endif  // HTQO_HYPERGRAPH_JOIN_TREE_H_

@@ -1,0 +1,34 @@
+// System-R-style dynamic-programming join-order optimizer — the stand-in for
+// the commercial comparator ("CommDB") of Section 6. Enumerates bushy or
+// left-deep plans over atom subsets, avoiding cross products whenever a
+// connected split exists, and picks join algorithms per node.
+
+#ifndef HTQO_OPT_DP_OPTIMIZER_H_
+#define HTQO_OPT_DP_OPTIMIZER_H_
+
+#include <memory>
+
+#include "opt/cost_model.h"
+#include "opt/join_graph.h"
+#include "util/status.h"
+
+namespace htqo {
+
+struct DpOptions {
+  bool bushy = true;  // false restricts the search to left-deep trees
+  // Nested loop is chosen when the estimated rows of the join's inner
+  // (right) input are at or below this threshold; hash join otherwise.
+  // 0 disables nested loops. Models the index-nestloop preference of
+  // optimizers running on default statistics.
+  double nested_loop_threshold = 0.0;
+};
+
+// Optimal plan under the cost model. Supports up to 20 atoms.
+Result<std::unique_ptr<JoinPlan>> DpOptimize(const JoinGraph& graph,
+                                             const PlanCostModel& cost,
+                                             const DpOptions& options =
+                                                 DpOptions());
+
+}  // namespace htqo
+
+#endif  // HTQO_OPT_DP_OPTIMIZER_H_

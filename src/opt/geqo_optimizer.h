@@ -1,0 +1,42 @@
+// GEQO-style genetic join-order optimizer — the stand-in for PostgreSQL's
+// genetic query optimizer (Section 5.1 mentions PostgreSQL's two
+// alternative optimizers: exhaustive search and GEQO). Searches left-deep
+// orders by evolving permutations: tournament selection, order crossover
+// (OX1), swap mutation. Deterministic for a fixed seed.
+
+#ifndef HTQO_OPT_GEQO_OPTIMIZER_H_
+#define HTQO_OPT_GEQO_OPTIMIZER_H_
+
+#include <memory>
+
+#include "opt/cost_model.h"
+#include "opt/join_graph.h"
+#include "util/status.h"
+
+namespace htqo {
+
+struct GeqoOptions {
+  std::size_t population = 32;
+  std::size_t generations = 48;
+  uint64_t seed = 1;
+  double mutation_rate = 0.15;
+  // Same semantics as DpOptions::nested_loop_threshold.
+  double nested_loop_threshold = 0.0;
+};
+
+// Best left-deep plan found by the genetic search.
+Result<std::unique_ptr<JoinPlan>> GeqoOptimize(const JoinGraph& graph,
+                                               const PlanCostModel& cost,
+                                               const GeqoOptions& options =
+                                                   GeqoOptions());
+
+// Left-deep plan joining atoms in the given order, with join algorithms
+// chosen by the nested-loop threshold rule. Shared with the naive optimizer.
+std::unique_ptr<JoinPlan> LeftDeepPlan(const std::vector<std::size_t>& order,
+                                       const JoinGraph& graph,
+                                       const PlanCostModel& cost,
+                                       double nested_loop_threshold);
+
+}  // namespace htqo
+
+#endif  // HTQO_OPT_GEQO_OPTIMIZER_H_

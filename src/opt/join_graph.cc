@@ -1,0 +1,40 @@
+#include "opt/join_graph.h"
+
+#include <algorithm>
+
+#include "decomp/qhd.h"
+
+namespace htqo {
+
+bool JoinGraph::Connected(const Bitset& a, const Bitset& b) const {
+  return VarsOf(a).Intersects(VarsOf(b));
+}
+
+Bitset JoinGraph::VarsOf(const Bitset& atoms) const {
+  Bitset out(num_vars);
+  for (std::size_t a = atoms.FirstSet(); a < atoms.size();
+       a = atoms.NextSet(a)) {
+    out |= atom_vars[a];
+  }
+  return out;
+}
+
+JoinGraph BuildJoinGraph(const ResolvedQuery& rq, const Estimator& estimator) {
+  JoinGraph graph;
+  graph.num_atoms = rq.cq.atoms.size();
+  graph.num_vars = rq.cq.vars.size();
+
+  auto edge_stats = BuildEdgeStats(rq.cq, estimator);
+  graph.atom_rows.reserve(graph.num_atoms);
+  graph.distinct.reserve(graph.num_atoms);
+  for (std::size_t a = 0; a < graph.num_atoms; ++a) {
+    graph.atom_rows.push_back(edge_stats[a].rows);
+    graph.distinct.push_back(edge_stats[a].distinct);
+    Bitset vars(graph.num_vars);
+    for (VarId v : rq.cq.atoms[a].Vars()) vars.Set(v);
+    graph.atom_vars.push_back(std::move(vars));
+  }
+  return graph;
+}
+
+}  // namespace htqo

@@ -1,0 +1,15 @@
+#include "opt/naive_optimizer.h"
+
+namespace htqo {
+
+std::unique_ptr<JoinPlan> NaiveFromOrderPlan(std::size_t num_atoms,
+                                             JoinAlgo algo) {
+  HTQO_CHECK(num_atoms >= 1);
+  std::unique_ptr<JoinPlan> plan = JoinPlan::Leaf(0);
+  for (std::size_t i = 1; i < num_atoms; ++i) {
+    plan = JoinPlan::Join(std::move(plan), JoinPlan::Leaf(i), algo);
+  }
+  return plan;
+}
+
+}  // namespace htqo

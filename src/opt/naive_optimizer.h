@@ -1,0 +1,20 @@
+// The no-optimizer baseline: joins the FROM-clause relations in syntactic
+// order with a fixed join algorithm — Section 6's "without its standard
+// optimizer" / "statistics disabled" regime, where no quantitative
+// information steers either the order or the operator choice.
+
+#ifndef HTQO_OPT_NAIVE_OPTIMIZER_H_
+#define HTQO_OPT_NAIVE_OPTIMIZER_H_
+
+#include <memory>
+
+#include "exec/plan.h"
+
+namespace htqo {
+
+std::unique_ptr<JoinPlan> NaiveFromOrderPlan(std::size_t num_atoms,
+                                             JoinAlgo algo);
+
+}  // namespace htqo
+
+#endif  // HTQO_OPT_NAIVE_OPTIMIZER_H_

@@ -1,0 +1,183 @@
+#include "opt/qhd_planner.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "cq/hypergraph_builder.h"
+#include "exec/executor.h"
+
+namespace htqo {
+
+namespace {
+
+// Projects `rel` onto the chi variables that are present in its schema,
+// deduplicating (set semantics).
+Relation ProjectToChi(const ResolvedQuery& rq, const Bitset& chi,
+                      const Relation& rel) {
+  std::vector<std::string> keep;
+  for (std::size_t v : chi.ToVector()) {
+    const std::string& name = rq.cq.vars[v].name;
+    if (rel.schema().IndexOf(name).has_value()) keep.push_back(name);
+  }
+  return ProjectByName(rel, keep, /*distinct=*/true);
+}
+
+}  // namespace
+
+Result<Relation> EvaluateDecomposition(const ResolvedQuery& rq,
+                                       const Catalog& catalog,
+                                       const Hypergraph& /*h*/,
+                                       const Hypertree& hd, ExecContext* ctx) {
+  if (rq.cq.always_false) return EmptyAnswer(rq);
+
+  std::vector<std::optional<Relation>> rel(hd.NumNodes());
+
+  for (std::size_t p : hd.PostOrder()) {
+    const HypertreeNode& node = hd.node(p);
+
+    // --- Steps P' and P'', interleaved. ------------------------------------
+    // The pool holds the lambda(p) scans and the children's messages. They
+    // are folded together greedily, always preferring the smallest relation
+    // that shares a column with the accumulated result. This realizes —
+    // and generalizes — the paper's topological-order caveat (Section 4.1):
+    // a decomposition vertex of a cyclic query typically carries atoms from
+    // *remote* parts of the cycle in one lambda label; joining them before
+    // the child message that connects them would temporarily materialize
+    // their cross product. Priority children (recorded by Procedure
+    // Optimize) are natural greedy picks: they are exactly the relations
+    // bounding the variables a pruned atom used to bound.
+    struct PoolItem {
+      Relation rel;
+      bool is_priority_child = false;
+    };
+    std::vector<PoolItem> pool;
+    for (std::size_t a : node.lambda.ToVector()) {
+      auto scan = ScanAtom(rq, a, catalog, ctx);
+      if (!scan.ok()) return scan.status();
+      pool.push_back(PoolItem{std::move(scan.value()), false});
+    }
+    for (std::size_t c : node.children) {
+      HTQO_CHECK(rel[c].has_value());
+      bool priority =
+          std::find(node.priority_children.begin(),
+                    node.priority_children.end(),
+                    c) != node.priority_children.end();
+      pool.push_back(PoolItem{std::move(*rel[c]), priority});
+      rel[c].reset();  // free child memory eagerly
+    }
+    HTQO_CHECK(!pool.empty());
+
+    // After each fold step, project to the chi variables plus everything a
+    // remaining pool item still joins on (dropping those would break the
+    // pending joins); deduplicate (set semantics) to keep the polynomial
+    // bound.
+    auto project_needed = [&](const Relation& in,
+                              const std::vector<bool>& used) {
+      std::vector<std::string> names;
+      for (const Column& col : in.schema().columns()) {
+        bool needed = false;
+        for (std::size_t v : node.chi.ToVector()) {
+          if (rq.cq.vars[v].name == col.name) needed = true;
+        }
+        if (!needed) {
+          for (std::size_t i = 0; i < pool.size() && !needed; ++i) {
+            if (used[i]) continue;
+            needed = pool[i].rel.schema().IndexOf(col.name).has_value();
+          }
+        }
+        if (needed) names.push_back(col.name);
+      }
+      return ProjectByName(in, names, /*distinct=*/true);
+    };
+
+    std::vector<bool> used(pool.size(), false);
+    // Seed with the smallest relation (priority children win ties).
+    std::size_t first = 0;
+    for (std::size_t i = 1; i < pool.size(); ++i) {
+      if (pool[i].rel.NumRows() < pool[first].rel.NumRows() ||
+          (pool[i].rel.NumRows() == pool[first].rel.NumRows() &&
+           pool[i].is_priority_child && !pool[first].is_priority_child)) {
+        first = i;
+      }
+    }
+    used[first] = true;
+    std::optional<Relation> current = std::move(pool[first].rel);
+    for (std::size_t step = 1; step < pool.size(); ++step) {
+      auto connected = [&](std::size_t i) {
+        for (const Column& c : pool[i].rel.schema().columns()) {
+          if (current->schema().IndexOf(c.name).has_value()) return true;
+        }
+        return false;
+      };
+      std::size_t best = pool.size();
+      bool best_connected = false;
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        if (used[i]) continue;
+        bool conn = connected(i);
+        if (best == pool.size() || (conn && !best_connected) ||
+            (conn == best_connected &&
+             pool[i].rel.NumRows() < pool[best].rel.NumRows())) {
+          best = i;
+          best_connected = conn;
+        }
+      }
+      used[best] = true;
+      auto joined = NaturalHashJoin(*current, pool[best].rel, ctx);
+      if (!joined.ok()) return joined.status();
+      pool[best].rel = Relation();  // free eagerly
+      Status s = ctx->ChargeWork(joined->NumRows());
+      if (!s.ok()) return s;
+      current = project_needed(*joined, used);
+      ctx->NotePeak(current->NumRows());
+    }
+    // Final projection to chi(p) exactly.
+    current = ProjectToChi(rq, node.chi, *current);
+    ctx->NotePeak(current->NumRows());
+
+    HTQO_CHECK(current.has_value());
+    // Every chi(p) variable must now be available (guaranteed by condition 3
+    // pre-Optimize and by the pruning guard post-Optimize).
+    for (std::size_t v : node.chi.ToVector()) {
+      HTQO_CHECK(current->schema().IndexOf(rq.cq.vars[v].name).has_value());
+    }
+    rel[p] = std::move(*current);
+  }
+
+  // --- Step P''': project the root onto out(Q). ----------------------------
+  Bitset out_vars = OutputVarsBitset(rq.cq);
+  HTQO_CHECK(out_vars.IsSubsetOf(hd.node(hd.root()).chi));
+  std::vector<std::string> out_names;
+  out_names.reserve(rq.cq.output_vars.size());
+  for (VarId v : rq.cq.output_vars) out_names.push_back(rq.cq.vars[v].name);
+  return ProjectByName(*rel[hd.root()], out_names, /*distinct=*/true);
+}
+
+Result<QhdEvaluation> EvaluateQhd(const ResolvedQuery& rq,
+                                  const Catalog& catalog,
+                                  const StatisticsRegistry* stats,
+                                  const QhdPlanOptions& options,
+                                  ExecContext* ctx) {
+  Hypergraph h = BuildHypergraph(rq.cq);
+  Bitset out_vars = OutputVarsBitset(rq.cq);
+
+  Result<QhdResult> decomp = Status::Internal("unset");
+  if (options.use_statistics) {
+    Estimator estimator(stats);
+    StatsDecompositionCostModel model(h, BuildEdgeStats(rq.cq, estimator));
+    decomp = QHypertreeDecomp(h, out_vars, model, options.decomp);
+  } else {
+    StructuralCostModel model;
+    decomp = QHypertreeDecomp(h, out_vars, model, options.decomp);
+  }
+  if (!decomp.ok()) return decomp.status();
+
+  QhdEvaluation eval;
+  eval.decomposition = std::move(decomp.value());
+  auto answer = EvaluateDecomposition(rq, catalog, h, eval.decomposition.hd,
+                                      ctx);
+  if (!answer.ok()) return answer.status();
+  eval.answer = std::move(answer.value());
+  return eval;
+}
+
+}  // namespace htqo

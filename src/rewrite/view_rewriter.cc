@@ -1,0 +1,197 @@
+#include "rewrite/view_rewriter.h"
+
+#include <map>
+
+#include "util/strings.h"
+
+namespace htqo {
+
+namespace {
+
+// One source of a variable inside a view body: either alias.column of a
+// lambda atom or view.varname of a child view.
+struct VarSource {
+  std::string qualifier;
+  std::string column;
+
+  std::string Ref() const { return qualifier + "." + column; }
+};
+
+}  // namespace
+
+std::string RewrittenQuery::ToScript() const {
+  std::string out;
+  for (const std::string& v : view_statements) out += v + "\n\n";
+  out += final_statement + ";\n";
+  return out;
+}
+
+Result<RewrittenQuery> RewriteAsViews(const ResolvedQuery& rq,
+                                      const Hypergraph& /*h*/,
+                                      const Hypertree& hd) {
+  for (const VarInfo& v : rq.cq.vars) {
+    if (v.is_tid) {
+      return Status::InvalidArgument(
+          "view rewriting requires a tuple-id-free isolation "
+          "(TidMode::kNone): synthetic tuple ids are not expressible in "
+          "SQL views");
+    }
+  }
+
+  RewrittenQuery out;
+  // Per-node view names (view_names itself stays parallel to view_bodies,
+  // i.e. in postorder).
+  std::vector<std::string> name_of(hd.NumNodes());
+  for (std::size_t p = 0; p < hd.NumNodes(); ++p) {
+    name_of[p] = "htqo_v" + std::to_string(p);
+  }
+  std::vector<std::size_t> order = hd.PostOrder();
+
+  for (std::size_t p : order) {
+    const HypertreeNode& node = hd.node(p);
+    const std::string& view_name = name_of[p];
+    out.view_names.push_back(view_name);
+
+    // Collect variable sources: lambda atoms first, then child views.
+    std::map<VarId, std::vector<VarSource>> sources;
+    std::vector<std::string> from_items;
+    std::vector<std::string> where_items;
+
+    for (std::size_t e : node.lambda.ToVector()) {
+      const Atom& atom = rq.cq.atoms[e];
+      from_items.push_back(atom.relation == atom.alias
+                               ? atom.relation
+                               : atom.relation + " " + atom.alias);
+      // Bindings: the base relation's column names are needed; recover them
+      // from var_of (alias, column) -> var.
+      for (const auto& [key, var] : rq.var_of) {
+        if (key.first != atom.alias) continue;
+        sources[var].push_back(VarSource{atom.alias, key.second});
+      }
+    }
+    for (std::size_t c : node.children) {
+      const std::string& child = name_of[c];
+      from_items.push_back(child);
+      for (std::size_t v : hd.node(c).chi.ToVector()) {
+        sources[v].push_back(VarSource{child, rq.cq.vars[v].name});
+      }
+    }
+
+    // Join conditions: chain-equate all sources of each variable.
+    for (const auto& [var, src] : sources) {
+      for (std::size_t i = 1; i < src.size(); ++i) {
+        where_items.push_back(src[0].Ref() + " = " + src[i].Ref());
+      }
+    }
+
+    // Atom-local filters and comparisons, rendered from the original
+    // statement's WHERE conjuncts that touch exactly the lambda atoms.
+    for (std::size_t e : node.lambda.ToVector()) {
+      const Atom& atom = rq.cq.atoms[e];
+      for (const AtomFilter& f : atom.filters) {
+        if (!f.in_values.empty() || f.negated) {
+          if (f.in_values.empty()) continue;  // NOT IN () is always true
+          std::vector<std::string> vals;
+          vals.reserve(f.in_values.size());
+          for (const Value& v : f.in_values) vals.push_back(v.ToString(true));
+          where_items.push_back(atom.alias + "." + f.column_name +
+                                (f.negated ? " NOT IN (" : " IN (") +
+                                Join(vals, ", ") + ")");
+          continue;
+        }
+        where_items.push_back(atom.alias + "." + f.column_name + " " +
+                              CompareOpSymbol(f.op) + " " +
+                              f.value.ToString(/*quoted=*/true));
+      }
+      for (const LocalComparison& c : atom.local_comparisons) {
+        where_items.push_back(atom.alias + "." + c.lcolumn_name + " " +
+                              CompareOpSymbol(c.op) + " " + atom.alias + "." +
+                              c.rcolumn_name);
+      }
+    }
+
+    // Projection: one column per chi variable.
+    std::vector<std::string> select_items;
+    for (std::size_t v : node.chi.ToVector()) {
+      auto it = sources.find(v);
+      if (it == sources.end() || it->second.empty()) {
+        return Status::Internal("variable " + rq.cq.vars[v].name +
+                                " has no source in view " + view_name);
+      }
+      select_items.push_back(it->second[0].Ref() + " AS " +
+                             rq.cq.vars[v].name);
+    }
+
+    std::string body = "SELECT DISTINCT " + Join(select_items, ", ") +
+                       "\nFROM " + Join(from_items, ", ");
+    if (!where_items.empty()) {
+      body += "\nWHERE " + Join(where_items, "\n  AND ");
+    }
+    out.view_bodies.push_back(body);
+    out.view_statements.push_back("CREATE VIEW " + view_name + " AS\n" + body +
+                                  ";");
+  }
+
+  // Final statement: the original SELECT over the root view, with column
+  // references rewritten to the root view's variable columns.
+  std::function<std::string(const Expr&)> render = [&](const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kColumnRef: {
+        auto var = rq.ResolveRef(e);
+        HTQO_CHECK(var.ok());
+        return rq.cq.vars[*var].name;
+      }
+      case ExprKind::kLiteral:
+        return e.literal.ToString(/*quoted=*/true);
+      case ExprKind::kBinary:
+        return "(" + render(*e.lhs) + " " + std::string(1, e.op) + " " +
+               render(*e.rhs) + ")";
+      case ExprKind::kAggregate:
+        return AggFuncName(e.agg) + "(" + (e.lhs ? render(*e.lhs) : "*") + ")";
+      case ExprKind::kScalarSubquery:
+        // Materialized into a literal before isolation; unreachable here.
+        HTQO_CHECK(false);
+        return std::string();
+    }
+    return std::string("?");
+  };
+
+  const SelectStatement& stmt = rq.stmt;
+  std::vector<std::string> parts;
+  for (std::size_t i = 0; i < stmt.items.size(); ++i) {
+    std::string item = render(stmt.items[i].expr);
+    if (!stmt.items[i].alias.empty()) item += " AS " + stmt.items[i].alias;
+    parts.push_back(std::move(item));
+  }
+  std::string final_stmt = std::string("SELECT ") +
+                           (stmt.distinct ? "DISTINCT " : "") +
+                           Join(parts, ", ") + "\nFROM " +
+                           name_of[hd.root()];
+  if (!stmt.group_by.empty()) {
+    parts.clear();
+    for (const Expr& g : stmt.group_by) parts.push_back(render(g));
+    final_stmt += "\nGROUP BY " + Join(parts, ", ");
+  }
+  if (!stmt.having.empty()) {
+    parts.clear();
+    for (const Comparison& hv : stmt.having) {
+      parts.push_back(render(hv.lhs) + " " + CompareOpSymbol(hv.op) + " " +
+                      render(hv.rhs));
+    }
+    final_stmt += "\nHAVING " + Join(parts, " AND ");
+  }
+  if (!stmt.order_by.empty()) {
+    parts.clear();
+    for (const OrderItem& o : stmt.order_by) {
+      parts.push_back(o.name + (o.descending ? " DESC" : ""));
+    }
+    final_stmt += "\nORDER BY " + Join(parts, ", ");
+  }
+  if (stmt.limit.has_value()) {
+    final_stmt += "\nLIMIT " + std::to_string(*stmt.limit);
+  }
+  out.final_statement = std::move(final_stmt);
+  return out;
+}
+
+}  // namespace htqo

@@ -1,0 +1,42 @@
+// Stand-alone mode (Section 5): rewrites a query as a cascade of SQL views,
+// one per decomposition vertex, that any DBMS can evaluate. View v_p selects
+// the chi(p) variables from the lambda(p) relations joined with the views of
+// p's children; the final statement applies the original SELECT list,
+// aggregates, GROUP BY and ORDER BY on top of the root view.
+
+#ifndef HTQO_REWRITE_VIEW_REWRITER_H_
+#define HTQO_REWRITE_VIEW_REWRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "cq/isolator.h"
+#include "decomp/hypertree.h"
+#include "hypergraph/hypergraph.h"
+#include "util/status.h"
+
+namespace htqo {
+
+struct RewrittenQuery {
+  // One CREATE VIEW statement per decomposition vertex, children before
+  // parents (executable in order).
+  std::vector<std::string> view_statements;
+  // SELECT body of each view (same order), parseable by our own parser;
+  // used to round-trip the rewriting through the engine in tests.
+  std::vector<std::string> view_bodies;
+  std::vector<std::string> view_names;
+  // The final statement over the root view.
+  std::string final_statement;
+
+  // Full script.
+  std::string ToScript() const;
+};
+
+// Rewrites `rq` according to decomposition `hd` of hypergraph `h`.
+Result<RewrittenQuery> RewriteAsViews(const ResolvedQuery& rq,
+                                      const Hypergraph& h,
+                                      const Hypertree& hd);
+
+}  // namespace htqo
+
+#endif  // HTQO_REWRITE_VIEW_REWRITER_H_

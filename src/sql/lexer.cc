@@ -1,0 +1,109 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace htqo {
+
+bool Token::IsKeyword(std::string_view kw) const {
+  return type == TokenType::kIdentifier && EqualsIgnoreCase(text, kw);
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = sql.size();
+
+  auto is_ident_start = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  auto is_ident_char = [&](char c) {
+    return is_ident_start(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (is_ident_start(c)) {
+      std::size_t start = i;
+      while (i < n && is_ident_char(sql[i])) ++i;
+      tok.type = TokenType::kIdentifier;
+      tok.text = std::string(sql.substr(start, i - start));
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      tok.type = is_float ? TokenType::kFloat : TokenType::kInteger;
+      tok.text = std::string(sql.substr(start, i - start));
+    } else if (c == '\'') {
+      ++i;
+      std::string content;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            content += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        content += sql[i];
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            "unterminated string literal at offset " + std::to_string(tok.offset));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(content);
+    } else {
+      tok.type = TokenType::kSymbol;
+      // Two-character operators first.
+      if (i + 1 < n) {
+        std::string two = std::string(sql.substr(i, 2));
+        if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+          tok.text = (two == "!=") ? "<>" : two;
+          i += 2;
+          tokens.push_back(std::move(tok));
+          continue;
+        }
+      }
+      static constexpr std::string_view kSingles = "(),.*+-/=<>;";
+      if (kSingles.find(c) == std::string_view::npos) {
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at offset " +
+                                       std::to_string(i));
+      }
+      tok.text = std::string(1, c);
+      ++i;
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace htqo

@@ -1,0 +1,45 @@
+// SQL tokenizer.
+//
+// Produces identifiers (keywords are classified by the parser), integer and
+// floating-point numbers, single-quoted strings, and punctuation/operator
+// symbols. Comments ("--" to end of line) and whitespace are skipped.
+
+#ifndef HTQO_SQL_LEXER_H_
+#define HTQO_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace htqo {
+
+enum class TokenType {
+  kIdentifier,
+  kInteger,
+  kFloat,
+  kString,
+  kSymbol,  // one of ( ) , . * + - / = < > <= >= <> ;
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     // raw text; for strings, the unquoted content
+  std::size_t offset = 0;  // byte offset in the input, for error messages
+
+  bool Is(TokenType t) const { return type == t; }
+  bool IsSymbol(std::string_view s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+  // Case-insensitive keyword check against an identifier token.
+  bool IsKeyword(std::string_view kw) const;
+};
+
+// Tokenizes `sql` into a vector ending in a kEnd token.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace htqo
+
+#endif  // HTQO_SQL_LEXER_H_

@@ -1,0 +1,513 @@
+#include "sql/parser.h"
+
+#include <charconv>
+#include <optional>
+
+#include "sql/lexer.h"
+#include "util/strings.h"
+
+namespace htqo {
+namespace {
+
+// Applies "+/- n YEAR|MONTH|DAY" to a day count.
+int64_t ApplyInterval(int64_t days, int64_t amount, const std::string& unit,
+                      bool negate) {
+  if (negate) amount = -amount;
+  if (EqualsIgnoreCase(unit, "day") || EqualsIgnoreCase(unit, "days")) {
+    return days + amount;
+  }
+  // Year/month arithmetic goes through the civil calendar.
+  std::string ymd = FormatDate(days);
+  int y = std::stoi(ymd.substr(0, 4));
+  int m = std::stoi(ymd.substr(5, 2));
+  int d = std::stoi(ymd.substr(8, 2));
+  if (EqualsIgnoreCase(unit, "year") || EqualsIgnoreCase(unit, "years")) {
+    y += static_cast<int>(amount);
+  } else {  // month
+    int total = y * 12 + (m - 1) + static_cast<int>(amount);
+    y = total / 12;
+    m = total % 12 + 1;
+  }
+  // Clamp the day-of-month (e.g. Jan 31 + 1 month -> Feb 28).
+  static constexpr int kDays[12] = {31, 28, 31, 30, 31, 30,
+                                    31, 31, 30, 31, 30, 31};
+  int dim = kDays[m - 1];
+  bool leap = (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+  if (m == 2 && leap) dim = 29;
+  if (d > dim) d = dim;
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  int64_t out = 0;
+  HTQO_CHECK(ParseDate(buf, &out));
+  return out;
+}
+
+struct Interval {
+  int64_t amount = 0;
+  std::string unit;
+};
+
+// One parsed factor: either a real expression or a bare interval waiting to
+// be folded into an adjacent date.
+struct Factor {
+  Expr expr;
+  std::optional<Interval> interval;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> Parse() {
+    auto stmt = ParseSelectBody();
+    if (!stmt.ok()) return stmt.status();
+    ConsumeSymbol(";");
+    if (!Peek().Is(TokenType::kEnd)) {
+      return Error("unexpected trailing input: '" + Peek().text + "'");
+    }
+    return stmt;
+  }
+
+ private:
+  Result<SelectStatement> ParseSelectBody() {
+    SelectStatement stmt;
+    if (!ConsumeKeyword("select")) return Error("expected SELECT");
+    if (ConsumeKeyword("distinct")) stmt.distinct = true;
+
+    // Select list.
+    while (true) {
+      auto item = ParseSelectItem();
+      if (!item.ok()) return item.status();
+      stmt.items.push_back(std::move(item.value()));
+      if (!ConsumeSymbol(",")) break;
+    }
+
+    if (!ConsumeKeyword("from")) return Error("expected FROM");
+    while (true) {
+      auto table = ParseTableRef();
+      if (!table.ok()) return table.status();
+      stmt.from.push_back(std::move(table.value()));
+      if (!ConsumeSymbol(",")) break;
+    }
+
+    if (ConsumeKeyword("where")) {
+      while (true) {
+        Status s = ParseCondition(&stmt.where, &stmt.where_in);
+        if (!s.ok()) return s;
+        if (!ConsumeKeyword("and")) break;
+      }
+    }
+
+    if (ConsumeKeyword("group")) {
+      if (!ConsumeKeyword("by")) return Error("expected BY after GROUP");
+      while (true) {
+        auto col = ParseColumnRef();
+        if (!col.ok()) return col.status();
+        stmt.group_by.push_back(std::move(col.value()));
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+
+    if (ConsumeKeyword("having")) {
+      if (stmt.group_by.empty() && !stmt.HasAggregates()) {
+        return Error("HAVING requires GROUP BY or aggregates");
+      }
+      while (true) {
+        Status s = ParseCondition(&stmt.having, /*in_out=*/nullptr);
+        if (!s.ok()) return s;
+        if (!ConsumeKeyword("and")) break;
+      }
+    }
+
+    if (ConsumeKeyword("order")) {
+      if (!ConsumeKeyword("by")) return Error("expected BY after ORDER");
+      while (true) {
+        if (!Peek().Is(TokenType::kIdentifier)) {
+          return Error("expected name in ORDER BY");
+        }
+        OrderItem item;
+        item.name = Next().text;
+        if (ConsumeKeyword("desc")) {
+          item.descending = true;
+        } else {
+          ConsumeKeyword("asc");
+        }
+        stmt.order_by.push_back(std::move(item));
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+
+    if (ConsumeKeyword("limit")) {
+      if (!Peek().Is(TokenType::kInteger)) {
+        return Error("expected integer after LIMIT");
+      }
+      stmt.limit = static_cast<std::size_t>(std::stoull(Next().text));
+    }
+
+    return stmt;
+  }
+
+  const Token& Peek(std::size_t ahead = 0) const {
+    std::size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;
+    return tokens_[i];
+  }
+  const Token& Next() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  bool ConsumeKeyword(std::string_view kw) {
+    if (Peek().IsKeyword(kw)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeSymbol(std::string_view s) {
+    if (Peek().IsSymbol(s)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(
+        msg + " (at offset " + std::to_string(Peek().offset) + ")");
+  }
+
+  static bool IsReservedAfterTable(const Token& t) {
+    for (const char* kw : {"where", "group", "order", "having", "limit",
+                           "between", "on", "inner", "join", "select",
+                           "and"}) {
+      if (t.IsKeyword(kw)) return true;
+    }
+    return false;
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    auto expr = ParseExpr();
+    if (!expr.ok()) return expr.status();
+    SelectItem item(std::move(expr.value()), "");
+    if (ConsumeKeyword("as")) {
+      if (!Peek().Is(TokenType::kIdentifier)) {
+        return Error("expected alias after AS");
+      }
+      item.alias = Next().text;
+    } else if (Peek().Is(TokenType::kIdentifier) &&
+               !IsReservedAfterTable(Peek()) && !Peek().IsKeyword("from")) {
+      item.alias = Next().text;
+    }
+    return item;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    // Derived table: FROM (SELECT ...) alias.
+    if (Peek().IsSymbol("(")) {
+      Next();
+      auto sub = ParseSelectBody();
+      if (!sub.ok()) return sub.status();
+      if (!ConsumeSymbol(")")) return Error("expected ')' after subquery");
+      TableRef ref;
+      ref.subquery =
+          std::make_shared<const SelectStatement>(std::move(sub.value()));
+      ConsumeKeyword("as");
+      if (!Peek().Is(TokenType::kIdentifier) ||
+          IsReservedAfterTable(Peek())) {
+        return Error("derived table requires an alias");
+      }
+      ref.alias = Next().text;
+      return ref;
+    }
+    if (!Peek().Is(TokenType::kIdentifier)) {
+      return Error("expected relation name in FROM");
+    }
+    TableRef ref;
+    ref.name = Next().text;
+    ref.alias = ref.name;
+    if (Peek().Is(TokenType::kIdentifier) && !IsReservedAfterTable(Peek())) {
+      ref.alias = Next().text;
+    }
+    return ref;
+  }
+
+  Result<Expr> ParseColumnRef() {
+    if (!Peek().Is(TokenType::kIdentifier)) {
+      return Error("expected column reference");
+    }
+    std::string first = Next().text;
+    if (ConsumeSymbol(".")) {
+      if (!Peek().Is(TokenType::kIdentifier)) {
+        return Error("expected column name after '.'");
+      }
+      return Expr::MakeColumnRef(first, Next().text);
+    }
+    return Expr::MakeColumnRef("", first);
+  }
+
+  // Appends one or two comparisons (BETWEEN expands to two), or an IN
+  // conjunct when `in_out` is non-null (IN is rejected where it is null,
+  // e.g. in HAVING).
+  Status ParseCondition(std::vector<Comparison>* out,
+                        std::vector<InCondition>* in_out) {
+    auto lhs = ParseExpr();
+    if (!lhs.ok()) return lhs.status();
+    bool negated = false;
+    if (Peek().IsKeyword("not") && Peek(1).IsKeyword("in")) {
+      negated = true;
+      Next();  // NOT
+    }
+    if (Peek().IsKeyword("in")) {
+      if (in_out == nullptr) {
+        return Error("IN is not supported in this clause");
+      }
+      Next();
+      if (!ConsumeSymbol("(")) return Error("expected '(' after IN");
+      InCondition cond;
+      cond.negated = negated;
+      cond.lhs = std::move(lhs.value());
+      if (Peek().IsKeyword("select")) {
+        auto sub = ParseSelectBody();
+        if (!sub.ok()) return sub.status();
+        cond.subquery =
+            std::make_shared<const SelectStatement>(std::move(sub.value()));
+      } else {
+        while (true) {
+          auto item = ParseExpr();
+          if (!item.ok()) return item.status();
+          auto folded = [&]() -> std::optional<Value> {
+            if (item->kind == ExprKind::kLiteral) return item->literal;
+            return std::nullopt;
+          }();
+          if (!folded) {
+            return Error("IN list elements must be literals");
+          }
+          cond.values.push_back(*folded);
+          if (!ConsumeSymbol(",")) break;
+        }
+        if (cond.values.empty()) return Error("empty IN list");
+      }
+      if (!ConsumeSymbol(")")) return Error("expected ')' after IN list");
+      in_out->push_back(std::move(cond));
+      return Status::Ok();
+    }
+    if (ConsumeKeyword("between")) {
+      auto lo = ParseExpr();
+      if (!lo.ok()) return lo.status();
+      if (!ConsumeKeyword("and")) return Error("expected AND in BETWEEN");
+      auto hi = ParseExpr();
+      if (!hi.ok()) return hi.status();
+      out->emplace_back(lhs.value().Clone(), CompareOp::kGe,
+                        std::move(lo.value()));
+      out->emplace_back(std::move(lhs.value()), CompareOp::kLe,
+                        std::move(hi.value()));
+      return Status::Ok();
+    }
+    CompareOp op;
+    if (ConsumeSymbol("=")) {
+      op = CompareOp::kEq;
+    } else if (ConsumeSymbol("<>")) {
+      op = CompareOp::kNe;
+    } else if (ConsumeSymbol("<=")) {
+      op = CompareOp::kLe;
+    } else if (ConsumeSymbol(">=")) {
+      op = CompareOp::kGe;
+    } else if (ConsumeSymbol("<")) {
+      op = CompareOp::kLt;
+    } else if (ConsumeSymbol(">")) {
+      op = CompareOp::kGt;
+    } else {
+      return Error("expected comparison operator");
+    }
+    auto rhs = ParseExpr();
+    if (!rhs.ok()) return rhs.status();
+    out->emplace_back(std::move(lhs.value()), op, std::move(rhs.value()));
+    return Status::Ok();
+  }
+
+  Result<Expr> ParseExpr() {
+    auto lhs = ParseTerm();
+    if (!lhs.ok()) return lhs.status();
+    Expr acc = std::move(lhs.value());
+    while (Peek().IsSymbol("+") || Peek().IsSymbol("-")) {
+      char op = Next().text[0];
+      auto rhs = ParseTermOrInterval();
+      if (!rhs.ok()) return rhs.status();
+      Factor f = std::move(rhs.value());
+      if (f.interval) {
+        // Fold "date '...' +/- interval" into a date literal.
+        if (acc.kind != ExprKind::kLiteral ||
+            acc.literal.type() != ValueType::kDate) {
+          return Error("interval arithmetic requires a date literal operand");
+        }
+        int64_t days = ApplyInterval(acc.literal.AsInt64(), f.interval->amount,
+                                     f.interval->unit, op == '-');
+        acc = Expr::MakeLiteral(Value::Date(days));
+      } else {
+        acc = Expr::MakeBinary(op, std::move(acc), std::move(f.expr));
+      }
+    }
+    return acc;
+  }
+
+  Result<Expr> ParseTerm() {
+    auto lhs = ParseFactor();
+    if (!lhs.ok()) return lhs.status();
+    if (lhs.value().interval) {
+      return Error("interval literal outside date arithmetic");
+    }
+    Expr acc = std::move(lhs.value().expr);
+    while (Peek().IsSymbol("*") || Peek().IsSymbol("/")) {
+      char op = Next().text[0];
+      auto rhs = ParseFactor();
+      if (!rhs.ok()) return rhs.status();
+      if (rhs.value().interval) {
+        return Error("interval literal outside date arithmetic");
+      }
+      acc = Expr::MakeBinary(op, std::move(acc), std::move(rhs.value().expr));
+    }
+    return acc;
+  }
+
+  Result<Factor> ParseTermOrInterval() {
+    auto f = ParseFactor();
+    if (!f.ok()) return f.status();
+    if (f.value().interval) return f;
+    // Continue multiplicative parsing for the non-interval case.
+    Expr acc = std::move(f.value().expr);
+    while (Peek().IsSymbol("*") || Peek().IsSymbol("/")) {
+      char op = Next().text[0];
+      auto rhs = ParseFactor();
+      if (!rhs.ok()) return rhs.status();
+      if (rhs.value().interval) {
+        return Error("interval literal outside date arithmetic");
+      }
+      acc = Expr::MakeBinary(op, std::move(acc), std::move(rhs.value().expr));
+    }
+    Factor out;
+    out.expr = std::move(acc);
+    return out;
+  }
+
+  Result<Factor> ParseFactor() {
+    Factor out;
+    const Token& t = Peek();
+    if (t.IsSymbol("(")) {
+      Next();
+      if (Peek().IsKeyword("select")) {
+        auto sub = ParseSelectBody();
+        if (!sub.ok()) return sub.status();
+        if (!ConsumeSymbol(")")) return Error("expected ')' after subquery");
+        out.expr = Expr::MakeScalarSubquery(
+            std::make_shared<const SelectStatement>(std::move(sub.value())));
+        return out;
+      }
+      auto inner = ParseExpr();
+      if (!inner.ok()) return inner.status();
+      if (!ConsumeSymbol(")")) return Error("expected ')'");
+      out.expr = std::move(inner.value());
+      return out;
+    }
+    if (t.Is(TokenType::kInteger)) {
+      int64_t v = 0;
+      std::from_chars(t.text.data(), t.text.data() + t.text.size(), v);
+      Next();
+      out.expr = Expr::MakeLiteral(Value::Int64(v));
+      return out;
+    }
+    if (t.Is(TokenType::kFloat)) {
+      double v = std::stod(t.text);
+      Next();
+      out.expr = Expr::MakeLiteral(Value::Double(v));
+      return out;
+    }
+    if (t.Is(TokenType::kString)) {
+      std::string s = Next().text;
+      out.expr = Expr::MakeLiteral(Value::String(std::move(s)));
+      return out;
+    }
+    if (t.IsKeyword("date")) {
+      Next();
+      if (!Peek().Is(TokenType::kString)) {
+        return Error("expected string after DATE");
+      }
+      int64_t days = 0;
+      std::string ymd = Next().text;
+      if (!ParseDate(ymd, &days)) {
+        return Error("bad date literal '" + ymd + "'");
+      }
+      out.expr = Expr::MakeLiteral(Value::Date(days));
+      return out;
+    }
+    if (t.IsKeyword("interval")) {
+      Next();
+      if (!Peek().Is(TokenType::kString)) {
+        return Error("expected string after INTERVAL");
+      }
+      Interval iv;
+      std::string amount = Next().text;
+      auto [p, ec] = std::from_chars(amount.data(),
+                                     amount.data() + amount.size(), iv.amount);
+      if (ec != std::errc() || p != amount.data() + amount.size()) {
+        return Error("bad interval amount '" + amount + "'");
+      }
+      if (!Peek().Is(TokenType::kIdentifier)) {
+        return Error("expected interval unit");
+      }
+      iv.unit = Next().text;
+      if (!EqualsIgnoreCase(iv.unit, "year") &&
+          !EqualsIgnoreCase(iv.unit, "years") &&
+          !EqualsIgnoreCase(iv.unit, "month") &&
+          !EqualsIgnoreCase(iv.unit, "months") &&
+          !EqualsIgnoreCase(iv.unit, "day") &&
+          !EqualsIgnoreCase(iv.unit, "days")) {
+        return Error("unsupported interval unit '" + iv.unit + "'");
+      }
+      out.interval = iv;
+      return out;
+    }
+    if (t.Is(TokenType::kIdentifier)) {
+      // Aggregate call?
+      for (auto [name, func] :
+           {std::pair{"sum", AggFunc::kSum}, {"count", AggFunc::kCount},
+            {"min", AggFunc::kMin}, {"max", AggFunc::kMax},
+            {"avg", AggFunc::kAvg}}) {
+        if (t.IsKeyword(name) && Peek(1).IsSymbol("(")) {
+          Next();  // function name
+          Next();  // '('
+          if (ConsumeSymbol("*")) {
+            if (func != AggFunc::kCount) {
+              return Error("'*' argument only allowed in COUNT");
+            }
+            if (!ConsumeSymbol(")")) return Error("expected ')'");
+            out.expr = Expr::MakeAggregate(func, nullptr);
+            return out;
+          }
+          auto arg = ParseExpr();
+          if (!arg.ok()) return arg.status();
+          if (!ConsumeSymbol(")")) return Error("expected ')'");
+          out.expr = Expr::MakeAggregate(
+              func, std::make_unique<Expr>(std::move(arg.value())));
+          return out;
+        }
+      }
+      auto col = ParseColumnRef();
+      if (!col.ok()) return col.status();
+      out.expr = std::move(col.value());
+      return out;
+    }
+    return Error("unexpected token '" + t.text + "'");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> ParseSelect(std::string_view sql) {
+  auto tokens = Tokenize(sql);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens.value()));
+  return parser.Parse();
+}
+
+}  // namespace htqo

@@ -1,0 +1,30 @@
+// Recursive-descent parser for the SQL fragment described in sql/ast.h.
+
+#ifndef HTQO_SQL_PARSER_H_
+#define HTQO_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace htqo {
+
+// Parses one SELECT statement (optionally ';'-terminated).
+//
+// Supported grammar:
+//   SELECT [DISTINCT] item, ...
+//   FROM rel [alias], ...
+//   [WHERE cond AND cond ...]       cond: expr (=|<>|<|<=|>|>=) expr
+//                                         | expr BETWEEN expr AND expr
+//   [GROUP BY colref, ...]
+//   [ORDER BY name [ASC|DESC], ...]
+// Expressions: + - * / with parentheses, integer/float/string literals,
+// DATE 'YYYY-MM-DD' literals, INTERVAL 'n' YEAR|MONTH|DAY (folded into the
+// adjacent date literal at parse time), aggregate calls sum/count/min/max/avg
+// (count(*) allowed), and [table.]column references.
+Result<SelectStatement> ParseSelect(std::string_view sql);
+
+}  // namespace htqo
+
+#endif  // HTQO_SQL_PARSER_H_

@@ -1,0 +1,80 @@
+#include "stats/statistics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace htqo {
+
+RelationStats CollectStats(const Relation& relation,
+                           std::size_t histogram_buckets) {
+  RelationStats stats;
+  stats.row_count = relation.NumRows();
+  stats.columns.resize(relation.arity());
+  for (std::size_t c = 0; c < relation.arity(); ++c) {
+    std::unordered_set<Value, ValueHash> distinct;
+    distinct.reserve(relation.NumRows() * 2);
+    ColumnStats& cs = stats.columns[c];
+    for (std::size_t r = 0; r < relation.NumRows(); ++r) {
+      const Value& v = relation.At(r, c);
+      distinct.insert(v);
+      if (!cs.min || v < *cs.min) cs.min = v;
+      if (!cs.max || v > *cs.max) cs.max = v;
+    }
+    cs.distinct_count = distinct.size();
+
+    // Equi-depth histogram for orderable non-string columns.
+    const bool orderable =
+        relation.NumRows() >= 2 && histogram_buckets >= 2 &&
+        relation.schema().column(c).type != ValueType::kString;
+    if (orderable) {
+      std::vector<Value> sorted;
+      sorted.reserve(relation.NumRows());
+      for (std::size_t r = 0; r < relation.NumRows(); ++r) {
+        sorted.push_back(relation.At(r, c));
+      }
+      std::sort(sorted.begin(), sorted.end());
+      std::size_t buckets =
+          std::min(histogram_buckets, sorted.size());
+      cs.histogram_bounds.reserve(buckets + 1);
+      for (std::size_t b = 0; b <= buckets; ++b) {
+        std::size_t idx = b * (sorted.size() - 1) / buckets;
+        cs.histogram_bounds.push_back(sorted[idx]);
+      }
+    }
+  }
+  return stats;
+}
+
+RelationStats MakeManualStats(
+    std::size_t row_count, const std::vector<std::size_t>& distinct_counts) {
+  RelationStats stats;
+  stats.row_count = row_count;
+  stats.columns.resize(distinct_counts.size());
+  for (std::size_t c = 0; c < distinct_counts.size(); ++c) {
+    // 0 stays 0 = unknown; the estimator falls back to defaults for it.
+    stats.columns[c].distinct_count = distinct_counts[c];
+  }
+  return stats;
+}
+
+void StatisticsRegistry::Put(const std::string& relation_name,
+                             RelationStats stats) {
+  stats_[ToLower(relation_name)] = std::move(stats);
+}
+
+const RelationStats* StatisticsRegistry::Find(
+    const std::string& relation_name) const {
+  auto it = stats_.find(ToLower(relation_name));
+  if (it == stats_.end()) return nullptr;
+  return &it->second;
+}
+
+void StatisticsRegistry::AnalyzeAll(const Catalog& catalog) {
+  for (const std::string& name : catalog.Names()) {
+    Put(name, CollectStats(*catalog.Find(name)));
+  }
+}
+
+}  // namespace htqo

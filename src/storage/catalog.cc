@@ -1,0 +1,39 @@
+#include "storage/catalog.h"
+
+#include "util/strings.h"
+
+namespace htqo {
+
+void Catalog::Put(const std::string& name, Relation relation) {
+  relations_[ToLower(name)] =
+      std::make_unique<Relation>(std::move(relation));
+}
+
+const Relation* Catalog::Find(const std::string& name) const {
+  auto it = relations_.find(ToLower(name));
+  if (it == relations_.end()) return nullptr;
+  return it->second.get();
+}
+
+Result<const Relation*> Catalog::Get(const std::string& name) const {
+  const Relation* r = Find(name);
+  if (r == nullptr) {
+    return Status::InvalidArgument("unknown relation: " + name);
+  }
+  return r;
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::vector<std::string> out;
+  out.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) out.push_back(name);
+  return out;
+}
+
+std::size_t Catalog::TotalRows() const {
+  std::size_t n = 0;
+  for (const auto& [name, rel] : relations_) n += rel->NumRows();
+  return n;
+}
+
+}  // namespace htqo

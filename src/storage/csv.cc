@@ -1,0 +1,190 @@
+#include "storage/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace htqo {
+
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteCell(const std::string& s) {
+  if (s.empty()) return "\"\"";  // distinguish from a blank line
+  if (!NeedsQuoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+// Splits one CSV record (handles quoted fields; `in` may span lines for
+// quoted newlines). Returns false at EOF with no record.
+bool ReadRecord(std::istream& in, std::vector<std::string>* fields,
+                bool* saw_quote) {
+  fields->clear();
+  *saw_quote = false;
+  std::string cell;
+  bool in_quotes = false;
+  bool any = false;
+  int c;
+  while ((c = in.get()) != EOF) {
+    any = true;
+    if (in_quotes) {
+      if (c == '"') {
+        if (in.peek() == '"') {
+          cell += '"';
+          in.get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += static_cast<char>(c);
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      *saw_quote = true;
+    } else if (c == ',') {
+      fields->push_back(std::move(cell));
+      cell.clear();
+    } else if (c == '\n') {
+      break;
+    } else if (c == '\r') {
+      // swallow (CRLF)
+    } else {
+      cell += static_cast<char>(c);
+    }
+  }
+  if (!any) return false;
+  fields->push_back(std::move(cell));
+  return true;
+}
+
+Result<ValueType> ParseType(const std::string& name) {
+  if (EqualsIgnoreCase(name, "int64")) return ValueType::kInt64;
+  if (EqualsIgnoreCase(name, "double")) return ValueType::kDouble;
+  if (EqualsIgnoreCase(name, "string")) return ValueType::kString;
+  if (EqualsIgnoreCase(name, "date")) return ValueType::kDate;
+  return Status::InvalidArgument("unknown CSV column type: " + name);
+}
+
+Result<Value> ParseCell(const std::string& cell, ValueType type) {
+  switch (type) {
+    case ValueType::kInt64: {
+      int64_t v = 0;
+      auto [p, ec] =
+          std::from_chars(cell.data(), cell.data() + cell.size(), v);
+      if (ec != std::errc() || p != cell.data() + cell.size()) {
+        return Status::InvalidArgument("bad int64 cell: '" + cell + "'");
+      }
+      return Value::Int64(v);
+    }
+    case ValueType::kDouble: {
+      double v = 0;
+      auto [p, ec] =
+          std::from_chars(cell.data(), cell.data() + cell.size(), v);
+      if (ec != std::errc() || p != cell.data() + cell.size()) {
+        return Status::InvalidArgument("bad double cell: '" + cell + "'");
+      }
+      return Value::Double(v);
+    }
+    case ValueType::kString:
+      return Value::String(cell);
+    case ValueType::kDate: {
+      int64_t days = 0;
+      if (!ParseDate(cell, &days)) {
+        return Status::InvalidArgument("bad date cell: '" + cell + "'");
+      }
+      return Value::Date(days);
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+void WriteCsv(const Relation& relation, std::ostream& out) {
+  const Schema& schema = relation.schema();
+  for (std::size_t c = 0; c < schema.arity(); ++c) {
+    if (c > 0) out << ',';
+    out << QuoteCell(schema.column(c).name) << ':'
+        << ValueTypeName(schema.column(c).type);
+  }
+  out << '\n';
+  for (std::size_t r = 0; r < relation.NumRows(); ++r) {
+    for (std::size_t c = 0; c < schema.arity(); ++c) {
+      if (c > 0) out << ',';
+      out << QuoteCell(relation.At(r, c).ToString(/*quoted=*/false));
+    }
+    out << '\n';
+  }
+}
+
+Status WriteCsvFile(const Relation& relation, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot open for write: " + path);
+  WriteCsv(relation, out);
+  return out.good() ? Status::Ok()
+                    : Status::Internal("write failed: " + path);
+}
+
+Result<Relation> ReadCsv(std::istream& in) {
+  std::vector<std::string> fields;
+  bool saw_quote = false;
+  if (!ReadRecord(in, &fields, &saw_quote)) {
+    return Status::InvalidArgument("empty CSV input");
+  }
+  std::vector<Column> columns;
+  columns.reserve(fields.size());
+  for (const std::string& header : fields) {
+    std::size_t colon = header.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Status::InvalidArgument("CSV header cell needs name:type: '" +
+                                     header + "'");
+    }
+    auto type = ParseType(header.substr(colon + 1));
+    if (!type.ok()) return type.status();
+    columns.push_back(Column{header.substr(0, colon), *type});
+  }
+  Relation relation{Schema(std::move(columns))};
+  std::vector<Value> row(relation.arity());
+  std::size_t line = 1;
+  while (ReadRecord(in, &fields, &saw_quote)) {
+    ++line;
+    if (fields.size() == 1 && fields[0].empty() && !saw_quote) {
+      continue;  // blank line (a quoted "" is a real empty cell)
+    }
+    if (fields.size() != relation.arity()) {
+      return Status::InvalidArgument(
+          "CSV record " + std::to_string(line) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(relation.arity()));
+    }
+    for (std::size_t c = 0; c < fields.size(); ++c) {
+      auto value = ParseCell(fields[c], relation.schema().column(c).type);
+      if (!value.ok()) return value.status();
+      row[c] = std::move(value.value());
+    }
+    relation.AddRow(row);
+  }
+  return relation;
+}
+
+Result<Relation> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::InvalidArgument("cannot open for read: " + path);
+  return ReadCsv(in);
+}
+
+}  // namespace htqo

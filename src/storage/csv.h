@@ -1,0 +1,28 @@
+// CSV import/export for relations (RFC-4180-style quoting). The header row
+// encodes the typed schema as "name:type" so round-trips preserve types:
+//   a:int64,name:string,price:double,day:date
+
+#ifndef HTQO_STORAGE_CSV_H_
+#define HTQO_STORAGE_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "storage/relation.h"
+#include "util/status.h"
+
+namespace htqo {
+
+// Writes `relation` with a typed header. Strings containing separators,
+// quotes or newlines are quoted; embedded quotes are doubled.
+void WriteCsv(const Relation& relation, std::ostream& out);
+Status WriteCsvFile(const Relation& relation, const std::string& path);
+
+// Parses a relation written by WriteCsv (or hand-authored with the same
+// header convention). InvalidArgument on malformed headers/cells.
+Result<Relation> ReadCsv(std::istream& in);
+Result<Relation> ReadCsvFile(const std::string& path);
+
+}  // namespace htqo
+
+#endif  // HTQO_STORAGE_CSV_H_

@@ -1,0 +1,110 @@
+// In-memory relations: a schema plus a row-major tuple store.
+//
+// Rows are stored flat in a single vector with stride = arity, which keeps
+// scans cache-friendly and row copies cheap. Relation is the unit of exchange
+// between physical operators: every operator consumes and produces whole
+// Relations (full materialization), which is the right fidelity for the
+// paper's experiments — its cost phenomena are intermediate-result sizes.
+
+#ifndef HTQO_STORAGE_RELATION_H_
+#define HTQO_STORAGE_RELATION_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace htqo {
+
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  std::size_t arity() const { return schema_.arity(); }
+  std::size_t NumRows() const {
+    return arity() == 0 ? zero_arity_rows_ : data_.size() / arity();
+  }
+
+  // For zero-arity relations (Boolean query results) the row count is the
+  // only payload: 0 rows = false, >0 = true.
+  void SetZeroArityRows(std::size_t n) {
+    HTQO_CHECK(arity() == 0);
+    zero_arity_rows_ = n;
+  }
+
+  void Reserve(std::size_t rows) { data_.reserve(rows * arity()); }
+
+  void AddRow(std::vector<Value> row) {
+    HTQO_CHECK(row.size() == arity());
+    if (arity() == 0) {
+      ++zero_arity_rows_;
+      return;
+    }
+    for (auto& v : row) data_.push_back(std::move(v));
+  }
+
+  void AddRow(std::span<const Value> row) {
+    HTQO_CHECK(row.size() == arity());
+    if (arity() == 0) {
+      ++zero_arity_rows_;
+      return;
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+
+  std::span<const Value> Row(std::size_t i) const {
+    HTQO_DCHECK(i < NumRows());
+    return {data_.data() + i * arity(), arity()};
+  }
+
+  const Value& At(std::size_t row, std::size_t col) const {
+    HTQO_DCHECK(row < NumRows() && col < arity());
+    return data_[row * arity() + col];
+  }
+
+  // Relation with columns at `indices` (in that order), duplicates kept.
+  Relation Project(const std::vector<std::size_t>& indices) const;
+
+  // Relation with duplicate rows removed (order not preserved).
+  Relation Distinct() const;
+
+  // Sorts rows lexicographically by the given column indices (all columns
+  // when empty). Used for canonicalization in tests and ORDER BY.
+  void SortBy(const std::vector<std::size_t>& cols);
+
+  // As above with a per-column descending flag (parallel to `cols`).
+  void SortBy(const std::vector<std::size_t>& cols,
+              const std::vector<bool>& descending);
+
+  // Keeps only the first `n` rows (LIMIT).
+  void Truncate(std::size_t n);
+
+  // True when both relations contain the same multiset of rows, ignoring
+  // order. Schemas must have equal arity; column names are not compared.
+  bool SameRowsAs(const Relation& other) const;
+
+  // Human-readable dump, truncated to `max_rows`.
+  std::string ToString(std::size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<Value> data_;
+  std::size_t zero_arity_rows_ = 0;
+};
+
+// Hash of the row values at the given column indices. Used by hash join,
+// distinct, and group-by.
+std::size_t HashRowKey(std::span<const Value> row,
+                       const std::vector<std::size_t>& cols);
+
+// True when the two rows agree on their respective key columns.
+bool RowKeysEqual(std::span<const Value> a, const std::vector<std::size_t>& ac,
+                  std::span<const Value> b, const std::vector<std::size_t>& bc);
+
+}  // namespace htqo
+
+#endif  // HTQO_STORAGE_RELATION_H_

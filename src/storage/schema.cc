@@ -1,0 +1,46 @@
+#include "storage/schema.h"
+
+#include "util/strings.h"
+
+namespace htqo {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    for (std::size_t j = i + 1; j < columns_.size(); ++j) {
+      HTQO_CHECK(!EqualsIgnoreCase(columns_[i].name, columns_[j].name));
+    }
+  }
+}
+
+std::optional<std::size_t> Schema::IndexOf(std::string_view name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+void Schema::AddColumn(Column column) {
+  HTQO_CHECK(!IndexOf(column.name).has_value());
+  columns_.push_back(std::move(column));
+}
+
+Schema Schema::Project(const std::vector<std::size_t>& indices) const {
+  std::vector<Column> out;
+  out.reserve(indices.size());
+  for (std::size_t i : indices) {
+    HTQO_CHECK(i < columns_.size());
+    out.push_back(columns_[i]);
+  }
+  return Schema(std::move(out));
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    parts.push_back(c.name + ":" + ValueTypeName(c.type));
+  }
+  return "(" + Join(parts, ", ") + ")";
+}
+
+}  // namespace htqo

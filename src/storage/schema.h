@@ -1,0 +1,53 @@
+// Relation schemas: ordered lists of typed, named columns.
+
+#ifndef HTQO_STORAGE_SCHEMA_H_
+#define HTQO_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace htqo {
+
+struct Column {
+  std::string name;
+  ValueType type;
+
+  bool operator==(const Column& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  std::size_t arity() const { return columns_.size(); }
+  const Column& column(std::size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  // Index of the column with the given (case-insensitive) name, if present.
+  std::optional<std::size_t> IndexOf(std::string_view name) const;
+
+  // Appends a column; name collisions are a checked failure.
+  void AddColumn(Column column);
+
+  // Schema containing the columns at `indices`, in that order.
+  Schema Project(const std::vector<std::size_t>& indices) const;
+
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace htqo
+
+#endif  // HTQO_STORAGE_SCHEMA_H_

@@ -1,0 +1,162 @@
+#include "storage/value.h"
+
+#include <charconv>
+#include <cstdio>
+#include <unordered_set>
+
+namespace htqo {
+
+namespace internal_value {
+
+const std::string* Intern(std::string_view s) {
+  // Node-based set: element addresses are stable across rehashing. Leaked
+  // at exit by design (static storage duration with trivial destruction of
+  // the pointer).
+  static std::unordered_set<std::string>& pool =
+      *new std::unordered_set<std::string>();
+  return &*pool.emplace(s).first;
+}
+
+}  // namespace internal_value
+
+namespace {
+
+// Civil-date <-> day-count conversion (proleptic Gregorian), Howard Hinnant's
+// public-domain algorithms.
+int64_t DaysFromCivil(int y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097LL + static_cast<int>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t year = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = static_cast<int>(year + (*m <= 2));
+}
+
+}  // namespace
+
+std::string ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kDate:
+      return "date";
+  }
+  return "?";
+}
+
+Value Value::DateFromString(std::string_view ymd) {
+  int64_t days = 0;
+  bool ok = ParseDate(ymd, &days);
+  HTQO_CHECK(ok);
+  return Value::Date(days);
+}
+
+int Value::Compare(const Value& other) const {
+  if (type_ == ValueType::kString || other.type_ == ValueType::kString) {
+    HTQO_CHECK(type_ == ValueType::kString &&
+               other.type_ == ValueType::kString);
+    if (string_ == other.string_) return 0;  // interned: pointer fast path
+    return string_->compare(*other.string_);
+  }
+  if (type_ == ValueType::kDouble || other.type_ == ValueType::kDouble) {
+    double a = AsDouble();
+    double b = other.AsDouble();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  // int64/date mix compares by payload.
+  if (int_ < other.int_) return -1;
+  if (int_ > other.int_) return 1;
+  return 0;
+}
+
+std::size_t Value::Hash() const {
+  switch (type_) {
+    case ValueType::kInt64:
+    case ValueType::kDate: {
+      uint64_t z = static_cast<uint64_t>(int_) * 0x9e3779b97f4a7c15ull;
+      return static_cast<std::size_t>(z ^ (z >> 32));
+    }
+    case ValueType::kDouble: {
+      // Hash doubles through their int value when integral so that
+      // Int64(3) and Double(3.0), which compare equal, hash equal too.
+      double d = double_;
+      int64_t as_int = static_cast<int64_t>(d);
+      if (static_cast<double>(as_int) == d) {
+        uint64_t z = static_cast<uint64_t>(as_int) * 0x9e3779b97f4a7c15ull;
+        return static_cast<std::size_t>(z ^ (z >> 32));
+      }
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      uint64_t z = bits * 0x9e3779b97f4a7c15ull;
+      return static_cast<std::size_t>(z ^ (z >> 32));
+    }
+    case ValueType::kString:
+      return std::hash<std::string>()(*string_);
+  }
+  return 0;
+}
+
+std::string Value::ToString(bool quoted) const {
+  switch (type_) {
+    case ValueType::kInt64:
+      return std::to_string(int_);
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", double_);
+      return buf;
+    }
+    case ValueType::kString:
+      return quoted ? "'" + *string_ + "'" : *string_;
+    case ValueType::kDate:
+      return quoted ? "date '" + FormatDate(int_) + "'" : FormatDate(int_);
+  }
+  return "?";
+}
+
+std::string FormatDate(int64_t days_since_epoch) {
+  int y;
+  unsigned m, d;
+  CivilFromDays(days_since_epoch, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u", y, m, d);
+  return buf;
+}
+
+bool ParseDate(std::string_view ymd, int64_t* days_out) {
+  if (ymd.size() != 10 || ymd[4] != '-' || ymd[7] != '-') return false;
+  int y = 0;
+  unsigned m = 0, d = 0;
+  auto parse = [](std::string_view s, auto* out) {
+    auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+    return ec == std::errc() && ptr == s.data() + s.size();
+  };
+  if (!parse(ymd.substr(0, 4), &y) || !parse(ymd.substr(5, 2), &m) ||
+      !parse(ymd.substr(8, 2), &d)) {
+    return false;
+  }
+  if (m < 1 || m > 12 || d < 1 || d > 31) return false;
+  *days_out = DaysFromCivil(y, m, d);
+  return true;
+}
+
+}  // namespace htqo

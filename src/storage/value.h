@@ -1,0 +1,131 @@
+// Typed runtime values.
+//
+// Value is deliberately trivially copyable (16 bytes): the engine moves
+// billions of values through joins and projections, so row copies must be
+// memcpy. Strings are interned in a process-lifetime pool and represented
+// by a stable pointer; dates are stored as days since 1970-01-01 with their
+// own type tag so printing and interval arithmetic behave correctly.
+//
+// The intern pool is append-only and leaked at process exit (static
+// storage); the engine is single-threaded by design.
+
+#ifndef HTQO_STORAGE_VALUE_H_
+#define HTQO_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/check.h"
+
+namespace htqo {
+
+enum class ValueType : uint8_t {
+  kInt64,
+  kDouble,
+  kString,
+  kDate,  // days since 1970-01-01, int64 payload
+};
+
+std::string ValueTypeName(ValueType t);
+
+namespace internal_value {
+// Returns a stable pointer to the pooled copy of `s`.
+const std::string* Intern(std::string_view s);
+}  // namespace internal_value
+
+class Value {
+ public:
+  Value() : type_(ValueType::kInt64), int_(0) {}
+
+  static Value Int64(int64_t v) {
+    Value out;
+    out.type_ = ValueType::kInt64;
+    out.int_ = v;
+    return out;
+  }
+  static Value Double(double v) {
+    Value out;
+    out.type_ = ValueType::kDouble;
+    out.double_ = v;
+    return out;
+  }
+  static Value String(std::string_view v) {
+    Value out;
+    out.type_ = ValueType::kString;
+    out.string_ = internal_value::Intern(v);
+    return out;
+  }
+  static Value Date(int64_t days) {
+    Value out;
+    out.type_ = ValueType::kDate;
+    out.int_ = days;
+    return out;
+  }
+
+  // Parses "YYYY-MM-DD" into a kDate value; checked failure on bad input
+  // (callers validate first — the SQL lexer does).
+  static Value DateFromString(std::string_view ymd);
+
+  ValueType type() const { return type_; }
+
+  int64_t AsInt64() const {
+    HTQO_DCHECK(type_ == ValueType::kInt64 || type_ == ValueType::kDate);
+    return int_;
+  }
+  double AsDouble() const {
+    if (type_ == ValueType::kDouble) return double_;
+    HTQO_DCHECK(type_ == ValueType::kInt64 || type_ == ValueType::kDate);
+    return static_cast<double>(int_);
+  }
+  const std::string& AsString() const {
+    HTQO_DCHECK(type_ == ValueType::kString);
+    return *string_;
+  }
+
+  bool IsNumeric() const {
+    return type_ == ValueType::kInt64 || type_ == ValueType::kDouble;
+  }
+
+  // SQL-style comparison. Numeric types compare by value (int vs double
+  // allowed); strings compare lexicographically; dates compare as days.
+  // Comparing string with numeric is a checked failure.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  std::size_t Hash() const;
+
+  // Rendering used by relation dumps and the SQL view rewriter. Strings are
+  // rendered with single quotes when `quoted` is true.
+  std::string ToString(bool quoted = false) const;
+
+ private:
+  ValueType type_;
+  union {
+    int64_t int_;
+    double double_;
+    const std::string* string_;
+  };
+};
+
+static_assert(sizeof(Value) == 16);
+static_assert(std::is_trivially_copyable_v<Value>);
+
+struct ValueHash {
+  std::size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+// "YYYY-MM-DD" for a day count; used by Value::ToString for kDate.
+std::string FormatDate(int64_t days_since_epoch);
+// Inverse of FormatDate. Returns false on malformed input.
+bool ParseDate(std::string_view ymd, int64_t* days_out);
+
+}  // namespace htqo
+
+#endif  // HTQO_STORAGE_VALUE_H_

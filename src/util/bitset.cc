@@ -1,0 +1,110 @@
+#include "util/bitset.h"
+
+#include <bit>
+
+namespace htqo {
+
+std::size_t Bitset::Count() const {
+  std::size_t n = 0;
+  for (uint64_t w : words_) n += std::popcount(w);
+  return n;
+}
+
+bool Bitset::Any() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+std::size_t Bitset::FirstSet() const {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] != 0) {
+      return (i << 6) + std::countr_zero(words_[i]);
+    }
+  }
+  return size_;
+}
+
+std::size_t Bitset::NextSet(std::size_t i) const {
+  ++i;
+  if (i >= size_) return size_;
+  std::size_t word = i >> 6;
+  uint64_t w = words_[word] >> (i & 63);
+  if (w != 0) return i + std::countr_zero(w);
+  for (++word; word < words_.size(); ++word) {
+    if (words_[word] != 0) {
+      return (word << 6) + std::countr_zero(words_[word]);
+    }
+  }
+  return size_;
+}
+
+bool Bitset::IsSubsetOf(const Bitset& other) const {
+  HTQO_DCHECK(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool Bitset::Intersects(const Bitset& other) const {
+  HTQO_DCHECK(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+Bitset& Bitset::operator|=(const Bitset& other) {
+  HTQO_DCHECK(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::operator&=(const Bitset& other) {
+  HTQO_DCHECK(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::operator-=(const Bitset& other) {
+  HTQO_DCHECK(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= ~other.words_[i];
+  }
+  return *this;
+}
+
+std::vector<std::size_t> Bitset::ToVector() const {
+  std::vector<std::size_t> out;
+  out.reserve(Count());
+  for (std::size_t i = FirstSet(); i < size_; i = NextSet(i)) {
+    out.push_back(i);
+  }
+  return out;
+}
+
+std::string Bitset::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (std::size_t i = FirstSet(); i < size_; i = NextSet(i)) {
+    if (!first) out += ",";
+    out += std::to_string(i);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+std::size_t Bitset::Hash() const {
+  // FNV-1a over the words; good enough for unordered_map keys.
+  std::size_t h = 1469598103934665603ull;
+  for (uint64_t w : words_) {
+    h ^= static_cast<std::size_t>(w);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace htqo

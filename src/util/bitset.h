@@ -1,0 +1,98 @@
+// Dynamic bitset used for variable sets and hyperedge sets.
+//
+// Hypergraph algorithms manipulate sets of variables (query attributes) and
+// sets of hyperedges (query atoms) heavily; both are represented as Bitset.
+// The universe size is fixed at construction. All binary operations require
+// both operands to share the same universe size.
+
+#ifndef HTQO_UTIL_BITSET_H_
+#define HTQO_UTIL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace htqo {
+
+class Bitset {
+ public:
+  Bitset() : size_(0) {}
+  explicit Bitset(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  std::size_t size() const { return size_; }
+
+  void Set(std::size_t i) {
+    HTQO_DCHECK(i < size_);
+    words_[i >> 6] |= (uint64_t{1} << (i & 63));
+  }
+  void Reset(std::size_t i) {
+    HTQO_DCHECK(i < size_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+  bool Test(std::size_t i) const {
+    HTQO_DCHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  std::size_t Count() const;
+  bool Any() const;
+  bool None() const { return !Any(); }
+
+  // Index of the lowest set bit, or size() when empty.
+  std::size_t FirstSet() const;
+  // Index of the lowest set bit strictly greater than `i`, or size().
+  std::size_t NextSet(std::size_t i) const;
+
+  bool IsSubsetOf(const Bitset& other) const;
+  bool Intersects(const Bitset& other) const;
+
+  Bitset& operator|=(const Bitset& other);
+  Bitset& operator&=(const Bitset& other);
+  // Set difference: removes other's bits from this.
+  Bitset& operator-=(const Bitset& other);
+
+  friend Bitset operator|(Bitset a, const Bitset& b) { return a |= b; }
+  friend Bitset operator&(Bitset a, const Bitset& b) { return a &= b; }
+  friend Bitset operator-(Bitset a, const Bitset& b) { return a -= b; }
+
+  friend bool operator==(const Bitset& a, const Bitset& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+  friend bool operator!=(const Bitset& a, const Bitset& b) {
+    return !(a == b);
+  }
+  // Lexicographic on words; total order suitable for std::map keys.
+  friend bool operator<(const Bitset& a, const Bitset& b) {
+    HTQO_DCHECK(a.size_ == b.size_);
+    return a.words_ < b.words_;
+  }
+
+  // All set-bit indices in increasing order.
+  std::vector<std::size_t> ToVector() const;
+
+  // "{1,4,7}" style rendering, for diagnostics.
+  std::string ToString() const;
+
+  std::size_t Hash() const;
+
+ private:
+  std::size_t size_;
+  std::vector<uint64_t> words_;
+};
+
+struct BitsetHash {
+  std::size_t operator()(const Bitset& b) const { return b.Hash(); }
+};
+
+}  // namespace htqo
+
+#endif  // HTQO_UTIL_BITSET_H_

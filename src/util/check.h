@@ -1,0 +1,41 @@
+// Lightweight assertion macros used across htqo.
+//
+// CHECK(cond) aborts with a diagnostic when `cond` is false, in every build
+// mode. DCHECK(cond) is compiled out in NDEBUG builds. Both are intended for
+// programming errors (broken invariants), never for user-input validation —
+// user input flows through util/status.h instead.
+
+#ifndef HTQO_UTIL_CHECK_H_
+#define HTQO_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace htqo {
+namespace internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace htqo
+
+#define HTQO_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::htqo::internal_check::CheckFailed(#cond, __FILE__, __LINE__); \
+    }                                                                 \
+  } while (false)
+
+#ifdef NDEBUG
+#define HTQO_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define HTQO_DCHECK(cond) HTQO_CHECK(cond)
+#endif
+
+#endif  // HTQO_UTIL_CHECK_H_

@@ -1,0 +1,55 @@
+// Array-chained hash index: the classic allocation-free build side of a
+// hash join. Maps hash values to chains of row indices using two flat
+// arrays (bucket heads + per-row next links); the caller re-checks key
+// equality on each hit. Used by hash join, semi join, DISTINCT and GROUP BY
+// instead of node-based unordered containers, which allocate per entry.
+
+#ifndef HTQO_UTIL_HASH_CHAIN_H_
+#define HTQO_UTIL_HASH_CHAIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace htqo {
+
+class HashChainIndex {
+ public:
+  static constexpr uint32_t kEnd = UINT32_MAX;
+
+  // `expected_entries` sizes the bucket array (2x entries, power of two).
+  explicit HashChainIndex(std::size_t expected_entries) {
+    std::size_t buckets = 16;
+    while (buckets < expected_entries * 2) buckets <<= 1;
+    mask_ = buckets - 1;
+    head_.assign(buckets, kEnd);
+    next_.reserve(expected_entries);
+  }
+
+  // Inserts entry `index` (must equal the number of prior inserts).
+  void Insert(std::size_t hash, std::size_t index) {
+    HTQO_DCHECK(index == next_.size());
+    std::size_t bucket = hash & mask_;
+    next_.push_back(head_[bucket]);
+    head_[bucket] = static_cast<uint32_t>(index);
+  }
+
+  // First candidate entry for `hash` (kEnd when none). Candidates sharing a
+  // bucket may have different hashes; callers must verify keys anyway.
+  uint32_t First(std::size_t hash) const { return head_[hash & mask_]; }
+
+  // Next candidate in the same bucket chain.
+  uint32_t Next(uint32_t index) const { return next_[index]; }
+
+  std::size_t size() const { return next_.size(); }
+
+ private:
+  std::size_t mask_ = 0;
+  std::vector<uint32_t> head_;
+  std::vector<uint32_t> next_;
+};
+
+}  // namespace htqo
+
+#endif  // HTQO_UTIL_HASH_CHAIN_H_

@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All data and query generators take explicit seeds so every experiment is
+// reproducible bit-for-bit. SplitMix64 is used both as a generator and to
+// derive independent substream seeds.
+
+#ifndef HTQO_UTIL_RNG_H_
+#define HTQO_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace htqo {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + kGolden) {}
+
+  // Next 64 uniform random bits (SplitMix64).
+  uint64_t Next() {
+    uint64_t z = (state_ += kGolden);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [0, bound). bound must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    HTQO_DCHECK(bound > 0);
+    // Rejection-free modulo is fine here: bound << 2^64 in every caller.
+    return Next() % bound;
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    HTQO_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Seed for an independent substream identified by `stream`.
+  uint64_t Fork(uint64_t stream) {
+    Rng sub(state_ ^ (stream * 0x9e3779b97f4a7c15ull));
+    return sub.Next();
+  }
+
+ private:
+  static constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ull;
+  uint64_t state_;
+};
+
+}  // namespace htqo
+
+#endif  // HTQO_UTIL_RNG_H_

@@ -1,0 +1,99 @@
+// Error propagation without exceptions: Status and Result<T>.
+//
+// The library never throws. Fallible public entry points (parsing, query
+// isolation, decomposition search) return Status or Result<T>; internal
+// invariant violations use HTQO_CHECK.
+
+#ifndef HTQO_UTIL_STATUS_H_
+#define HTQO_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace htqo {
+
+enum class StatusCode {
+  kOk,
+  kInvalidArgument,  // malformed input (bad SQL, unknown relation, ...)
+  kNotFound,         // lookup miss (no decomposition of width <= k, ...)
+  kResourceExhausted,  // row-budget guard tripped during evaluation
+  kInternal,
+};
+
+// A success/error outcome with a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Either a value of type T or an error Status. Dereferencing a non-ok
+// Result is a checked failure.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    HTQO_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    HTQO_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    HTQO_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    HTQO_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace htqo
+
+#endif  // HTQO_UTIL_STATUS_H_

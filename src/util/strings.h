@@ -1,0 +1,29 @@
+// Small string helpers shared across modules.
+
+#ifndef HTQO_UTIL_STRINGS_H_
+#define HTQO_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace htqo {
+
+// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+// ASCII uppercase copy.
+std::string ToUpper(std::string_view s);
+
+// True when `a` equals `b` ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Splits on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+}  // namespace htqo
+
+#endif  // HTQO_UTIL_STRINGS_H_

@@ -1,0 +1,67 @@
+#include "workload/hypergraph_zoo.h"
+
+#include "util/check.h"
+
+namespace htqo {
+
+Hypergraph LineHypergraph(std::size_t n) {
+  HTQO_CHECK(n >= 1);
+  Hypergraph h(n + 1);
+  for (std::size_t i = 0; i < n; ++i) h.AddEdge({i, i + 1});
+  return h;
+}
+
+Hypergraph CycleHypergraph(std::size_t n) {
+  HTQO_CHECK(n >= 3);
+  Hypergraph h(n);
+  for (std::size_t i = 0; i < n; ++i) h.AddEdge({i, (i + 1) % n});
+  return h;
+}
+
+Hypergraph CliqueHypergraph(std::size_t n) {
+  HTQO_CHECK(n >= 2);
+  Hypergraph h(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      h.AddEdge({i, j});
+    }
+  }
+  return h;
+}
+
+Hypergraph GridHypergraph(std::size_t rows, std::size_t cols) {
+  HTQO_CHECK(rows >= 1 && cols >= 1);
+  Hypergraph h(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) { return r * cols + c; };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) h.AddEdge({id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) h.AddEdge({id(r, c), id(r + 1, c)});
+    }
+  }
+  return h;
+}
+
+Hypergraph WheelHypergraph(std::size_t n) {
+  HTQO_CHECK(n >= 3);
+  Hypergraph h(n + 1);  // vertex n is the hub
+  for (std::size_t i = 0; i < n; ++i) {
+    h.AddEdge({i, (i + 1) % n});  // rim
+    h.AddEdge({i, n});            // spoke
+  }
+  return h;
+}
+
+Hypergraph SlidingWindowCycle(std::size_t n, std::size_t k) {
+  HTQO_CHECK(n >= 3 && k >= 2 && k <= n);
+  Hypergraph h(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::size_t> window;
+    window.reserve(k);
+    for (std::size_t j = 0; j < k; ++j) window.push_back((i + j) % n);
+    h.AddEdge(window);
+  }
+  return h;
+}
+
+}  // namespace htqo

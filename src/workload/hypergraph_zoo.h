@@ -1,0 +1,40 @@
+// Structured hypergraph families — the instance zoo of the hypertree-
+// decomposition benchmark tradition (the paper's ref [10], the Hypertree
+// Decompositions Homepage). Used to exercise and benchmark the
+// decomposition algorithms themselves, independent of SQL.
+
+#ifndef HTQO_WORKLOAD_HYPERGRAPH_ZOO_H_
+#define HTQO_WORKLOAD_HYPERGRAPH_ZOO_H_
+
+#include "hypergraph/hypergraph.h"
+
+namespace htqo {
+
+// Path of n binary edges over n+1 vertices. Acyclic; hw = 1.
+Hypergraph LineHypergraph(std::size_t n);
+
+// Cycle of n binary edges. hw = 2 for n >= 3.
+Hypergraph CycleHypergraph(std::size_t n);
+
+// Complete graph K_n as binary edges. hw(K_n) = ceil(n / 2).
+Hypergraph CliqueHypergraph(std::size_t n);
+
+// rows x cols grid: one vertex per cell, one binary edge per horizontally
+// or vertically adjacent pair — the classic CSP grid. Treewidth
+// min(rows, cols); hypertree width ~ half of that (binary edges pair up).
+Hypergraph GridHypergraph(std::size_t rows, std::size_t cols);
+
+// n spokes around a hub: hub-vertex edges {hub, i} plus rim edges
+// {i, i+1 mod n} — a wheel. hw = 2 for n >= 3 (the hub edge plus a rim
+// edge cover every separator), 3-connected, a classic small-width cyclic
+// family.
+Hypergraph WheelHypergraph(std::size_t n);
+
+// k-uniform "hyper-cycle": n edges of arity k, consecutive edges overlap in
+// k-1 vertices (a sliding window over a cycle of n vertices). For k >= 2:
+// acyclic-looking locally but globally cyclic; hw = 2.
+Hypergraph SlidingWindowCycle(std::size_t n, std::size_t k);
+
+}  // namespace htqo
+
+#endif  // HTQO_WORKLOAD_HYPERGRAPH_ZOO_H_

@@ -1,0 +1,33 @@
+#include "workload/query_gen.h"
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace htqo {
+
+namespace {
+
+std::string BuildQuery(std::size_t n, bool close_cycle) {
+  HTQO_CHECK(n >= 2);
+  std::vector<std::string> from;
+  from.reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) from.push_back("r" + std::to_string(i));
+  std::vector<std::string> where;
+  for (std::size_t i = 1; i < n; ++i) {
+    where.push_back("r" + std::to_string(i) + ".b = r" +
+                    std::to_string(i + 1) + ".a");
+  }
+  if (close_cycle) {
+    where.push_back("r" + std::to_string(n) + ".b = r1.a");
+  }
+  return "SELECT DISTINCT r1.a FROM " + Join(from, ", ") + " WHERE " +
+         Join(where, " AND ");
+}
+
+}  // namespace
+
+std::string LineQuerySql(std::size_t n) { return BuildQuery(n, false); }
+
+std::string ChainQuerySql(std::size_t n) { return BuildQuery(n, true); }
+
+}  // namespace htqo

@@ -1,0 +1,27 @@
+// Generators for the Acyclic (line) and Chain query families of Section 6.
+//
+//   Acyclic: q(y) <- p1(x1), ..., pn(xn) with x_i ∩ x_{i+1} != ∅ and
+//            x_i ∩ x_j = ∅ otherwise — a line.
+//   Chain:   the simplest cyclic variation — additionally x_1 ∩ x_n != ∅.
+//
+// Rendered over the synthetic relations r1..rn(a, b):
+//   line:  r1.b = r2.a AND r2.b = r3.a AND ... AND r(n-1).b = rn.a
+//   chain: line plus rn.b = r1.a
+// The head selects r1.a (DISTINCT — conjunctive-query set semantics).
+
+#ifndef HTQO_WORKLOAD_QUERY_GEN_H_
+#define HTQO_WORKLOAD_QUERY_GEN_H_
+
+#include <string>
+
+namespace htqo {
+
+// Acyclic line query with n >= 2 body atoms.
+std::string LineQuerySql(std::size_t n);
+
+// Cyclic chain query with n >= 2 body atoms.
+std::string ChainQuerySql(std::size_t n);
+
+}  // namespace htqo
+
+#endif  // HTQO_WORKLOAD_QUERY_GEN_H_

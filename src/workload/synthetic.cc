@@ -1,0 +1,44 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace htqo {
+
+Relation MakeSyntheticRelation(std::size_t rows,
+                               const std::vector<std::string>& columns,
+                               std::size_t selectivity_percent,
+                               uint64_t seed) {
+  std::vector<Column> cols;
+  cols.reserve(columns.size());
+  for (const std::string& name : columns) {
+    cols.push_back(Column{name, ValueType::kInt64});
+  }
+  Relation rel{Schema(std::move(cols))};
+  rel.Reserve(rows);
+
+  const std::size_t domain =
+      std::max<std::size_t>(1, rows * selectivity_percent / 100);
+  Rng rng(seed);
+  std::vector<Value> row(columns.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      row[c] = Value::Int64(static_cast<int64_t>(rng.Uniform(domain)));
+    }
+    rel.AddRow(row);
+  }
+  return rel;
+}
+
+void PopulateSyntheticCatalog(const SyntheticConfig& config,
+                              Catalog* catalog) {
+  Rng rng(config.seed);
+  for (std::size_t i = 1; i <= config.num_relations; ++i) {
+    catalog->Put("r" + std::to_string(i),
+                 MakeSyntheticRelation(config.cardinality, {"a", "b"},
+                                       config.selectivity, rng.Fork(i)));
+  }
+}
+
+}  // namespace htqo

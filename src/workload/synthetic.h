@@ -1,0 +1,41 @@
+// Synthetic data for the Acyclic/Chain experiments of Section 6:
+// "synthetic data ... generated randomly by using an uniform distribution
+// over a fixed range of values, and setting the desired values for the
+// cardinality of each relation and the selectivity of each attribute."
+//
+// Selectivity is a percentage: an attribute of selectivity s in a relation
+// of cardinality N draws its values uniformly from a domain of
+// max(1, round(N * s / 100)) distinct values — selectivity 90 means almost
+// all values distinct (small join fan-out), selectivity 30 means heavy
+// duplication (fan-out ~3.3x per join).
+
+#ifndef HTQO_WORKLOAD_SYNTHETIC_H_
+#define HTQO_WORKLOAD_SYNTHETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/catalog.h"
+#include "storage/relation.h"
+
+namespace htqo {
+
+struct SyntheticConfig {
+  std::size_t cardinality = 500;   // rows per relation
+  std::size_t selectivity = 30;    // percent distinct per attribute
+  std::size_t num_relations = 10;  // r1..rN
+  uint64_t seed = 7;
+};
+
+// One relation with the given int64 columns, rows uniform over the domain
+// implied by (rows, selectivity_percent).
+Relation MakeSyntheticRelation(std::size_t rows,
+                               const std::vector<std::string>& columns,
+                               std::size_t selectivity_percent, uint64_t seed);
+
+// Registers r1..rN, each with columns (a, b), into `catalog`.
+void PopulateSyntheticCatalog(const SyntheticConfig& config, Catalog* catalog);
+
+}  // namespace htqo
+
+#endif  // HTQO_WORKLOAD_SYNTHETIC_H_

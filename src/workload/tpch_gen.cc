@@ -1,0 +1,196 @@
+#include "workload/tpch_gen.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace htqo {
+
+namespace {
+
+constexpr const char* kRegions[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                     "MIDDLE EAST"};
+
+// The 25 TPC-H nations with their region assignment (region index).
+struct NationSpec {
+  const char* name;
+  int region;
+};
+constexpr NationSpec kNations[25] = {
+    {"ALGERIA", 0},      {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},       {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},       {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2},    {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},        {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},      {"MOZAMBIQUE", 0}, {"PERU", 1},
+    {"CHINA", 2},        {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},      {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+
+constexpr const char* kTypeSyllable1[6] = {"STANDARD", "SMALL",  "MEDIUM",
+                                           "LARGE",    "ECONOMY", "PROMO"};
+constexpr const char* kTypeSyllable2[5] = {"ANODIZED", "BURNISHED", "PLATED",
+                                           "POLISHED", "BRUSHED"};
+constexpr const char* kTypeSyllable3[5] = {"TIN", "NICKEL", "BRASS", "STEEL",
+                                           "COPPER"};
+
+int64_t DateDays(const char* ymd) {
+  int64_t days = 0;
+  bool ok = ParseDate(ymd, &days);
+  HTQO_CHECK(ok);
+  return days;
+}
+
+std::size_t Scaled(double sf, std::size_t at_sf1) {
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(sf * static_cast<double>(at_sf1)));
+}
+
+}  // namespace
+
+std::size_t TpchCustomerRows(double sf) { return Scaled(sf, 150000); }
+std::size_t TpchOrdersRows(double sf) { return Scaled(sf, 1500000); }
+
+void PopulateTpch(const TpchConfig& config, Catalog* catalog) {
+  Rng rng(config.seed);
+  const double sf = config.scale_factor;
+
+  // --- region ---------------------------------------------------------------
+  {
+    Relation region{Schema({{"r_regionkey", ValueType::kInt64},
+                            {"r_name", ValueType::kString}})};
+    for (int64_t i = 0; i < 5; ++i) {
+      region.AddRow({Value::Int64(i), Value::String(kRegions[i])});
+    }
+    catalog->Put("region", std::move(region));
+  }
+
+  // --- nation ---------------------------------------------------------------
+  {
+    Relation nation{Schema({{"n_nationkey", ValueType::kInt64},
+                            {"n_name", ValueType::kString},
+                            {"n_regionkey", ValueType::kInt64}})};
+    for (int64_t i = 0; i < 25; ++i) {
+      nation.AddRow({Value::Int64(i), Value::String(kNations[i].name),
+                     Value::Int64(kNations[i].region)});
+    }
+    catalog->Put("nation", std::move(nation));
+  }
+
+  // --- supplier ---------------------------------------------------------------
+  const std::size_t num_suppliers = Scaled(sf, 10000);
+  {
+    Relation supplier{Schema({{"s_suppkey", ValueType::kInt64},
+                              {"s_nationkey", ValueType::kInt64},
+                              {"s_acctbal", ValueType::kDouble}})};
+    supplier.Reserve(num_suppliers);
+    Rng r(rng.Fork(1));
+    for (std::size_t i = 0; i < num_suppliers; ++i) {
+      supplier.AddRow({Value::Int64(static_cast<int64_t>(i)),
+                       Value::Int64(static_cast<int64_t>(r.Uniform(25))),
+                       Value::Double(r.Range(-99999, 999999) / 100.0)});
+    }
+    catalog->Put("supplier", std::move(supplier));
+  }
+
+  // --- customer ---------------------------------------------------------------
+  const std::size_t num_customers = TpchCustomerRows(sf);
+  {
+    Relation customer{Schema({{"c_custkey", ValueType::kInt64},
+                              {"c_nationkey", ValueType::kInt64},
+                              {"c_acctbal", ValueType::kDouble}})};
+    customer.Reserve(num_customers);
+    Rng r(rng.Fork(2));
+    for (std::size_t i = 0; i < num_customers; ++i) {
+      customer.AddRow({Value::Int64(static_cast<int64_t>(i)),
+                       Value::Int64(static_cast<int64_t>(r.Uniform(25))),
+                       Value::Double(r.Range(-99999, 999999) / 100.0)});
+    }
+    catalog->Put("customer", std::move(customer));
+  }
+
+  // --- part ---------------------------------------------------------------
+  const std::size_t num_parts = Scaled(sf, 200000);
+  {
+    Relation part{Schema({{"p_partkey", ValueType::kInt64},
+                          {"p_type", ValueType::kString},
+                          {"p_size", ValueType::kInt64}})};
+    part.Reserve(num_parts);
+    Rng r(rng.Fork(3));
+    for (std::size_t i = 0; i < num_parts; ++i) {
+      std::string type = std::string(kTypeSyllable1[r.Uniform(6)]) + " " +
+                         kTypeSyllable2[r.Uniform(5)] + " " +
+                         kTypeSyllable3[r.Uniform(5)];
+      part.AddRow({Value::Int64(static_cast<int64_t>(i)),
+                   Value::String(std::move(type)),
+                   Value::Int64(r.Range(1, 50))});
+    }
+    catalog->Put("part", std::move(part));
+  }
+
+  // --- partsupp ---------------------------------------------------------------
+  {
+    Relation partsupp{Schema({{"ps_partkey", ValueType::kInt64},
+                              {"ps_suppkey", ValueType::kInt64},
+                              {"ps_supplycost", ValueType::kDouble}})};
+    partsupp.Reserve(num_parts * 4);
+    Rng r(rng.Fork(4));
+    for (std::size_t p = 0; p < num_parts; ++p) {
+      for (int s = 0; s < 4; ++s) {
+        partsupp.AddRow(
+            {Value::Int64(static_cast<int64_t>(p)),
+             Value::Int64(static_cast<int64_t>(r.Uniform(num_suppliers))),
+             Value::Double(r.Range(100, 100000) / 100.0)});
+      }
+    }
+    catalog->Put("partsupp", std::move(partsupp));
+  }
+
+  // --- orders + lineitem ------------------------------------------------------
+  const std::size_t num_orders = TpchOrdersRows(sf);
+  const int64_t date_lo = DateDays("1992-01-01");
+  const int64_t date_hi = DateDays("1998-08-02");
+  {
+    Relation orders{Schema({{"o_orderkey", ValueType::kInt64},
+                            {"o_custkey", ValueType::kInt64},
+                            {"o_orderdate", ValueType::kDate},
+                            {"o_orderyear", ValueType::kInt64},
+                            {"o_totalprice", ValueType::kDouble}})};
+    Relation lineitem{Schema({{"l_orderkey", ValueType::kInt64},
+                              {"l_partkey", ValueType::kInt64},
+                              {"l_suppkey", ValueType::kInt64},
+                              {"l_extendedprice", ValueType::kDouble},
+                              {"l_discount", ValueType::kDouble},
+                              {"l_quantity", ValueType::kInt64}})};
+    orders.Reserve(num_orders);
+    lineitem.Reserve(num_orders * 4);
+    Rng r(rng.Fork(5));
+    for (std::size_t o = 0; o < num_orders; ++o) {
+      int64_t date = r.Range(date_lo, date_hi);
+      // Year from the rendered date (cheap and correct).
+      int64_t year = std::stoll(FormatDate(date).substr(0, 4));
+      double total = 0;
+      std::size_t lines = 1 + r.Uniform(7);  // 1..7, mean 4
+      for (std::size_t l = 0; l < lines; ++l) {
+        double price = static_cast<double>(r.Range(90000, 10500000)) / 100.0;
+        double discount = static_cast<double>(r.Range(0, 10)) / 100.0;
+        total += price * (1 - discount);
+        lineitem.AddRow(
+            {Value::Int64(static_cast<int64_t>(o)),
+             Value::Int64(static_cast<int64_t>(r.Uniform(num_parts))),
+             Value::Int64(static_cast<int64_t>(r.Uniform(num_suppliers))),
+             Value::Double(price), Value::Double(discount),
+             Value::Int64(r.Range(1, 50))});
+      }
+      orders.AddRow({Value::Int64(static_cast<int64_t>(o)),
+                     Value::Int64(static_cast<int64_t>(r.Uniform(
+                         num_customers))),
+                     Value::Date(date), Value::Int64(year),
+                     Value::Double(total)});
+    }
+    catalog->Put("orders", std::move(orders));
+    catalog->Put("lineitem", std::move(lineitem));
+  }
+}
+
+}  // namespace htqo

@@ -1,0 +1,58 @@
+#include "workload/tpch_queries.h"
+
+namespace htqo {
+
+std::string TpchQ5(const std::string& region, const std::string& date) {
+  return "SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue\n"
+         "FROM customer, orders, lineitem, supplier, nation, region\n"
+         "WHERE c_custkey = o_custkey\n"
+         "  AND l_orderkey = o_orderkey\n"
+         "  AND l_suppkey = s_suppkey\n"
+         "  AND c_nationkey = s_nationkey\n"
+         "  AND s_nationkey = n_nationkey\n"
+         "  AND n_regionkey = r_regionkey\n"
+         "  AND r_name = '" + region + "'\n"
+         "  AND o_orderdate >= date '" + date + "'\n"
+         "  AND o_orderdate < date '" + date + "' + interval '1' year\n"
+         "GROUP BY n_name ORDER BY revenue DESC";
+}
+
+std::string TpchQ8Nested(const std::string& region, const std::string& type) {
+  return "SELECT o_year, sum(volume) AS volume\n"
+         "FROM (SELECT o_orderyear AS o_year,\n"
+         "             l_extendedprice * (1 - l_discount) AS volume\n"
+         "      FROM part, supplier, lineitem, orders, customer,\n"
+         "           nation n1, nation n2, region\n"
+         "      WHERE p_partkey = l_partkey\n"
+         "        AND s_suppkey = l_suppkey\n"
+         "        AND l_orderkey = o_orderkey\n"
+         "        AND o_custkey = c_custkey\n"
+         "        AND c_nationkey = n1.n_nationkey\n"
+         "        AND n1.n_regionkey = r_regionkey\n"
+         "        AND r_name = '" + region + "'\n"
+         "        AND s_nationkey = n2.n_nationkey\n"
+         "        AND o_orderdate BETWEEN date '1995-01-01' AND "
+         "date '1996-12-31'\n"
+         "        AND p_type = '" + type + "') all_nations\n"
+         "GROUP BY o_year ORDER BY o_year";
+}
+
+std::string TpchQ8(const std::string& region, const std::string& type) {
+  return "SELECT o_orderyear, sum(l_extendedprice * (1 - l_discount)) AS "
+         "volume\n"
+         "FROM part, supplier, lineitem, orders, customer, nation n1, "
+         "nation n2, region\n"
+         "WHERE p_partkey = l_partkey\n"
+         "  AND s_suppkey = l_suppkey\n"
+         "  AND l_orderkey = o_orderkey\n"
+         "  AND o_custkey = c_custkey\n"
+         "  AND c_nationkey = n1.n_nationkey\n"
+         "  AND n1.n_regionkey = r_regionkey\n"
+         "  AND r_name = '" + region + "'\n"
+         "  AND s_nationkey = n2.n_nationkey\n"
+         "  AND o_orderdate BETWEEN date '1995-01-01' AND date '1996-12-31'\n"
+         "  AND p_type = '" + type + "'\n"
+         "GROUP BY o_orderyear ORDER BY o_orderyear";
+}
+
+}  // namespace htqo

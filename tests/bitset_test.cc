@@ -1,0 +1,138 @@
+#include "util/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace htqo {
+namespace {
+
+TEST(BitsetTest, StartsEmpty) {
+  Bitset b(100);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.None());
+  EXPECT_FALSE(b.Any());
+  EXPECT_EQ(b.FirstSet(), 100u);
+}
+
+TEST(BitsetTest, SetResetTest) {
+  Bitset b(70);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(69);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(69));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Reset(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(BitsetTest, IterationOrder) {
+  Bitset b(130);
+  for (std::size_t i : {3u, 64u, 65u, 127u, 129u}) b.Set(i);
+  std::vector<std::size_t> expected{3, 64, 65, 127, 129};
+  EXPECT_EQ(b.ToVector(), expected);
+  // Manual iteration agrees.
+  std::vector<std::size_t> seen;
+  for (std::size_t i = b.FirstSet(); i < b.size(); i = b.NextSet(i)) {
+    seen.push_back(i);
+  }
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(BitsetTest, SubsetAndIntersect) {
+  Bitset a(80), b(80);
+  a.Set(1);
+  a.Set(70);
+  b.Set(1);
+  b.Set(70);
+  b.Set(5);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.Intersects(b));
+  Bitset c(80);
+  c.Set(2);
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(c.IsSubsetOf(b) == false);
+  // Empty set is a subset of anything.
+  Bitset empty(80);
+  EXPECT_TRUE(empty.IsSubsetOf(a));
+  EXPECT_FALSE(empty.Intersects(a));
+}
+
+TEST(BitsetTest, BooleanOps) {
+  Bitset a(10), b(10);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  Bitset u = a | b;
+  EXPECT_EQ(u.ToVector(), (std::vector<std::size_t>{1, 2, 3}));
+  Bitset i = a & b;
+  EXPECT_EQ(i.ToVector(), (std::vector<std::size_t>{2}));
+  Bitset d = a - b;
+  EXPECT_EQ(d.ToVector(), (std::vector<std::size_t>{1}));
+}
+
+TEST(BitsetTest, EqualityAndOrdering) {
+  Bitset a(10), b(10);
+  a.Set(3);
+  b.Set(3);
+  EXPECT_EQ(a, b);
+  b.Set(5);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a < b || b < a);
+}
+
+TEST(BitsetTest, HashConsistentWithEquality) {
+  Bitset a(200), b(200);
+  for (std::size_t i : {0u, 50u, 150u, 199u}) {
+    a.Set(i);
+    b.Set(i);
+  }
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(BitsetTest, ToStringRendersIndices) {
+  Bitset b(10);
+  b.Set(1);
+  b.Set(4);
+  EXPECT_EQ(b.ToString(), "{1,4}");
+  EXPECT_EQ(Bitset(10).ToString(), "{}");
+}
+
+// Property sweep: random sets behave like std::set.
+class BitsetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BitsetPropertyTest, MatchesReferenceSet) {
+  Rng rng(GetParam());
+  const std::size_t universe = 1 + rng.Uniform(300);
+  Bitset b(universe);
+  std::set<std::size_t> ref;
+  for (int op = 0; op < 200; ++op) {
+    std::size_t i = rng.Uniform(universe);
+    if (rng.Uniform(3) == 0) {
+      b.Reset(i);
+      ref.erase(i);
+    } else {
+      b.Set(i);
+      ref.insert(i);
+    }
+  }
+  EXPECT_EQ(b.Count(), ref.size());
+  std::vector<std::size_t> expected(ref.begin(), ref.end());
+  EXPECT_EQ(b.ToVector(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitsetPropertyTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace htqo

@@ -1,0 +1,90 @@
+#include "storage/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.h"
+
+namespace htqo {
+namespace {
+
+TEST(CsvTest, TypedRoundTrip) {
+  Relation rel{Schema({{"k", ValueType::kInt64},
+                       {"price", ValueType::kDouble},
+                       {"name", ValueType::kString},
+                       {"day", ValueType::kDate}})};
+  rel.AddRow({Value::Int64(1), Value::Double(3.5), Value::String("widget"),
+              Value::DateFromString("1994-01-01")});
+  rel.AddRow({Value::Int64(-7), Value::Double(0.25), Value::String("bolt"),
+              Value::DateFromString("2000-02-29")});
+
+  std::stringstream stream;
+  WriteCsv(rel, stream);
+  auto back = ReadCsv(stream);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  EXPECT_EQ(back->schema().ToString(), rel.schema().ToString());
+  EXPECT_TRUE(back->SameRowsAs(rel));
+}
+
+TEST(CsvTest, QuotingCommasQuotesAndNewlines) {
+  Relation rel{Schema({{"s", ValueType::kString}})};
+  rel.AddRow({Value::String("a,b")});
+  rel.AddRow({Value::String("say \"hi\"")});
+  rel.AddRow({Value::String("line1\nline2")});
+  rel.AddRow({Value::String("")});
+
+  std::stringstream stream;
+  WriteCsv(rel, stream);
+  auto back = ReadCsv(stream);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  EXPECT_TRUE(back->SameRowsAs(rel));
+}
+
+TEST(CsvTest, EmptyRelationKeepsSchema) {
+  Relation rel{Schema({{"a", ValueType::kInt64}})};
+  std::stringstream stream;
+  WriteCsv(rel, stream);
+  auto back = ReadCsv(stream);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumRows(), 0u);
+  EXPECT_EQ(back->schema().column(0).type, ValueType::kInt64);
+}
+
+TEST(CsvTest, HeaderErrors) {
+  std::stringstream no_type("a,b\n1,2\n");
+  EXPECT_FALSE(ReadCsv(no_type).ok());
+  std::stringstream bad_type("a:int128\n1\n");
+  EXPECT_FALSE(ReadCsv(bad_type).ok());
+  std::stringstream empty("");
+  EXPECT_FALSE(ReadCsv(empty).ok());
+}
+
+TEST(CsvTest, CellErrors) {
+  std::stringstream bad_int("a:int64\nxyz\n");
+  EXPECT_FALSE(ReadCsv(bad_int).ok());
+  std::stringstream bad_date("d:date\n1994-13-01\n");
+  EXPECT_FALSE(ReadCsv(bad_date).ok());
+  std::stringstream wrong_arity("a:int64,b:int64\n1\n");
+  EXPECT_FALSE(ReadCsv(wrong_arity).ok());
+}
+
+TEST(CsvTest, CrlfAndBlankLinesTolerated) {
+  std::stringstream in("a:int64,b:string\r\n1,x\r\n\r\n2,y\r\n");
+  auto back = ReadCsv(in);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  EXPECT_EQ(back->NumRows(), 2u);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Relation rel = IntRelation({"a", "b"}, {{1, 2}, {3, 4}});
+  std::string path = ::testing::TempDir() + "/htqo_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(rel, path).ok());
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  EXPECT_TRUE(back->SameRowsAs(rel));
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/nope.csv").ok());
+}
+
+}  // namespace
+}  // namespace htqo

@@ -1,0 +1,224 @@
+#include "decomp/det_k_decomp.h"
+
+#include <gtest/gtest.h>
+
+#include "decomp/cost_k_decomp.h"
+#include "decomp/qhd.h"
+#include "decomp/validate.h"
+#include "hypergraph/gyo.h"
+#include "util/rng.h"
+
+namespace htqo {
+namespace {
+
+Hypergraph Triangle() {
+  Hypergraph h(3);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  h.AddEdge({0, 2});
+  return h;
+}
+
+Hypergraph Cycle(std::size_t n) {
+  Hypergraph h(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    h.AddEdge({i, (i + 1) % n});
+  }
+  return h;
+}
+
+Hypergraph Line(std::size_t n) {
+  Hypergraph h(n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    h.AddEdge({i, i + 1});
+  }
+  return h;
+}
+
+void ExpectValidHd(const Hypergraph& h, const Hypertree& hd) {
+  DecompositionCheck check =
+      ValidateDecomposition(h, hd, h.EmptyVertexSet());
+  EXPECT_TRUE(check.IsHypertreeDecomposition()) << check.ToString()
+                                                << "\n" << hd.ToString(h);
+}
+
+TEST(DetKDecompTest, AcyclicHasWidthOne) {
+  auto width = ComputeHypertreeWidth(Line(5), 3);
+  ASSERT_TRUE(width.ok());
+  EXPECT_EQ(*width, 1u);
+}
+
+TEST(DetKDecompTest, TriangleHasWidthTwo) {
+  EXPECT_FALSE(DetKDecomp(Triangle(), 1).ok());
+  auto hd = DetKDecomp(Triangle(), 2);
+  ASSERT_TRUE(hd.ok());
+  EXPECT_EQ(hd->Width(), 2u);
+  ExpectValidHd(Triangle(), *hd);
+}
+
+TEST(DetKDecompTest, CyclesHaveWidthTwo) {
+  for (std::size_t n : {4u, 5u, 6u, 8u, 10u}) {
+    auto width = ComputeHypertreeWidth(Cycle(n), 3);
+    ASSERT_TRUE(width.ok()) << n;
+    EXPECT_EQ(*width, 2u) << n;
+    auto hd = DetKDecomp(Cycle(n), 2);
+    ASSERT_TRUE(hd.ok());
+    ExpectValidHd(Cycle(n), *hd);
+  }
+}
+
+TEST(DetKDecompTest, GyoAgreesWithWidthOne) {
+  // Acyclicity (GYO) must coincide with hypertree width 1 on a zoo of
+  // small random hypergraphs.
+  Rng rng(99);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::size_t vertices = 3 + rng.Uniform(5);
+    std::size_t edges = 2 + rng.Uniform(5);
+    Hypergraph h(vertices);
+    for (std::size_t e = 0; e < edges; ++e) {
+      std::vector<std::size_t> vs;
+      std::size_t arity = 1 + rng.Uniform(3);
+      for (std::size_t i = 0; i < arity; ++i) {
+        std::size_t v = rng.Uniform(vertices);
+        if (std::find(vs.begin(), vs.end(), v) == vs.end()) vs.push_back(v);
+      }
+      h.AddEdge(vs);
+    }
+    bool acyclic = IsAcyclic(h);
+    bool width1 = DetKDecomp(h, 1).ok();
+    EXPECT_EQ(acyclic, width1) << h.ToString();
+  }
+}
+
+TEST(DetKDecompTest, DecompositionsAreAlwaysValid) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::size_t vertices = 4 + rng.Uniform(6);
+    std::size_t edges = 3 + rng.Uniform(6);
+    Hypergraph h(vertices);
+    for (std::size_t e = 0; e < edges; ++e) {
+      std::vector<std::size_t> vs;
+      std::size_t arity = 2 + rng.Uniform(3);
+      for (std::size_t i = 0; i < arity; ++i) {
+        std::size_t v = rng.Uniform(vertices);
+        if (std::find(vs.begin(), vs.end(), v) == vs.end()) vs.push_back(v);
+      }
+      h.AddEdge(vs);
+    }
+    for (std::size_t k = 1; k <= 3; ++k) {
+      auto hd = DetKDecomp(h, k);
+      if (hd.ok()) {
+        EXPECT_LE(hd->Width(), k);
+        ExpectValidHd(h, *hd);
+        break;
+      }
+    }
+  }
+}
+
+TEST(DetKDecompTest, RootConnConstraint) {
+  Hypergraph h = Line(4);  // vertices 0..4, edges (i, i+1)
+  Bitset out = h.EmptyVertexSet();
+  out.Set(0);
+  out.Set(4);  // endpoints: no single edge covers both
+  EXPECT_FALSE(DetKDecomp(h, 1, &out).ok());
+  auto hd = DetKDecomp(h, 2, &out);
+  ASSERT_TRUE(hd.ok());
+  DecompositionCheck check = ValidateDecomposition(h, *hd, out);
+  EXPECT_TRUE(check.root_covers_output) << hd->ToString(h);
+  EXPECT_TRUE(check.edge_cover && check.connectedness);
+}
+
+TEST(DetKDecompTest, DisconnectedHypergraph) {
+  Hypergraph h(4);
+  h.AddEdge({0, 1});
+  h.AddEdge({2, 3});
+  auto hd = DetKDecomp(h, 1);
+  ASSERT_TRUE(hd.ok());
+  ExpectValidHd(h, *hd);
+}
+
+TEST(DetKDecompTest, EmptyHypergraph) {
+  Hypergraph h(0);
+  auto hd = DetKDecomp(h, 1);
+  ASSERT_TRUE(hd.ok());
+  EXPECT_EQ(hd->Width(), 0u);
+}
+
+TEST(CostKDecompTest, FindsSameFeasibilityAsDet) {
+  StructuralCostModel model;
+  for (std::size_t n : {3u, 5u, 7u}) {
+    Hypergraph cyc = Cycle(n);
+    EXPECT_FALSE(CostKDecomp(cyc, 1, model).ok());
+    auto hd = CostKDecomp(cyc, 2, model);
+    ASSERT_TRUE(hd.ok());
+    ExpectValidHd(cyc, *hd);
+  }
+}
+
+TEST(CostKDecompTest, StatsModelPrefersCheapSeparators) {
+  // Two decompositions of a 4-cycle exist depending on which opposite pair
+  // anchors the root; the stats model must pick the cheaper one.
+  Hypergraph h = Cycle(4);  // edges: 0:(0,1) 1:(1,2) 2:(2,3) 3:(3,0)
+  std::vector<StatsDecompositionCostModel::EdgeStats> stats(4);
+  // Make edges 0 and 2 tiny, edges 1 and 3 huge.
+  for (std::size_t e = 0; e < 4; ++e) {
+    stats[e].rows = (e % 2 == 0) ? 10.0 : 100000.0;
+    for (std::size_t v : h.edge(e).ToVector()) {
+      stats[e].distinct[v] = stats[e].rows;
+    }
+  }
+  StatsDecompositionCostModel model(h, std::move(stats));
+  auto hd = CostKDecomp(h, 2, model);
+  ASSERT_TRUE(hd.ok());
+  // The root separator should use the cheap pair {0, 2}.
+  Bitset root_lambda = hd->node(hd->root()).lambda;
+  EXPECT_TRUE(root_lambda.Test(0) && root_lambda.Test(2))
+      << hd->ToString(h);
+}
+
+TEST(QhdTest, RootCoversOutputAndValidates) {
+  Hypergraph h = Cycle(6);
+  Bitset out = h.EmptyVertexSet();
+  out.Set(0);
+  StructuralCostModel model;
+  auto qhd = QHypertreeDecomp(h, out, model, QhdOptions{2, true});
+  ASSERT_TRUE(qhd.ok());
+  DecompositionCheck check = ValidateDecomposition(h, qhd->hd, out);
+  EXPECT_TRUE(check.IsQHypertreeDecomposition()) << check.ToString();
+  EXPECT_TRUE(check.root_covers_output);
+}
+
+TEST(QhdTest, FailureWhenWidthInsufficient) {
+  Hypergraph h = Cycle(6);
+  Bitset out = h.EmptyVertexSet();
+  out.Set(0);
+  StructuralCostModel model;
+  auto qhd = QHypertreeDecomp(h, out, model, QhdOptions{1, true});
+  EXPECT_FALSE(qhd.ok());
+  EXPECT_EQ(qhd.status().code(), StatusCode::kNotFound);
+}
+
+TEST(QhdTest, CompletionAnchorsEveryEdge) {
+  // Triangle with k=2: one edge is absorbed by the root's chi and must be
+  // re-attached as an anchor child.
+  Hypergraph h = Triangle();
+  StructuralCostModel model;
+  auto qhd = QHypertreeDecomp(h, h.EmptyVertexSet(), model,
+                              QhdOptions{2, false});
+  ASSERT_TRUE(qhd.ok());
+  const Hypertree& hd = qhd->hd;
+  for (std::size_t e = 0; e < h.NumEdges(); ++e) {
+    bool anchored = false;
+    for (std::size_t p = 0; p < hd.NumNodes(); ++p) {
+      if (hd.node(p).lambda.Test(e) &&
+          h.edge(e).IsSubsetOf(hd.node(p).chi)) {
+        anchored = true;
+      }
+    }
+    EXPECT_TRUE(anchored) << "edge " << e << "\n" << hd.ToString(h);
+  }
+}
+
+}  // namespace
+}  // namespace htqo

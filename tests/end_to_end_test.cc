@@ -1,0 +1,192 @@
+// End-to-end pipeline tests through the HybridOptimizer facade, including
+// the TPC-H queries of Fig. 8 on a small scale factor.
+
+#include "api/hybrid_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/query_gen.h"
+#include "workload/synthetic.h"
+#include "workload/tpch_gen.h"
+#include "workload/tpch_queries.h"
+
+namespace htqo {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PopulateTpch(TpchConfig{0.002, 21}, &catalog_);
+    PopulateSyntheticCatalog(SyntheticConfig{150, 40, 10, 13}, &catalog_);
+    registry_.AnalyzeAll(catalog_);
+  }
+
+  Catalog catalog_;
+  StatisticsRegistry registry_;
+};
+
+TEST_F(EndToEndTest, Q5AllModesAgree) {
+  HybridOptimizer optimizer(&catalog_, &registry_);
+  std::string sql = TpchQ5("ASIA", "1994-01-01");
+
+  std::optional<Relation> reference;
+  for (OptimizerMode mode :
+       {OptimizerMode::kDpStatistics, OptimizerMode::kNaive,
+        OptimizerMode::kGeqoDefaults, OptimizerMode::kQhdHybrid,
+        OptimizerMode::kQhdStructural, OptimizerMode::kQhdNoOptimize}) {
+    RunOptions options;
+    options.mode = mode;
+    auto run = optimizer.Run(sql, options);
+    ASSERT_TRUE(run.ok()) << OptimizerModeName(mode) << ": "
+                          << run.status().message();
+    EXPECT_FALSE(run->used_fallback) << OptimizerModeName(mode);
+    if (!reference) {
+      reference = std::move(run->output);
+      // Q5 groups by nation: at most 5 ASIA nations.
+      EXPECT_LE(reference->NumRows(), 5u);
+      EXPECT_GE(reference->NumRows(), 1u);
+    } else {
+      EXPECT_TRUE(reference->SameRowsAs(run->output))
+          << OptimizerModeName(mode);
+    }
+  }
+}
+
+TEST_F(EndToEndTest, Q5RevenueSortedDescending) {
+  HybridOptimizer optimizer(&catalog_, &registry_);
+  RunOptions options;
+  options.mode = OptimizerMode::kQhdHybrid;
+  auto run = optimizer.Run(TpchQ5("EUROPE", "1995-01-01"), options);
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  const Relation& out = run->output;
+  ASSERT_EQ(out.arity(), 2u);
+  EXPECT_EQ(out.schema().column(0).name, "n_name");
+  EXPECT_EQ(out.schema().column(1).name, "revenue");
+  for (std::size_t r = 1; r < out.NumRows(); ++r) {
+    EXPECT_GE(out.At(r - 1, 1).AsDouble(), out.At(r, 1).AsDouble());
+  }
+}
+
+TEST_F(EndToEndTest, Q8AllModesAgree) {
+  HybridOptimizer optimizer(&catalog_, &registry_);
+  std::string sql = TpchQ8("AMERICA", "ECONOMY ANODIZED STEEL");
+  std::optional<Relation> reference;
+  for (OptimizerMode mode :
+       {OptimizerMode::kDpStatistics, OptimizerMode::kQhdHybrid,
+        OptimizerMode::kQhdStructural}) {
+    RunOptions options;
+    options.mode = mode;
+    auto run = optimizer.Run(sql, options);
+    ASSERT_TRUE(run.ok()) << OptimizerModeName(mode) << ": "
+                          << run.status().message();
+    if (!reference) {
+      reference = std::move(run->output);
+      // Grouped by year within 1995..1996.
+      EXPECT_LE(reference->NumRows(), 2u);
+    } else {
+      EXPECT_TRUE(reference->SameRowsAs(run->output))
+          << OptimizerModeName(mode);
+    }
+  }
+}
+
+TEST_F(EndToEndTest, QhdReportsDecompositionMetadata) {
+  HybridOptimizer optimizer(&catalog_, &registry_);
+  RunOptions options;
+  options.mode = OptimizerMode::kQhdHybrid;
+  auto run = optimizer.Run(ChainQuerySql(6), options);
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  // Chains have hypertree width 2; cost-k-decomp may pick any width up to
+  // k=4 when its cost model says a wider separator is cheaper.
+  EXPECT_GE(run->decomposition_width, 2u);
+  EXPECT_LE(run->decomposition_width, 4u);
+  EXPECT_NE(run->plan_description.find("q-hypertree"), std::string::npos);
+  EXPECT_GT(run->plan_seconds, 0.0);
+}
+
+TEST_F(EndToEndTest, FallbackToDpOnQhdFailure) {
+  HybridOptimizer optimizer(&catalog_, &registry_);
+  RunOptions options;
+  options.mode = OptimizerMode::kQhdHybrid;
+  options.max_width = 1;  // chains need width 2 -> Failure -> fallback
+  options.fallback_to_dp = true;
+  auto run = optimizer.Run(ChainQuerySql(5), options);
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  EXPECT_TRUE(run->used_fallback);
+
+  options.fallback_to_dp = false;
+  auto no_fallback = optimizer.Run(ChainQuerySql(5), options);
+  ASSERT_FALSE(no_fallback.ok());
+  EXPECT_EQ(no_fallback.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(EndToEndTest, FallbackAnswerMatchesDirectDp) {
+  HybridOptimizer optimizer(&catalog_, &registry_);
+  RunOptions qhd;
+  qhd.mode = OptimizerMode::kQhdHybrid;
+  qhd.max_width = 1;
+  auto fallback_run = optimizer.Run(ChainQuerySql(5), qhd);
+  ASSERT_TRUE(fallback_run.ok());
+  RunOptions dp;
+  dp.mode = OptimizerMode::kDpStatistics;
+  auto dp_run = optimizer.Run(ChainQuerySql(5), dp);
+  ASSERT_TRUE(dp_run.ok());
+  EXPECT_TRUE(fallback_run->output.SameRowsAs(dp_run->output));
+}
+
+TEST_F(EndToEndTest, BudgetExceededSurfacesAsResourceExhausted) {
+  HybridOptimizer optimizer(&catalog_, &registry_);
+  RunOptions options;
+  options.mode = OptimizerMode::kNaive;
+  options.work_budget = 1000;  // far too small for the TPC-H join
+  auto run = optimizer.Run(TpchQ5(), options);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(EndToEndTest, ConstantFalseQueryShortCircuits) {
+  HybridOptimizer optimizer(&catalog_, &registry_);
+  RunOptions options;
+  options.mode = OptimizerMode::kDpStatistics;
+  auto run = optimizer.Run(
+      "SELECT DISTINCT r1.a FROM r1 WHERE 1 = 2 AND r1.a = r1.a", options);
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  EXPECT_EQ(run->output.NumRows(), 0u);
+  EXPECT_EQ(run->plan_description, "constant-false");
+}
+
+TEST_F(EndToEndTest, ParseErrorsPropagate) {
+  HybridOptimizer optimizer(&catalog_, &registry_);
+  auto run = optimizer.Run("SELEC broken", RunOptions{});
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EndToEndTest, WorkAccountingIsPopulated) {
+  HybridOptimizer optimizer(&catalog_, &registry_);
+  RunOptions options;
+  options.mode = OptimizerMode::kQhdHybrid;
+  auto run = optimizer.Run(LineQuerySql(5), options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_GT(run->ctx.work_charged, 0u);
+  EXPECT_GT(run->ctx.rows_charged, 0u);
+  EXPECT_GT(run->ctx.peak_rows, 0u);
+}
+
+TEST_F(EndToEndTest, QhdBeatsNaiveOnChainWork) {
+  // The paper's headline phenomenon at test scale: on a cyclic chain the
+  // structural method does asymptotically less work than the naive plan.
+  HybridOptimizer optimizer(&catalog_, &registry_);
+  RunOptions qhd;
+  qhd.mode = OptimizerMode::kQhdHybrid;
+  auto qhd_run = optimizer.Run(ChainQuerySql(8), qhd);
+  ASSERT_TRUE(qhd_run.ok());
+  RunOptions naive;
+  naive.mode = OptimizerMode::kNaive;
+  auto naive_run = optimizer.Run(ChainQuerySql(8), naive);
+  ASSERT_TRUE(naive_run.ok());
+  EXPECT_LT(qhd_run->ctx.work_charged, naive_run->ctx.work_charged);
+}
+
+}  // namespace
+}  // namespace htqo

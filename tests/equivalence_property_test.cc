@@ -1,0 +1,181 @@
+// The load-bearing property of the whole system (DESIGN.md §6): for every
+// query, every evaluation strategy produces the same answer —
+//   (i) naive FROM-order nested-loop join,
+//  (ii) DP-optimized hash-join plan,
+// (iii) GEQO left-deep plan,
+//  (iv) q-HD evaluation (hybrid, structural, and no-Optimize variants),
+//   (v) the rewritten SQL views executed bottom-up.
+// Swept over random join topologies (lines, chains, stars, random trees
+// with extra cycle-closing edges), cardinalities and selectivities.
+
+#include <gtest/gtest.h>
+
+#include "api/hybrid_optimizer.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "workload/query_gen.h"
+#include "workload/synthetic.h"
+
+namespace htqo {
+namespace {
+
+class EquivalencePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Builds a random query over fresh random relations and checks all
+// strategies agree.
+TEST_P(EquivalencePropertyTest, AllStrategiesAgree) {
+  Rng rng(GetParam() * 1000003 + 17);
+
+  // Random topology: a random tree over 2..7 atoms plus up to 2 extra
+  // cycle-closing edges. Relations get random arity 2..3, random
+  // cardinality and selectivity.
+  const std::size_t n = 2 + rng.Uniform(6);
+  Catalog catalog;
+  std::vector<std::vector<std::string>> columns(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t arity = 2 + rng.Uniform(2);
+    for (std::size_t c = 0; c < arity; ++c) {
+      columns[i].push_back("c" + std::to_string(c));
+    }
+    std::size_t rows = 20 + rng.Uniform(80);
+    std::size_t selectivity = 20 + rng.Uniform(70);
+    catalog.Put("t" + std::to_string(i),
+                MakeSyntheticRelation(rows, columns[i], selectivity,
+                                      rng.Fork(i + 1)));
+  }
+
+  // Join conditions: tree edges + extras.
+  std::vector<std::string> where;
+  auto attr = [&](std::size_t atom) {
+    return "t" + std::to_string(atom) + ".c" +
+           std::to_string(rng.Uniform(columns[atom].size()));
+  };
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t parent = rng.Uniform(i);
+    where.push_back(attr(parent) + " = " + attr(i));
+  }
+  std::size_t extras = rng.Uniform(3);
+  for (std::size_t e = 0; e < extras && n >= 2; ++e) {
+    std::size_t a = rng.Uniform(n);
+    std::size_t b = rng.Uniform(n);
+    if (a == b) continue;
+    where.push_back(attr(a) + " = " + attr(b));
+  }
+  // Maybe a constant filter.
+  if (rng.Uniform(2) == 0) {
+    where.push_back(attr(rng.Uniform(n)) + " <= " +
+                    std::to_string(rng.Uniform(60)));
+  }
+
+  // Output: 1..3 random attributes.
+  std::vector<std::string> select_items;
+  std::size_t num_out = 1 + rng.Uniform(3);
+  for (std::size_t i = 0; i < num_out; ++i) {
+    select_items.push_back(attr(rng.Uniform(n)) + " AS o" +
+                           std::to_string(i));
+  }
+  std::vector<std::string> from;
+  for (std::size_t i = 0; i < n; ++i) from.push_back("t" + std::to_string(i));
+  std::string sql = "SELECT DISTINCT " + Join(select_items, ", ") + " FROM " +
+                    Join(from, ", ") + " WHERE " + Join(where, " AND ");
+
+  StatisticsRegistry registry;
+  registry.AnalyzeAll(catalog);
+  HybridOptimizer optimizer(&catalog, &registry);
+
+  // Some random queries are outside the fragment (e.g. an atom ends up
+  // joined to nothing): skip those.
+  auto resolved = optimizer.Resolve(sql, TidMode::kNone);
+  if (!resolved.ok()) {
+    GTEST_SKIP() << "outside fragment: " << resolved.status().message();
+  }
+
+  RunOptions base;
+  base.tid_mode = TidMode::kNone;
+  base.fallback_to_dp = false;
+
+  std::optional<Relation> reference;
+  for (OptimizerMode mode :
+       {OptimizerMode::kNaive, OptimizerMode::kDpStatistics,
+        OptimizerMode::kGeqoDefaults, OptimizerMode::kQhdHybrid,
+        OptimizerMode::kQhdStructural, OptimizerMode::kQhdNoOptimize,
+        OptimizerMode::kYannakakis, OptimizerMode::kClassicHd,
+        OptimizerMode::kTreeDecomposition}) {
+    RunOptions options = base;
+    options.mode = mode;
+    auto run = optimizer.Run(sql, options);
+    if (!run.ok() && run.status().code() == StatusCode::kNotFound) {
+      // q-HD "Failure": no width-<=k rooted decomposition for this random
+      // topology. The hybrid system would fall back to DP (tested
+      // elsewhere); skip the strategy here.
+      continue;
+    }
+    ASSERT_TRUE(run.ok()) << OptimizerModeName(mode) << ": "
+                          << run.status().message() << "\n"
+                          << sql;
+    if (!reference.has_value()) {
+      reference = std::move(run->output);
+    } else {
+      EXPECT_TRUE(reference->SameRowsAs(run->output))
+          << OptimizerModeName(mode) << " diverges on\n"
+          << sql;
+    }
+  }
+
+  // Strategy (v): rewritten views.
+  auto rewritten = optimizer.RewriteQuery(sql, base);
+  if (!rewritten.ok() && rewritten.status().code() == StatusCode::kNotFound) {
+    return;  // q-HD Failure: no rewriting exists for this topology
+  }
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status().message() << "\n" << sql;
+  ExecContext ctx;
+  auto via_views = ExecuteRewrittenQuery(*rewritten, catalog, &ctx);
+  ASSERT_TRUE(via_views.ok()) << via_views.status().message() << "\n" << sql;
+  EXPECT_TRUE(reference->SameRowsAs(*via_views)) << "views diverge on\n"
+                                                 << sql;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomQueries, EquivalencePropertyTest,
+                         ::testing::Range<uint64_t>(0, 40));
+
+// Bag-semantics equivalence: with all-atom tuple ids, aggregates computed
+// through the q-HD path equal the plain bag-semantics join aggregation.
+class BagEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BagEquivalenceTest, QhdAggregatesMatchBagSemantics) {
+  Rng rng(GetParam() * 7919 + 3);
+  Catalog catalog;
+  SyntheticConfig config;
+  config.cardinality = 30 + rng.Uniform(60);
+  config.selectivity = 30 + rng.Uniform(60);
+  config.num_relations = 4;
+  config.seed = rng.Next();
+  PopulateSyntheticCatalog(config, &catalog);
+  StatisticsRegistry registry;
+  registry.AnalyzeAll(catalog);
+  HybridOptimizer optimizer(&catalog, &registry);
+
+  std::string sql =
+      "SELECT r1.a AS k, count(*) AS n, sum(r3.b) AS s FROM r1, r2, r3 "
+      "WHERE r1.b = r2.a AND r2.b = r3.a GROUP BY r1.a ORDER BY k";
+
+  RunOptions qhd;
+  qhd.mode = OptimizerMode::kQhdHybrid;
+  qhd.tid_mode = TidMode::kAllAtoms;
+  auto a = optimizer.Run(sql, qhd);
+  ASSERT_TRUE(a.ok()) << a.status().message();
+
+  RunOptions naive;
+  naive.mode = OptimizerMode::kNaive;
+  naive.tid_mode = TidMode::kAllAtoms;
+  auto b = optimizer.Run(sql, naive);
+  ASSERT_TRUE(b.ok()) << b.status().message();
+
+  EXPECT_TRUE(a->output.SameRowsAs(b->output));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BagEquivalenceTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace htqo

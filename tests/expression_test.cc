@@ -1,0 +1,150 @@
+#include "exec/expression.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace htqo {
+namespace {
+
+// Evaluates a SELECT-item expression with a fixed column environment.
+Value Eval(const std::string& expr_sql,
+           const std::map<std::string, Value>& env) {
+  auto stmt = ParseSelect("SELECT " + expr_sql + " FROM t");
+  EXPECT_TRUE(stmt.ok()) << stmt.status().message();
+  ColumnLookup lookup = [&](const Expr& ref) {
+    auto it = env.find(ref.column);
+    EXPECT_NE(it, env.end()) << ref.column;
+    return it->second;
+  };
+  return EvalScalar(stmt->items[0].expr, lookup);
+}
+
+TEST(EvalScalarTest, IntegerArithmeticStaysIntegral) {
+  std::map<std::string, Value> env{{"a", Value::Int64(7)},
+                                   {"b", Value::Int64(3)}};
+  EXPECT_EQ(Eval("a + b", env), Value::Int64(10));
+  EXPECT_EQ(Eval("a - b", env), Value::Int64(4));
+  EXPECT_EQ(Eval("a * b", env), Value::Int64(21));
+  EXPECT_EQ(Eval("a + b", env).type(), ValueType::kInt64);
+}
+
+TEST(EvalScalarTest, DivisionIsAlwaysDouble) {
+  std::map<std::string, Value> env{{"a", Value::Int64(7)},
+                                   {"b", Value::Int64(2)}};
+  Value v = Eval("a / b", env);
+  EXPECT_EQ(v.type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 3.5);
+}
+
+TEST(EvalScalarTest, DivisionByZeroYieldsZero) {
+  std::map<std::string, Value> env{{"a", Value::Int64(7)},
+                                   {"b", Value::Int64(0)}};
+  EXPECT_DOUBLE_EQ(Eval("a / b", env).AsDouble(), 0.0);
+}
+
+TEST(EvalScalarTest, MixedIntDoublePromotes) {
+  std::map<std::string, Value> env{{"a", Value::Int64(2)},
+                                   {"x", Value::Double(0.5)}};
+  Value v = Eval("a * x", env);
+  EXPECT_EQ(v.type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 1.0);
+}
+
+TEST(EvalScalarTest, TpcHRevenueExpression) {
+  std::map<std::string, Value> env{{"price", Value::Double(1000.0)},
+                                   {"disc", Value::Double(0.05)}};
+  EXPECT_DOUBLE_EQ(Eval("price * (1 - disc)", env).AsDouble(), 950.0);
+}
+
+TEST(AggAccumulatorTest, Sum) {
+  AggAccumulator sum(AggFunc::kSum);
+  sum.Add(Value::Int64(3));
+  sum.Add(Value::Int64(4));
+  EXPECT_EQ(sum.Finish(), Value::Int64(7));
+  EXPECT_EQ(sum.Finish().type(), ValueType::kInt64);
+
+  AggAccumulator dsum(AggFunc::kSum);
+  dsum.Add(Value::Double(0.5));
+  dsum.Add(Value::Int64(1));
+  EXPECT_EQ(dsum.Finish().type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(dsum.Finish().AsDouble(), 1.5);
+}
+
+TEST(AggAccumulatorTest, CountAndCountStar) {
+  AggAccumulator count(AggFunc::kCount);
+  count.Add(Value::Int64(10));
+  count.AddCountStar();
+  count.AddCountStar();
+  EXPECT_EQ(count.Finish(), Value::Int64(3));
+}
+
+TEST(AggAccumulatorTest, MinMax) {
+  AggAccumulator mn(AggFunc::kMin);
+  AggAccumulator mx(AggFunc::kMax);
+  for (int64_t v : {5, -2, 9, 0}) {
+    mn.Add(Value::Int64(v));
+    mx.Add(Value::Int64(v));
+  }
+  EXPECT_EQ(mn.Finish(), Value::Int64(-2));
+  EXPECT_EQ(mx.Finish(), Value::Int64(9));
+}
+
+TEST(AggAccumulatorTest, MinMaxOnStringsAndDates) {
+  AggAccumulator mn(AggFunc::kMin);
+  mn.Add(Value::String("pear"));
+  mn.Add(Value::String("apple"));
+  EXPECT_EQ(mn.Finish(), Value::String("apple"));
+
+  AggAccumulator mx(AggFunc::kMax);
+  mx.Add(Value::DateFromString("1994-01-01"));
+  mx.Add(Value::DateFromString("1995-06-01"));
+  EXPECT_EQ(mx.Finish(), Value::DateFromString("1995-06-01"));
+}
+
+TEST(AggAccumulatorTest, Avg) {
+  AggAccumulator avg(AggFunc::kAvg);
+  avg.Add(Value::Int64(1));
+  avg.Add(Value::Int64(2));
+  EXPECT_DOUBLE_EQ(avg.Finish().AsDouble(), 1.5);
+}
+
+TEST(AggAccumulatorTest, EmptyGroupsFinishToZero) {
+  for (AggFunc f : {AggFunc::kSum, AggFunc::kCount, AggFunc::kMin,
+                    AggFunc::kMax}) {
+    AggAccumulator acc(f);
+    EXPECT_EQ(acc.Finish().AsDouble(), 0.0) << AggFuncName(f);
+  }
+  EXPECT_DOUBLE_EQ(AggAccumulator(AggFunc::kAvg).Finish().AsDouble(), 0.0);
+}
+
+TEST(CompareOpTest, EvalCompareAllOps) {
+  Value a = Value::Int64(1), b = Value::Int64(2);
+  EXPECT_TRUE(EvalCompare(CompareOp::kLt, a, b));
+  EXPECT_TRUE(EvalCompare(CompareOp::kLe, a, a));
+  EXPECT_TRUE(EvalCompare(CompareOp::kGt, b, a));
+  EXPECT_TRUE(EvalCompare(CompareOp::kGe, b, b));
+  EXPECT_TRUE(EvalCompare(CompareOp::kEq, a, a));
+  EXPECT_TRUE(EvalCompare(CompareOp::kNe, a, b));
+  EXPECT_FALSE(EvalCompare(CompareOp::kEq, a, b));
+}
+
+TEST(ExprTest, CloneIsDeep) {
+  auto stmt = ParseSelect("SELECT sum(a * (1 - b)) FROM t");
+  ASSERT_TRUE(stmt.ok());
+  Expr clone = stmt->items[0].expr.Clone();
+  EXPECT_EQ(clone.ToString(), stmt->items[0].expr.ToString());
+  EXPECT_NE(clone.lhs.get(), stmt->items[0].expr.lhs.get());
+}
+
+TEST(ExprTest, CollectColumnRefs) {
+  auto stmt = ParseSelect("SELECT a + sum(b * c) FROM t");
+  ASSERT_TRUE(stmt.ok());
+  std::vector<const Expr*> refs;
+  stmt->items[0].expr.CollectColumnRefs(&refs);
+  ASSERT_EQ(refs.size(), 3u);
+  EXPECT_EQ(refs[0]->column, "a");
+}
+
+}  // namespace
+}  // namespace htqo

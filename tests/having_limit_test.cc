@@ -1,0 +1,136 @@
+// HAVING and LIMIT: SQL-surface completions over the aggregate machinery.
+
+#include <gtest/gtest.h>
+
+#include "api/hybrid_optimizer.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace htqo {
+namespace {
+
+class HavingLimitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_.Put("emp", IntRelation({"id", "dept", "salary"},
+                                    {{1, 10, 100},
+                                     {2, 10, 200},
+                                     {3, 20, 300},
+                                     {4, 20, 500},
+                                     {5, 30, 50}}));
+    registry_.AnalyzeAll(catalog_);
+  }
+
+  Relation Run(const std::string& sql) {
+    HybridOptimizer optimizer(&catalog_, &registry_);
+    RunOptions options;
+    options.mode = OptimizerMode::kDpStatistics;
+    auto run = optimizer.Run(sql, options);
+    EXPECT_TRUE(run.ok()) << run.status().message();
+    return run.ok() ? std::move(run->output) : Relation();
+  }
+
+  Catalog catalog_;
+  StatisticsRegistry registry_;
+};
+
+TEST_F(HavingLimitTest, ParserAcceptsHavingAndLimit) {
+  auto stmt = ParseSelect(
+      "SELECT dept, sum(salary) AS s FROM emp GROUP BY dept "
+      "HAVING sum(salary) > 100 AND count(*) >= 1 ORDER BY s LIMIT 2");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().message();
+  EXPECT_EQ(stmt->having.size(), 2u);
+  EXPECT_EQ(stmt->limit, 2u);
+  // Round-trips.
+  auto again = ParseSelect(stmt->ToString());
+  ASSERT_TRUE(again.ok()) << stmt->ToString();
+  EXPECT_EQ(again->having.size(), 2u);
+  EXPECT_EQ(again->limit, 2u);
+}
+
+TEST_F(HavingLimitTest, ParserRejectsHavingWithoutGrouping) {
+  EXPECT_FALSE(ParseSelect("SELECT id FROM emp HAVING id > 1").ok());
+}
+
+TEST_F(HavingLimitTest, HavingFiltersGroups) {
+  Relation out = Run(
+      "SELECT dept, sum(salary) AS total FROM emp GROUP BY dept "
+      "HAVING sum(salary) > 250 ORDER BY dept");
+  ASSERT_EQ(out.NumRows(), 2u);  // dept 10 (300) and dept 20 (800)
+  EXPECT_EQ(out.At(0, 0), Value::Int64(10));
+  EXPECT_EQ(out.At(1, 0), Value::Int64(20));
+}
+
+TEST_F(HavingLimitTest, HavingOnCountStar) {
+  Relation out = Run(
+      "SELECT dept, count(*) AS n FROM emp GROUP BY dept "
+      "HAVING count(*) >= 2 ORDER BY dept");
+  ASSERT_EQ(out.NumRows(), 2u);
+}
+
+TEST_F(HavingLimitTest, HavingOnGroupedColumn) {
+  Relation out = Run(
+      "SELECT dept, sum(salary) AS total FROM emp GROUP BY dept "
+      "HAVING dept <> 30 ORDER BY dept");
+  ASSERT_EQ(out.NumRows(), 2u);
+}
+
+TEST_F(HavingLimitTest, HavingWithoutSelectAggregates) {
+  // Aggregates may appear only in HAVING.
+  Relation out = Run(
+      "SELECT dept FROM emp GROUP BY dept HAVING sum(salary) > 250 "
+      "ORDER BY dept");
+  ASSERT_EQ(out.NumRows(), 2u);
+  EXPECT_EQ(out.arity(), 1u);
+}
+
+TEST_F(HavingLimitTest, GroupByWithoutAggregatesEmitsOneRowPerGroup) {
+  Relation out = Run("SELECT dept FROM emp GROUP BY dept ORDER BY dept");
+  ASSERT_EQ(out.NumRows(), 3u);
+}
+
+TEST_F(HavingLimitTest, LimitTruncatesAfterOrderBy) {
+  Relation out = Run(
+      "SELECT id, salary FROM emp GROUP BY id, salary "
+      "ORDER BY salary DESC LIMIT 2");
+  ASSERT_EQ(out.NumRows(), 2u);
+  EXPECT_EQ(out.At(0, 1), Value::Int64(500));
+  EXPECT_EQ(out.At(1, 1), Value::Int64(300));
+}
+
+TEST_F(HavingLimitTest, LimitOnPlainSelect) {
+  Relation out = Run("SELECT DISTINCT dept FROM emp LIMIT 1");
+  EXPECT_EQ(out.NumRows(), 1u);
+  Relation all = Run("SELECT DISTINCT dept FROM emp LIMIT 99");
+  EXPECT_EQ(all.NumRows(), 3u);  // limit larger than result is a no-op
+}
+
+TEST_F(HavingLimitTest, LimitZero) {
+  Relation out = Run("SELECT DISTINCT dept FROM emp LIMIT 0");
+  EXPECT_EQ(out.NumRows(), 0u);
+}
+
+TEST_F(HavingLimitTest, HavingConsistentAcrossModes) {
+  const std::string sql =
+      "SELECT dept, sum(salary) AS total FROM emp GROUP BY dept "
+      "HAVING count(*) >= 2 ORDER BY total DESC";
+  HybridOptimizer optimizer(&catalog_, &registry_);
+  std::optional<Relation> reference;
+  for (OptimizerMode mode :
+       {OptimizerMode::kDpStatistics, OptimizerMode::kNaive,
+        OptimizerMode::kQhdHybrid}) {
+    RunOptions options;
+    options.mode = mode;
+    auto run = optimizer.Run(sql, options);
+    ASSERT_TRUE(run.ok()) << OptimizerModeName(mode);
+    if (!reference) {
+      reference = std::move(run->output);
+    } else {
+      EXPECT_TRUE(reference->SameRowsAs(run->output))
+          << OptimizerModeName(mode);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace htqo

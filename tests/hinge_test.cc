@@ -1,0 +1,151 @@
+#include "decomp/hinge.h"
+
+#include <gtest/gtest.h>
+
+#include "decomp/det_k_decomp.h"
+#include "util/rng.h"
+
+namespace htqo {
+namespace {
+
+Hypergraph Cycle(std::size_t n) {
+  Hypergraph h(n);
+  for (std::size_t i = 0; i < n; ++i) h.AddEdge({i, (i + 1) % n});
+  return h;
+}
+
+Hypergraph Line(std::size_t n) {
+  Hypergraph h(n + 1);
+  for (std::size_t i = 0; i < n; ++i) h.AddEdge({i, i + 1});
+  return h;
+}
+
+Bitset Edges(const Hypergraph& h, std::initializer_list<std::size_t> ids) {
+  Bitset out = h.EmptyEdgeSet();
+  for (std::size_t e : ids) out.Set(e);
+  return out;
+}
+
+TEST(HingeTest, AdjacentPairOnLineIsHinge) {
+  Hypergraph h = Line(4);  // e0(0,1) e1(1,2) e2(2,3) e3(3,4)
+  EXPECT_TRUE(IsHinge(h, h.AllEdges(), Edges(h, {0, 1})));
+  EXPECT_TRUE(IsHinge(h, h.AllEdges(), Edges(h, {1, 2})));
+}
+
+TEST(HingeTest, RemotePairOnLineIsNotHinge) {
+  Hypergraph h = Line(4);
+  // {e0, e3}: the middle component {e1, e2} shares vertex 1 with e0 and
+  // vertex 3 with e3 — not inside a single hinge edge.
+  EXPECT_FALSE(IsHinge(h, h.AllEdges(), Edges(h, {0, 3})));
+}
+
+TEST(HingeTest, NoProperHingeInACycle) {
+  Hypergraph h = Cycle(5);
+  // Any proper subset fails: the complement components touch two hinge
+  // edges through different vertices.
+  EXPECT_FALSE(IsHinge(h, h.AllEdges(), Edges(h, {0, 1})));
+  EXPECT_FALSE(IsHinge(h, h.AllEdges(), Edges(h, {0, 2})));
+  EXPECT_TRUE(IsHinge(h, h.AllEdges(), h.AllEdges()));  // trivial
+}
+
+TEST(HingeTest, LineHasDegree2) {
+  for (std::size_t n : {2u, 4u, 7u}) {
+    auto degree = DegreeOfCyclicity(Line(n));
+    ASSERT_TRUE(degree.ok());
+    EXPECT_EQ(*degree, 2u) << n;
+  }
+}
+
+TEST(HingeTest, CycleHasDegreeN) {
+  // The classical separation: cycles have unbounded degree of cyclicity
+  // but hypertree width 2 — hypertree decompositions strongly generalize
+  // hinge trees.
+  for (std::size_t n : {3u, 5u, 8u}) {
+    auto degree = DegreeOfCyclicity(Cycle(n));
+    ASSERT_TRUE(degree.ok());
+    EXPECT_EQ(*degree, n) << n;
+    auto hw = ComputeHypertreeWidth(Cycle(n), 3);
+    ASSERT_TRUE(hw.ok());
+    EXPECT_LE(*hw, 2u);
+  }
+}
+
+TEST(HingeTest, CycleWithPendantEdges) {
+  // A triangle with a tail: the triangle is the big minimal hinge, the tail
+  // splits off into 2-edge hinges.
+  Hypergraph h(5);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  h.AddEdge({0, 2});
+  h.AddEdge({2, 3});
+  h.AddEdge({3, 4});
+  auto degree = DegreeOfCyclicity(h);
+  ASSERT_TRUE(degree.ok());
+  EXPECT_EQ(*degree, 3u);
+  auto tree = BuildHingeTree(h, h.AllEdges());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GE(tree->nodes.size(), 2u);
+}
+
+TEST(HingeTest, AdjacentTreeNodesShareExactlyOneEdge) {
+  Hypergraph h(7);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  h.AddEdge({2, 0});  // triangle
+  h.AddEdge({2, 3});
+  h.AddEdge({3, 4});
+  h.AddEdge({4, 5});
+  h.AddEdge({5, 6});
+  auto tree = BuildHingeTree(h, h.AllEdges());
+  ASSERT_TRUE(tree.ok());
+  for (std::size_t i = 0; i < tree->nodes.size(); ++i) {
+    std::size_t p = tree->nodes[i].parent;
+    if (p == static_cast<std::size_t>(-1)) continue;
+    Bitset shared = tree->nodes[i].edges & tree->nodes[p].edges;
+    EXPECT_EQ(shared.Count(), 1u) << i;
+  }
+}
+
+TEST(HingeTest, EveryEdgeAppearsInSomeNode) {
+  Hypergraph h = Line(6);
+  auto tree = BuildHingeTree(h, h.AllEdges());
+  ASSERT_TRUE(tree.ok());
+  Bitset covered = h.EmptyEdgeSet();
+  for (const auto& node : tree->nodes) covered |= node.edges;
+  EXPECT_EQ(covered, h.AllEdges());
+}
+
+TEST(HingeTest, DisconnectedUniverseRejected) {
+  Hypergraph h(4);
+  h.AddEdge({0, 1});
+  h.AddEdge({2, 3});
+  EXPECT_FALSE(BuildHingeTree(h, h.AllEdges()).ok());
+  // DegreeOfCyclicity handles components itself.
+  auto degree = DegreeOfCyclicity(h);
+  ASSERT_TRUE(degree.ok());
+  EXPECT_EQ(*degree, 1u);  // two isolated single-edge components
+}
+
+TEST(HingeTest, HypertreeWidthNeverExceedsDegreeOfCyclicity) {
+  // GLS02: hw(H) <= degree of cyclicity, on every connected instance.
+  Rng rng(1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::size_t vertices = 4 + rng.Uniform(4);
+    Hypergraph h(vertices);
+    std::size_t edges = 3 + rng.Uniform(4);
+    // Build connected: chain skeleton + extras.
+    for (std::size_t e = 0; e + 1 < edges; ++e) {
+      h.AddEdge({e % vertices, (e + 1) % vertices});
+    }
+    h.AddEdge({rng.Uniform(vertices), rng.Uniform(vertices)});
+    auto components = h.ComponentsOf(h.AllEdges(), h.EmptyVertexSet());
+    if (components.size() != 1) continue;
+    auto degree = DegreeOfCyclicity(h);
+    auto hw = ComputeHypertreeWidth(h, 6);
+    if (!degree.ok() || !hw.ok()) continue;
+    EXPECT_LE(*hw, std::max<std::size_t>(*degree, 1u)) << h.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace htqo

@@ -1,0 +1,153 @@
+#include "hypergraph/hypergraph.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/gyo.h"
+#include "hypergraph/join_tree.h"
+
+namespace htqo {
+namespace {
+
+// Triangle: R(a,b), S(b,c), T(a,c) — the canonical cyclic hypergraph.
+Hypergraph Triangle() {
+  Hypergraph h(3);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  h.AddEdge({0, 2});
+  return h;
+}
+
+// Line: R1(a,b), R2(b,c), R3(c,d) — acyclic.
+Hypergraph Line3() {
+  Hypergraph h(4);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  h.AddEdge({2, 3});
+  return h;
+}
+
+TEST(HypergraphTest, VarsOfUnionsEdges) {
+  Hypergraph h = Line3();
+  Bitset edges = h.EmptyEdgeSet();
+  edges.Set(0);
+  edges.Set(2);
+  Bitset vars = h.VarsOf(edges);
+  EXPECT_EQ(vars.ToVector(), (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(HypergraphTest, ComponentsSplitBySeparator) {
+  Hypergraph h = Line3();
+  // Separating by {b=1, c=2} splits edge 0 and edge 2; edge 1 is covered.
+  Bitset sep = h.EmptyVertexSet();
+  sep.Set(1);
+  sep.Set(2);
+  auto components = h.ComponentsOf(h.AllEdges(), sep);
+  ASSERT_EQ(components.size(), 2u);
+  EXPECT_EQ(components[0].Count() + components[1].Count(), 2u);
+}
+
+TEST(HypergraphTest, ComponentsMergeThroughSharedVertices) {
+  Hypergraph h = Line3();
+  Bitset sep = h.EmptyVertexSet();  // empty separator: all one component
+  auto components = h.ComponentsOf(h.AllEdges(), sep);
+  ASSERT_EQ(components.size(), 1u);
+  EXPECT_EQ(components[0].Count(), 3u);
+}
+
+TEST(HypergraphTest, EdgesIntersecting) {
+  Hypergraph h = Line3();
+  Bitset vars = h.EmptyVertexSet();
+  vars.Set(1);
+  Bitset touching = h.EdgesIntersecting(h.AllEdges(), vars);
+  EXPECT_EQ(touching.ToVector(), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(GyoTest, LineIsAcyclic) { EXPECT_TRUE(IsAcyclic(Line3())); }
+
+TEST(GyoTest, TriangleIsCyclic) { EXPECT_FALSE(IsAcyclic(Triangle())); }
+
+TEST(GyoTest, TriangleWithCoveringEdgeIsAcyclic) {
+  Hypergraph h = Triangle();
+  h.AddEdge({0, 1, 2});  // big edge absorbs the triangle
+  EXPECT_TRUE(IsAcyclic(h));
+}
+
+TEST(GyoTest, StarIsAcyclic) {
+  Hypergraph h(5);
+  h.AddEdge({0, 1});
+  h.AddEdge({0, 2});
+  h.AddEdge({0, 3});
+  h.AddEdge({0, 4});
+  EXPECT_TRUE(IsAcyclic(h));
+}
+
+TEST(GyoTest, CycleOfLength4IsCyclic) {
+  Hypergraph h(4);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  h.AddEdge({2, 3});
+  h.AddEdge({3, 0});
+  EXPECT_FALSE(IsAcyclic(h));
+}
+
+TEST(GyoTest, DuplicateEdgesAreAcyclic) {
+  Hypergraph h(2);
+  h.AddEdge({0, 1});
+  h.AddEdge({0, 1});
+  EXPECT_TRUE(IsAcyclic(h));
+}
+
+TEST(GyoTest, EmptyAndSingletonAcyclic) {
+  Hypergraph h(3);
+  EXPECT_TRUE(IsAcyclic(h));
+  h.AddEdge({0, 1, 2});
+  EXPECT_TRUE(IsAcyclic(h));
+}
+
+TEST(GyoTest, SubsetRestriction) {
+  Hypergraph h = Triangle();
+  Bitset subset = h.EmptyEdgeSet();
+  subset.Set(0);
+  subset.Set(1);  // two edges of the triangle form a path: acyclic
+  EXPECT_TRUE(IsAcyclicSubset(h, subset));
+  EXPECT_FALSE(IsAcyclicSubset(h, h.AllEdges()));
+}
+
+TEST(JoinTreeTest, LineGetsAJoinTree) {
+  Hypergraph h = Line3();
+  auto forest = BuildJoinForest(h);
+  ASSERT_TRUE(forest.ok());
+  EXPECT_TRUE(VerifyJoinForest(h, *forest));
+  EXPECT_EQ(forest->roots.size(), 1u);
+}
+
+TEST(JoinTreeTest, TriangleHasNoJoinTree) {
+  auto forest = BuildJoinForest(Triangle());
+  EXPECT_FALSE(forest.ok());
+}
+
+TEST(JoinTreeTest, DisconnectedHypergraphGetsForest) {
+  Hypergraph h(4);
+  h.AddEdge({0, 1});
+  h.AddEdge({2, 3});
+  auto forest = BuildJoinForest(h);
+  ASSERT_TRUE(forest.ok());
+  EXPECT_EQ(forest->roots.size(), 2u);
+}
+
+TEST(JoinTreeTest, ChildrenOfInvertsParent) {
+  Hypergraph h(5);
+  h.AddEdge({0, 1});
+  h.AddEdge({0, 2});
+  h.AddEdge({0, 3});
+  auto forest = BuildJoinForest(h);
+  ASSERT_TRUE(forest.ok());
+  std::size_t total_children = 0;
+  for (std::size_t e = 0; e < h.NumEdges(); ++e) {
+    total_children += forest->ChildrenOf(e).size();
+  }
+  EXPECT_EQ(total_children, h.NumEdges() - forest->roots.size());
+}
+
+}  // namespace
+}  // namespace htqo

@@ -1,0 +1,111 @@
+// Known hypertree widths of the structured families — classical results the
+// decomposition algorithms must reproduce.
+
+#include "workload/hypergraph_zoo.h"
+
+#include <gtest/gtest.h>
+
+#include "decomp/det_k_decomp.h"
+#include "decomp/validate.h"
+#include "hypergraph/gyo.h"
+
+namespace htqo {
+namespace {
+
+TEST(ZooTest, LineWidths) {
+  for (std::size_t n : {1u, 3u, 8u}) {
+    Hypergraph h = LineHypergraph(n);
+    EXPECT_TRUE(IsAcyclic(h));
+    auto hw = ComputeHypertreeWidth(h, 2);
+    ASSERT_TRUE(hw.ok());
+    EXPECT_EQ(*hw, 1u) << n;
+  }
+}
+
+TEST(ZooTest, CycleWidths) {
+  for (std::size_t n : {3u, 6u, 9u}) {
+    Hypergraph h = CycleHypergraph(n);
+    EXPECT_FALSE(IsAcyclic(h));
+    auto hw = ComputeHypertreeWidth(h, 3);
+    ASSERT_TRUE(hw.ok());
+    EXPECT_EQ(*hw, 2u) << n;
+  }
+}
+
+TEST(ZooTest, CliqueWidthIsHalfN) {
+  // hw(K_n) = ceil(n/2): binary edges pair up to cover the one big bag.
+  for (std::size_t n : {3u, 4u, 5u, 6u}) {
+    Hypergraph h = CliqueHypergraph(n);
+    auto hw = ComputeHypertreeWidth(h, 4);
+    ASSERT_TRUE(hw.ok()) << n;
+    EXPECT_EQ(*hw, (n + 1) / 2) << n;
+  }
+}
+
+TEST(ZooTest, GridWidths) {
+  // 1xN grids are lines; 2xN grids have hw 2; the 3x3 grid has hw 2
+  // (binary edges pair across the width-3 treewidth bags).
+  auto hw_1x5 = ComputeHypertreeWidth(GridHypergraph(1, 5), 2);
+  ASSERT_TRUE(hw_1x5.ok());
+  EXPECT_EQ(*hw_1x5, 1u);
+
+  auto hw_2x4 = ComputeHypertreeWidth(GridHypergraph(2, 4), 3);
+  ASSERT_TRUE(hw_2x4.ok());
+  EXPECT_EQ(*hw_2x4, 2u);
+
+  auto hw_3x3 = ComputeHypertreeWidth(GridHypergraph(3, 3), 3);
+  ASSERT_TRUE(hw_3x3.ok());
+  EXPECT_EQ(*hw_3x3, 2u);
+}
+
+TEST(ZooTest, GridStructure) {
+  Hypergraph g = GridHypergraph(3, 4);
+  EXPECT_EQ(g.NumVertices(), 12u);
+  // Edges: 3 rows x 3 horizontal + 2 x 4 vertical = 9 + 8 = 17.
+  EXPECT_EQ(g.NumEdges(), 17u);
+  EXPECT_FALSE(IsAcyclic(g));
+}
+
+TEST(ZooTest, WheelWidth) {
+  for (std::size_t n : {3u, 5u, 8u}) {
+    Hypergraph h = WheelHypergraph(n);
+    EXPECT_FALSE(IsAcyclic(h));
+    auto hw = ComputeHypertreeWidth(h, 3);
+    ASSERT_TRUE(hw.ok()) << n;
+    EXPECT_EQ(*hw, 2u) << n;
+  }
+}
+
+TEST(ZooTest, SlidingWindowCycleWidth) {
+  for (std::size_t k : {2u, 3u, 4u}) {
+    Hypergraph h = SlidingWindowCycle(9, k);
+    EXPECT_EQ(h.NumEdges(), 9u);
+    auto hw = ComputeHypertreeWidth(h, 3);
+    ASSERT_TRUE(hw.ok()) << k;
+    EXPECT_LE(*hw, 2u) << k;
+    auto hd = DetKDecomp(h, *hw);
+    ASSERT_TRUE(hd.ok());
+    EXPECT_TRUE(ValidateDecomposition(h, *hd, h.EmptyVertexSet())
+                    .IsHypertreeDecomposition());
+  }
+}
+
+TEST(ZooTest, AllFamiliesDecomposeValidly) {
+  const Hypergraph instances[] = {
+      LineHypergraph(6),        CycleHypergraph(7),
+      CliqueHypergraph(5),      GridHypergraph(2, 5),
+      WheelHypergraph(6),       SlidingWindowCycle(8, 3),
+  };
+  for (const Hypergraph& h : instances) {
+    auto hw = ComputeHypertreeWidth(h, 4);
+    ASSERT_TRUE(hw.ok());
+    auto hd = DetKDecomp(h, *hw);
+    ASSERT_TRUE(hd.ok());
+    DecompositionCheck check =
+        ValidateDecomposition(h, *hd, h.EmptyVertexSet());
+    EXPECT_TRUE(check.IsHypertreeDecomposition()) << h.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace htqo

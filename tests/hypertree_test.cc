@@ -1,0 +1,106 @@
+// Direct unit tests for the Hypertree container (orders, width, subtree
+// chi, printing) and the Graphviz exports.
+
+#include "decomp/hypertree.h"
+
+#include <gtest/gtest.h>
+
+namespace htqo {
+namespace {
+
+Bitset Bits(std::size_t universe, std::initializer_list<std::size_t> bits) {
+  Bitset out(universe);
+  for (std::size_t b : bits) out.Set(b);
+  return out;
+}
+
+Hypergraph Path2() {
+  Hypergraph h(3);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  return h;
+}
+
+// root(0) -> a(1), b(2); a -> c(3).
+Hypertree SampleTree() {
+  Hypertree hd;
+  std::size_t root = hd.AddNode(Bits(3, {0, 1}), Bits(2, {0}));
+  std::size_t a = hd.AddNode(Bits(3, {1}), Bits(2, {0}), root);
+  hd.AddNode(Bits(3, {1, 2}), Bits(2, {1}), root);
+  hd.AddNode(Bits(3, {1}), Bits(2, {0, 1}), a);
+  return hd;
+}
+
+TEST(HypertreeTest, StructureAccessors) {
+  Hypertree hd = SampleTree();
+  EXPECT_EQ(hd.NumNodes(), 4u);
+  EXPECT_EQ(hd.root(), 0u);
+  EXPECT_EQ(hd.node(0).children, (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(hd.node(1).parent, 0u);
+  EXPECT_EQ(hd.node(3).parent, 1u);
+  EXPECT_EQ(hd.node(0).parent, HypertreeNode::kNoParent);
+}
+
+TEST(HypertreeTest, WidthIsMaxLambda) {
+  Hypertree hd = SampleTree();
+  EXPECT_EQ(hd.Width(), 2u);  // node 3 has lambda {0,1}
+}
+
+TEST(HypertreeTest, PreOrderParentsFirst) {
+  Hypertree hd = SampleTree();
+  std::vector<std::size_t> pre = hd.PreOrder();
+  ASSERT_EQ(pre.size(), 4u);
+  EXPECT_EQ(pre[0], 0u);
+  std::vector<std::size_t> position(4);
+  for (std::size_t i = 0; i < pre.size(); ++i) position[pre[i]] = i;
+  for (std::size_t p = 1; p < 4; ++p) {
+    EXPECT_LT(position[hd.node(p).parent], position[p]) << p;
+  }
+}
+
+TEST(HypertreeTest, PostOrderChildrenFirst) {
+  Hypertree hd = SampleTree();
+  std::vector<std::size_t> post = hd.PostOrder();
+  std::vector<std::size_t> position(4);
+  for (std::size_t i = 0; i < post.size(); ++i) position[post[i]] = i;
+  for (std::size_t p = 1; p < 4; ++p) {
+    EXPECT_GT(position[hd.node(p).parent], position[p]) << p;
+  }
+  EXPECT_EQ(post.back(), 0u);
+}
+
+TEST(HypertreeTest, SubtreeChiUnionsDescendants) {
+  Hypertree hd = SampleTree();
+  EXPECT_EQ(hd.SubtreeChi(0), Bits(3, {0, 1, 2}));
+  EXPECT_EQ(hd.SubtreeChi(1), Bits(3, {1}));
+  EXPECT_EQ(hd.SubtreeChi(2), Bits(3, {1, 2}));
+}
+
+TEST(HypertreeTest, ToStringShowsLabels) {
+  Hypergraph h = Path2();
+  Hypertree hd = SampleTree();
+  std::string s = hd.ToString(h);
+  EXPECT_NE(s.find("chi={v0,v1}"), std::string::npos) << s;
+  EXPECT_NE(s.find("lambda={e0,e1}"), std::string::npos) << s;
+}
+
+TEST(HypertreeTest, ToDotIsWellFormed) {
+  Hypergraph h = Path2();
+  Hypertree hd = SampleTree();
+  std::string dot = hd.ToDot(h);
+  EXPECT_EQ(dot.find("digraph"), 0u);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("n1 -> n3"), std::string::npos) << dot;
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(HypergraphDotTest, BipartiteRendering) {
+  Hypergraph h = Path2();
+  std::string dot = h.ToDot();
+  EXPECT_EQ(dot.find("graph hypergraph"), 0u);
+  EXPECT_NE(dot.find("e0 -- v0"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("e1 -- v2"), std::string::npos) << dot;
+}
+
+}  // namespace
+}  // namespace htqo

@@ -1,0 +1,177 @@
+// IN predicates: literal lists (atom-local filters) and uncorrelated
+// IN (SELECT ...) subqueries (rewritten into distinct derived-table joins).
+
+#include <gtest/gtest.h>
+
+#include "api/hybrid_optimizer.h"
+#include "sql/parser.h"
+#include "test_util.h"
+#include "workload/tpch_gen.h"
+
+namespace htqo {
+namespace {
+
+class InPredicateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_.Put("emp", IntRelation({"id", "dept", "salary"},
+                                    {{1, 10, 100},
+                                     {2, 10, 200},
+                                     {3, 20, 300},
+                                     {4, 20, 500},
+                                     {5, 30, 50}}));
+    catalog_.Put("good_depts", IntRelation({"dept"}, {{10}, {30}, {30}}));
+    registry_.AnalyzeAll(catalog_);
+  }
+
+  Relation Run(const std::string& sql,
+               OptimizerMode mode = OptimizerMode::kDpStatistics) {
+    HybridOptimizer optimizer(&catalog_, &registry_);
+    RunOptions options;
+    options.mode = mode;
+    auto run = optimizer.Run(sql, options);
+    EXPECT_TRUE(run.ok()) << run.status().message() << "\n" << sql;
+    return run.ok() ? std::move(run->output) : Relation();
+  }
+
+  Catalog catalog_;
+  StatisticsRegistry registry_;
+};
+
+TEST_F(InPredicateTest, ParserAcceptsLiteralList) {
+  auto stmt = ParseSelect("SELECT id FROM emp WHERE dept IN (10, 30)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().message();
+  ASSERT_EQ(stmt->where_in.size(), 1u);
+  EXPECT_EQ(stmt->where_in[0].values.size(), 2u);
+  EXPECT_EQ(stmt->where_in[0].subquery, nullptr);
+  // Round-trip.
+  auto again = ParseSelect(stmt->ToString());
+  ASSERT_TRUE(again.ok()) << stmt->ToString();
+  EXPECT_EQ(again->where_in.size(), 1u);
+}
+
+TEST_F(InPredicateTest, ParserAcceptsSubquery) {
+  auto stmt = ParseSelect(
+      "SELECT id FROM emp WHERE dept IN (SELECT dept FROM good_depts)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().message();
+  ASSERT_EQ(stmt->where_in.size(), 1u);
+  EXPECT_NE(stmt->where_in[0].subquery, nullptr);
+  EXPECT_TRUE(stmt->HasInSubqueries());
+}
+
+TEST_F(InPredicateTest, ParserRejectsBadInLists) {
+  EXPECT_FALSE(ParseSelect("SELECT id FROM emp WHERE dept IN ()").ok());
+  EXPECT_FALSE(
+      ParseSelect("SELECT id FROM emp WHERE dept IN (salary)").ok());
+  EXPECT_FALSE(ParseSelect(
+      "SELECT dept, count(*) FROM emp GROUP BY dept HAVING dept IN (1)")
+                   .ok());
+}
+
+TEST_F(InPredicateTest, LiteralListFilters) {
+  Relation out =
+      Run("SELECT DISTINCT id FROM emp WHERE dept IN (10, 30) "
+          "ORDER BY id");
+  ASSERT_EQ(out.NumRows(), 3u);  // ids 1, 2, 5
+  EXPECT_EQ(out.At(2, 0), Value::Int64(5));
+}
+
+TEST_F(InPredicateTest, LiteralListEquivalentToUnionOfEqualities) {
+  Relation via_in =
+      Run("SELECT DISTINCT id FROM emp WHERE dept IN (20)");
+  Relation via_eq = Run("SELECT DISTINCT id FROM emp WHERE dept = 20");
+  EXPECT_TRUE(via_in.SameRowsAs(via_eq));
+}
+
+TEST_F(InPredicateTest, SubqueryActsAsSemijoin) {
+  Relation out = Run(
+      "SELECT DISTINCT id FROM emp "
+      "WHERE dept IN (SELECT dept FROM good_depts) ORDER BY id");
+  // good_depts has 10 and 30 (30 twice — duplicates must not duplicate
+  // output rows).
+  ASSERT_EQ(out.NumRows(), 3u);
+}
+
+TEST_F(InPredicateTest, SubqueryDuplicatesDoNotInflateAggregates) {
+  Relation out = Run(
+      "SELECT sum(salary) AS total FROM emp "
+      "WHERE dept IN (SELECT dept FROM good_depts)");
+  ASSERT_EQ(out.NumRows(), 1u);
+  EXPECT_EQ(out.At(0, 0), Value::Int64(350));  // 100 + 200 + 50
+}
+
+TEST_F(InPredicateTest, InWithStringValues) {
+  Catalog catalog;
+  PopulateTpch(TpchConfig{0.002, 3}, &catalog);
+  StatisticsRegistry registry;
+  registry.AnalyzeAll(catalog);
+  HybridOptimizer optimizer(&catalog, &registry);
+  RunOptions options;
+  options.mode = OptimizerMode::kQhdHybrid;
+  auto run = optimizer.Run(
+      "SELECT DISTINCT n_name FROM nation, region "
+      "WHERE n_regionkey = r_regionkey AND r_name IN ('ASIA', 'EUROPE') "
+      "ORDER BY n_name",
+      options);
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  EXPECT_EQ(run->output.NumRows(), 10u);  // 5 nations per region
+}
+
+TEST_F(InPredicateTest, ConsistentAcrossModes) {
+  const std::string sql =
+      "SELECT DISTINCT e.id FROM emp e "
+      "WHERE e.dept IN (SELECT g.dept FROM good_depts g) "
+      "AND e.salary IN (50, 100, 300, 500)";
+  std::optional<Relation> reference;
+  for (OptimizerMode mode :
+       {OptimizerMode::kDpStatistics, OptimizerMode::kNaive,
+        OptimizerMode::kQhdHybrid}) {
+    Relation out = Run(sql, mode);
+    if (!reference) {
+      reference = std::move(out);
+    } else {
+      EXPECT_TRUE(reference->SameRowsAs(out)) << OptimizerModeName(mode);
+    }
+  }
+  EXPECT_EQ(reference->NumRows(), 2u);  // ids 1 (10/100) and 5 (30/50)
+}
+
+TEST_F(InPredicateTest, NotInLiteralList) {
+  Relation out = Run(
+      "SELECT DISTINCT id FROM emp WHERE dept NOT IN (10, 30) ORDER BY id");
+  ASSERT_EQ(out.NumRows(), 2u);  // dept 20: ids 3, 4
+  EXPECT_EQ(out.At(0, 0), Value::Int64(3));
+}
+
+TEST_F(InPredicateTest, NotInSubqueryIsAntiSemijoin) {
+  Relation out = Run(
+      "SELECT DISTINCT id FROM emp "
+      "WHERE dept NOT IN (SELECT dept FROM good_depts) ORDER BY id");
+  ASSERT_EQ(out.NumRows(), 2u);  // dept 20 only
+  EXPECT_EQ(out.At(1, 0), Value::Int64(4));
+}
+
+TEST_F(InPredicateTest, NotInEmptySubqueryKeepsEverything) {
+  Relation out = Run(
+      "SELECT DISTINCT id FROM emp "
+      "WHERE dept NOT IN (SELECT dept FROM good_depts WHERE dept > 999)");
+  EXPECT_EQ(out.NumRows(), 5u);
+}
+
+TEST_F(InPredicateTest, NotInAndInCompose) {
+  Relation out = Run(
+      "SELECT DISTINCT id FROM emp "
+      "WHERE dept IN (10, 20, 30) AND salary NOT IN (50, 500)");
+  EXPECT_EQ(out.NumRows(), 3u);  // ids 1, 2, 3
+}
+
+TEST_F(InPredicateTest, NestedInSideSubquery) {
+  Relation out = Run(
+      "SELECT DISTINCT id FROM emp WHERE dept IN "
+      "(SELECT dept FROM good_depts WHERE dept IN (30))");
+  ASSERT_EQ(out.NumRows(), 1u);
+  EXPECT_EQ(out.At(0, 0), Value::Int64(5));
+}
+
+}  // namespace
+}  // namespace htqo

@@ -1,0 +1,195 @@
+#include "cq/isolator.h"
+
+#include <gtest/gtest.h>
+
+#include "cq/hypergraph_builder.h"
+#include "sql/parser.h"
+#include "workload/synthetic.h"
+#include "workload/tpch_gen.h"
+#include "workload/tpch_queries.h"
+
+namespace htqo {
+namespace {
+
+class IsolatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PopulateTpch(TpchConfig{0.001, 1}, &catalog_);
+    PopulateSyntheticCatalog(SyntheticConfig{50, 50, 4, 1}, &catalog_);
+  }
+
+  ResolvedQuery Isolate(const std::string& sql,
+                        TidMode tid = TidMode::kAggregatesOnly) {
+    auto stmt = ParseSelect(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().message();
+    IsolatorOptions opts;
+    opts.tid_mode = tid;
+    auto rq = IsolateConjunctiveQuery(*stmt, catalog_, opts);
+    EXPECT_TRUE(rq.ok()) << rq.status().message();
+    return std::move(rq.value());
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(IsolatorTest, EqualityClassesBecomeOneVariable) {
+  ResolvedQuery rq = Isolate(
+      "SELECT DISTINCT r1.a FROM r1, r2, r3 "
+      "WHERE r1.b = r2.a AND r2.a = r3.a",
+      TidMode::kNone);
+  // Variables: {r1.a} and {r1.b, r2.a, r3.a}; r2.b/r3.b unused -> no vars.
+  EXPECT_EQ(rq.cq.vars.size(), 2u);
+  auto v1 = rq.VarOf("r1", "b");
+  auto v2 = rq.VarOf("r2", "a");
+  auto v3 = rq.VarOf("r3", "a");
+  ASSERT_TRUE(v1.ok() && v2.ok() && v3.ok());
+  EXPECT_EQ(*v1, *v2);
+  EXPECT_EQ(*v2, *v3);
+  EXPECT_EQ(rq.cq.output_vars.size(), 1u);
+}
+
+TEST_F(IsolatorTest, ConstantFiltersDoNotCreateVariables) {
+  ResolvedQuery rq = Isolate(
+      "SELECT DISTINCT n_name FROM nation, region "
+      "WHERE n_regionkey = r_regionkey AND r_name = 'ASIA'",
+      TidMode::kNone);
+  // r_name is filtered only: no variable (paper Example 1 behaviour).
+  EXPECT_FALSE(rq.VarOf("region", "r_name").ok());
+  const Atom& region = rq.cq.atoms[1];
+  ASSERT_EQ(region.filters.size(), 1u);
+  EXPECT_EQ(region.filters[0].value, Value::String("ASIA"));
+  EXPECT_EQ(region.filters[0].column_name, "r_name");
+}
+
+TEST_F(IsolatorTest, TpchQ5MatchesPaperExample1) {
+  ResolvedQuery rq = Isolate(TpchQ5(), TidMode::kNone);
+  const ConjunctiveQuery& cq = rq.cq;
+  ASSERT_EQ(cq.atoms.size(), 6u);
+  // Variables: CustKey, OrdKey, SuppKey, NationKey, RegionKey (classes) +
+  // Name, ExtendedPrice, Discount (select-only) = 8.
+  EXPECT_EQ(cq.vars.size(), 8u);
+  // out(Q) = {Name, ExtendedPrice, Discount}.
+  EXPECT_EQ(cq.output_vars.size(), 3u);
+  // The hypergraph is cyclic (the paper's point about Q5): c_nationkey =
+  // s_nationkey = n_nationkey closes a cycle with the key joins.
+  Hypergraph h = BuildHypergraph(cq);
+  EXPECT_EQ(h.NumEdges(), 6u);
+}
+
+TEST_F(IsolatorTest, TidModeAggregatesAddsLineitemTid) {
+  ResolvedQuery rq = Isolate(TpchQ5(), TidMode::kAggregatesOnly);
+  // Aggregate references l_extendedprice/l_discount -> lineitem tid var.
+  std::size_t tids = 0;
+  for (const VarInfo& v : rq.cq.vars) tids += v.is_tid ? 1 : 0;
+  EXPECT_EQ(tids, 1u);
+  const Atom* lineitem = nullptr;
+  for (const Atom& a : rq.cq.atoms) {
+    if (a.relation == "lineitem") lineitem = &a;
+  }
+  ASSERT_NE(lineitem, nullptr);
+  EXPECT_TRUE(lineitem->has_tid);
+  // The tid is an output variable.
+  EXPECT_EQ(rq.cq.output_vars.size(), 4u);
+}
+
+TEST_F(IsolatorTest, TidModeAllAtoms) {
+  ResolvedQuery rq = Isolate("SELECT DISTINCT r1.a FROM r1, r2 WHERE r1.b = r2.a",
+                             TidMode::kAllAtoms);
+  std::size_t tids = 0;
+  for (const VarInfo& v : rq.cq.vars) tids += v.is_tid ? 1 : 0;
+  EXPECT_EQ(tids, 2u);
+}
+
+TEST_F(IsolatorTest, SelfJoinWithAliases) {
+  ResolvedQuery rq = Isolate(
+      "SELECT DISTINCT n1.n_name FROM nation n1, nation n2 "
+      "WHERE n1.n_regionkey = n2.n_regionkey",
+      TidMode::kNone);
+  ASSERT_EQ(rq.cq.atoms.size(), 2u);
+  EXPECT_EQ(rq.cq.atoms[0].alias, "n1");
+  EXPECT_EQ(rq.cq.atoms[1].alias, "n2");
+  EXPECT_EQ(rq.cq.atoms[0].relation, "nation");
+  auto v1 = rq.VarOf("n1", "n_regionkey");
+  auto v2 = rq.VarOf("n2", "n_regionkey");
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  EXPECT_EQ(*v1, *v2);
+}
+
+TEST_F(IsolatorTest, IntraAtomEqualityBindsOneVariableTwice) {
+  ResolvedQuery rq =
+      Isolate("SELECT DISTINCT r1.a FROM r1 WHERE r1.a = r1.b",
+              TidMode::kNone);
+  const Atom& atom = rq.cq.atoms[0];
+  EXPECT_EQ(atom.bindings.size(), 2u);
+  EXPECT_EQ(atom.bindings[0].var, atom.bindings[1].var);
+  EXPECT_EQ(atom.Vars().size(), 1u);
+}
+
+TEST_F(IsolatorTest, LocalNonEqualityComparison) {
+  ResolvedQuery rq =
+      Isolate("SELECT DISTINCT r1.a FROM r1 WHERE r1.a < r1.b",
+              TidMode::kNone);
+  const Atom& atom = rq.cq.atoms[0];
+  ASSERT_EQ(atom.local_comparisons.size(), 1u);
+  EXPECT_EQ(atom.local_comparisons[0].op, CompareOp::kLt);
+}
+
+TEST_F(IsolatorTest, RejectsCrossAtomThetaJoin) {
+  auto stmt = ParseSelect("SELECT r1.a FROM r1, r2 WHERE r1.a < r2.a");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(IsolateConjunctiveQuery(*stmt, catalog_).ok());
+}
+
+TEST_F(IsolatorTest, RejectsUnknownRelationAndColumn) {
+  auto s1 = ParseSelect("SELECT a FROM nosuch");
+  EXPECT_FALSE(IsolateConjunctiveQuery(*s1, catalog_).ok());
+  auto s2 = ParseSelect("SELECT nosuchcol FROM nation");
+  EXPECT_FALSE(IsolateConjunctiveQuery(*s2, catalog_).ok());
+}
+
+TEST_F(IsolatorTest, RejectsAmbiguousUnqualifiedColumn) {
+  // "a" exists in both r1 and r2.
+  auto stmt = ParseSelect("SELECT a FROM r1, r2 WHERE r1.b = r2.b");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(IsolateConjunctiveQuery(*stmt, catalog_).ok());
+}
+
+TEST_F(IsolatorTest, RejectsPureCrossProductFactor) {
+  auto stmt =
+      ParseSelect("SELECT r1.a FROM r1, r2 WHERE r1.a = r1.b");
+  ASSERT_TRUE(stmt.ok());
+  auto rq = IsolateConjunctiveQuery(*stmt, catalog_,
+                                    IsolatorOptions{TidMode::kNone});
+  EXPECT_FALSE(rq.ok());
+}
+
+TEST_F(IsolatorTest, RejectsUngroupedBareColumnWithAggregates) {
+  auto stmt = ParseSelect("SELECT n_name, count(*) FROM nation");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(IsolateConjunctiveQuery(*stmt, catalog_).ok());
+}
+
+TEST_F(IsolatorTest, ConstantFalseConditionMarksQuery) {
+  ResolvedQuery rq = Isolate(
+      "SELECT DISTINCT r1.a FROM r1 WHERE 1 = 2 AND r1.a = r1.a",
+      TidMode::kNone);
+  EXPECT_TRUE(rq.cq.always_false);
+}
+
+TEST_F(IsolatorTest, DuplicateAliasRejected) {
+  auto stmt = ParseSelect("SELECT x.a FROM r1 x, r2 x WHERE x.a = x.b");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(IsolateConjunctiveQuery(*stmt, catalog_).ok());
+}
+
+TEST_F(IsolatorTest, ToStringRendersDatalog) {
+  ResolvedQuery rq = Isolate(
+      "SELECT DISTINCT r1.a FROM r1, r2 WHERE r1.b = r2.a",
+      TidMode::kNone);
+  std::string s = rq.cq.ToString();
+  EXPECT_NE(s.find("ans(a)"), std::string::npos) << s;
+  EXPECT_NE(s.find("r1("), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace htqo

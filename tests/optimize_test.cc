@@ -1,0 +1,99 @@
+#include "decomp/optimize.h"
+
+#include <gtest/gtest.h>
+
+#include "decomp/validate.h"
+
+namespace htqo {
+namespace {
+
+// Builds bitsets over a universe from index lists.
+Bitset Bits(std::size_t universe, std::initializer_list<std::size_t> bits) {
+  Bitset out(universe);
+  for (std::size_t b : bits) out.Set(b);
+  return out;
+}
+
+TEST(OptimizeTest, PrunesRedundantBoundingAtom) {
+  // Cycle of 4: edges 0:(0,1) 1:(1,2) 2:(2,3) 3:(3,0).
+  // Decomposition: root lambda={0,2} chi={0,1,2,3};
+  //                child1 lambda={1} chi={1,2} (anchor of 1);
+  //                child2 lambda={3} chi={3,0} (anchor of 3);
+  // plus bounding copies: put atom 1 also in a deeper vertex to create a
+  // prunable occurrence. Simpler direct shape: root lambda={0,2},
+  // child lambda={1,0} chi={1,2}: atom 0's bound at child ({1}) is covered
+  // by... construct explicitly:
+  Hypergraph h(4);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  h.AddEdge({2, 3});
+  h.AddEdge({3, 0});
+
+  Hypertree hd;
+  // Root: lambda={0,2}, chi = all four vertices (anchors 0 and 2).
+  std::size_t root = hd.AddNode(Bits(4, {0, 1, 2, 3}), Bits(4, {0, 2}));
+  // Child: lambda={1, 0}, chi={1,2}: atom 0 appears only as a bound on
+  // vertex 1; the grandchild carries atom 1 as its anchor.
+  std::size_t child = hd.AddNode(Bits(4, {1, 2}), Bits(4, {1, 0}), root);
+  std::size_t grandchild = hd.AddNode(Bits(4, {1, 2}), Bits(4, {1}), child);
+  // Other anchor child for atom 3.
+  hd.AddNode(Bits(4, {3, 0}), Bits(4, {3}), root);
+
+  std::size_t removed = OptimizeDecomposition(h, &hd);
+  // Atom 0 at `child`: bound = edge0 ∩ chi(child) = {1}; grandchild's atom 1
+  // has edge1 ∩ chi = {1,2} ⊇ {1} -> pruned. Atom 1 at `child` is also
+  // removable against the grandchild's anchor.
+  EXPECT_GE(removed, 1u);
+  EXPECT_FALSE(hd.node(child).lambda.Test(0));
+  EXPECT_EQ(hd.node(child).priority_children.size(), 1u);
+  EXPECT_EQ(hd.node(child).priority_children[0], grandchild);
+}
+
+TEST(OptimizeTest, NeverRemovesLastAnchor) {
+  // r1(X), r2(X): root lambda={0} chi={X}, child lambda={1} chi={X}.
+  // The naive Fig. 4 rule would prune atom 0 at the root (child's atom 1
+  // bounds X), losing r1's constraint entirely. The guard must refuse.
+  Hypergraph h(1);
+  h.AddEdge(std::vector<std::size_t>{0});
+  h.AddEdge(std::vector<std::size_t>{0});
+  Hypertree hd;
+  std::size_t root = hd.AddNode(Bits(1, {0}), Bits(2, {0}));
+  hd.AddNode(Bits(1, {0}), Bits(2, {1}), root);
+
+  std::size_t removed = OptimizeDecomposition(h, &hd);
+  EXPECT_EQ(removed, 0u);
+  EXPECT_TRUE(hd.node(root).lambda.Test(0));
+}
+
+TEST(OptimizeTest, LeavesAreNeverTouched) {
+  Hypergraph h(2);
+  h.AddEdge({0, 1});
+  Hypertree hd;
+  hd.AddNode(Bits(2, {0, 1}), Bits(1, {0}));
+  EXPECT_EQ(OptimizeDecomposition(h, &hd), 0u);
+  EXPECT_EQ(hd.node(0).lambda.Count(), 1u);
+}
+
+TEST(OptimizeTest, PrunedDecompositionStillQhd) {
+  // After pruning, conditions 1-3 of Definition 2 must still hold (condition
+  // 3 of Definition 1 may break — that is the feature).
+  Hypergraph h(4);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  h.AddEdge({2, 3});
+  h.AddEdge({3, 0});
+  Hypertree hd;
+  std::size_t root = hd.AddNode(Bits(4, {0, 1, 2, 3}), Bits(4, {0, 2}));
+  std::size_t child = hd.AddNode(Bits(4, {1, 2}), Bits(4, {1, 0}), root);
+  hd.AddNode(Bits(4, {1, 2}), Bits(4, {1}), child);
+  hd.AddNode(Bits(4, {3, 0}), Bits(4, {3}), root);
+
+  Bitset out = Bits(4, {0});
+  ASSERT_TRUE(ValidateDecomposition(h, hd, out).IsQHypertreeDecomposition());
+  OptimizeDecomposition(h, &hd);
+  DecompositionCheck after = ValidateDecomposition(h, hd, out);
+  EXPECT_TRUE(after.IsQHypertreeDecomposition()) << after.ToString();
+}
+
+}  // namespace
+}  // namespace htqo

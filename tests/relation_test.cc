@@ -1,0 +1,106 @@
+#include "storage/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+
+namespace htqo {
+namespace {
+
+Relation MakeAb() {
+  Relation rel{Schema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}})};
+  rel.AddRow({Value::Int64(1), Value::Int64(10)});
+  rel.AddRow({Value::Int64(2), Value::Int64(20)});
+  rel.AddRow({Value::Int64(1), Value::Int64(10)});
+  rel.AddRow({Value::Int64(3), Value::Int64(30)});
+  return rel;
+}
+
+TEST(SchemaTest, IndexOfIsCaseInsensitive) {
+  Schema s({{"A", ValueType::kInt64}, {"b", ValueType::kString}});
+  EXPECT_EQ(s.IndexOf("a"), 0u);
+  EXPECT_EQ(s.IndexOf("B"), 1u);
+  EXPECT_FALSE(s.IndexOf("c").has_value());
+}
+
+TEST(SchemaTest, ProjectPreservesOrder) {
+  Schema s({{"a", ValueType::kInt64},
+            {"b", ValueType::kString},
+            {"c", ValueType::kDouble}});
+  Schema p = s.Project({2, 0});
+  ASSERT_EQ(p.arity(), 2u);
+  EXPECT_EQ(p.column(0).name, "c");
+  EXPECT_EQ(p.column(1).name, "a");
+}
+
+TEST(RelationTest, AddAndAccess) {
+  Relation rel = MakeAb();
+  EXPECT_EQ(rel.NumRows(), 4u);
+  EXPECT_EQ(rel.At(1, 0), Value::Int64(2));
+  EXPECT_EQ(rel.Row(3)[1], Value::Int64(30));
+}
+
+TEST(RelationTest, ProjectKeepsDuplicates) {
+  Relation p = MakeAb().Project({0});
+  EXPECT_EQ(p.NumRows(), 4u);
+  EXPECT_EQ(p.arity(), 1u);
+}
+
+TEST(RelationTest, DistinctRemovesDuplicates) {
+  Relation d = MakeAb().Distinct();
+  EXPECT_EQ(d.NumRows(), 3u);
+}
+
+TEST(RelationTest, SortAscendingAndDescending) {
+  Relation rel = MakeAb();
+  rel.SortBy({0});
+  EXPECT_EQ(rel.At(0, 0), Value::Int64(1));
+  EXPECT_EQ(rel.At(3, 0), Value::Int64(3));
+  rel.SortBy({0}, {true});
+  EXPECT_EQ(rel.At(0, 0), Value::Int64(3));
+}
+
+TEST(RelationTest, SameRowsAsIgnoresOrder) {
+  Relation a = MakeAb();
+  Relation b = MakeAb();
+  b.SortBy({1}, {true});
+  EXPECT_TRUE(a.SameRowsAs(b));
+}
+
+TEST(RelationTest, SameRowsAsIsMultisetSensitive) {
+  Relation a = MakeAb();
+  Relation b = MakeAb().Distinct();
+  EXPECT_FALSE(a.SameRowsAs(b));  // duplicate counts differ
+}
+
+TEST(RelationTest, ZeroArityRowsActAsBoolean) {
+  Relation rel{Schema()};  // zero-arity relation
+  EXPECT_EQ(rel.NumRows(), 0u);
+  rel.AddRow(std::vector<Value>{});
+  rel.AddRow(std::vector<Value>{});
+  EXPECT_EQ(rel.NumRows(), 2u);
+  Relation d = rel.Distinct();
+  EXPECT_EQ(d.NumRows(), 1u);
+}
+
+TEST(CatalogTest, PutFindGet) {
+  Catalog catalog;
+  catalog.Put("Foo", MakeAb());
+  EXPECT_TRUE(catalog.Contains("foo"));
+  EXPECT_TRUE(catalog.Contains("FOO"));
+  const Relation* rel = catalog.Find("foo");
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->NumRows(), 4u);
+  EXPECT_FALSE(catalog.Get("bar").ok());
+  EXPECT_EQ(catalog.TotalRows(), 4u);
+}
+
+TEST(CatalogTest, PutReplaces) {
+  Catalog catalog;
+  catalog.Put("foo", MakeAb());
+  catalog.Put("foo", MakeAb().Distinct());
+  EXPECT_EQ(catalog.Find("foo")->NumRows(), 3u);
+}
+
+}  // namespace
+}  // namespace htqo

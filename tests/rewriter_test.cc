@@ -1,0 +1,117 @@
+#include "rewrite/view_rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include "api/hybrid_optimizer.h"
+#include "cq/hypergraph_builder.h"
+#include "decomp/qhd.h"
+#include "sql/parser.h"
+#include "workload/query_gen.h"
+#include "workload/synthetic.h"
+#include "workload/tpch_gen.h"
+#include "workload/tpch_queries.h"
+
+namespace htqo {
+namespace {
+
+class RewriterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PopulateSyntheticCatalog(SyntheticConfig{80, 40, 8, 5}, &catalog_);
+    PopulateTpch(TpchConfig{0.002, 2}, &catalog_);
+    registry_.AnalyzeAll(catalog_);
+  }
+
+  RewrittenQuery Rewrite(const std::string& sql) {
+    HybridOptimizer optimizer(&catalog_, &registry_);
+    auto rewritten = optimizer.RewriteQuery(sql, RunOptions{});
+    EXPECT_TRUE(rewritten.ok()) << rewritten.status().message();
+    return std::move(rewritten.value());
+  }
+
+  Catalog catalog_;
+  StatisticsRegistry registry_;
+};
+
+TEST_F(RewriterTest, ViewBodiesParse) {
+  RewrittenQuery rewritten = Rewrite(ChainQuerySql(6));
+  EXPECT_FALSE(rewritten.view_bodies.empty());
+  for (const std::string& body : rewritten.view_bodies) {
+    auto stmt = ParseSelect(body);
+    EXPECT_TRUE(stmt.ok()) << body << "\n" << stmt.status().message();
+  }
+  auto final_stmt = ParseSelect(rewritten.final_statement);
+  EXPECT_TRUE(final_stmt.ok()) << rewritten.final_statement;
+}
+
+TEST_F(RewriterTest, ScriptContainsCreateViews) {
+  RewrittenQuery rewritten = Rewrite(ChainQuerySql(4));
+  std::string script = rewritten.ToScript();
+  EXPECT_NE(script.find("CREATE VIEW htqo_v"), std::string::npos);
+  EXPECT_NE(script.find("SELECT DISTINCT"), std::string::npos);
+}
+
+TEST_F(RewriterTest, RewrittenChainMatchesDirectEvaluation) {
+  const std::string sql = ChainQuerySql(5);
+  RewrittenQuery rewritten = Rewrite(sql);
+
+  ExecContext ctx;
+  auto via_views = ExecuteRewrittenQuery(rewritten, catalog_, &ctx);
+  ASSERT_TRUE(via_views.ok()) << via_views.status().message();
+
+  HybridOptimizer optimizer(&catalog_, &registry_);
+  RunOptions direct;
+  direct.mode = OptimizerMode::kDpStatistics;
+  direct.tid_mode = TidMode::kNone;
+  auto run = optimizer.Run(sql, direct);
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  EXPECT_TRUE(via_views->SameRowsAs(run->output));
+}
+
+TEST_F(RewriterTest, RewrittenQ5MatchesDirectEvaluation) {
+  // Stand-alone mode is set-semantics (TidMode::kNone), so compare against
+  // a direct run under the same semantics.
+  const std::string sql = TpchQ5("ASIA", "1994-01-01");
+  RewrittenQuery rewritten = Rewrite(sql);
+  ASSERT_FALSE(rewritten.view_bodies.empty());
+
+  ExecContext ctx;
+  auto via_views = ExecuteRewrittenQuery(rewritten, catalog_, &ctx);
+  ASSERT_TRUE(via_views.ok()) << via_views.status().message();
+
+  HybridOptimizer optimizer(&catalog_, &registry_);
+  RunOptions direct;
+  direct.mode = OptimizerMode::kDpStatistics;
+  direct.tid_mode = TidMode::kNone;
+  auto run = optimizer.Run(sql, direct);
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  EXPECT_TRUE(via_views->SameRowsAs(run->output));
+}
+
+TEST_F(RewriterTest, TidIsolationIsRejected) {
+  auto stmt = ParseSelect(TpchQ5());
+  ASSERT_TRUE(stmt.ok());
+  auto rq = IsolateConjunctiveQuery(
+      *stmt, catalog_, IsolatorOptions{TidMode::kAggregatesOnly});
+  ASSERT_TRUE(rq.ok());
+  Hypergraph h = BuildHypergraph(rq->cq);
+  StructuralCostModel model;
+  auto qhd = QHypertreeDecomp(h, OutputVarsBitset(rq->cq), model,
+                              QhdOptions{4, true});
+  ASSERT_TRUE(qhd.ok());
+  auto rewritten = RewriteAsViews(*rq, h, qhd->hd);
+  EXPECT_FALSE(rewritten.ok());
+}
+
+TEST_F(RewriterTest, ViewNamesAreParallelToBodies) {
+  RewrittenQuery rewritten = Rewrite(ChainQuerySql(4));
+  EXPECT_EQ(rewritten.view_names.size(), rewritten.view_bodies.size());
+  EXPECT_EQ(rewritten.view_statements.size(), rewritten.view_bodies.size());
+  for (std::size_t i = 0; i < rewritten.view_names.size(); ++i) {
+    EXPECT_NE(rewritten.view_statements[i].find(rewritten.view_names[i]),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace htqo

@@ -1,0 +1,135 @@
+// Scalar subqueries in WHERE: x <op> (SELECT <aggregate> ...).
+
+#include <gtest/gtest.h>
+
+#include "api/hybrid_optimizer.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace htqo {
+namespace {
+
+class ScalarSubqueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_.Put("emp", IntRelation({"id", "dept", "salary"},
+                                    {{1, 10, 100},
+                                     {2, 10, 200},
+                                     {3, 20, 300},
+                                     {4, 20, 500},
+                                     {5, 30, 50}}));
+    registry_.AnalyzeAll(catalog_);
+  }
+
+  Result<QueryRun> Run(const std::string& sql,
+                       OptimizerMode mode = OptimizerMode::kDpStatistics) {
+    HybridOptimizer optimizer(&catalog_, &registry_);
+    RunOptions options;
+    options.mode = mode;
+    return optimizer.Run(sql, options);
+  }
+
+  Catalog catalog_;
+  StatisticsRegistry registry_;
+};
+
+TEST_F(ScalarSubqueryTest, ParserProducesScalarSubqueryNode) {
+  auto stmt = ParseSelect(
+      "SELECT id FROM emp WHERE salary > (SELECT avg(salary) FROM emp)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().message();
+  ASSERT_EQ(stmt->where.size(), 1u);
+  EXPECT_TRUE(stmt->where[0].rhs.ContainsScalarSubquery());
+  // Round-trips through ToString.
+  auto again = ParseSelect(stmt->ToString());
+  ASSERT_TRUE(again.ok()) << stmt->ToString();
+  EXPECT_TRUE(again->where[0].rhs.ContainsScalarSubquery());
+}
+
+TEST_F(ScalarSubqueryTest, AboveAverageFilter) {
+  // avg(salary) = 230: ids 3 (300) and 4 (500) qualify.
+  auto run = Run(
+      "SELECT DISTINCT id FROM emp "
+      "WHERE salary > (SELECT avg(salary) FROM emp) ORDER BY id");
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  ASSERT_EQ(run->output.NumRows(), 2u);
+  EXPECT_EQ(run->output.At(0, 0), Value::Int64(3));
+  EXPECT_EQ(run->output.At(1, 0), Value::Int64(4));
+}
+
+TEST_F(ScalarSubqueryTest, SubqueryInsideArithmetic) {
+  // max(salary) = 500; threshold 500 - 250 = 250.
+  auto run = Run(
+      "SELECT DISTINCT id FROM emp "
+      "WHERE salary >= (SELECT max(salary) FROM emp) - 250 ORDER BY id");
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  EXPECT_EQ(run->output.NumRows(), 2u);  // 300 and 500
+}
+
+TEST_F(ScalarSubqueryTest, EmptySubqueryMakesConjunctFalse) {
+  // A grouped subquery over no rows yields zero rows -> the conjunct is
+  // false and the whole query is empty (SQL's NULL-comparison behaviour).
+  auto run = Run(
+      "SELECT DISTINCT id FROM emp WHERE salary > "
+      "(SELECT salary FROM emp WHERE salary > 9999 GROUP BY salary)");
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  EXPECT_EQ(run->output.NumRows(), 0u);
+}
+
+TEST_F(ScalarSubqueryTest, AggregateOverEmptyInputIsZeroNotNull) {
+  // Documented no-NULL convention: ungrouped aggregates over empty input
+  // emit one row of zeros, so the comparison is against 0 (not "unknown").
+  auto run = Run(
+      "SELECT DISTINCT id FROM emp "
+      "WHERE salary > (SELECT max(salary) FROM emp WHERE salary > 9999)");
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  EXPECT_EQ(run->output.NumRows(), 5u);
+}
+
+TEST_F(ScalarSubqueryTest, MultiRowSubqueryIsAnError) {
+  auto run = Run(
+      "SELECT DISTINCT id FROM emp "
+      "WHERE salary > (SELECT salary FROM emp GROUP BY salary)");
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ScalarSubqueryTest, MultiColumnSubqueryIsAnError) {
+  auto run = Run(
+      "SELECT DISTINCT id FROM emp "
+      "WHERE salary > (SELECT min(salary), max(salary) FROM emp)");
+  ASSERT_FALSE(run.ok());
+}
+
+TEST_F(ScalarSubqueryTest, RejectedOutsideWhere) {
+  auto run =
+      Run("SELECT (SELECT max(salary) FROM emp) AS top FROM emp");
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ScalarSubqueryTest, WorksThroughQhdMode) {
+  auto a = Run(
+      "SELECT DISTINCT id FROM emp "
+      "WHERE salary > (SELECT avg(salary) FROM emp)",
+      OptimizerMode::kQhdHybrid);
+  ASSERT_TRUE(a.ok()) << a.status().message();
+  auto b = Run(
+      "SELECT DISTINCT id FROM emp "
+      "WHERE salary > (SELECT avg(salary) FROM emp)",
+      OptimizerMode::kNaive);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->output.SameRowsAs(b->output));
+}
+
+TEST_F(ScalarSubqueryTest, NestedScalarInsideScalar) {
+  // Inner scalar: min salary (50). Middle: avg of salaries above 50 -> 275.
+  auto run = Run(
+      "SELECT DISTINCT id FROM emp WHERE salary > "
+      "(SELECT avg(salary) FROM emp WHERE salary > "
+      "(SELECT min(salary) FROM emp))");
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  EXPECT_EQ(run->output.NumRows(), 2u);  // 300, 500
+}
+
+}  // namespace
+}  // namespace htqo

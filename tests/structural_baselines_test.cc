@@ -1,0 +1,218 @@
+// Tree decompositions (min-fill) and biconnected components: the related-
+// work structural methods the paper positions hypertree decompositions
+// against.
+
+#include <gtest/gtest.h>
+
+#include "api/hybrid_optimizer.h"
+#include "cq/hypergraph_builder.h"
+#include "decomp/biconnected.h"
+#include "decomp/det_k_decomp.h"
+#include "decomp/qhd.h"
+#include "decomp/tree_decomposition.h"
+#include "decomp/validate.h"
+#include "util/rng.h"
+#include "workload/query_gen.h"
+#include "workload/synthetic.h"
+
+namespace htqo {
+namespace {
+
+Hypergraph Cycle(std::size_t n) {
+  Hypergraph h(n);
+  for (std::size_t i = 0; i < n; ++i) h.AddEdge({i, (i + 1) % n});
+  return h;
+}
+
+Hypergraph Line(std::size_t n) {
+  Hypergraph h(n + 1);
+  for (std::size_t i = 0; i < n; ++i) h.AddEdge({i, i + 1});
+  return h;
+}
+
+Hypergraph RandomHypergraph(uint64_t seed) {
+  Rng rng(seed);
+  std::size_t vertices = 4 + rng.Uniform(6);
+  std::size_t edges = 3 + rng.Uniform(6);
+  Hypergraph h(vertices);
+  for (std::size_t e = 0; e < edges; ++e) {
+    std::vector<std::size_t> vs;
+    std::size_t arity = 2 + rng.Uniform(3);
+    for (std::size_t i = 0; i < arity; ++i) {
+      std::size_t v = rng.Uniform(vertices);
+      if (std::find(vs.begin(), vs.end(), v) == vs.end()) vs.push_back(v);
+    }
+    h.AddEdge(vs);
+  }
+  return h;
+}
+
+// --- Primal graph. -----------------------------------------------------------
+
+TEST(PrimalGraphTest, HyperedgesBecomeCliques) {
+  Hypergraph h(4);
+  h.AddEdge({0, 1, 2});
+  h.AddEdge({2, 3});
+  auto adjacency = PrimalGraph(h);
+  EXPECT_TRUE(adjacency[0].Test(1) && adjacency[0].Test(2));
+  EXPECT_TRUE(adjacency[1].Test(2));
+  EXPECT_TRUE(adjacency[2].Test(3));
+  EXPECT_FALSE(adjacency[0].Test(3));
+  EXPECT_FALSE(adjacency[0].Test(0));  // no self loops
+}
+
+// --- Min-fill tree decomposition. --------------------------------------------
+
+TEST(TreeDecompositionTest, LineHasTreewidth1) {
+  Hypergraph h = Line(6);
+  TreeDecomposition td = MinFillTreeDecomposition(h);
+  EXPECT_TRUE(ValidateTreeDecomposition(h, td));
+  EXPECT_EQ(td.Width(), 1u);
+}
+
+TEST(TreeDecompositionTest, CycleHasTreewidth2) {
+  Hypergraph h = Cycle(7);
+  TreeDecomposition td = MinFillTreeDecomposition(h);
+  EXPECT_TRUE(ValidateTreeDecomposition(h, td));
+  EXPECT_EQ(td.Width(), 2u);
+}
+
+TEST(TreeDecompositionTest, BigHyperedgeDrivesTreewidth) {
+  // A single 5-ary atom: treewidth 4, but hypertree width 1 — the classic
+  // separation the paper's Section 1 alludes to.
+  Hypergraph h(5);
+  h.AddEdge({0, 1, 2, 3, 4});
+  TreeDecomposition td = MinFillTreeDecomposition(h);
+  EXPECT_TRUE(ValidateTreeDecomposition(h, td));
+  EXPECT_EQ(td.Width(), 4u);
+  auto hw = ComputeHypertreeWidth(h, 2);
+  ASSERT_TRUE(hw.ok());
+  EXPECT_EQ(*hw, 1u);
+}
+
+TEST(TreeDecompositionTest, RandomHypergraphsValidate) {
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    Hypergraph h = RandomHypergraph(seed);
+    TreeDecomposition td = MinFillTreeDecomposition(h);
+    EXPECT_TRUE(ValidateTreeDecomposition(h, td)) << h.ToString();
+  }
+}
+
+TEST(TreeDecompositionTest, ConversionYieldsValidGhd) {
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    Hypergraph h = RandomHypergraph(seed);
+    TreeDecomposition td = MinFillTreeDecomposition(h);
+    Hypertree hd = TreeDecompositionToHypertree(h, td);
+    DecompositionCheck check =
+        ValidateDecomposition(h, hd, h.EmptyVertexSet());
+    EXPECT_TRUE(check.IsGeneralizedHD()) << check.ToString() << "\n"
+                                         << h.ToString();
+  }
+}
+
+TEST(TreeDecompositionTest, DisconnectedHypergraph) {
+  Hypergraph h(4);
+  h.AddEdge({0, 1});
+  h.AddEdge({2, 3});
+  TreeDecomposition td = MinFillTreeDecomposition(h);
+  EXPECT_TRUE(ValidateTreeDecomposition(h, td));
+  EXPECT_EQ(td.Width(), 1u);
+}
+
+TEST(RerootTest, PreservesStructureAndValidity) {
+  Hypergraph h = Cycle(6);
+  TreeDecomposition td = MinFillTreeDecomposition(h);
+  Hypertree hd = TreeDecompositionToHypertree(h, td);
+  for (std::size_t p = 0; p < hd.NumNodes(); ++p) {
+    Hypertree rerooted = RerootHypertree(hd, p);
+    EXPECT_EQ(rerooted.NumNodes(), hd.NumNodes());
+    EXPECT_EQ(rerooted.node(rerooted.root()).chi, hd.node(p).chi);
+    DecompositionCheck check =
+        ValidateDecomposition(h, rerooted, h.EmptyVertexSet());
+    EXPECT_TRUE(check.IsGeneralizedHD()) << p;
+  }
+}
+
+TEST(RerootTest, FindCoveringNode) {
+  Hypergraph h = Cycle(5);
+  TreeDecomposition td = MinFillTreeDecomposition(h);
+  Hypertree hd = TreeDecompositionToHypertree(h, td);
+  Bitset want = h.EmptyVertexSet();
+  want.Set(0);
+  auto node = FindCoveringNode(hd, want);
+  ASSERT_TRUE(node.ok());
+  EXPECT_TRUE(want.IsSubsetOf(hd.node(*node).chi));
+  Bitset everything = h.AllVertices();
+  EXPECT_FALSE(FindCoveringNode(hd, everything).ok());
+}
+
+// --- Biconnected components. ------------------------------------------------
+
+TEST(BiconnectedTest, CycleIsOneBlock) {
+  BiconnectedDecomposition bc = BiconnectedComponents(Cycle(6));
+  ASSERT_EQ(bc.blocks.size(), 1u);
+  EXPECT_EQ(bc.Width(), 6u);
+  EXPECT_TRUE(bc.cut_vertices.empty());
+}
+
+TEST(BiconnectedTest, LineDecomposesIntoEdges) {
+  BiconnectedDecomposition bc = BiconnectedComponents(Line(5));
+  EXPECT_EQ(bc.blocks.size(), 5u);
+  EXPECT_EQ(bc.Width(), 2u);
+  // Interior vertices are cut vertices.
+  EXPECT_EQ(bc.cut_vertices.size(), 4u);
+}
+
+TEST(BiconnectedTest, TwoTrianglesSharingAVertex) {
+  Hypergraph h(5);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  h.AddEdge({0, 2});  // triangle 1: {0,1,2}
+  h.AddEdge({2, 3});
+  h.AddEdge({3, 4});
+  h.AddEdge({2, 4});  // triangle 2: {2,3,4}
+  BiconnectedDecomposition bc = BiconnectedComponents(h);
+  ASSERT_EQ(bc.blocks.size(), 2u);
+  EXPECT_EQ(bc.Width(), 3u);
+  ASSERT_EQ(bc.cut_vertices.size(), 1u);
+  EXPECT_EQ(bc.cut_vertices[0], 2u);
+}
+
+TEST(BiconnectedTest, BicompWidthNeverBeatsHypertreeWidth) {
+  // hw(H) <= BICOMP width on every instance where both are defined (GLS02:
+  // hypertree decompositions "strongly generalize" biconnected components).
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Hypergraph h = RandomHypergraph(seed);
+    BiconnectedDecomposition bc = BiconnectedComponents(h);
+    auto hw = ComputeHypertreeWidth(h, 6);
+    if (!hw.ok() || bc.blocks.empty()) continue;
+    EXPECT_LE(*hw, std::max<std::size_t>(1, bc.Width())) << h.ToString();
+  }
+}
+
+// --- End-to-end via the tree-decomposition optimizer mode. -------------------
+
+TEST(TreeDecompositionModeTest, MatchesOtherStrategies) {
+  Catalog catalog;
+  PopulateSyntheticCatalog(SyntheticConfig{100, 40, 8, 41}, &catalog);
+  StatisticsRegistry registry;
+  registry.AnalyzeAll(catalog);
+  HybridOptimizer optimizer(&catalog, &registry);
+  for (const std::string& sql : {LineQuerySql(6), ChainQuerySql(6)}) {
+    RunOptions td_mode;
+    td_mode.mode = OptimizerMode::kTreeDecomposition;
+    td_mode.tid_mode = TidMode::kNone;
+    auto td_run = optimizer.Run(sql, td_mode);
+    ASSERT_TRUE(td_run.ok()) << td_run.status().message();
+    RunOptions dp;
+    dp.mode = OptimizerMode::kDpStatistics;
+    dp.tid_mode = TidMode::kNone;
+    auto dp_run = optimizer.Run(sql, dp);
+    ASSERT_TRUE(dp_run.ok());
+    EXPECT_TRUE(td_run->output.SameRowsAs(dp_run->output)) << sql;
+    EXPECT_NE(td_run->plan_description.find("min-fill"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace htqo

@@ -1,0 +1,34 @@
+// Shared helpers for htqo tests.
+
+#ifndef HTQO_TESTS_TEST_UTIL_H_
+#define HTQO_TESTS_TEST_UTIL_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+
+namespace htqo {
+
+// Builds an all-int64 relation from a row-of-rows literal.
+inline Relation IntRelation(const std::vector<std::string>& columns,
+                            std::initializer_list<std::vector<int64_t>> rows) {
+  std::vector<Column> cols;
+  cols.reserve(columns.size());
+  for (const std::string& c : columns) {
+    cols.push_back(Column{c, ValueType::kInt64});
+  }
+  Relation rel{Schema(std::move(cols))};
+  for (const auto& r : rows) {
+    std::vector<Value> row;
+    row.reserve(r.size());
+    for (int64_t v : r) row.push_back(Value::Int64(v));
+    rel.AddRow(std::move(row));
+  }
+  return rel;
+}
+
+}  // namespace htqo
+
+#endif  // HTQO_TESTS_TEST_UTIL_H_

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/hash_chain.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace htqo {
+namespace {
+
+// --- strings ------------------------------------------------------------------
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringsTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("AbC_1"), "abc_1");
+  EXPECT_EQ(ToUpper("AbC_1"), "ABC_1");
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+}
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+// --- rng ------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(Rng(42).Next(), c.Next());
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(7), 7u);
+    int64_t v = rng.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, RangeCoversAllValues) {
+  Rng rng(2);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Range(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, ForkGivesIndependentStreams) {
+  Rng rng(5);
+  uint64_t s1 = rng.Fork(1);
+  uint64_t s2 = rng.Fork(2);
+  EXPECT_NE(s1, s2);
+}
+
+// --- status / result -------------------------------------------------------------
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  Status e = Status::InvalidArgument("bad");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(e.message(), "bad");
+  EXPECT_EQ(e.ToString(), "bad");
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  *ok = 9;
+  EXPECT_EQ(ok.value(), 9);
+
+  Result<int> err(Status::NotFound("missing"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOut) {
+  Result<std::string> r(std::string("hello"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+// --- hash chain --------------------------------------------------------------------
+
+TEST(HashChainTest, FindsAllInsertedEntries) {
+  HashChainIndex index(100);
+  std::vector<std::size_t> hashes;
+  Rng rng(3);
+  for (std::size_t i = 0; i < 100; ++i) {
+    hashes.push_back(rng.Uniform(10));  // heavy collisions on purpose
+    index.Insert(hashes[i], i);
+  }
+  for (std::size_t h = 0; h < 10; ++h) {
+    std::set<std::size_t> found;
+    for (uint32_t it = index.First(h); it != HashChainIndex::kEnd;
+         it = index.Next(it)) {
+      if (hashes[it] == h) found.insert(it);
+    }
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < hashes.size(); ++i) {
+      if (hashes[i] == h) ++expected;
+    }
+    EXPECT_EQ(found.size(), expected) << h;
+  }
+}
+
+TEST(HashChainTest, EmptyIndex) {
+  HashChainIndex index(0);
+  EXPECT_EQ(index.First(123), HashChainIndex::kEnd);
+  EXPECT_EQ(index.size(), 0u);
+}
+
+}  // namespace
+}  // namespace htqo

@@ -1,0 +1,128 @@
+// Direct tests of the decomposition-condition validators against
+// hand-crafted decompositions that violate exactly one condition each.
+
+#include "decomp/validate.h"
+
+#include <gtest/gtest.h>
+
+namespace htqo {
+namespace {
+
+Bitset Bits(std::size_t universe, std::initializer_list<std::size_t> bits) {
+  Bitset out(universe);
+  for (std::size_t b : bits) out.Set(b);
+  return out;
+}
+
+// Path hypergraph: e0(0,1), e1(1,2).
+Hypergraph Path2() {
+  Hypergraph h(3);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  return h;
+}
+
+TEST(ValidateTest, GoodDecompositionPassesEverything) {
+  Hypergraph h = Path2();
+  Hypertree hd;
+  std::size_t root = hd.AddNode(Bits(3, {0, 1}), Bits(2, {0}));
+  hd.AddNode(Bits(3, {1, 2}), Bits(2, {1}), root);
+  DecompositionCheck check = ValidateDecomposition(h, hd, Bits(3, {0}));
+  EXPECT_TRUE(check.edge_cover);
+  EXPECT_TRUE(check.connectedness);
+  EXPECT_TRUE(check.chi_covered_by_lambda);
+  EXPECT_TRUE(check.special_descendant);
+  EXPECT_TRUE(check.output_covered);
+  EXPECT_TRUE(check.root_covers_output);
+  EXPECT_TRUE(check.IsHypertreeDecomposition());
+  EXPECT_TRUE(check.IsGeneralizedHD());
+  EXPECT_TRUE(check.IsQHypertreeDecomposition());
+}
+
+TEST(ValidateTest, DetectsEdgeCoverViolation) {
+  Hypergraph h = Path2();
+  Hypertree hd;
+  hd.AddNode(Bits(3, {0, 1}), Bits(2, {0}));  // e1 never covered
+  DecompositionCheck check =
+      ValidateDecomposition(h, hd, h.EmptyVertexSet());
+  EXPECT_FALSE(check.edge_cover);
+  EXPECT_FALSE(check.IsHypertreeDecomposition());
+  EXPECT_FALSE(check.IsQHypertreeDecomposition());
+}
+
+TEST(ValidateTest, DetectsConnectednessViolation) {
+  // Vertex 0 appears at the root and at a grandchild but not in between.
+  Hypergraph h = Path2();
+  Hypertree hd;
+  std::size_t root = hd.AddNode(Bits(3, {0, 1}), Bits(2, {0}));
+  std::size_t mid = hd.AddNode(Bits(3, {1, 2}), Bits(2, {1}), root);
+  hd.AddNode(Bits(3, {0, 1}), Bits(2, {0}), mid);
+  DecompositionCheck check =
+      ValidateDecomposition(h, hd, h.EmptyVertexSet());
+  EXPECT_FALSE(check.connectedness);
+}
+
+TEST(ValidateTest, DetectsChiNotCoveredByLambda) {
+  // chi contains vertex 2 but lambda = {e0} only spans {0,1}: a legal q-HD
+  // after Optimize, but not a (G)HD.
+  Hypergraph h = Path2();
+  Hypertree hd;
+  std::size_t root = hd.AddNode(Bits(3, {0, 1, 2}), Bits(2, {0}));
+  hd.AddNode(Bits(3, {1, 2}), Bits(2, {1}), root);
+  DecompositionCheck check =
+      ValidateDecomposition(h, hd, h.EmptyVertexSet());
+  EXPECT_FALSE(check.chi_covered_by_lambda);
+  EXPECT_FALSE(check.IsGeneralizedHD());
+  EXPECT_TRUE(check.IsQHypertreeDecomposition());  // Def. 2 drops cond. 3
+}
+
+TEST(ValidateTest, DetectsSpecialDescendantViolation) {
+  // Root lambda = {e0} (vars {0,1}); vertex 0 is dropped from the root chi
+  // but reappears in the subtree: var(lambda(p)) ∩ chi(T_p) ⊄ chi(p).
+  Hypergraph h = Path2();
+  Hypertree hd;
+  std::size_t root = hd.AddNode(Bits(3, {1}), Bits(2, {0}));
+  std::size_t mid = hd.AddNode(Bits(3, {1, 2}), Bits(2, {1}), root);
+  hd.AddNode(Bits(3, {0, 1}), Bits(2, {0}), mid);
+  DecompositionCheck check =
+      ValidateDecomposition(h, hd, h.EmptyVertexSet());
+  EXPECT_FALSE(check.special_descendant);
+  EXPECT_FALSE(check.IsHypertreeDecomposition());
+}
+
+TEST(ValidateTest, OutputCoverageDistinguishesRootFromAnywhere) {
+  Hypergraph h = Path2();
+  Hypertree hd;
+  std::size_t root = hd.AddNode(Bits(3, {0, 1}), Bits(2, {0}));
+  hd.AddNode(Bits(3, {1, 2}), Bits(2, {1}), root);
+  // out = {2}: covered at the child, not at the root.
+  DecompositionCheck check = ValidateDecomposition(h, hd, Bits(3, {2}));
+  EXPECT_TRUE(check.output_covered);
+  EXPECT_FALSE(check.root_covers_output);
+  // out spanning both ends: covered nowhere.
+  DecompositionCheck spread = ValidateDecomposition(h, hd, Bits(3, {0, 2}));
+  EXPECT_FALSE(spread.output_covered);
+}
+
+TEST(ValidateTest, EmptyOutputTriviallyCovered) {
+  Hypergraph h = Path2();
+  Hypertree hd;
+  std::size_t root = hd.AddNode(Bits(3, {0, 1}), Bits(2, {0}));
+  hd.AddNode(Bits(3, {1, 2}), Bits(2, {1}), root);
+  DecompositionCheck check =
+      ValidateDecomposition(h, hd, h.EmptyVertexSet());
+  EXPECT_TRUE(check.output_covered);
+  EXPECT_TRUE(check.root_covers_output);
+}
+
+TEST(ValidateTest, ToStringMentionsFailures) {
+  Hypergraph h = Path2();
+  Hypertree hd;
+  hd.AddNode(Bits(3, {0, 1}), Bits(2, {0}));
+  DecompositionCheck check =
+      ValidateDecomposition(h, hd, h.EmptyVertexSet());
+  EXPECT_NE(check.ToString().find("edge_cover=NO"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace htqo

@@ -1,0 +1,65 @@
+#include "storage/value.h"
+
+#include <gtest/gtest.h>
+
+namespace htqo {
+namespace {
+
+TEST(ValueTest, Int64Compare) {
+  EXPECT_EQ(Value::Int64(3), Value::Int64(3));
+  EXPECT_LT(Value::Int64(2), Value::Int64(3));
+  EXPECT_GT(Value::Int64(5), Value::Int64(3));
+}
+
+TEST(ValueTest, MixedNumericCompare) {
+  EXPECT_EQ(Value::Int64(3), Value::Double(3.0));
+  EXPECT_LT(Value::Int64(3), Value::Double(3.5));
+  EXPECT_GT(Value::Double(4.5), Value::Int64(4));
+}
+
+TEST(ValueTest, MixedNumericHashEquals) {
+  // Values that compare equal must hash equal.
+  EXPECT_EQ(Value::Int64(3).Hash(), Value::Double(3.0).Hash());
+}
+
+TEST(ValueTest, StringCompare) {
+  EXPECT_LT(Value::String("ASIA"), Value::String("EUROPE"));
+  EXPECT_EQ(Value::String("x"), Value::String("x"));
+}
+
+TEST(ValueTest, DateRoundTrip) {
+  for (const char* d :
+       {"1970-01-01", "1994-01-01", "2000-02-29", "1992-12-31"}) {
+    int64_t days = 0;
+    ASSERT_TRUE(ParseDate(d, &days)) << d;
+    EXPECT_EQ(FormatDate(days), d);
+  }
+  EXPECT_EQ(Value::DateFromString("1970-01-01").AsInt64(), 0);
+  EXPECT_EQ(Value::DateFromString("1970-01-02").AsInt64(), 1);
+}
+
+TEST(ValueTest, DateParseRejectsMalformed) {
+  int64_t days;
+  EXPECT_FALSE(ParseDate("1994/01/01", &days));
+  EXPECT_FALSE(ParseDate("94-01-01", &days));
+  EXPECT_FALSE(ParseDate("1994-13-01", &days));
+  EXPECT_FALSE(ParseDate("1994-00-10", &days));
+  EXPECT_FALSE(ParseDate("1994-01-99", &days));
+}
+
+TEST(ValueTest, DateOrdering) {
+  Value a = Value::DateFromString("1994-01-01");
+  Value b = Value::DateFromString("1995-01-01");
+  EXPECT_LT(a, b);
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Int64(42).ToString(), "42");
+  EXPECT_EQ(Value::String("hi").ToString(), "hi");
+  EXPECT_EQ(Value::String("hi").ToString(true), "'hi'");
+  EXPECT_EQ(Value::DateFromString("1994-01-01").ToString(true),
+            "date '1994-01-01'");
+}
+
+}  // namespace
+}  // namespace htqo

@@ -1,0 +1,146 @@
+#include "workload/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sql/parser.h"
+#include "workload/query_gen.h"
+#include "workload/tpch_gen.h"
+#include "workload/tpch_queries.h"
+
+namespace htqo {
+namespace {
+
+TEST(SyntheticTest, CardinalityAndDomainRespected) {
+  Relation rel = MakeSyntheticRelation(500, {"a", "b"}, 30, 1);
+  EXPECT_EQ(rel.NumRows(), 500u);
+  // Domain is 150 values: every value in [0, 150).
+  std::set<int64_t> values;
+  for (std::size_t r = 0; r < rel.NumRows(); ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      int64_t v = rel.At(r, c).AsInt64();
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 150);
+      values.insert(v);
+    }
+  }
+  // With 1000 draws over 150 values, nearly all appear.
+  EXPECT_GT(values.size(), 120u);
+}
+
+TEST(SyntheticTest, DeterministicPerSeed) {
+  Relation a = MakeSyntheticRelation(100, {"a", "b"}, 50, 7);
+  Relation b = MakeSyntheticRelation(100, {"a", "b"}, 50, 7);
+  Relation c = MakeSyntheticRelation(100, {"a", "b"}, 50, 8);
+  EXPECT_TRUE(a.SameRowsAs(b));
+  EXPECT_FALSE(a.SameRowsAs(c));
+}
+
+TEST(SyntheticTest, CatalogHasAllRelations) {
+  Catalog catalog;
+  PopulateSyntheticCatalog(SyntheticConfig{50, 50, 10, 1}, &catalog);
+  for (int i = 1; i <= 10; ++i) {
+    EXPECT_TRUE(catalog.Contains("r" + std::to_string(i)));
+  }
+}
+
+TEST(QueryGenTest, LineAndChainShapes) {
+  std::string line = LineQuerySql(4);
+  EXPECT_NE(line.find("r1.b = r2.a"), std::string::npos);
+  EXPECT_NE(line.find("r3.b = r4.a"), std::string::npos);
+  EXPECT_EQ(line.find("r4.b = r1.a"), std::string::npos);
+  std::string chain = ChainQuerySql(4);
+  EXPECT_NE(chain.find("r4.b = r1.a"), std::string::npos);
+  // Both parse.
+  EXPECT_TRUE(ParseSelect(line).ok());
+  EXPECT_TRUE(ParseSelect(chain).ok());
+}
+
+TEST(TpchGenTest, TableShapesAndScaling) {
+  Catalog catalog;
+  PopulateTpch(TpchConfig{0.01, 1}, &catalog);
+  EXPECT_EQ(catalog.Find("region")->NumRows(), 5u);
+  EXPECT_EQ(catalog.Find("nation")->NumRows(), 25u);
+  EXPECT_EQ(catalog.Find("supplier")->NumRows(), 100u);
+  EXPECT_EQ(catalog.Find("customer")->NumRows(), 1500u);
+  EXPECT_EQ(catalog.Find("orders")->NumRows(), 15000u);
+  EXPECT_EQ(catalog.Find("part")->NumRows(), 2000u);
+  // lineitem averages ~4 lines per order.
+  std::size_t lines = catalog.Find("lineitem")->NumRows();
+  EXPECT_GT(lines, 15000u * 2);
+  EXPECT_LT(lines, 15000u * 7);
+}
+
+TEST(TpchGenTest, ReferentialIntegrity) {
+  Catalog catalog;
+  PopulateTpch(TpchConfig{0.005, 3}, &catalog);
+  const Relation& nation = *catalog.Find("nation");
+  std::set<int64_t> nation_keys;
+  for (std::size_t r = 0; r < nation.NumRows(); ++r) {
+    nation_keys.insert(nation.At(r, 0).AsInt64());
+  }
+  const Relation& customer = *catalog.Find("customer");
+  auto c_nat = customer.schema().IndexOf("c_nationkey");
+  ASSERT_TRUE(c_nat.has_value());
+  for (std::size_t r = 0; r < customer.NumRows(); ++r) {
+    EXPECT_TRUE(nation_keys.count(customer.At(r, *c_nat).AsInt64()) > 0);
+  }
+  // Every lineitem points at an existing order and supplier.
+  const Relation& orders = *catalog.Find("orders");
+  const Relation& lineitem = *catalog.Find("lineitem");
+  const Relation& supplier = *catalog.Find("supplier");
+  std::size_t num_orders = orders.NumRows();
+  std::size_t num_suppliers = supplier.NumRows();
+  for (std::size_t r = 0; r < lineitem.NumRows(); ++r) {
+    EXPECT_LT(lineitem.At(r, 0).AsInt64(),
+              static_cast<int64_t>(num_orders));
+    EXPECT_LT(lineitem.At(r, 2).AsInt64(),
+              static_cast<int64_t>(num_suppliers));
+  }
+}
+
+TEST(TpchGenTest, NationsSpanAllFiveRegions) {
+  Catalog catalog;
+  PopulateTpch(TpchConfig{0.001, 1}, &catalog);
+  const Relation& nation = *catalog.Find("nation");
+  std::set<int64_t> regions;
+  for (std::size_t r = 0; r < nation.NumRows(); ++r) {
+    regions.insert(nation.At(r, 2).AsInt64());
+  }
+  EXPECT_EQ(regions.size(), 5u);
+}
+
+TEST(TpchGenTest, OrderYearMatchesOrderDate) {
+  Catalog catalog;
+  PopulateTpch(TpchConfig{0.001, 5}, &catalog);
+  const Relation& orders = *catalog.Find("orders");
+  auto date_col = orders.schema().IndexOf("o_orderdate");
+  auto year_col = orders.schema().IndexOf("o_orderyear");
+  ASSERT_TRUE(date_col && year_col);
+  for (std::size_t r = 0; r < orders.NumRows(); ++r) {
+    std::string ymd = FormatDate(orders.At(r, *date_col).AsInt64());
+    EXPECT_EQ(std::stoll(ymd.substr(0, 4)),
+              orders.At(r, *year_col).AsInt64());
+  }
+}
+
+TEST(TpchGenTest, DeterministicPerSeed) {
+  Catalog a, b;
+  PopulateTpch(TpchConfig{0.001, 9}, &a);
+  PopulateTpch(TpchConfig{0.001, 9}, &b);
+  EXPECT_TRUE(a.Find("lineitem")->SameRowsAs(*b.Find("lineitem")));
+}
+
+TEST(TpchQueriesTest, ParameterSubstitution) {
+  std::string q5 = TpchQ5("EUROPE", "1995-01-01");
+  EXPECT_NE(q5.find("'EUROPE'"), std::string::npos);
+  EXPECT_NE(q5.find("date '1995-01-01'"), std::string::npos);
+  EXPECT_TRUE(ParseSelect(q5).ok());
+  std::string q8 = TpchQ8("ASIA", "SMALL PLATED TIN");
+  EXPECT_NE(q8.find("'ASIA'"), std::string::npos);
+  EXPECT_TRUE(ParseSelect(q8).ok());
+}
+
+}  // namespace
+}  // namespace htqo
