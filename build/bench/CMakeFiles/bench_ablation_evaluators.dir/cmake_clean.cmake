@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_evaluators.dir/bench_ablation_evaluators.cc.o"
+  "CMakeFiles/bench_ablation_evaluators.dir/bench_ablation_evaluators.cc.o.d"
+  "bench_ablation_evaluators"
+  "bench_ablation_evaluators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_evaluators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

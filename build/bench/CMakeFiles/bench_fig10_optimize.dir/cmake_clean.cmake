@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_optimize.dir/bench_fig10_optimize.cc.o"
+  "CMakeFiles/bench_fig10_optimize.dir/bench_fig10_optimize.cc.o.d"
+  "bench_fig10_optimize"
+  "bench_fig10_optimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

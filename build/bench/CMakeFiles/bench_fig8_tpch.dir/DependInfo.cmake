@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_tpch.cc" "bench/CMakeFiles/bench_fig8_tpch.dir/bench_fig8_tpch.cc.o" "gcc" "bench/CMakeFiles/bench_fig8_tpch.dir/bench_fig8_tpch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/htqo_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_cq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

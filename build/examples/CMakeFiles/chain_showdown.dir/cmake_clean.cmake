@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_showdown.dir/chain_showdown.cpp.o"
+  "CMakeFiles/chain_showdown.dir/chain_showdown.cpp.o.d"
+  "chain_showdown"
+  "chain_showdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_showdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

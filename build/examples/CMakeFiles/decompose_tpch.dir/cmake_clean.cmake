@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompose_tpch.dir/decompose_tpch.cpp.o"
+  "CMakeFiles/decompose_tpch.dir/decompose_tpch.cpp.o.d"
+  "decompose_tpch"
+  "decompose_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompose_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

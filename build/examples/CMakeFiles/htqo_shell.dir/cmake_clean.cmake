@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htqo_shell.dir/htqo_shell.cpp.o"
+  "CMakeFiles/htqo_shell.dir/htqo_shell.cpp.o.d"
+  "htqo_shell"
+  "htqo_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htqo_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

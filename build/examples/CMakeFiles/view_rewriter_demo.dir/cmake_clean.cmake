@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_rewriter_demo.dir/view_rewriter_demo.cpp.o"
+  "CMakeFiles/view_rewriter_demo.dir/view_rewriter_demo.cpp.o.d"
+  "view_rewriter_demo"
+  "view_rewriter_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_rewriter_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/width_zoo.dir/width_zoo.cpp.o"
+  "CMakeFiles/width_zoo.dir/width_zoo.cpp.o.d"
+  "width_zoo"
+  "width_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/width_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htqo_api.dir/api/hybrid_optimizer.cc.o"
+  "CMakeFiles/htqo_api.dir/api/hybrid_optimizer.cc.o.d"
+  "libhtqo_api.a"
+  "libhtqo_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htqo_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cq/conjunctive_query.cc" "src/CMakeFiles/htqo_cq.dir/cq/conjunctive_query.cc.o" "gcc" "src/CMakeFiles/htqo_cq.dir/cq/conjunctive_query.cc.o.d"
+  "/root/repo/src/cq/hypergraph_builder.cc" "src/CMakeFiles/htqo_cq.dir/cq/hypergraph_builder.cc.o" "gcc" "src/CMakeFiles/htqo_cq.dir/cq/hypergraph_builder.cc.o.d"
+  "/root/repo/src/cq/isolator.cc" "src/CMakeFiles/htqo_cq.dir/cq/isolator.cc.o" "gcc" "src/CMakeFiles/htqo_cq.dir/cq/isolator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/htqo_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htqo_cq.dir/cq/conjunctive_query.cc.o"
+  "CMakeFiles/htqo_cq.dir/cq/conjunctive_query.cc.o.d"
+  "CMakeFiles/htqo_cq.dir/cq/hypergraph_builder.cc.o"
+  "CMakeFiles/htqo_cq.dir/cq/hypergraph_builder.cc.o.d"
+  "CMakeFiles/htqo_cq.dir/cq/isolator.cc.o"
+  "CMakeFiles/htqo_cq.dir/cq/isolator.cc.o.d"
+  "libhtqo_cq.a"
+  "libhtqo_cq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htqo_cq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

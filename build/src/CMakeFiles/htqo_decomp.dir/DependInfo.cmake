@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decomp/biconnected.cc" "src/CMakeFiles/htqo_decomp.dir/decomp/biconnected.cc.o" "gcc" "src/CMakeFiles/htqo_decomp.dir/decomp/biconnected.cc.o.d"
+  "/root/repo/src/decomp/cost_k_decomp.cc" "src/CMakeFiles/htqo_decomp.dir/decomp/cost_k_decomp.cc.o" "gcc" "src/CMakeFiles/htqo_decomp.dir/decomp/cost_k_decomp.cc.o.d"
+  "/root/repo/src/decomp/det_k_decomp.cc" "src/CMakeFiles/htqo_decomp.dir/decomp/det_k_decomp.cc.o" "gcc" "src/CMakeFiles/htqo_decomp.dir/decomp/det_k_decomp.cc.o.d"
+  "/root/repo/src/decomp/hinge.cc" "src/CMakeFiles/htqo_decomp.dir/decomp/hinge.cc.o" "gcc" "src/CMakeFiles/htqo_decomp.dir/decomp/hinge.cc.o.d"
+  "/root/repo/src/decomp/hypertree.cc" "src/CMakeFiles/htqo_decomp.dir/decomp/hypertree.cc.o" "gcc" "src/CMakeFiles/htqo_decomp.dir/decomp/hypertree.cc.o.d"
+  "/root/repo/src/decomp/optimize.cc" "src/CMakeFiles/htqo_decomp.dir/decomp/optimize.cc.o" "gcc" "src/CMakeFiles/htqo_decomp.dir/decomp/optimize.cc.o.d"
+  "/root/repo/src/decomp/qhd.cc" "src/CMakeFiles/htqo_decomp.dir/decomp/qhd.cc.o" "gcc" "src/CMakeFiles/htqo_decomp.dir/decomp/qhd.cc.o.d"
+  "/root/repo/src/decomp/tree_decomposition.cc" "src/CMakeFiles/htqo_decomp.dir/decomp/tree_decomposition.cc.o" "gcc" "src/CMakeFiles/htqo_decomp.dir/decomp/tree_decomposition.cc.o.d"
+  "/root/repo/src/decomp/validate.cc" "src/CMakeFiles/htqo_decomp.dir/decomp/validate.cc.o" "gcc" "src/CMakeFiles/htqo_decomp.dir/decomp/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/htqo_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_cq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htqo_decomp.dir/decomp/biconnected.cc.o"
+  "CMakeFiles/htqo_decomp.dir/decomp/biconnected.cc.o.d"
+  "CMakeFiles/htqo_decomp.dir/decomp/cost_k_decomp.cc.o"
+  "CMakeFiles/htqo_decomp.dir/decomp/cost_k_decomp.cc.o.d"
+  "CMakeFiles/htqo_decomp.dir/decomp/det_k_decomp.cc.o"
+  "CMakeFiles/htqo_decomp.dir/decomp/det_k_decomp.cc.o.d"
+  "CMakeFiles/htqo_decomp.dir/decomp/hinge.cc.o"
+  "CMakeFiles/htqo_decomp.dir/decomp/hinge.cc.o.d"
+  "CMakeFiles/htqo_decomp.dir/decomp/hypertree.cc.o"
+  "CMakeFiles/htqo_decomp.dir/decomp/hypertree.cc.o.d"
+  "CMakeFiles/htqo_decomp.dir/decomp/optimize.cc.o"
+  "CMakeFiles/htqo_decomp.dir/decomp/optimize.cc.o.d"
+  "CMakeFiles/htqo_decomp.dir/decomp/qhd.cc.o"
+  "CMakeFiles/htqo_decomp.dir/decomp/qhd.cc.o.d"
+  "CMakeFiles/htqo_decomp.dir/decomp/tree_decomposition.cc.o"
+  "CMakeFiles/htqo_decomp.dir/decomp/tree_decomposition.cc.o.d"
+  "CMakeFiles/htqo_decomp.dir/decomp/validate.cc.o"
+  "CMakeFiles/htqo_decomp.dir/decomp/validate.cc.o.d"
+  "libhtqo_decomp.a"
+  "libhtqo_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htqo_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

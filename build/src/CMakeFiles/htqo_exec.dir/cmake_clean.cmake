@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htqo_exec.dir/exec/executor.cc.o"
+  "CMakeFiles/htqo_exec.dir/exec/executor.cc.o.d"
+  "CMakeFiles/htqo_exec.dir/exec/expression.cc.o"
+  "CMakeFiles/htqo_exec.dir/exec/expression.cc.o.d"
+  "CMakeFiles/htqo_exec.dir/exec/operators.cc.o"
+  "CMakeFiles/htqo_exec.dir/exec/operators.cc.o.d"
+  "CMakeFiles/htqo_exec.dir/exec/plan.cc.o"
+  "CMakeFiles/htqo_exec.dir/exec/plan.cc.o.d"
+  "libhtqo_exec.a"
+  "libhtqo_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htqo_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

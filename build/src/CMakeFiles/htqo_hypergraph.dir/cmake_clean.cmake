@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htqo_hypergraph.dir/hypergraph/gyo.cc.o"
+  "CMakeFiles/htqo_hypergraph.dir/hypergraph/gyo.cc.o.d"
+  "CMakeFiles/htqo_hypergraph.dir/hypergraph/hypergraph.cc.o"
+  "CMakeFiles/htqo_hypergraph.dir/hypergraph/hypergraph.cc.o.d"
+  "CMakeFiles/htqo_hypergraph.dir/hypergraph/join_tree.cc.o"
+  "CMakeFiles/htqo_hypergraph.dir/hypergraph/join_tree.cc.o.d"
+  "libhtqo_hypergraph.a"
+  "libhtqo_hypergraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htqo_hypergraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhtqo_hypergraph.a"
+)

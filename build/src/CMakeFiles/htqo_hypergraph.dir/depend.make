@@ -1,0 +1,2 @@
+# Empty dependencies file for htqo_hypergraph.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/cost_model.cc" "src/CMakeFiles/htqo_opt.dir/opt/cost_model.cc.o" "gcc" "src/CMakeFiles/htqo_opt.dir/opt/cost_model.cc.o.d"
+  "/root/repo/src/opt/dp_optimizer.cc" "src/CMakeFiles/htqo_opt.dir/opt/dp_optimizer.cc.o" "gcc" "src/CMakeFiles/htqo_opt.dir/opt/dp_optimizer.cc.o.d"
+  "/root/repo/src/opt/geqo_optimizer.cc" "src/CMakeFiles/htqo_opt.dir/opt/geqo_optimizer.cc.o" "gcc" "src/CMakeFiles/htqo_opt.dir/opt/geqo_optimizer.cc.o.d"
+  "/root/repo/src/opt/join_graph.cc" "src/CMakeFiles/htqo_opt.dir/opt/join_graph.cc.o" "gcc" "src/CMakeFiles/htqo_opt.dir/opt/join_graph.cc.o.d"
+  "/root/repo/src/opt/naive_optimizer.cc" "src/CMakeFiles/htqo_opt.dir/opt/naive_optimizer.cc.o" "gcc" "src/CMakeFiles/htqo_opt.dir/opt/naive_optimizer.cc.o.d"
+  "/root/repo/src/opt/qhd_planner.cc" "src/CMakeFiles/htqo_opt.dir/opt/qhd_planner.cc.o" "gcc" "src/CMakeFiles/htqo_opt.dir/opt/qhd_planner.cc.o.d"
+  "/root/repo/src/opt/yannakakis.cc" "src/CMakeFiles/htqo_opt.dir/opt/yannakakis.cc.o" "gcc" "src/CMakeFiles/htqo_opt.dir/opt/yannakakis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/htqo_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_cq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

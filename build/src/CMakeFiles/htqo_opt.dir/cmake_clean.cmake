@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htqo_opt.dir/opt/cost_model.cc.o"
+  "CMakeFiles/htqo_opt.dir/opt/cost_model.cc.o.d"
+  "CMakeFiles/htqo_opt.dir/opt/dp_optimizer.cc.o"
+  "CMakeFiles/htqo_opt.dir/opt/dp_optimizer.cc.o.d"
+  "CMakeFiles/htqo_opt.dir/opt/geqo_optimizer.cc.o"
+  "CMakeFiles/htqo_opt.dir/opt/geqo_optimizer.cc.o.d"
+  "CMakeFiles/htqo_opt.dir/opt/join_graph.cc.o"
+  "CMakeFiles/htqo_opt.dir/opt/join_graph.cc.o.d"
+  "CMakeFiles/htqo_opt.dir/opt/naive_optimizer.cc.o"
+  "CMakeFiles/htqo_opt.dir/opt/naive_optimizer.cc.o.d"
+  "CMakeFiles/htqo_opt.dir/opt/qhd_planner.cc.o"
+  "CMakeFiles/htqo_opt.dir/opt/qhd_planner.cc.o.d"
+  "CMakeFiles/htqo_opt.dir/opt/yannakakis.cc.o"
+  "CMakeFiles/htqo_opt.dir/opt/yannakakis.cc.o.d"
+  "libhtqo_opt.a"
+  "libhtqo_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htqo_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

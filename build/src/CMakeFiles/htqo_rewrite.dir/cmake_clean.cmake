@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htqo_rewrite.dir/rewrite/view_rewriter.cc.o"
+  "CMakeFiles/htqo_rewrite.dir/rewrite/view_rewriter.cc.o.d"
+  "libhtqo_rewrite.a"
+  "libhtqo_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htqo_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

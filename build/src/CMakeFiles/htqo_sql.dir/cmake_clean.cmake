@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htqo_sql.dir/sql/ast.cc.o"
+  "CMakeFiles/htqo_sql.dir/sql/ast.cc.o.d"
+  "CMakeFiles/htqo_sql.dir/sql/lexer.cc.o"
+  "CMakeFiles/htqo_sql.dir/sql/lexer.cc.o.d"
+  "CMakeFiles/htqo_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/htqo_sql.dir/sql/parser.cc.o.d"
+  "libhtqo_sql.a"
+  "libhtqo_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htqo_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htqo_stats.dir/stats/estimator.cc.o"
+  "CMakeFiles/htqo_stats.dir/stats/estimator.cc.o.d"
+  "CMakeFiles/htqo_stats.dir/stats/statistics.cc.o"
+  "CMakeFiles/htqo_stats.dir/stats/statistics.cc.o.d"
+  "libhtqo_stats.a"
+  "libhtqo_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htqo_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htqo_storage.dir/storage/catalog.cc.o"
+  "CMakeFiles/htqo_storage.dir/storage/catalog.cc.o.d"
+  "CMakeFiles/htqo_storage.dir/storage/csv.cc.o"
+  "CMakeFiles/htqo_storage.dir/storage/csv.cc.o.d"
+  "CMakeFiles/htqo_storage.dir/storage/relation.cc.o"
+  "CMakeFiles/htqo_storage.dir/storage/relation.cc.o.d"
+  "CMakeFiles/htqo_storage.dir/storage/schema.cc.o"
+  "CMakeFiles/htqo_storage.dir/storage/schema.cc.o.d"
+  "CMakeFiles/htqo_storage.dir/storage/value.cc.o"
+  "CMakeFiles/htqo_storage.dir/storage/value.cc.o.d"
+  "libhtqo_storage.a"
+  "libhtqo_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htqo_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htqo_util.dir/util/bitset.cc.o"
+  "CMakeFiles/htqo_util.dir/util/bitset.cc.o.d"
+  "CMakeFiles/htqo_util.dir/util/strings.cc.o"
+  "CMakeFiles/htqo_util.dir/util/strings.cc.o.d"
+  "libhtqo_util.a"
+  "libhtqo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htqo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/hypergraph_zoo.cc" "src/CMakeFiles/htqo_workload.dir/workload/hypergraph_zoo.cc.o" "gcc" "src/CMakeFiles/htqo_workload.dir/workload/hypergraph_zoo.cc.o.d"
+  "/root/repo/src/workload/query_gen.cc" "src/CMakeFiles/htqo_workload.dir/workload/query_gen.cc.o" "gcc" "src/CMakeFiles/htqo_workload.dir/workload/query_gen.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/CMakeFiles/htqo_workload.dir/workload/synthetic.cc.o" "gcc" "src/CMakeFiles/htqo_workload.dir/workload/synthetic.cc.o.d"
+  "/root/repo/src/workload/tpch_gen.cc" "src/CMakeFiles/htqo_workload.dir/workload/tpch_gen.cc.o" "gcc" "src/CMakeFiles/htqo_workload.dir/workload/tpch_gen.cc.o.d"
+  "/root/repo/src/workload/tpch_queries.cc" "src/CMakeFiles/htqo_workload.dir/workload/tpch_queries.cc.o" "gcc" "src/CMakeFiles/htqo_workload.dir/workload/tpch_queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/htqo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htqo_workload.dir/workload/hypergraph_zoo.cc.o"
+  "CMakeFiles/htqo_workload.dir/workload/hypergraph_zoo.cc.o.d"
+  "CMakeFiles/htqo_workload.dir/workload/query_gen.cc.o"
+  "CMakeFiles/htqo_workload.dir/workload/query_gen.cc.o.d"
+  "CMakeFiles/htqo_workload.dir/workload/synthetic.cc.o"
+  "CMakeFiles/htqo_workload.dir/workload/synthetic.cc.o.d"
+  "CMakeFiles/htqo_workload.dir/workload/tpch_gen.cc.o"
+  "CMakeFiles/htqo_workload.dir/workload/tpch_gen.cc.o.d"
+  "CMakeFiles/htqo_workload.dir/workload/tpch_queries.cc.o"
+  "CMakeFiles/htqo_workload.dir/workload/tpch_queries.cc.o.d"
+  "libhtqo_workload.a"
+  "libhtqo_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htqo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

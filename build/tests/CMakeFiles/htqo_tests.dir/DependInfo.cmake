@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bitset_test.cc" "tests/CMakeFiles/htqo_tests.dir/bitset_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/bitset_test.cc.o.d"
+  "/root/repo/tests/csv_test.cc" "tests/CMakeFiles/htqo_tests.dir/csv_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/csv_test.cc.o.d"
+  "/root/repo/tests/decomposition_test.cc" "tests/CMakeFiles/htqo_tests.dir/decomposition_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/decomposition_test.cc.o.d"
+  "/root/repo/tests/end_to_end_test.cc" "tests/CMakeFiles/htqo_tests.dir/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/end_to_end_test.cc.o.d"
+  "/root/repo/tests/equivalence_property_test.cc" "tests/CMakeFiles/htqo_tests.dir/equivalence_property_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/equivalence_property_test.cc.o.d"
+  "/root/repo/tests/executor_test.cc" "tests/CMakeFiles/htqo_tests.dir/executor_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/executor_test.cc.o.d"
+  "/root/repo/tests/expression_test.cc" "tests/CMakeFiles/htqo_tests.dir/expression_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/expression_test.cc.o.d"
+  "/root/repo/tests/having_limit_test.cc" "tests/CMakeFiles/htqo_tests.dir/having_limit_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/having_limit_test.cc.o.d"
+  "/root/repo/tests/hinge_test.cc" "tests/CMakeFiles/htqo_tests.dir/hinge_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/hinge_test.cc.o.d"
+  "/root/repo/tests/hypergraph_test.cc" "tests/CMakeFiles/htqo_tests.dir/hypergraph_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/hypergraph_test.cc.o.d"
+  "/root/repo/tests/hypergraph_zoo_test.cc" "tests/CMakeFiles/htqo_tests.dir/hypergraph_zoo_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/hypergraph_zoo_test.cc.o.d"
+  "/root/repo/tests/hypertree_test.cc" "tests/CMakeFiles/htqo_tests.dir/hypertree_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/hypertree_test.cc.o.d"
+  "/root/repo/tests/in_predicate_test.cc" "tests/CMakeFiles/htqo_tests.dir/in_predicate_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/in_predicate_test.cc.o.d"
+  "/root/repo/tests/isolator_test.cc" "tests/CMakeFiles/htqo_tests.dir/isolator_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/isolator_test.cc.o.d"
+  "/root/repo/tests/misc_coverage_test.cc" "tests/CMakeFiles/htqo_tests.dir/misc_coverage_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/misc_coverage_test.cc.o.d"
+  "/root/repo/tests/nested_query_test.cc" "tests/CMakeFiles/htqo_tests.dir/nested_query_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/nested_query_test.cc.o.d"
+  "/root/repo/tests/operators_test.cc" "tests/CMakeFiles/htqo_tests.dir/operators_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/operators_test.cc.o.d"
+  "/root/repo/tests/optimize_test.cc" "tests/CMakeFiles/htqo_tests.dir/optimize_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/optimize_test.cc.o.d"
+  "/root/repo/tests/optimizer_test.cc" "tests/CMakeFiles/htqo_tests.dir/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/optimizer_test.cc.o.d"
+  "/root/repo/tests/paper_examples_test.cc" "tests/CMakeFiles/htqo_tests.dir/paper_examples_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/paper_examples_test.cc.o.d"
+  "/root/repo/tests/qhd_eval_test.cc" "tests/CMakeFiles/htqo_tests.dir/qhd_eval_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/qhd_eval_test.cc.o.d"
+  "/root/repo/tests/relation_test.cc" "tests/CMakeFiles/htqo_tests.dir/relation_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/relation_test.cc.o.d"
+  "/root/repo/tests/rewriter_test.cc" "tests/CMakeFiles/htqo_tests.dir/rewriter_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/rewriter_test.cc.o.d"
+  "/root/repo/tests/scalar_subquery_test.cc" "tests/CMakeFiles/htqo_tests.dir/scalar_subquery_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/scalar_subquery_test.cc.o.d"
+  "/root/repo/tests/sql_parser_test.cc" "tests/CMakeFiles/htqo_tests.dir/sql_parser_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/sql_parser_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/htqo_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/structural_baselines_test.cc" "tests/CMakeFiles/htqo_tests.dir/structural_baselines_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/structural_baselines_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/htqo_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/validate_test.cc" "tests/CMakeFiles/htqo_tests.dir/validate_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/validate_test.cc.o.d"
+  "/root/repo/tests/value_test.cc" "tests/CMakeFiles/htqo_tests.dir/value_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/value_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/htqo_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/workload_test.cc.o.d"
+  "/root/repo/tests/yannakakis_test.cc" "tests/CMakeFiles/htqo_tests.dir/yannakakis_test.cc.o" "gcc" "tests/CMakeFiles/htqo_tests.dir/yannakakis_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/htqo_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_cq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htqo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
