@@ -36,11 +36,18 @@ struct RunOutcome {
   std::size_t out = 0;
   std::size_t width = 0;
   std::size_t pruned = 0;
+  // Governor observations (search nodes charged, high-water memory, trips
+  // by kind) and the number of degradation-ladder steps the run took.
+  GovernorStats governor;
+  std::size_t degradation_steps = 0;
 };
 
 inline RunOutcome RunOnce(const HybridOptimizer& optimizer,
                           const std::string& sql, OptimizerMode mode,
-                          uint64_t seed = 1, std::size_t max_width = 4) {
+                          uint64_t seed = 1, std::size_t max_width = 4,
+                          double deadline_seconds = 0,
+                          std::size_t search_node_budget =
+                              std::numeric_limits<std::size_t>::max()) {
   RunOptions options;
   options.mode = mode;
   options.seed = seed;
@@ -48,11 +55,15 @@ inline RunOutcome RunOnce(const HybridOptimizer& optimizer,
   options.work_budget = kWorkBudget;
   options.row_budget = kRowBudget;
   options.fallback_to_dp = false;
+  options.degrade_on_budget = false;  // benches measure one mode at a time
+  options.deadline_seconds = deadline_seconds;
+  options.search_node_budget = search_node_budget;
   auto run = optimizer.Run(sql, options);
   RunOutcome outcome;
   if (!run.ok()) {
-    // Budget exceeded = DNF; anything else is a harness bug.
-    HTQO_CHECK(run.status().code() == StatusCode::kResourceExhausted);
+    // Budget or deadline exceeded = DNF; anything else is a harness bug.
+    HTQO_CHECK(run.status().code() == StatusCode::kResourceExhausted ||
+               run.status().code() == StatusCode::kDeadlineExceeded);
     outcome.dnf = true;
     outcome.work = kWorkBudget;
     return outcome;
@@ -62,6 +73,8 @@ inline RunOutcome RunOnce(const HybridOptimizer& optimizer,
   outcome.out = run->output.NumRows();
   outcome.width = run->decomposition_width;
   outcome.pruned = run->pruned_lambda_entries;
+  outcome.governor = run->governor;
+  outcome.degradation_steps = run->degradations.size();
   return outcome;
 }
 
@@ -72,6 +85,29 @@ inline void SetCounters(benchmark::State& state, const RunOutcome& outcome) {
   state.counters["dnf"] = outcome.dnf ? 1 : 0;
   if (outcome.width > 0) {
     state.counters["width"] = static_cast<double>(outcome.width);
+  }
+  // Governor columns land in the emitted JSON alongside work/rows, so a
+  // DNF row can be diagnosed (deadline vs. node budget vs. memory) without
+  // rerunning the figure.
+  if (outcome.governor.search_nodes > 0) {
+    state.counters["search_nodes"] =
+        static_cast<double>(outcome.governor.search_nodes);
+  }
+  if (outcome.governor.peak_memory_bytes > 0) {
+    state.counters["peak_mem"] =
+        static_cast<double>(outcome.governor.peak_memory_bytes);
+  }
+  if (outcome.governor.deadline_hits > 0) {
+    state.counters["deadline_hits"] =
+        static_cast<double>(outcome.governor.deadline_hits);
+  }
+  if (outcome.governor.budget_hits > 0) {
+    state.counters["budget_hits"] =
+        static_cast<double>(outcome.governor.budget_hits);
+  }
+  if (outcome.degradation_steps > 0) {
+    state.counters["degradations"] =
+        static_cast<double>(outcome.degradation_steps);
   }
 }
 

@@ -56,6 +56,8 @@ void PrintHelp() {
       "  \\load synthetic <card> <sel> <n>   generate r1..rN(a,b)\n"
       "  \\mode <name>                       pick the optimizer mode\n"
       "  \\width <k>                         decomposition width bound\n"
+      "  \\deadline <seconds>                wall-clock deadline (0 = off)\n"
+      "  \\budget <nodes>                    search-node budget (0 = off)\n"
       "  \\explain                           toggle plan explanation\n"
       "  \\dot <sql>                         print the decomposition as DOT\n"
       "  \\rewrite <sql>                     print the SQL-views rewriting\n"
@@ -76,6 +78,9 @@ void RunSql(ShellState& state, const std::string& sql) {
     std::printf("error: %s\n", run.status().ToString().c_str());
     return;
   }
+  for (const std::string& step : run->degradations) {
+    std::printf("degraded: %s\n", step.c_str());
+  }
   if (state.explain) {
     std::printf("plan: %s%s\n", run->plan_description.c_str(),
                 run->used_fallback ? " (fallback)" : "");
@@ -86,6 +91,10 @@ void RunSql(ShellState& state, const std::string& sql) {
                 "peak intermediate: %zu rows\n",
                 run->plan_seconds * 1e3, run->exec_seconds * 1e3,
                 run->ctx.work_charged, run->ctx.peak_rows);
+    if (run->governor.search_nodes > 0) {
+      std::printf("governor: %zu search nodes, %zu trips\n",
+                  run->governor.search_nodes, run->governor.trips());
+    }
   }
   std::printf("%s", run->output.ToString(25).c_str());
 }
@@ -164,6 +173,21 @@ bool HandleCommand(ShellState& state, const std::string& line) {
   } else if (cmd == "\\width") {
     in >> state.options.max_width;
     std::printf("width bound k = %zu\n", state.options.max_width);
+  } else if (cmd == "\\deadline") {
+    in >> state.options.deadline_seconds;
+    std::printf("deadline = %g s%s\n", state.options.deadline_seconds,
+                state.options.deadline_seconds > 0 ? "" : " (off)");
+  } else if (cmd == "\\budget") {
+    long long nodes = 0;  // signed, so "-7" reads as negative instead of wrapping
+    in >> nodes;
+    if (nodes > 0) {
+      state.options.search_node_budget = static_cast<std::size_t>(nodes);
+      std::printf("search-node budget = %lld\n", nodes);
+    } else {
+      state.options.search_node_budget =
+          std::numeric_limits<std::size_t>::max();
+      std::printf("search-node budget off\n");
+    }
   } else if (cmd == "\\explain") {
     state.explain = !state.explain;
     std::printf("explain %s\n", state.explain ? "on" : "off");

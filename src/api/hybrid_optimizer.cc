@@ -1,6 +1,7 @@
 #include "api/hybrid_optimizer.h"
 
 #include <chrono>
+#include <optional>
 
 #include "cq/hypergraph_builder.h"
 #include "exec/executor.h"
@@ -26,6 +27,23 @@ bool IsQhdMode(OptimizerMode mode) {
   return mode == OptimizerMode::kQhdHybrid ||
          mode == OptimizerMode::kQhdStructural ||
          mode == OptimizerMode::kQhdNoOptimize;
+}
+
+// Folds a subquery run's meters into an accumulator (scalar, IN and
+// derived-table paths of RunStatement all need the same bookkeeping).
+void MergeSubRun(const QueryRun& sub, QueryRun* into) {
+  into->ctx.rows_charged =
+      SaturatingAdd(into->ctx.rows_charged, sub.ctx.rows_charged);
+  into->ctx.work_charged =
+      SaturatingAdd(into->ctx.work_charged, sub.ctx.work_charged);
+  into->ctx.NotePeak(sub.ctx.peak_rows);
+  into->plan_seconds += sub.plan_seconds;
+  into->exec_seconds += sub.exec_seconds;
+  into->used_fallback |= sub.used_fallback;
+  into->governor.Merge(sub.governor);
+  into->degradations.insert(into->degradations.end(),
+                            sub.degradations.begin(),
+                            sub.degradations.end());
 }
 
 }  // namespace
@@ -90,11 +108,7 @@ Result<QueryRun> HybridOptimizer::RunStatement(const SelectStatement& stmt,
       if (e->kind == ExprKind::kScalarSubquery) {
         auto sub_run = RunStatement(*e->subquery, options);
         if (!sub_run.ok()) return sub_run.status();
-        accumulated.ctx.rows_charged += sub_run->ctx.rows_charged;
-        accumulated.ctx.work_charged += sub_run->ctx.work_charged;
-        accumulated.ctx.NotePeak(sub_run->ctx.peak_rows);
-        accumulated.plan_seconds += sub_run->plan_seconds;
-        accumulated.exec_seconds += sub_run->exec_seconds;
+        MergeSubRun(*sub_run, &accumulated);
         const Relation& out = sub_run->output;
         if (out.arity() != 1) {
           return Status::InvalidArgument(
@@ -137,11 +151,7 @@ Result<QueryRun> HybridOptimizer::RunStatement(const SelectStatement& stmt,
     }
     auto run = RunStatement(rewritten, options);
     if (!run.ok()) return run.status();
-    run->ctx.rows_charged += accumulated.ctx.rows_charged;
-    run->ctx.work_charged += accumulated.ctx.work_charged;
-    run->ctx.NotePeak(accumulated.ctx.peak_rows);
-    run->plan_seconds += accumulated.plan_seconds;
-    run->exec_seconds += accumulated.exec_seconds;
+    MergeSubRun(accumulated, &run.value());
     return run;
   }
 
@@ -170,11 +180,7 @@ Result<QueryRun> HybridOptimizer::RunStatement(const SelectStatement& stmt,
         // filter.
         auto sub_run = RunStatement(*cond.subquery, options);
         if (!sub_run.ok()) return sub_run.status();
-        accumulated_in.ctx.rows_charged += sub_run->ctx.rows_charged;
-        accumulated_in.ctx.work_charged += sub_run->ctx.work_charged;
-        accumulated_in.ctx.NotePeak(sub_run->ctx.peak_rows);
-        accumulated_in.plan_seconds += sub_run->plan_seconds;
-        accumulated_in.exec_seconds += sub_run->exec_seconds;
+        MergeSubRun(*sub_run, &accumulated_in);
         InCondition literal;
         literal.lhs = std::move(cond.lhs);
         literal.negated = true;
@@ -217,11 +223,7 @@ Result<QueryRun> HybridOptimizer::RunStatement(const SelectStatement& stmt,
     rewritten.where_in = std::move(remaining);
     auto run = RunStatement(rewritten, options);
     if (!run.ok()) return run.status();
-    run->ctx.rows_charged += accumulated_in.ctx.rows_charged;
-    run->ctx.work_charged += accumulated_in.ctx.work_charged;
-    run->ctx.NotePeak(accumulated_in.ctx.peak_rows);
-    run->plan_seconds += accumulated_in.plan_seconds;
-    run->exec_seconds += accumulated_in.exec_seconds;
+    MergeSubRun(accumulated_in, &run.value());
     return run;
   }
 
@@ -262,23 +264,13 @@ Result<QueryRun> HybridOptimizer::RunStatement(const SelectStatement& stmt,
     table.name = derived_name;
     table.subquery.reset();
 
-    accumulated.ctx.rows_charged += sub_run->ctx.rows_charged;
-    accumulated.ctx.work_charged += sub_run->ctx.work_charged;
-    accumulated.ctx.NotePeak(sub_run->ctx.peak_rows);
-    accumulated.plan_seconds += sub_run->plan_seconds;
-    accumulated.exec_seconds += sub_run->exec_seconds;
-    accumulated.used_fallback |= sub_run->used_fallback;
+    MergeSubRun(*sub_run, &accumulated);
   }
 
   HybridOptimizer outer(&scratch, &scratch_stats);
   auto run = outer.RunStatement(rewritten, options);
   if (!run.ok()) return run.status();
-  run->ctx.rows_charged += accumulated.ctx.rows_charged;
-  run->ctx.work_charged += accumulated.ctx.work_charged;
-  run->ctx.NotePeak(accumulated.ctx.peak_rows);
-  run->plan_seconds += accumulated.plan_seconds;
-  run->exec_seconds += accumulated.exec_seconds;
-  run->used_fallback |= accumulated.used_fallback;
+  MergeSubRun(accumulated, &run.value());
   run->plan_description += " [+" + std::to_string(derived_count) +
                            " materialized subquer" +
                            (derived_count == 1 ? "y" : "ies") + "]";
@@ -300,15 +292,60 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
     return run;
   }
 
+  constexpr std::size_t kNoLimit = std::numeric_limits<std::size_t>::max();
+  const bool governed = options.deadline_seconds > 0 ||
+                        options.search_node_budget != kNoLimit ||
+                        options.memory_budget_bytes != kNoLimit;
+  // One absolute wall deadline shared by every degradation-ladder attempt;
+  // node and memory budgets are granted afresh per attempt.
+  const auto wall_deadline =
+      options.deadline_seconds > 0
+          ? ResourceGovernor::Clock::now() +
+                std::chrono::duration_cast<ResourceGovernor::Clock::duration>(
+                    std::chrono::duration<double>(options.deadline_seconds))
+          : ResourceGovernor::Clock::time_point::max();
+
+  std::optional<ResourceGovernor> governor;
+  // `last_resort` lifts the per-attempt budgets (not the deadline) for the
+  // final GEQO rung, whose search is iteration-bounded by construction —
+  // guaranteeing the ladder ends in a plan rather than a tripped budget.
+  auto begin_attempt = [&](bool last_resort = false) -> ResourceGovernor* {
+    if (!governed) return nullptr;
+    if (governor.has_value()) run.governor.Merge(governor->stats());
+    ResourceGovernor::Options gopt;
+    gopt.deadline = wall_deadline;
+    gopt.node_budget = last_resort ? kNoLimit : options.search_node_budget;
+    gopt.memory_budget_bytes =
+        last_resort ? kNoLimit : options.memory_budget_bytes;
+    governor.emplace(gopt);
+    run.ctx.governor = &*governor;
+    return &*governor;
+  };
+  // QueryRun holds its ExecContext by value and outlives this frame, so the
+  // stack-local governor must never escape through it: seal before every
+  // successful return.
+  auto seal = [&]() {
+    if (governor.has_value()) run.governor.Merge(governor->stats());
+    run.ctx.governor = nullptr;
+  };
+  auto budget_tripped = [&](const Status& s) {
+    return options.degrade_on_budget &&
+           s.code() == StatusCode::kDeadlineExceeded;
+  };
+
   OptimizerMode mode = options.mode;
   auto start = std::chrono::steady_clock::now();
 
   if (mode == OptimizerMode::kYannakakis) {
+    begin_attempt();
     auto answer = YannakakisEvaluate(rq, *catalog_, &run.ctx);
     if (!answer.ok()) {
       if (answer.status().code() == StatusCode::kNotFound &&
           options.fallback_to_dp) {
         run.used_fallback = true;
+        run.degradations.push_back(
+            "yannakakis inapplicable (cyclic query); falling back to the DP "
+            "plan");
         mode = OptimizerMode::kDpStatistics;
       } else {
         return answer.status();
@@ -319,11 +356,13 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
       if (!out.ok()) return out.status();
       run.output = std::move(out.value());
       run.exec_seconds = SecondsSince(start);
+      seal();
       return run;
     }
   }
 
   if (mode == OptimizerMode::kTreeDecomposition) {
+    begin_attempt();
     Hypergraph h = BuildHypergraph(rq.cq);
     TreeDecomposition td = MinFillTreeDecomposition(h);
     Hypertree hd = TreeDecompositionToHypertree(h, td);
@@ -341,19 +380,32 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
     if (!out.ok()) return out.status();
     run.output = std::move(out.value());
     run.exec_seconds = SecondsSince(exec_start);
+    seal();
     return run;
   }
 
   if (mode == OptimizerMode::kClassicHd) {
+    ResourceGovernor* gov = begin_attempt();
     Hypergraph h = BuildHypergraph(rq.cq);
     Estimator estimator(stats_);
     StatsDecompositionCostModel model(h, BuildEdgeStats(rq.cq, estimator));
     // No out(Q) rooting, no Optimize: the pre-q-HD pipeline.
-    auto hd = CostKDecomp(h, options.max_width, model, /*root_conn=*/nullptr);
+    auto hd = CostKDecomp(h, options.max_width, model, /*root_conn=*/nullptr,
+                          gov);
     run.plan_seconds = SecondsSince(start);
     if (!hd.ok()) {
-      if (!options.fallback_to_dp) return hd.status();
+      bool degrade = budget_tripped(hd.status());
+      if (!degrade && (hd.status().code() != StatusCode::kNotFound ||
+                       !options.fallback_to_dp)) {
+        return hd.status();
+      }
       run.used_fallback = true;
+      run.degradations.push_back(
+          degrade ? "classic HD search exceeded its budget; falling back to "
+                    "the DP plan"
+                  : "classic HD found no decomposition of width <= " +
+                        std::to_string(options.max_width) +
+                        "; falling back to the DP plan");
       mode = OptimizerMode::kDpStatistics;
     } else {
       CompleteDecomposition(h, &hd.value());
@@ -368,94 +420,136 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
       if (!out.ok()) return out.status();
       run.output = std::move(out.value());
       run.exec_seconds = SecondsSince(exec_start);
+      seal();
       return run;
     }
   }
 
   if (IsQhdMode(mode)) {
-    QhdPlanOptions qhd;
-    qhd.decomp.max_width = options.max_width;
-    qhd.decomp.run_optimize = mode != OptimizerMode::kQhdNoOptimize;
-    qhd.use_statistics = mode != OptimizerMode::kQhdStructural;
+    const bool use_statistics = mode != OptimizerMode::kQhdStructural;
+    const bool run_optimize = mode != OptimizerMode::kQhdNoOptimize;
 
-    // Split plan/exec timing around the decomposition.
     Hypergraph h = BuildHypergraph(rq.cq);
     Bitset out_vars = OutputVarsBitset(rq.cq);
-    Result<QhdResult> decomp = Status::Internal("unset");
-    if (qhd.use_statistics) {
-      Estimator estimator(stats_);
-      StatsDecompositionCostModel model(h, BuildEdgeStats(rq.cq, estimator));
-      decomp = QHypertreeDecomp(h, out_vars, model, qhd.decomp);
-    } else {
-      StructuralCostModel model;
-      decomp = QHypertreeDecomp(h, out_vars, model, qhd.decomp);
-    }
-    run.plan_seconds = SecondsSince(start);
 
-    if (!decomp.ok()) {
-      if (!options.fallback_to_dp) return decomp.status();
-      run.used_fallback = true;
-      mode = OptimizerMode::kDpStatistics;  // hybrid fallback below
-    } else {
-      run.decomposition_width = decomp->width;
-      run.pruned_lambda_entries = decomp->pruned;
-      run.plan_description =
-          "q-hypertree decomposition (width " +
-          std::to_string(decomp->width) + ", " +
-          std::to_string(decomp->pruned) + " pruned)";
-      run.plan_details = decomp->hd.ToString(h);
-      auto exec_start = std::chrono::steady_clock::now();
-      auto answer = EvaluateDecomposition(rq, *catalog_, h, decomp->hd,
-                                          &run.ctx);
-      if (!answer.ok()) return answer.status();
-      auto out = EvaluateSelectOutput(rq, *answer, &run.ctx);
-      if (!out.ok()) return out.status();
-      run.output = std::move(out.value());
-      run.exec_seconds = SecondsSince(exec_start);
-      return run;
+    // Degradation ladder, upper rungs: a governed q-HD attempt that trips
+    // its budget retries at the next smaller width (cheaper search space)
+    // before surrendering to the quantitative fallbacks below.
+    std::size_t width = options.max_width;
+    while (IsQhdMode(mode)) {
+      ResourceGovernor* gov = begin_attempt();
+      QhdOptions dopt;
+      dopt.max_width = width;
+      dopt.run_optimize = run_optimize;
+      dopt.governor = gov;
+      auto attempt_start = std::chrono::steady_clock::now();
+      Result<QhdResult> decomp = Status::Internal("unset");
+      if (use_statistics) {
+        Estimator estimator(stats_);
+        StatsDecompositionCostModel model(h, BuildEdgeStats(rq.cq, estimator));
+        decomp = QHypertreeDecomp(h, out_vars, model, dopt);
+      } else {
+        StructuralCostModel model;
+        decomp = QHypertreeDecomp(h, out_vars, model, dopt);
+      }
+      run.plan_seconds += SecondsSince(attempt_start);
+
+      if (decomp.ok()) {
+        run.decomposition_width = decomp->width;
+        run.pruned_lambda_entries = decomp->pruned;
+        run.plan_description =
+            "q-hypertree decomposition (width " +
+            std::to_string(decomp->width) + ", " +
+            std::to_string(decomp->pruned) + " pruned)";
+        run.plan_details = decomp->hd.ToString(h);
+        auto exec_start = std::chrono::steady_clock::now();
+        auto answer = EvaluateDecomposition(rq, *catalog_, h, decomp->hd,
+                                            &run.ctx);
+        if (!answer.ok()) return answer.status();
+        auto out = EvaluateSelectOutput(rq, *answer, &run.ctx);
+        if (!out.ok()) return out.status();
+        run.output = std::move(out.value());
+        run.exec_seconds = SecondsSince(exec_start);
+        seal();
+        return run;
+      }
+      if (budget_tripped(decomp.status())) {
+        if (width > 1) {
+          run.degradations.push_back(
+              "q-HD search at width " + std::to_string(width) +
+              " exceeded its budget; retrying at width " +
+              std::to_string(width - 1));
+          --width;
+          continue;
+        }
+        run.used_fallback = true;
+        run.degradations.push_back(
+            "q-HD search at width 1 exceeded its budget; falling back to "
+            "the DP plan");
+        mode = OptimizerMode::kDpStatistics;
+      } else if (decomp.status().code() == StatusCode::kNotFound &&
+                 options.fallback_to_dp) {
+        run.used_fallback = true;
+        run.degradations.push_back(
+            "q-HD found no rooted decomposition of width <= " +
+            std::to_string(width) + "; falling back to the DP plan");
+        mode = OptimizerMode::kDpStatistics;  // hybrid fallback below
+      } else {
+        return decomp.status();
+      }
     }
   }
 
   // --- Quantitative plan modes (and the hybrid fallback). -------------------
   start = std::chrono::steady_clock::now();
   std::unique_ptr<JoinPlan> plan;
-  switch (mode) {
-    case OptimizerMode::kDpStatistics: {
-      Estimator estimator(stats_);
-      JoinGraph graph = BuildJoinGraph(rq, estimator);
-      PlanCostModel cost(graph);
-      // Left-deep System-R search: the plan space of the commercial
-      // optimizers the paper benchmarked against. (Bushy DP is available
-      // via DpOptions for library users.)
-      DpOptions dp_options;
-      dp_options.bushy = false;
-      auto dp = DpOptimize(graph, cost, dp_options);
-      if (!dp.ok()) return dp.status();
+  if (mode == OptimizerMode::kDpStatistics) {
+    ResourceGovernor* gov = begin_attempt();
+    Estimator estimator(stats_);
+    JoinGraph graph = BuildJoinGraph(rq, estimator);
+    PlanCostModel cost(graph);
+    // Left-deep System-R search: the plan space of the commercial
+    // optimizers the paper benchmarked against. (Bushy DP is available
+    // via DpOptions for library users.)
+    DpOptions dp_options;
+    dp_options.bushy = false;
+    dp_options.governor = gov;
+    auto dp = DpOptimize(graph, cost, dp_options);
+    if (dp.ok()) {
       plan = std::move(dp.value());
-      break;
+    } else if (budget_tripped(dp.status())) {
+      // Bottom rung: the genetic search is iteration-bounded, so it always
+      // produces some plan (unless the wall deadline itself has passed).
+      run.used_fallback = true;
+      run.degradations.push_back(
+          "DP join search exceeded its budget; falling back to GEQO");
+      mode = OptimizerMode::kGeqoDefaults;
+    } else {
+      return dp.status();
     }
-    case OptimizerMode::kNaive: {
-      plan = NaiveFromOrderPlan(rq.cq.atoms.size(), JoinAlgo::kNestedLoop);
-      break;
-    }
-    case OptimizerMode::kGeqoDefaults: {
-      // No statistics: the estimator runs on PostgreSQL-style defaults, and
-      // the optimizer prefers nested loops for inputs it believes are small
-      // — which, under default estimates, is all of them.
-      Estimator estimator(nullptr);
-      JoinGraph graph = BuildJoinGraph(rq, estimator);
-      PlanCostModel cost(graph);
-      GeqoOptions geqo;
-      geqo.seed = options.seed;
-      geqo.nested_loop_threshold = 2000.0;
-      auto best = GeqoOptimize(graph, cost, geqo);
-      if (!best.ok()) return best.status();
-      plan = std::move(best.value());
-      break;
-    }
-    default:
-      return Status::Internal("unhandled optimizer mode");
   }
+  if (plan == nullptr && mode == OptimizerMode::kNaive) {
+    plan = NaiveFromOrderPlan(rq.cq.atoms.size(), JoinAlgo::kNestedLoop);
+    begin_attempt();  // execution still honors the deadline
+  }
+  if (plan == nullptr && mode == OptimizerMode::kGeqoDefaults) {
+    ResourceGovernor* gov = begin_attempt(/*last_resort=*/run.used_fallback);
+    // No statistics: the estimator runs on PostgreSQL-style defaults, and
+    // the optimizer prefers nested loops for inputs it believes are small
+    // — which, under default estimates, is all of them.
+    Estimator estimator(nullptr);
+    JoinGraph graph = BuildJoinGraph(rq, estimator);
+    PlanCostModel cost(graph);
+    GeqoOptions geqo;
+    geqo.seed = options.seed;
+    geqo.nested_loop_threshold = 2000.0;
+    geqo.governor = gov;
+    auto best = GeqoOptimize(graph, cost, geqo);
+    if (!best.ok()) return best.status();
+    plan = std::move(best.value());
+  }
+  if (plan == nullptr) return Status::Internal("unhandled optimizer mode");
+
   run.plan_seconds += SecondsSince(start);
   if (run.plan_description.empty() || run.used_fallback) {
     run.plan_description = (run.used_fallback ? "fallback: " : "") +
@@ -472,6 +566,7 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
   if (!out.ok()) return out.status();
   run.output = std::move(out.value());
   run.exec_seconds = SecondsSince(exec_start);
+  seal();
   return run;
 }
 

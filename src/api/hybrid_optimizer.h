@@ -37,6 +37,7 @@
 #include "rewrite/view_rewriter.h"
 #include "stats/statistics.h"
 #include "storage/catalog.h"
+#include "util/governor.h"
 #include "util/status.h"
 
 namespace htqo {
@@ -68,6 +69,22 @@ struct RunOptions {
   // On q-HD "Failure" (no width-<=k rooted decomposition), fall back to the
   // DP plan instead of erroring — the hybrid behaviour.
   bool fallback_to_dp = true;
+
+  // --- Query-governor limits. The paper's hostile instances "do not
+  // terminate after 10 minutes"; these make the pipeline *return* instead.
+  // Wall-clock deadline over the whole pipeline (every degradation-ladder
+  // attempt shares it); <= 0 disables.
+  double deadline_seconds = 0;
+  // Deterministic search-node budget, granted afresh to each optimization
+  // attempt (reproducible across machines — tests should prefer this over
+  // the deadline).
+  std::size_t search_node_budget = std::numeric_limits<std::size_t>::max();
+  // Live-memory budget for decomposition memo tables.
+  std::size_t memory_budget_bytes = std::numeric_limits<std::size_t>::max();
+  // When a governor limit trips, walk the degradation ladder — q-HD at
+  // width k → k-1 → … → 1 → DP plan → GEQO plan — instead of failing with
+  // kDeadlineExceeded. Each step is recorded in QueryRun::degradations.
+  bool degrade_on_budget = true;
 };
 
 struct QueryRun {
@@ -83,6 +100,13 @@ struct QueryRun {
   // q-HD modes only:
   std::size_t decomposition_width = 0;
   std::size_t pruned_lambda_entries = 0;
+  // Why the produced plan differs from the requested mode: one entry per
+  // degradation-ladder step taken, in order (empty when the requested mode
+  // ran to completion). Benchmarks report these instead of silent failure.
+  std::vector<std::string> degradations;
+  // Aggregated governor observations across every attempt (search nodes,
+  // peak memory, deadline/budget trips).
+  GovernorStats governor;
 };
 
 class HybridOptimizer {

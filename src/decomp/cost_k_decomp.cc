@@ -119,8 +119,8 @@ struct Solution {
 class CostSearch {
  public:
   CostSearch(const Hypergraph& h, std::size_t k,
-             const DecompositionCostModel& model)
-      : h_(h), k_(k), model_(model) {}
+             const DecompositionCostModel& model, ResourceGovernor* governor)
+      : h_(h), k_(k), model_(model), governor_(governor) {}
 
   // Minimum subtree cost for the subproblem, or nullopt when infeasible.
   const std::optional<Solution>& Decompose(const Bitset& comp,
@@ -131,28 +131,43 @@ class CostSearch {
     // Recursive calls only see strictly smaller components, so no cycle can
     // reach this key before it is memoized below.
     std::optional<Solution> best;
-    decomp_internal::ForEachSeparator(
-        h_, comp, conn, k_, [&](const Bitset& sep) {
-          Bitset chi = h_.VarsOf(sep) & (conn | h_.VarsOf(comp));
-          std::vector<Bitset> components = h_.ComponentsOf(comp, chi);
-          Solution sol;
-          sol.sep = sep;
-          sol.chi = chi;
-          sol.rows = model_.VertexRows(sep, chi);
-          sol.cost = model_.VertexCost(sep, chi);
-          for (const Bitset& child : components) {
-            if (child == comp) return false;  // no progress
-            Bitset child_conn = h_.VarsOf(child) & chi;
-            const std::optional<Solution>& sub = Decompose(child, child_conn);
-            if (!sub.has_value()) return false;
-            sol.cost += sub->cost + model_.JoinCost(sol.rows, sub->rows);
-            sol.children.emplace_back(child, child_conn);
-          }
-          if (!best.has_value() || sol.cost < best->cost) {
-            best = std::move(sol);
-          }
-          return false;  // keep enumerating: we want the minimum
-        });
+    if (governor_ == nullptr || !governor_->exhausted()) {
+      decomp_internal::ForEachSeparator(
+          h_, comp, conn, k_,
+          [&](const Bitset& sep) {
+            Bitset chi = h_.VarsOf(sep) & (conn | h_.VarsOf(comp));
+            std::vector<Bitset> components = h_.ComponentsOf(comp, chi);
+            Solution sol;
+            sol.sep = sep;
+            sol.chi = chi;
+            sol.rows = model_.VertexRows(sep, chi);
+            sol.cost = model_.VertexCost(sep, chi);
+            for (const Bitset& child : components) {
+              if (child == comp) return false;  // no progress
+              Bitset child_conn = h_.VarsOf(child) & chi;
+              const std::optional<Solution>& sub =
+                  Decompose(child, child_conn);
+              if (!sub.has_value()) return false;
+              sol.cost += sub->cost + model_.JoinCost(sol.rows, sub->rows);
+              sol.children.emplace_back(child, child_conn);
+            }
+            if (!best.has_value() || sol.cost < best->cost) {
+              best = std::move(sol);
+            }
+            return false;  // keep enumerating: we want the minimum
+          },
+          governor_);
+    }
+    if (governor_ != nullptr && governor_->exhausted()) {
+      // Aborted mid-enumeration: memoizing would record an answer derived
+      // from a truncated search space. The caller returns the trip status
+      // and this search object is never reused.
+      static const std::optional<Solution> kAborted;
+      return kAborted;
+    }
+    if (governor_ != nullptr) {
+      (void)governor_->ChargeMemory(decomp_internal::ApproxSubproblemBytes(h_));
+    }
     auto [pos, inserted] = memo_.emplace(std::move(key), std::move(best));
     HTQO_CHECK(inserted);
     return pos->second;
@@ -172,6 +187,7 @@ class CostSearch {
   const Hypergraph& h_;
   std::size_t k_;
   const DecompositionCostModel& model_;
+  ResourceGovernor* governor_;
   std::map<SubproblemKey, std::optional<Solution>> memo_;
 };
 
@@ -179,7 +195,8 @@ class CostSearch {
 
 Result<Hypertree> CostKDecomp(const Hypergraph& h, std::size_t k,
                               const DecompositionCostModel& model,
-                              const Bitset* root_conn) {
+                              const Bitset* root_conn,
+                              ResourceGovernor* governor) {
   HTQO_CHECK(k >= 1);
   if (h.NumEdges() == 0) {
     Hypertree empty;
@@ -188,8 +205,12 @@ Result<Hypertree> CostKDecomp(const Hypergraph& h, std::size_t k,
   }
   Bitset all = h.AllEdges();
   Bitset conn = root_conn != nullptr ? *root_conn : h.EmptyVertexSet();
-  CostSearch search(h, k, model);
-  if (!search.Decompose(all, conn).has_value()) {
+  CostSearch search(h, k, model, governor);
+  bool found = search.Decompose(all, conn).has_value();
+  if (governor != nullptr && governor->exhausted()) {
+    return governor->trip_status();
+  }
+  if (!found) {
     return Status::NotFound("no hypertree decomposition of width <= " +
                             std::to_string(k));
   }

@@ -20,6 +20,7 @@
 
 #include "decomp/hypertree.h"
 #include "hypergraph/hypergraph.h"
+#include "util/governor.h"
 #include "util/status.h"
 
 namespace htqo {
@@ -93,10 +94,13 @@ class StatsDecompositionCostModel : public DecompositionCostModel {
 };
 
 // Runs the min-cost search. Returns NotFound when no decomposition of width
-// <= k exists (with *root_conn ⊆ chi(root) when root_conn is non-null).
+// <= k exists (with *root_conn ⊆ chi(root) when root_conn is non-null), or
+// DeadlineExceeded when the optional governor trips (one node per enumerated
+// separator candidate, memo growth charged against the memory budget).
 Result<Hypertree> CostKDecomp(const Hypergraph& h, std::size_t k,
                               const DecompositionCostModel& model,
-                              const Bitset* root_conn = nullptr);
+                              const Bitset* root_conn = nullptr,
+                              ResourceGovernor* governor = nullptr);
 
 }  // namespace htqo
 

@@ -20,16 +20,19 @@ struct Solution {
 
 class DetSearch {
  public:
-  DetSearch(const Hypergraph& h, std::size_t k) : h_(h), k_(k) {}
+  DetSearch(const Hypergraph& h, std::size_t k, ResourceGovernor* governor)
+      : h_(h), k_(k), governor_(governor) {}
 
   bool Decompose(const Bitset& comp, const Bitset& conn) {
+    if (governor_ != nullptr && governor_->exhausted()) return false;
     SubproblemKey key{comp, conn};
     auto it = memo_.find(key);
     if (it != memo_.end()) return it->second.has_value();
 
     std::optional<Solution> found;
     decomp_internal::ForEachSeparator(
-        h_, comp, conn, k_, [&](const Bitset& sep) {
+        h_, comp, conn, k_,
+        [&](const Bitset& sep) {
           Bitset chi = h_.VarsOf(sep) & (conn | h_.VarsOf(comp));
           std::vector<Bitset> components = h_.ComponentsOf(comp, chi);
           Solution sol;
@@ -43,7 +46,16 @@ class DetSearch {
           }
           found = std::move(sol);
           return true;  // stop enumeration
-        });
+        },
+        governor_);
+    // A budget trip aborts the enumeration mid-way; do not memoize the
+    // subproblem as infeasible — the caller surfaces the trip status and the
+    // search object is discarded.
+    if (governor_ != nullptr && governor_->exhausted()) return false;
+    if (governor_ != nullptr) {
+      // Ignore the trip here (checked by the caller); keep accounting exact.
+      (void)governor_->ChargeMemory(decomp_internal::ApproxSubproblemBytes(h_));
+    }
     memo_.emplace(std::move(key), std::move(found));
     return memo_.at({comp, conn}).has_value();
   }
@@ -62,13 +74,15 @@ class DetSearch {
  private:
   const Hypergraph& h_;
   std::size_t k_;
+  ResourceGovernor* governor_;
   std::map<SubproblemKey, std::optional<Solution>> memo_;
 };
 
 }  // namespace
 
 Result<Hypertree> DetKDecomp(const Hypergraph& h, std::size_t k,
-                             const Bitset* root_conn) {
+                             const Bitset* root_conn,
+                             ResourceGovernor* governor) {
   HTQO_CHECK(k >= 1);
   Bitset all = h.AllEdges();
   Bitset conn = root_conn != nullptr ? *root_conn : h.EmptyVertexSet();
@@ -77,8 +91,12 @@ Result<Hypertree> DetKDecomp(const Hypergraph& h, std::size_t k,
     empty.AddNode(h.EmptyVertexSet(), h.EmptyEdgeSet());
     return empty;
   }
-  DetSearch search(h, k);
-  if (!search.Decompose(all, conn)) {
+  DetSearch search(h, k, governor);
+  bool found = search.Decompose(all, conn);
+  if (governor != nullptr && governor->exhausted()) {
+    return governor->trip_status();
+  }
+  if (!found) {
     return Status::NotFound("no hypertree decomposition of width <= " +
                             std::to_string(k));
   }
@@ -88,11 +106,15 @@ Result<Hypertree> DetKDecomp(const Hypergraph& h, std::size_t k,
 }
 
 Result<std::size_t> ComputeHypertreeWidth(const Hypergraph& h,
-                                          std::size_t max_k) {
+                                          std::size_t max_k,
+                                          ResourceGovernor* governor) {
   if (h.NumEdges() == 0) return std::size_t{0};
   for (std::size_t k = 1; k <= max_k; ++k) {
-    auto hd = DetKDecomp(h, k);
+    auto hd = DetKDecomp(h, k, nullptr, governor);
     if (hd.ok()) return k;
+    if (hd.status().code() == StatusCode::kDeadlineExceeded) {
+      return hd.status();
+    }
   }
   return Status::NotFound("hypertree width exceeds " + std::to_string(max_k));
 }

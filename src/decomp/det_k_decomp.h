@@ -11,20 +11,27 @@
 
 #include "decomp/hypertree.h"
 #include "hypergraph/hypergraph.h"
+#include "util/governor.h"
 #include "util/status.h"
 
 namespace htqo {
 
 // Returns a width-<=k hypertree decomposition of `h`, or NotFound when none
 // exists. When `root_conn` is non-null, additionally requires
-// *root_conn ⊆ chi(root).
+// *root_conn ⊆ chi(root). A non-null governor bounds the search: one node
+// charged per enumerated separator candidate, memoized subproblems charged
+// against the memory budget; DeadlineExceeded when a limit trips.
 Result<Hypertree> DetKDecomp(const Hypergraph& h, std::size_t k,
-                             const Bitset* root_conn = nullptr);
+                             const Bitset* root_conn = nullptr,
+                             ResourceGovernor* governor = nullptr);
 
 // Exact hypertree width of `h`, computed by trying k = 1..max_k; NotFound
-// when hw(h) > max_k. Edgeless hypergraphs have width 0.
+// when hw(h) > max_k. Edgeless hypergraphs have width 0. DeadlineExceeded
+// when the governor trips at any k.
 Result<std::size_t> ComputeHypertreeWidth(const Hypergraph& h,
-                                          std::size_t max_k);
+                                          std::size_t max_k,
+                                          ResourceGovernor* governor =
+                                              nullptr);
 
 }  // namespace htqo
 

@@ -4,7 +4,8 @@
 
 namespace htqo {
 
-std::size_t OptimizeDecomposition(const Hypergraph& h, Hypertree* hd) {
+std::size_t OptimizeDecomposition(const Hypergraph& h, Hypertree* hd,
+                                  ResourceGovernor* governor) {
   // Anchor counts: nodes where the atom is applied in full (e ∈ lambda(p),
   // e ⊆ chi(p)). The Fig. 4 rule is applied with one safety guard: never
   // remove an atom's last anchor — the removed occurrence's bounding effect
@@ -23,6 +24,9 @@ std::size_t OptimizeDecomposition(const Hypergraph& h, Hypertree* hd) {
   for (std::size_t p : hd->PreOrder()) {
     HypertreeNode& node = hd->mutable_node(p);
     for (std::size_t a : node.lambda.ToVector()) {
+      if (governor != nullptr && !governor->ChargeNodes(1).ok()) {
+        return removed;  // partial pruning is still a valid decomposition
+      }
       const bool is_anchor = h.edge(a).IsSubsetOf(node.chi);
       if (is_anchor && anchors[a] <= 1) continue;  // last full application
       Bitset bound = h.edge(a) & node.chi;  // variables a bounds at p

@@ -12,6 +12,7 @@
 
 #include "decomp/hypertree.h"
 #include "hypergraph/hypergraph.h"
+#include "util/governor.h"
 
 namespace htqo {
 
@@ -21,7 +22,11 @@ namespace htqo {
 // may grow exponentially.
 //
 // Returns the number of hyperedge occurrences removed from lambda labels.
-std::size_t OptimizeDecomposition(const Hypergraph& h, Hypertree* hd);
+// When the optional governor trips mid-pass the pruning stops early — the
+// partially optimized tree is still a valid decomposition, and the sticky
+// trip surfaces at the caller's next checkpoint.
+std::size_t OptimizeDecomposition(const Hypergraph& h, Hypertree* hd,
+                                  ResourceGovernor* governor = nullptr);
 
 }  // namespace htqo
 

@@ -43,9 +43,17 @@ Result<QhdResult> QHypertreeDecomp(const Hypergraph& h, const Bitset& out_vars,
                                    const DecompositionCostModel& model,
                                    const QhdOptions& options) {
   auto hd = options.first_feasible
-                ? DetKDecomp(h, options.max_width, &out_vars)
-                : CostKDecomp(h, options.max_width, model, &out_vars);
+                ? DetKDecomp(h, options.max_width, &out_vars,
+                             options.governor)
+                : CostKDecomp(h, options.max_width, model, &out_vars,
+                              options.governor);
   if (!hd.ok()) {
+    // A governor trip is not a structural "Failure": surface it verbatim so
+    // callers can degrade (retry at lower width, fall back) instead of
+    // concluding that no decomposition exists.
+    if (hd.status().code() == StatusCode::kDeadlineExceeded) {
+      return hd.status();
+    }
     return Status::NotFound(
         "Failure: no hypertree decomposition of width <= " +
         std::to_string(options.max_width) +
@@ -56,7 +64,10 @@ Result<QhdResult> QHypertreeDecomp(const Hypergraph& h, const Bitset& out_vars,
   CompleteDecomposition(h, &result.hd);
   result.width = result.hd.Width();
   if (options.run_optimize) {
-    result.pruned = OptimizeDecomposition(h, &result.hd);
+    result.pruned = OptimizeDecomposition(h, &result.hd, options.governor);
+    if (options.governor != nullptr && options.governor->exhausted()) {
+      return options.governor->trip_status();
+    }
   }
   return result;
 }

@@ -32,6 +32,9 @@ struct QhdOptions {
   // of Fig. 3 — which is precisely what Procedure Optimize prunes; the
   // min-cost search tends to produce guard-free trees directly.
   bool first_feasible = false;
+  // Optional budget/deadline for the decomposition search and Procedure
+  // Optimize; must outlive the call. A trip surfaces as DeadlineExceeded.
+  ResourceGovernor* governor = nullptr;
 };
 
 struct QhdResult {

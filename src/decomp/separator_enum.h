@@ -14,15 +14,20 @@
 #include <vector>
 
 #include "hypergraph/hypergraph.h"
+#include "util/governor.h"
 
 namespace htqo {
 namespace decomp_internal {
 
 // Invokes `cb` once per candidate separator. `cb` returns true to stop the
-// enumeration early (used by the first-feasible det variant).
+// enumeration early (used by the first-feasible det variant). The optional
+// governor is charged one search node per enumeration step; when it trips,
+// the enumeration aborts — the caller must then check governor->exhausted()
+// to distinguish "no separator worked" from "the budget ran out".
 inline void ForEachSeparator(const Hypergraph& h, const Bitset& comp,
                              const Bitset& conn, std::size_t k,
-                             const std::function<bool(const Bitset&)>& cb) {
+                             const std::function<bool(const Bitset&)>& cb,
+                             ResourceGovernor* governor = nullptr) {
   Bitset comp_vars = h.VarsOf(comp);
   Bitset relevant = comp_vars | conn;
   std::vector<std::size_t> candidates;
@@ -36,6 +41,10 @@ inline void ForEachSeparator(const Hypergraph& h, const Bitset& comp,
   std::function<void(std::size_t, std::size_t, const Bitset&)> recurse =
       [&](std::size_t start, std::size_t chosen, const Bitset& covered) {
         if (stop) return;
+        if (governor != nullptr && !governor->ChargeNodes(1).ok()) {
+          stop = true;
+          return;
+        }
         if (chosen > 0 && conn.IsSubsetOf(covered)) {
           if (cb(sep)) {
             stop = true;
@@ -51,6 +60,15 @@ inline void ForEachSeparator(const Hypergraph& h, const Bitset& comp,
         }
       };
   recurse(0, 0, h.EmptyVertexSet());
+}
+
+// Rough live-memory footprint of one memoized (component, connector)
+// subproblem, charged against the governor's memory budget by the searches.
+inline std::size_t ApproxSubproblemBytes(const Hypergraph& h) {
+  std::size_t edge_words = (h.NumEdges() + 63) / 64;
+  std::size_t var_words = (h.NumVertices() + 63) / 64;
+  // key (2 bitsets) + solution (2 bitsets + child keys, amortized) + map node
+  return (edge_words + var_words) * 8 * 4 + 96;
 }
 
 }  // namespace decomp_internal

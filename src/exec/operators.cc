@@ -80,6 +80,8 @@ Result<Relation> ScanAtom(const ResolvedQuery& rq, std::size_t atom_index,
     }
   }
   Relation out{Schema(std::move(cols))};
+  Status alloc = out.TryReserve(rel.NumRows());
+  if (!alloc.ok()) return alloc;
 
   std::vector<Value> row(source_col.size());
   for (std::size_t r = 0; r < rel.NumRows(); ++r) {
@@ -131,6 +133,8 @@ Result<Relation> NaturalHashJoin(const Relation& left, const Relation& right,
   std::vector<std::size_t> lcols, rcols, right_only;
   SharedColumns(left.schema(), right.schema(), &lcols, &rcols, &right_only);
   Relation out{JoinedSchema(left.schema(), right.schema(), right_only)};
+  Status alloc = out.TryReserve(std::max(left.NumRows(), right.NumRows()));
+  if (!alloc.ok()) return alloc;
 
   // Build on the smaller input.
   const bool build_left = left.NumRows() <= right.NumRows();
@@ -196,6 +200,8 @@ Result<Relation> NaturalNestedLoopJoin(const Relation& left,
   std::vector<std::size_t> lcols, rcols, right_only;
   SharedColumns(left.schema(), right.schema(), &lcols, &rcols, &right_only);
   Relation out{JoinedSchema(left.schema(), right.schema(), right_only)};
+  Status alloc = out.TryReserve(std::max(left.NumRows(), right.NumRows()));
+  if (!alloc.ok()) return alloc;
 
   std::vector<Value> row(out.arity());
   for (std::size_t l = 0; l < left.NumRows(); ++l) {
@@ -236,6 +242,8 @@ Result<Relation> NaturalSortMergeJoin(const Relation& left,
   if (!s.ok()) return s;
 
   Relation out{JoinedSchema(left.schema(), right.schema(), right_only)};
+  Status alloc = out.TryReserve(std::max(left.NumRows(), right.NumRows()));
+  if (!alloc.ok()) return alloc;
   auto compare_keys = [&](std::size_t l, std::size_t r) {
     auto lrow = sorted_left.Row(l);
     auto rrow = sorted_right.Row(r);
@@ -297,6 +305,8 @@ Result<Relation> NaturalSemiJoin(const Relation& left, const Relation& right,
   std::vector<std::size_t> lcols, rcols, right_only;
   SharedColumns(left.schema(), right.schema(), &lcols, &rcols, &right_only);
   Relation out{left.schema()};
+  Status alloc = out.TryReserve(left.NumRows());
+  if (!alloc.ok()) return alloc;
   if (lcols.empty()) {
     // Degenerate: keep left iff right nonempty.
     if (right.NumRows() == 0) return out;

@@ -18,16 +18,23 @@
 #include "cq/isolator.h"
 #include "storage/catalog.h"
 #include "storage/relation.h"
+#include "util/governor.h"
 #include "util/status.h"
 
 namespace htqo {
 
-// Budget/accounting shared by one query execution.
+// Budget/accounting shared by one query execution. Counters saturate at
+// SIZE_MAX instead of wrapping, so near-max budgets cannot be lapped.
 struct ExecContext {
   // Max rows any single operator run may emit in total.
   std::size_t row_budget = std::numeric_limits<std::size_t>::max();
   // Max abstract work units (nested-loop probes, hash probes, scan rows).
   std::size_t work_budget = std::numeric_limits<std::size_t>::max();
+  // Optional query governor: every charge is forwarded, so a wall-clock
+  // deadline or cancellation also stops execution, not just the searches.
+  // Borrowed; the owner (HybridOptimizer::RunResolved) clears it before the
+  // context outlives the governor.
+  ResourceGovernor* governor = nullptr;
 
   std::size_t rows_charged = 0;
   std::size_t work_charged = 0;
@@ -35,20 +42,27 @@ struct ExecContext {
   std::size_t peak_rows = 0;
 
   Status ChargeRows(std::size_t rows) {
-    rows_charged += rows;
+    rows_charged = SaturatingAdd(rows_charged, rows);
     if (rows_charged > row_budget) {
       return Status::ResourceExhausted("row budget exceeded");
     }
+    if (governor != nullptr) return governor->ChargeExecution(rows);
     return Status::Ok();
   }
   Status ChargeWork(std::size_t work) {
-    work_charged += work;
+    work_charged = SaturatingAdd(work_charged, work);
     if (work_charged > work_budget) {
       return Status::ResourceExhausted("work budget exceeded");
     }
+    if (governor != nullptr) return governor->ChargeExecution(work);
     return Status::Ok();
   }
-  void NotePeak(std::size_t rows) { peak_rows = std::max(peak_rows, rows); }
+  void NotePeak(std::size_t rows) {
+    peak_rows = std::max(peak_rows, rows);
+    if (governor != nullptr) {
+      governor->NotePeakMemory(rows * sizeof(Value));
+    }
+  }
 };
 
 // Scans the base relation of atom `atom_index` of `rq`: applies the atom's

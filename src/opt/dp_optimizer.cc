@@ -54,12 +54,18 @@ Result<std::unique_ptr<JoinPlan>> DpOptimize(const JoinGraph& graph,
                                                   : JoinAlgo::kHash;
   };
 
+  ResourceGovernor* governor = options.governor;
   for (uint32_t mask = 1; mask <= full; ++mask) {
     if ((mask & (mask - 1)) == 0) continue;  // singleton
+    if (governor != nullptr) {
+      Status s = governor->ChargeNodes(1);
+      if (!s.ok()) return s;
+    }
     rows[mask] = cost.RowsOf(bitset_of(mask));
     vars[mask] = graph.VarsOf(bitset_of(mask));
 
     auto try_split = [&](uint32_t l, uint32_t r) {
+      if (governor != nullptr && !governor->ChargeNodes(1).ok()) return;
       if (dp[l].cost == kInf || dp[r].cost == kInf) return;
       JoinAlgo algo = pick_algo(rows[r]);
       double work = cost.JoinWork(rows[l], rows[r], rows[mask], algo);
@@ -94,6 +100,9 @@ Result<std::unique_ptr<JoinPlan>> DpOptimize(const JoinGraph& graph,
     }
   }
 
+  if (governor != nullptr && governor->exhausted()) {
+    return governor->trip_status();
+  }
   if (dp[full].cost == kInf) {
     return Status::Internal("DP found no plan");
   }

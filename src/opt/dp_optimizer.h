@@ -10,6 +10,7 @@
 
 #include "opt/cost_model.h"
 #include "opt/join_graph.h"
+#include "util/governor.h"
 #include "util/status.h"
 
 namespace htqo {
@@ -21,6 +22,9 @@ struct DpOptions {
   // 0 disables nested loops. Models the index-nestloop preference of
   // optimizers running on default statistics.
   double nested_loop_threshold = 0.0;
+  // Optional search budget/deadline (one node charged per examined split);
+  // a trip aborts the enumeration with DeadlineExceeded.
+  ResourceGovernor* governor = nullptr;
 };
 
 // Optimal plan under the cost model. Supports up to 20 atoms.

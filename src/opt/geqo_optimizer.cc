@@ -35,6 +35,7 @@ Result<std::unique_ptr<JoinPlan>> GeqoOptimize(const JoinGraph& graph,
   if (n == 0) return Status::InvalidArgument("empty join graph");
 
   Rng rng(options.seed);
+  ResourceGovernor* governor = options.governor;
   auto fitness = [&](const std::vector<std::size_t>& order) {
     auto plan = LeftDeepPlan(order, graph, cost,
                              options.nested_loop_threshold);
@@ -56,7 +57,13 @@ Result<std::unique_ptr<JoinPlan>> GeqoOptimize(const JoinGraph& graph,
   }
   std::vector<double> scores;
   scores.reserve(population.size());
-  for (const auto& p : population) scores.push_back(fitness(p));
+  for (const auto& p : population) {
+    if (governor != nullptr) {
+      Status s = governor->ChargeNodes(1);
+      if (!s.ok()) return s;
+    }
+    scores.push_back(fitness(p));
+  }
 
   auto tournament = [&]() -> std::size_t {
     std::size_t a = rng.Uniform(population.size());
@@ -100,6 +107,10 @@ Result<std::unique_ptr<JoinPlan>> GeqoOptimize(const JoinGraph& graph,
     next.push_back(population[best]);
     next_scores.push_back(scores[best]);
     while (next.size() < population.size()) {
+      if (governor != nullptr) {
+        Status s = governor->ChargeNodes(1);
+        if (!s.ok()) return s;
+      }
       std::vector<std::size_t> child =
           crossover(population[tournament()], population[tournament()]);
       if (n >= 2 && rng.NextDouble() < options.mutation_rate) {

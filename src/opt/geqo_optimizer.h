@@ -11,6 +11,7 @@
 
 #include "opt/cost_model.h"
 #include "opt/join_graph.h"
+#include "util/governor.h"
 #include "util/status.h"
 
 namespace htqo {
@@ -22,6 +23,9 @@ struct GeqoOptions {
   double mutation_rate = 0.15;
   // Same semantics as DpOptions::nested_loop_threshold.
   double nested_loop_threshold = 0.0;
+  // Optional search budget/deadline (one node charged per fitness
+  // evaluation); a trip aborts the evolution with DeadlineExceeded.
+  ResourceGovernor* governor = nullptr;
 };
 
 // Best left-deep plan found by the genetic search.

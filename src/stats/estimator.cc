@@ -2,10 +2,17 @@
 
 #include <algorithm>
 
+#include "util/fault_injector.h"
+
 namespace htqo {
 
 const RelationStats* Estimator::StatsFor(const std::string& relation) const {
   if (registry_ == nullptr) return nullptr;
+  // Injected lookup failure degrades to the no-statistics defaults — the
+  // estimator keeps answering, just less precisely (never a crash).
+  if (FaultInjector::Instance().ShouldFail(kFaultSiteStatsLookup)) {
+    return nullptr;
+  }
   return registry_->Find(relation);
 }
 

@@ -2,10 +2,21 @@
 
 #include <algorithm>
 
+#include "util/fault_injector.h"
 #include "util/hash_chain.h"
 #include "util/strings.h"
 
 namespace htqo {
+
+Status Relation::TryReserve(std::size_t estimated_rows) {
+  if (FaultInjector::Instance().ShouldFail(kFaultSiteRelationAlloc)) {
+    return Status::ResourceExhausted(
+        "injected fault: allocation failure in Relation");
+  }
+  constexpr std::size_t kMaxSpeculativeRows = 4096;
+  Reserve(std::min(estimated_rows, kMaxSpeculativeRows));
+  return Status::Ok();
+}
 
 namespace {
 

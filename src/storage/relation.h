@@ -15,6 +15,7 @@
 
 #include "storage/schema.h"
 #include "storage/value.h"
+#include "util/status.h"
 
 namespace htqo {
 
@@ -37,6 +38,13 @@ class Relation {
   }
 
   void Reserve(std::size_t rows) { data_.reserve(rows * arity()); }
+
+  // Fallible allocation entry point used by the physical operators when
+  // materializing output: consults the fault injector's relation.alloc site
+  // (so tests can simulate allocation failure as a clean Status) and
+  // reserves up to `estimated_rows` rows, capped to keep speculative
+  // reservations from dominating peak memory.
+  Status TryReserve(std::size_t estimated_rows);
 
   void AddRow(std::vector<Value> row) {
     HTQO_CHECK(row.size() == arity());

@@ -1,0 +1,41 @@
+#include "util/fault_injector.h"
+
+#include <cstring>
+
+namespace htqo {
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector instance;
+  return instance;
+}
+
+void FaultInjector::Arm(const FaultPlan& plan) {
+  plan_ = plan;
+  rng_ = Rng(plan.seed);
+  hits_ = 0;
+  fires_ = 0;
+  armed_ = true;
+}
+
+void FaultInjector::Disarm() { armed_ = false; }
+
+bool FaultInjector::ShouldFailSlow(const char* site) {
+  if (!plan_.site.empty() && std::strcmp(site, plan_.site.c_str()) != 0) {
+    return false;
+  }
+  std::size_t hit = hits_++;
+  if (hit < plan_.skip_first) return false;
+  if (fires_ >= plan_.max_fires) return false;
+  if (plan_.probability < 1.0 && rng_.NextDouble() >= plan_.probability) {
+    return false;
+  }
+  ++fires_;
+  return true;
+}
+
+std::vector<std::string> FaultInjector::KnownSites() {
+  return {kFaultSiteRelationAlloc, kFaultSiteStatsLookup,
+          kFaultSiteGovernorCheckpoint};
+}
+
+}  // namespace htqo

@@ -1,0 +1,96 @@
+// Deterministic, seeded fault injection for robustness tests.
+//
+// The injector is a process-wide singleton that is compiled in always and
+// disarmed by default: every site reduces to a single branch on a bool, so
+// production paths pay (almost) nothing. Tests arm it with a FaultPlan —
+// which site to fail, after how many eligible hits, with what probability
+// under which seed — run the pipeline, and assert that the forced failure
+// surfaces as a clean Status (never a crash, never a leak).
+//
+// Sites decide their own failure semantics at the call point:
+//   relation.alloc       operators fail relation materialization with
+//                        kResourceExhausted (simulated allocation failure)
+//   stats.lookup         the Estimator behaves as if the relation had no
+//                        gathered statistics (degrades to defaults)
+//   governor.checkpoint  the ResourceGovernor trips kDeadlineExceeded
+
+#ifndef HTQO_UTIL_FAULT_INJECTOR_H_
+#define HTQO_UTIL_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace htqo {
+
+// Canonical site names (the sweep in tests/fault_injection_test.cc iterates
+// FaultInjector::KnownSites(); add new sites there too).
+inline constexpr const char kFaultSiteRelationAlloc[] = "relation.alloc";
+inline constexpr const char kFaultSiteStatsLookup[] = "stats.lookup";
+inline constexpr const char kFaultSiteGovernorCheckpoint[] =
+    "governor.checkpoint";
+
+struct FaultPlan {
+  // Exact site to target; the empty string targets every site.
+  std::string site;
+  uint64_t seed = 1;
+  // Chance that an eligible hit fires (evaluated with a SplitMix64 stream
+  // derived from `seed`, so a plan replays bit-for-bit).
+  double probability = 1.0;
+  // Eligible hits to let pass before any can fire.
+  std::size_t skip_first = 0;
+  // Stop firing after this many injected faults.
+  std::size_t max_fires = std::numeric_limits<std::size_t>::max();
+};
+
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  void Arm(const FaultPlan& plan);
+  void Disarm();
+  bool armed() const { return armed_; }
+
+  // Called at an injection site; true when the site must fail now.
+  // Disarmed: a single branch. Not thread-safe (tests are single-threaded).
+  bool ShouldFail(const char* site) {
+    if (!armed_) return false;
+    return ShouldFailSlow(site);
+  }
+
+  // Eligible evaluations / injected faults since the last Arm.
+  std::size_t hits() const { return hits_; }
+  std::size_t fires() const { return fires_; }
+
+  // Every canonical site, for exhaustive sweeps.
+  static std::vector<std::string> KnownSites();
+
+ private:
+  FaultInjector() = default;
+  bool ShouldFailSlow(const char* site);
+
+  bool armed_ = false;
+  FaultPlan plan_;
+  Rng rng_{0};
+  std::size_t hits_ = 0;
+  std::size_t fires_ = 0;
+};
+
+// Arms on construction, disarms on destruction.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(const FaultPlan& plan) {
+    FaultInjector::Instance().Arm(plan);
+  }
+  ~ScopedFaultInjection() { FaultInjector::Instance().Disarm(); }
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+}  // namespace htqo
+
+#endif  // HTQO_UTIL_FAULT_INJECTOR_H_

@@ -1,0 +1,113 @@
+#include "util/governor.h"
+
+#include <algorithm>
+
+#include "util/fault_injector.h"
+
+namespace htqo {
+
+void GovernorStats::Merge(const GovernorStats& other) {
+  search_nodes = SaturatingAdd(search_nodes, other.search_nodes);
+  exec_charges = SaturatingAdd(exec_charges, other.exec_charges);
+  peak_memory_bytes = std::max(peak_memory_bytes, other.peak_memory_bytes);
+  deadline_hits += other.deadline_hits;
+  budget_hits += other.budget_hits;
+  memory_hits += other.memory_hits;
+  cancellations += other.cancellations;
+  elapsed_seconds += other.elapsed_seconds;
+}
+
+ResourceGovernor::Options ResourceGovernor::Options::AfterSeconds(
+    double seconds) {
+  Options options;
+  if (seconds > 0) {
+    options.deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds));
+  }
+  return options;
+}
+
+ResourceGovernor::ResourceGovernor(const Options& options)
+    : options_(options), start_(Clock::now()) {}
+
+Status ResourceGovernor::Trip(std::size_t GovernorStats::* counter,
+                              std::string message) {
+  ++(stats_.*counter);
+  tripped_ = true;
+  trip_ = Status::DeadlineExceeded(std::move(message));
+  return trip_;
+}
+
+Status ResourceGovernor::Poll() {
+  if (cancel_requested_.load(std::memory_order_relaxed)) {
+    return Trip(&GovernorStats::cancellations, "query cancelled");
+  }
+  if (FaultInjector::Instance().ShouldFail(kFaultSiteGovernorCheckpoint)) {
+    return Trip(&GovernorStats::deadline_hits,
+                "injected fault at governor checkpoint");
+  }
+  if (options_.deadline != Clock::time_point::max() &&
+      Clock::now() >= options_.deadline) {
+    return Trip(&GovernorStats::deadline_hits, "deadline exceeded");
+  }
+  return Status::Ok();
+}
+
+Status ResourceGovernor::ChargeNodes(std::size_t n) {
+  if (tripped_) return trip_;
+  stats_.search_nodes = SaturatingAdd(stats_.search_nodes, n);
+  if (stats_.search_nodes > options_.node_budget) {
+    return Trip(&GovernorStats::budget_hits, "search-node budget exceeded");
+  }
+  charges_since_poll_ += n;
+  if (charges_since_poll_ >= kPollStride) {
+    charges_since_poll_ = 0;
+    return Poll();
+  }
+  return Status::Ok();
+}
+
+Status ResourceGovernor::ChargeExecution(std::size_t units) {
+  if (tripped_) return trip_;
+  stats_.exec_charges = SaturatingAdd(stats_.exec_charges, units);
+  charges_since_poll_ = SaturatingAdd(charges_since_poll_, units);
+  if (charges_since_poll_ >= kPollStride) {
+    charges_since_poll_ = 0;
+    return Poll();
+  }
+  return Status::Ok();
+}
+
+Status ResourceGovernor::ChargeMemory(std::size_t bytes) {
+  if (tripped_) return trip_;
+  live_memory_bytes_ = SaturatingAdd(live_memory_bytes_, bytes);
+  stats_.peak_memory_bytes =
+      std::max(stats_.peak_memory_bytes, live_memory_bytes_);
+  if (live_memory_bytes_ > options_.memory_budget_bytes) {
+    return Trip(&GovernorStats::memory_hits, "memory budget exceeded");
+  }
+  return Status::Ok();
+}
+
+void ResourceGovernor::ReleaseMemory(std::size_t bytes) {
+  live_memory_bytes_ -= std::min(bytes, live_memory_bytes_);
+}
+
+Status ResourceGovernor::Check() {
+  if (tripped_) return trip_;
+  charges_since_poll_ = 0;
+  return Poll();
+}
+
+double ResourceGovernor::elapsed_seconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+GovernorStats ResourceGovernor::stats() const {
+  GovernorStats out = stats_;
+  out.elapsed_seconds = elapsed_seconds();
+  return out;
+}
+
+}  // namespace htqo

@@ -1,0 +1,133 @@
+// ResourceGovernor: one cancellable budget object threaded through every
+// exponential search loop (det-k-decomp, cost-k-decomp, q-HD construction,
+// Procedure Optimize, DP and GEQO join ordering) and, via ExecContext, the
+// execution operators.
+//
+// The paper's evaluation reports queries that "do not terminate after 10
+// minutes"; a production pipeline must *return* in that situation, not
+// stall. The governor enforces three limits and a cooperative cancellation
+// flag, all surfacing as StatusCode::kDeadlineExceeded:
+//
+//   * a wall-clock deadline (steady_clock, polled every kPollStride node
+//     charges so the hot search loops stay syscall-free);
+//   * a deterministic search-node budget — reproducible across machines,
+//     the limit tests and benchmarks should prefer;
+//   * a live-memory budget with high-water accounting (searches charge
+//     their memoization tables, execution charges materialized rows).
+//
+// A tripped governor is sticky: every later Charge*/Check returns the same
+// error, so deeply nested loops unwind without re-deriving the reason.
+// Cancel() may be called from another thread; everything else is
+// single-threaded by design.
+
+#ifndef HTQO_UTIL_GOVERNOR_H_
+#define HTQO_UTIL_GOVERNOR_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/status.h"
+
+namespace htqo {
+
+// Addition that sticks at SIZE_MAX instead of wrapping — resource counters
+// must never lap their budgets.
+inline std::size_t SaturatingAdd(std::size_t a, std::size_t b) {
+  std::size_t sum = a + b;
+  return sum < a ? std::numeric_limits<std::size_t>::max() : sum;
+}
+
+// Snapshot of what a governor observed; aggregated across degradation-ladder
+// attempts into QueryRun::governor and the benchmark JSON.
+struct GovernorStats {
+  std::size_t search_nodes = 0;      // nodes charged by search loops
+  std::size_t exec_charges = 0;      // rows/work units forwarded by exec
+  std::size_t peak_memory_bytes = 0;  // high-water of live charged bytes
+  std::size_t deadline_hits = 0;     // trips by the wall clock
+  std::size_t budget_hits = 0;       // trips by the node budget
+  std::size_t memory_hits = 0;       // trips by the memory budget
+  std::size_t cancellations = 0;     // trips by Cancel()
+  double elapsed_seconds = 0;
+
+  std::size_t trips() const {
+    return deadline_hits + budget_hits + memory_hits + cancellations;
+  }
+  void Merge(const GovernorStats& other);
+};
+
+class ResourceGovernor {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Options {
+    // Absolute deadline so several governors (one per degradation-ladder
+    // attempt) can share one wall-clock cutoff. max() = no deadline.
+    Clock::time_point deadline = Clock::time_point::max();
+    std::size_t node_budget = std::numeric_limits<std::size_t>::max();
+    std::size_t memory_budget_bytes = std::numeric_limits<std::size_t>::max();
+
+    static Options Unlimited() { return Options(); }
+    // Deadline `seconds` from now; <= 0 means no deadline.
+    static Options AfterSeconds(double seconds);
+  };
+
+  ResourceGovernor() : ResourceGovernor(Options()) {}
+  explicit ResourceGovernor(const Options& options);
+
+  // Charges `n` search nodes against the deterministic budget; polls the
+  // wall clock every kPollStride charged nodes. Sticky on trip.
+  Status ChargeNodes(std::size_t n = 1);
+
+  // Execution-side charge (rows or work units); same polling cadence.
+  Status ChargeExecution(std::size_t units);
+
+  // Live-memory accounting: Charge may trip the memory budget, Release
+  // never fails. Peak is recorded in stats().
+  Status ChargeMemory(std::size_t bytes);
+  void ReleaseMemory(std::size_t bytes);
+
+  // Raises the peak-memory high-water mark without touching the live
+  // balance — for materializations whose lifetime the owner tracks itself
+  // (ExecContext forwards its peak-rows estimate here).
+  void NotePeakMemory(std::size_t bytes) {
+    stats_.peak_memory_bytes = std::max(stats_.peak_memory_bytes, bytes);
+  }
+
+  // Polls deadline, cancellation, and the governor.checkpoint fault site
+  // immediately. Sticky on trip.
+  Status Check();
+
+  // Cooperative cancellation; safe to call from another thread. The next
+  // checkpoint in the governed pipeline trips kDeadlineExceeded.
+  void Cancel() { cancel_requested_.store(true, std::memory_order_relaxed); }
+
+  bool exhausted() const { return tripped_; }
+  const Status& trip_status() const { return trip_; }
+  double elapsed_seconds() const;
+  // Snapshot including elapsed time; valid whether or not the governor
+  // tripped.
+  GovernorStats stats() const;
+
+  static constexpr std::size_t kPollStride = 256;
+
+ private:
+  Status Trip(std::size_t GovernorStats::* counter, std::string message);
+  Status Poll();  // deadline + cancellation + fault site
+
+  Options options_;
+  Clock::time_point start_;
+  std::size_t charges_since_poll_ = 0;
+  std::size_t live_memory_bytes_ = 0;
+  bool tripped_ = false;
+  Status trip_;
+  GovernorStats stats_;
+  std::atomic<bool> cancel_requested_{false};
+};
+
+}  // namespace htqo
+
+#endif  // HTQO_UTIL_GOVERNOR_H_

@@ -20,6 +20,8 @@ enum class StatusCode {
   kInvalidArgument,  // malformed input (bad SQL, unknown relation, ...)
   kNotFound,         // lookup miss (no decomposition of width <= k, ...)
   kResourceExhausted,  // row-budget guard tripped during evaluation
+  kDeadlineExceeded,   // governor trip: deadline, search-node or memory
+                       // budget, or cooperative cancellation
   kInternal,
 };
 
@@ -39,6 +41,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

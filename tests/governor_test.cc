@@ -1,0 +1,350 @@
+// ResourceGovernor: unit behaviour (budgets, deadline, stickiness,
+// cancellation, saturating counters), deterministic trips inside the
+// decomposition searches, and the degradation ladder of the hybrid
+// optimizer.
+
+#include "util/governor.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <limits>
+
+#include "api/hybrid_optimizer.h"
+#include "decomp/cost_k_decomp.h"
+#include "decomp/det_k_decomp.h"
+#include "exec/operators.h"
+#include "workload/hypergraph_zoo.h"
+#include "workload/query_gen.h"
+#include "workload/synthetic.h"
+
+namespace htqo {
+namespace {
+
+constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(SaturatingAddTest, SticksAtMaxInsteadOfWrapping) {
+  EXPECT_EQ(SaturatingAdd(2, 3), 5u);
+  EXPECT_EQ(SaturatingAdd(kMax - 1, 1), kMax);
+  EXPECT_EQ(SaturatingAdd(kMax - 1, 5), kMax);
+  EXPECT_EQ(SaturatingAdd(kMax, kMax), kMax);
+  EXPECT_EQ(SaturatingAdd(0, kMax), kMax);
+}
+
+TEST(ExecContextTest, RowChargeSaturatesInsteadOfLappingTheBudget) {
+  // Regression: rows_charged wrapping past zero used to slip under a large
+  // finite budget and let execution continue.
+  ExecContext ctx;
+  ctx.row_budget = kMax - 5;
+  ctx.rows_charged = kMax - 10;
+  Status s = ctx.ChargeRows(100);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ctx.rows_charged, kMax);
+}
+
+TEST(ExecContextTest, WorkChargeSaturatesInsteadOfLappingTheBudget) {
+  ExecContext ctx;
+  ctx.work_budget = kMax - 5;
+  ctx.work_charged = kMax - 10;
+  Status s = ctx.ChargeWork(100);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ctx.work_charged, kMax);
+}
+
+TEST(GovernorTest, NodeBudgetTripsDeterministically) {
+  ResourceGovernor::Options options;
+  options.node_budget = 10;
+  ResourceGovernor governor(options);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(governor.ChargeNodes().ok()) << i;
+  }
+  Status s = governor.ChargeNodes();
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(governor.exhausted());
+  EXPECT_EQ(governor.stats().budget_hits, 1u);
+}
+
+TEST(GovernorTest, TripIsSticky) {
+  ResourceGovernor::Options options;
+  options.node_budget = 1;
+  ResourceGovernor governor(options);
+  ASSERT_TRUE(governor.ChargeNodes().ok());
+  Status first = governor.ChargeNodes();
+  ASSERT_EQ(first.code(), StatusCode::kDeadlineExceeded);
+  // Every later charge of any kind reports the same trip.
+  EXPECT_EQ(governor.ChargeNodes().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(governor.ChargeExecution(1).code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(governor.ChargeMemory(1).code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(governor.Check().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(governor.stats().trips(), 1u);
+  EXPECT_EQ(governor.trip_status().message(), first.message());
+}
+
+TEST(GovernorTest, PastDeadlineTripsOnCheck) {
+  ResourceGovernor::Options options;
+  options.deadline = ResourceGovernor::Clock::now();
+  ResourceGovernor governor(options);
+  Status s = governor.Check();
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(governor.stats().deadline_hits, 1u);
+}
+
+TEST(GovernorTest, AfterSecondsNonPositiveMeansNoDeadline) {
+  ResourceGovernor governor(ResourceGovernor::Options::AfterSeconds(0));
+  EXPECT_TRUE(governor.Check().ok());
+  EXPECT_FALSE(governor.exhausted());
+}
+
+TEST(GovernorTest, MemoryBudgetTracksLiveBytesAndPeak) {
+  ResourceGovernor::Options options;
+  options.memory_budget_bytes = 1000;
+  ResourceGovernor governor(options);
+  EXPECT_TRUE(governor.ChargeMemory(600).ok());
+  governor.ReleaseMemory(400);
+  EXPECT_TRUE(governor.ChargeMemory(700).ok());  // live = 900
+  EXPECT_EQ(governor.stats().peak_memory_bytes, 900u);
+  Status s = governor.ChargeMemory(200);  // live = 1100 > 1000
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(governor.stats().memory_hits, 1u);
+}
+
+TEST(GovernorTest, NotePeakMemoryRaisesHighWaterWithoutLiveBalance) {
+  ResourceGovernor::Options options;
+  options.memory_budget_bytes = 1000;
+  ResourceGovernor governor(options);
+  governor.NotePeakMemory(5000);  // informational: never trips
+  EXPECT_FALSE(governor.exhausted());
+  EXPECT_EQ(governor.stats().peak_memory_bytes, 5000u);
+  EXPECT_TRUE(governor.ChargeMemory(900).ok());  // live balance unaffected
+}
+
+TEST(GovernorTest, CancelTripsAtNextCheckpoint) {
+  ResourceGovernor governor;
+  EXPECT_TRUE(governor.Check().ok());
+  governor.Cancel();
+  Status s = governor.Check();
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(governor.stats().cancellations, 1u);
+}
+
+TEST(GovernorStatsTest, MergeAggregatesAcrossAttempts) {
+  GovernorStats a;
+  a.search_nodes = 100;
+  a.peak_memory_bytes = 50;
+  a.budget_hits = 1;
+  GovernorStats b;
+  b.search_nodes = 30;
+  b.peak_memory_bytes = 80;
+  b.deadline_hits = 1;
+  a.Merge(b);
+  EXPECT_EQ(a.search_nodes, 130u);
+  EXPECT_EQ(a.peak_memory_bytes, 80u);  // high-water, not a sum
+  EXPECT_EQ(a.trips(), 2u);
+}
+
+// --- Trips inside the decomposition searches. -------------------------------
+
+TEST(GovernedSearchTest, CostKDecompHonorsNodeBudget) {
+  // hw(K12) = 6: the k=3 search would exhaust an enormous lattice before
+  // proving infeasibility. The node budget stops it deterministically.
+  Hypergraph h = CliqueHypergraph(12);
+  ResourceGovernor::Options options;
+  options.node_budget = 500;
+  ResourceGovernor governor(options);
+  StructuralCostModel model;
+  auto hd = CostKDecomp(h, 3, model, nullptr, &governor);
+  ASSERT_FALSE(hd.ok());
+  EXPECT_EQ(hd.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(governor.stats().budget_hits, 1u);
+}
+
+TEST(GovernedSearchTest, DetKDecompHonorsNodeBudget) {
+  Hypergraph h = CliqueHypergraph(12);
+  ResourceGovernor::Options options;
+  options.node_budget = 300;
+  ResourceGovernor governor(options);
+  auto hd = DetKDecomp(h, 3, nullptr, &governor);
+  ASSERT_FALSE(hd.ok());
+  EXPECT_EQ(hd.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(GovernedSearchTest, ComputeHypertreeWidthPropagatesTrip) {
+  Hypergraph h = CliqueHypergraph(10);
+  ResourceGovernor::Options options;
+  options.node_budget = 200;
+  ResourceGovernor governor(options);
+  auto width = ComputeHypertreeWidth(h, 5, &governor);
+  ASSERT_FALSE(width.ok());
+  EXPECT_EQ(width.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(GovernedSearchTest, CostKDecompHonorsMemoryBudget) {
+  Hypergraph h = CycleHypergraph(12);
+  ResourceGovernor::Options options;
+  options.memory_budget_bytes = 512;  // a handful of memo entries
+  ResourceGovernor governor(options);
+  StructuralCostModel model;
+  auto hd = CostKDecomp(h, 2, model, nullptr, &governor);
+  ASSERT_FALSE(hd.ok());
+  EXPECT_EQ(hd.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(governor.stats().memory_hits, 1u);
+}
+
+TEST(GovernedSearchTest, AdversarialInstanceReturnsWithinDeadline) {
+  // The acceptance shape: an instance whose k=4 search runs far past any
+  // test budget returns kDeadlineExceeded promptly instead of hanging —
+  // the paper's "does not terminate after 10 minutes" case, governed.
+  Hypergraph h = CliqueHypergraph(14);
+  ResourceGovernor governor(ResourceGovernor::Options::AfterSeconds(0.05));
+  StructuralCostModel model;
+  auto start = std::chrono::steady_clock::now();
+  auto hd = CostKDecomp(h, 4, model, nullptr, &governor);
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(hd.ok());
+  EXPECT_EQ(hd.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(governor.stats().deadline_hits, 1u);
+  EXPECT_LT(elapsed, 5.0);  // wildly generous CI margin over the 50ms ask
+}
+
+// --- The degradation ladder through the hybrid optimizer. -------------------
+
+class GovernedPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PopulateSyntheticCatalog(SyntheticConfig{150, 40, 10, 13}, &catalog_);
+    registry_.AnalyzeAll(catalog_);
+  }
+
+  Catalog catalog_;
+  StatisticsRegistry registry_;
+};
+
+TEST_F(GovernedPipelineTest, LadderDegradesToAPlanAndNamesEveryStep) {
+  HybridOptimizer optimizer(&catalog_, &registry_);
+  std::string sql = ChainQuerySql(8);
+
+  RunOptions reference_options;
+  reference_options.mode = OptimizerMode::kQhdHybrid;
+  auto reference = optimizer.Run(sql, reference_options);
+  ASSERT_TRUE(reference.ok()) << reference.status().message();
+  EXPECT_TRUE(reference->degradations.empty());
+
+  RunOptions options;
+  options.mode = OptimizerMode::kQhdHybrid;
+  options.max_width = 3;
+  options.search_node_budget = 40;  // trips every search rung
+  options.degrade_on_budget = true;
+  auto run = optimizer.Run(sql, options);
+  ASSERT_TRUE(run.ok()) << run.status().message();
+
+  // Width 3 → 2 → 1 → DP → GEQO: at least the width retries and the final
+  // GEQO hand-off must be on record, in ladder order.
+  ASSERT_GE(run->degradations.size(), 2u);
+  EXPECT_TRUE(Contains(run->degradations.front(), "q-HD"))
+      << run->degradations.front();
+  EXPECT_TRUE(Contains(run->degradations.front(), "width 3"))
+      << run->degradations.front();
+  EXPECT_TRUE(Contains(run->degradations.back(), "GEQO"))
+      << run->degradations.back();
+  EXPECT_TRUE(run->used_fallback);
+  EXPECT_GE(run->governor.budget_hits, 1u);
+
+  // Degraded, not wrong: the GEQO plan computes the same answer.
+  EXPECT_TRUE(reference->output.SameRowsAs(run->output));
+}
+
+TEST_F(GovernedPipelineTest, GenerousBudgetTakesNoLadderSteps) {
+  HybridOptimizer optimizer(&catalog_, &registry_);
+  RunOptions options;
+  options.mode = OptimizerMode::kQhdHybrid;
+  options.search_node_budget = 10'000'000;
+  auto run = optimizer.Run(ChainQuerySql(6), options);
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  EXPECT_TRUE(run->degradations.empty());
+  EXPECT_FALSE(run->used_fallback);
+  EXPECT_GT(run->governor.search_nodes, 0u);  // the governor was watching
+  EXPECT_EQ(run->governor.trips(), 0u);
+}
+
+TEST_F(GovernedPipelineTest, ExpiredDeadlineFailsClosedThroughTheLadder) {
+  // When the wall deadline itself has passed, degradation cannot help: every
+  // rung (including GEQO and execution) honors it, and the run reports
+  // kDeadlineExceeded instead of silently burning time.
+  HybridOptimizer optimizer(&catalog_, &registry_);
+  RunOptions options;
+  options.mode = OptimizerMode::kQhdHybrid;
+  options.deadline_seconds = 1e-9;
+  options.degrade_on_budget = true;
+  auto run = optimizer.Run(ChainQuerySql(8), options);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(GovernedPipelineTest, DegradeDisabledSurfacesTheTrip) {
+  HybridOptimizer optimizer(&catalog_, &registry_);
+  RunOptions options;
+  options.mode = OptimizerMode::kQhdHybrid;
+  options.max_width = 3;
+  options.search_node_budget = 40;
+  options.degrade_on_budget = false;
+  auto run = optimizer.Run(ChainQuerySql(8), options);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(GovernedPipelineTest, GovernorPointerDoesNotEscapeTheRun) {
+  HybridOptimizer optimizer(&catalog_, &registry_);
+  RunOptions options;
+  options.mode = OptimizerMode::kQhdHybrid;
+  options.search_node_budget = 1'000'000;
+  auto run = optimizer.Run(LineQuerySql(5), options);
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  // The per-attempt governor lived on RunResolved's stack; the returned
+  // context must not point at it.
+  EXPECT_EQ(run->ctx.governor, nullptr);
+}
+
+// --- kResourceExhausted mid-pipeline stays a clean Status. ------------------
+
+TEST_F(GovernedPipelineTest, QhdEvaluatorRowBudgetIsACleanError) {
+  HybridOptimizer optimizer(&catalog_, &registry_);
+  RunOptions options;
+  options.mode = OptimizerMode::kQhdHybrid;
+  options.row_budget = 50;  // below one base-relation scan
+  auto run = optimizer.Run(ChainQuerySql(6), options);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(GovernedPipelineTest, YannakakisRowBudgetIsACleanError) {
+  HybridOptimizer optimizer(&catalog_, &registry_);
+  RunOptions options;
+  options.mode = OptimizerMode::kYannakakis;
+  options.row_budget = 50;
+  auto run = optimizer.Run(LineQuerySql(6), options);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(GovernedPipelineTest, SubqueryMaterializationRowBudgetIsACleanError) {
+  HybridOptimizer optimizer(&catalog_, &registry_);
+  RunOptions options;
+  options.mode = OptimizerMode::kDpStatistics;
+  options.row_budget = 50;
+  auto run = optimizer.Run(
+      "SELECT DISTINCT s.a FROM (SELECT r1.a AS a, r1.b AS b FROM r1) s, r2 "
+      "WHERE s.b = r2.a",
+      options);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace htqo

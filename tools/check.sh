@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build + test, plain and sanitized.
+#
+#   tools/check.sh          # plain RelWithDebInfo build + ctest
+#   tools/check.sh --asan   # additionally build with -DHTQO_SANITIZE=ON
+#                           # (ASan+UBSan) in build-asan/ and rerun ctest
+#
+# The sanitized pass is what gives the fault-injection sweep its teeth:
+# an injected failure that leaks or touches freed memory fails here even
+# when the plain run looks green.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_suite() {
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j"$(nproc)"
+  ctest --test-dir "$dir" --output-on-failure -j"$(nproc)"
+}
+
+echo "==> plain build"
+run_suite build
+
+if [[ "${1:-}" == "--asan" ]]; then
+  echo "==> sanitized build (ASan+UBSan)"
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
+    run_suite build-asan -DHTQO_SANITIZE=ON
+fi
+
+echo "==> all checks passed"
