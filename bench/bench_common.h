@@ -40,6 +40,12 @@ struct RunOutcome {
   // by kind) and the number of degradation-ladder steps the run took.
   GovernorStats governor;
   std::size_t degradation_steps = 0;
+  // Worker lanes the run used and the per-phase wall clock it reported —
+  // the thread-sweep benches read scaling off these instead of the
+  // iteration time (which includes catalog setup amortization).
+  std::size_t threads = 1;
+  double plan_wall_ms = 0;
+  double exec_wall_ms = 0;
 };
 
 inline RunOutcome RunOnce(const HybridOptimizer& optimizer,
@@ -47,7 +53,8 @@ inline RunOutcome RunOnce(const HybridOptimizer& optimizer,
                           uint64_t seed = 1, std::size_t max_width = 4,
                           double deadline_seconds = 0,
                           std::size_t search_node_budget =
-                              std::numeric_limits<std::size_t>::max()) {
+                              std::numeric_limits<std::size_t>::max(),
+                          std::size_t num_threads = 1) {
   RunOptions options;
   options.mode = mode;
   options.seed = seed;
@@ -58,8 +65,10 @@ inline RunOutcome RunOnce(const HybridOptimizer& optimizer,
   options.degrade_on_budget = false;  // benches measure one mode at a time
   options.deadline_seconds = deadline_seconds;
   options.search_node_budget = search_node_budget;
+  options.num_threads = num_threads;
   auto run = optimizer.Run(sql, options);
   RunOutcome outcome;
+  outcome.threads = num_threads;
   if (!run.ok()) {
     // Budget or deadline exceeded = DNF; anything else is a harness bug.
     HTQO_CHECK(run.status().code() == StatusCode::kResourceExhausted ||
@@ -75,6 +84,8 @@ inline RunOutcome RunOnce(const HybridOptimizer& optimizer,
   outcome.pruned = run->pruned_lambda_entries;
   outcome.governor = run->governor;
   outcome.degradation_steps = run->degradations.size();
+  outcome.plan_wall_ms = run->plan_seconds * 1e3;
+  outcome.exec_wall_ms = run->exec_seconds * 1e3;
   return outcome;
 }
 
@@ -109,6 +120,9 @@ inline void SetCounters(benchmark::State& state, const RunOutcome& outcome) {
     state.counters["degradations"] =
         static_cast<double>(outcome.degradation_steps);
   }
+  state.counters["threads"] = static_cast<double>(outcome.threads);
+  state.counters["plan_wall_ms"] = outcome.plan_wall_ms;
+  state.counters["exec_wall_ms"] = outcome.exec_wall_ms;
 }
 
 }  // namespace bench

@@ -76,8 +76,44 @@ void Fig8b_Q8_QHD(benchmark::State& state) {
   Run(state, TpchQ8(), OptimizerMode::kQhdStructural);
 }
 
+// Parallel-engine scaling: the same queries at the largest figure scale,
+// swept over RunOptions::num_threads. Scaling is read off the exec_wall_ms
+// counter (the bench iteration time includes one-off catalog setup). Args:
+// (sf thousandths, threads).
+void RunThreaded(benchmark::State& state, const std::string& sql,
+                 OptimizerMode mode) {
+  Env& env = EnvFor(static_cast<int>(state.range(0)));
+  const std::size_t threads = static_cast<std::size_t>(state.range(1));
+  HybridOptimizer optimizer(&env.catalog, &env.registry);
+  RunOutcome outcome;
+  for (auto _ : state) {
+    outcome = RunOnce(optimizer, sql, mode, /*seed=*/1, /*max_width=*/4,
+                      /*deadline_seconds=*/0,
+                      std::numeric_limits<std::size_t>::max(), threads);
+  }
+  SetCounters(state, outcome);
+}
+
+void Parallel_Q5_QHD(benchmark::State& state) {
+  RunThreaded(state, TpchQ5(), OptimizerMode::kQhdStructural);
+}
+void Parallel_Q5_CommDB_Stats(benchmark::State& state) {
+  RunThreaded(state, TpchQ5(), OptimizerMode::kDpStatistics);
+}
+void Parallel_Q8_QHD(benchmark::State& state) {
+  RunThreaded(state, TpchQ8(), OptimizerMode::kQhdStructural);
+}
+void Parallel_Q8_CommDB_Stats(benchmark::State& state) {
+  RunThreaded(state, TpchQ8(), OptimizerMode::kDpStatistics);
+}
+
 void Sweep(benchmark::internal::Benchmark* b) {
   for (int sf : {2, 4, 6, 8, 10}) b->Arg(sf);
+  b->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+void ThreadSweep(benchmark::internal::Benchmark* b) {
+  for (int threads : {1, 2, 4, 8}) b->Args({10, threads});
   b->Iterations(1)->Unit(benchmark::kMillisecond);
 }
 
@@ -87,6 +123,10 @@ BENCHMARK(Fig8a_Q5_QHD)->Apply(Sweep);
 BENCHMARK(Fig8b_Q8_CommDB_NoStats)->Apply(Sweep);
 BENCHMARK(Fig8b_Q8_CommDB_Stats)->Apply(Sweep);
 BENCHMARK(Fig8b_Q8_QHD)->Apply(Sweep);
+BENCHMARK(Parallel_Q5_QHD)->Apply(ThreadSweep);
+BENCHMARK(Parallel_Q5_CommDB_Stats)->Apply(ThreadSweep);
+BENCHMARK(Parallel_Q8_QHD)->Apply(ThreadSweep);
+BENCHMARK(Parallel_Q8_CommDB_Stats)->Apply(ThreadSweep);
 
 }  // namespace
 }  // namespace bench

@@ -7,8 +7,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "exec/operators.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 #include "workload/synthetic.h"
 
 namespace htqo {
@@ -90,7 +93,72 @@ void DistinctOp(benchmark::State& state) {
                           static_cast<int64_t>(state.range(0)));
 }
 
+// The per-row key-hashing pass the join kernels hoist out of their build
+// and probe loops (PrecomputeKeyHashes): its isolated cost shows how much
+// of a join is pure hashing, i.e. the ceiling on what precomputation and
+// parallel hash fills can save.
+void KeyHashPrecompute(benchmark::State& state) {
+  Relation rel = MakeSyntheticRelation(
+      static_cast<std::size_t>(state.range(0)), {"a", "b"}, 30, 1);
+  const std::vector<std::size_t> cols = {1};
+  std::vector<std::size_t> hashes(rel.NumRows());
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < rel.NumRows(); ++r) {
+      hashes[r] = HashRowKey(rel.Row(r), cols);
+    }
+    benchmark::DoNotOptimize(hashes.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(state.range(0)));
+}
+
+// Partitioned kernels under the worker pool. Args: (rows, threads); at one
+// thread this is exactly the serial kernel, so the pair of rows is the
+// serial-vs-parallel comparison the acceptance criteria reference.
+void HashJoinParallel(benchmark::State& state) {
+  auto [left, right] = MakeInputs(static_cast<std::size_t>(state.range(0)));
+  const std::size_t threads = static_cast<std::size_t>(state.range(1));
+  ThreadPool* pool = ThreadPool::Shared(threads);
+  std::size_t out_rows = 0;
+  for (auto _ : state) {
+    ExecContext ctx;
+    ctx.pool = pool;
+    ctx.num_threads = threads;
+    auto out = NaturalHashJoin(left, right, &ctx);
+    HTQO_CHECK(out.ok());
+    out_rows = out->NumRows();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["out"] = static_cast<double>(out_rows);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(state.range(0)));
+}
+
+void SemiJoinParallel(benchmark::State& state) {
+  auto [left, right] = MakeInputs(static_cast<std::size_t>(state.range(0)));
+  const std::size_t threads = static_cast<std::size_t>(state.range(1));
+  ThreadPool* pool = ThreadPool::Shared(threads);
+  for (auto _ : state) {
+    ExecContext ctx;
+    ctx.pool = pool;
+    ctx.num_threads = threads;
+    auto out = NaturalSemiJoin(left, right, &ctx);
+    HTQO_CHECK(out.ok());
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(state.range(0)));
+}
+
 BENCHMARK(HashJoin)->RangeMultiplier(4)->Range(256, 65536);
+BENCHMARK(KeyHashPrecompute)->RangeMultiplier(4)->Range(256, 65536);
+BENCHMARK(HashJoinParallel)
+    ->ArgsProduct({{16384, 65536}, {1, 2, 4, 8}});
+BENCHMARK(SemiJoinParallel)
+    ->ArgsProduct({{16384, 65536}, {1, 2, 4, 8}});
 BENCHMARK(SortMergeJoin)->RangeMultiplier(4)->Range(256, 65536);
 BENCHMARK(NestedLoopJoin)->RangeMultiplier(4)->Range(256, 4096);
 BENCHMARK(SemiJoin)->RangeMultiplier(4)->Range(256, 65536);

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
                       .count();
       if (run.ok()) {
         std::printf("%-6zu %-16s %12zu %12.2f %10zu %8s\n", n,
-                    OptimizerModeName(mode).c_str(), run->ctx.work_charged,
+                    OptimizerModeName(mode).c_str(), run->ctx.work_charged.load(),
                     ms, run->output.NumRows(), "ok");
       } else {
         std::printf("%-6zu %-16s %12s %12.2f %10s %8s\n", n,

@@ -58,6 +58,7 @@ void PrintHelp() {
       "  \\width <k>                         decomposition width bound\n"
       "  \\deadline <seconds>                wall-clock deadline (0 = off)\n"
       "  \\budget <nodes>                    search-node budget (0 = off)\n"
+      "  \\threads <n>                       worker lanes (1 = serial)\n"
       "  \\explain                           toggle plan explanation\n"
       "  \\dot <sql>                         print the decomposition as DOT\n"
       "  \\rewrite <sql>                     print the SQL-views rewriting\n"
@@ -90,7 +91,7 @@ void RunSql(ShellState& state, const std::string& sql) {
     std::printf("plan time: %.2f ms, exec time: %.2f ms, work: %zu, "
                 "peak intermediate: %zu rows\n",
                 run->plan_seconds * 1e3, run->exec_seconds * 1e3,
-                run->ctx.work_charged, run->ctx.peak_rows);
+                run->ctx.work_charged.load(), run->ctx.peak_rows.load());
     if (run->governor.search_nodes > 0) {
       std::printf("governor: %zu search nodes, %zu trips\n",
                   run->governor.search_nodes, run->governor.trips());
@@ -188,6 +189,12 @@ bool HandleCommand(ShellState& state, const std::string& line) {
           std::numeric_limits<std::size_t>::max();
       std::printf("search-node budget off\n");
     }
+  } else if (cmd == "\\threads") {
+    long long n = 0;
+    in >> n;
+    state.options.num_threads = n > 1 ? static_cast<std::size_t>(n) : 1;
+    std::printf("threads = %zu%s\n", state.options.num_threads,
+                state.options.num_threads == 1 ? " (serial engine)" : "");
   } else if (cmd == "\\explain") {
     state.explain = !state.explain;
     std::printf("explain %s\n", state.explain ? "on" : "off");

@@ -43,8 +43,8 @@ int main() {
   std::printf("q-HD plan: %s\n", qhd_run->plan_description.c_str());
   std::printf("  answers: %zu rows,  work: %zu units,  peak intermediate: "
               "%zu rows\n\n",
-              qhd_run->output.NumRows(), qhd_run->ctx.work_charged,
-              qhd_run->ctx.peak_rows);
+              qhd_run->output.NumRows(), qhd_run->ctx.work_charged.load(),
+              qhd_run->ctx.peak_rows.load());
 
   // 5. ... and with a conventional DP join-order optimizer.
   RunOptions dp;
@@ -57,8 +57,8 @@ int main() {
   std::printf("DP plan: %s\n", dp_run->plan_description.c_str());
   std::printf("  answers: %zu rows,  work: %zu units,  peak intermediate: "
               "%zu rows\n\n",
-              dp_run->output.NumRows(), dp_run->ctx.work_charged,
-              dp_run->ctx.peak_rows);
+              dp_run->output.NumRows(), dp_run->ctx.work_charged.load(),
+              dp_run->ctx.peak_rows.load());
 
   // 6. Same answers, different work.
   std::printf("answers agree: %s\n",

@@ -12,6 +12,7 @@
 #include "decomp/tree_decomposition.h"
 #include "opt/yannakakis.h"
 #include "sql/parser.h"
+#include "util/thread_pool.h"
 
 namespace htqo {
 
@@ -283,6 +284,10 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
   QueryRun run;
   run.ctx.row_budget = options.row_budget;
   run.ctx.work_budget = options.work_budget;
+  // Process-wide worker pool; nullptr (serial) when num_threads <= 1.
+  ThreadPool* pool = ThreadPool::Shared(options.num_threads);
+  run.ctx.pool = pool;
+  run.ctx.num_threads = options.num_threads;
 
   if (rq.cq.always_false) {
     auto out = EvaluateSelectOutput(rq, EmptyAnswer(rq), &run.ctx);
@@ -391,7 +396,7 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
     StatsDecompositionCostModel model(h, BuildEdgeStats(rq.cq, estimator));
     // No out(Q) rooting, no Optimize: the pre-q-HD pipeline.
     auto hd = CostKDecomp(h, options.max_width, model, /*root_conn=*/nullptr,
-                          gov);
+                          gov, pool, options.num_threads);
     run.plan_seconds = SecondsSince(start);
     if (!hd.ok()) {
       bool degrade = budget_tripped(hd.status());
@@ -442,6 +447,8 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
       dopt.max_width = width;
       dopt.run_optimize = run_optimize;
       dopt.governor = gov;
+      dopt.pool = pool;
+      dopt.num_threads = options.num_threads;
       auto attempt_start = std::chrono::steady_clock::now();
       Result<QhdResult> decomp = Status::Internal("unset");
       if (use_statistics) {

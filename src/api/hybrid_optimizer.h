@@ -85,6 +85,13 @@ struct RunOptions {
   // width k → k-1 → … → 1 → DP plan → GEQO plan — instead of failing with
   // kDeadlineExceeded. Each step is recorded in QueryRun::degradations.
   bool degrade_on_budget = true;
+
+  // Worker lanes for the parallel execution engine and decomposition
+  // search. 1 (the default) is the exact serial engine; N > 1 fans the
+  // partitioned join/semijoin kernels, the Yannakakis/q-HD tree waves, and
+  // the cost-k-decomp root candidates out over a process-wide thread pool.
+  // Results and chosen decompositions are bit-identical at any setting.
+  std::size_t num_threads = 1;
 };
 
 struct QueryRun {

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "decomp/separator_enum.h"
+#include "util/thread_pool.h"
 
 namespace htqo {
 
@@ -119,63 +122,120 @@ struct Solution {
 class CostSearch {
  public:
   CostSearch(const Hypergraph& h, std::size_t k,
-             const DecompositionCostModel& model, ResourceGovernor* governor)
-      : h_(h), k_(k), model_(model), governor_(governor) {}
+             const DecompositionCostModel& model, ResourceGovernor* governor,
+             ThreadPool* pool, std::size_t num_threads)
+      : h_(h),
+        k_(k),
+        model_(model),
+        governor_(governor),
+        pool_(pool),
+        parallel_(pool != nullptr && num_threads > 1) {}
 
   // Minimum subtree cost for the subproblem, or nullopt when infeasible.
+  // In parallel mode the memo doubles as a claim table: the first thread to
+  // reach a key computes it, later threads block until it is published, so
+  // every subproblem is evaluated exactly once — the governor's node total
+  // is therefore identical to the serial search at any thread count.
   const std::optional<Solution>& Decompose(const Bitset& comp,
                                            const Bitset& conn) {
     SubproblemKey key{comp, conn};
-    auto it = memo_.find(key);
-    if (it != memo_.end()) return it->second;
-    // Recursive calls only see strictly smaller components, so no cycle can
-    // reach this key before it is memoized below.
-    std::optional<Solution> best;
-    if (governor_ == nullptr || !governor_->exhausted()) {
-      decomp_internal::ForEachSeparator(
-          h_, comp, conn, k_,
-          [&](const Bitset& sep) {
-            Bitset chi = h_.VarsOf(sep) & (conn | h_.VarsOf(comp));
-            std::vector<Bitset> components = h_.ComponentsOf(comp, chi);
-            Solution sol;
-            sol.sep = sep;
-            sol.chi = chi;
-            sol.rows = model_.VertexRows(sep, chi);
-            sol.cost = model_.VertexCost(sep, chi);
-            for (const Bitset& child : components) {
-              if (child == comp) return false;  // no progress
-              Bitset child_conn = h_.VarsOf(child) & chi;
-              const std::optional<Solution>& sub =
-                  Decompose(child, child_conn);
-              if (!sub.has_value()) return false;
-              sol.cost += sub->cost + model_.JoinCost(sol.rows, sub->rows);
-              sol.children.emplace_back(child, child_conn);
-            }
-            if (!best.has_value() || sol.cost < best->cost) {
-              best = std::move(sol);
-            }
-            return false;  // keep enumerating: we want the minimum
-          },
-          governor_);
+    if (!parallel_) {
+      auto it = memo_.find(key);
+      if (it != memo_.end()) return it->second.sol;
+      // Recursive calls only see strictly smaller components, so no cycle
+      // can reach this key before it is memoized below.
+      std::optional<Solution> best = Compute(comp, conn);
+      if (governor_ != nullptr && governor_->exhausted()) {
+        // Aborted mid-enumeration: memoizing would record an answer derived
+        // from a truncated search space. The caller returns the trip status
+        // and this search object is never reused.
+        static const std::optional<Solution> kAborted;
+        return kAborted;
+      }
+      ChargeMemo();
+      auto [pos, inserted] = memo_.try_emplace(std::move(key));
+      HTQO_CHECK(inserted);
+      pos->second.sol = std::move(best);
+      pos->second.done = true;
+      return pos->second.sol;
     }
-    if (governor_ != nullptr && governor_->exhausted()) {
-      // Aborted mid-enumeration: memoizing would record an answer derived
-      // from a truncated search space. The caller returns the trip status
-      // and this search object is never reused.
+
+    MemoEntry* entry = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      auto [it, inserted] = memo_.try_emplace(key);
+      if (!inserted) {
+        // std::map references are stable across inserts, so waiting on and
+        // returning this entry is safe without re-lookup.
+        cv_.wait(lock, [&] { return it->second.done; });
+        return it->second.sol;
+      }
+      entry = &it->second;
+    }
+    std::optional<Solution> best = Compute(comp, conn);
+    const bool aborted = governor_ != nullptr && governor_->exhausted();
+    if (aborted) {
+      // Still publish (as infeasible) so waiters wake; the whole search is
+      // discarded after a trip, so the bogus entry is never consumed.
+      best.reset();
+    } else {
+      ChargeMemo();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      entry->sol = std::move(best);
+      entry->done = true;
+    }
+    cv_.notify_all();
+    if (aborted) {
       static const std::optional<Solution> kAborted;
       return kAborted;
     }
-    if (governor_ != nullptr) {
-      (void)governor_->ChargeMemory(decomp_internal::ApproxSubproblemBytes(h_));
+    return entry->sol;
+  }
+
+  // Root fan-out: enumerate the root's separator candidates first (in the
+  // exact order — and with the exact governor charges — of the serial
+  // enumeration), evaluate them on the pool, then min-reduce serially in
+  // candidate order with a strict `<`, which reproduces the serial
+  // first-strict-minimum tie-break bit for bit.
+  bool DecomposeRootParallel(const Bitset& comp, const Bitset& conn,
+                             std::size_t lanes) {
+    std::vector<Bitset> candidates;
+    decomp_internal::ForEachSeparator(
+        h_, comp, conn, k_,
+        [&](const Bitset& sep) {
+          candidates.push_back(sep);
+          return false;
+        },
+        governor_);
+    if (governor_ != nullptr && governor_->exhausted()) return false;
+    std::vector<std::optional<Solution>> sols(candidates.size());
+    pool_->ParallelFor(0, candidates.size(), /*grain=*/1, lanes, governor_,
+                       [&](std::size_t lo, std::size_t hi) {
+                         for (std::size_t i = lo; i < hi; ++i) {
+                           sols[i] =
+                               EvaluateCandidate(comp, conn, candidates[i]);
+                         }
+                       });
+    if (governor_ != nullptr && governor_->exhausted()) return false;
+    std::optional<Solution> best;
+    for (std::optional<Solution>& sol : sols) {
+      if (sol.has_value() && (!best.has_value() || sol->cost < best->cost)) {
+        best = std::move(*sol);
+      }
     }
-    auto [pos, inserted] = memo_.emplace(std::move(key), std::move(best));
-    HTQO_CHECK(inserted);
-    return pos->second;
+    ChargeMemo();
+    const bool found = best.has_value();
+    MemoEntry& entry = memo_[SubproblemKey{comp, conn}];
+    entry.sol = std::move(best);
+    entry.done = true;
+    return found;
   }
 
   void Build(const Bitset& comp, const Bitset& conn, std::size_t parent,
              Hypertree* out) const {
-    const std::optional<Solution>& sol = memo_.at({comp, conn});
+    const std::optional<Solution>& sol = memo_.at({comp, conn}).sol;
     HTQO_CHECK(sol.has_value());
     std::size_t node = out->AddNode(sol->chi, sol->sep, parent);
     for (const SubproblemKey& child : sol->children) {
@@ -184,11 +244,69 @@ class CostSearch {
   }
 
  private:
+  struct MemoEntry {
+    bool done = false;
+    std::optional<Solution> sol;
+  };
+
+  // Cost of one candidate separator for (comp, conn): vertex cost plus the
+  // recursively decomposed children. nullopt when infeasible (or aborted —
+  // the callers re-check the governor).
+  std::optional<Solution> EvaluateCandidate(const Bitset& comp,
+                                            const Bitset& conn,
+                                            const Bitset& sep) {
+    Bitset chi = h_.VarsOf(sep) & (conn | h_.VarsOf(comp));
+    std::vector<Bitset> components = h_.ComponentsOf(comp, chi);
+    Solution sol;
+    sol.sep = sep;
+    sol.chi = chi;
+    sol.rows = model_.VertexRows(sep, chi);
+    sol.cost = model_.VertexCost(sep, chi);
+    for (const Bitset& child : components) {
+      if (child == comp) return std::nullopt;  // no progress
+      Bitset child_conn = h_.VarsOf(child) & chi;
+      const std::optional<Solution>& sub = Decompose(child, child_conn);
+      if (!sub.has_value()) return std::nullopt;
+      sol.cost += sub->cost + model_.JoinCost(sol.rows, sub->rows);
+      sol.children.emplace_back(child, child_conn);
+    }
+    return sol;
+  }
+
+  std::optional<Solution> Compute(const Bitset& comp, const Bitset& conn) {
+    std::optional<Solution> best;
+    if (governor_ == nullptr || !governor_->exhausted()) {
+      decomp_internal::ForEachSeparator(
+          h_, comp, conn, k_,
+          [&](const Bitset& sep) {
+            std::optional<Solution> sol = EvaluateCandidate(comp, conn, sep);
+            if (sol.has_value() &&
+                (!best.has_value() || sol->cost < best->cost)) {
+              best = std::move(*sol);
+            }
+            return false;  // keep enumerating: we want the minimum
+          },
+          governor_);
+    }
+    return best;
+  }
+
+  void ChargeMemo() {
+    if (governor_ != nullptr) {
+      (void)governor_->ChargeMemory(
+          decomp_internal::ApproxSubproblemBytes(h_));
+    }
+  }
+
   const Hypergraph& h_;
   std::size_t k_;
   const DecompositionCostModel& model_;
   ResourceGovernor* governor_;
-  std::map<SubproblemKey, std::optional<Solution>> memo_;
+  ThreadPool* pool_;
+  const bool parallel_;
+  std::mutex mu_;                // guards memo_ when parallel_
+  std::condition_variable cv_;   // signals entry->done transitions
+  std::map<SubproblemKey, MemoEntry> memo_;
 };
 
 }  // namespace
@@ -196,7 +314,8 @@ class CostSearch {
 Result<Hypertree> CostKDecomp(const Hypergraph& h, std::size_t k,
                               const DecompositionCostModel& model,
                               const Bitset* root_conn,
-                              ResourceGovernor* governor) {
+                              ResourceGovernor* governor, ThreadPool* pool,
+                              std::size_t num_threads) {
   HTQO_CHECK(k >= 1);
   if (h.NumEdges() == 0) {
     Hypertree empty;
@@ -205,8 +324,10 @@ Result<Hypertree> CostKDecomp(const Hypergraph& h, std::size_t k,
   }
   Bitset all = h.AllEdges();
   Bitset conn = root_conn != nullptr ? *root_conn : h.EmptyVertexSet();
-  CostSearch search(h, k, model, governor);
-  bool found = search.Decompose(all, conn).has_value();
+  CostSearch search(h, k, model, governor, pool, num_threads);
+  const bool parallel = pool != nullptr && num_threads > 1;
+  bool found = parallel ? search.DecomposeRootParallel(all, conn, num_threads)
+                        : search.Decompose(all, conn).has_value();
   if (governor != nullptr && governor->exhausted()) {
     return governor->trip_status();
   }

@@ -93,14 +93,25 @@ class StatsDecompositionCostModel : public DecompositionCostModel {
   std::vector<EdgeStats> edges_;
 };
 
+class ThreadPool;
+
 // Runs the min-cost search. Returns NotFound when no decomposition of width
 // <= k exists (with *root_conn ⊆ chi(root) when root_conn is non-null), or
 // DeadlineExceeded when the optional governor trips (one node per enumerated
 // separator candidate, memo growth charged against the memory budget).
+//
+// With a pool and num_threads > 1, the root's separator candidates are
+// evaluated in parallel over a shared memo table. The result is
+// bit-identical to the serial search: candidates are collected in the
+// serial enumeration order, the min-cost reduction keeps the first strict
+// minimum in that order, and the memo computes every subproblem exactly
+// once so governor charges (and therefore budget trips) are unchanged.
 Result<Hypertree> CostKDecomp(const Hypergraph& h, std::size_t k,
                               const DecompositionCostModel& model,
                               const Bitset* root_conn = nullptr,
-                              ResourceGovernor* governor = nullptr);
+                              ResourceGovernor* governor = nullptr,
+                              ThreadPool* pool = nullptr,
+                              std::size_t num_threads = 1);
 
 }  // namespace htqo
 

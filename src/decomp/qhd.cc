@@ -46,7 +46,8 @@ Result<QhdResult> QHypertreeDecomp(const Hypergraph& h, const Bitset& out_vars,
                 ? DetKDecomp(h, options.max_width, &out_vars,
                              options.governor)
                 : CostKDecomp(h, options.max_width, model, &out_vars,
-                              options.governor);
+                              options.governor, options.pool,
+                              options.num_threads);
   if (!hd.ok()) {
     // A governor trip is not a structural "Failure": surface it verbatim so
     // callers can degrade (retry at lower width, fall back) instead of

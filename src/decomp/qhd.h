@@ -35,6 +35,11 @@ struct QhdOptions {
   // Optional budget/deadline for the decomposition search and Procedure
   // Optimize; must outlive the call. A trip surfaces as DeadlineExceeded.
   ResourceGovernor* governor = nullptr;
+  // Parallel search: with a pool and num_threads > 1, cost-k-decomp
+  // evaluates the root's separator candidates concurrently (results stay
+  // bit-identical to serial; see CostKDecomp). Borrowed.
+  ThreadPool* pool = nullptr;
+  std::size_t num_threads = 1;
 };
 
 struct QhdResult {

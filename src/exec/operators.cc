@@ -1,12 +1,75 @@
 #include "exec/operators.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "util/hash_chain.h"
 
 namespace htqo {
 
 namespace {
+
+// Minimum input size before an operator fans out onto the pool; below this
+// the chunk bookkeeping costs more than it buys.
+constexpr std::size_t kParallelRowThreshold = 2048;
+// Rows per chunk. Chunk boundaries never affect results: per-chunk outputs
+// are concatenated in chunk order, which equals serial row order.
+constexpr std::size_t kParallelGrain = 1024;
+
+bool UseParallel(const ExecContext* ctx, std::size_t rows) {
+  return ctx->parallel() && rows >= kParallelRowThreshold;
+}
+
+// Key hash of every row in one pass (parallel when the context allows).
+// Precomputing hashes into a flat array keeps Value::Hash out of the probe
+// loops entirely and doubles as the cheap prefilter on chain candidates.
+// Hash computation is not charged, so this changes no budget accounting.
+std::vector<std::size_t> PrecomputeKeyHashes(
+    const Relation& rel, const std::vector<std::size_t>& cols,
+    ExecContext* ctx) {
+  std::vector<std::size_t> hashes(rel.NumRows());
+  auto fill = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      hashes[r] = HashRowKey(rel.Row(r), cols);
+    }
+  };
+  if (UseParallel(ctx, rel.NumRows())) {
+    ctx->pool->ParallelFor(0, rel.NumRows(), kParallelGrain, ctx->num_threads,
+                           ctx->governor, fill);
+  } else {
+    fill(0, rel.NumRows());
+  }
+  return hashes;
+}
+
+// Runs range_body(lo, hi, sink) over [0, total) on the context's pool and
+// appends the per-chunk sinks to `out` in chunk order — byte-identical to
+// range_body(0, total, out) on one thread. Errors surface as the failing
+// chunk with the lowest index (serial order), and a governor trip during
+// the loop surfaces as the trip status even when chunks were skipped.
+Status ParallelAppend(
+    ExecContext* ctx, std::size_t total, Relation* out,
+    const std::function<Status(std::size_t, std::size_t, Relation*)>&
+        range_body) {
+  const std::size_t num_chunks =
+      (total + kParallelGrain - 1) / kParallelGrain;
+  std::vector<Relation> chunk_out(num_chunks, Relation{out->schema()});
+  std::vector<Status> chunk_status(num_chunks, Status::Ok());
+  ctx->pool->ParallelFor(
+      0, total, kParallelGrain, ctx->num_threads, ctx->governor,
+      [&](std::size_t lo, std::size_t hi) {
+        std::size_t c = lo / kParallelGrain;
+        chunk_status[c] = range_body(lo, hi, &chunk_out[c]);
+      });
+  if (ctx->governor != nullptr && ctx->governor->exhausted()) {
+    return ctx->governor->trip_status();
+  }
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    if (!chunk_status[c].ok()) return chunk_status[c];
+  }
+  for (const Relation& chunk : chunk_out) out->AppendFrom(chunk);
+  return Status::Ok();
+}
 
 // Shared column names of two schemas, with their indices on both sides.
 void SharedColumns(const Schema& left, const Schema& right,
@@ -83,47 +146,55 @@ Result<Relation> ScanAtom(const ResolvedQuery& rq, std::size_t atom_index,
   Status alloc = out.TryReserve(rel.NumRows());
   if (!alloc.ok()) return alloc;
 
-  std::vector<Value> row(source_col.size());
-  for (std::size_t r = 0; r < rel.NumRows(); ++r) {
-    Status work = ctx->ChargeWork(1);
-    if (!work.ok()) return work;
-    auto src = rel.Row(r);
-    bool pass = true;
-    for (const AtomFilter& f : atom.filters) {
-      if (!f.Matches(src[f.column])) {
-        pass = false;
-        break;
-      }
-    }
-    if (!pass) continue;
-    for (const LocalComparison& c : atom.local_comparisons) {
-      if (!EvalCompare(c.op, src[c.lcolumn], src[c.rcolumn])) {
-        pass = false;
-        break;
-      }
-    }
-    if (!pass) continue;
-    // Intra-atom variable equality: every binding of a var must agree.
-    for (const AtomBinding& b : atom.bindings) {
-      std::size_t first_col = b.column;
-      for (const AtomBinding& b2 : atom.bindings) {
-        if (b2.var == b.var && b2.column != first_col &&
-            src[b2.column].Compare(src[first_col]) != 0) {
+  auto scan_range = [&](std::size_t lo, std::size_t hi,
+                        Relation* sink) -> Status {
+    std::vector<Value> row(source_col.size());
+    for (std::size_t r = lo; r < hi; ++r) {
+      Status work = ctx->ChargeWork(1);
+      if (!work.ok()) return work;
+      auto src = rel.Row(r);
+      bool pass = true;
+      for (const AtomFilter& f : atom.filters) {
+        if (!f.Matches(src[f.column])) {
           pass = false;
           break;
         }
       }
-      if (!pass) break;
+      if (!pass) continue;
+      for (const LocalComparison& c : atom.local_comparisons) {
+        if (!EvalCompare(c.op, src[c.lcolumn], src[c.rcolumn])) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+      // Intra-atom variable equality: every binding of a var must agree.
+      for (const AtomBinding& b : atom.bindings) {
+        std::size_t first_col = b.column;
+        for (const AtomBinding& b2 : atom.bindings) {
+          if (b2.var == b.var && b2.column != first_col &&
+              src[b2.column].Compare(src[first_col]) != 0) {
+            pass = false;
+            break;
+          }
+        }
+        if (!pass) break;
+      }
+      if (!pass) continue;
+      for (std::size_t i = 0; i < source_col.size(); ++i) {
+        row[i] = source_col[i] == kTid ? Value::Int64(static_cast<int64_t>(r))
+                                       : src[source_col[i]];
+      }
+      Status s = ctx->ChargeRows(1);
+      if (!s.ok()) return s;
+      sink->AddRow(row);
     }
-    if (!pass) continue;
-    for (std::size_t i = 0; i < source_col.size(); ++i) {
-      row[i] = source_col[i] == kTid ? Value::Int64(static_cast<int64_t>(r))
-                                     : src[source_col[i]];
-    }
-    Status s = ctx->ChargeRows(1);
-    if (!s.ok()) return s;
-    out.AddRow(row);
-  }
+    return Status::Ok();
+  };
+  Status scan = UseParallel(ctx, rel.NumRows())
+                    ? ParallelAppend(ctx, rel.NumRows(), &out, scan_range)
+                    : scan_range(0, rel.NumRows(), &out);
+  if (!scan.ok()) return scan;
   ctx->NotePeak(out.NumRows());
   return out;
 }
@@ -146,50 +217,66 @@ Result<Relation> NaturalHashJoin(const Relation& left, const Relation& right,
   Status s = ctx->ChargeWork(build.NumRows() + probe.NumRows());
   if (!s.ok()) return s;
 
-  std::vector<std::size_t> build_hash(build.NumRows());
+  // Both sides' key hashes up front; the build table is then pure pointer
+  // writes and the probe loop never calls Value::Hash. The table is built
+  // once and probed read-only from all lanes, so chain iteration order —
+  // and with it every per-candidate work charge and per-probe match order —
+  // is identical at any thread count.
+  std::vector<std::size_t> build_hash = PrecomputeKeyHashes(build, bcols, ctx);
+  std::vector<std::size_t> probe_hash =
+      lcols.empty() ? std::vector<std::size_t>{}
+                    : PrecomputeKeyHashes(probe, pcols, ctx);
   HashChainIndex table(build.NumRows());
   for (std::size_t r = 0; r < build.NumRows(); ++r) {
-    build_hash[r] = HashRowKey(build.Row(r), bcols);
     table.Insert(build_hash[r], r);
   }
 
-  std::vector<Value> row(out.arity());
-  for (std::size_t p = 0; p < probe.NumRows(); ++p) {
-    auto probe_row = probe.Row(p);
-    auto emit = [&](std::size_t b) -> Status {
-      auto build_row = build.Row(b);
-      auto lrow = build_left ? build_row : probe_row;
-      auto rrow = build_left ? probe_row : build_row;
-      std::size_t i = 0;
-      for (; i < left.arity(); ++i) row[i] = lrow[i];
-      for (std::size_t r : right_only) row[i++] = rrow[r];
-      Status st = ctx->ChargeRows(1);
-      if (!st.ok()) return st;
-      out.AddRow(row);
-      return Status::Ok();
-    };
-    if (lcols.empty()) {
-      // Cross product: every build row matches.
-      for (std::size_t b = 0; b < build.NumRows(); ++b) {
+  auto probe_range = [&](std::size_t lo, std::size_t hi,
+                         Relation* sink) -> Status {
+    std::vector<Value> row(out.arity());
+    for (std::size_t p = lo; p < hi; ++p) {
+      auto probe_row = probe.Row(p);
+      auto emit = [&](std::size_t b) -> Status {
+        auto build_row = build.Row(b);
+        auto lrow = build_left ? build_row : probe_row;
+        auto rrow = build_left ? probe_row : build_row;
+        std::size_t i = 0;
+        for (; i < left.arity(); ++i) row[i] = lrow[i];
+        for (std::size_t r : right_only) row[i++] = rrow[r];
+        Status st = ctx->ChargeRows(1);
+        if (!st.ok()) return st;
+        sink->AddRow(row);
+        return Status::Ok();
+      };
+      if (lcols.empty()) {
+        // Cross product: every build row matches.
+        for (std::size_t b = 0; b < build.NumRows(); ++b) {
+          Status st = ctx->ChargeWork(1);
+          if (!st.ok()) return st;
+          st = emit(b);
+          if (!st.ok()) return st;
+        }
+        continue;
+      }
+      std::size_t h = probe_hash[p];
+      for (uint32_t it = table.First(h); it != HashChainIndex::kEnd;
+           it = table.Next(it)) {
         Status st = ctx->ChargeWork(1);
         if (!st.ok()) return st;
-        st = emit(b);
-        if (!st.ok()) return st;
-      }
-      continue;
-    }
-    std::size_t h = HashRowKey(probe_row, pcols);
-    for (uint32_t it = table.First(h); it != HashChainIndex::kEnd;
-         it = table.Next(it)) {
-      Status st = ctx->ChargeWork(1);
-      if (!st.ok()) return st;
-      if (build_hash[it] == h &&
-          RowKeysEqual(build.Row(it), bcols, probe_row, pcols)) {
-        st = emit(it);
-        if (!st.ok()) return st;
+        if (build_hash[it] == h &&
+            RowKeysEqual(build.Row(it), bcols, probe_row, pcols)) {
+          st = emit(it);
+          if (!st.ok()) return st;
+        }
       }
     }
-  }
+    return Status::Ok();
+  };
+  Status probe_status =
+      UseParallel(ctx, probe.NumRows())
+          ? ParallelAppend(ctx, probe.NumRows(), &out, probe_range)
+          : probe_range(0, probe.NumRows(), &out);
+  if (!probe_status.ok()) return probe_status;
   ctx->NotePeak(out.NumRows());
   return out;
 }
@@ -316,26 +403,35 @@ Result<Relation> NaturalSemiJoin(const Relation& left, const Relation& right,
   }
   Status s = ctx->ChargeWork(left.NumRows() + right.NumRows());
   if (!s.ok()) return s;
-  std::vector<std::size_t> right_hash(right.NumRows());
+  std::vector<std::size_t> right_hash = PrecomputeKeyHashes(right, rcols, ctx);
+  std::vector<std::size_t> left_hash = PrecomputeKeyHashes(left, lcols, ctx);
   HashChainIndex table(right.NumRows());
   for (std::size_t r = 0; r < right.NumRows(); ++r) {
-    right_hash[r] = HashRowKey(right.Row(r), rcols);
     table.Insert(right_hash[r], r);
   }
-  for (std::size_t l = 0; l < left.NumRows(); ++l) {
-    auto lrow = left.Row(l);
-    std::size_t h = HashRowKey(lrow, lcols);
-    for (uint32_t it = table.First(h); it != HashChainIndex::kEnd;
-         it = table.Next(it)) {
-      if (right_hash[it] == h &&
-          RowKeysEqual(right.Row(it), rcols, lrow, lcols)) {
-        Status st = ctx->ChargeRows(1);
-        if (!st.ok()) return st;
-        out.AddRow(lrow);
-        break;
+  auto probe_range = [&](std::size_t lo, std::size_t hi,
+                         Relation* sink) -> Status {
+    for (std::size_t l = lo; l < hi; ++l) {
+      auto lrow = left.Row(l);
+      std::size_t h = left_hash[l];
+      for (uint32_t it = table.First(h); it != HashChainIndex::kEnd;
+           it = table.Next(it)) {
+        if (right_hash[it] == h &&
+            RowKeysEqual(right.Row(it), rcols, lrow, lcols)) {
+          Status st = ctx->ChargeRows(1);
+          if (!st.ok()) return st;
+          sink->AddRow(lrow);
+          break;
+        }
       }
     }
-  }
+    return Status::Ok();
+  };
+  Status probe_status =
+      UseParallel(ctx, left.NumRows())
+          ? ParallelAppend(ctx, left.NumRows(), &out, probe_range)
+          : probe_range(0, left.NumRows(), &out);
+  if (!probe_status.ok()) return probe_status;
   ctx->NotePeak(out.NumRows());
   return out;
 }

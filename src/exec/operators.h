@@ -11,6 +11,7 @@
 #ifndef HTQO_EXEC_OPERATORS_H_
 #define HTQO_EXEC_OPERATORS_H_
 
+#include <atomic>
 #include <limits>
 #include <string>
 #include <vector>
@@ -20,11 +21,19 @@
 #include "storage/relation.h"
 #include "util/governor.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace htqo {
 
 // Budget/accounting shared by one query execution. Counters saturate at
 // SIZE_MAX instead of wrapping, so near-max budgets cannot be lapped.
+//
+// Thread safety: the counters are atomic because the parallel join/semijoin
+// kernels and tree-wave evaluators charge one shared context from every pool
+// lane. Atomic saturating adds commute, so the totals — and therefore
+// whether a budget trips — are identical at any thread count; only *which*
+// charge call observes the crossing varies. Budgets are plain fields set
+// before execution starts.
 struct ExecContext {
   // Max rows any single operator run may emit in total.
   std::size_t row_budget = std::numeric_limits<std::size_t>::max();
@@ -35,30 +44,54 @@ struct ExecContext {
   // Borrowed; the owner (HybridOptimizer::RunResolved) clears it before the
   // context outlives the governor.
   ResourceGovernor* governor = nullptr;
+  // Parallel execution: nullptr (the default) keeps every operator on the
+  // exact serial code path; a pool plus num_threads > 1 unlocks the
+  // partitioned kernels. Borrowed from ThreadPool::Shared.
+  ThreadPool* pool = nullptr;
+  std::size_t num_threads = 1;
 
-  std::size_t rows_charged = 0;
-  std::size_t work_charged = 0;
+  std::atomic<std::size_t> rows_charged{0};
+  std::atomic<std::size_t> work_charged{0};
   // High-water mark of single-relation size, for reporting.
-  std::size_t peak_rows = 0;
+  std::atomic<std::size_t> peak_rows{0};
+
+  ExecContext() = default;
+  // Copyable/assignable despite the atomics so QueryRun (which embeds one)
+  // still moves through Result<T>. Only the owner copies, never a worker.
+  ExecContext(const ExecContext& other) { *this = other; }
+  ExecContext& operator=(const ExecContext& other) {
+    row_budget = other.row_budget;
+    work_budget = other.work_budget;
+    governor = other.governor;
+    pool = other.pool;
+    num_threads = other.num_threads;
+    rows_charged.store(other.rows_charged.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    work_charged.store(other.work_charged.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    peak_rows.store(other.peak_rows.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    return *this;
+  }
+
+  bool parallel() const { return pool != nullptr && num_threads > 1; }
 
   Status ChargeRows(std::size_t rows) {
-    rows_charged = SaturatingAdd(rows_charged, rows);
-    if (rows_charged > row_budget) {
+    if (AtomicSaturatingAdd(&rows_charged, rows) > row_budget) {
       return Status::ResourceExhausted("row budget exceeded");
     }
     if (governor != nullptr) return governor->ChargeExecution(rows);
     return Status::Ok();
   }
   Status ChargeWork(std::size_t work) {
-    work_charged = SaturatingAdd(work_charged, work);
-    if (work_charged > work_budget) {
+    if (AtomicSaturatingAdd(&work_charged, work) > work_budget) {
       return Status::ResourceExhausted("work budget exceeded");
     }
     if (governor != nullptr) return governor->ChargeExecution(work);
     return Status::Ok();
   }
   void NotePeak(std::size_t rows) {
-    peak_rows = std::max(peak_rows, rows);
+    AtomicMax(&peak_rows, rows);
     if (governor != nullptr) {
       governor->NotePeakMemory(rows * sizeof(Value));
     }

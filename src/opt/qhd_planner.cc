@@ -5,6 +5,7 @@
 
 #include "cq/hypergraph_builder.h"
 #include "exec/executor.h"
+#include "opt/tree_waves.h"
 
 namespace htqo {
 
@@ -32,7 +33,7 @@ Result<Relation> EvaluateDecomposition(const ResolvedQuery& rq,
 
   std::vector<std::optional<Relation>> rel(hd.NumNodes());
 
-  for (std::size_t p : hd.PostOrder()) {
+  auto process_node = [&](std::size_t p) -> Status {
     const HypertreeNode& node = hd.node(p);
 
     // --- Steps P' and P'', interleaved. ------------------------------------
@@ -141,6 +142,25 @@ Result<Relation> EvaluateDecomposition(const ResolvedQuery& rq,
       HTQO_CHECK(current->schema().IndexOf(rq.cq.vars[v].name).has_value());
     }
     rel[p] = std::move(*current);
+    return Status::Ok();
+  };
+
+  const std::vector<std::size_t> postorder = hd.PostOrder();
+  if (ctx->parallel()) {
+    // Sibling subtrees evaluate concurrently, height wave by height wave;
+    // each node touches only its own slot and its finished children, so the
+    // result is identical to the serial postorder sweep.
+    std::vector<std::vector<std::size_t>> children(hd.NumNodes());
+    for (std::size_t p = 0; p < hd.NumNodes(); ++p) {
+      children[p] = hd.node(p).children;
+    }
+    Status s = RunWaves(ctx, HeightWaves(postorder, children), process_node);
+    if (!s.ok()) return s;
+  } else {
+    for (std::size_t p : postorder) {
+      Status s = process_node(p);
+      if (!s.ok()) return s;
+    }
   }
 
   // --- Step P''': project the root onto out(Q). ----------------------------

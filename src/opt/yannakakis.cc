@@ -6,6 +6,7 @@
 #include "cq/hypergraph_builder.h"
 #include "exec/executor.h"
 #include "hypergraph/join_tree.h"
+#include "opt/tree_waves.h"
 
 namespace htqo {
 
@@ -43,30 +44,35 @@ Result<Relation> ThreePass(std::vector<Relation> nodes, const Forest& forest,
                            ExecContext* ctx) {
   const std::vector<std::size_t> postorder = forest.PostOrder();
 
-  // Pass (i): bottom-up semijoin reduction.
-  for (std::size_t p : postorder) {
+  // Pass (i): bottom-up semijoin reduction. The body touches only nodes[p]
+  // and its (finished) children, so equal-height nodes are independent.
+  auto reduce_up = [&](std::size_t p) -> Status {
     for (std::size_t c : forest.children[p]) {
       auto reduced = NaturalSemiJoin(nodes[p], nodes[c], ctx);
       if (!reduced.ok()) return reduced.status();
       nodes[p] = std::move(reduced.value());
     }
     ctx->NotePeak(nodes[p].NumRows());
-  }
+    return Status::Ok();
+  };
 
   // Pass (ii): top-down semijoin reduction (preorder = reverse postorder).
-  for (auto it = postorder.rbegin(); it != postorder.rend(); ++it) {
-    std::size_t p = *it;
+  // The body writes p's children and reads nodes[p], so equal-depth nodes
+  // are independent (their child sets are disjoint).
+  auto reduce_down = [&](std::size_t p) -> Status {
     for (std::size_t c : forest.children[p]) {
       auto reduced = NaturalSemiJoin(nodes[c], nodes[p], ctx);
       if (!reduced.ok()) return reduced.status();
       nodes[c] = std::move(reduced.value());
     }
-  }
+    return Status::Ok();
+  };
 
   // Pass (iii): bottom-up joins, projecting onto the output columns found
-  // so far plus whatever connects to the parent.
+  // so far plus whatever connects to the parent. Reads the parent's schema,
+  // which a later wave has not yet moved from.
   std::vector<std::optional<Relation>> collected(nodes.size());
-  for (std::size_t p : postorder) {
+  auto collect = [&](std::size_t p) -> Status {
     Relation t = std::move(nodes[p]);
     for (std::size_t c : forest.children[p]) {
       HTQO_CHECK(collected[c].has_value());
@@ -92,6 +98,33 @@ Result<Relation> ThreePass(std::vector<Relation> nodes, const Forest& forest,
     }
     collected[p] = ProjectByName(t, keep, /*distinct=*/true);
     ctx->NotePeak(collected[p]->NumRows());
+    return Status::Ok();
+  };
+
+  if (ctx->parallel()) {
+    // Sibling subtrees run concurrently, wave by wave; node results are
+    // order-independent, so the output matches the serial sweeps exactly.
+    auto up = HeightWaves(postorder, forest.children);
+    auto down = DepthWaves(postorder, forest.parent, Forest::kNone);
+    Status s = RunWaves(ctx, up, reduce_up);
+    if (!s.ok()) return s;
+    s = RunWaves(ctx, down, reduce_down);
+    if (!s.ok()) return s;
+    s = RunWaves(ctx, up, collect);
+    if (!s.ok()) return s;
+  } else {
+    for (std::size_t p : postorder) {
+      Status s = reduce_up(p);
+      if (!s.ok()) return s;
+    }
+    for (auto it = postorder.rbegin(); it != postorder.rend(); ++it) {
+      Status s = reduce_down(*it);
+      if (!s.ok()) return s;
+    }
+    for (std::size_t p : postorder) {
+      Status s = collect(p);
+      if (!s.ok()) return s;
+    }
   }
 
   // Combine the trees of the forest (cross products when disconnected).

@@ -64,6 +64,18 @@ class Relation {
     data_.insert(data_.end(), row.begin(), row.end());
   }
 
+  // Appends every row of `other` (same arity required), preserving order.
+  // The parallel operators concatenate per-chunk outputs with this; bulk
+  // vector insert, no per-row checks.
+  void AppendFrom(const Relation& other) {
+    HTQO_CHECK(other.arity() == arity());
+    if (arity() == 0) {
+      zero_arity_rows_ += other.zero_arity_rows_;
+      return;
+    }
+    data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  }
+
   std::span<const Value> Row(std::size_t i) const {
     HTQO_DCHECK(i < NumRows());
     return {data_.data() + i * arity(), arity()};

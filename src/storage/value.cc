@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <cstdio>
+#include <mutex>
 #include <unordered_set>
 
 namespace htqo {
@@ -11,9 +12,13 @@ namespace internal_value {
 const std::string* Intern(std::string_view s) {
   // Node-based set: element addresses are stable across rehashing. Leaked
   // at exit by design (static storage duration with trivial destruction of
-  // the pointer).
+  // the pointer). Mutex-guarded: parallel scans intern from pool workers.
+  // Interning is off the join hot path (joins copy 16-byte Values and
+  // compare interned strings by pointer first), so one global lock is fine.
+  static std::mutex& mu = *new std::mutex();
   static std::unordered_set<std::string>& pool =
       *new std::unordered_set<std::string>();
+  std::lock_guard<std::mutex> lock(mu);
   return &*pool.emplace(s).first;
 }
 

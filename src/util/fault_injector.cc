@@ -10,16 +10,20 @@ FaultInjector& FaultInjector::Instance() {
 }
 
 void FaultInjector::Arm(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
   plan_ = plan;
   rng_ = Rng(plan.seed);
   hits_ = 0;
   fires_ = 0;
-  armed_ = true;
+  armed_.store(true, std::memory_order_release);
 }
 
-void FaultInjector::Disarm() { armed_ = false; }
+void FaultInjector::Disarm() {
+  armed_.store(false, std::memory_order_release);
+}
 
 bool FaultInjector::ShouldFailSlow(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!plan_.site.empty() && std::strcmp(site, plan_.site.c_str()) != 0) {
     return false;
   }

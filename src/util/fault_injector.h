@@ -17,8 +17,10 @@
 #ifndef HTQO_UTIL_FAULT_INJECTOR_H_
 #define HTQO_UTIL_FAULT_INJECTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -52,18 +54,28 @@ class FaultInjector {
 
   void Arm(const FaultPlan& plan);
   void Disarm();
-  bool armed() const { return armed_; }
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
 
   // Called at an injection site; true when the site must fail now.
-  // Disarmed: a single branch. Not thread-safe (tests are single-threaded).
+  // Disarmed: a single atomic branch. Armed evaluations serialize on a
+  // mutex so the hit/fire bookkeeping and the seeded RNG stream stay exact
+  // when sites are reached from pool workers. (Which worker consumes which
+  // RNG draw is scheduling-dependent, but plans used by the multithreaded
+  // tests pin probability to 0 or 1, where the stream order is irrelevant.)
   bool ShouldFail(const char* site) {
-    if (!armed_) return false;
+    if (!armed()) return false;
     return ShouldFailSlow(site);
   }
 
   // Eligible evaluations / injected faults since the last Arm.
-  std::size_t hits() const { return hits_; }
-  std::size_t fires() const { return fires_; }
+  std::size_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  std::size_t fires() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fires_;
+  }
 
   // Every canonical site, for exhaustive sweeps.
   static std::vector<std::string> KnownSites();
@@ -72,7 +84,8 @@ class FaultInjector {
   FaultInjector() = default;
   bool ShouldFailSlow(const char* site);
 
-  bool armed_ = false;
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;  // guards plan_, rng_, hits_, fires_
   FaultPlan plan_;
   Rng rng_{0};
   std::size_t hits_ = 0;

@@ -33,10 +33,21 @@ ResourceGovernor::ResourceGovernor(const Options& options)
 
 Status ResourceGovernor::Trip(std::size_t GovernorStats::* counter,
                               std::string message) {
-  ++(stats_.*counter);
-  tripped_ = true;
-  trip_ = Status::DeadlineExceeded(std::move(message));
+  std::lock_guard<std::mutex> lock(trip_mu_);
+  // First tripping thread wins; later trips (possible when several workers
+  // cross a budget in the same instant) return the established record so the
+  // whole pipeline reports one coherent reason.
+  if (!tripped_.load(std::memory_order_relaxed)) {
+    ++(trip_counters_.*counter);
+    trip_ = Status::DeadlineExceeded(std::move(message));
+    tripped_.store(true, std::memory_order_release);
+  }
   return trip_;
+}
+
+Status ResourceGovernor::trip_status() const {
+  std::lock_guard<std::mutex> lock(trip_mu_);
+  return tripped_.load(std::memory_order_relaxed) ? trip_ : Status::Ok();
 }
 
 Status ResourceGovernor::Poll() {
@@ -55,48 +66,51 @@ Status ResourceGovernor::Poll() {
 }
 
 Status ResourceGovernor::ChargeNodes(std::size_t n) {
-  if (tripped_) return trip_;
-  stats_.search_nodes = SaturatingAdd(stats_.search_nodes, n);
-  if (stats_.search_nodes > options_.node_budget) {
+  if (exhausted()) return trip_status();
+  if (AtomicSaturatingAdd(&search_nodes_, n) > options_.node_budget) {
     return Trip(&GovernorStats::budget_hits, "search-node budget exceeded");
   }
-  charges_since_poll_ += n;
-  if (charges_since_poll_ >= kPollStride) {
-    charges_since_poll_ = 0;
+  if (AtomicSaturatingAdd(&charges_since_poll_, n) >= kPollStride) {
+    charges_since_poll_.store(0, std::memory_order_relaxed);
     return Poll();
   }
   return Status::Ok();
 }
 
 Status ResourceGovernor::ChargeExecution(std::size_t units) {
-  if (tripped_) return trip_;
-  stats_.exec_charges = SaturatingAdd(stats_.exec_charges, units);
-  charges_since_poll_ = SaturatingAdd(charges_since_poll_, units);
-  if (charges_since_poll_ >= kPollStride) {
-    charges_since_poll_ = 0;
+  if (exhausted()) return trip_status();
+  AtomicSaturatingAdd(&exec_charges_, units);
+  if (AtomicSaturatingAdd(&charges_since_poll_, units) >= kPollStride) {
+    charges_since_poll_.store(0, std::memory_order_relaxed);
     return Poll();
   }
   return Status::Ok();
 }
 
 Status ResourceGovernor::ChargeMemory(std::size_t bytes) {
-  if (tripped_) return trip_;
-  live_memory_bytes_ = SaturatingAdd(live_memory_bytes_, bytes);
-  stats_.peak_memory_bytes =
-      std::max(stats_.peak_memory_bytes, live_memory_bytes_);
-  if (live_memory_bytes_ > options_.memory_budget_bytes) {
+  if (exhausted()) return trip_status();
+  std::size_t live = AtomicSaturatingAdd(&live_memory_, bytes);
+  AtomicMax(&peak_memory_, live);
+  if (live > options_.memory_budget_bytes) {
     return Trip(&GovernorStats::memory_hits, "memory budget exceeded");
   }
   return Status::Ok();
 }
 
 void ResourceGovernor::ReleaseMemory(std::size_t bytes) {
-  live_memory_bytes_ -= std::min(bytes, live_memory_bytes_);
+  // Saturating subtract: a release may race a concurrent charge, but the
+  // balance never goes below the charges actually outstanding.
+  std::size_t cur = live_memory_.load(std::memory_order_relaxed);
+  std::size_t next;
+  do {
+    next = cur - std::min(bytes, cur);
+  } while (!live_memory_.compare_exchange_weak(cur, next,
+                                               std::memory_order_relaxed));
 }
 
 Status ResourceGovernor::Check() {
-  if (tripped_) return trip_;
-  charges_since_poll_ = 0;
+  if (exhausted()) return trip_status();
+  charges_since_poll_.store(0, std::memory_order_relaxed);
   return Poll();
 }
 
@@ -105,7 +119,14 @@ double ResourceGovernor::elapsed_seconds() const {
 }
 
 GovernorStats ResourceGovernor::stats() const {
-  GovernorStats out = stats_;
+  GovernorStats out;
+  {
+    std::lock_guard<std::mutex> lock(trip_mu_);
+    out = trip_counters_;
+  }
+  out.search_nodes = search_nodes_.load(std::memory_order_relaxed);
+  out.exec_charges = exec_charges_.load(std::memory_order_relaxed);
+  out.peak_memory_bytes = peak_memory_.load(std::memory_order_relaxed);
   out.elapsed_seconds = elapsed_seconds();
   return out;
 }

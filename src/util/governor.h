@@ -17,8 +17,13 @@
 //
 // A tripped governor is sticky: every later Charge*/Check returns the same
 // error, so deeply nested loops unwind without re-deriving the reason.
-// Cancel() may be called from another thread; everything else is
-// single-threaded by design.
+//
+// Thread safety: all charge/check/cancel entry points may be called
+// concurrently — the parallel execution engine charges from every pool
+// worker. Counters are lock-free atomics; the trip record is written once
+// under a mutex and published through the atomic `tripped_` flag. Totals
+// are exact (saturating) regardless of interleaving, so a budget that the
+// serial engine would trip also trips at any thread count, and vice versa.
 
 #ifndef HTQO_UTIL_GOVERNOR_H_
 #define HTQO_UTIL_GOVERNOR_H_
@@ -28,6 +33,7 @@
 #include <chrono>
 #include <cstdint>
 #include <limits>
+#include <mutex>
 #include <string>
 
 #include "util/status.h"
@@ -39,6 +45,29 @@ namespace htqo {
 inline std::size_t SaturatingAdd(std::size_t a, std::size_t b) {
   std::size_t sum = a + b;
   return sum < a ? std::numeric_limits<std::size_t>::max() : sum;
+}
+
+// Saturating fetch-add on an atomic counter; returns the new value. CAS
+// loop rather than fetch_add so a counter parked at SIZE_MAX never wraps.
+inline std::size_t AtomicSaturatingAdd(std::atomic<std::size_t>* counter,
+                                       std::size_t n) {
+  std::size_t cur = counter->load(std::memory_order_relaxed);
+  std::size_t next;
+  do {
+    next = SaturatingAdd(cur, n);
+  } while (!counter->compare_exchange_weak(cur, next,
+                                           std::memory_order_relaxed));
+  return next;
+}
+
+// Monotonic max on an atomic high-water mark.
+inline void AtomicMax(std::atomic<std::size_t>* high_water,
+                      std::size_t candidate) {
+  std::size_t cur = high_water->load(std::memory_order_relaxed);
+  while (cur < candidate &&
+         !high_water->compare_exchange_weak(cur, candidate,
+                                            std::memory_order_relaxed)) {
+  }
 }
 
 // Snapshot of what a governor observed; aggregated across degradation-ladder
@@ -93,20 +122,22 @@ class ResourceGovernor {
   // Raises the peak-memory high-water mark without touching the live
   // balance — for materializations whose lifetime the owner tracks itself
   // (ExecContext forwards its peak-rows estimate here).
-  void NotePeakMemory(std::size_t bytes) {
-    stats_.peak_memory_bytes = std::max(stats_.peak_memory_bytes, bytes);
-  }
+  void NotePeakMemory(std::size_t bytes) { AtomicMax(&peak_memory_, bytes); }
 
   // Polls deadline, cancellation, and the governor.checkpoint fault site
   // immediately. Sticky on trip.
   Status Check();
 
   // Cooperative cancellation; safe to call from another thread. The next
-  // checkpoint in the governed pipeline trips kDeadlineExceeded.
+  // checkpoint in the governed pipeline trips kDeadlineExceeded on every
+  // worker.
   void Cancel() { cancel_requested_.store(true, std::memory_order_relaxed); }
 
-  bool exhausted() const { return tripped_; }
-  const Status& trip_status() const { return trip_; }
+  bool exhausted() const {
+    return tripped_.load(std::memory_order_acquire);
+  }
+  // Valid (and stable) once exhausted(); Ok before any trip.
+  Status trip_status() const;
   double elapsed_seconds() const;
   // Snapshot including elapsed time; valid whether or not the governor
   // tripped.
@@ -120,12 +151,18 @@ class ResourceGovernor {
 
   Options options_;
   Clock::time_point start_;
-  std::size_t charges_since_poll_ = 0;
-  std::size_t live_memory_bytes_ = 0;
-  bool tripped_ = false;
-  Status trip_;
-  GovernorStats stats_;
+  std::atomic<std::size_t> search_nodes_{0};
+  std::atomic<std::size_t> exec_charges_{0};
+  std::atomic<std::size_t> charges_since_poll_{0};
+  std::atomic<std::size_t> live_memory_{0};
+  std::atomic<std::size_t> peak_memory_{0};
+  std::atomic<bool> tripped_{false};
   std::atomic<bool> cancel_requested_{false};
+  // Trip record: written once by the first tripping thread, then read-only.
+  // trip_counters_ holds the deadline/budget/memory/cancel hit counts.
+  mutable std::mutex trip_mu_;
+  Status trip_;
+  GovernorStats trip_counters_;
 };
 
 }  // namespace htqo

@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <limits>
+#include <thread>
 
 #include "api/hybrid_optimizer.h"
 #include "decomp/cost_k_decomp.h"
@@ -145,6 +146,109 @@ TEST(GovernorStatsTest, MergeAggregatesAcrossAttempts) {
   EXPECT_EQ(a.search_nodes, 130u);
   EXPECT_EQ(a.peak_memory_bytes, 80u);  // high-water, not a sum
   EXPECT_EQ(a.trips(), 2u);
+}
+
+// --- Thread safety: charges commute, trips happen exactly once. -------------
+
+TEST(GovernorThreadingTest, ConcurrentChargesAreExact) {
+  // Regression for the atomic counters: 8 threads x 10k charges must land
+  // on exactly 80k — a lost update here would let parallel runs slip under
+  // budgets the serial engine trips.
+  ResourceGovernor::Options options;
+  options.node_budget = 1'000'000;
+  ResourceGovernor governor(options);
+  constexpr std::size_t kThreads = 8, kPerThread = 10'000;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&governor] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        Status s = governor.ChargeNodes();
+        ASSERT_TRUE(s.ok());
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(governor.stats().search_nodes, kThreads * kPerThread);
+  EXPECT_FALSE(governor.exhausted());
+}
+
+TEST(GovernorThreadingTest, ConcurrentOverBudgetTripsExactlyOnce) {
+  ResourceGovernor::Options options;
+  options.node_budget = 1000;
+  ResourceGovernor governor(options);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < 8; ++t) {
+    workers.emplace_back([&governor] {
+      for (std::size_t i = 0; i < 1000; ++i) {
+        Status s = governor.ChargeNodes();
+        if (!s.ok()) {
+          // Sticky: every charge after the trip reports the same status.
+          ASSERT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_TRUE(governor.exhausted());
+  EXPECT_EQ(governor.stats().trips(), 1u);
+  EXPECT_EQ(governor.stats().budget_hits, 1u);
+}
+
+TEST(GovernorThreadingTest, ConcurrentMemoryChargesKeepAnExactBalance) {
+  ResourceGovernor governor;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < 4; ++t) {
+    workers.emplace_back([&governor] {
+      for (std::size_t i = 0; i < 5000; ++i) {
+        Status s = governor.ChargeMemory(16);
+        ASSERT_TRUE(s.ok());
+        governor.ReleaseMemory(16);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  // Balanced charge/release from every thread: live memory back to zero,
+  // peak bounded by what could be simultaneously outstanding.
+  EXPECT_TRUE(governor.ChargeMemory(0).ok());
+  EXPECT_LE(governor.stats().peak_memory_bytes, 4u * 16u);
+}
+
+TEST(ExecContextThreadingTest, ConcurrentRowAndWorkChargesAreExact) {
+  ExecContext ctx;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < 8; ++t) {
+    workers.emplace_back([&ctx] {
+      for (std::size_t i = 0; i < 10'000; ++i) {
+        Status s = ctx.ChargeRows(1);
+        ASSERT_TRUE(s.ok());
+        s = ctx.ChargeWork(2);
+        ASSERT_TRUE(s.ok());
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(ctx.rows_charged.load(), 80'000u);
+  EXPECT_EQ(ctx.work_charged.load(), 160'000u);
+}
+
+TEST(ExecContextThreadingTest, ConcurrentBudgetTripIsSaturatingNotWrapping) {
+  ExecContext ctx;
+  ctx.row_budget = kMax - 5;
+  ctx.rows_charged = kMax - 10;
+  std::vector<std::thread> workers;
+  std::atomic<int> exhausted{0};
+  for (std::size_t t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (std::size_t i = 0; i < 100; ++i) {
+        if (ctx.ChargeRows(100).code() == StatusCode::kResourceExhausted) {
+          exhausted++;
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(ctx.rows_charged.load(), kMax);  // stuck at the ceiling
+  EXPECT_GT(exhausted.load(), 0);
 }
 
 // --- Trips inside the decomposition searches. -------------------------------

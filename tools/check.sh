@@ -4,10 +4,14 @@
 #   tools/check.sh          # plain RelWithDebInfo build + ctest
 #   tools/check.sh --asan   # additionally build with -DHTQO_SANITIZE=ON
 #                           # (ASan+UBSan) in build-asan/ and rerun ctest
+#   tools/check.sh --tsan   # additionally build with -DHTQO_SANITIZE=thread
+#                           # in build-tsan/ and run the concurrency suites
+#   tools/check.sh --all    # plain + ASan + TSan
 #
-# The sanitized pass is what gives the fault-injection sweep its teeth:
-# an injected failure that leaks or touches freed memory fails here even
-# when the plain run looks green.
+# The sanitized passes are what give the fault-injection sweep and the
+# parallel engine their teeth: an injected failure that leaks, touches
+# freed memory, or races between worker lanes fails here even when the
+# plain run looks green.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -23,11 +27,31 @@ run_suite() {
 echo "==> plain build"
 run_suite build
 
-if [[ "${1:-}" == "--asan" ]]; then
+want_asan=false
+want_tsan=false
+case "${1:-}" in
+  --asan) want_asan=true ;;
+  --tsan) want_tsan=true ;;
+  --all) want_asan=true; want_tsan=true ;;
+esac
+
+if $want_asan; then
   echo "==> sanitized build (ASan+UBSan)"
   ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
   UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
     run_suite build-asan -DHTQO_SANITIZE=ON
+fi
+
+if $want_tsan; then
+  # TSan over the tests that actually exercise the thread pool, the atomic
+  # governor/meter counters, and the parallel kernels: the parallel
+  # equivalence suite, the governor suite, and the fault-injection sweep.
+  echo "==> sanitized build (TSan)"
+  cmake -B build-tsan -S . -DHTQO_SANITIZE=thread
+  cmake --build build-tsan -j"$(nproc)"
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
+      -R 'Parallel|Threading|ThreadPool|Governor|ExecContext|Fault'
 fi
 
 echo "==> all checks passed"
