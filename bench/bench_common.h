@@ -46,6 +46,10 @@ struct RunOutcome {
   std::size_t threads = 1;
   double plan_wall_ms = 0;
   double exec_wall_ms = 0;
+  // Memory-adaptive execution observations (zeros unless the run spilled).
+  SpillCounters spill;
+  // Why the governor tripped, when it did (kNone on clean runs).
+  TripReason trip_reason = TripReason::kNone;
 };
 
 inline RunOutcome RunOnce(const HybridOptimizer& optimizer,
@@ -54,7 +58,10 @@ inline RunOutcome RunOnce(const HybridOptimizer& optimizer,
                           double deadline_seconds = 0,
                           std::size_t search_node_budget =
                               std::numeric_limits<std::size_t>::max(),
-                          std::size_t num_threads = 1) {
+                          std::size_t num_threads = 1,
+                          std::size_t memory_budget_bytes =
+                              std::numeric_limits<std::size_t>::max(),
+                          bool enable_spill = false) {
   RunOptions options;
   options.mode = mode;
   options.seed = seed;
@@ -66,6 +73,8 @@ inline RunOutcome RunOnce(const HybridOptimizer& optimizer,
   options.deadline_seconds = deadline_seconds;
   options.search_node_budget = search_node_budget;
   options.num_threads = num_threads;
+  options.memory_budget_bytes = memory_budget_bytes;
+  options.enable_spill = enable_spill;
   auto run = optimizer.Run(sql, options);
   RunOutcome outcome;
   outcome.threads = num_threads;
@@ -86,6 +95,8 @@ inline RunOutcome RunOnce(const HybridOptimizer& optimizer,
   outcome.degradation_steps = run->degradations.size();
   outcome.plan_wall_ms = run->plan_seconds * 1e3;
   outcome.exec_wall_ms = run->exec_seconds * 1e3;
+  outcome.spill = run->spill;
+  outcome.trip_reason = run->governor.trip_reason;
   return outcome;
 }
 
@@ -116,9 +127,28 @@ inline void SetCounters(benchmark::State& state, const RunOutcome& outcome) {
     state.counters["budget_hits"] =
         static_cast<double>(outcome.governor.budget_hits);
   }
+  if (outcome.governor.memory_hits > 0) {
+    state.counters["memory_hits"] =
+        static_cast<double>(outcome.governor.memory_hits);
+  }
+  if (outcome.trip_reason != TripReason::kNone) {
+    state.counters["trip_reason"] =
+        static_cast<double>(static_cast<int>(outcome.trip_reason));
+  }
   if (outcome.degradation_steps > 0) {
     state.counters["degradations"] =
         static_cast<double>(outcome.degradation_steps);
+  }
+  // Spill columns: a figure row that degraded to disk shows how much.
+  if (outcome.spill.spill_events > 0) {
+    state.counters["spill_events"] =
+        static_cast<double>(outcome.spill.spill_events);
+    state.counters["spill_bytes_written"] =
+        static_cast<double>(outcome.spill.bytes_written);
+    state.counters["spill_partitions"] =
+        static_cast<double>(outcome.spill.partitions);
+    state.counters["max_recursion_depth"] =
+        static_cast<double>(outcome.spill.max_recursion_depth);
   }
   state.counters["threads"] = static_cast<double>(outcome.threads);
   state.counters["plan_wall_ms"] = outcome.plan_wall_ms;

@@ -58,6 +58,8 @@ void PrintHelp() {
       "  \\width <k>                         decomposition width bound\n"
       "  \\deadline <seconds>                wall-clock deadline (0 = off)\n"
       "  \\budget <nodes>                    search-node budget (0 = off)\n"
+      "  \\mem <bytes>                       memory budget + spilling (0 = off)\n"
+      "  \\spill <dir>                       spill directory (- = system tmp)\n"
       "  \\threads <n>                       worker lanes (1 = serial)\n"
       "  \\explain                           toggle plan explanation\n"
       "  \\dot <sql>                         print the decomposition as DOT\n"
@@ -95,6 +97,12 @@ void RunSql(ShellState& state, const std::string& sql) {
     if (run->governor.search_nodes > 0) {
       std::printf("governor: %zu search nodes, %zu trips\n",
                   run->governor.search_nodes, run->governor.trips());
+    }
+    if (run->spill.spill_events > 0) {
+      std::printf("spill: %zu event(s), %zu bytes written, %zu partitions, "
+                  "recursion depth %zu\n",
+                  run->spill.spill_events, run->spill.bytes_written,
+                  run->spill.partitions, run->spill.max_recursion_depth);
     }
   }
   std::printf("%s", run->output.ToString(25).c_str());
@@ -189,6 +197,27 @@ bool HandleCommand(ShellState& state, const std::string& line) {
           std::numeric_limits<std::size_t>::max();
       std::printf("search-node budget off\n");
     }
+  } else if (cmd == "\\mem") {
+    long long bytes = 0;
+    in >> bytes;
+    if (bytes > 0) {
+      state.options.memory_budget_bytes = static_cast<std::size_t>(bytes);
+      state.options.enable_spill = true;
+      std::printf("memory budget = %lld bytes (spilling past %g%% of it)\n",
+                  bytes, state.options.soft_memory_fraction * 100.0);
+    } else {
+      state.options.memory_budget_bytes =
+          std::numeric_limits<std::size_t>::max();
+      state.options.enable_spill = false;
+      std::printf("memory budget off\n");
+    }
+  } else if (cmd == "\\spill") {
+    std::string dir;
+    in >> dir;
+    if (dir == "-") dir.clear();
+    state.options.spill_dir = dir;
+    std::printf("spill directory = %s\n",
+                dir.empty() ? "<system temp>" : dir.c_str());
   } else if (cmd == "\\threads") {
     long long n = 0;
     in >> n;

@@ -42,6 +42,7 @@ void MergeSubRun(const QueryRun& sub, QueryRun* into) {
   into->exec_seconds += sub.exec_seconds;
   into->used_fallback |= sub.used_fallback;
   into->governor.Merge(sub.governor);
+  into->spill.Merge(sub.spill);
   into->degradations.insert(into->degradations.end(),
                             sub.degradations.begin(),
                             sub.degradations.end());
@@ -301,6 +302,25 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
   const bool governed = options.deadline_seconds > 0 ||
                         options.search_node_budget != kNoLimit ||
                         options.memory_budget_bytes != kNoLimit;
+
+  // Memory-adaptive execution: armed only when spilling is enabled AND the
+  // memory budget is finite (the soft threshold is a fraction of it). The
+  // manager lives on this frame; seal() snapshots its counters and clears
+  // the borrowed pointer before QueryRun escapes.
+  const bool spill_armed =
+      options.enable_spill && options.memory_budget_bytes != kNoLimit;
+  std::optional<SpillManager> spill_manager;
+  if (spill_armed) {
+    SpillOptions sopt;
+    sopt.dir = options.spill_dir;
+    sopt.disk_budget_bytes = options.spill_disk_budget_bytes;
+    spill_manager.emplace(std::move(sopt));
+    run.ctx.spill = &*spill_manager;
+    double frac = options.soft_memory_fraction;
+    if (frac <= 0.0 || frac > 1.0) frac = 0.5;
+    run.ctx.soft_memory_bytes = static_cast<std::size_t>(
+        static_cast<double>(options.memory_budget_bytes) * frac);
+  }
   // One absolute wall deadline shared by every degradation-ladder attempt;
   // node and memory budgets are granted afresh per attempt.
   const auto wall_deadline =
@@ -322,6 +342,7 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
     gopt.node_budget = last_resort ? kNoLimit : options.search_node_budget;
     gopt.memory_budget_bytes =
         last_resort ? kNoLimit : options.memory_budget_bytes;
+    if (spill_armed) gopt.soft_memory_bytes = run.ctx.soft_memory_bytes;
     governor.emplace(gopt);
     run.ctx.governor = &*governor;
     return &*governor;
@@ -332,6 +353,19 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
   auto seal = [&]() {
     if (governor.has_value()) run.governor.Merge(governor->stats());
     run.ctx.governor = nullptr;
+    if (spill_manager.has_value()) {
+      run.spill = spill_manager->counters();
+      if (run.spill.spill_events > 0) {
+        run.degradations.push_back(
+            "memory-adaptive execution: " +
+            std::to_string(run.spill.spill_events) +
+            " operator(s) spilled " +
+            std::to_string(run.spill.bytes_written) +
+            " bytes to disk (soft threshold " +
+            std::to_string(run.ctx.soft_memory_bytes) + " bytes)");
+      }
+    }
+    run.ctx.spill = nullptr;
   };
   auto budget_tripped = [&](const Status& s) {
     return options.degrade_on_budget &&

@@ -86,6 +86,19 @@ struct RunOptions {
   // kDeadlineExceeded. Each step is recorded in QueryRun::degradations.
   bool degrade_on_budget = true;
 
+  // --- Memory-adaptive execution (spilling). With enable_spill set and a
+  // finite memory_budget_bytes, an operator whose working set would push
+  // live charged memory past soft_memory_fraction * memory_budget_bytes
+  // switches to the Grace-partitioned spill path (byte-identical output,
+  // recorded in QueryRun::degradations) instead of materializing in memory
+  // and hard-tripping the budget. Spilling's own hard kill is
+  // spill_disk_budget_bytes.
+  bool enable_spill = false;
+  double soft_memory_fraction = 0.5;  // clamped to (0, 1]
+  std::string spill_dir;              // empty = the system temp directory
+  std::size_t spill_disk_budget_bytes =
+      std::numeric_limits<std::size_t>::max();
+
   // Worker lanes for the parallel execution engine and decomposition
   // search. 1 (the default) is the exact serial engine; N > 1 fans the
   // partitioned join/semijoin kernels, the Yannakakis/q-HD tree waves, and
@@ -114,6 +127,9 @@ struct QueryRun {
   // Aggregated governor observations across every attempt (search nodes,
   // peak memory, deadline/budget trips).
   GovernorStats governor;
+  // Spill-to-disk activity of the run (zeros when spilling never armed or
+  // never activated). A run that spilled also records a degradation entry.
+  SpillCounters spill;
 };
 
 class HybridOptimizer {

@@ -1,9 +1,12 @@
 #include "exec/executor.h"
 
+#include <algorithm>
 #include <map>
+#include <memory>
 #include <unordered_map>
 
 #include "exec/expression.h"
+#include "exec/spill.h"
 #include "util/strings.h"
 
 namespace htqo {
@@ -118,8 +121,9 @@ Result<Relation> ProjectToOutputVars(const ResolvedQuery& rq,
   for (VarId v : rq.cq.output_vars) names.push_back(rq.cq.vars[v].name);
   Status s = ctx->ChargeWork(join_result.NumRows());
   if (!s.ok()) return s;
-  Relation out = ProjectByName(join_result, names, /*distinct=*/true);
-  ctx->NotePeak(out.NumRows());
+  auto out = ProjectByName(join_result, names, /*distinct=*/true, ctx);
+  if (!out.ok()) return out.status();
+  ctx->NotePeak(out->NumRows());
   return out;
 }
 
@@ -161,7 +165,11 @@ Result<Relation> EvaluateSelectOutput(const ResolvedQuery& rq,
       if (!st.ok()) return st;
       output.AddRow(row);
     }
-    if (stmt.distinct) output = output.Distinct();
+    if (stmt.distinct) {
+      auto distinct = SpillableDistinct(output, ctx);
+      if (!distinct.ok()) return distinct.status();
+      output = std::move(distinct.value());
+    }
     Status s = ApplyOrderBy(rq, &output);
     if (!s.ok()) return s;
     if (stmt.limit) output.Truncate(*stmt.limit);
@@ -203,14 +211,15 @@ Result<Relation> EvaluateSelectOutput(const ResolvedQuery& rq,
   struct Group {
     std::vector<Value> key;
     std::vector<AggAccumulator> accumulators;
+    uint64_t first_tag = 0;  // original row index of the group's first row
   };
   std::vector<Group> groups;
   std::unordered_multimap<std::size_t, std::size_t> group_index;
 
-  auto find_or_create_group = [&](std::span<const Value> row) -> Group& {
+  auto find_or_create_group = [&](std::span<const Value> row,
+                                  uint64_t tag) -> Group& {
     std::size_t h = HashRowKey(row, group_cols);
     auto [lo, hi] = group_index.equal_range(h);
-    std::vector<std::size_t> all_key_cols(group_cols.size());
     for (auto it = lo; it != hi; ++it) {
       Group& g = groups[it->second];
       bool match = true;
@@ -226,16 +235,14 @@ Result<Relation> EvaluateSelectOutput(const ResolvedQuery& rq,
     for (std::size_t c : group_cols) g.key.push_back(row[c]);
     g.accumulators.reserve(agg_nodes.size());
     for (const Expr* a : agg_nodes) g.accumulators.emplace_back(a->agg);
+    g.first_tag = tag;
     groups.push_back(std::move(g));
     group_index.emplace(h, groups.size() - 1);
     return groups.back();
   };
 
-  for (std::size_t r = 0; r < sorted_answer.NumRows(); ++r) {
-    Status s = ctx->ChargeWork(1);
-    if (!s.ok()) return s;
-    auto src = sorted_answer.Row(r);
-    Group& g = find_or_create_group(src);
+  auto accumulate = [&](std::span<const Value> src, uint64_t tag) {
+    Group& g = find_or_create_group(src, tag);
     ColumnLookup lookup = [&](const Expr& ref) {
       auto idx = AnswerColumnOf(rq, answer, ref);
       HTQO_CHECK(idx.ok());
@@ -247,6 +254,71 @@ Result<Relation> EvaluateSelectOutput(const ResolvedQuery& rq,
       } else {
         g.accumulators[a].Add(EvalScalar(*agg_nodes[a]->lhs, lookup));
       }
+    }
+  };
+
+  // Grouping working set: keys plus hash index, bounded by one entry per
+  // input row.
+  const std::size_t group_working_bytes =
+      sorted_answer.NumRows() *
+      (group_cols.size() * sizeof(Value) + 4 * sizeof(std::size_t));
+
+  if (!group_cols.empty() && ctx->ShouldSpill(group_working_bytes)) {
+    // Spill path: hash-partition the canonicalized answer on the group key
+    // (rows tagged with their input index), then aggregate one partition at
+    // a time. A group's rows always share a partition and arrive in input
+    // order, so every accumulator sees the same value sequence as the
+    // in-memory loop; sorting the groups by first_tag afterwards restores
+    // the in-memory first-appearance order exactly.
+    ctx->spill->NoteSpillEvent();
+    const std::size_t fanout = ctx->spill->options().fanout;
+    std::vector<std::unique_ptr<SpillFile>> parts;
+    parts.reserve(fanout);
+    for (std::size_t i = 0; i < fanout; ++i) {
+      auto file = ctx->spill->Create();
+      if (!file.ok()) return file.status();
+      parts.push_back(std::move(file.value()));
+    }
+    for (std::size_t r = 0; r < sorted_answer.NumRows(); ++r) {
+      Status s = ctx->ChargeWork(1);
+      if (!s.ok()) return s;
+      auto src = sorted_answer.Row(r);
+      std::size_t h = HashRowKey(src, group_cols);
+      Status a = parts[h % fanout]->Append(r, src);
+      if (!a.ok()) return a;
+    }
+    for (auto& p : parts) {
+      Status s = p->Finish();
+      if (!s.ok()) return s;
+    }
+    for (auto& p : parts) {
+      Relation part{sorted_answer.schema()};
+      std::vector<uint64_t> tags;
+      Status s = p->ReadBack(&part, &tags);
+      if (!s.ok()) return s;
+      p.reset();  // unlink before loading the next partition
+      ScopedTableMemory loaded(
+          ctx, part.NumRows() * (part.arity() * sizeof(Value) + 8));
+      if (!loaded.status().ok()) return loaded.status();
+      for (std::size_t r = 0; r < part.NumRows(); ++r) {
+        Status w = ctx->ChargeWork(1);
+        if (!w.ok()) return w;
+        accumulate(part.Row(r), tags[r]);
+      }
+    }
+    std::stable_sort(groups.begin(), groups.end(),
+                     [](const Group& a, const Group& b) {
+                       return a.first_tag < b.first_tag;
+                     });
+    group_index.clear();
+  } else {
+    ScopedTableMemory working(
+        ctx, group_cols.empty() ? 0 : group_working_bytes);
+    if (!working.status().ok()) return working.status();
+    for (std::size_t r = 0; r < sorted_answer.NumRows(); ++r) {
+      Status s = ctx->ChargeWork(1);
+      if (!s.ok()) return s;
+      accumulate(sorted_answer.Row(r), r);
     }
   }
 

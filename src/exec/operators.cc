@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <functional>
+#include <numeric>
 
+#include "exec/spill.h"
 #include "util/hash_chain.h"
 
 namespace htqo {
@@ -94,6 +96,315 @@ Schema JoinedSchema(const Schema& left, const Schema& right,
   return Schema(std::move(cols));
 }
 
+// ---------- Grace-style spill partitioning ---------------------------------
+//
+// When ExecContext::ShouldSpill says an operator's working set would cross
+// the soft memory threshold, both inputs are hash-partitioned into
+// SpillManager temp files and partition pairs are processed one at a time.
+// Output rows are collected with a 64-bit tag — the probe row's original
+// index — and merged back in tag order at the end, which reproduces the
+// serial in-memory emission order byte for byte: key-equal rows always land
+// in the same partition with their relative order preserved, and the
+// per-partition kernels mirror the in-memory loops (LIFO chain order and
+// all). Partition pairs are processed serially (the per-operator spill path
+// is deterministic at any thread count); parallelism across tree-wave nodes
+// is unaffected — each node's operator spills independently against the
+// shared manager.
+
+// Below this many build rows a partition is always processed in memory:
+// with tiny soft thresholds (the equivalence tests force them) recursing on
+// trivial partitions would only burn file handles until the depth cap.
+constexpr std::size_t kMinSpillRows = 64;
+
+// Working-set estimates in bytes, used both for the in-memory governor
+// charge and the spill decision. A hash join pins the build rows, a chain
+// index (~24 B/row with its hash array), and the probe hash array.
+std::size_t JoinWorkingBytes(const Relation& build, const Relation& probe) {
+  return build.NumRows() * (build.arity() * sizeof(Value) + 24) +
+         probe.NumRows() * 8;
+}
+
+std::size_t SemiJoinWorkingBytes(const Relation& right, const Relation& left) {
+  return right.NumRows() * (right.arity() * sizeof(Value) + 24) +
+         left.NumRows() * 8;
+}
+
+std::size_t DistinctWorkingBytes(const Relation& rel) {
+  return rel.NumRows() * (rel.arity() * sizeof(Value) + 16);
+}
+
+// Bytes a loaded partition pair keeps resident while its kernel runs.
+std::size_t LoadedPairBytes(const Relation& build, const Relation& probe) {
+  return build.NumRows() * (build.arity() * sizeof(Value) + 24) +
+         probe.NumRows() * probe.arity() * sizeof(Value);
+}
+
+// Partition index for `hash` at recursion `depth`: a depth-salted SplitMix64
+// finalizer, decorrelated from the hash-chain bucket masks so a level-d
+// partition re-splits at level d+1.
+std::size_t SpillPartitionOf(std::size_t hash, std::size_t depth,
+                             std::size_t fanout) {
+  uint64_t z = (static_cast<uint64_t>(hash) + depth + 1) *
+               0x9e3779b97f4a7c15ull;
+  z ^= z >> 29;
+  z *= 0xbf58476d1ce4e5b9ull;
+  z ^= z >> 32;
+  return static_cast<std::size_t>(z % fanout);
+}
+
+// Output rows plus the probe tags they were emitted for; merged by tag once
+// a Grace operator has drained every partition.
+struct TaggedRows {
+  Relation rows;
+  std::vector<uint64_t> tags;
+};
+
+// Hash-partitions `rel` on `cols` into the manager's fanout, writing each
+// row with its tag from `tags` (parallel to rows). One work unit per row
+// covers the encode+write.
+Result<std::vector<std::unique_ptr<SpillFile>>> PartitionToSpill(
+    const Relation& rel, const std::vector<std::size_t>& cols,
+    const std::vector<uint64_t>& tags, std::size_t depth, ExecContext* ctx) {
+  const std::size_t fanout = ctx->spill->options().fanout;
+  std::vector<std::unique_ptr<SpillFile>> parts;
+  parts.reserve(fanout);
+  for (std::size_t i = 0; i < fanout; ++i) {
+    auto file = ctx->spill->Create();
+    if (!file.ok()) return file.status();
+    parts.push_back(std::move(*file));
+  }
+  for (std::size_t r = 0; r < rel.NumRows(); ++r) {
+    Status w = ctx->ChargeWork(1);
+    if (!w.ok()) return w;
+    auto row = rel.Row(r);
+    std::size_t p = SpillPartitionOf(HashRowKey(row, cols), depth, fanout);
+    Status s = parts[p]->Append(tags[r], row);
+    if (!s.ok()) return s;
+  }
+  for (auto& part : parts) {
+    Status s = part->Finish();
+    if (!s.ok()) return s;
+  }
+  return parts;
+}
+
+std::vector<uint64_t> IdentityTags(std::size_t n) {
+  std::vector<uint64_t> tags(n);
+  std::iota(tags.begin(), tags.end(), uint64_t{0});
+  return tags;
+}
+
+// Reorders `collected` into `out` by ascending tag. stable_sort keeps the
+// per-tag emission order, so the result is the exact serial output: every
+// tag's rows come from a single partition, already in kernel order.
+Status MergeByTag(TaggedRows&& collected, Relation* out, ExecContext* ctx) {
+  std::vector<std::size_t> order(collected.tags.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return collected.tags[a] < collected.tags[b];
+                   });
+  Status alloc = out->TryReserve(collected.rows.NumRows());
+  if (!alloc.ok()) return alloc;
+  for (std::size_t idx : order) out->AddRow(collected.rows.Row(idx));
+  ctx->NotePeak(out->NumRows());
+  return Status::Ok();
+}
+
+// Serial tagged probe kernel for one partition pair; mirrors the in-memory
+// probe loop exactly (per-candidate work charge, per-emit row charge, LIFO
+// chain order) so the merged spill output is byte-identical to it.
+Status TaggedHashJoinKernel(const Relation& build, const Relation& probe,
+                            const std::vector<uint64_t>& probe_tags,
+                            const std::vector<std::size_t>& bcols,
+                            const std::vector<std::size_t>& pcols,
+                            const std::vector<std::size_t>& right_only,
+                            bool build_left, std::size_t left_arity,
+                            ExecContext* ctx, TaggedRows* out) {
+  Status s = ctx->ChargeWork(build.NumRows() + probe.NumRows());
+  if (!s.ok()) return s;
+  std::vector<std::size_t> build_hash(build.NumRows());
+  for (std::size_t r = 0; r < build.NumRows(); ++r) {
+    build_hash[r] = HashRowKey(build.Row(r), bcols);
+  }
+  HashChainIndex table(build.NumRows());
+  for (std::size_t r = 0; r < build.NumRows(); ++r) {
+    table.Insert(build_hash[r], r);
+  }
+  std::vector<Value> row(out->rows.arity());
+  for (std::size_t p = 0; p < probe.NumRows(); ++p) {
+    auto probe_row = probe.Row(p);
+    std::size_t h = HashRowKey(probe_row, pcols);
+    for (uint32_t it = table.First(h); it != HashChainIndex::kEnd;
+         it = table.Next(it)) {
+      Status st = ctx->ChargeWork(1);
+      if (!st.ok()) return st;
+      if (build_hash[it] != h ||
+          !RowKeysEqual(build.Row(it), bcols, probe_row, pcols)) {
+        continue;
+      }
+      auto build_row = build.Row(it);
+      auto lrow = build_left ? build_row : probe_row;
+      auto rrow = build_left ? probe_row : build_row;
+      std::size_t i = 0;
+      for (; i < left_arity; ++i) row[i] = lrow[i];
+      for (std::size_t r : right_only) row[i++] = rrow[r];
+      st = ctx->ChargeRows(1);
+      if (!st.ok()) return st;
+      out->rows.AddRow(row);
+      out->tags.push_back(probe_tags[p]);
+    }
+  }
+  return Status::Ok();
+}
+
+// Recursive Grace hash join: partitions build/probe, drains partition pairs
+// serially, repartitioning a pair while it still exceeds the soft threshold
+// and the depth cap allows. At the cap the kernel runs in memory regardless
+// (correctness over the threshold; all-equal keys cannot be split).
+Result<Relation> GraceHashJoin(const Relation& left, const Relation& right,
+                               bool build_left,
+                               const std::vector<std::size_t>& lcols,
+                               const std::vector<std::size_t>& rcols,
+                               const std::vector<std::size_t>& right_only,
+                               Schema out_schema, ExecContext* ctx) {
+  ctx->spill->NoteSpillEvent();
+  const Relation& build = build_left ? left : right;
+  const Relation& probe = build_left ? right : left;
+  const std::vector<std::size_t>& bcols = build_left ? lcols : rcols;
+  const std::vector<std::size_t>& pcols = build_left ? rcols : lcols;
+  const std::size_t fanout = ctx->spill->options().fanout;
+  const std::size_t max_depth = ctx->spill->options().max_recursion_depth;
+
+  TaggedRows collected{Relation{out_schema}, {}};
+  std::function<Status(const Relation&, const Relation&,
+                       const std::vector<uint64_t>&, std::size_t)>
+      recurse = [&](const Relation& b, const Relation& p,
+                    const std::vector<uint64_t>& ptags,
+                    std::size_t depth) -> Status {
+    ctx->spill->NoteRecursionDepth(depth + 1);
+    auto bparts = PartitionToSpill(b, bcols, IdentityTags(b.NumRows()),
+                                   depth, ctx);
+    if (!bparts.ok()) return bparts.status();
+    auto pparts = PartitionToSpill(p, pcols, ptags, depth, ctx);
+    if (!pparts.ok()) return pparts.status();
+    for (std::size_t i = 0; i < fanout; ++i) {
+      Relation bpart{b.schema()};
+      Relation ppart{p.schema()};
+      std::vector<uint64_t> btags, ptags_i;
+      Status rs = (*bparts)[i]->ReadBack(&bpart, &btags);
+      if (!rs.ok()) return rs;
+      rs = (*pparts)[i]->ReadBack(&ppart, &ptags_i);
+      if (!rs.ok()) return rs;
+      (*bparts)[i].reset();  // unlink both files before the pair runs
+      (*pparts)[i].reset();
+      ScopedTableMemory loaded(ctx, LoadedPairBytes(bpart, ppart));
+      if (!loaded.status().ok()) return loaded.status();
+      if (depth + 1 < max_depth && bpart.NumRows() > kMinSpillRows &&
+          ctx->ShouldSpill(JoinWorkingBytes(bpart, ppart))) {
+        rs = recurse(bpart, ppart, ptags_i, depth + 1);
+      } else {
+        rs = TaggedHashJoinKernel(bpart, ppart, ptags_i, bcols, pcols,
+                                  right_only, build_left, left.arity(), ctx,
+                                  &collected);
+      }
+      if (!rs.ok()) return rs;
+    }
+    return Status::Ok();
+  };
+  Status s = recurse(build, probe, IdentityTags(probe.NumRows()), 0);
+  if (!s.ok()) return s;
+  Relation out{std::move(out_schema)};
+  s = MergeByTag(std::move(collected), &out, ctx);
+  if (!s.ok()) return s;
+  return out;
+}
+
+// Serial tagged semijoin kernel; mirrors the in-memory loop (first match
+// wins, one row charge per emitted left row).
+Status TaggedSemiJoinKernel(const Relation& lpart, const Relation& rpart,
+                            const std::vector<uint64_t>& ltags,
+                            const std::vector<std::size_t>& lcols,
+                            const std::vector<std::size_t>& rcols,
+                            ExecContext* ctx, TaggedRows* out) {
+  Status s = ctx->ChargeWork(lpart.NumRows() + rpart.NumRows());
+  if (!s.ok()) return s;
+  std::vector<std::size_t> right_hash(rpart.NumRows());
+  for (std::size_t r = 0; r < rpart.NumRows(); ++r) {
+    right_hash[r] = HashRowKey(rpart.Row(r), rcols);
+  }
+  HashChainIndex table(rpart.NumRows());
+  for (std::size_t r = 0; r < rpart.NumRows(); ++r) {
+    table.Insert(right_hash[r], r);
+  }
+  for (std::size_t l = 0; l < lpart.NumRows(); ++l) {
+    auto lrow = lpart.Row(l);
+    std::size_t h = HashRowKey(lrow, lcols);
+    for (uint32_t it = table.First(h); it != HashChainIndex::kEnd;
+         it = table.Next(it)) {
+      if (right_hash[it] == h &&
+          RowKeysEqual(rpart.Row(it), rcols, lrow, lcols)) {
+        Status st = ctx->ChargeRows(1);
+        if (!st.ok()) return st;
+        out->rows.AddRow(lrow);
+        out->tags.push_back(ltags[l]);
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Relation> GraceSemiJoin(const Relation& left, const Relation& right,
+                               const std::vector<std::size_t>& lcols,
+                               const std::vector<std::size_t>& rcols,
+                               ExecContext* ctx) {
+  ctx->spill->NoteSpillEvent();
+  const std::size_t fanout = ctx->spill->options().fanout;
+  const std::size_t max_depth = ctx->spill->options().max_recursion_depth;
+  TaggedRows collected{Relation{left.schema()}, {}};
+  std::function<Status(const Relation&, const Relation&,
+                       const std::vector<uint64_t>&, std::size_t)>
+      recurse = [&](const Relation& l, const Relation& r,
+                    const std::vector<uint64_t>& ltags,
+                    std::size_t depth) -> Status {
+    ctx->spill->NoteRecursionDepth(depth + 1);
+    auto lparts = PartitionToSpill(l, lcols, ltags, depth, ctx);
+    if (!lparts.ok()) return lparts.status();
+    auto rparts = PartitionToSpill(r, rcols, IdentityTags(r.NumRows()),
+                                   depth, ctx);
+    if (!rparts.ok()) return rparts.status();
+    for (std::size_t i = 0; i < fanout; ++i) {
+      Relation lpart{l.schema()};
+      Relation rpart{r.schema()};
+      std::vector<uint64_t> ltags_i, rtags;
+      Status rs = (*lparts)[i]->ReadBack(&lpart, &ltags_i);
+      if (!rs.ok()) return rs;
+      rs = (*rparts)[i]->ReadBack(&rpart, &rtags);
+      if (!rs.ok()) return rs;
+      (*lparts)[i].reset();
+      (*rparts)[i].reset();
+      ScopedTableMemory loaded(ctx, LoadedPairBytes(rpart, lpart));
+      if (!loaded.status().ok()) return loaded.status();
+      if (depth + 1 < max_depth && rpart.NumRows() > kMinSpillRows &&
+          ctx->ShouldSpill(SemiJoinWorkingBytes(rpart, lpart))) {
+        rs = recurse(lpart, rpart, ltags_i, depth + 1);
+      } else {
+        rs = TaggedSemiJoinKernel(lpart, rpart, ltags_i, lcols, rcols, ctx,
+                                  &collected);
+      }
+      if (!rs.ok()) return rs;
+    }
+    return Status::Ok();
+  };
+  Status s = recurse(left, right, IdentityTags(left.NumRows()), 0);
+  if (!s.ok()) return s;
+  Relation out{left.schema()};
+  s = MergeByTag(std::move(collected), &out, ctx);
+  if (!s.ok()) return s;
+  return out;
+}
+
 }  // namespace
 
 std::vector<std::size_t> IndicesOf(const Relation& rel,
@@ -113,6 +424,91 @@ Relation ProjectByName(const Relation& rel,
                        bool distinct) {
   Relation projected = rel.Project(IndicesOf(rel, columns));
   return distinct ? projected.Distinct() : projected;
+}
+
+Result<Relation> ProjectByName(const Relation& rel,
+                               const std::vector<std::string>& columns,
+                               bool distinct, ExecContext* ctx) {
+  Relation projected = rel.Project(IndicesOf(rel, columns));
+  if (!distinct) return projected;
+  return SpillableDistinct(projected, ctx);
+}
+
+Result<Relation> SpillableDistinct(const Relation& rel, ExecContext* ctx) {
+  if (rel.arity() == 0 || rel.NumRows() == 0) return rel.Distinct();
+  std::vector<std::size_t> all_cols(rel.arity());
+  std::iota(all_cols.begin(), all_cols.end(), std::size_t{0});
+  if (!ctx->ShouldSpill(DistinctWorkingBytes(rel))) {
+    ScopedTableMemory working(ctx, DistinctWorkingBytes(rel));
+    if (!working.status().ok()) return working.status();
+    return rel.Distinct();
+  }
+
+  // Grace path: partition on the full-row hash (value-equal rows always
+  // share a partition), dedup each partition preserving order, keep each
+  // survivor's original row index as its tag. Merging by tag yields exactly
+  // Distinct()'s output: the first occurrence of every row, in input order.
+  ctx->spill->NoteSpillEvent();
+  const std::size_t fanout = ctx->spill->options().fanout;
+  const std::size_t max_depth = ctx->spill->options().max_recursion_depth;
+  TaggedRows collected{Relation{rel.schema()}, {}};
+  std::function<Status(const Relation&, const std::vector<uint64_t>&,
+                       std::size_t)>
+      recurse = [&](const Relation& in, const std::vector<uint64_t>& tags,
+                    std::size_t depth) -> Status {
+    ctx->spill->NoteRecursionDepth(depth + 1);
+    auto parts = PartitionToSpill(in, all_cols, tags, depth, ctx);
+    if (!parts.ok()) return parts.status();
+    for (std::size_t i = 0; i < fanout; ++i) {
+      Relation part{rel.schema()};
+      std::vector<uint64_t> part_tags;
+      Status rs = (*parts)[i]->ReadBack(&part, &part_tags);
+      if (!rs.ok()) return rs;
+      (*parts)[i].reset();
+      ScopedTableMemory loaded(
+          ctx, part.NumRows() * (part.arity() * sizeof(Value) + 16));
+      if (!loaded.status().ok()) return loaded.status();
+      if (depth + 1 < max_depth && part.NumRows() > kMinSpillRows &&
+          ctx->ShouldSpill(DistinctWorkingBytes(part))) {
+        rs = recurse(part, part_tags, depth + 1);
+        if (!rs.ok()) return rs;
+        continue;
+      }
+      // In-partition dedup, first occurrence wins — Distinct()'s algorithm
+      // with the tag carried along.
+      HashChainIndex seen(part.NumRows());
+      std::vector<std::size_t> kept_hash;
+      kept_hash.reserve(part.NumRows());
+      std::size_t kept_base = collected.rows.NumRows();
+      for (std::size_t r = 0; r < part.NumRows(); ++r) {
+        auto row = part.Row(r);
+        std::size_t h = HashRowKey(row, all_cols);
+        bool dup = false;
+        for (uint32_t it = seen.First(h); it != HashChainIndex::kEnd;
+             it = seen.Next(it)) {
+          if (kept_hash[it] == h &&
+              RowKeysEqual(collected.rows.Row(kept_base + it), all_cols, row,
+                           all_cols)) {
+            dup = true;
+            break;
+          }
+        }
+        if (!dup) {
+          seen.Insert(h, kept_hash.size());
+          kept_hash.push_back(h);
+          collected.rows.AddRow(row);
+          collected.tags.push_back(part_tags[r]);
+        }
+      }
+    }
+    return Status::Ok();
+  };
+  Status s = recurse(rel, IdentityTags(rel.NumRows()), 0);
+  if (!s.ok()) return s;
+  Relation out{rel.schema()};
+  s = MergeByTag(std::move(collected), &out, ctx);
+  if (!s.ok()) return s;
+  return out;
 }
 
 Result<Relation> ScanAtom(const ResolvedQuery& rq, std::size_t atom_index,
@@ -216,6 +612,17 @@ Result<Relation> NaturalHashJoin(const Relation& left, const Relation& right,
 
   Status s = ctx->ChargeWork(build.NumRows() + probe.NumRows());
   if (!s.ok()) return s;
+
+  // Memory-adaptive branch: when the build table would push live memory
+  // past the soft threshold, take the Grace spill path (byte-identical
+  // output). Otherwise charge the working set against the governor — with
+  // spilling disarmed this is where an undersized memory budget trips.
+  if (!lcols.empty() && ctx->ShouldSpill(JoinWorkingBytes(build, probe))) {
+    return GraceHashJoin(left, right, build_left, lcols, rcols, right_only,
+                         out.schema(), ctx);
+  }
+  ScopedTableMemory working(ctx, JoinWorkingBytes(build, probe));
+  if (!working.status().ok()) return working.status();
 
   // Both sides' key hashes up front; the build table is then pure pointer
   // writes and the probe loop never calls Value::Hash. The table is built
@@ -403,6 +810,11 @@ Result<Relation> NaturalSemiJoin(const Relation& left, const Relation& right,
   }
   Status s = ctx->ChargeWork(left.NumRows() + right.NumRows());
   if (!s.ok()) return s;
+  if (ctx->ShouldSpill(SemiJoinWorkingBytes(right, left))) {
+    return GraceSemiJoin(left, right, lcols, rcols, ctx);
+  }
+  ScopedTableMemory working(ctx, SemiJoinWorkingBytes(right, left));
+  if (!working.status().ok()) return working.status();
   std::vector<std::size_t> right_hash = PrecomputeKeyHashes(right, rcols, ctx);
   std::vector<std::size_t> left_hash = PrecomputeKeyHashes(left, lcols, ctx);
   HashChainIndex table(right.NumRows());

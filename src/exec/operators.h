@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "cq/isolator.h"
+#include "exec/spill.h"
 #include "storage/catalog.h"
 #include "storage/relation.h"
 #include "util/governor.h"
@@ -49,6 +50,13 @@ struct ExecContext {
   // partitioned kernels. Borrowed from ThreadPool::Shared.
   ThreadPool* pool = nullptr;
   std::size_t num_threads = 1;
+  // Memory-adaptive execution: with a SpillManager armed, an operator whose
+  // projected working set would push live charged memory past
+  // soft_memory_bytes takes the Grace-partitioned spill path instead of
+  // materializing (and possibly hard-tripping the governor's memory budget)
+  // in memory. Borrowed; cleared by the owner like `governor`.
+  SpillManager* spill = nullptr;
+  std::size_t soft_memory_bytes = std::numeric_limits<std::size_t>::max();
 
   std::atomic<std::size_t> rows_charged{0};
   std::atomic<std::size_t> work_charged{0};
@@ -65,6 +73,8 @@ struct ExecContext {
     governor = other.governor;
     pool = other.pool;
     num_threads = other.num_threads;
+    spill = other.spill;
+    soft_memory_bytes = other.soft_memory_bytes;
     rows_charged.store(other.rows_charged.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
     work_charged.store(other.work_charged.load(std::memory_order_relaxed),
@@ -96,6 +106,46 @@ struct ExecContext {
       governor->NotePeakMemory(rows * sizeof(Value));
     }
   }
+
+  // True when materializing `projected_bytes` more working set should take
+  // the spill path: a manager is armed and the projection added to the
+  // governor's live balance crosses the soft threshold.
+  bool ShouldSpill(std::size_t projected_bytes) const {
+    if (spill == nullptr) return false;
+    std::size_t live =
+        governor != nullptr ? governor->live_memory_bytes() : 0;
+    return SaturatingAdd(live, projected_bytes) > soft_memory_bytes;
+  }
+
+  // Live-memory accounting for operator working sets (hash tables, loaded
+  // spill partitions). Charge may trip the governor's hard memory budget;
+  // Release credits the balance back when the working set is freed.
+  Status ChargeTableMemory(std::size_t bytes) {
+    if (governor == nullptr) return Status::Ok();
+    return governor->ChargeMemory(bytes);
+  }
+  void ReleaseTableMemory(std::size_t bytes) {
+    if (governor != nullptr) governor->ReleaseMemory(bytes);
+  }
+};
+
+// RAII working-set charge: charges on construction (status() reports a
+// governor trip), releases the same amount on destruction — every operator
+// exit path, error or success, credits the governor back.
+class ScopedTableMemory {
+ public:
+  ScopedTableMemory(ExecContext* ctx, std::size_t bytes)
+      : ctx_(ctx), bytes_(bytes), status_(ctx->ChargeTableMemory(bytes)) {}
+  ~ScopedTableMemory() { ctx_->ReleaseTableMemory(bytes_); }
+  ScopedTableMemory(const ScopedTableMemory&) = delete;
+  ScopedTableMemory& operator=(const ScopedTableMemory&) = delete;
+
+  const Status& status() const { return status_; }
+
+ private:
+  ExecContext* ctx_;
+  std::size_t bytes_;
+  Status status_;
 };
 
 // Scans the base relation of atom `atom_index` of `rq`: applies the atom's
@@ -131,6 +181,19 @@ Result<Relation> NaturalSemiJoin(const Relation& left, const Relation& right,
 // checked failure. Deduplicates when `distinct`.
 Relation ProjectByName(const Relation& rel,
                        const std::vector<std::string>& columns, bool distinct);
+
+// Context-aware variant used at the hot q-HD/Yannakakis call sites: the
+// distinct pass goes through SpillableDistinct below, so a projection whose
+// dedup working set crosses the soft memory threshold spills instead of
+// materializing its hash index in memory. Same rows, same order.
+Result<Relation> ProjectByName(const Relation& rel,
+                               const std::vector<std::string>& columns,
+                               bool distinct, ExecContext* ctx);
+
+// Relation::Distinct with working-set accounting and a Grace-partitioned
+// spill path — byte-identical to Distinct() (first occurrence of every row,
+// in input order) whether or not it spills.
+Result<Relation> SpillableDistinct(const Relation& rel, ExecContext* ctx);
 
 // Column indices of `names` within rel's schema (checked).
 std::vector<std::size_t> IndicesOf(const Relation& rel,

@@ -1,0 +1,214 @@
+#include "exec/spill.h"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "util/fault_injector.h"
+#include "util/governor.h"
+
+namespace htqo {
+
+namespace fs = std::filesystem;
+
+SpillManager::SpillManager(SpillOptions options)
+    : options_(std::move(options)) {
+  if (options_.fanout < 2) options_.fanout = 2;
+}
+
+SpillManager::~SpillManager() {
+  // SpillFiles unlink themselves; whatever survives (files abandoned by an
+  // error path, the run directory itself) goes here. error_code overloads:
+  // teardown never throws.
+  if (run_dir_ready_) {
+    std::error_code ec;
+    fs::remove_all(run_dir_, ec);
+  }
+}
+
+SpillCounters SpillManager::counters() const {
+  SpillCounters out;
+  out.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  out.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  out.partitions = partitions_.load(std::memory_order_relaxed);
+  out.spill_events = spill_events_.load(std::memory_order_relaxed);
+  out.max_recursion_depth = max_depth_.load(std::memory_order_relaxed);
+  out.retries = retries_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void SpillManager::NoteRecursionDepth(std::size_t depth) {
+  AtomicMax(&max_depth_, depth);
+}
+
+Status SpillManager::ChargeDisk(std::size_t bytes) {
+  std::size_t total = AtomicSaturatingAdd(&bytes_written_, bytes);
+  if (total > options_.disk_budget_bytes) {
+    return Status::ResourceExhausted(
+        "spill disk budget exceeded (" + std::to_string(total) + " > " +
+        std::to_string(options_.disk_budget_bytes) + " bytes)");
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<SpillFile>> SpillManager::Create() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!run_dir_ready_) {
+      std::error_code ec;
+      fs::path base = options_.dir.empty() ? fs::temp_directory_path(ec)
+                                           : fs::path(options_.dir);
+      if (ec) {
+        return Status::ResourceExhausted("spill: no temp directory: " +
+                                         ec.message());
+      }
+      fs::path dir = base / ("htqo-spill-" + std::to_string(::getpid()) +
+                             "-" + std::to_string(
+                                       reinterpret_cast<uintptr_t>(this)));
+      fs::create_directories(dir, ec);
+      if (ec) {
+        return Status::ResourceExhausted(
+            "spill: cannot create spill directory " + dir.string() + ": " +
+            ec.message());
+      }
+      run_dir_ = dir.string();
+      run_dir_ready_ = true;
+    }
+    path = run_dir_ + "/part-" + std::to_string(next_file_id_++) + ".spill";
+  }
+
+  FaultInjector& injector = FaultInjector::Instance();
+  for (std::size_t attempt = 0; attempt <= options_.retry_limit; ++attempt) {
+    if (injector.ShouldFail(kFaultSiteSpillOpen)) {
+      NoteRetry();
+      continue;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "wb+");
+    if (f == nullptr) {
+      NoteRetry();
+      continue;
+    }
+    partitions_.fetch_add(1, std::memory_order_relaxed);
+    return std::unique_ptr<SpillFile>(new SpillFile(this, std::move(path), f));
+  }
+  return Status::ResourceExhausted(
+      "spill: cannot open partition file after " +
+      std::to_string(options_.retry_limit + 1) + " attempts (site spill.open)");
+}
+
+SpillFile::~SpillFile() {
+  if (file_ != nullptr) std::fclose(file_);
+  std::remove(path_.c_str());
+}
+
+Status SpillFile::Append(uint64_t tag, std::span<const Value> row) {
+  HTQO_DCHECK(!finished_);
+  buffer_.append(reinterpret_cast<const char*>(&tag), sizeof(tag));
+  for (const Value& v : row) EncodeValue(v, &buffer_);
+  ++rows_;
+  if (buffer_.size() >= manager_->options().write_buffer_bytes) {
+    return Flush();
+  }
+  return Status::Ok();
+}
+
+Status SpillFile::Flush() {
+  if (buffer_.empty()) return Status::Ok();
+  // The disk budget is charged before the bytes land so a run can never
+  // overshoot it by a whole buffer unobserved; this is the spill path's
+  // hard kill and is not retried.
+  Status budget = manager_->ChargeDisk(buffer_.size());
+  if (!budget.ok()) return budget;
+  FaultInjector& injector = FaultInjector::Instance();
+  const std::size_t retry_limit = manager_->options().retry_limit;
+  for (std::size_t attempt = 0; attempt <= retry_limit; ++attempt) {
+    if (injector.ShouldFail(kFaultSiteSpillWrite)) {
+      manager_->NoteRetry();
+      continue;
+    }
+    std::clearerr(file_);
+    if (std::fseek(file_, static_cast<long>(bytes_), SEEK_SET) != 0) {
+      manager_->NoteRetry();
+      continue;
+    }
+    if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
+        buffer_.size()) {
+      manager_->NoteRetry();
+      continue;
+    }
+    bytes_ += buffer_.size();
+    buffer_.clear();
+    return Status::Ok();
+  }
+  return Status::ResourceExhausted(
+      "spill: write failed after " + std::to_string(retry_limit + 1) +
+      " attempts (site spill.write)");
+}
+
+Status SpillFile::Finish() {
+  Status s = Flush();
+  if (!s.ok()) return s;
+  finished_ = true;
+  return Status::Ok();
+}
+
+Status SpillFile::ReadBack(Relation* out, std::vector<uint64_t>* tags) {
+  HTQO_DCHECK(finished_);
+  FaultInjector& injector = FaultInjector::Instance();
+  const std::size_t retry_limit = manager_->options().retry_limit;
+  std::string raw;
+  bool read_ok = false;
+  for (std::size_t attempt = 0; attempt <= retry_limit; ++attempt) {
+    if (injector.ShouldFail(kFaultSiteSpillRead)) {
+      manager_->NoteRetry();
+      continue;
+    }
+    std::clearerr(file_);
+    if (std::fseek(file_, 0, SEEK_SET) != 0) {
+      manager_->NoteRetry();
+      continue;
+    }
+    raw.resize(bytes_);
+    if (std::fread(raw.data(), 1, bytes_, file_) != bytes_) {
+      manager_->NoteRetry();
+      continue;
+    }
+    read_ok = true;
+    break;
+  }
+  if (!read_ok) {
+    return Status::ResourceExhausted(
+        "spill: read failed after " + std::to_string(retry_limit + 1) +
+        " attempts (site spill.read)");
+  }
+  manager_->NoteBytesRead(bytes_);
+
+  const std::size_t arity = out->arity();
+  Status alloc = out->TryReserve(rows_);
+  if (!alloc.ok()) return alloc;
+  tags->reserve(tags->size() + rows_);
+  const char* cursor = raw.data();
+  const char* end = raw.data() + raw.size();
+  std::vector<Value> row(arity);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    uint64_t tag;
+    if (end - cursor < static_cast<std::ptrdiff_t>(sizeof(tag))) {
+      return Status::Internal("spill: truncated partition file " + path_);
+    }
+    std::memcpy(&tag, cursor, sizeof(tag));
+    cursor += sizeof(tag);
+    for (std::size_t c = 0; c < arity; ++c) {
+      if (!DecodeValue(&cursor, end, &row[c])) {
+        return Status::Internal("spill: corrupt partition file " + path_);
+      }
+    }
+    tags->push_back(tag);
+    out->AddRow(row);
+  }
+  return Status::Ok();
+}
+
+}  // namespace htqo

@@ -13,14 +13,14 @@ namespace {
 
 // Projects `rel` onto the chi variables that are present in its schema,
 // deduplicating (set semantics).
-Relation ProjectToChi(const ResolvedQuery& rq, const Bitset& chi,
-                      const Relation& rel) {
+Result<Relation> ProjectToChi(const ResolvedQuery& rq, const Bitset& chi,
+                              const Relation& rel, ExecContext* ctx) {
   std::vector<std::string> keep;
   for (std::size_t v : chi.ToVector()) {
     const std::string& name = rq.cq.vars[v].name;
     if (rel.schema().IndexOf(name).has_value()) keep.push_back(name);
   }
-  return ProjectByName(rel, keep, /*distinct=*/true);
+  return ProjectByName(rel, keep, /*distinct=*/true, ctx);
 }
 
 }  // namespace
@@ -88,7 +88,7 @@ Result<Relation> EvaluateDecomposition(const ResolvedQuery& rq,
         }
         if (needed) names.push_back(col.name);
       }
-      return ProjectByName(in, names, /*distinct=*/true);
+      return ProjectByName(in, names, /*distinct=*/true, ctx);
     };
 
     std::vector<bool> used(pool.size(), false);
@@ -128,11 +128,15 @@ Result<Relation> EvaluateDecomposition(const ResolvedQuery& rq,
       pool[best].rel = Relation();  // free eagerly
       Status s = ctx->ChargeWork(joined->NumRows());
       if (!s.ok()) return s;
-      current = project_needed(*joined, used);
+      auto projected = project_needed(*joined, used);
+      if (!projected.ok()) return projected.status();
+      current = std::move(projected.value());
       ctx->NotePeak(current->NumRows());
     }
     // Final projection to chi(p) exactly.
-    current = ProjectToChi(rq, node.chi, *current);
+    auto chi_rel = ProjectToChi(rq, node.chi, *current, ctx);
+    if (!chi_rel.ok()) return chi_rel.status();
+    current = std::move(chi_rel.value());
     ctx->NotePeak(current->NumRows());
 
     HTQO_CHECK(current.has_value());
@@ -169,7 +173,7 @@ Result<Relation> EvaluateDecomposition(const ResolvedQuery& rq,
   std::vector<std::string> out_names;
   out_names.reserve(rq.cq.output_vars.size());
   for (VarId v : rq.cq.output_vars) out_names.push_back(rq.cq.vars[v].name);
-  return ProjectByName(*rel[hd.root()], out_names, /*distinct=*/true);
+  return ProjectByName(*rel[hd.root()], out_names, /*distinct=*/true, ctx);
 }
 
 Result<QhdEvaluation> EvaluateQhd(const ResolvedQuery& rq,

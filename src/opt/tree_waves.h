@@ -14,6 +14,13 @@
 // node a serial sweep would report when failures are deterministic — and a
 // governor trip mid-wave surfaces as the trip status even when later chunks
 // were never claimed.
+//
+// Memory-adaptive execution composes with waves without extra machinery:
+// each node body calls the spill-aware operators, which consult the shared
+// (thread-safe) SpillManager through the one ExecContext, so every node of
+// a wave decides independently whether its join/semijoin/distinct spills.
+// The spill path itself is serial per operator, which keeps per-node output
+// byte-identical at any thread count.
 
 #ifndef HTQO_OPT_TREE_WAVES_H_
 #define HTQO_OPT_TREE_WAVES_H_

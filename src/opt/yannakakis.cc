@@ -96,7 +96,9 @@ Result<Relation> ThreePass(std::vector<Relation> nodes, const Forest& forest,
       }
       if (needed) keep.push_back(col.name);
     }
-    collected[p] = ProjectByName(t, keep, /*distinct=*/true);
+    auto projected = ProjectByName(t, keep, /*distinct=*/true, ctx);
+    if (!projected.ok()) return projected.status();
+    collected[p] = std::move(projected.value());
     ctx->NotePeak(collected[p]->NumRows());
     return Status::Ok();
   };
@@ -141,7 +143,7 @@ Result<Relation> ThreePass(std::vector<Relation> nodes, const Forest& forest,
     collected[r].reset();
   }
   HTQO_CHECK(result.has_value());
-  return ProjectByName(*result, out_names, /*distinct=*/true);
+  return ProjectByName(*result, out_names, /*distinct=*/true, ctx);
 }
 
 std::vector<std::string> OutNames(const ResolvedQuery& rq) {
@@ -266,7 +268,9 @@ Result<Relation> EvaluateDecompositionClassic(const ResolvedQuery& rq,
     for (std::size_t v : node.chi.ToVector()) {
       chi_names.push_back(rq.cq.vars[v].name);
     }
-    nodes.push_back(ProjectByName(current, chi_names, /*distinct=*/true));
+    auto chi_rel = ProjectByName(current, chi_names, /*distinct=*/true, ctx);
+    if (!chi_rel.ok()) return chi_rel.status();
+    nodes.push_back(std::move(chi_rel.value()));
     ctx->NotePeak(nodes.back().NumRows());
   }
 

@@ -1,6 +1,7 @@
 #include "storage/value.h"
 
 #include <charconv>
+#include <cstddef>
 #include <cstdio>
 #include <mutex>
 #include <unordered_set>
@@ -136,6 +137,71 @@ std::string Value::ToString(bool quoted) const {
       return quoted ? "date '" + FormatDate(int_) + "'" : FormatDate(int_);
   }
   return "?";
+}
+
+void EncodeValue(const Value& v, std::string* out) {
+  out->push_back(static_cast<char>(v.type()));
+  switch (v.type()) {
+    case ValueType::kInt64:
+    case ValueType::kDate: {
+      int64_t payload = v.AsInt64();
+      out->append(reinterpret_cast<const char*>(&payload), sizeof(payload));
+      return;
+    }
+    case ValueType::kDouble: {
+      double payload = v.AsDouble();
+      out->append(reinterpret_cast<const char*>(&payload), sizeof(payload));
+      return;
+    }
+    case ValueType::kString: {
+      const std::string& s = v.AsString();
+      uint32_t len = static_cast<uint32_t>(s.size());
+      out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+      out->append(s);
+      return;
+    }
+  }
+}
+
+bool DecodeValue(const char** cursor, const char* end, Value* out) {
+  const char* p = *cursor;
+  if (p >= end) return false;
+  uint8_t tag = static_cast<uint8_t>(*p++);
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kInt64:
+    case ValueType::kDate: {
+      int64_t payload;
+      if (end - p < static_cast<ptrdiff_t>(sizeof(payload))) return false;
+      __builtin_memcpy(&payload, p, sizeof(payload));
+      p += sizeof(payload);
+      *out = static_cast<ValueType>(tag) == ValueType::kDate
+                 ? Value::Date(payload)
+                 : Value::Int64(payload);
+      break;
+    }
+    case ValueType::kDouble: {
+      double payload;
+      if (end - p < static_cast<ptrdiff_t>(sizeof(payload))) return false;
+      __builtin_memcpy(&payload, p, sizeof(payload));
+      p += sizeof(payload);
+      *out = Value::Double(payload);
+      break;
+    }
+    case ValueType::kString: {
+      uint32_t len;
+      if (end - p < static_cast<ptrdiff_t>(sizeof(len))) return false;
+      __builtin_memcpy(&len, p, sizeof(len));
+      p += sizeof(len);
+      if (end - p < static_cast<ptrdiff_t>(len)) return false;
+      *out = Value::String(std::string_view(p, len));
+      p += len;
+      break;
+    }
+    default:
+      return false;
+  }
+  *cursor = p;
+  return true;
 }
 
 std::string FormatDate(int64_t days_since_epoch) {

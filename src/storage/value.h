@@ -121,6 +121,15 @@ struct ValueHash {
   std::size_t operator()(const Value& v) const { return v.Hash(); }
 };
 
+// Compact binary serialization, used by the spill layer's row-batch files.
+// Layout: one type-tag byte, then an 8-byte little-endian payload for
+// int64/double/date, or a u32 length + raw bytes for strings (re-interned
+// on decode, so round-tripped Values keep the pointer-equality fast path).
+void EncodeValue(const Value& v, std::string* out);
+// Decodes one value at *cursor, advancing it. Returns false (cursor
+// position unspecified) on truncated or malformed input.
+bool DecodeValue(const char** cursor, const char* end, Value* out);
+
 // "YYYY-MM-DD" for a day count; used by Value::ToString for kDate.
 std::string FormatDate(int64_t days_since_epoch);
 // Inverse of FormatDate. Returns false on malformed input.

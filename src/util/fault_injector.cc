@@ -1,5 +1,6 @@
 #include "util/fault_injector.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace htqo {
@@ -9,13 +10,22 @@ FaultInjector& FaultInjector::Instance() {
   return instance;
 }
 
-void FaultInjector::Arm(const FaultPlan& plan) {
+Status FaultInjector::Arm(const FaultPlan& plan) {
+  if (!plan.site.empty()) {
+    const std::vector<std::string> known = KnownSites();
+    if (std::find(known.begin(), known.end(), plan.site) == known.end()) {
+      Disarm();
+      return Status::InvalidArgument("unknown fault site '" + plan.site +
+                                     "' (see FaultInjector::KnownSites)");
+    }
+  }
   std::lock_guard<std::mutex> lock(mu_);
   plan_ = plan;
   rng_ = Rng(plan.seed);
   hits_ = 0;
   fires_ = 0;
   armed_.store(true, std::memory_order_release);
+  return Status::Ok();
 }
 
 void FaultInjector::Disarm() {
@@ -38,8 +48,9 @@ bool FaultInjector::ShouldFailSlow(const char* site) {
 }
 
 std::vector<std::string> FaultInjector::KnownSites() {
-  return {kFaultSiteRelationAlloc, kFaultSiteStatsLookup,
-          kFaultSiteGovernorCheckpoint};
+  return {kFaultSiteRelationAlloc,     kFaultSiteStatsLookup,
+          kFaultSiteGovernorCheckpoint, kFaultSiteSpillOpen,
+          kFaultSiteSpillWrite,         kFaultSiteSpillRead};
 }
 
 }  // namespace htqo

@@ -13,6 +13,9 @@
 //   stats.lookup         the Estimator behaves as if the relation had no
 //                        gathered statistics (degrades to defaults)
 //   governor.checkpoint  the ResourceGovernor trips kDeadlineExceeded
+//   spill.open           SpillManager fails to create a partition temp file
+//   spill.write          a buffered spill write fails (retried, bounded)
+//   spill.read           a spilled partition read fails (retried, bounded)
 
 #ifndef HTQO_UTIL_FAULT_INJECTOR_H_
 #define HTQO_UTIL_FAULT_INJECTOR_H_
@@ -25,6 +28,7 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace htqo {
 
@@ -34,6 +38,9 @@ inline constexpr const char kFaultSiteRelationAlloc[] = "relation.alloc";
 inline constexpr const char kFaultSiteStatsLookup[] = "stats.lookup";
 inline constexpr const char kFaultSiteGovernorCheckpoint[] =
     "governor.checkpoint";
+inline constexpr const char kFaultSiteSpillOpen[] = "spill.open";
+inline constexpr const char kFaultSiteSpillWrite[] = "spill.write";
+inline constexpr const char kFaultSiteSpillRead[] = "spill.read";
 
 struct FaultPlan {
   // Exact site to target; the empty string targets every site.
@@ -52,7 +59,11 @@ class FaultInjector {
  public:
   static FaultInjector& Instance();
 
-  void Arm(const FaultPlan& plan);
+  // Arms the plan. A plan naming a site that is not in KnownSites() (and is
+  // not the match-everything empty string) returns kInvalidArgument and
+  // leaves the injector disarmed — a typo'd site in a chaos configuration
+  // must fail loudly, not silently never fire.
+  Status Arm(const FaultPlan& plan);
   void Disarm();
   bool armed() const { return armed_.load(std::memory_order_relaxed); }
 
@@ -92,16 +103,21 @@ class FaultInjector {
   std::size_t fires_ = 0;
 };
 
-// Arms on construction, disarms on destruction.
+// Arms on construction, disarms on destruction. `status()` reports whether
+// the plan was accepted (kInvalidArgument for unknown sites).
 class ScopedFaultInjection {
  public:
-  explicit ScopedFaultInjection(const FaultPlan& plan) {
-    FaultInjector::Instance().Arm(plan);
-  }
+  explicit ScopedFaultInjection(const FaultPlan& plan)
+      : status_(FaultInjector::Instance().Arm(plan)) {}
   ~ScopedFaultInjection() { FaultInjector::Instance().Disarm(); }
+
+  const Status& status() const { return status_; }
 
   ScopedFaultInjection(const ScopedFaultInjection&) = delete;
   ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+ private:
+  Status status_;
 };
 
 }  // namespace htqo

@@ -6,6 +6,22 @@
 
 namespace htqo {
 
+const char* TripReasonName(TripReason reason) {
+  switch (reason) {
+    case TripReason::kNone:
+      return "none";
+    case TripReason::kDeadline:
+      return "deadline";
+    case TripReason::kNodeBudget:
+      return "node-budget";
+    case TripReason::kMemory:
+      return "memory";
+    case TripReason::kCancelled:
+      return "cancelled";
+  }
+  return "none";
+}
+
 void GovernorStats::Merge(const GovernorStats& other) {
   search_nodes = SaturatingAdd(search_nodes, other.search_nodes);
   exec_charges = SaturatingAdd(exec_charges, other.exec_charges);
@@ -14,6 +30,10 @@ void GovernorStats::Merge(const GovernorStats& other) {
   budget_hits += other.budget_hits;
   memory_hits += other.memory_hits;
   cancellations += other.cancellations;
+  soft_memory_hits += other.soft_memory_hits;
+  // The aggregate keeps the first attempt's reason: that trip is what set
+  // the degradation ladder in motion.
+  if (trip_reason == TripReason::kNone) trip_reason = other.trip_reason;
   elapsed_seconds += other.elapsed_seconds;
 }
 
@@ -31,7 +51,8 @@ ResourceGovernor::Options ResourceGovernor::Options::AfterSeconds(
 ResourceGovernor::ResourceGovernor(const Options& options)
     : options_(options), start_(Clock::now()) {}
 
-Status ResourceGovernor::Trip(std::size_t GovernorStats::* counter,
+Status ResourceGovernor::Trip(TripReason reason,
+                              std::size_t GovernorStats::* counter,
                               std::string message) {
   std::lock_guard<std::mutex> lock(trip_mu_);
   // First tripping thread wins; later trips (possible when several workers
@@ -39,6 +60,10 @@ Status ResourceGovernor::Trip(std::size_t GovernorStats::* counter,
   // whole pipeline reports one coherent reason.
   if (!tripped_.load(std::memory_order_relaxed)) {
     ++(trip_counters_.*counter);
+    trip_counters_.trip_reason = reason;
+    message += " [governor trip: ";
+    message += TripReasonName(reason);
+    message += "]";
     trip_ = Status::DeadlineExceeded(std::move(message));
     tripped_.store(true, std::memory_order_release);
   }
@@ -52,15 +77,17 @@ Status ResourceGovernor::trip_status() const {
 
 Status ResourceGovernor::Poll() {
   if (cancel_requested_.load(std::memory_order_relaxed)) {
-    return Trip(&GovernorStats::cancellations, "query cancelled");
+    return Trip(TripReason::kCancelled, &GovernorStats::cancellations,
+                "query cancelled");
   }
   if (FaultInjector::Instance().ShouldFail(kFaultSiteGovernorCheckpoint)) {
-    return Trip(&GovernorStats::deadline_hits,
+    return Trip(TripReason::kDeadline, &GovernorStats::deadline_hits,
                 "injected fault at governor checkpoint");
   }
   if (options_.deadline != Clock::time_point::max() &&
       Clock::now() >= options_.deadline) {
-    return Trip(&GovernorStats::deadline_hits, "deadline exceeded");
+    return Trip(TripReason::kDeadline, &GovernorStats::deadline_hits,
+                "deadline exceeded");
   }
   return Status::Ok();
 }
@@ -68,7 +95,8 @@ Status ResourceGovernor::Poll() {
 Status ResourceGovernor::ChargeNodes(std::size_t n) {
   if (exhausted()) return trip_status();
   if (AtomicSaturatingAdd(&search_nodes_, n) > options_.node_budget) {
-    return Trip(&GovernorStats::budget_hits, "search-node budget exceeded");
+    return Trip(TripReason::kNodeBudget, &GovernorStats::budget_hits,
+                "search-node budget exceeded");
   }
   if (AtomicSaturatingAdd(&charges_since_poll_, n) >= kPollStride) {
     charges_since_poll_.store(0, std::memory_order_relaxed);
@@ -91,8 +119,13 @@ Status ResourceGovernor::ChargeMemory(std::size_t bytes) {
   if (exhausted()) return trip_status();
   std::size_t live = AtomicSaturatingAdd(&live_memory_, bytes);
   AtomicMax(&peak_memory_, live);
+  if (live > options_.soft_memory_bytes &&
+      !soft_exceeded_.exchange(true, std::memory_order_relaxed)) {
+    if (options_.soft_memory_callback) options_.soft_memory_callback(live);
+  }
   if (live > options_.memory_budget_bytes) {
-    return Trip(&GovernorStats::memory_hits, "memory budget exceeded");
+    return Trip(TripReason::kMemory, &GovernorStats::memory_hits,
+                "memory budget exceeded");
   }
   return Status::Ok();
 }
@@ -127,6 +160,7 @@ GovernorStats ResourceGovernor::stats() const {
   out.search_nodes = search_nodes_.load(std::memory_order_relaxed);
   out.exec_charges = exec_charges_.load(std::memory_order_relaxed);
   out.peak_memory_bytes = peak_memory_.load(std::memory_order_relaxed);
+  out.soft_memory_hits = soft_exceeded_.load(std::memory_order_relaxed) ? 1 : 0;
   out.elapsed_seconds = elapsed_seconds();
   return out;
 }

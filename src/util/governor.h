@@ -32,6 +32,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <mutex>
 #include <string>
@@ -70,6 +71,20 @@ inline void AtomicMax(std::atomic<std::size_t>* high_water,
   }
 }
 
+// Why a governor tripped. All trips still surface as
+// StatusCode::kDeadlineExceeded (the pipeline-wide "governed stop" code);
+// the reason disambiguates deadline vs. node budget vs. memory in
+// QueryRun::governor and the bench JSON without changing the error contract.
+enum class TripReason {
+  kNone = 0,
+  kDeadline,
+  kNodeBudget,
+  kMemory,
+  kCancelled,
+};
+
+const char* TripReasonName(TripReason reason);
+
 // Snapshot of what a governor observed; aggregated across degradation-ladder
 // attempts into QueryRun::governor and the benchmark JSON.
 struct GovernorStats {
@@ -80,6 +95,8 @@ struct GovernorStats {
   std::size_t budget_hits = 0;       // trips by the node budget
   std::size_t memory_hits = 0;       // trips by the memory budget
   std::size_t cancellations = 0;     // trips by Cancel()
+  std::size_t soft_memory_hits = 0;  // soft-threshold crossings (no trip)
+  TripReason trip_reason = TripReason::kNone;  // first trip's reason
   double elapsed_seconds = 0;
 
   std::size_t trips() const {
@@ -98,6 +115,13 @@ class ResourceGovernor {
     Clock::time_point deadline = Clock::time_point::max();
     std::size_t node_budget = std::numeric_limits<std::size_t>::max();
     std::size_t memory_budget_bytes = std::numeric_limits<std::size_t>::max();
+    // Soft memory threshold: crossing it never trips — it flips a sticky
+    // flag (and fires the callback once) that the execution layer reads to
+    // switch operators into spill mode before the hard budget is reached.
+    std::size_t soft_memory_bytes = std::numeric_limits<std::size_t>::max();
+    // Invoked at most once, from whichever thread first crosses the soft
+    // threshold, with the live byte balance at the crossing. May be empty.
+    std::function<void(std::size_t)> soft_memory_callback;
 
     static Options Unlimited() { return Options(); }
     // Deadline `seconds` from now; <= 0 means no deadline.
@@ -124,6 +148,16 @@ class ResourceGovernor {
   // (ExecContext forwards its peak-rows estimate here).
   void NotePeakMemory(std::size_t bytes) { AtomicMax(&peak_memory_, bytes); }
 
+  // Current live charged bytes; operators add their projected working set
+  // to this when deciding whether to take the spill path.
+  std::size_t live_memory_bytes() const {
+    return live_memory_.load(std::memory_order_relaxed);
+  }
+  // Sticky: true once live memory has ever crossed soft_memory_bytes.
+  bool soft_memory_exceeded() const {
+    return soft_exceeded_.load(std::memory_order_relaxed);
+  }
+
   // Polls deadline, cancellation, and the governor.checkpoint fault site
   // immediately. Sticky on trip.
   Status Check();
@@ -146,7 +180,8 @@ class ResourceGovernor {
   static constexpr std::size_t kPollStride = 256;
 
  private:
-  Status Trip(std::size_t GovernorStats::* counter, std::string message);
+  Status Trip(TripReason reason, std::size_t GovernorStats::* counter,
+              std::string message);
   Status Poll();  // deadline + cancellation + fault site
 
   Options options_;
@@ -158,6 +193,7 @@ class ResourceGovernor {
   std::atomic<std::size_t> peak_memory_{0};
   std::atomic<bool> tripped_{false};
   std::atomic<bool> cancel_requested_{false};
+  std::atomic<bool> soft_exceeded_{false};
   // Trip record: written once by the first tripping thread, then read-only.
   // trip_counters_ holds the deadline/budget/memory/cancel hit counts.
   mutable std::mutex trip_mu_;

@@ -1,0 +1,158 @@
+// Chaos sweep (tools/check.sh --chaos runs this under ASan): an end-to-end
+// workload executed under every registered fault site × {always-fire,
+// p=0.05} × {1, 4} threads, with spilling forced so the spill.* sites are
+// actually reached. The contract, for every cell of the matrix:
+//   - no crash, no sanitizer report (the harness runs this suite under
+//     ASan/UBSan),
+//   - a failing run fails with a typed Status (kResourceExhausted or
+//     kDeadlineExceeded — the codes the degradation ladder and budgets
+//     use), never anything untyped,
+//   - a succeeding run returns the right answer: the same row multiset as
+//     the fault-free reference (fault-perturbed statistics may legally pick
+//     a different plan, which only permutes row order).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/hybrid_optimizer.h"
+#include "util/fault_injector.h"
+#include "workload/query_gen.h"
+#include "workload/synthetic.h"
+
+namespace htqo {
+namespace {
+
+// Canonical (sorted) comparison: exact multiset equality, insensitive to
+// the row-order changes a fault-perturbed plan may introduce.
+bool SameRowMultiset(const Relation& a, const Relation& b) {
+  if (a.arity() != b.arity() || a.NumRows() != b.NumRows()) return false;
+  Relation sa = a;
+  Relation sb = b;
+  sa.SortBy({});
+  sb.SortBy({});
+  for (std::size_t r = 0; r < sa.NumRows(); ++r) {
+    for (std::size_t c = 0; c < sa.arity(); ++c) {
+      if (!(sa.At(r, c) == sb.At(r, c))) return false;
+    }
+  }
+  return true;
+}
+
+class ChaosSweepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PopulateSyntheticCatalog(SyntheticConfig{3000, 60, 6, 99}, &catalog_);
+    registry_.AnalyzeAll(catalog_);
+  }
+
+  // Spilling forced: a finite memory budget with a tiny soft threshold, so
+  // every join takes the spill path and the spill.open/write/read sites are
+  // reachable. governor.checkpoint is reachable because the finite budget
+  // makes the run governed.
+  RunOptions ChaosOptions(OptimizerMode mode, std::size_t threads) {
+    RunOptions options;
+    options.mode = mode;
+    options.num_threads = threads;
+    options.enable_spill = true;
+    options.memory_budget_bytes = 16u << 20;
+    options.soft_memory_fraction = 0.002;  // soft ≈ 32 KiB
+    return options;
+  }
+
+  Catalog catalog_;
+  StatisticsRegistry registry_;
+};
+
+TEST_F(ChaosSweepTest, EverySiteEveryProbabilityEveryThreadCount) {
+  HybridOptimizer optimizer(&catalog_, &registry_);
+  const std::vector<std::pair<std::string, OptimizerMode>> workload = {
+      {ChainQuerySql(4), OptimizerMode::kQhdHybrid},
+      {LineQuerySql(5), OptimizerMode::kDpStatistics},
+  };
+
+  // Fault-free references (per query × thread count), plus a sanity check
+  // that the forced-spill configuration actually exercises the spill layer
+  // — a sweep whose spill sites are unreachable would prove nothing.
+  std::map<std::pair<std::size_t, std::size_t>, Relation> reference;
+  for (std::size_t q = 0; q < workload.size(); ++q) {
+    for (std::size_t threads : {1, 4}) {
+      auto run = optimizer.Run(workload[q].first,
+                               ChaosOptions(workload[q].second, threads));
+      ASSERT_TRUE(run.ok()) << run.status().message();
+      ASSERT_GT(run->spill.spill_events, 0u)
+          << "chaos configuration does not reach the spill sites";
+      reference[{q, threads}] = run->output;
+    }
+  }
+
+  std::size_t failures_observed = 0;
+  for (const std::string& site : FaultInjector::KnownSites()) {
+    for (double probability : {1.0, 0.05}) {
+      for (std::size_t threads : {1, 4}) {
+        for (std::size_t q = 0; q < workload.size(); ++q) {
+          FaultPlan plan;
+          plan.site = site;
+          plan.probability = probability;
+          plan.seed = 1 + q * 17 + threads;
+          ScopedFaultInjection injection(plan);
+          ASSERT_TRUE(injection.status().ok()) << site;
+
+          auto run = optimizer.Run(workload[q].first,
+                                   ChaosOptions(workload[q].second, threads));
+          std::string label = site + " p=" + std::to_string(probability) +
+                              " threads=" + std::to_string(threads) +
+                              " query=" + std::to_string(q);
+          if (!run.ok()) {
+            ++failures_observed;
+            EXPECT_TRUE(run.status().code() ==
+                            StatusCode::kResourceExhausted ||
+                        run.status().code() ==
+                            StatusCode::kDeadlineExceeded)
+                << label << ": " << run.status().ToString();
+            EXPECT_FALSE(run.status().message().empty()) << label;
+          } else {
+            EXPECT_TRUE(SameRowMultiset(reference[{q, threads}],
+                                        run->output))
+                << label << ": wrong answer under fault injection";
+          }
+        }
+      }
+    }
+  }
+  // Always-fire plans on hard-failure sites must actually fail; if nothing
+  // in the whole sweep did, the sites have been silently disconnected.
+  EXPECT_GT(failures_observed, 0u);
+}
+
+TEST_F(ChaosSweepTest, AlwaysFiringSpillSitesFailTypedAndNeverWrong) {
+  // Focused matrix for the spill sites: p=1 exhausts the bounded retries,
+  // so the run must fail with kResourceExhausted naming the site — except
+  // spill.open/write under the degradation ladder, which may legally
+  // surface as a governor deadline if the wall clock is also constrained
+  // (not here). Wrong answers are never acceptable.
+  HybridOptimizer optimizer(&catalog_, &registry_);
+  for (const char* site : {kFaultSiteSpillOpen, kFaultSiteSpillWrite,
+                           kFaultSiteSpillRead}) {
+    for (std::size_t threads : {1, 4}) {
+      FaultPlan plan;
+      plan.site = site;
+      plan.probability = 1.0;
+      ScopedFaultInjection injection(plan);
+      auto run = optimizer.Run(ChainQuerySql(4),
+                               ChaosOptions(OptimizerMode::kQhdHybrid,
+                                            threads));
+      ASSERT_FALSE(run.ok()) << site << " at " << threads << " threads";
+      EXPECT_EQ(run.status().code(), StatusCode::kResourceExhausted)
+          << site << ": " << run.status().ToString();
+      EXPECT_NE(run.status().message().find(site), std::string::npos)
+          << run.status().message();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace htqo

@@ -6,7 +6,10 @@
 #                           # (ASan+UBSan) in build-asan/ and rerun ctest
 #   tools/check.sh --tsan   # additionally build with -DHTQO_SANITIZE=thread
 #                           # in build-tsan/ and run the concurrency suites
-#   tools/check.sh --all    # plain + ASan + TSan
+#   tools/check.sh --chaos  # ASan+UBSan build, then the chaos sweep and the
+#                           # spill/fault suites under injection: every fault
+#                           # site x {always, p=0.05} x {1, 4} threads
+#   tools/check.sh --all    # plain + ASan + TSan + chaos
 #
 # The sanitized passes are what give the fault-injection sweep and the
 # parallel engine their teeth: an injected failure that leaks, touches
@@ -24,22 +27,56 @@ run_suite() {
   ctest --test-dir "$dir" --output-on-failure -j"$(nproc)"
 }
 
-echo "==> plain build"
-run_suite build
+# A sanitizer run that silently built without instrumentation proves
+# nothing; require the cache to record the value the flag asked for.
+require_sanitize() {
+  local dir="$1" want="$2"
+  if ! grep -q "^HTQO_SANITIZE:STRING=${want}\$" "$dir/CMakeCache.txt"; then
+    echo "error: $dir was configured without HTQO_SANITIZE=${want};" \
+         "the sanitized pass would silently run uninstrumented" >&2
+    exit 1
+  fi
+}
 
 want_asan=false
 want_tsan=false
+want_chaos=false
 case "${1:-}" in
+  "") ;;
   --asan) want_asan=true ;;
   --tsan) want_tsan=true ;;
-  --all) want_asan=true; want_tsan=true ;;
+  --chaos) want_chaos=true ;;
+  --all) want_asan=true; want_tsan=true; want_chaos=true ;;
+  *)
+    echo "error: unknown flag '${1}' (expected --asan, --tsan, --chaos, or --all)" >&2
+    exit 2
+    ;;
 esac
+
+echo "==> plain build"
+run_suite build
 
 if $want_asan; then
   echo "==> sanitized build (ASan+UBSan)"
+  cmake -B build-asan -S . -DHTQO_SANITIZE=ON
+  require_sanitize build-asan ON
   ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
   UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
     run_suite build-asan -DHTQO_SANITIZE=ON
+fi
+
+if $want_chaos; then
+  # The chaos sweep under ASan+UBSan: fault injection at every registered
+  # site, spilling forced so the spill.* sites are reached, asserting typed
+  # failures and never a wrong answer. Reuses build-asan/.
+  echo "==> chaos sweep (ASan+UBSan + fault injection)"
+  cmake -B build-asan -S . -DHTQO_SANITIZE=ON
+  require_sanitize build-asan ON
+  cmake --build build-asan -j"$(nproc)"
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
+      -R 'Chaos|Spill|Fault|ValueCodec'
 fi
 
 if $want_tsan; then
@@ -48,6 +85,7 @@ if $want_tsan; then
   # equivalence suite, the governor suite, and the fault-injection sweep.
   echo "==> sanitized build (TSan)"
   cmake -B build-tsan -S . -DHTQO_SANITIZE=thread
+  require_sanitize build-tsan thread
   cmake --build build-tsan -j"$(nproc)"
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
