@@ -16,9 +16,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "api/hybrid_optimizer.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace htqo {
@@ -50,7 +54,19 @@ struct RunOutcome {
   SpillCounters spill;
   // Why the governor tripped, when it did (kNone on clean runs).
   TripReason trip_reason = TripReason::kNone;
+  // Hash-table probe count (ExecContext::hash_probes) and the process-wide
+  // metrics delta this run contributed (MetricsRegistry is global; the
+  // delta scopes it to the one query).
+  std::size_t hash_probes = 0;
+  MetricsSnapshot metrics_delta;
 };
+
+// With HTQO_TRACE_DIR set, every RunOnce writes a Chrome trace of its query
+// to <dir>/run_<n>.json. Off otherwise (null tracer, no-op path).
+inline const char* TraceDir() {
+  static const char* dir = std::getenv("HTQO_TRACE_DIR");
+  return dir;
+}
 
 inline RunOutcome RunOnce(const HybridOptimizer& optimizer,
                           const std::string& sql, OptimizerMode mode,
@@ -75,8 +91,24 @@ inline RunOutcome RunOnce(const HybridOptimizer& optimizer,
   options.num_threads = num_threads;
   options.memory_budget_bytes = memory_budget_bytes;
   options.enable_spill = enable_spill;
+  Tracer tracer;
+  if (TraceDir() != nullptr) options.trace.tracer = &tracer;
+  const MetricsSnapshot metrics_before = MetricsRegistry::Global().Snapshot();
   auto run = optimizer.Run(sql, options);
+  if (TraceDir() != nullptr) {
+    static std::atomic<std::size_t> trace_seq{0};
+    std::string path = std::string(TraceDir()) + "/run_" +
+                       std::to_string(trace_seq.fetch_add(1)) + ".json";
+    // Exporter failures degrade to a warning; the bench row still counts.
+    Status ts = tracer.WriteChromeTrace(path);
+    if (!ts.ok()) {
+      std::fprintf(stderr, "warning: trace export failed: %s\n",
+                   ts.ToString().c_str());
+    }
+  }
   RunOutcome outcome;
+  outcome.metrics_delta =
+      MetricsRegistry::Global().Snapshot().DeltaSince(metrics_before);
   outcome.threads = num_threads;
   if (!run.ok()) {
     // Budget or deadline exceeded = DNF; anything else is a harness bug.
@@ -97,6 +129,7 @@ inline RunOutcome RunOnce(const HybridOptimizer& optimizer,
   outcome.exec_wall_ms = run->exec_seconds * 1e3;
   outcome.spill = run->spill;
   outcome.trip_reason = run->governor.trip_reason;
+  outcome.hash_probes = run->ctx.hash_probes.load();
   return outcome;
 }
 
@@ -153,6 +186,24 @@ inline void SetCounters(benchmark::State& state, const RunOutcome& outcome) {
   state.counters["threads"] = static_cast<double>(outcome.threads);
   state.counters["plan_wall_ms"] = outcome.plan_wall_ms;
   state.counters["exec_wall_ms"] = outcome.exec_wall_ms;
+  if (outcome.hash_probes > 0) {
+    state.counters["hash_probes"] = static_cast<double>(outcome.hash_probes);
+  }
+  // Metrics-registry view of the same run (snapshot delta, so each bench
+  // case reports only its own contribution to the process-wide registry):
+  // latency histogram means land in the per-query JSON next to the raw
+  // wall-clock counters, which is how regressions in the metrics pipeline
+  // itself become visible in figure output.
+  for (const auto& [name, value] : outcome.metrics_delta.counters) {
+    if (value > 0) {
+      state.counters["m_" + name] = static_cast<double>(value);
+    }
+  }
+  auto exec_hist = outcome.metrics_delta.histograms.find(kMetricExecLatencyUs);
+  if (exec_hist != outcome.metrics_delta.histograms.end() &&
+      exec_hist->second.count > 0) {
+    state.counters["m_exec_latency_us_mean"] = exec_hist->second.Mean();
+  }
 }
 
 }  // namespace bench

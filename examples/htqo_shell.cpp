@@ -32,6 +32,8 @@ struct ShellState {
   StatisticsRegistry stats;
   RunOptions options;
   bool explain = false;
+  bool analyze = false;       // EXPLAIN ANALYZE: trace + annotated plan
+  std::string trace_path;     // Chrome trace output per query ("" = off)
 };
 
 const struct {
@@ -62,6 +64,10 @@ void PrintHelp() {
       "  \\spill <dir>                       spill directory (- = system tmp)\n"
       "  \\threads <n>                       worker lanes (1 = serial)\n"
       "  \\explain                           toggle plan explanation\n"
+      "  \\analyze                           toggle EXPLAIN ANALYZE (traced\n"
+      "                                     run, per-node rows and times)\n"
+      "  \\trace <file.json>                 write a Chrome trace per query\n"
+      "                                     (chrome://tracing; - = off)\n"
       "  \\dot <sql>                         print the decomposition as DOT\n"
       "  \\rewrite <sql>                     print the SQL-views rewriting\n"
       "  \\import <name> <path.csv>          load a relation from CSV\n"
@@ -76,17 +82,35 @@ void PrintHelp() {
 
 void RunSql(ShellState& state, const std::string& sql) {
   HybridOptimizer optimizer(&state.catalog, &state.stats);
+  // One tracer per query: \analyze and \trace both need the span tree, and
+  // a fresh tracer keeps each query's trace self-contained.
+  const bool traced = state.analyze || !state.trace_path.empty();
+  Tracer tracer;
+  state.options.trace.tracer = traced ? &tracer : nullptr;
+  state.options.trace.parent = 0;
   auto run = optimizer.Run(sql, state.options);
+  state.options.trace.tracer = nullptr;
   if (!run.ok()) {
     std::printf("error: %s\n", run.status().ToString().c_str());
     return;
   }
+  if (!state.trace_path.empty()) {
+    // Exporter I/O failure is the exporter's problem, never the query's.
+    Status ts = tracer.WriteChromeTrace(state.trace_path);
+    if (ts.ok()) {
+      std::printf("trace: %zu spans -> %s\n", tracer.NumSpans(),
+                  state.trace_path.c_str());
+    } else {
+      std::printf("warning: trace export failed: %s\n",
+                  ts.ToString().c_str());
+    }
+  }
   for (const std::string& step : run->degradations) {
     std::printf("degraded: %s\n", step.c_str());
   }
-  if (state.explain) {
+  if (state.explain || state.analyze) {
     std::printf("plan: %s%s\n", run->plan_description.c_str(),
-                run->used_fallback ? " (fallback)" : "");
+                run->used_fallback() ? " (fallback)" : "");
     if (!run->plan_details.empty()) {
       std::printf("%s", run->plan_details.c_str());
     }
@@ -104,6 +128,9 @@ void RunSql(ShellState& state, const std::string& sql) {
                   run->spill.spill_events, run->spill.bytes_written,
                   run->spill.partitions, run->spill.max_recursion_depth);
     }
+  }
+  if (state.analyze) {
+    std::printf("-- spans --\n%s", tracer.ToTreeString().c_str());
   }
   std::printf("%s", run->output.ToString(25).c_str());
 }
@@ -227,6 +254,19 @@ bool HandleCommand(ShellState& state, const std::string& line) {
   } else if (cmd == "\\explain") {
     state.explain = !state.explain;
     std::printf("explain %s\n", state.explain ? "on" : "off");
+  } else if (cmd == "\\analyze") {
+    state.analyze = !state.analyze;
+    std::printf("analyze %s%s\n", state.analyze ? "on" : "off",
+                state.analyze && !kTracingCompiledIn
+                    ? " (tracing compiled out: spans will be empty)"
+                    : "");
+  } else if (cmd == "\\trace") {
+    std::string path;
+    in >> path;
+    if (path == "-") path.clear();
+    state.trace_path = path;
+    std::printf("trace output = %s\n",
+                path.empty() ? "off" : path.c_str());
   } else if (cmd == "\\stats") {
     // Manual statistics (Section 5 stand-alone usage): relation name, row
     // count, then one distinct count per column (0 or omitted = unknown).

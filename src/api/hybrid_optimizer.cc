@@ -1,11 +1,15 @@
 #include "api/hybrid_optimizer.h"
 
 #include <chrono>
+#include <cstdio>
+#include <map>
 #include <optional>
+#include <unordered_map>
 
 #include "cq/hypergraph_builder.h"
 #include "exec/executor.h"
 #include "exec/plan.h"
+#include "obs/metrics.h"
 #include "opt/dp_optimizer.h"
 #include "opt/geqo_optimizer.h"
 #include "opt/naive_optimizer.h"
@@ -40,12 +44,92 @@ void MergeSubRun(const QueryRun& sub, QueryRun* into) {
   into->ctx.NotePeak(sub.ctx.peak_rows);
   into->plan_seconds += sub.plan_seconds;
   into->exec_seconds += sub.exec_seconds;
-  into->used_fallback |= sub.used_fallback;
   into->governor.Merge(sub.governor);
   into->spill.Merge(sub.spill);
   into->degradations.insert(into->degradations.end(),
                             sub.degradations.begin(),
                             sub.degradations.end());
+}
+
+// Opens the root "query" span when this call is the outermost traced entry
+// on the calling thread. Run/RunStatement/RunResolved are all public, so
+// whichever one the caller used becomes the root; deeper frames (and
+// recursive subquery runs) nest under it via the thread-local span stack.
+void BeginQueryRoot(std::optional<ScopedSpan>* root, const RunOptions& options,
+                    OptimizerMode mode) {
+  Tracer* tracer = options.trace.tracer;
+  if (tracer == nullptr || Tracer::CurrentParent(tracer) != 0) return;
+  root->emplace(tracer, "query", options.trace.parent);
+  (*root)->Attr("mode", OptimizerModeName(mode));
+  (*root)->Attr("threads", options.num_threads);
+}
+
+// EXPLAIN ANALYZE: rewrites the decomposition rendering with per-node
+// actuals mined from the qhd.node spans the evaluator emitted — rows
+// produced, wall time, worker thread, spill partitions under the node.
+void AnnotatePlanDetails(const Tracer* tracer, const Hypergraph& h,
+                         const Hypertree& hd, QueryRun* run) {
+  if (tracer == nullptr) return;
+  const std::vector<Span> spans = tracer->Snapshot();
+  struct NodeActuals {
+    double ms = 0;
+    uint64_t rows = 0;
+    uint64_t thread = 0;
+    std::size_t spill_partitions = 0;
+  };
+  std::map<std::size_t, NodeActuals> actuals;
+  std::unordered_map<uint64_t, uint64_t> parent_of;
+  std::unordered_map<uint64_t, std::size_t> span_to_node;
+  parent_of.reserve(spans.size());
+  for (const Span& span : spans) parent_of[span.id] = span.parent;
+  for (const Span& span : spans) {
+    if (span.name != "qhd.node") continue;
+    std::size_t node = HypertreeNode::kNoParent;
+    uint64_t rows = 0;
+    for (const SpanAttr& attr : span.attrs) {
+      if (attr.key == "node") node = std::stoull(attr.value);
+      if (attr.key == "rows") rows = std::stoull(attr.value);
+    }
+    if (node == HypertreeNode::kNoParent) continue;
+    span_to_node[span.id] = node;
+    NodeActuals& na = actuals[node];
+    na.ms = static_cast<double>(std::max<int64_t>(0, span.duration_ns)) / 1e6;
+    na.rows = rows;
+    na.thread = span.thread;
+  }
+  if (actuals.empty()) return;
+  for (const Span& span : spans) {
+    if (span.name != "spill.partition") continue;
+    // Attribute the partition to its nearest qhd.node ancestor.
+    uint64_t cursor = span.parent;
+    for (int guard = 0; cursor != 0 && guard < 64; ++guard) {
+      auto node_it = span_to_node.find(cursor);
+      if (node_it != span_to_node.end()) {
+        ++actuals[node_it->second].spill_partitions;
+        break;
+      }
+      auto parent_it = parent_of.find(cursor);
+      if (parent_it == parent_of.end()) break;
+      cursor = parent_it->second;
+    }
+  }
+  run->plan_details = hd.ToString(h, [&](std::size_t p) -> std::string {
+    auto it = actuals.find(p);
+    if (it == actuals.end()) return std::string();
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  " [rows=%llu time=%.3fms thread=%llu",
+                  static_cast<unsigned long long>(it->second.rows),
+                  it->second.ms,
+                  static_cast<unsigned long long>(it->second.thread));
+    std::string annotation = buf;
+    if (it->second.spill_partitions > 0) {
+      annotation +=
+          " spill_partitions=" + std::to_string(it->second.spill_partitions);
+    }
+    annotation += "]";
+    return annotation;
+  });
 }
 
 }  // namespace
@@ -85,7 +169,12 @@ Result<ResolvedQuery> HybridOptimizer::Resolve(std::string_view sql,
 
 Result<QueryRun> HybridOptimizer::Run(std::string_view sql,
                                       const RunOptions& options) const {
+  std::optional<ScopedSpan> root;
+  BeginQueryRoot(&root, options, options.mode);
+  std::optional<ScopedSpan> parse_span(std::in_place, options.trace.tracer,
+                                       "parse");
   auto stmt = ParseSelect(sql);
+  parse_span.reset();
   if (!stmt.ok()) return stmt.status();
   return RunStatement(*stmt, options);
 }
@@ -93,6 +182,8 @@ Result<QueryRun> HybridOptimizer::Run(std::string_view sql,
 Result<QueryRun> HybridOptimizer::RunStatement(const SelectStatement& stmt,
                                                const RunOptions& options)
     const {
+  std::optional<ScopedSpan> root;
+  BeginQueryRoot(&root, options, options.mode);
   // Uncorrelated scalar subqueries in WHERE evaluate first and become
   // literals: x > (SELECT avg(y) FROM ...) compares against the computed
   // value. SQL semantics: more than one row is an error; zero rows compare
@@ -232,7 +323,11 @@ Result<QueryRun> HybridOptimizer::RunStatement(const SelectStatement& stmt,
   if (!stmt.HasDerivedTables()) {
     IsolatorOptions iso;
     iso.tid_mode = options.tid_mode;
+    std::optional<ScopedSpan> isolate_span(std::in_place, options.trace.tracer,
+                                           "isolate");
     auto rq = IsolateConjunctiveQuery(stmt, *catalog_, iso);
+    if (rq.ok()) isolate_span->Attr("atoms", rq->cq.atoms.size());
+    isolate_span.reset();
     if (!rq.ok()) return rq.status();
     return RunResolved(*rq, options);
   }
@@ -256,6 +351,8 @@ Result<QueryRun> HybridOptimizer::RunStatement(const SelectStatement& stmt,
     RunOptions sub_options = options;
     sub_options.tid_mode = TidMode::kAllAtoms;
     HybridOptimizer sub_engine(&scratch, &scratch_stats);
+    ScopedSpan subquery_span(options.trace.tracer, "subquery");
+    subquery_span.Attr("alias", table.alias);
     auto sub_run = sub_engine.RunStatement(*table.subquery, sub_options);
     if (!sub_run.ok()) return sub_run.status();
 
@@ -282,6 +379,10 @@ Result<QueryRun> HybridOptimizer::RunStatement(const SelectStatement& stmt,
 Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
                                               const RunOptions& options)
     const {
+  std::optional<ScopedSpan> query_root;
+  BeginQueryRoot(&query_root, options, options.mode);
+  Tracer* const tracer = options.trace.tracer;
+
   QueryRun run;
   run.ctx.row_budget = options.row_budget;
   run.ctx.work_budget = options.work_budget;
@@ -289,19 +390,28 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
   ThreadPool* pool = ThreadPool::Shared(options.num_threads);
   run.ctx.pool = pool;
   run.ctx.num_threads = options.num_threads;
+  run.ctx.tracer = tracer;
+  run.ctx.trace_parent = Tracer::CurrentParent(tracer);
 
   if (rq.cq.always_false) {
     auto out = EvaluateSelectOutput(rq, EmptyAnswer(rq), &run.ctx);
     if (!out.ok()) return out.status();
     run.output = std::move(out.value());
     run.plan_description = "constant-false";
+    run.ctx.tracer = nullptr;
+    run.ctx.trace_parent = 0;
+    MetricsRegistry::Global().GetCounter(kMetricQueriesTotal)->Increment();
     return run;
   }
 
   constexpr std::size_t kNoLimit = std::numeric_limits<std::size_t>::max();
+  // Tracing wants per-attempt nodes-visited counts, which the search loops
+  // only report through a governor; an unlimited one counts without ever
+  // tripping, so creating it is behavior-neutral.
   const bool governed = options.deadline_seconds > 0 ||
                         options.search_node_budget != kNoLimit ||
-                        options.memory_budget_bytes != kNoLimit;
+                        options.memory_budget_bytes != kNoLimit ||
+                        tracer != nullptr;
 
   // Memory-adaptive execution: armed only when spilling is enabled AND the
   // memory budget is finite (the soft threshold is a fraction of it). The
@@ -366,6 +476,34 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
       }
     }
     run.ctx.spill = nullptr;
+    // The tracer is caller-owned like the governor: don't let the borrowed
+    // pointer escape through the embedded context.
+    run.ctx.tracer = nullptr;
+    run.ctx.trace_parent = 0;
+    // Process-wide metrics: a handful of atomic adds per query, always on.
+    MetricsRegistry& metrics = MetricsRegistry::Global();
+    metrics.GetCounter(kMetricQueriesTotal)->Increment();
+    metrics.GetHistogram(kMetricPlanLatencyUs)
+        ->Record(static_cast<uint64_t>(run.plan_seconds * 1e6));
+    metrics.GetHistogram(kMetricExecLatencyUs)
+        ->Record(static_cast<uint64_t>(run.exec_seconds * 1e6));
+    metrics.GetHistogram(kMetricRowsPerQuery)->Record(run.output.NumRows());
+    metrics.GetHistogram(kMetricSearchNodesPerQuery)
+        ->Record(run.governor.search_nodes);
+    metrics.GetHistogram(kMetricHashProbesPerQuery)
+        ->Record(run.ctx.hash_probes.load(std::memory_order_relaxed));
+    if (run.spill.spill_events > 0) {
+      metrics.GetCounter(kMetricSpillEventsTotal)->Add(run.spill.spill_events);
+      metrics.GetCounter(kMetricSpillBytesWrittenTotal)
+          ->Add(run.spill.bytes_written);
+    }
+    if (run.governor.trips() > 0) {
+      metrics.GetCounter(kMetricGovernorTripsTotal)->Add(run.governor.trips());
+    }
+    if (!run.degradations.empty()) {
+      metrics.GetCounter(kMetricDegradationStepsTotal)
+          ->Add(run.degradations.size());
+    }
   };
   auto budget_tripped = [&](const Status& s) {
     return options.degrade_on_budget &&
@@ -377,11 +515,13 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
 
   if (mode == OptimizerMode::kYannakakis) {
     begin_attempt();
+    std::optional<ScopedSpan> exec_span(std::in_place, tracer, "execute");
+    run.ctx.trace_parent = exec_span->id();
     auto answer = YannakakisEvaluate(rq, *catalog_, &run.ctx);
     if (!answer.ok()) {
+      exec_span.reset();
       if (answer.status().code() == StatusCode::kNotFound &&
           options.fallback_to_dp) {
-        run.used_fallback = true;
         run.degradations.push_back(
             "yannakakis inapplicable (cyclic query); falling back to the DP "
             "plan");
@@ -394,6 +534,7 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
       auto out = EvaluateSelectOutput(rq, *answer, &run.ctx);
       if (!out.ok()) return out.status();
       run.output = std::move(out.value());
+      exec_span.reset();
       run.exec_seconds = SecondsSince(start);
       seal();
       return run;
@@ -403,21 +544,29 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
   if (mode == OptimizerMode::kTreeDecomposition) {
     begin_attempt();
     Hypergraph h = BuildHypergraph(rq.cq);
+    std::optional<ScopedSpan> search_span(std::in_place, tracer,
+                                          "search.tree-decomposition");
     TreeDecomposition td = MinFillTreeDecomposition(h);
     Hypertree hd = TreeDecompositionToHypertree(h, td);
     CompleteDecomposition(h, &hd);
+    search_span->Attr("treewidth", td.Width());
+    search_span->Attr("width", hd.Width());
+    search_span.reset();
     run.plan_seconds = SecondsSince(start);
     run.decomposition_width = hd.Width();
     run.plan_description = "min-fill tree decomposition (treewidth " +
                            std::to_string(td.Width()) + ", cover width " +
                            std::to_string(hd.Width()) + ") + Yannakakis";
     auto exec_start = std::chrono::steady_clock::now();
+    std::optional<ScopedSpan> exec_span(std::in_place, tracer, "execute");
+    run.ctx.trace_parent = exec_span->id();
     auto answer = EvaluateDecompositionClassic(rq, *catalog_, h, hd,
                                                &run.ctx);
     if (!answer.ok()) return answer.status();
     auto out = EvaluateSelectOutput(rq, *answer, &run.ctx);
     if (!out.ok()) return out.status();
     run.output = std::move(out.value());
+    exec_span.reset();
     run.exec_seconds = SecondsSince(exec_start);
     seal();
     return run;
@@ -426,11 +575,21 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
   if (mode == OptimizerMode::kClassicHd) {
     ResourceGovernor* gov = begin_attempt();
     Hypergraph h = BuildHypergraph(rq.cq);
+    std::optional<ScopedSpan> stats_span(std::in_place, tracer, "stats.lookup");
     Estimator estimator(stats_);
     StatsDecompositionCostModel model(h, BuildEdgeStats(rq.cq, estimator));
+    stats_span.reset();
     // No out(Q) rooting, no Optimize: the pre-q-HD pipeline.
+    std::optional<ScopedSpan> search_span(std::in_place, tracer,
+                                          "search.classic-hd");
+    search_span->Attr("max_width", options.max_width);
     auto hd = CostKDecomp(h, options.max_width, model, /*root_conn=*/nullptr,
                           gov, pool, options.num_threads);
+    if (gov != nullptr) {
+      search_span->Attr("nodes_visited", gov->stats().search_nodes);
+    }
+    search_span->Attr("outcome", hd.ok() ? "ok" : "failure");
+    search_span.reset();
     run.plan_seconds = SecondsSince(start);
     if (!hd.ok()) {
       bool degrade = budget_tripped(hd.status());
@@ -438,7 +597,6 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
                        !options.fallback_to_dp)) {
         return hd.status();
       }
-      run.used_fallback = true;
       run.degradations.push_back(
           degrade ? "classic HD search exceeded its budget; falling back to "
                     "the DP plan"
@@ -452,12 +610,15 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
       run.plan_description = "classic HD + Yannakakis (width " +
                              std::to_string(hd->Width()) + ")";
       auto exec_start = std::chrono::steady_clock::now();
+      std::optional<ScopedSpan> exec_span(std::in_place, tracer, "execute");
+      run.ctx.trace_parent = exec_span->id();
       auto answer =
           EvaluateDecompositionClassic(rq, *catalog_, h, *hd, &run.ctx);
       if (!answer.ok()) return answer.status();
       auto out = EvaluateSelectOutput(rq, *answer, &run.ctx);
       if (!out.ok()) return out.status();
       run.output = std::move(out.value());
+      exec_span.reset();
       run.exec_seconds = SecondsSince(exec_start);
       seal();
       return run;
@@ -483,16 +644,37 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
       dopt.governor = gov;
       dopt.pool = pool;
       dopt.num_threads = options.num_threads;
+      dopt.tracer = tracer;
       auto attempt_start = std::chrono::steady_clock::now();
+      // One span per width attempt: the degradation ladder's retries show
+      // up as search.qhd siblings with descending width attributes.
+      std::optional<ScopedSpan> attempt_span(std::in_place, tracer,
+                                             "search.qhd");
+      attempt_span->Attr("width", width);
+      attempt_span->Attr("cost_model",
+                         use_statistics ? "statistics" : "structural");
       Result<QhdResult> decomp = Status::Internal("unset");
       if (use_statistics) {
+        std::optional<ScopedSpan> stats_span(std::in_place, tracer,
+                                             "stats.lookup");
         Estimator estimator(stats_);
         StatsDecompositionCostModel model(h, BuildEdgeStats(rq.cq, estimator));
+        stats_span.reset();
         decomp = QHypertreeDecomp(h, out_vars, model, dopt);
       } else {
         StructuralCostModel model;
         decomp = QHypertreeDecomp(h, out_vars, model, dopt);
       }
+      if (gov != nullptr) {
+        attempt_span->Attr("nodes_visited", gov->stats().search_nodes);
+      }
+      attempt_span->Attr(
+          "outcome",
+          decomp.ok() ? "ok"
+                      : (budget_tripped(decomp.status()) ? "budget-exceeded"
+                                                         : "failure"));
+      if (decomp.ok()) attempt_span->Attr("pruned", decomp->pruned);
+      attempt_span.reset();
       run.plan_seconds += SecondsSince(attempt_start);
 
       if (decomp.ok()) {
@@ -504,13 +686,17 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
             std::to_string(decomp->pruned) + " pruned)";
         run.plan_details = decomp->hd.ToString(h);
         auto exec_start = std::chrono::steady_clock::now();
+        std::optional<ScopedSpan> exec_span(std::in_place, tracer, "execute");
+        run.ctx.trace_parent = exec_span->id();
         auto answer = EvaluateDecomposition(rq, *catalog_, h, decomp->hd,
                                             &run.ctx);
         if (!answer.ok()) return answer.status();
         auto out = EvaluateSelectOutput(rq, *answer, &run.ctx);
         if (!out.ok()) return out.status();
         run.output = std::move(out.value());
+        exec_span.reset();
         run.exec_seconds = SecondsSince(exec_start);
+        AnnotatePlanDetails(tracer, h, decomp->hd, &run);
         seal();
         return run;
       }
@@ -523,14 +709,12 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
           --width;
           continue;
         }
-        run.used_fallback = true;
         run.degradations.push_back(
             "q-HD search at width 1 exceeded its budget; falling back to "
             "the DP plan");
         mode = OptimizerMode::kDpStatistics;
       } else if (decomp.status().code() == StatusCode::kNotFound &&
                  options.fallback_to_dp) {
-        run.used_fallback = true;
         run.degradations.push_back(
             "q-HD found no rooted decomposition of width <= " +
             std::to_string(width) + "; falling back to the DP plan");
@@ -546,22 +730,29 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
   std::unique_ptr<JoinPlan> plan;
   if (mode == OptimizerMode::kDpStatistics) {
     ResourceGovernor* gov = begin_attempt();
+    std::optional<ScopedSpan> stats_span(std::in_place, tracer, "stats.lookup");
     Estimator estimator(stats_);
     JoinGraph graph = BuildJoinGraph(rq, estimator);
     PlanCostModel cost(graph);
+    stats_span.reset();
     // Left-deep System-R search: the plan space of the commercial
     // optimizers the paper benchmarked against. (Bushy DP is available
     // via DpOptions for library users.)
     DpOptions dp_options;
     dp_options.bushy = false;
     dp_options.governor = gov;
+    std::optional<ScopedSpan> search_span(std::in_place, tracer, "search.dp");
     auto dp = DpOptimize(graph, cost, dp_options);
+    if (gov != nullptr) {
+      search_span->Attr("nodes_visited", gov->stats().search_nodes);
+    }
+    search_span->Attr("outcome", dp.ok() ? "ok" : "budget-exceeded");
+    search_span.reset();
     if (dp.ok()) {
       plan = std::move(dp.value());
     } else if (budget_tripped(dp.status())) {
       // Bottom rung: the genetic search is iteration-bounded, so it always
       // produces some plan (unless the wall deadline itself has passed).
-      run.used_fallback = true;
       run.degradations.push_back(
           "DP join search exceeded its budget; falling back to GEQO");
       mode = OptimizerMode::kGeqoDefaults;
@@ -574,7 +765,7 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
     begin_attempt();  // execution still honors the deadline
   }
   if (plan == nullptr && mode == OptimizerMode::kGeqoDefaults) {
-    ResourceGovernor* gov = begin_attempt(/*last_resort=*/run.used_fallback);
+    ResourceGovernor* gov = begin_attempt(/*last_resort=*/run.used_fallback());
     // No statistics: the estimator runs on PostgreSQL-style defaults, and
     // the optimizer prefers nested loops for inputs it believes are small
     // — which, under default estimates, is all of them.
@@ -585,20 +776,27 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
     geqo.seed = options.seed;
     geqo.nested_loop_threshold = 2000.0;
     geqo.governor = gov;
+    std::optional<ScopedSpan> search_span(std::in_place, tracer, "search.geqo");
     auto best = GeqoOptimize(graph, cost, geqo);
+    if (gov != nullptr) {
+      search_span->Attr("nodes_visited", gov->stats().search_nodes);
+    }
+    search_span.reset();
     if (!best.ok()) return best.status();
     plan = std::move(best.value());
   }
   if (plan == nullptr) return Status::Internal("unhandled optimizer mode");
 
   run.plan_seconds += SecondsSince(start);
-  if (run.plan_description.empty() || run.used_fallback) {
-    run.plan_description = (run.used_fallback ? "fallback: " : "") +
+  if (run.plan_description.empty() || run.used_fallback()) {
+    run.plan_description = (run.used_fallback() ? "fallback: " : "") +
                            plan->ToString(rq);
   }
   run.plan_details = plan->ToString(rq) + "\n";
 
   auto exec_start = std::chrono::steady_clock::now();
+  std::optional<ScopedSpan> exec_span(std::in_place, tracer, "execute");
+  run.ctx.trace_parent = exec_span->id();
   auto joined = ExecuteJoinPlan(*plan, rq, *catalog_, &run.ctx);
   if (!joined.ok()) return joined.status();
   auto answer = ProjectToOutputVars(rq, *joined, &run.ctx);
@@ -606,6 +804,7 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
   auto out = EvaluateSelectOutput(rq, *answer, &run.ctx);
   if (!out.ok()) return out.status();
   run.output = std::move(out.value());
+  exec_span.reset();
   run.exec_seconds = SecondsSince(exec_start);
   seal();
   return run;
@@ -621,6 +820,7 @@ Result<RewrittenQuery> HybridOptimizer::RewriteQuery(
   QhdOptions qhd;
   qhd.max_width = options.max_width;
   qhd.run_optimize = options.mode != OptimizerMode::kQhdNoOptimize;
+  qhd.tracer = options.trace.tracer;
 
   Result<QhdResult> decomp = Status::Internal("unset");
   if (options.mode == OptimizerMode::kQhdStructural || stats_ == nullptr) {

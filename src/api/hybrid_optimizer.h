@@ -33,6 +33,7 @@
 
 #include "cq/isolator.h"
 #include "exec/operators.h"
+#include "obs/trace.h"
 #include "opt/qhd_planner.h"
 #include "rewrite/view_rewriter.h"
 #include "stats/statistics.h"
@@ -105,6 +106,14 @@ struct RunOptions {
   // the cost-k-decomp root candidates out over a process-wide thread pool.
   // Results and chosen decompositions are bit-identical at any setting.
   std::size_t num_threads = 1;
+
+  // --- Tracing (off by default: a null tracer costs one branch per
+  // instrumentation point). With a tracer set, the pipeline emits one span
+  // per stage — parse, isolation, stats lookup, each search width attempt,
+  // Optimize, each Yannakakis pass/wave, each physical operator — under
+  // trace.parent, and QueryRun::plan_details gains per-node actuals
+  // (EXPLAIN ANALYZE). Span taxonomy: DESIGN.md §6d.
+  TraceContext trace;
 };
 
 struct QueryRun {
@@ -114,9 +123,9 @@ struct QueryRun {
   double exec_seconds = 0;   // evaluation time
   std::string plan_description;
   // Multi-line plan rendering (the decomposition tree for q-HD modes, the
-  // join tree for plan modes); for EXPLAIN-style output.
+  // join tree for plan modes); for EXPLAIN-style output. With tracing on,
+  // nodes carry actuals: [rows=N time=T.TTTms ...].
   std::string plan_details;
-  bool used_fallback = false;
   // q-HD modes only:
   std::size_t decomposition_width = 0;
   std::size_t pruned_lambda_entries = 0;
@@ -130,6 +139,12 @@ struct QueryRun {
   // Spill-to-disk activity of the run (zeros when spilling never armed or
   // never activated). A run that spilled also records a degradation entry.
   SpillCounters spill;
+
+  // Whether the produced plan differs from what the requested mode would
+  // have produced unconstrained. Derived — `degradations` is the single
+  // source of truth; every ladder step, mode fallback, and spill activation
+  // appends exactly one entry there.
+  bool used_fallback() const { return !degradations.empty(); }
 };
 
 class HybridOptimizer {

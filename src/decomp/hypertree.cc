@@ -58,6 +58,12 @@ Bitset Hypertree::SubtreeChi(std::size_t p) const {
 }
 
 std::string Hypertree::ToString(const Hypergraph& h) const {
+  return ToString(h, nullptr);
+}
+
+std::string Hypertree::ToString(
+    const Hypergraph& h,
+    const std::function<std::string(std::size_t)>& annotate) const {
   std::string out;
   std::vector<std::pair<std::size_t, int>> stack{{root(), 0}};
   while (!stack.empty()) {
@@ -72,7 +78,9 @@ std::string Hypertree::ToString(const Hypergraph& h) const {
     }
     out += std::string(static_cast<std::size_t>(depth) * 2, ' ') + "[" +
            std::to_string(p) + "] chi={" + Join(chi_names, ",") +
-           "} lambda={" + Join(lambda_names, ",") + "}\n";
+           "} lambda={" + Join(lambda_names, ",") + "}";
+    if (annotate) out += annotate(p);
+    out += "\n";
     for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
       stack.push_back({*it, depth + 1});
     }

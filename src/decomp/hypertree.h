@@ -6,6 +6,7 @@
 #ifndef HTQO_DECOMP_HYPERTREE_H_
 #define HTQO_DECOMP_HYPERTREE_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,12 @@ class Hypertree {
 
   // Pretty-print against the hypergraph's vertex/edge names.
   std::string ToString(const Hypergraph& h) const;
+  // As above with a per-node suffix (EXPLAIN ANALYZE actuals): `annotate`
+  // receives the node id and its return value — empty for none — is
+  // appended to that node's line.
+  std::string ToString(
+      const Hypergraph& h,
+      const std::function<std::string(std::size_t)>& annotate) const;
 
   // Graphviz rendering: one box per node showing chi and lambda.
   std::string ToDot(const Hypergraph& h) const;

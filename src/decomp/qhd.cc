@@ -42,12 +42,32 @@ std::size_t CompleteDecomposition(const Hypergraph& h, Hypertree* hd) {
 Result<QhdResult> QHypertreeDecomp(const Hypergraph& h, const Bitset& out_vars,
                                    const DecompositionCostModel& model,
                                    const QhdOptions& options) {
-  auto hd = options.first_feasible
-                ? DetKDecomp(h, options.max_width, &out_vars,
-                             options.governor)
-                : CostKDecomp(h, options.max_width, model, &out_vars,
-                              options.governor, options.pool,
-                              options.num_threads);
+  Result<Hypertree> hd = Status::Internal("unset");
+  {
+    ScopedSpan search_span(options.tracer,
+                           options.first_feasible ? "search.det-k-decomp"
+                                                  : "search.cost-k-decomp");
+    search_span.Attr("max_width", options.max_width);
+    const std::size_t nodes_before =
+        options.governor != nullptr ? options.governor->stats().search_nodes
+                                    : 0;
+    hd = options.first_feasible
+             ? DetKDecomp(h, options.max_width, &out_vars, options.governor)
+             : CostKDecomp(h, options.max_width, model, &out_vars,
+                           options.governor, options.pool,
+                           options.num_threads);
+    if (options.governor != nullptr) {
+      search_span.Attr(
+          "nodes_visited",
+          options.governor->stats().search_nodes - nodes_before);
+    }
+    search_span.Attr(
+        "outcome",
+        hd.ok() ? "ok"
+                : (hd.status().code() == StatusCode::kDeadlineExceeded
+                       ? "budget-exceeded"
+                       : "failure"));
+  }
   if (!hd.ok()) {
     // A governor trip is not a structural "Failure": surface it verbatim so
     // callers can degrade (retry at lower width, fall back) instead of
@@ -65,7 +85,9 @@ Result<QhdResult> QHypertreeDecomp(const Hypergraph& h, const Bitset& out_vars,
   CompleteDecomposition(h, &result.hd);
   result.width = result.hd.Width();
   if (options.run_optimize) {
+    ScopedSpan optimize_span(options.tracer, "optimize");
     result.pruned = OptimizeDecomposition(h, &result.hd, options.governor);
+    optimize_span.Attr("pruned", result.pruned);
     if (options.governor != nullptr && options.governor->exhausted()) {
       return options.governor->trip_status();
     }

@@ -18,6 +18,7 @@
 #include "decomp/cost_k_decomp.h"
 #include "decomp/hypertree.h"
 #include "hypergraph/hypergraph.h"
+#include "obs/trace.h"
 #include "stats/estimator.h"
 #include "util/status.h"
 
@@ -40,6 +41,10 @@ struct QhdOptions {
   // bit-identical to serial; see CostKDecomp). Borrowed.
   ThreadPool* pool = nullptr;
   std::size_t num_threads = 1;
+  // Tracing: with a tracer set, QHypertreeDecomp emits one span per phase —
+  // search.cost-k-decomp / search.det-k-decomp and optimize — under the
+  // calling thread's open span. Borrowed; null = off.
+  Tracer* tracer = nullptr;
 };
 
 struct QhdResult {

@@ -138,6 +138,8 @@ Relation EmptyAnswer(const ResolvedQuery& rq) {
 Result<Relation> EvaluateSelectOutput(const ResolvedQuery& rq,
                                       const Relation& answer,
                                       ExecContext* ctx) {
+  ScopedSpan out_span(ctx->tracer, "select.output", ctx->SpanParent());
+  out_span.Attr("rows_in", answer.NumRows());
   const SelectStatement& stmt = rq.stmt;
   Relation output{OutputSchema(rq, answer)};
 

@@ -49,8 +49,11 @@ std::vector<std::size_t> PrecomputeKeyHashes(
 // range_body(0, total, out) on one thread. Errors surface as the failing
 // chunk with the lowest index (serial order), and a governor trip during
 // the loop surfaces as the trip status even when chunks were skipped.
+// `parent_span` (the caller's operator span, 0 = untraced) parents the
+// per-chunk spans explicitly — chunks run on pool lanes whose thread-local
+// span stack does not contain the operator.
 Status ParallelAppend(
-    ExecContext* ctx, std::size_t total, Relation* out,
+    ExecContext* ctx, std::size_t total, Relation* out, uint64_t parent_span,
     const std::function<Status(std::size_t, std::size_t, Relation*)>&
         range_body) {
   const std::size_t num_chunks =
@@ -60,6 +63,9 @@ Status ParallelAppend(
   ctx->pool->ParallelFor(
       0, total, kParallelGrain, ctx->num_threads, ctx->governor,
       [&](std::size_t lo, std::size_t hi) {
+        ScopedSpan chunk_span(ctx->tracer, "chunk", parent_span);
+        chunk_span.Attr("first_row", lo);
+        chunk_span.Attr("rows", hi - lo);
         std::size_t c = lo / kParallelGrain;
         chunk_status[c] = range_body(lo, hi, &chunk_out[c]);
       });
@@ -223,6 +229,7 @@ Status TaggedHashJoinKernel(const Relation& build, const Relation& probe,
                             ExecContext* ctx, TaggedRows* out) {
   Status s = ctx->ChargeWork(build.NumRows() + probe.NumRows());
   if (!s.ok()) return s;
+  ctx->hash_probes.fetch_add(probe.NumRows(), std::memory_order_relaxed);
   std::vector<std::size_t> build_hash(build.NumRows());
   for (std::size_t r = 0; r < build.NumRows(); ++r) {
     build_hash[r] = HashRowKey(build.Row(r), bcols);
@@ -289,6 +296,11 @@ Result<Relation> GraceHashJoin(const Relation& left, const Relation& right,
     auto pparts = PartitionToSpill(p, pcols, ptags, depth, ctx);
     if (!pparts.ok()) return pparts.status();
     for (std::size_t i = 0; i < fanout; ++i) {
+      // The spill path is serial per operator, so the operator span (and,
+      // when recursing, the outer partition span) is open on this thread.
+      ScopedSpan part_span(ctx->tracer, "spill.partition");
+      part_span.Attr("depth", depth);
+      part_span.Attr("index", i);
       Relation bpart{b.schema()};
       Relation ppart{p.schema()};
       std::vector<uint64_t> btags, ptags_i;
@@ -298,6 +310,8 @@ Result<Relation> GraceHashJoin(const Relation& left, const Relation& right,
       if (!rs.ok()) return rs;
       (*bparts)[i].reset();  // unlink both files before the pair runs
       (*pparts)[i].reset();
+      part_span.Attr("rows_build", bpart.NumRows());
+      part_span.Attr("rows_probe", ppart.NumRows());
       ScopedTableMemory loaded(ctx, LoadedPairBytes(bpart, ppart));
       if (!loaded.status().ok()) return loaded.status();
       if (depth + 1 < max_depth && bpart.NumRows() > kMinSpillRows &&
@@ -329,6 +343,7 @@ Status TaggedSemiJoinKernel(const Relation& lpart, const Relation& rpart,
                             ExecContext* ctx, TaggedRows* out) {
   Status s = ctx->ChargeWork(lpart.NumRows() + rpart.NumRows());
   if (!s.ok()) return s;
+  ctx->hash_probes.fetch_add(lpart.NumRows(), std::memory_order_relaxed);
   std::vector<std::size_t> right_hash(rpart.NumRows());
   for (std::size_t r = 0; r < rpart.NumRows(); ++r) {
     right_hash[r] = HashRowKey(rpart.Row(r), rcols);
@@ -375,6 +390,9 @@ Result<Relation> GraceSemiJoin(const Relation& left, const Relation& right,
                                    depth, ctx);
     if (!rparts.ok()) return rparts.status();
     for (std::size_t i = 0; i < fanout; ++i) {
+      ScopedSpan part_span(ctx->tracer, "spill.partition");
+      part_span.Attr("depth", depth);
+      part_span.Attr("index", i);
       Relation lpart{l.schema()};
       Relation rpart{r.schema()};
       std::vector<uint64_t> ltags_i, rtags;
@@ -384,6 +402,8 @@ Result<Relation> GraceSemiJoin(const Relation& left, const Relation& right,
       if (!rs.ok()) return rs;
       (*lparts)[i].reset();
       (*rparts)[i].reset();
+      part_span.Attr("rows_build", rpart.NumRows());
+      part_span.Attr("rows_probe", lpart.NumRows());
       ScopedTableMemory loaded(ctx, LoadedPairBytes(rpart, lpart));
       if (!loaded.status().ok()) return loaded.status();
       if (depth + 1 < max_depth && rpart.NumRows() > kMinSpillRows &&
@@ -429,19 +449,30 @@ Relation ProjectByName(const Relation& rel,
 Result<Relation> ProjectByName(const Relation& rel,
                                const std::vector<std::string>& columns,
                                bool distinct, ExecContext* ctx) {
+  ScopedSpan op_span(ctx->tracer, "op.project", ctx->SpanParent());
+  op_span.Attr("rows_in", rel.NumRows());
   Relation projected = rel.Project(IndicesOf(rel, columns));
-  if (!distinct) return projected;
-  return SpillableDistinct(projected, ctx);
+  if (!distinct) {
+    op_span.Attr("rows_out", projected.NumRows());
+    return projected;
+  }
+  auto out = SpillableDistinct(projected, ctx);
+  if (out.ok()) op_span.Attr("rows_out", out->NumRows());
+  return out;
 }
 
 Result<Relation> SpillableDistinct(const Relation& rel, ExecContext* ctx) {
+  ScopedSpan op_span(ctx->tracer, "op.distinct", ctx->SpanParent());
+  op_span.Attr("rows_in", rel.NumRows());
   if (rel.arity() == 0 || rel.NumRows() == 0) return rel.Distinct();
   std::vector<std::size_t> all_cols(rel.arity());
   std::iota(all_cols.begin(), all_cols.end(), std::size_t{0});
   if (!ctx->ShouldSpill(DistinctWorkingBytes(rel))) {
     ScopedTableMemory working(ctx, DistinctWorkingBytes(rel));
     if (!working.status().ok()) return working.status();
-    return rel.Distinct();
+    Relation distinct = rel.Distinct();
+    op_span.Attr("rows_out", distinct.NumRows());
+    return distinct;
   }
 
   // Grace path: partition on the full-row hash (value-equal rows always
@@ -460,11 +491,15 @@ Result<Relation> SpillableDistinct(const Relation& rel, ExecContext* ctx) {
     auto parts = PartitionToSpill(in, all_cols, tags, depth, ctx);
     if (!parts.ok()) return parts.status();
     for (std::size_t i = 0; i < fanout; ++i) {
+      ScopedSpan part_span(ctx->tracer, "spill.partition");
+      part_span.Attr("depth", depth);
+      part_span.Attr("index", i);
       Relation part{rel.schema()};
       std::vector<uint64_t> part_tags;
       Status rs = (*parts)[i]->ReadBack(&part, &part_tags);
       if (!rs.ok()) return rs;
       (*parts)[i].reset();
+      part_span.Attr("rows", part.NumRows());
       ScopedTableMemory loaded(
           ctx, part.NumRows() * (part.arity() * sizeof(Value) + 16));
       if (!loaded.status().ok()) return loaded.status();
@@ -508,12 +543,16 @@ Result<Relation> SpillableDistinct(const Relation& rel, ExecContext* ctx) {
   Relation out{rel.schema()};
   s = MergeByTag(std::move(collected), &out, ctx);
   if (!s.ok()) return s;
+  op_span.Attr("rows_out", out.NumRows());
+  op_span.Attr("spilled", 1);
   return out;
 }
 
 Result<Relation> ScanAtom(const ResolvedQuery& rq, std::size_t atom_index,
                           const Catalog& catalog, ExecContext* ctx) {
   const Atom& atom = rq.cq.atoms[atom_index];
+  ScopedSpan op_span(ctx->tracer, "op.scan", ctx->SpanParent());
+  op_span.Attr("relation", atom.relation);
   auto base = catalog.Get(atom.relation);
   if (!base.ok()) return base.status();
   const Relation& rel = **base;
@@ -587,16 +626,21 @@ Result<Relation> ScanAtom(const ResolvedQuery& rq, std::size_t atom_index,
     }
     return Status::Ok();
   };
-  Status scan = UseParallel(ctx, rel.NumRows())
-                    ? ParallelAppend(ctx, rel.NumRows(), &out, scan_range)
-                    : scan_range(0, rel.NumRows(), &out);
+  Status scan =
+      UseParallel(ctx, rel.NumRows())
+          ? ParallelAppend(ctx, rel.NumRows(), &out, op_span.id(), scan_range)
+          : scan_range(0, rel.NumRows(), &out);
   if (!scan.ok()) return scan;
   ctx->NotePeak(out.NumRows());
+  op_span.Attr("rows_out", out.NumRows());
   return out;
 }
 
 Result<Relation> NaturalHashJoin(const Relation& left, const Relation& right,
                                  ExecContext* ctx) {
+  ScopedSpan op_span(ctx->tracer, "op.hash_join", ctx->SpanParent());
+  op_span.Attr("rows_left", left.NumRows());
+  op_span.Attr("rows_right", right.NumRows());
   std::vector<std::size_t> lcols, rcols, right_only;
   SharedColumns(left.schema(), right.schema(), &lcols, &rcols, &right_only);
   Relation out{JoinedSchema(left.schema(), right.schema(), right_only)};
@@ -618,8 +662,11 @@ Result<Relation> NaturalHashJoin(const Relation& left, const Relation& right,
   // output). Otherwise charge the working set against the governor — with
   // spilling disarmed this is where an undersized memory budget trips.
   if (!lcols.empty() && ctx->ShouldSpill(JoinWorkingBytes(build, probe))) {
-    return GraceHashJoin(left, right, build_left, lcols, rcols, right_only,
-                         out.schema(), ctx);
+    op_span.Attr("spilled", 1);
+    auto spilled = GraceHashJoin(left, right, build_left, lcols, rcols,
+                                 right_only, out.schema(), ctx);
+    if (spilled.ok()) op_span.Attr("rows_out", spilled->NumRows());
+    return spilled;
   }
   ScopedTableMemory working(ctx, JoinWorkingBytes(build, probe));
   if (!working.status().ok()) return working.status();
@@ -677,20 +724,29 @@ Result<Relation> NaturalHashJoin(const Relation& left, const Relation& right,
         }
       }
     }
+    if (!lcols.empty()) {
+      // One add per probe batch keeps contention negligible.
+      ctx->hash_probes.fetch_add(hi - lo, std::memory_order_relaxed);
+    }
     return Status::Ok();
   };
   Status probe_status =
       UseParallel(ctx, probe.NumRows())
-          ? ParallelAppend(ctx, probe.NumRows(), &out, probe_range)
+          ? ParallelAppend(ctx, probe.NumRows(), &out, op_span.id(),
+                           probe_range)
           : probe_range(0, probe.NumRows(), &out);
   if (!probe_status.ok()) return probe_status;
   ctx->NotePeak(out.NumRows());
+  op_span.Attr("rows_out", out.NumRows());
   return out;
 }
 
 Result<Relation> NaturalNestedLoopJoin(const Relation& left,
                                        const Relation& right,
                                        ExecContext* ctx) {
+  ScopedSpan op_span(ctx->tracer, "op.nl_join", ctx->SpanParent());
+  op_span.Attr("rows_left", left.NumRows());
+  op_span.Attr("rows_right", right.NumRows());
   std::vector<std::size_t> lcols, rcols, right_only;
   SharedColumns(left.schema(), right.schema(), &lcols, &rcols, &right_only);
   Relation out{JoinedSchema(left.schema(), right.schema(), right_only)};
@@ -714,12 +770,16 @@ Result<Relation> NaturalNestedLoopJoin(const Relation& left,
     }
   }
   ctx->NotePeak(out.NumRows());
+  op_span.Attr("rows_out", out.NumRows());
   return out;
 }
 
 Result<Relation> NaturalSortMergeJoin(const Relation& left,
                                       const Relation& right,
                                       ExecContext* ctx) {
+  ScopedSpan op_span(ctx->tracer, "op.merge_join", ctx->SpanParent());
+  op_span.Attr("rows_left", left.NumRows());
+  op_span.Attr("rows_right", right.NumRows());
   std::vector<std::size_t> lcols, rcols, right_only;
   SharedColumns(left.schema(), right.schema(), &lcols, &rcols, &right_only);
   if (lcols.empty()) {
@@ -791,11 +851,15 @@ Result<Relation> NaturalSortMergeJoin(const Relation& left,
     r = r_end;
   }
   ctx->NotePeak(out.NumRows());
+  op_span.Attr("rows_out", out.NumRows());
   return out;
 }
 
 Result<Relation> NaturalSemiJoin(const Relation& left, const Relation& right,
                                  ExecContext* ctx) {
+  ScopedSpan op_span(ctx->tracer, "op.semijoin", ctx->SpanParent());
+  op_span.Attr("rows_left", left.NumRows());
+  op_span.Attr("rows_right", right.NumRows());
   std::vector<std::size_t> lcols, rcols, right_only;
   SharedColumns(left.schema(), right.schema(), &lcols, &rcols, &right_only);
   Relation out{left.schema()};
@@ -811,7 +875,10 @@ Result<Relation> NaturalSemiJoin(const Relation& left, const Relation& right,
   Status s = ctx->ChargeWork(left.NumRows() + right.NumRows());
   if (!s.ok()) return s;
   if (ctx->ShouldSpill(SemiJoinWorkingBytes(right, left))) {
-    return GraceSemiJoin(left, right, lcols, rcols, ctx);
+    op_span.Attr("spilled", 1);
+    auto spilled = GraceSemiJoin(left, right, lcols, rcols, ctx);
+    if (spilled.ok()) op_span.Attr("rows_out", spilled->NumRows());
+    return spilled;
   }
   ScopedTableMemory working(ctx, SemiJoinWorkingBytes(right, left));
   if (!working.status().ok()) return working.status();
@@ -837,14 +904,17 @@ Result<Relation> NaturalSemiJoin(const Relation& left, const Relation& right,
         }
       }
     }
+    ctx->hash_probes.fetch_add(hi - lo, std::memory_order_relaxed);
     return Status::Ok();
   };
   Status probe_status =
       UseParallel(ctx, left.NumRows())
-          ? ParallelAppend(ctx, left.NumRows(), &out, probe_range)
+          ? ParallelAppend(ctx, left.NumRows(), &out, op_span.id(),
+                           probe_range)
           : probe_range(0, left.NumRows(), &out);
   if (!probe_status.ok()) return probe_status;
   ctx->NotePeak(out.NumRows());
+  op_span.Attr("rows_out", out.NumRows());
   return out;
 }
 

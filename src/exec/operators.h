@@ -18,6 +18,7 @@
 
 #include "cq/isolator.h"
 #include "exec/spill.h"
+#include "obs/trace.h"
 #include "storage/catalog.h"
 #include "storage/relation.h"
 #include "util/governor.h"
@@ -57,11 +58,20 @@ struct ExecContext {
   // in memory. Borrowed; cleared by the owner like `governor`.
   SpillManager* spill = nullptr;
   std::size_t soft_memory_bytes = std::numeric_limits<std::size_t>::max();
+  // Tracing: null tracer = off (one branch per operator). `trace_parent` is
+  // the span id operator spans attach to when the worker's thread-local
+  // stack is empty (pool lanes); the wave dispatchers repoint it between
+  // barrier waves. Borrowed like `governor`.
+  Tracer* tracer = nullptr;
+  uint64_t trace_parent = 0;
 
   std::atomic<std::size_t> rows_charged{0};
   std::atomic<std::size_t> work_charged{0};
   // High-water mark of single-relation size, for reporting.
   std::atomic<std::size_t> peak_rows{0};
+  // Build-side probe count of the hash join/semijoin kernels (one add per
+  // probe batch, not per row); feeds the htqo_hash_probes_per_query metric.
+  std::atomic<std::size_t> hash_probes{0};
 
   ExecContext() = default;
   // Copyable/assignable despite the atomics so QueryRun (which embeds one)
@@ -75,13 +85,26 @@ struct ExecContext {
     num_threads = other.num_threads;
     spill = other.spill;
     soft_memory_bytes = other.soft_memory_bytes;
+    tracer = other.tracer;
+    trace_parent = other.trace_parent;
     rows_charged.store(other.rows_charged.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
     work_charged.store(other.work_charged.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
     peak_rows.store(other.peak_rows.load(std::memory_order_relaxed),
                     std::memory_order_relaxed);
+    hash_probes.store(other.hash_probes.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
     return *this;
+  }
+
+  // Parent for an operator span: the innermost open span on this thread
+  // (serial path and nested operators), else the cross-thread parent a
+  // dispatcher left in `trace_parent` (pool lanes start with an empty
+  // thread-local stack).
+  uint64_t SpanParent() const {
+    const uint64_t tls = Tracer::CurrentParent(tracer);
+    return tls != 0 ? tls : trace_parent;
   }
 
   bool parallel() const { return pool != nullptr && num_threads > 1; }

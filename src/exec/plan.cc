@@ -37,22 +37,37 @@ std::string JoinPlan::ToString(const ResolvedQuery& rq) const {
 
 Result<Relation> ExecuteJoinPlan(const JoinPlan& plan, const ResolvedQuery& rq,
                                  const Catalog& catalog, ExecContext* ctx) {
+  ScopedSpan node_span(ctx->tracer, "plan.node", ctx->SpanParent());
   if (plan.IsLeaf()) {
-    return ScanAtom(rq, plan.atom, catalog, ctx);
+    node_span.Attr("op", "scan");
+    node_span.Attr("atom", rq.cq.atoms[plan.atom].alias);
+    auto scan = ScanAtom(rq, plan.atom, catalog, ctx);
+    if (scan.ok()) node_span.Attr("rows_out", scan->NumRows());
+    return scan;
   }
+  node_span.Attr("op", plan.algo == JoinAlgo::kHash
+                           ? "hash_join"
+                           : (plan.algo == JoinAlgo::kNestedLoop
+                                  ? "nl_join"
+                                  : "merge_join"));
   auto left = ExecuteJoinPlan(*plan.left, rq, catalog, ctx);
   if (!left.ok()) return left.status();
   auto right = ExecuteJoinPlan(*plan.right, rq, catalog, ctx);
   if (!right.ok()) return right.status();
+  Result<Relation> joined = Status::Internal("unknown join algorithm");
   switch (plan.algo) {
     case JoinAlgo::kHash:
-      return NaturalHashJoin(*left, *right, ctx);
+      joined = NaturalHashJoin(*left, *right, ctx);
+      break;
     case JoinAlgo::kNestedLoop:
-      return NaturalNestedLoopJoin(*left, *right, ctx);
+      joined = NaturalNestedLoopJoin(*left, *right, ctx);
+      break;
     case JoinAlgo::kSortMerge:
-      return NaturalSortMergeJoin(*left, *right, ctx);
+      joined = NaturalSortMergeJoin(*left, *right, ctx);
+      break;
   }
-  return Status::Internal("unknown join algorithm");
+  if (joined.ok()) node_span.Attr("rows_out", joined->NumRows());
+  return joined;
 }
 
 }  // namespace htqo

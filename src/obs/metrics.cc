@@ -1,0 +1,175 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "util/fault_injector.h"
+
+namespace htqo {
+
+void Histogram::Record(uint64_t value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  buckets_[std::bit_width(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::array<uint64_t, Histogram::kNumBuckets> Histogram::BucketCounts() const {
+  std::array<uint64_t, kNumBuckets> out{};
+  for (int b = 0; b < kNumBuckets; ++b) {
+    out[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double MetricsSnapshot::HistogramData::Mean() const {
+  if (count == 0) return 0.0;
+  return static_cast<double>(sum) / static_cast<double>(count);
+}
+
+uint64_t MetricsSnapshot::HistogramData::Percentile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile, at least 1 so p0 returns the smallest
+  // occupied bucket's edge.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(count) + 0.5));
+  uint64_t cumulative = 0;
+  for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= rank) {
+      // Upper edge of bucket b: 2^b - 1 values map here (bucket 0 holds 0).
+      if (b == 0) return 0;
+      if (b >= 64) return UINT64_MAX;
+      return (uint64_t{1} << b) - 1;
+    }
+  }
+  return UINT64_MAX;
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(const MetricsSnapshot& base) const {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : counters) {
+    auto it = base.counters.find(name);
+    const uint64_t before = it == base.counters.end() ? 0 : it->second;
+    out.counters[name] = value > before ? value - before : 0;
+  }
+  for (const auto& [name, hist] : histograms) {
+    HistogramData delta = hist;
+    auto it = base.histograms.find(name);
+    if (it != base.histograms.end()) {
+      const HistogramData& before = it->second;
+      delta.count = hist.count > before.count ? hist.count - before.count : 0;
+      delta.sum = hist.sum > before.sum ? hist.sum - before.sum : 0;
+      for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+        delta.buckets[b] = hist.buckets[b] > before.buckets[b]
+                               ? hist.buckets[b] - before.buckets[b]
+                               : 0;
+      }
+    }
+    out.histograms[name] = std::move(delta);
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::make_unique<Counter>(std::string(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::string(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  for (const auto& [name, counter] : counters_) {
+    out.counters[name] = counter->value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.name = name;
+    data.count = hist->count();
+    data.sum = hist->sum();
+    data.buckets = hist->BucketCounts();
+    out.histograms[name] = std::move(data);
+  }
+  return out;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::string out;
+  char buf[96];
+  for (const auto& [name, value] : snap.counters) {
+    out += "# TYPE " + name + " counter\n";
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", value);
+    out += name + buf;
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    out += "# TYPE " + name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      cumulative += hist.buckets[b];
+      // Skip empty leading/interior buckets except the first occupied run's
+      // context; emitting all 65 le-lines per histogram would be noise.
+      if (hist.buckets[b] == 0) continue;
+      const double le =
+          b == 0 ? 0.0
+                 : (b >= 64 ? static_cast<double>(UINT64_MAX)
+                            : static_cast<double>((uint64_t{1} << b) - 1));
+      std::snprintf(buf, sizeof(buf), "_bucket{le=\"%.0f\"} %" PRIu64 "\n", le,
+                    cumulative);
+      out += name + buf;
+    }
+    std::snprintf(buf, sizeof(buf), "_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+                  hist.count);
+    out += name + buf;
+    std::snprintf(buf, sizeof(buf), "_sum %" PRIu64 "\n", hist.sum);
+    out += name + buf;
+    std::snprintf(buf, sizeof(buf), "_count %" PRIu64 "\n", hist.count);
+    out += name + buf;
+  }
+  return out;
+}
+
+Status MetricsRegistry::WritePrometheus(const std::string& path) const {
+  if (FaultInjector::Instance().ShouldFail(kFaultSiteMetricsExport)) {
+    return Status::Internal("injected fault: metrics.export (" + path + ")");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open metrics file '" + path + "'");
+  }
+  out << PrometheusText();
+  out.flush();
+  if (!out) {
+    return Status::Internal("short write to metrics file '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace htqo

@@ -1,0 +1,147 @@
+// Process-wide metrics: named monotonic counters and log-scale histograms.
+//
+// MetricsRegistry::Global() is the process singleton the pipeline records
+// into (per-query latencies, rows, spill bytes, governor trips). Lookup by
+// name takes a mutex, so hot paths resolve a metric once and keep the
+// pointer; Counter::Add and Histogram::Record are then lock-free atomics,
+// safe from pool workers. Metric objects live for the process — pointers
+// never dangle and a registry is never "reset", consumers diff snapshots
+// instead (MetricsSnapshot::DeltaSince), which is how bench_common scopes
+// per-case histograms out of process-cumulative state.
+//
+// Histograms use log2 buckets: value v lands in bucket bit_width(v), i.e.
+// bucket b covers [2^(b-1), 2^b). 65 buckets cover the full uint64 range in
+// ~flat 520 bytes per histogram; percentile estimates take the upper edge
+// of the bucket where the cumulative count crosses the rank, which is
+// within 2x of the true value — plenty for latency distributions.
+//
+// Metric names follow prometheus conventions (htqo_<noun>_<unit/total>);
+// the set used by the pipeline is part of the stable contract in
+// DESIGN.md §6d. PrometheusText() emits the text exposition format;
+// WritePrometheus() goes through the `metrics.export` fault site and
+// returns a Status the caller degrades to a warning.
+
+#ifndef HTQO_OBS_METRICS_H_
+#define HTQO_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace htqo {
+
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<uint64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  // Bucket b counts values in [2^(b-1), 2^b); bucket 0 counts zeros.
+  static constexpr int kNumBuckets = 65;
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+  void Record(uint64_t value);
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+  std::array<uint64_t, kNumBuckets> BucketCounts() const;
+
+ private:
+  std::string name_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+};
+
+// Point-in-time copy of every metric, detached from the live registry.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::string name;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    std::array<uint64_t, Histogram::kNumBuckets> buckets{};
+
+    double Mean() const;
+    // Upper edge of the bucket where the cumulative count reaches
+    // `q * count` (q in [0,1]); 0 when empty.
+    uint64_t Percentile(double q) const;
+  };
+
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, HistogramData> histograms;
+
+  // This snapshot minus `base` (counters/buckets that shrank clamp to 0;
+  // metrics absent from `base` pass through whole). Scopes an interval of
+  // activity out of process-cumulative metrics.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& base) const;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  // Name lookup, creating on first use. The returned pointer is stable for
+  // the life of the registry — resolve once, record lock-free after.
+  Counter* GetCounter(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  // Prometheus text exposition format: counters as `# TYPE ... counter`,
+  // histograms as `_count`/`_sum` plus cumulative `_bucket{le="..."}` lines.
+  std::string PrometheusText() const;
+  // Writes PrometheusText() to `path` through the `metrics.export` fault
+  // site. Failure is the exporter's, never the query's: callers warn.
+  Status WritePrometheus(const std::string& path) const;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  mutable std::mutex mu_;  // guards the maps, not the metric objects
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// The pipeline's metric names (stable contract, DESIGN.md §6d).
+inline constexpr const char kMetricQueriesTotal[] = "htqo_queries_total";
+inline constexpr const char kMetricPlanLatencyUs[] = "htqo_plan_latency_us";
+inline constexpr const char kMetricExecLatencyUs[] = "htqo_exec_latency_us";
+inline constexpr const char kMetricRowsPerQuery[] = "htqo_rows_per_query";
+inline constexpr const char kMetricSearchNodesPerQuery[] =
+    "htqo_search_nodes_per_query";
+inline constexpr const char kMetricHashProbesPerQuery[] =
+    "htqo_hash_probes_per_query";
+inline constexpr const char kMetricSpillEventsTotal[] =
+    "htqo_spill_events_total";
+inline constexpr const char kMetricSpillBytesWrittenTotal[] =
+    "htqo_spill_bytes_written_total";
+inline constexpr const char kMetricGovernorTripsTotal[] =
+    "htqo_governor_trips_total";
+inline constexpr const char kMetricDegradationStepsTotal[] =
+    "htqo_degradation_steps_total";
+
+}  // namespace htqo
+
+#endif  // HTQO_OBS_METRICS_H_

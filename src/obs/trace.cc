@@ -1,0 +1,280 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "util/fault_injector.h"
+
+namespace htqo {
+namespace {
+
+// Dense per-OS-thread ids: stable across a process, small enough to read in
+// chrome://tracing's track list (std::thread::id would render as a hash).
+uint64_t DenseThreadId() {
+  static std::atomic<uint64_t> next{0};
+  thread_local uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+#if !defined(HTQO_DISABLE_TRACING)
+namespace {
+
+// Per-thread stack of open ScopedSpans. Entries carry the tracer so that
+// two tracers interleaved on one thread (e.g. nested sub-runs in tests)
+// never adopt each other's spans as parents.
+thread_local std::vector<std::pair<const Tracer*, uint64_t>> g_span_stack;
+
+}  // namespace
+#endif
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+uint64_t Tracer::Begin(std::string_view name, uint64_t parent) {
+  const int64_t start_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count();
+  std::lock_guard<std::mutex> lock(mu_);
+  Span& span = spans_.emplace_back();
+  span.id = spans_.size();  // ids are 1-based indexes into spans_
+  span.parent = parent;
+  span.name = std::string(name);
+  span.thread = DenseThreadId();
+  span.start_ns = start_ns;
+  return span.id;
+}
+
+void Tracer::End(uint64_t id) {
+  if (id == 0) return;
+  const int64_t now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - epoch_)
+                             .count();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id > spans_.size()) return;
+  Span& span = spans_[id - 1];
+  if (span.duration_ns >= 0) return;  // already ended
+  span.duration_ns = std::max<int64_t>(0, now_ns - span.start_ns);
+}
+
+void Tracer::Attr(uint64_t id, std::string_view key, std::string value) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id > spans_.size()) return;
+  spans_[id - 1].attrs.push_back(SpanAttr{std::string(key), std::move(value)});
+}
+
+uint64_t Tracer::CurrentParent(const Tracer* tracer) {
+#if !defined(HTQO_DISABLE_TRACING)
+  if (tracer == nullptr) return 0;
+  for (auto it = g_span_stack.rbegin(); it != g_span_stack.rend(); ++it) {
+    if (it->first == tracer) return it->second;
+  }
+#else
+  (void)tracer;
+#endif
+  return 0;
+}
+
+std::size_t Tracer::NumSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::vector<Span> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  const std::vector<Span> spans = Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  char buf[160];
+  uint64_t max_thread = 0;
+  bool first = true;
+  for (const Span& span : spans) {
+    if (!first) out += ',';
+    first = false;
+    max_thread = std::max(max_thread, span.thread);
+    // Complete ("X") event; open spans export with dur 0 rather than
+    // dropping — a crash mid-query should still leave a loadable trace.
+    const double ts_us = static_cast<double>(span.start_ns) / 1e3;
+    const double dur_us =
+        static_cast<double>(std::max<int64_t>(0, span.duration_ns)) / 1e3;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(&out, span.name);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"X\",\"pid\":1,\"tid\":%" PRIu64
+                  ",\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"span_id\":\"%" PRIu64
+                  "\",\"parent_id\":\"%" PRIu64 "\"",
+                  span.thread, ts_us, dur_us, span.id, span.parent);
+    out += buf;
+    for (const SpanAttr& attr : span.attrs) {
+      out += ",\"";
+      AppendJsonEscaped(&out, attr.key);
+      out += "\":\"";
+      AppendJsonEscaped(&out, attr.value);
+      out += '"';
+    }
+    out += "}}";
+  }
+  // Thread-name metadata so the track list reads "worker N", not bare ids.
+  for (uint64_t tid = 0; !spans.empty() && tid <= max_thread; ++tid) {
+    std::snprintf(buf, sizeof(buf),
+                  ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%" PRIu64
+                  ",\"args\":{\"name\":\"worker %" PRIu64 "\"}}",
+                  tid, tid);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  if (FaultInjector::Instance().ShouldFail(kFaultSiteTraceWrite)) {
+    return Status::Internal("injected fault: trace.write (" + path + ")");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open trace file '" + path + "'");
+  }
+  out << ChromeTraceJson();
+  out.flush();
+  if (!out) {
+    return Status::Internal("short write to trace file '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+std::string Tracer::ToTreeString() const {
+  const std::vector<Span> spans = Snapshot();
+  // children[i] = indexes of spans whose parent is span id i+1; roots under 0.
+  std::vector<std::vector<std::size_t>> children(spans.size() + 1);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const uint64_t parent =
+        spans[i].parent <= spans.size() ? spans[i].parent : 0;
+    children[parent].push_back(i);
+  }
+  for (auto& kids : children) {
+    std::sort(kids.begin(), kids.end(), [&](std::size_t a, std::size_t b) {
+      if (spans[a].start_ns != spans[b].start_ns) {
+        return spans[a].start_ns < spans[b].start_ns;
+      }
+      return spans[a].id < spans[b].id;
+    });
+  }
+  std::string out;
+  char buf[64];
+  // Iterative DFS; (index, depth), pushed in reverse so siblings pop in order.
+  std::vector<std::pair<std::size_t, int>> stack;
+  for (auto it = children[0].rbegin(); it != children[0].rend(); ++it) {
+    stack.emplace_back(*it, 0);
+  }
+  while (!stack.empty()) {
+    const auto [i, depth] = stack.back();
+    stack.pop_back();
+    const Span& span = spans[i];
+    out.append(static_cast<std::size_t>(depth) * 2, ' ');
+    out += span.name;
+    if (span.duration_ns >= 0) {
+      std::snprintf(buf, sizeof(buf), " %.3fms",
+                    static_cast<double>(span.duration_ns) / 1e6);
+      out += buf;
+    } else {
+      out += " (open)";
+    }
+    for (const SpanAttr& attr : span.attrs) {
+      out += ' ';
+      out += attr.key;
+      out += '=';
+      out += attr.value;
+    }
+    out += '\n';
+    const auto& kids = children[span.id];
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.emplace_back(*it, depth + 1);
+    }
+  }
+  return out;
+}
+
+#if !defined(HTQO_DISABLE_TRACING)
+
+ScopedSpan::ScopedSpan(Tracer* tracer, std::string_view name)
+    : ScopedSpan(tracer, name, Tracer::CurrentParent(tracer)) {}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, std::string_view name, uint64_t parent)
+    : tracer_(tracer) {
+  if (tracer_ == nullptr) return;
+  id_ = tracer_->Begin(name, parent);
+  g_span_stack.emplace_back(tracer_, id_);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  tracer_->End(id_);
+  // Open spans nest, so ours is the innermost entry for this tracer; pop it
+  // even if other tracers' entries sit above (interleaved destruction).
+  for (auto it = g_span_stack.rbegin(); it != g_span_stack.rend(); ++it) {
+    if (it->first == tracer_ && it->second == id_) {
+      g_span_stack.erase(std::next(it).base());
+      break;
+    }
+  }
+}
+
+void ScopedSpan::Attr(std::string_view key, std::string_view value) {
+  if (tracer_ == nullptr) return;
+  tracer_->Attr(id_, key, std::string(value));
+}
+
+void ScopedSpan::Attr(std::string_view key, const char* value) {
+  Attr(key, std::string_view(value));
+}
+
+void ScopedSpan::Attr(std::string_view key, double value) {
+  if (tracer_ == nullptr) return;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  tracer_->Attr(id_, key, buf);
+}
+
+#endif  // !HTQO_DISABLE_TRACING
+
+}  // namespace htqo

@@ -1,0 +1,173 @@
+// Query lifecycle tracing: hierarchical, thread-safe spans over one run.
+//
+// A Tracer owns an append-only list of spans. Every span records a
+// monotonic-clock start offset and duration (relative to the tracer's
+// epoch), a parent span id, the worker thread that produced it, and
+// key/value attributes. Spans are created through ScopedSpan (RAII): the
+// constructor begins the span and pushes it onto a thread-local parent
+// stack, so nested instrumentation points attach to the innermost open span
+// of the same thread without any plumbing; the destructor ends it. Code that
+// hops threads (the wave evaluators) passes an explicit parent id instead —
+// the span still lands on the worker's thread-local stack, so operator
+// spans opened inside the node body nest correctly.
+//
+// Off by default, near-zero overhead: a null Tracer* makes every ScopedSpan
+// call a single branch. The no-op path is also compile-time checkable —
+// building with -DHTQO_DISABLE_TRACING compiles ScopedSpan down to an empty
+// object (kTracingCompiledIn is false), which the CI overhead guard uses as
+// the baseline against the default build.
+//
+// Span names and attribute keys are a stable contract (DESIGN.md §6d):
+// exporters, tools/validate_trace.py, and the bench harness key off them.
+//
+// Exporters: ChromeTraceJson()/WriteChromeTrace() emit Chrome trace_event
+// JSON loadable in chrome://tracing or Perfetto; ToTreeString() renders the
+// span tree for the shell's \analyze. WriteChromeTrace goes through the
+// `trace.write` fault site — exporter I/O failures surface as a Status the
+// caller degrades to a warning, never a failed query.
+
+#ifndef HTQO_OBS_TRACE_H_
+#define HTQO_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace htqo {
+
+#if defined(HTQO_DISABLE_TRACING)
+inline constexpr bool kTracingCompiledIn = false;
+#else
+inline constexpr bool kTracingCompiledIn = true;
+#endif
+
+struct SpanAttr {
+  std::string key;
+  std::string value;
+};
+
+struct Span {
+  uint64_t id = 0;      // 1-based; 0 is "no span"
+  uint64_t parent = 0;  // 0 = root
+  std::string name;
+  uint64_t thread = 0;      // dense per-OS-thread id, stable per process
+  int64_t start_ns = 0;     // monotonic offset from the tracer's epoch
+  int64_t duration_ns = -1;  // -1 while the span is open
+  std::vector<SpanAttr> attrs;
+};
+
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Begins a span; `parent` is a span id or 0 for a root span. Thread-safe.
+  uint64_t Begin(std::string_view name, uint64_t parent);
+  // Ends the span (records its duration). Thread-safe, idempotent.
+  void End(uint64_t id);
+  // Attaches an attribute to an open or ended span. Thread-safe.
+  void Attr(uint64_t id, std::string_view key, std::string value);
+
+  // Innermost open ScopedSpan of `tracer` on the calling thread (0 = none).
+  // Null-safe: CurrentParent(nullptr) is 0.
+  static uint64_t CurrentParent(const Tracer* tracer);
+
+  std::size_t NumSpans() const;
+  // Copy of all spans, in creation order.
+  std::vector<Span> Snapshot() const;
+
+  // Chrome trace_event JSON: {"traceEvents": [...]} with one complete ("X")
+  // event per span (ts/dur in microseconds) plus thread-name metadata. Span
+  // id/parent ride in args so the tree survives the flat format.
+  std::string ChromeTraceJson() const;
+  // Writes ChromeTraceJson() to `path` through the `trace.write` fault
+  // site. Failure is the exporter's, never the query's: callers warn.
+  Status WriteChromeTrace(const std::string& path) const;
+
+  // Indented tree rendering (children ordered by start time):
+  //   query 12.34ms mode=qhd-hybrid
+  //     parse 0.02ms
+  //     ...
+  std::string ToTreeString() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+#if !defined(HTQO_DISABLE_TRACING)
+
+// RAII span. A null tracer makes every member a single-branch no-op.
+class ScopedSpan {
+ public:
+  // Parent = the calling thread's innermost open ScopedSpan of `tracer`.
+  ScopedSpan(Tracer* tracer, std::string_view name);
+  // Explicit parent (0 = root): for bodies that run on pool workers whose
+  // thread-local stack does not contain the logical parent.
+  ScopedSpan(Tracer* tracer, std::string_view name, uint64_t parent);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void Attr(std::string_view key, std::string_view value);
+  void Attr(std::string_view key, const char* value);
+  void Attr(std::string_view key, double value);
+  // Integral values (any width/signedness) format via std::to_string.
+  template <typename T, typename = std::enable_if_t<std::is_integral_v<T>>>
+  void Attr(std::string_view key, T value) {
+    if (tracer_ == nullptr) return;
+    tracer_->Attr(id_, key, std::to_string(value));
+  }
+
+  uint64_t id() const { return id_; }
+  Tracer* tracer() const { return tracer_; }
+
+ private:
+  Tracer* tracer_;
+  uint64_t id_ = 0;
+};
+
+#else  // HTQO_DISABLE_TRACING
+
+// Compile-time no-op path: same API surface, empty object, zero work.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer*, std::string_view) {}
+  ScopedSpan(Tracer*, std::string_view, uint64_t) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void Attr(std::string_view, std::string_view) {}
+  void Attr(std::string_view, const char*) {}
+  void Attr(std::string_view, double) {}
+  template <typename T, typename = std::enable_if_t<std::is_integral_v<T>>>
+  void Attr(std::string_view, T) {}
+
+  uint64_t id() const { return 0; }
+  Tracer* tracer() const { return nullptr; }
+};
+
+#endif  // HTQO_DISABLE_TRACING
+
+// How a run requests tracing: a borrowed Tracer (null = off, the default)
+// and the span id under which the run's spans should attach (0 = root).
+// Threaded through RunOptions into ExecContext.
+struct TraceContext {
+  Tracer* tracer = nullptr;
+  uint64_t parent = 0;
+
+  bool enabled() const { return tracer != nullptr; }
+};
+
+}  // namespace htqo
+
+#endif  // HTQO_OBS_TRACE_H_

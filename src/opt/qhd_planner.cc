@@ -35,6 +35,10 @@ Result<Relation> EvaluateDecomposition(const ResolvedQuery& rq,
 
   auto process_node = [&](std::size_t p) -> Status {
     const HypertreeNode& node = hd.node(p);
+    // Explicit parent: under RunWaves this body runs on a pool lane whose
+    // TLS stack is empty, so the wave span arrives via ctx->trace_parent.
+    ScopedSpan node_span(ctx->tracer, "qhd.node", ctx->SpanParent());
+    node_span.Attr("node", p);
 
     // --- Steps P' and P'', interleaved. ------------------------------------
     // The pool holds the lambda(p) scans and the children's messages. They
@@ -145,6 +149,7 @@ Result<Relation> EvaluateDecomposition(const ResolvedQuery& rq,
     for (std::size_t v : node.chi.ToVector()) {
       HTQO_CHECK(current->schema().IndexOf(rq.cq.vars[v].name).has_value());
     }
+    node_span.Attr("rows", current->NumRows());
     rel[p] = std::move(*current);
     return Status::Ok();
   };

@@ -83,7 +83,18 @@ inline std::vector<std::vector<std::size_t>> DepthWaves(
 inline Status RunWaves(ExecContext* ctx,
                        const std::vector<std::vector<std::size_t>>& waves,
                        const std::function<Status(std::size_t)>& node_body) {
+  // Pool lanes parent their spans through ctx->trace_parent; repointing it
+  // at each wave's span is race-free because the write happens on the
+  // calling thread between barrier waves (task handoff and join give
+  // happens-before both ways).
+  const uint64_t saved_parent = ctx->trace_parent;
+  std::size_t wave_index = 0;
+  Status result = Status::Ok();
   for (const std::vector<std::size_t>& wave : waves) {
+    ScopedSpan wave_span(ctx->tracer, "wave");
+    wave_span.Attr("index", wave_index++);
+    wave_span.Attr("nodes", wave.size());
+    ctx->trace_parent = wave_span.id() != 0 ? wave_span.id() : saved_parent;
     if (ctx->parallel() && wave.size() > 1) {
       std::vector<Status> status(wave.size(), Status::Ok());
       ctx->pool->ParallelFor(0, wave.size(), /*grain=*/1, ctx->num_threads,
@@ -94,19 +105,29 @@ inline Status RunWaves(ExecContext* ctx,
                                }
                              });
       if (ctx->governor != nullptr && ctx->governor->exhausted()) {
-        return ctx->governor->trip_status();
+        result = ctx->governor->trip_status();
+        break;
       }
       for (const Status& s : status) {
-        if (!s.ok()) return s;
+        if (!s.ok()) {
+          result = s;
+          break;
+        }
       }
+      if (!result.ok()) break;
     } else {
       for (std::size_t p : wave) {
         Status s = node_body(p);
-        if (!s.ok()) return s;
+        if (!s.ok()) {
+          result = s;
+          break;
+        }
       }
+      if (!result.ok()) break;
     }
   }
-  return Status::Ok();
+  ctx->trace_parent = saved_parent;
+  return result;
 }
 
 }  // namespace htqo

@@ -108,24 +108,48 @@ Result<Relation> ThreePass(std::vector<Relation> nodes, const Forest& forest,
     // order-independent, so the output matches the serial sweeps exactly.
     auto up = HeightWaves(postorder, forest.children);
     auto down = DepthWaves(postorder, forest.parent, Forest::kNone);
-    Status s = RunWaves(ctx, up, reduce_up);
-    if (!s.ok()) return s;
-    s = RunWaves(ctx, down, reduce_down);
-    if (!s.ok()) return s;
-    s = RunWaves(ctx, up, collect);
-    if (!s.ok()) return s;
+    {
+      ScopedSpan pass_span(ctx->tracer, "yannakakis.pass");
+      pass_span.Attr("phase", "reduce_up");
+      Status s = RunWaves(ctx, up, reduce_up);
+      if (!s.ok()) return s;
+    }
+    {
+      ScopedSpan pass_span(ctx->tracer, "yannakakis.pass");
+      pass_span.Attr("phase", "reduce_down");
+      Status s = RunWaves(ctx, down, reduce_down);
+      if (!s.ok()) return s;
+    }
+    {
+      ScopedSpan pass_span(ctx->tracer, "yannakakis.pass");
+      pass_span.Attr("phase", "collect");
+      Status s = RunWaves(ctx, up, collect);
+      if (!s.ok()) return s;
+    }
   } else {
-    for (std::size_t p : postorder) {
-      Status s = reduce_up(p);
-      if (!s.ok()) return s;
+    {
+      ScopedSpan pass_span(ctx->tracer, "yannakakis.pass");
+      pass_span.Attr("phase", "reduce_up");
+      for (std::size_t p : postorder) {
+        Status s = reduce_up(p);
+        if (!s.ok()) return s;
+      }
     }
-    for (auto it = postorder.rbegin(); it != postorder.rend(); ++it) {
-      Status s = reduce_down(*it);
-      if (!s.ok()) return s;
+    {
+      ScopedSpan pass_span(ctx->tracer, "yannakakis.pass");
+      pass_span.Attr("phase", "reduce_down");
+      for (auto it = postorder.rbegin(); it != postorder.rend(); ++it) {
+        Status s = reduce_down(*it);
+        if (!s.ok()) return s;
+      }
     }
-    for (std::size_t p : postorder) {
-      Status s = collect(p);
-      if (!s.ok()) return s;
+    {
+      ScopedSpan pass_span(ctx->tracer, "yannakakis.pass");
+      pass_span.Attr("phase", "collect");
+      for (std::size_t p : postorder) {
+        Status s = collect(p);
+        if (!s.ok()) return s;
+      }
     }
   }
 

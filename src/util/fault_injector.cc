@@ -50,7 +50,8 @@ bool FaultInjector::ShouldFailSlow(const char* site) {
 std::vector<std::string> FaultInjector::KnownSites() {
   return {kFaultSiteRelationAlloc,     kFaultSiteStatsLookup,
           kFaultSiteGovernorCheckpoint, kFaultSiteSpillOpen,
-          kFaultSiteSpillWrite,         kFaultSiteSpillRead};
+          kFaultSiteSpillWrite,         kFaultSiteSpillRead,
+          kFaultSiteTraceWrite,         kFaultSiteMetricsExport};
 }
 
 }  // namespace htqo

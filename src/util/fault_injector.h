@@ -16,6 +16,9 @@
 //   spill.open           SpillManager fails to create a partition temp file
 //   spill.write          a buffered spill write fails (retried, bounded)
 //   spill.read           a spilled partition read fails (retried, bounded)
+//   trace.write          Tracer::WriteChromeTrace fails; callers warn, the
+//                        query result is unaffected
+//   metrics.export       MetricsRegistry::WritePrometheus fails; same deal
 
 #ifndef HTQO_UTIL_FAULT_INJECTOR_H_
 #define HTQO_UTIL_FAULT_INJECTOR_H_
@@ -41,6 +44,8 @@ inline constexpr const char kFaultSiteGovernorCheckpoint[] =
 inline constexpr const char kFaultSiteSpillOpen[] = "spill.open";
 inline constexpr const char kFaultSiteSpillWrite[] = "spill.write";
 inline constexpr const char kFaultSiteSpillRead[] = "spill.read";
+inline constexpr const char kFaultSiteTraceWrite[] = "trace.write";
+inline constexpr const char kFaultSiteMetricsExport[] = "metrics.export";
 
 struct FaultPlan {
   // Exact site to target; the empty string targets every site.

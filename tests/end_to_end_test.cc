@@ -39,7 +39,7 @@ TEST_F(EndToEndTest, Q5AllModesAgree) {
     auto run = optimizer.Run(sql, options);
     ASSERT_TRUE(run.ok()) << OptimizerModeName(mode) << ": "
                           << run.status().message();
-    EXPECT_FALSE(run->used_fallback) << OptimizerModeName(mode);
+    EXPECT_FALSE(run->used_fallback()) << OptimizerModeName(mode);
     if (!reference) {
       reference = std::move(run->output);
       // Q5 groups by nation: at most 5 ASIA nations.
@@ -112,7 +112,7 @@ TEST_F(EndToEndTest, FallbackToDpOnQhdFailure) {
   options.fallback_to_dp = true;
   auto run = optimizer.Run(ChainQuerySql(5), options);
   ASSERT_TRUE(run.ok()) << run.status().message();
-  EXPECT_TRUE(run->used_fallback);
+  EXPECT_TRUE(run->used_fallback());
 
   options.fallback_to_dp = false;
   auto no_fallback = optimizer.Run(ChainQuerySql(5), options);

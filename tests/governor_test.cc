@@ -357,7 +357,7 @@ TEST_F(GovernedPipelineTest, LadderDegradesToAPlanAndNamesEveryStep) {
       << run->degradations.front();
   EXPECT_TRUE(Contains(run->degradations.back(), "GEQO"))
       << run->degradations.back();
-  EXPECT_TRUE(run->used_fallback);
+  EXPECT_TRUE(run->used_fallback());
   EXPECT_GE(run->governor.budget_hits, 1u);
 
   // Degraded, not wrong: the GEQO plan computes the same answer.
@@ -372,7 +372,7 @@ TEST_F(GovernedPipelineTest, GenerousBudgetTakesNoLadderSteps) {
   auto run = optimizer.Run(ChainQuerySql(6), options);
   ASSERT_TRUE(run.ok()) << run.status().message();
   EXPECT_TRUE(run->degradations.empty());
-  EXPECT_FALSE(run->used_fallback);
+  EXPECT_FALSE(run->used_fallback());
   EXPECT_GT(run->governor.search_nodes, 0u);  // the governor was watching
   EXPECT_EQ(run->governor.trips(), 0u);
 }

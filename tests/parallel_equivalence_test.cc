@@ -177,7 +177,7 @@ TEST_P(ParallelEquivalenceTest, RandomQueriesAreThreadCountInvariant) {
           << OptimizerModeName(mode) << " picks a different plan at "
           << threads << " threads";
       EXPECT_EQ(reference->decomposition_width, run->decomposition_width);
-      EXPECT_EQ(reference->used_fallback, run->used_fallback);
+      EXPECT_EQ(reference->used_fallback(), run->used_fallback());
       EXPECT_EQ(reference->ctx.rows_charged.load(),
                 run->ctx.rows_charged.load());
       EXPECT_EQ(reference->ctx.work_charged.load(),
@@ -286,7 +286,7 @@ TEST_F(ParallelGovernorFixture, BudgetTripsAndLadderStepsAreIdentical) {
     ASSERT_TRUE(run.ok()) << run.status().message();
     if (!reference.has_value()) {
       reference = std::move(run.value());
-      ASSERT_TRUE(reference->used_fallback);
+      ASSERT_TRUE(reference->used_fallback());
       continue;
     }
     EXPECT_EQ(reference->degradations, run->degradations)

@@ -164,12 +164,12 @@ TEST_F(ClassicHdTest, YannakakisModeFallsBackOnCyclic) {
   options.fallback_to_dp = true;
   auto run = optimizer.Run(ChainQuerySql(5), options);
   ASSERT_TRUE(run.ok()) << run.status().message();
-  EXPECT_TRUE(run->used_fallback);
+  EXPECT_TRUE(run->used_fallback());
 
   // Acyclic: no fallback needed.
   auto line = optimizer.Run(LineQuerySql(5), options);
   ASSERT_TRUE(line.ok());
-  EXPECT_FALSE(line->used_fallback);
+  EXPECT_FALSE(line->used_fallback());
   EXPECT_NE(line->plan_description.find("yannakakis"), std::string::npos);
 }
 

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Compares two Google Benchmark JSON outputs; fails on regression.
+
+Used by CI's observability job to assert that the default build (tracing
+compiled in, but off: every instrumentation point is a null-tracer branch)
+does not regress the operator microbenchmarks against a
+-DHTQO_DISABLE_TRACING=ON build, where the instrumentation does not exist.
+
+Matching benchmarks are compared by the "_mean" aggregate when present
+(run both sides with --benchmark_repetitions) or the raw real_time
+otherwise, and the verdict is the geometric mean ratio across all common
+benchmarks — single-benchmark jitter does not fail the gate, a systematic
+slowdown does.
+
+  tools/compare_bench.py baseline.json candidate.json --max-regress 0.05
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_times(path):
+    with open(path) as f:
+        doc = json.load(f)
+    raw, means = {}, {}
+    for b in doc.get("benchmarks", []):
+        name = b["name"]
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") == "mean":
+                means[name.removesuffix("_mean")] = b["real_time"]
+        else:
+            # First repetition wins; good enough when aggregates exist.
+            raw.setdefault(name, b["real_time"])
+    return means if means else raw
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="no-op-build benchmark JSON")
+    parser.add_argument("candidate", help="default-build benchmark JSON")
+    parser.add_argument("--max-regress", type=float, default=0.05,
+                        help="allowed geomean slowdown (0.05 = 5%%)")
+    args = parser.parse_args()
+
+    base = load_times(args.baseline)
+    cand = load_times(args.candidate)
+    common = sorted(set(base) & set(cand))
+    if not common:
+        print("error: no common benchmarks between the two files")
+        return 1
+
+    log_sum = 0.0
+    for name in common:
+        ratio = cand[name] / base[name] if base[name] > 0 else 1.0
+        log_sum += math.log(ratio)
+        flag = "  <-- slower" if ratio > 1 + args.max_regress else ""
+        print(f"{name}: {base[name]:.0f} -> {cand[name]:.0f} ns "
+              f"(x{ratio:.3f}){flag}")
+    geomean = math.exp(log_sum / len(common))
+    print(f"\ngeomean ratio over {len(common)} benchmarks: {geomean:.4f} "
+          f"(limit {1 + args.max_regress:.2f})")
+    if geomean > 1 + args.max_regress:
+        print("FAIL: candidate regresses past the allowed margin")
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

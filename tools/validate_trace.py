@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace_event JSON file produced by the htqo tracer.
+
+Checks, per file:
+  - the file parses as JSON with a top-level "traceEvents" array;
+  - every complete ("X") event has name/ts/dur/pid/tid and a span_id arg;
+  - span ids are unique; every parent_id refers to an emitted span;
+  - children start no earlier than their parent and end no later
+    (the tracer's happens-before contract, so no tolerance is needed);
+  - the required query-lifecycle spans are present (--require).
+
+Exit code 0 = valid, 1 = any file failed. Usage:
+
+  tools/validate_trace.py trace.json [more.json ...] \
+      [--require query,parse,execute]
+"""
+
+import argparse
+import json
+import sys
+
+
+def validate(path, required):
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"unreadable or invalid JSON: {e}"]
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents array"]
+
+    spans = {}
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph == "M":  # thread-name metadata
+            continue
+        if ph != "X":
+            errors.append(f"event {i}: unexpected phase {ph!r}")
+            continue
+        for field in ("name", "ts", "dur", "pid", "tid", "args"):
+            if field not in ev:
+                errors.append(f"event {i} ({ev.get('name')}): no {field!r}")
+        span_id = ev.get("args", {}).get("span_id")
+        if span_id is None:
+            errors.append(f"event {i} ({ev.get('name')}): no span_id arg")
+            continue
+        if span_id in spans:
+            errors.append(f"duplicate span_id {span_id}")
+        if ev.get("dur", -1) < 0:
+            errors.append(f"span {span_id} ({ev.get('name')}): negative dur")
+        spans[span_id] = ev
+
+    for span_id, ev in spans.items():
+        parent_id = ev.get("args", {}).get("parent_id")
+        if parent_id in (None, 0, "0"):
+            continue
+        parent = spans.get(parent_id)
+        if parent is None:
+            errors.append(
+                f"span {span_id} ({ev['name']}): dead parent {parent_id}")
+            continue
+        if ev["ts"] < parent["ts"]:
+            errors.append(
+                f"span {span_id} ({ev['name']}) starts before parent")
+        if ev["ts"] + ev["dur"] > parent["ts"] + parent["dur"]:
+            errors.append(
+                f"span {span_id} ({ev['name']}) outlives parent "
+                f"{parent_id} ({parent['name']})")
+
+    names = {ev["name"] for ev in spans.values()}
+    for name in required:
+        if name not in names:
+            errors.append(f"required span missing: {name}")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("traces", nargs="+", help="trace JSON files")
+    parser.add_argument(
+        "--require", default="",
+        help="comma-separated span names that must be present")
+    args = parser.parse_args()
+    required = [n for n in args.require.split(",") if n]
+
+    failed = False
+    for path in args.traces:
+        errors = validate(path, required)
+        if errors:
+            failed = True
+            print(f"{path}: INVALID")
+            for e in errors[:20]:
+                print(f"  {e}")
+            if len(errors) > 20:
+                print(f"  ... and {len(errors) - 20} more")
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
