@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <numeric>
 #include <vector>
 
 #include "exec/operators.h"
@@ -153,6 +155,56 @@ void SemiJoinParallel(benchmark::State& state) {
                           static_cast<int64_t>(state.range(0)));
 }
 
+// The parallel kernels' merge step: rows collected per partition carry a
+// placement tag; the merge restores the serial emission order. Tags are
+// dense (one per partition x probe block), which is what the counting
+// placement in MergeRowsByTag exploits. The *StableSort twin is the old
+// O(n log n) implementation, kept inline here as the comparison baseline.
+std::pair<Relation, std::vector<uint64_t>> MakeTagged(std::size_t rows,
+                                                      std::size_t num_tags) {
+  Relation rel = MakeSyntheticRelation(rows, {"a", "b"}, 30, 5);
+  std::vector<uint64_t> tags(rel.NumRows());
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    tags[i] = (i * 2654435761u) % num_tags;  // scrambled but dense
+  }
+  return {std::move(rel), std::move(tags)};
+}
+
+void MergeByTagCounting(benchmark::State& state) {
+  auto [rel, tags] = MakeTagged(static_cast<std::size_t>(state.range(0)),
+                                static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    ExecContext ctx;
+    Relation out(rel.schema());
+    Status s = internal::MergeRowsByTag(rel, tags, &out, &ctx);
+    HTQO_CHECK(s.ok());
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["tags"] = static_cast<double>(state.range(1));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(state.range(0)));
+}
+
+void MergeByTagStableSort(benchmark::State& state) {
+  auto [rel, tags] = MakeTagged(static_cast<std::size_t>(state.range(0)),
+                                static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    Relation out(rel.schema());
+    HTQO_CHECK(out.TryReserve(rel.NumRows()).ok());
+    std::vector<std::size_t> order(tags.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return tags[a] < tags[b];
+                     });
+    for (std::size_t idx : order) out.AddRow(rel.Row(idx));
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["tags"] = static_cast<double>(state.range(1));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(state.range(0)));
+}
+
 BENCHMARK(HashJoin)->RangeMultiplier(4)->Range(256, 65536);
 BENCHMARK(KeyHashPrecompute)->RangeMultiplier(4)->Range(256, 65536);
 BENCHMARK(HashJoinParallel)
@@ -163,6 +215,10 @@ BENCHMARK(SortMergeJoin)->RangeMultiplier(4)->Range(256, 65536);
 BENCHMARK(NestedLoopJoin)->RangeMultiplier(4)->Range(256, 4096);
 BENCHMARK(SemiJoin)->RangeMultiplier(4)->Range(256, 65536);
 BENCHMARK(DistinctOp)->RangeMultiplier(4)->Range(256, 65536);
+BENCHMARK(MergeByTagCounting)
+    ->ArgsProduct({{16384, 65536, 262144}, {8, 64, 1024}});
+BENCHMARK(MergeByTagStableSort)
+    ->ArgsProduct({{16384, 65536, 262144}, {8, 64, 1024}});
 
 }  // namespace
 }  // namespace bench

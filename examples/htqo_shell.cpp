@@ -16,6 +16,7 @@
 #include <string>
 
 #include "api/hybrid_optimizer.h"
+#include "cache/decomp_cache.h"
 #include "cq/hypergraph_builder.h"
 #include "decomp/qhd.h"
 #include "storage/csv.h"
@@ -63,6 +64,8 @@ void PrintHelp() {
       "  \\mem <bytes>                       memory budget + spilling (0 = off)\n"
       "  \\spill <dir>                       spill directory (- = system tmp)\n"
       "  \\threads <n>                       worker lanes (1 = serial)\n"
+      "  \\cache [on|off|clear]              plan cache control; no argument\n"
+      "                                     prints hit/miss/eviction stats\n"
       "  \\explain                           toggle plan explanation\n"
       "  \\analyze                           toggle EXPLAIN ANALYZE (traced\n"
       "                                     run, per-node rows and times)\n"
@@ -118,6 +121,9 @@ void RunSql(ShellState& state, const std::string& sql) {
                 "peak intermediate: %zu rows\n",
                 run->plan_seconds * 1e3, run->exec_seconds * 1e3,
                 run->ctx.work_charged.load(), run->ctx.peak_rows.load());
+    if (!run->plan_cache.empty()) {
+      std::printf("plan cache: %s\n", run->plan_cache.c_str());
+    }
     if (run->governor.search_nodes > 0) {
       std::printf("governor: %zu search nodes, %zu trips\n",
                   run->governor.search_nodes, run->governor.trips());
@@ -251,6 +257,33 @@ bool HandleCommand(ShellState& state, const std::string& line) {
     state.options.num_threads = n > 1 ? static_cast<std::size_t>(n) : 1;
     std::printf("threads = %zu%s\n", state.options.num_threads,
                 state.options.num_threads == 1 ? " (serial engine)" : "");
+  } else if (cmd == "\\cache") {
+    std::string arg;
+    in >> arg;
+    if (arg == "on") {
+      state.options.use_plan_cache = true;
+      std::printf("plan cache on\n");
+    } else if (arg == "off") {
+      state.options.use_plan_cache = false;
+      std::printf("plan cache off\n");
+    } else if (arg == "clear") {
+      DecompCache::Global().Clear();
+      std::printf("plan cache cleared\n");
+    } else {
+      DecompCache::Stats s = DecompCache::Global().stats();
+      std::printf("plan cache %s: %llu entries, %llu/%llu bytes\n"
+                  "  hits %llu, misses %llu, stale %llu, evictions %llu, "
+                  "single-flight waits %llu\n",
+                  state.options.use_plan_cache ? "on" : "off",
+                  static_cast<unsigned long long>(s.entries),
+                  static_cast<unsigned long long>(s.bytes),
+                  static_cast<unsigned long long>(s.byte_budget),
+                  static_cast<unsigned long long>(s.hits),
+                  static_cast<unsigned long long>(s.misses),
+                  static_cast<unsigned long long>(s.stale),
+                  static_cast<unsigned long long>(s.evictions),
+                  static_cast<unsigned long long>(s.singleflight_waits));
+    }
   } else if (cmd == "\\explain") {
     state.explain = !state.explain;
     std::printf("explain %s\n", state.explain ? "on" : "off");
@@ -331,6 +364,9 @@ bool HandleCommand(ShellState& state, const std::string& line) {
 int main() {
   ShellState state;
   state.options.mode = OptimizerMode::kQhdHybrid;
+  // Interactive sessions re-plan the same templates constantly; the cache
+  // is on by default here (libraries opt in via RunOptions).
+  state.options.use_plan_cache = true;
   state.explain = true;
   std::printf("htqo shell — hypertree decompositions for query "
               "optimization.\nType \\help for commands.\n");

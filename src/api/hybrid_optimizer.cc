@@ -6,10 +6,13 @@
 #include <optional>
 #include <unordered_map>
 
+#include "cache/decomp_cache.h"
 #include "cq/hypergraph_builder.h"
+#include "decomp/optimize.h"
 #include "exec/executor.h"
 #include "exec/plan.h"
 #include "obs/metrics.h"
+#include "util/strings.h"
 #include "opt/dp_optimizer.h"
 #include "opt/geqo_optimizer.h"
 #include "opt/naive_optimizer.h"
@@ -492,6 +495,8 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
         ->Record(run.governor.search_nodes);
     metrics.GetHistogram(kMetricHashProbesPerQuery)
         ->Record(run.ctx.hash_probes.load(std::memory_order_relaxed));
+    metrics.GetHistogram(kMetricBloomSkipsPerQuery)
+        ->Record(run.ctx.bloom_skips.load(std::memory_order_relaxed));
     if (run.spill.spill_events > 0) {
       metrics.GetCounter(kMetricSpillEventsTotal)->Add(run.spill.spill_events);
       metrics.GetCounter(kMetricSpillBytesWrittenTotal)
@@ -632,6 +637,17 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
     Hypergraph h = BuildHypergraph(rq.cq);
     Bitset out_vars = OutputVarsBitset(rq.cq);
 
+    // Plan cache: lowercased relation names, one per hyperedge (atom
+    // order) — the canonical certificate's edge labels and the keys of the
+    // statistics-epoch snapshot.
+    std::vector<std::string> edge_labels;
+    if (options.use_plan_cache) {
+      edge_labels.reserve(rq.cq.atoms.size());
+      for (const Atom& atom : rq.cq.atoms) {
+        edge_labels.push_back(ToLower(atom.relation));
+      }
+    }
+
     // Degradation ladder, upper rungs: a governed q-HD attempt that trips
     // its budget retries at the next smaller width (cheaper search space)
     // before surrendering to the quantitative fallbacks below.
@@ -653,17 +669,44 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
       attempt_span->Attr("width", width);
       attempt_span->Attr("cost_model",
                          use_statistics ? "statistics" : "structural");
-      Result<QhdResult> decomp = Status::Internal("unset");
-      if (use_statistics) {
-        std::optional<ScopedSpan> stats_span(std::in_place, tracer,
-                                             "stats.lookup");
-        Estimator estimator(stats_);
-        StatsDecompositionCostModel model(h, BuildEdgeStats(rq.cq, estimator));
-        stats_span.reset();
-        decomp = QHypertreeDecomp(h, out_vars, model, dopt);
-      } else {
+      auto run_search = [&](const QhdOptions& sopt) -> Result<QhdResult> {
+        if (use_statistics) {
+          std::optional<ScopedSpan> stats_span(std::in_place, tracer,
+                                               "stats.lookup");
+          Estimator estimator(stats_);
+          StatsDecompositionCostModel model(h,
+                                            BuildEdgeStats(rq.cq, estimator));
+          stats_span.reset();
+          return QHypertreeDecomp(h, out_vars, model, sopt);
+        }
         StructuralCostModel model;
-        decomp = QHypertreeDecomp(h, out_vars, model, dopt);
+        return QHypertreeDecomp(h, out_vars, model, sopt);
+      };
+      Result<QhdResult> decomp = Status::Internal("unset");
+      if (options.use_plan_cache) {
+        // The cache stores pre-Optimize trees, so the search closure
+        // disables Optimize and it is re-run below on whichever tree comes
+        // back — rebound hit or fresh miss — keeping pruning (a cheap,
+        // purely structural pass) per-run while the expensive search is
+        // shared. A hit skips the search *and* the stats lookup.
+        QhdOptions search_opt = dopt;
+        search_opt.run_optimize = false;
+        PlanCacheOutcome cache_outcome;
+        decomp = CachedQHypertreeDecomp(
+            h, out_vars, edge_labels, width, use_statistics, gov, tracer,
+            [&] { return run_search(search_opt); }, &cache_outcome);
+        run.plan_cache = cache_outcome.ToString();
+        attempt_span->Attr("plan_cache", run.plan_cache);
+        if (decomp.ok() && run_optimize) {
+          ScopedSpan optimize_span(tracer, "optimize");
+          decomp->pruned = OptimizeDecomposition(h, &decomp->hd, gov);
+          optimize_span.Attr("pruned", decomp->pruned);
+          if (gov != nullptr && gov->exhausted()) {
+            decomp = gov->trip_status();
+          }
+        }
+      } else {
+        decomp = run_search(dopt);
       }
       if (gov != nullptr) {
         attempt_span->Attr("nodes_visited", gov->stats().search_nodes);

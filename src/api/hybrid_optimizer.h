@@ -107,6 +107,18 @@ struct RunOptions {
   // Results and chosen decompositions are bit-identical at any setting.
   std::size_t num_threads = 1;
 
+  // --- Plan caching (opt-in). With use_plan_cache set, every q-HD width
+  // attempt consults the process-wide DecompCache before searching: the
+  // query's hypergraph is canonicalized (cache.lookup span), and a fresh
+  // entry is rebound to this query's numbering (cache.rebind span) with
+  // only Procedure Optimize re-run — skipping the decomposition search and
+  // the stats lookup entirely on hits. Entries invalidate on statistics
+  // epochs (StatsEpochRegistry) and concurrent misses on one fingerprint
+  // compute once. Results are byte-identical to the uncached path at any
+  // thread count. Off by default so single-shot library users and the
+  // search-path tests/benches measure the real search. DESIGN.md §6e.
+  bool use_plan_cache = false;
+
   // --- Tracing (off by default: a null tracer costs one branch per
   // instrumentation point). With a tracer set, the pipeline emits one span
   // per stage — parse, isolation, stats lookup, each search width attempt,
@@ -136,6 +148,11 @@ struct QueryRun {
   // Aggregated governor observations across every attempt (search nodes,
   // peak memory, deadline/budget trips).
   GovernorStats governor;
+  // Plan-cache outcome of the decomposition phase: "" when caching was off
+  // (or a non-q-HD mode ran); otherwise "hit", "shared-hit" (waited on
+  // another thread's in-flight compute), "miss", or "stale-miss" (an entry
+  // existed but its statistics epochs were out of date).
+  std::string plan_cache;
   // Spill-to-disk activity of the run (zeros when spilling never armed or
   // never activated). A run that spilled also records a degradation entry.
   SpillCounters spill;

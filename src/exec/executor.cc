@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <map>
 #include <memory>
-#include <unordered_map>
 
 #include "exec/expression.h"
 #include "exec/spill.h"

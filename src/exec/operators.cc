@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "exec/spill.h"
+#include "util/bloom.h"
 #include "util/hash_chain.h"
 
 namespace htqo {
@@ -200,21 +201,11 @@ std::vector<uint64_t> IdentityTags(std::size_t n) {
   return tags;
 }
 
-// Reorders `collected` into `out` by ascending tag. stable_sort keeps the
-// per-tag emission order, so the result is the exact serial output: every
-// tag's rows come from a single partition, already in kernel order.
+// Reorders `collected` into `out` by ascending tag, preserving the per-tag
+// emission order — the exact serial output: every tag's rows come from a
+// single partition, already in kernel order.
 Status MergeByTag(TaggedRows&& collected, Relation* out, ExecContext* ctx) {
-  std::vector<std::size_t> order(collected.tags.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return collected.tags[a] < collected.tags[b];
-                   });
-  Status alloc = out->TryReserve(collected.rows.NumRows());
-  if (!alloc.ok()) return alloc;
-  for (std::size_t idx : order) out->AddRow(collected.rows.Row(idx));
-  ctx->NotePeak(out->NumRows());
-  return Status::Ok();
+  return internal::MergeRowsByTag(collected.rows, collected.tags, out, ctx);
 }
 
 // Serial tagged probe kernel for one partition pair; mirrors the in-memory
@@ -234,14 +225,21 @@ Status TaggedHashJoinKernel(const Relation& build, const Relation& probe,
   for (std::size_t r = 0; r < build.NumRows(); ++r) {
     build_hash[r] = HashRowKey(build.Row(r), bcols);
   }
+  BlockedBloomFilter bloom(build.NumRows());
+  for (std::size_t h : build_hash) bloom.Add(h);
   HashChainIndex table(build.NumRows());
   for (std::size_t r = 0; r < build.NumRows(); ++r) {
     table.Insert(build_hash[r], r);
   }
   std::vector<Value> row(out->rows.arity());
+  std::size_t bloom_skipped = 0;
   for (std::size_t p = 0; p < probe.NumRows(); ++p) {
     auto probe_row = probe.Row(p);
     std::size_t h = HashRowKey(probe_row, pcols);
+    if (!bloom.MayContain(h)) {
+      ++bloom_skipped;
+      continue;
+    }
     for (uint32_t it = table.First(h); it != HashChainIndex::kEnd;
          it = table.Next(it)) {
       Status st = ctx->ChargeWork(1);
@@ -262,6 +260,7 @@ Status TaggedHashJoinKernel(const Relation& build, const Relation& probe,
       out->tags.push_back(probe_tags[p]);
     }
   }
+  ctx->bloom_skips.fetch_add(bloom_skipped, std::memory_order_relaxed);
   return Status::Ok();
 }
 
@@ -348,13 +347,20 @@ Status TaggedSemiJoinKernel(const Relation& lpart, const Relation& rpart,
   for (std::size_t r = 0; r < rpart.NumRows(); ++r) {
     right_hash[r] = HashRowKey(rpart.Row(r), rcols);
   }
+  BlockedBloomFilter bloom(rpart.NumRows());
+  for (std::size_t h : right_hash) bloom.Add(h);
   HashChainIndex table(rpart.NumRows());
   for (std::size_t r = 0; r < rpart.NumRows(); ++r) {
     table.Insert(right_hash[r], r);
   }
+  std::size_t bloom_skipped = 0;
   for (std::size_t l = 0; l < lpart.NumRows(); ++l) {
     auto lrow = lpart.Row(l);
     std::size_t h = HashRowKey(lrow, lcols);
+    if (!bloom.MayContain(h)) {
+      ++bloom_skipped;
+      continue;
+    }
     for (uint32_t it = table.First(h); it != HashChainIndex::kEnd;
          it = table.Next(it)) {
       if (right_hash[it] == h &&
@@ -367,6 +373,7 @@ Status TaggedSemiJoinKernel(const Relation& lpart, const Relation& rpart,
       }
     }
   }
+  ctx->bloom_skips.fetch_add(bloom_skipped, std::memory_order_relaxed);
   return Status::Ok();
 }
 
@@ -680,6 +687,12 @@ Result<Relation> NaturalHashJoin(const Relation& left, const Relation& right,
   std::vector<std::size_t> probe_hash =
       lcols.empty() ? std::vector<std::size_t>{}
                     : PrecomputeKeyHashes(probe, pcols, ctx);
+  // Bloom prefilter over the build-side hashes: a probe that misses it has
+  // no chain partner, so the walk (and its per-candidate work charges) is
+  // skipped outright. Built once before probing, from the same precomputed
+  // hashes at every thread count — output and meters stay byte-identical.
+  BlockedBloomFilter bloom(build.NumRows());
+  for (std::size_t h : build_hash) bloom.Add(h);
   HashChainIndex table(build.NumRows());
   for (std::size_t r = 0; r < build.NumRows(); ++r) {
     table.Insert(build_hash[r], r);
@@ -688,6 +701,7 @@ Result<Relation> NaturalHashJoin(const Relation& left, const Relation& right,
   auto probe_range = [&](std::size_t lo, std::size_t hi,
                          Relation* sink) -> Status {
     std::vector<Value> row(out.arity());
+    std::size_t bloom_skipped = 0;
     for (std::size_t p = lo; p < hi; ++p) {
       auto probe_row = probe.Row(p);
       auto emit = [&](std::size_t b) -> Status {
@@ -713,6 +727,10 @@ Result<Relation> NaturalHashJoin(const Relation& left, const Relation& right,
         continue;
       }
       std::size_t h = probe_hash[p];
+      if (!bloom.MayContain(h)) {
+        ++bloom_skipped;
+        continue;
+      }
       for (uint32_t it = table.First(h); it != HashChainIndex::kEnd;
            it = table.Next(it)) {
         Status st = ctx->ChargeWork(1);
@@ -727,6 +745,7 @@ Result<Relation> NaturalHashJoin(const Relation& left, const Relation& right,
     if (!lcols.empty()) {
       // One add per probe batch keeps contention negligible.
       ctx->hash_probes.fetch_add(hi - lo, std::memory_order_relaxed);
+      ctx->bloom_skips.fetch_add(bloom_skipped, std::memory_order_relaxed);
     }
     return Status::Ok();
   };
@@ -884,15 +903,24 @@ Result<Relation> NaturalSemiJoin(const Relation& left, const Relation& right,
   if (!working.status().ok()) return working.status();
   std::vector<std::size_t> right_hash = PrecomputeKeyHashes(right, rcols, ctx);
   std::vector<std::size_t> left_hash = PrecomputeKeyHashes(left, lcols, ctx);
+  // Bloom prefilter over the right-side hashes — the semijoin's selective
+  // case (most left rows partnerless) resolves without touching the chain.
+  BlockedBloomFilter bloom(right.NumRows());
+  for (std::size_t h : right_hash) bloom.Add(h);
   HashChainIndex table(right.NumRows());
   for (std::size_t r = 0; r < right.NumRows(); ++r) {
     table.Insert(right_hash[r], r);
   }
   auto probe_range = [&](std::size_t lo, std::size_t hi,
                          Relation* sink) -> Status {
+    std::size_t bloom_skipped = 0;
     for (std::size_t l = lo; l < hi; ++l) {
       auto lrow = left.Row(l);
       std::size_t h = left_hash[l];
+      if (!bloom.MayContain(h)) {
+        ++bloom_skipped;
+        continue;
+      }
       for (uint32_t it = table.First(h); it != HashChainIndex::kEnd;
            it = table.Next(it)) {
         if (right_hash[it] == h &&
@@ -905,6 +933,7 @@ Result<Relation> NaturalSemiJoin(const Relation& left, const Relation& right,
       }
     }
     ctx->hash_probes.fetch_add(hi - lo, std::memory_order_relaxed);
+    ctx->bloom_skips.fetch_add(bloom_skipped, std::memory_order_relaxed);
     return Status::Ok();
   };
   Status probe_status =
@@ -917,5 +946,47 @@ Result<Relation> NaturalSemiJoin(const Relation& left, const Relation& right,
   op_span.Attr("rows_out", out.NumRows());
   return out;
 }
+
+namespace internal {
+
+Status MergeRowsByTag(const Relation& rows, const std::vector<uint64_t>& tags,
+                      Relation* out, ExecContext* ctx) {
+  const std::size_t n = tags.size();
+  Status alloc = out->TryReserve(rows.NumRows());
+  if (!alloc.ok()) return alloc;
+  if (n == 0) {
+    ctx->NotePeak(out->NumRows());
+    return Status::Ok();
+  }
+  uint64_t max_tag = 0;
+  for (uint64_t t : tags) max_tag = std::max(max_tag, t);
+  std::vector<std::size_t> order(n);
+  if (max_tag > uint64_t{8} * n + 1024) {
+    // Sparse tag range: the offset table would dwarf the payload; fall back
+    // to the comparison sort.
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return tags[a] < tags[b];
+                     });
+  } else {
+    // Dense tags (the spill kernels emit probe-row indices): one counting
+    // pass, a prefix sum, and stable placement — O(n + max_tag) with no
+    // comparator calls.
+    std::vector<std::size_t> offsets(static_cast<std::size_t>(max_tag) + 2, 0);
+    for (uint64_t t : tags) ++offsets[static_cast<std::size_t>(t) + 1];
+    for (std::size_t i = 1; i < offsets.size(); ++i) {
+      offsets[i] += offsets[i - 1];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      order[offsets[static_cast<std::size_t>(tags[i])]++] = i;
+    }
+  }
+  for (std::size_t idx : order) out->AddRow(rows.Row(idx));
+  ctx->NotePeak(out->NumRows());
+  return Status::Ok();
+}
+
+}  // namespace internal
 
 }  // namespace htqo

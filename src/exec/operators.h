@@ -72,6 +72,11 @@ struct ExecContext {
   // Build-side probe count of the hash join/semijoin kernels (one add per
   // probe batch, not per row); feeds the htqo_hash_probes_per_query metric.
   std::atomic<std::size_t> hash_probes{0};
+  // Probes the blocked Bloom filter resolved without a chain walk. A
+  // deterministic function of the input data (the filter is built from the
+  // same precomputed hashes at every thread count), so serial and parallel
+  // runs report identical counts. Feeds htqo_bloom_skips_per_query.
+  std::atomic<std::size_t> bloom_skips{0};
 
   ExecContext() = default;
   // Copyable/assignable despite the atomics so QueryRun (which embeds one)
@@ -94,6 +99,8 @@ struct ExecContext {
     peak_rows.store(other.peak_rows.load(std::memory_order_relaxed),
                     std::memory_order_relaxed);
     hash_probes.store(other.hash_probes.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    bloom_skips.store(other.bloom_skips.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
     return *this;
   }
@@ -221,6 +228,20 @@ Result<Relation> SpillableDistinct(const Relation& rel, ExecContext* ctx);
 // Column indices of `names` within rel's schema (checked).
 std::vector<std::size_t> IndicesOf(const Relation& rel,
                                    const std::vector<std::string>& names);
+
+namespace internal {
+
+// Stable reorder of `rows` into `out` by ascending tag (tags[i] tags
+// rows.Row(i); equal tags keep their input order). The spill paths use this
+// to reassemble partitioned output in serial emission order. Tags there are
+// probe-row indices — dense in [0, probe rows) — so placement runs as a
+// counting sort (one counting pass + prefix sum) instead of an O(n log n)
+// comparison sort, falling back to stable_sort only when the tag range is
+// too sparse for the offset table to pay off. Exposed for bench_operators.
+Status MergeRowsByTag(const Relation& rows, const std::vector<uint64_t>& tags,
+                      Relation* out, ExecContext* ctx);
+
+}  // namespace internal
 
 }  // namespace htqo
 

@@ -1,0 +1,294 @@
+#include "hypergraph/canonical.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace htqo {
+
+namespace {
+
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Deterministic cap on the individualization search: past this many leaf
+// certificates the best-so-far wins. Real query hypergraphs refine to
+// (near-)discrete partitions in one or two rounds; only adversarially
+// symmetric inputs (identical-relation cliques) approach the cap.
+constexpr std::size_t kMaxSearchLeaves = 512;
+
+// Combined node space: vertices are nodes [0, V), edges are [V, V+E).
+// Colors are dense ranks; refinement re-ranks by exact lexicographic
+// signature order (no hashing), which is isomorphism-invariant.
+struct Refiner {
+  std::size_t num_vertices = 0;
+  std::size_t num_edges = 0;
+  std::vector<std::vector<std::size_t>> adj;
+
+  std::size_t NumNodes() const { return num_vertices + num_edges; }
+
+  static std::size_t ReRank(
+      const std::vector<std::vector<std::size_t>>& signatures,
+      std::vector<std::size_t>* colors) {
+    std::vector<std::size_t> order(signatures.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return signatures[a] < signatures[b];
+              });
+    std::size_t distinct = 0;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (i > 0 && signatures[order[i]] != signatures[order[i - 1]]) {
+        ++distinct;
+      }
+      (*colors)[order[i]] = distinct;
+    }
+    return signatures.empty() ? 0 : distinct + 1;
+  }
+
+  // Refines `colors` to the coarsest stable partition at least as fine as
+  // the input. Signatures include the node's own color, so rounds only ever
+  // split classes; the loop ends when a round splits nothing.
+  void Refine(std::vector<std::size_t>* colors) const {
+    const std::size_t n = NumNodes();
+    std::size_t distinct = 0;
+    {
+      // Normalize the incoming colors to dense ranks.
+      std::vector<std::vector<std::size_t>> sig(n);
+      for (std::size_t i = 0; i < n; ++i) sig[i] = {(*colors)[i]};
+      distinct = ReRank(sig, colors);
+    }
+    while (distinct < n) {
+      std::vector<std::vector<std::size_t>> sig(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        sig[i].reserve(adj[i].size() + 1);
+        sig[i].push_back((*colors)[i]);
+        for (std::size_t nb : adj[i]) sig[i].push_back((*colors)[nb]);
+        std::sort(sig[i].begin() + 1, sig[i].end());
+      }
+      std::size_t next = ReRank(sig, colors);
+      if (next == distinct) break;
+      distinct = next;
+    }
+  }
+};
+
+struct SearchState {
+  const Refiner* refiner = nullptr;
+  const Hypergraph* h = nullptr;
+  const Bitset* out_vars = nullptr;
+  const std::vector<std::size_t>* label_ranks = nullptr;
+  const std::vector<std::string>* labels_sorted = nullptr;
+  std::size_t leaves_left = kMaxSearchLeaves;
+  bool have_best = false;
+  std::string best_certificate;
+  std::vector<std::size_t> best_colors;
+};
+
+// Orders per-kind nodes by their (discrete) colors into canonical positions.
+void DiscreteOrders(const Refiner& r, const std::vector<std::size_t>& colors,
+                    std::vector<std::size_t>* canon_to_vertex,
+                    std::vector<std::size_t>* canon_to_edge) {
+  canon_to_vertex->resize(r.num_vertices);
+  canon_to_edge->resize(r.num_edges);
+  for (std::size_t v = 0; v < r.num_vertices; ++v) (*canon_to_vertex)[v] = v;
+  for (std::size_t e = 0; e < r.num_edges; ++e) (*canon_to_edge)[e] = e;
+  std::sort(canon_to_vertex->begin(), canon_to_vertex->end(),
+            [&](std::size_t a, std::size_t b) {
+              return colors[a] < colors[b];
+            });
+  std::sort(canon_to_edge->begin(), canon_to_edge->end(),
+            [&](std::size_t a, std::size_t b) {
+              return colors[r.num_vertices + a] <
+                     colors[r.num_vertices + b];
+            });
+}
+
+void AppendNumber(std::size_t n, std::string* out) {
+  out->append(std::to_string(n));
+}
+
+// Serializes the canonical graph a discrete coloring induces. Byte-equal
+// certificates mean byte-equal canonical graphs, so this is both the
+// tie-break objective (keep the lexicographically smallest) and the cache's
+// collision-proof comparison payload.
+std::string BuildCertificate(const SearchState& st,
+                             const std::vector<std::size_t>& colors) {
+  const Refiner& r = *st.refiner;
+  std::vector<std::size_t> canon_to_vertex, canon_to_edge;
+  DiscreteOrders(r, colors, &canon_to_vertex, &canon_to_edge);
+  std::vector<std::size_t> vertex_to_canon(r.num_vertices);
+  for (std::size_t c = 0; c < canon_to_vertex.size(); ++c) {
+    vertex_to_canon[canon_to_vertex[c]] = c;
+  }
+
+  std::string cert;
+  cert.reserve(16 * (r.num_vertices + r.num_edges) + 32);
+  cert.append("v");
+  AppendNumber(r.num_vertices, &cert);
+  cert.append("e");
+  AppendNumber(r.num_edges, &cert);
+  cert.append("|out:");
+  std::vector<std::size_t> out_ids;
+  if (st.out_vars->size() == r.num_vertices) {
+    for (std::size_t v = st.out_vars->FirstSet(); v < st.out_vars->size();
+         v = st.out_vars->NextSet(v)) {
+      out_ids.push_back(vertex_to_canon[v]);
+    }
+  }
+  std::sort(out_ids.begin(), out_ids.end());
+  for (std::size_t id : out_ids) {
+    AppendNumber(id, &cert);
+    cert.push_back(',');
+  }
+  for (std::size_t c = 0; c < canon_to_edge.size(); ++c) {
+    const std::size_t e = canon_to_edge[c];
+    cert.push_back('|');
+    if (st.label_ranks != nullptr && !st.labels_sorted->empty()) {
+      cert.append((*st.labels_sorted)[(*st.label_ranks)[e]]);
+    }
+    cert.push_back(':');
+    std::vector<std::size_t> members;
+    const Bitset& edge = st.h->edge(e);
+    for (std::size_t v = edge.FirstSet(); v < edge.size();
+         v = edge.NextSet(v)) {
+      members.push_back(vertex_to_canon[v]);
+    }
+    std::sort(members.begin(), members.end());
+    for (std::size_t id : members) {
+      AppendNumber(id, &cert);
+      cert.push_back(',');
+    }
+  }
+  return cert;
+}
+
+// Individualization-refinement: refine, then split the first (smallest-
+// color) non-singleton class on each of its members in turn, keeping the
+// lexicographically smallest leaf certificate. Exploring *every* member of
+// the chosen class is what makes the result invariant under relabeling.
+void Search(std::vector<std::size_t> colors, SearchState* st) {
+  if (st->leaves_left == 0) return;
+  st->refiner->Refine(&colors);
+  const std::size_t n = st->refiner->NumNodes();
+  // Locate the first non-singleton color class.
+  std::vector<std::size_t> class_size(n, 0);
+  for (std::size_t i = 0; i < n; ++i) ++class_size[colors[i]];
+  std::size_t target_color = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (class_size[colors[i]] > 1 &&
+        (target_color == n || colors[i] < target_color)) {
+      target_color = colors[i];
+    }
+  }
+  if (target_color == n) {  // discrete: a leaf
+    --st->leaves_left;
+    std::string cert = BuildCertificate(*st, colors);
+    if (!st->have_best || cert < st->best_certificate) {
+      st->have_best = true;
+      st->best_certificate = std::move(cert);
+      st->best_colors = std::move(colors);
+    }
+    return;
+  }
+  for (std::size_t m = 0; m < n && st->leaves_left > 0; ++m) {
+    if (colors[m] != target_color) continue;
+    std::vector<std::size_t> branch = colors;
+    branch[m] = n;  // fresh color > every dense rank: individualized
+    Search(std::move(branch), st);
+  }
+}
+
+}  // namespace
+
+void Fingerprint128(const std::string& bytes, uint64_t* lo, uint64_t* hi) {
+  uint64_t a = 0x243f6a8885a308d3ull;
+  uint64_t b = 0x13198a2e03707344ull;
+  for (unsigned char c : bytes) {
+    a = Mix64(a ^ c);
+    b = Mix64(b + c);
+  }
+  *lo = Mix64(a ^ bytes.size());
+  *hi = Mix64(b ^ (bytes.size() * 0x9e3779b97f4a7c15ull));
+}
+
+CanonicalForm CanonicalizeHypergraph(
+    const Hypergraph& h, const Bitset& out_vars,
+    const std::vector<std::string>& edge_labels) {
+  Refiner refiner;
+  refiner.num_vertices = h.NumVertices();
+  refiner.num_edges = h.NumEdges();
+  const std::size_t n = refiner.NumNodes();
+  refiner.adj.resize(n);
+  for (std::size_t e = 0; e < refiner.num_edges; ++e) {
+    const Bitset& edge = h.edge(e);
+    for (std::size_t v = edge.FirstSet(); v < edge.size();
+         v = edge.NextSet(v)) {
+      refiner.adj[v].push_back(refiner.num_vertices + e);
+      refiner.adj[refiner.num_vertices + e].push_back(v);
+    }
+  }
+
+  // Edge labels become isomorphism-invariant ranks (and the sorted label
+  // list goes into the certificate, so distinct labelings never collide).
+  std::vector<std::string> labels_sorted;
+  std::vector<std::size_t> label_ranks(refiner.num_edges, 0);
+  if (!edge_labels.empty()) {
+    labels_sorted = edge_labels;
+    std::sort(labels_sorted.begin(), labels_sorted.end());
+    labels_sorted.erase(
+        std::unique(labels_sorted.begin(), labels_sorted.end()),
+        labels_sorted.end());
+    for (std::size_t e = 0; e < refiner.num_edges; ++e) {
+      label_ranks[e] = static_cast<std::size_t>(
+          std::lower_bound(labels_sorted.begin(), labels_sorted.end(),
+                           edge_labels[e]) -
+          labels_sorted.begin());
+    }
+  }
+
+  // Initial colors from invariant tuples: vertices by (out-membership,
+  // degree), edges by (label rank, arity) — offset so the two kinds never
+  // share a class.
+  std::vector<std::vector<std::size_t>> init(n);
+  const bool out_sized = out_vars.size() == refiner.num_vertices;
+  for (std::size_t v = 0; v < refiner.num_vertices; ++v) {
+    init[v] = {0, out_sized && out_vars.Test(v) ? std::size_t{1} : 0,
+               refiner.adj[v].size()};
+  }
+  for (std::size_t e = 0; e < refiner.num_edges; ++e) {
+    init[refiner.num_vertices + e] = {1, label_ranks[e],
+                                      refiner.adj[refiner.num_vertices + e]
+                                          .size()};
+  }
+  std::vector<std::size_t> colors(n, 0);
+  Refiner::ReRank(init, &colors);
+
+  SearchState st;
+  st.refiner = &refiner;
+  st.h = &h;
+  st.out_vars = &out_vars;
+  st.label_ranks = &label_ranks;
+  st.labels_sorted = &labels_sorted;
+  Search(std::move(colors), &st);
+
+  CanonicalForm form;
+  DiscreteOrders(refiner, st.best_colors, &form.canon_to_vertex,
+                 &form.canon_to_edge);
+  form.vertex_to_canon.resize(refiner.num_vertices);
+  form.edge_to_canon.resize(refiner.num_edges);
+  for (std::size_t c = 0; c < form.canon_to_vertex.size(); ++c) {
+    form.vertex_to_canon[form.canon_to_vertex[c]] = c;
+  }
+  for (std::size_t c = 0; c < form.canon_to_edge.size(); ++c) {
+    form.edge_to_canon[form.canon_to_edge[c]] = c;
+  }
+  form.certificate = std::move(st.best_certificate);
+  Fingerprint128(form.certificate, &form.fingerprint_lo, &form.fingerprint_hi);
+  return form;
+}
+
+}  // namespace htqo

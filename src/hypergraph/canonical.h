@@ -1,0 +1,71 @@
+// Canonical hypergraph labeling for the decomposition cache.
+//
+// Two conjunctive queries that differ only in alias/variable names (and in
+// constants) have isomorphic labeled hypergraphs, and a (q-)hypertree
+// decomposition depends only on that hypergraph plus the output-variable
+// set — so a cache keyed by a canonical form of H(Q) turns repeated query
+// templates into pure lookups. CanonicalizeHypergraph computes:
+//
+//   * a deterministic relabeling (vertex_to_canon / edge_to_canon and
+//     inverses) such that any two isomorphic inputs — same structure, same
+//     per-edge labels, same out-set image — map to the *same* canonical
+//     graph;
+//   * a canonical byte certificate describing that graph exactly (edge list
+//     in canonical order, labels, out-set), used for collision-proof
+//     equality; and
+//   * a 128-bit fingerprint of the certificate for hashing/sharding.
+//
+// Algorithm: iterative WL-style color refinement on the bipartite
+// vertex/edge incidence structure (exact signature comparison, no hash
+// ranks), followed by an individualization tie-break search over the
+// remaining symmetric color classes that keeps the lexicographically
+// smallest certificate. The search is exact for the automorphism groups
+// real queries exhibit; a deterministic leaf cap bounds pathological
+// symmetric inputs — past the cap the labeling is still deterministic and
+// self-consistent (a fingerprint never lies about its own certificate),
+// the only cost is that two relabelings of such an input may land on
+// different cache entries (a miss, never a wrong answer).
+
+#ifndef HTQO_HYPERGRAPH_CANONICAL_H_
+#define HTQO_HYPERGRAPH_CANONICAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "util/bitset.h"
+
+namespace htqo {
+
+struct CanonicalForm {
+  // vertex_to_canon[v] = canonical position of input vertex v; canon_to_vertex
+  // is the inverse permutation. Likewise for edges.
+  std::vector<std::size_t> vertex_to_canon;
+  std::vector<std::size_t> canon_to_vertex;
+  std::vector<std::size_t> edge_to_canon;
+  std::vector<std::size_t> canon_to_edge;
+  // Exact canonical description: isomorphic inputs (respecting labels and
+  // out-set) produce byte-identical certificates.
+  std::string certificate;
+  // SplitMix-folded 128-bit hash of the certificate.
+  uint64_t fingerprint_lo = 0;
+  uint64_t fingerprint_hi = 0;
+};
+
+// Canonicalizes `h` with the vertex subset `out_vars` distinguished (the
+// decomposition's rooting constraint) and one opaque label per edge
+// (relation names, for the plan cache). `edge_labels` may be empty (all
+// edges unlabeled) or must have one entry per edge.
+CanonicalForm CanonicalizeHypergraph(const Hypergraph& h,
+                                     const Bitset& out_vars,
+                                     const std::vector<std::string>&
+                                         edge_labels = {});
+
+// 128-bit fingerprint of an arbitrary byte string (two independently seeded
+// SplitMix64 streams folded over the input). Exposed for tests.
+void Fingerprint128(const std::string& bytes, uint64_t* lo, uint64_t* hi);
+
+}  // namespace htqo
+
+#endif  // HTQO_HYPERGRAPH_CANONICAL_H_

@@ -141,6 +141,27 @@ inline constexpr const char kMetricGovernorTripsTotal[] =
     "htqo_governor_trips_total";
 inline constexpr const char kMetricDegradationStepsTotal[] =
     "htqo_degradation_steps_total";
+// Decomposition/plan cache (DESIGN.md §6e). hits/misses/stale classify every
+// lookup; evictions count LRU victims under the byte budget; singleflight
+// waits count callers that blocked on another thread's in-flight compute of
+// the same fingerprint. The hit-latency histogram times the full warm path
+// (canonicalize + lookup + rebind).
+inline constexpr const char kMetricPlanCacheHitsTotal[] =
+    "htqo_plan_cache_hits_total";
+inline constexpr const char kMetricPlanCacheMissesTotal[] =
+    "htqo_plan_cache_misses_total";
+inline constexpr const char kMetricPlanCacheEvictionsTotal[] =
+    "htqo_plan_cache_evictions_total";
+inline constexpr const char kMetricPlanCacheStaleTotal[] =
+    "htqo_plan_cache_stale_total";
+inline constexpr const char kMetricPlanCacheSingleflightWaitsTotal[] =
+    "htqo_plan_cache_singleflight_waits_total";
+inline constexpr const char kMetricPlanCacheHitLatencyUs[] =
+    "htqo_plan_cache_hit_latency_us";
+// Bloom-guarded probes: per-query histogram of chain walks the blocked
+// Bloom filter let the join/semijoin kernels skip (next to hash_probes).
+inline constexpr const char kMetricBloomSkipsPerQuery[] =
+    "htqo_bloom_skips_per_query";
 
 }  // namespace htqo
 

@@ -11,7 +11,6 @@
 #ifndef HTQO_STATS_ESTIMATOR_H_
 #define HTQO_STATS_ESTIMATOR_H_
 
-#include <optional>
 #include <string>
 
 #include "stats/statistics.h"

@@ -59,9 +59,35 @@ RelationStats MakeManualStats(
   return stats;
 }
 
+StatsEpochRegistry& StatsEpochRegistry::Global() {
+  static StatsEpochRegistry* registry = new StatsEpochRegistry();
+  return *registry;
+}
+
+uint64_t StatsEpochRegistry::Get(const std::string& relation_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = epochs_.find(ToLower(relation_name));
+  return it == epochs_.end() ? 0 : it->second;
+}
+
+void StatsEpochRegistry::Bump(const std::string& relation_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++epochs_[ToLower(relation_name)];
+}
+
 void StatisticsRegistry::Put(const std::string& relation_name,
                              RelationStats stats) {
   stats_[ToLower(relation_name)] = std::move(stats);
+  StatsEpochRegistry::Global().Bump(relation_name);
+}
+
+void StatisticsRegistry::Clear() {
+  // Dropping statistics changes what the estimator will say just as much as
+  // replacing them does: bump every relation this registry was covering.
+  for (const auto& [name, stats] : stats_) {
+    StatsEpochRegistry::Global().Bump(name);
+  }
+  stats_.clear();
 }
 
 const RelationStats* StatisticsRegistry::Find(

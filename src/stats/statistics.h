@@ -6,7 +6,9 @@
 #ifndef HTQO_STATS_STATISTICS_H_
 #define HTQO_STATS_STATISTICS_H_
 
+#include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -46,6 +48,29 @@ RelationStats CollectStats(const Relation& relation,
 RelationStats MakeManualStats(std::size_t row_count,
                               const std::vector<std::size_t>& distinct_counts);
 
+// Process-wide per-relation statistics epochs, keyed by lowercased relation
+// name. Every StatisticsRegistry::Put/Clear bumps the touched relations'
+// epochs; the decomposition cache snapshots them at compute time and treats
+// any later bump as invalidation. The registry is deliberately global (not
+// per-StatisticsRegistry): several registries naming the same relation are
+// indistinguishable to a process-wide plan cache, so invalidation must be
+// conservative across all of them. A never-touched relation reads epoch 0.
+class StatsEpochRegistry {
+ public:
+  static StatsEpochRegistry& Global();
+
+  uint64_t Get(const std::string& relation_name) const;
+  void Bump(const std::string& relation_name);
+
+  StatsEpochRegistry() = default;
+  StatsEpochRegistry(const StatsEpochRegistry&) = delete;
+  StatsEpochRegistry& operator=(const StatsEpochRegistry&) = delete;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t> epochs_;
+};
+
 // Statistics registry for a database; mirrors pg_statistic. Lookup failures
 // mean "no statistics gathered yet" and estimators fall back to defaults.
 class StatisticsRegistry {
@@ -57,7 +82,7 @@ class StatisticsRegistry {
   // Scans every relation in `catalog` (the ANALYZE command).
   void AnalyzeAll(const Catalog& catalog);
 
-  void Clear() { stats_.clear(); }
+  void Clear();
   bool empty() const { return stats_.empty(); }
 
  private:

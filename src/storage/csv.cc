@@ -3,7 +3,6 @@
 #include <charconv>
 #include <fstream>
 #include <ostream>
-#include <sstream>
 
 #include "util/strings.h"
 

@@ -51,7 +51,8 @@ std::vector<std::string> FaultInjector::KnownSites() {
   return {kFaultSiteRelationAlloc,     kFaultSiteStatsLookup,
           kFaultSiteGovernorCheckpoint, kFaultSiteSpillOpen,
           kFaultSiteSpillWrite,         kFaultSiteSpillRead,
-          kFaultSiteTraceWrite,         kFaultSiteMetricsExport};
+          kFaultSiteTraceWrite,         kFaultSiteMetricsExport,
+          kFaultSiteCacheInsert};
 }
 
 }  // namespace htqo

@@ -19,6 +19,9 @@
 //   trace.write          Tracer::WriteChromeTrace fails; callers warn, the
 //                        query result is unaffected
 //   metrics.export       MetricsRegistry::WritePrometheus fails; same deal
+//   cache.insert         DecompCache fails to retain a computed entry; the
+//                        query keeps its freshly computed decomposition and
+//                        only the caching degrades (to a future miss)
 
 #ifndef HTQO_UTIL_FAULT_INJECTOR_H_
 #define HTQO_UTIL_FAULT_INJECTOR_H_
@@ -46,6 +49,7 @@ inline constexpr const char kFaultSiteSpillWrite[] = "spill.write";
 inline constexpr const char kFaultSiteSpillRead[] = "spill.read";
 inline constexpr const char kFaultSiteTraceWrite[] = "trace.write";
 inline constexpr const char kFaultSiteMetricsExport[] = "metrics.export";
+inline constexpr const char kFaultSiteCacheInsert[] = "cache.insert";
 
 struct FaultPlan {
   // Exact site to target; the empty string targets every site.

@@ -1,0 +1,216 @@
+// Canonical hypergraph labeling: isomorphic inputs (same structure, same
+// edge labels, same out-set image) must produce byte-identical certificates
+// and fingerprints; anything that changes the labeled structure must not.
+
+#include "hypergraph/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/bitset.h"
+
+namespace htqo {
+namespace {
+
+Bitset VertexSet(std::size_t n, std::initializer_list<std::size_t> vs) {
+  Bitset b(n);
+  for (std::size_t v : vs) b.Set(v);
+  return b;
+}
+
+// Rebuilds `h` with vertices and edges permuted: vertex v of the original
+// becomes vperm[v], edge e becomes position eperm[e] (labels follow).
+Hypergraph Relabel(const Hypergraph& h,
+                   const std::vector<std::size_t>& vperm,
+                   const std::vector<std::size_t>& eperm,
+                   const std::vector<std::string>& labels,
+                   std::vector<std::string>* out_labels) {
+  Hypergraph g(h.NumVertices());
+  std::vector<std::size_t> inverse(eperm.size());
+  for (std::size_t e = 0; e < eperm.size(); ++e) inverse[eperm[e]] = e;
+  out_labels->clear();
+  for (std::size_t pos = 0; pos < h.NumEdges(); ++pos) {
+    std::size_t e = inverse[pos];
+    std::vector<std::size_t> vs;
+    for (std::size_t v = 0; v < h.NumVertices(); ++v) {
+      if (h.edge(e).Test(v)) vs.push_back(vperm[v]);
+    }
+    std::sort(vs.begin(), vs.end());
+    g.AddEdge(vs);
+    out_labels->push_back(labels.empty() ? std::string() : labels[e]);
+  }
+  if (labels.empty()) out_labels->clear();
+  return g;
+}
+
+Bitset MapVertexSet(const Bitset& in, const std::vector<std::size_t>& vperm) {
+  Bitset out(in.size());
+  for (std::size_t v = 0; v < in.size(); ++v) {
+    if (in.Test(v)) out.Set(vperm[v]);
+  }
+  return out;
+}
+
+// A small asymmetric query shape: r(a,b), s(b,c), t(c,d,a).
+Hypergraph SampleGraph() {
+  Hypergraph h(4);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  h.AddEdge({2, 3, 0});
+  return h;
+}
+
+TEST(CanonicalTest, IdenticalInputsShareFingerprints) {
+  Hypergraph h = SampleGraph();
+  Bitset out = VertexSet(4, {0, 3});
+  std::vector<std::string> labels{"r", "s", "t"};
+  CanonicalForm a = CanonicalizeHypergraph(h, out, labels);
+  CanonicalForm b = CanonicalizeHypergraph(h, out, labels);
+  EXPECT_EQ(a.certificate, b.certificate);
+  EXPECT_EQ(a.fingerprint_lo, b.fingerprint_lo);
+  EXPECT_EQ(a.fingerprint_hi, b.fingerprint_hi);
+  EXPECT_EQ(a.vertex_to_canon, b.vertex_to_canon);
+  EXPECT_EQ(a.edge_to_canon, b.edge_to_canon);
+}
+
+TEST(CanonicalTest, RelabeledIsomorphsShareFingerprints) {
+  Hypergraph h = SampleGraph();
+  Bitset out = VertexSet(4, {0, 3});
+  std::vector<std::string> labels{"r", "s", "t"};
+  CanonicalForm base = CanonicalizeHypergraph(h, out, labels);
+
+  const std::vector<std::vector<std::size_t>> vperms = {
+      {3, 2, 1, 0}, {1, 0, 3, 2}, {2, 3, 0, 1}};
+  const std::vector<std::vector<std::size_t>> eperms = {
+      {2, 0, 1}, {1, 2, 0}, {0, 2, 1}};
+  for (std::size_t i = 0; i < vperms.size(); ++i) {
+    std::vector<std::string> plabels;
+    Hypergraph g = Relabel(h, vperms[i], eperms[i], labels, &plabels);
+    CanonicalForm c =
+        CanonicalizeHypergraph(g, MapVertexSet(out, vperms[i]), plabels);
+    EXPECT_EQ(base.certificate, c.certificate) << "permutation " << i;
+    EXPECT_EQ(base.fingerprint_lo, c.fingerprint_lo);
+    EXPECT_EQ(base.fingerprint_hi, c.fingerprint_hi);
+  }
+}
+
+TEST(CanonicalTest, SymmetricCycleOfOneRelationCanonicalizes) {
+  // A 4-cycle of the *same* relation label has a nontrivial automorphism
+  // group — the tie-break search must still land every rotation/reflection
+  // on one certificate.
+  auto cycle = [](const std::vector<std::size_t>& order) {
+    Hypergraph h(4);
+    for (std::size_t i = 0; i < 4; ++i) {
+      std::vector<std::size_t> vs{order[i], order[(i + 1) % 4]};
+      std::sort(vs.begin(), vs.end());
+      h.AddEdge(vs);
+    }
+    return h;
+  };
+  std::vector<std::string> labels{"r", "r", "r", "r"};
+  Bitset none(4);
+  CanonicalForm base =
+      CanonicalizeHypergraph(cycle({0, 1, 2, 3}), none, labels);
+  for (const auto& order : std::vector<std::vector<std::size_t>>{
+           {1, 2, 3, 0}, {3, 2, 1, 0}, {2, 0, 3, 1}}) {
+    // {2,0,3,1} is *not* a 4-cycle relabeling unless the orderings trace the
+    // same cyclic structure; build edges from the order so each input is a
+    // genuine 4-cycle, differently numbered.
+    CanonicalForm c = CanonicalizeHypergraph(cycle(order), none, labels);
+    EXPECT_EQ(base.certificate, c.certificate);
+    EXPECT_EQ(base.fingerprint_lo, c.fingerprint_lo);
+    EXPECT_EQ(base.fingerprint_hi, c.fingerprint_hi);
+  }
+}
+
+TEST(CanonicalTest, DifferentStructuresDiffer) {
+  // Path a-b-c vs triangle a-b-c.
+  Hypergraph path(3);
+  path.AddEdge({0, 1});
+  path.AddEdge({1, 2});
+  Hypergraph triangle(3);
+  triangle.AddEdge({0, 1});
+  triangle.AddEdge({1, 2});
+  triangle.AddEdge({0, 2});
+  Bitset none(3);
+  CanonicalForm a = CanonicalizeHypergraph(path, none);
+  CanonicalForm b = CanonicalizeHypergraph(triangle, none);
+  EXPECT_NE(a.certificate, b.certificate);
+}
+
+TEST(CanonicalTest, EdgeLabelsDistinguish) {
+  Hypergraph h = SampleGraph();
+  Bitset out = VertexSet(4, {0});
+  CanonicalForm a =
+      CanonicalizeHypergraph(h, out, {"r", "s", "t"});
+  CanonicalForm b =
+      CanonicalizeHypergraph(h, out, {"r", "s", "u"});
+  EXPECT_NE(a.certificate, b.certificate);
+}
+
+TEST(CanonicalTest, OutputVariablesDistinguish) {
+  Hypergraph h = SampleGraph();
+  CanonicalForm a = CanonicalizeHypergraph(h, VertexSet(4, {0}));
+  CanonicalForm b = CanonicalizeHypergraph(h, VertexSet(4, {3}));
+  CanonicalForm c = CanonicalizeHypergraph(h, VertexSet(4, {1}));
+  // 0 and 3 play symmetric roles only if structure allows; 1 is degree-2
+  // interior. At minimum the interior choice must differ from an endpoint.
+  EXPECT_NE(a.certificate, c.certificate);
+  EXPECT_NE(b.certificate, c.certificate);
+}
+
+TEST(CanonicalTest, MappingsAreConsistentPermutations) {
+  Hypergraph h = SampleGraph();
+  Bitset out = VertexSet(4, {0, 3});
+  std::vector<std::string> labels{"r", "s", "t"};
+  CanonicalForm c = CanonicalizeHypergraph(h, out, labels);
+  ASSERT_EQ(c.vertex_to_canon.size(), 4u);
+  ASSERT_EQ(c.edge_to_canon.size(), 3u);
+  for (std::size_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(c.canon_to_vertex[c.vertex_to_canon[v]], v);
+  }
+  for (std::size_t e = 0; e < 3; ++e) {
+    EXPECT_EQ(c.canon_to_edge[c.edge_to_canon[e]], e);
+  }
+}
+
+TEST(CanonicalTest, RelabeledMappingsComposeToIsomorphism) {
+  // vertex_to_canon of the relabeled graph composed with the permutation
+  // must equal vertex_to_canon of the original: both name the same
+  // canonical position for "the same" vertex.
+  Hypergraph h = SampleGraph();
+  Bitset out = VertexSet(4, {0, 3});
+  std::vector<std::string> labels{"r", "s", "t"};
+  CanonicalForm base = CanonicalizeHypergraph(h, out, labels);
+  std::vector<std::size_t> vperm{2, 0, 3, 1};
+  std::vector<std::size_t> eperm{1, 2, 0};
+  std::vector<std::string> plabels;
+  Hypergraph g = Relabel(h, vperm, eperm, labels, &plabels);
+  CanonicalForm c =
+      CanonicalizeHypergraph(g, MapVertexSet(out, vperm), plabels);
+  ASSERT_EQ(base.certificate, c.certificate);
+  for (std::size_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(base.vertex_to_canon[v], c.vertex_to_canon[vperm[v]]);
+  }
+  for (std::size_t e = 0; e < 3; ++e) {
+    EXPECT_EQ(base.edge_to_canon[e], c.edge_to_canon[eperm[e]]);
+  }
+}
+
+TEST(CanonicalTest, FingerprintIsStableAcrossCalls) {
+  std::string payload = "v3e2|out:0|r:0,1|s:1,2,";
+  uint64_t lo1, hi1, lo2, hi2;
+  Fingerprint128(payload, &lo1, &hi1);
+  Fingerprint128(payload, &lo2, &hi2);
+  EXPECT_EQ(lo1, lo2);
+  EXPECT_EQ(hi1, hi2);
+  uint64_t lo3, hi3;
+  Fingerprint128(payload + "x", &lo3, &hi3);
+  EXPECT_TRUE(lo3 != lo1 || hi3 != hi1);
+}
+
+}  // namespace
+}  // namespace htqo

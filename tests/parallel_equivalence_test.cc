@@ -231,7 +231,47 @@ TEST_F(ParallelKernelFixture, LargeJoinsAreThreadCountInvariant) {
                   run.ctx.rows_charged.load());
         EXPECT_EQ(reference.ctx.work_charged.load(),
                   run.ctx.work_charged.load());
+        // The Bloom prefilter is built from the same precomputed hashes at
+        // every thread count, so its skip meter replays exactly too.
+        EXPECT_EQ(reference.ctx.bloom_skips.load(),
+                  run.ctx.bloom_skips.load());
       }
+    }
+  }
+}
+
+TEST_F(ParallelKernelFixture, BloomGuardIsExercisedAndThreadCountInvariant) {
+  // Mostly-disjoint key domains: the probe side's keys rarely appear on the
+  // build side, so the Bloom prefilter should resolve a large share of
+  // probes without a chain walk — with byte-identical output regardless.
+  std::vector<Column> cols_l{{"a", ValueType::kInt64}, {"b", ValueType::kInt64}};
+  std::vector<Column> cols_r{{"b", ValueType::kInt64}, {"c", ValueType::kInt64}};
+  Relation lhs{Schema(cols_l)}, rhs{Schema(cols_r)};
+  for (int64_t i = 0; i < 6000; ++i) {
+    // lhs.b in [0, 6000); rhs.b mostly in [100000, 106000) with a sliver of
+    // overlap so the output is nonempty.
+    lhs.AddRow({Value::Int64(i), Value::Int64(i)});
+    int64_t rb = (i % 50 == 0) ? i : 100000 + i;
+    rhs.AddRow({Value::Int64(rb), Value::Int64(i * 3)});
+  }
+  catalog_.Put("bl", std::move(lhs));
+  catalog_.Put("br", std::move(rhs));
+  registry_.AnalyzeAll(catalog_);
+  for (const std::string& sql :
+       {std::string("SELECT DISTINCT bl.a AS o FROM bl, br "
+                    "WHERE bl.b = br.b"),
+        std::string("SELECT DISTINCT bl.a AS o, br.c AS p FROM bl, br "
+                    "WHERE bl.b = br.b")}) {
+    QueryRun reference = MustRun(sql, OptimizerMode::kQhdHybrid, 1);
+    EXPECT_GT(reference.ctx.bloom_skips.load(), 0u) << sql;
+    EXPECT_GT(reference.output.NumRows(), 0u) << sql;
+    for (std::size_t threads : {2, 4}) {
+      QueryRun run = MustRun(sql, OptimizerMode::kQhdHybrid, threads);
+      EXPECT_TRUE(ByteIdentical(reference.output, run.output))
+          << sql << " at " << threads << " threads";
+      EXPECT_EQ(reference.ctx.bloom_skips.load(), run.ctx.bloom_skips.load());
+      EXPECT_EQ(reference.ctx.work_charged.load(),
+                run.ctx.work_charged.load());
     }
   }
 }

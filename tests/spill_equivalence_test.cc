@@ -217,10 +217,10 @@ TEST(FaultSiteRegistryTest, UnknownSiteIsInvalidArgumentAndStaysDisarmed) {
 
 TEST(FaultSiteRegistryTest, KnownSitesIncludeSpillSites) {
   std::vector<std::string> sites = FaultInjector::KnownSites();
-  EXPECT_EQ(sites.size(), 8u);
+  EXPECT_EQ(sites.size(), 9u);
   for (const char* site : {kFaultSiteSpillOpen, kFaultSiteSpillWrite,
                            kFaultSiteSpillRead, kFaultSiteTraceWrite,
-                           kFaultSiteMetricsExport}) {
+                           kFaultSiteMetricsExport, kFaultSiteCacheInsert}) {
     bool found = false;
     for (const std::string& s : sites) found |= s == site;
     EXPECT_TRUE(found) << site;

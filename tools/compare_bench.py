@@ -13,6 +13,19 @@ benchmarks — single-benchmark jitter does not fail the gate, a systematic
 slowdown does.
 
   tools/compare_bench.py baseline.json candidate.json --max-regress 0.05
+
+A second, single-file mode gates *within* one result file: --pair
+BASE:CAND matches rows "BASE/<arg>" against "CAND/<arg>" and requires the
+geomean speedup (base time / candidate time) to reach --min-speedup. CI
+uses this on bench_plan_cache output, where the cold and warm planning
+paths are rows of the same run — machine-speed differences cancel out:
+
+  tools/compare_bench.py plan_cache.json --pair PlanCold:PlanWarm \\
+      --min-speedup 5
+
+--filter PREFIX restricts the two-file comparison to benchmarks whose
+name starts with PREFIX (e.g. only the PlanNoCache rows when checking the
+cache-off path against the committed seed numbers).
 """
 
 import argparse
@@ -36,17 +49,72 @@ def load_times(path):
     return means if means else raw
 
 
+def run_pair(times, pair, min_speedup):
+    """Within-file gate: rows BASE/<arg> vs CAND/<arg> of one result set."""
+    base_prefix, _, cand_prefix = pair.partition(":")
+    if not base_prefix or not cand_prefix:
+        print(f"error: --pair wants BASE:CAND, got {pair!r}")
+        return 1
+    pairs = []
+    for name, base_time in sorted(times.items()):
+        if name != base_prefix and not name.startswith(base_prefix + "/"):
+            continue
+        counterpart = cand_prefix + name[len(base_prefix):]
+        if counterpart in times:
+            pairs.append((name, counterpart, base_time, times[counterpart]))
+    if not pairs:
+        print(f"error: no {base_prefix}/{cand_prefix} row pairs found")
+        return 1
+
+    log_sum = 0.0
+    for base_name, cand_name, base_time, cand_time in pairs:
+        speedup = base_time / cand_time if cand_time > 0 else float("inf")
+        log_sum += math.log(speedup)
+        print(f"{base_name} -> {cand_name}: {base_time:.0f} -> "
+              f"{cand_time:.0f} ns (x{speedup:.2f} faster)")
+    geomean = math.exp(log_sum / len(pairs))
+    print(f"\ngeomean speedup over {len(pairs)} pairs: {geomean:.2f}x "
+          f"(required {min_speedup:.2f}x)")
+    if geomean < min_speedup:
+        print("FAIL: speedup below the required floor")
+        return 1
+    print("ok")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="no-op-build benchmark JSON")
-    parser.add_argument("candidate", help="default-build benchmark JSON")
+    parser.add_argument("baseline", help="benchmark JSON (or the only file "
+                        "in --pair mode)")
+    parser.add_argument("candidate", nargs="?", default=None,
+                        help="candidate benchmark JSON (two-file mode)")
     parser.add_argument("--max-regress", type=float, default=0.05,
                         help="allowed geomean slowdown (0.05 = 5%%)")
+    parser.add_argument("--pair", default=None, metavar="BASE:CAND",
+                        help="single-file mode: compare BASE/<arg> rows "
+                        "against CAND/<arg> rows of `baseline`")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="required geomean speedup in --pair mode")
+    parser.add_argument("--filter", default=None, metavar="PREFIX",
+                        help="two-file mode: only compare benchmarks whose "
+                        "name starts with PREFIX")
     args = parser.parse_args()
+
+    if args.pair:
+        if args.candidate is not None:
+            print("error: --pair takes a single result file")
+            return 1
+        return run_pair(load_times(args.baseline), args.pair,
+                        args.min_speedup)
+    if args.candidate is None:
+        print("error: two-file mode needs a candidate JSON")
+        return 1
 
     base = load_times(args.baseline)
     cand = load_times(args.candidate)
     common = sorted(set(base) & set(cand))
+    if args.filter:
+        common = [n for n in common if n.startswith(args.filter)]
     if not common:
         print("error: no common benchmarks between the two files")
         return 1
