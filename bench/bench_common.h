@@ -164,6 +164,12 @@ inline void SetCounters(benchmark::State& state, const RunOutcome& outcome) {
     state.counters["memory_hits"] =
         static_cast<double>(outcome.governor.memory_hits);
   }
+  // Shed-at-the-door vs. tripped-mid-query: a row with admission_sheds set
+  // never started, unlike deadline/budget/memory trips above.
+  if (outcome.governor.admission_sheds > 0) {
+    state.counters["admission_sheds"] =
+        static_cast<double>(outcome.governor.admission_sheds);
+  }
   if (outcome.trip_reason != TripReason::kNone) {
     state.counters["trip_reason"] =
         static_cast<double>(static_cast<int>(outcome.trip_reason));

@@ -10,7 +10,12 @@
 //
 // Also scriptable:  echo '...' | ./htqo_shell
 
+#include <csignal>
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -23,6 +28,21 @@
 #include "workload/synthetic.h"
 #include "workload/tpch_gen.h"
 #include "workload/tpch_queries.h"
+
+// Ctrl-C cancels the in-flight query through the exact mechanism the query
+// server's drain path uses: a shared atomic wired into
+// RunOptions::cancel_flag, polled at every governor checkpoint. The handler
+// only flips the flag (async-signal-safe); the run unwinds cooperatively
+// and surfaces kDeadlineExceeded with a cancellation message.
+std::atomic<bool> g_cancel{false};
+
+extern "C" void HandleSigint(int) {
+  g_cancel.store(true, std::memory_order_relaxed);
+  constexpr char kMsg[] = "\n[cancel requested — finishing at the next "
+                          "governor checkpoint; \\quit exits]\n";
+  ssize_t ignored = write(STDOUT_FILENO, kMsg, sizeof(kMsg) - 1);
+  (void)ignored;
+}
 
 namespace {
 
@@ -91,7 +111,12 @@ void RunSql(ShellState& state, const std::string& sql) {
   Tracer tracer;
   state.options.trace.tracer = traced ? &tracer : nullptr;
   state.options.trace.parent = 0;
+  // Arm Ctrl-C for this run only; a flag left over from an idle-prompt ^C
+  // must not kill the next query before it starts.
+  g_cancel.store(false, std::memory_order_relaxed);
+  state.options.cancel_flag = &g_cancel;
   auto run = optimizer.Run(sql, state.options);
+  state.options.cancel_flag = nullptr;
   state.options.trace.tracer = nullptr;
   if (!run.ok()) {
     std::printf("error: %s\n", run.status().ToString().c_str());
@@ -362,6 +387,14 @@ bool HandleCommand(ShellState& state, const std::string& line) {
 }  // namespace
 
 int main() {
+  // SA_RESTART keeps the prompt's getline alive across ^C: the signal only
+  // sets the cancel flag, and a running query notices it cooperatively.
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleSigint;
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &sa, nullptr);
+
   ShellState state;
   state.options.mode = OptimizerMode::kQhdHybrid;
   // Interactive sessions re-plan the same templates constantly; the cache

@@ -414,6 +414,7 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
   const bool governed = options.deadline_seconds > 0 ||
                         options.search_node_budget != kNoLimit ||
                         options.memory_budget_bytes != kNoLimit ||
+                        options.cancel_flag != nullptr ||
                         tracer != nullptr;
 
   // Memory-adaptive execution: armed only when spilling is enabled AND the
@@ -456,6 +457,7 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
     gopt.memory_budget_bytes =
         last_resort ? kNoLimit : options.memory_budget_bytes;
     if (spill_armed) gopt.soft_memory_bytes = run.ctx.soft_memory_bytes;
+    gopt.cancel_flag = options.cancel_flag;
     governor.emplace(gopt);
     run.ctx.governor = &*governor;
     return &*governor;

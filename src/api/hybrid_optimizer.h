@@ -28,6 +28,7 @@
 #ifndef HTQO_API_HYBRID_OPTIMIZER_H_
 #define HTQO_API_HYBRID_OPTIMIZER_H_
 
+#include <atomic>
 #include <string>
 #include <string_view>
 
@@ -86,6 +87,12 @@ struct RunOptions {
   // width k → k-1 → … → 1 → DP plan → GEQO plan — instead of failing with
   // kDeadlineExceeded. Each step is recorded in QueryRun::degradations.
   bool degrade_on_budget = true;
+  // External cooperative-cancel flag polled by every governor checkpoint in
+  // the run (ResourceGovernor::Options::cancel_flag). Setting the pointee
+  // from any thread — a SIGINT handler, the query server's drain path —
+  // makes the in-flight query return kDeadlineExceeded at its next
+  // checkpoint. The pointee must outlive the Run call; nullptr disables.
+  const std::atomic<bool>* cancel_flag = nullptr;
 
   // --- Memory-adaptive execution (spilling). With enable_spill set and a
   // finite memory_budget_bytes, an operator whose working set would push

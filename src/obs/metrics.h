@@ -162,6 +162,39 @@ inline constexpr const char kMetricPlanCacheHitLatencyUs[] =
 // Bloom filter let the join/semijoin kernels skip (next to hash_probes).
 inline constexpr const char kMetricBloomSkipsPerQuery[] =
     "htqo_bloom_skips_per_query";
+// Query server & admission control (DESIGN.md §6f). The admission counters
+// classify every QUERY frame exactly once: admitted (ran immediately),
+// queued (waited, then ran), shed (rejected: queue full, enqueue fault, or
+// drain), or queue-timeout (deadline expired — or provably would expire —
+// in the queue). degraded counts admissions granted with shrunk budgets
+// (ladder level >= 1). The queue-wait histogram records microseconds spent
+// between arrival and admission for every query that eventually ran.
+inline constexpr const char kMetricAdmissionAdmittedTotal[] =
+    "htqo_admission_admitted_total";
+inline constexpr const char kMetricAdmissionQueuedTotal[] =
+    "htqo_admission_queued_total";
+inline constexpr const char kMetricAdmissionShedTotal[] =
+    "htqo_admission_shed_total";
+inline constexpr const char kMetricAdmissionQueueTimeoutTotal[] =
+    "htqo_admission_queue_timeout_total";
+inline constexpr const char kMetricAdmissionDegradedTotal[] =
+    "htqo_admission_degraded_total";
+inline constexpr const char kMetricAdmissionQueueWaitUs[] =
+    "htqo_admission_queue_wait_us";
+// Server lifecycle: connections accepted, QUERY frames served end-to-end
+// (latency histogram includes queue wait + plan + exec + render), protocol
+// errors (malformed frames, oversized payloads, injected socket faults),
+// and queries cancelled because the drain deadline expired around them.
+inline constexpr const char kMetricServerConnectionsTotal[] =
+    "htqo_server_connections_total";
+inline constexpr const char kMetricServerQueriesTotal[] =
+    "htqo_server_queries_total";
+inline constexpr const char kMetricServerQueryLatencyUs[] =
+    "htqo_server_query_latency_us";
+inline constexpr const char kMetricServerProtocolErrorsTotal[] =
+    "htqo_server_protocol_errors_total";
+inline constexpr const char kMetricServerDrainCancelledTotal[] =
+    "htqo_server_drain_cancelled_total";
 
 }  // namespace htqo
 

@@ -1,0 +1,320 @@
+#include "server/admission.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "util/fault_injector.h"
+
+namespace htqo {
+
+AdmissionTicket::AdmissionTicket(AdmissionController* owner,
+                                 AdmissionGrant grant)
+    : owner_(owner),
+      grant_(std::move(grant)),
+      admitted_at_(std::chrono::steady_clock::now()) {}
+
+AdmissionTicket::AdmissionTicket(AdmissionTicket&& other) noexcept
+    : owner_(other.owner_),
+      grant_(std::move(other.grant_)),
+      admitted_at_(other.admitted_at_) {
+  other.owner_ = nullptr;
+}
+
+AdmissionTicket& AdmissionTicket::operator=(AdmissionTicket&& other) noexcept {
+  if (this != &other) {
+    Release();
+    owner_ = other.owner_;
+    grant_ = std::move(other.grant_);
+    admitted_at_ = other.admitted_at_;
+    other.owner_ = nullptr;
+  }
+  return *this;
+}
+
+AdmissionTicket::~AdmissionTicket() { Release(); }
+
+void AdmissionTicket::Release() {
+  if (owner_ == nullptr) return;
+  double seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - admitted_at_)
+                       .count();
+  owner_->Release(grant_.tenant, seconds);
+  owner_ = nullptr;
+}
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(std::move(config)),
+      ema_query_seconds_(std::max(1e-4, config_.initial_query_seconds)) {
+  if (config_.max_total_concurrent == 0) config_.max_total_concurrent = 1;
+  MetricsRegistry& m = MetricsRegistry::Global();
+  metric_admitted_ = m.GetCounter(kMetricAdmissionAdmittedTotal);
+  metric_queued_ = m.GetCounter(kMetricAdmissionQueuedTotal);
+  metric_shed_ = m.GetCounter(kMetricAdmissionShedTotal);
+  metric_timeout_ = m.GetCounter(kMetricAdmissionQueueTimeoutTotal);
+  metric_degraded_ = m.GetCounter(kMetricAdmissionDegradedTotal);
+  metric_queue_wait_us_ = m.GetHistogram(kMetricAdmissionQueueWaitUs);
+}
+
+AdmissionController::Tenant& AdmissionController::TenantState(
+    const std::string& name) {
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    Tenant t;
+    auto q = config_.tenant_quotas.find(name);
+    t.quota = q == config_.tenant_quotas.end() ? config_.default_quota
+                                               : q->second;
+    t.quota.max_concurrent = std::max<std::size_t>(1, t.quota.max_concurrent);
+    it = tenants_.emplace(name, std::move(t)).first;
+  }
+  return it->second;
+}
+
+double AdmissionController::PressureLocked() const {
+  // Queue-driven pressure: the ladder only engages once demand exceeds the
+  // slots (waiters exist), so an unloaded server always grants full budgets.
+  double queue_occ = 0;
+  for (const auto& [name, t] : tenants_) {
+    if (t.quota.max_queue_depth == 0 || t.queue.empty()) continue;
+    queue_occ = std::max(queue_occ,
+                         static_cast<double>(t.queue.size()) /
+                             static_cast<double>(t.quota.max_queue_depth));
+  }
+  double global_occ = std::min(
+      1.0, static_cast<double>(waiting_total_) /
+               static_cast<double>(config_.max_total_concurrent));
+  return std::max(queue_occ, global_occ);
+}
+
+int AdmissionController::DegradeLevelLocked() const {
+  double p = PressureLocked();
+  if (p >= config_.degrade_hard_at) return 2;
+  if (p >= config_.degrade_at) return 1;
+  return 0;
+}
+
+AdmissionGrant AdmissionController::GrantLocked(
+    const std::string& tenant, Tenant& t, bool waited,
+    std::chrono::microseconds wait, int level_override) {
+  AdmissionGrant g;
+  g.tenant = tenant;
+  g.degrade_level =
+      level_override >= 0 ? level_override : DegradeLevelLocked();
+  g.waited = waited;
+  g.queue_wait = wait;
+  // Tenant share of the process budgets, then the ladder: each level halves
+  // again. ScaleBudget preserves the "unlimited" sentinel throughout.
+  double ladder = 1.0 / static_cast<double>(1u << g.degrade_level);
+  g.memory_budget_bytes = ScaleBudget(
+      ScaleBudget(config_.memory_budget_bytes, t.quota.memory_share), ladder);
+  g.node_budget =
+      ScaleBudget(ScaleBudget(config_.node_budget, t.quota.node_share), ladder);
+  g.force_spill = g.degrade_level >= 2;
+  ++admitted_;
+  metric_admitted_->Increment();
+  if (waited) {
+    ++queued_;
+    metric_queued_->Increment();
+  }
+  if (g.degrade_level >= 1) {
+    ++degraded_;
+    metric_degraded_->Increment();
+  }
+  metric_queue_wait_us_->Record(static_cast<uint64_t>(wait.count()));
+  return g;
+}
+
+void AdmissionController::AdmitNextLocked() {
+  bool woke = false;
+  // Round-robin over tenant names, starting after the last admitted tenant,
+  // so a freed slot rotates across tenants instead of always favoring the
+  // alphabetically-first backlog.
+  while (active_total_ < config_.max_total_concurrent) {
+    auto start = tenants_.upper_bound(last_admitted_tenant_);
+    Tenant* chosen = nullptr;
+    std::string chosen_name;
+    for (std::size_t i = 0, n = tenants_.size(); i < n; ++i) {
+      if (start == tenants_.end()) start = tenants_.begin();
+      Tenant& t = start->second;
+      if (!t.queue.empty() && t.active < t.quota.max_concurrent) {
+        chosen = &t;
+        chosen_name = start->first;
+        break;
+      }
+      ++start;
+    }
+    if (chosen == nullptr) break;
+    Waiter* w = chosen->queue.front();
+    // Snapshot the ladder level while the waiter still counts as demand:
+    // being queued at all means the slots were oversubscribed, and that is
+    // the pressure this grant is degraded for.
+    w->degrade_level = DegradeLevelLocked();
+    chosen->queue.pop_front();
+    --waiting_total_;
+    // Slot accounting happens here, before the waiter wakes, so a racing
+    // Acquire cannot steal the slot the waiter was promised; the waiter
+    // finishes its own grant bookkeeping when it reacquires the lock.
+    ++chosen->active;
+    ++active_total_;
+    w->admitted = true;
+    last_admitted_tenant_ = chosen_name;
+    woke = true;
+  }
+  if (woke) cv_.notify_all();
+}
+
+Result<AdmissionTicket> AdmissionController::Acquire(
+    const std::string& tenant, Clock::time_point deadline) {
+  const auto arrival = Clock::now();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (draining_) {
+    ++shed_;
+    metric_shed_->Increment();
+    return AdmissionShedStatus("server is draining");
+  }
+  if (deadline != Clock::time_point::max() && arrival >= deadline) {
+    ++queue_timeouts_;
+    metric_timeout_->Increment();
+    return Status::DeadlineExceeded(
+        "deadline expired before admission [governor trip: deadline]");
+  }
+  Tenant& t = TenantState(tenant);
+  if (t.queue.empty() && t.active < t.quota.max_concurrent &&
+      active_total_ < config_.max_total_concurrent) {
+    ++t.active;
+    ++active_total_;
+    AdmissionGrant g =
+        GrantLocked(tenant, t, /*waited=*/false, std::chrono::microseconds(0));
+    lock.unlock();
+    return AdmissionTicket(this, std::move(g));
+  }
+  // The query must queue. Bounded: a full tenant queue sheds immediately.
+  if (t.queue.size() >= t.quota.max_queue_depth) {
+    ++shed_;
+    metric_shed_->Increment();
+    return AdmissionShedStatus("admission queue full for tenant '" + tenant +
+                               "' (" + std::to_string(t.quota.max_queue_depth) +
+                               " waiting)");
+  }
+  // Deadline-aware: when the queue-position estimate already overshoots the
+  // deadline, reject now instead of burning the client's budget in line.
+  if (deadline != Clock::time_point::max()) {
+    double est_wait_seconds =
+        ema_query_seconds_ *
+        static_cast<double>(t.queue.size() + 1 + active_total_) /
+        static_cast<double>(config_.max_total_concurrent);
+    auto est_admit =
+        arrival + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(est_wait_seconds));
+    if (est_admit >= deadline) {
+      ++queue_timeouts_;
+      metric_timeout_->Increment();
+      return Status::DeadlineExceeded(
+          "deadline would expire in admission queue (estimated wait " +
+          std::to_string(est_wait_seconds) + "s) [governor trip: deadline]");
+    }
+  }
+  if (FaultInjector::Instance().ShouldFail(kFaultSiteAdmissionEnqueue)) {
+    ++shed_;
+    metric_shed_->Increment();
+    return AdmissionShedStatus("injected fault at admission.enqueue");
+  }
+  Waiter w;
+  t.queue.push_back(&w);
+  ++waiting_total_;
+  while (!w.admitted && !w.shed) {
+    if (deadline == Clock::time_point::max()) {
+      cv_.wait(lock);
+    } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+               !w.admitted && !w.shed) {
+      auto it = std::find(t.queue.begin(), t.queue.end(), &w);
+      if (it != t.queue.end()) {
+        t.queue.erase(it);
+        --waiting_total_;
+      }
+      ++queue_timeouts_;
+      metric_timeout_->Increment();
+      return Status::DeadlineExceeded(
+          "deadline expired in admission queue [governor trip: deadline]");
+    }
+  }
+  if (w.shed) {
+    // BeginDrain already removed us from the queue and counted the shed.
+    return AdmissionShedStatus("server is draining");
+  }
+  // AdmitNextLocked granted the slot; finish the bookkeeping ourselves,
+  // at the ladder level snapshotted while we were still queued demand.
+  auto wait = std::chrono::duration_cast<std::chrono::microseconds>(
+      Clock::now() - arrival);
+  AdmissionGrant g =
+      GrantLocked(tenant, t, /*waited=*/true, wait, w.degrade_level);
+  lock.unlock();
+  return AdmissionTicket(this, std::move(g));
+}
+
+void AdmissionController::Release(const std::string& tenant,
+                                  double query_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end() && it->second.active > 0) {
+    --it->second.active;
+  }
+  if (active_total_ > 0) --active_total_;
+  // EMA of recent query durations prices the retry-after hints and the
+  // would-expire estimates. 0.2 weight: reactive but not jumpy.
+  ema_query_seconds_ =
+      0.8 * ema_query_seconds_ + 0.2 * std::max(query_seconds, 1e-4);
+  AdmitNextLocked();
+}
+
+void AdmissionController::BeginDrain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) return;
+  draining_ = true;
+  for (auto& [name, t] : tenants_) {
+    for (Waiter* w : t.queue) {
+      w->shed = true;
+      ++shed_;
+      metric_shed_->Increment();
+    }
+    t.queue.clear();
+  }
+  waiting_total_ = 0;
+  cv_.notify_all();
+}
+
+bool AdmissionController::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+uint64_t AdmissionController::RetryAfterMsLocked() const {
+  double oversubscription =
+      static_cast<double>(waiting_total_ + active_total_ + 1) /
+      static_cast<double>(config_.max_total_concurrent);
+  double ms = ema_query_seconds_ * 1e3 * oversubscription;
+  return static_cast<uint64_t>(std::clamp(ms, 1.0, 10000.0));
+}
+
+uint64_t AdmissionController::RetryAfterMs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RetryAfterMsLocked();
+}
+
+AdmissionController::Snapshot AdmissionController::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  s.active_total = active_total_;
+  s.waiting_total = waiting_total_;
+  s.admitted = admitted_;
+  s.queued = queued_;
+  s.shed = shed_;
+  s.queue_timeouts = queue_timeouts_;
+  s.degraded = degraded_;
+  for (const auto& [name, t] : tenants_) {
+    if (!t.queue.empty()) s.waiting_by_tenant[name] = t.queue.size();
+    if (t.active > 0) s.active_by_tenant[name] = t.active;
+  }
+  return s;
+}
+
+}  // namespace htqo

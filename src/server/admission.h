@@ -1,0 +1,223 @@
+// Admission control for the query server: per-tenant quotas, bounded FIFO
+// queues, deadline-aware rejection, a budget-shrinking degradation ladder,
+// and load shedding — the admit -> queue -> degrade -> shed -> drain state
+// machine of DESIGN.md §6f.
+//
+// The controller owns no sockets and runs no queries; it only decides
+// *whether* and *with what budgets* a query may run, which makes it unit-
+// testable without a server. Sessions call Acquire() before planning and
+// destroy the returned AdmissionTicket when the query finishes.
+//
+// Decision order for a QUERY from tenant T with deadline D:
+//
+//   1. draining          -> shed (kResourceExhausted + retry-after): the
+//                           server is winding down; retry elsewhere/later.
+//   2. D already passed  -> kDeadlineExceeded immediately.
+//   3. free slot for T   -> admit now. The grant's governor budgets are the
+//                           process budgets scaled by T's shares
+//                           (ScaleBudget), then shrunk by the current
+//                           degradation level: level 1 halves them, level 2
+//                           quarters them and forces spill-to-disk. The
+//                           ladder degrades service before refusing it.
+//   4. queue full for T  -> shed (kResourceExhausted + retry-after hint
+//                           sized from the EMA of recent query durations).
+//   5. would expire in   -> kDeadlineExceeded immediately: estimated wait
+//      queue                (queue position x EMA duration / slots) already
+//                           overshoots D, so queueing would only burn the
+//                           client's budget. Never queue a corpse.
+//   6. otherwise         -> queue (FIFO within the tenant), woken either by
+//                           a freed slot, by D expiring (kDeadlineExceeded),
+//                           or by drain starting (shed).
+//
+// The `admission.enqueue` fault site fires between steps 5 and 6: a query
+// that would have queued is shed instead, exactly as if the queue had no
+// room — clients see the standard retry-after contract.
+//
+// Thread safety: one mutex guards all state; waiters block on a single
+// condition variable and re-check "am I the head of my tenant's queue and
+// is a slot free". Wakeups scan tenants round-robin from after the last
+// admitted tenant, so one chatty tenant cannot starve the others.
+
+#ifndef HTQO_SERVER_ADMISSION_H_
+#define HTQO_SERVER_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/governor.h"
+#include "util/status.h"
+
+namespace htqo {
+
+struct TenantQuota {
+  std::size_t max_concurrent = 2;   // running queries
+  std::size_t max_queue_depth = 8;  // waiting queries beyond the running ones
+  // Shares of the process-wide budgets granted to each of this tenant's
+  // queries (clamped to (0, 1]; unlimited budgets stay unlimited).
+  double memory_share = 1.0;
+  double node_share = 1.0;
+};
+
+struct AdmissionConfig {
+  // Hard cap on queries running concurrently across all tenants. This is
+  // what maps tenant quotas onto the shared ThreadPool: total parallelism
+  // is bounded by max_total_concurrent x per-query num_threads.
+  std::size_t max_total_concurrent = 4;
+  // Process-wide budgets the per-tenant shares divide (SIZE_MAX = none).
+  std::size_t memory_budget_bytes = std::numeric_limits<std::size_t>::max();
+  std::size_t node_budget = std::numeric_limits<std::size_t>::max();
+  TenantQuota default_quota;
+  std::map<std::string, TenantQuota> tenant_quotas;  // by tenant name
+  // Degradation ladder thresholds, as fractions of pressure (the max of
+  // slot occupancy and aggregate queue occupancy). Crossing degrade_at
+  // grants half budgets; crossing degrade_hard_at grants quarter budgets
+  // and forces the spill path. Shedding only happens past both: when a
+  // tenant's queue is full or the deadline math says queueing is futile.
+  double degrade_at = 0.5;
+  double degrade_hard_at = 0.75;
+  // Seed EMA for the retry-after / would-expire estimates before any query
+  // has completed.
+  double initial_query_seconds = 0.05;
+};
+
+class AdmissionController;
+
+// What an admitted query runs with. Returned inside an AdmissionTicket;
+// the session translates it into RunOptions / governor budgets.
+struct AdmissionGrant {
+  std::string tenant;
+  int degrade_level = 0;  // 0 = full budgets, 1 = halved, 2 = quartered
+  std::size_t memory_budget_bytes = std::numeric_limits<std::size_t>::max();
+  std::size_t node_budget = std::numeric_limits<std::size_t>::max();
+  bool force_spill = false;  // level 2: spill rather than trip memory
+  bool waited = false;       // went through the queue
+  std::chrono::microseconds queue_wait{0};
+};
+
+// RAII slot: releases the tenant's concurrency slot (and wakes the next
+// eligible waiter) on destruction, feeding the query's duration back into
+// the EMA that prices retry-after hints and would-expire estimates.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  AdmissionTicket(AdmissionController* owner, AdmissionGrant grant);
+  AdmissionTicket(AdmissionTicket&& other) noexcept;
+  AdmissionTicket& operator=(AdmissionTicket&& other) noexcept;
+  ~AdmissionTicket();
+
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  const AdmissionGrant& grant() const { return grant_; }
+  bool valid() const { return owner_ != nullptr; }
+  void Release();  // idempotent early release
+
+ private:
+  AdmissionController* owner_ = nullptr;
+  AdmissionGrant grant_;
+  std::chrono::steady_clock::time_point admitted_at_;
+};
+
+class AdmissionController {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit AdmissionController(AdmissionConfig config);
+
+  // Blocks until admitted, the deadline passes, drain starts, or the
+  // request is shed. Error codes follow the header comment's state machine:
+  // kResourceExhausted = shed (message carries the admission-shed governor
+  // suffix; pair with RetryAfterMs for the client hint), kDeadlineExceeded
+  // = the query's own deadline. `deadline` = time_point::max() means none.
+  Result<AdmissionTicket> Acquire(const std::string& tenant,
+                                  Clock::time_point deadline);
+
+  // Stops admitting: queued waiters and future Acquires are shed. Running
+  // queries are unaffected (the server cancels stragglers separately).
+  void BeginDrain();
+  bool draining() const;
+
+  // Suggested client backoff right now: scales with how oversubscribed the
+  // slots are, priced by the recent-duration EMA. Always >= 1.
+  uint64_t RetryAfterMs() const;
+
+  struct Snapshot {
+    std::size_t active_total = 0;
+    std::size_t waiting_total = 0;
+    uint64_t admitted = 0;       // total grants handed out
+    uint64_t queued = 0;         // grants that waited first
+    uint64_t shed = 0;           // queue-full / fault / drain rejections
+    uint64_t queue_timeouts = 0; // deadline died in (or would die in) queue
+    uint64_t degraded = 0;       // grants at level >= 1
+    std::map<std::string, std::size_t> waiting_by_tenant;
+    std::map<std::string, std::size_t> active_by_tenant;
+  };
+  Snapshot snapshot() const;
+
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  friend class AdmissionTicket;
+
+  struct Waiter {
+    bool admitted = false;
+    bool shed = false;  // drain arrived while queued
+    // Ladder level snapshotted by AdmitNextLocked while this waiter still
+    // counts toward queue pressure — its own demand is part of the overload
+    // it gets degraded for.
+    int degrade_level = 0;
+  };
+  struct Tenant {
+    TenantQuota quota;
+    std::size_t active = 0;
+    std::deque<Waiter*> queue;  // FIFO: head = next to admit
+  };
+
+  void Release(const std::string& tenant, double query_seconds);
+  Tenant& TenantState(const std::string& name);
+  // Pressure in [0, 1]: max of slot occupancy and queue occupancy.
+  double PressureLocked() const;
+  int DegradeLevelLocked() const;
+  // level_override >= 0 uses a pre-snapshotted ladder level (queued
+  // admissions) instead of the instantaneous pressure.
+  AdmissionGrant GrantLocked(const std::string& tenant, Tenant& t,
+                             bool waited, std::chrono::microseconds wait,
+                             int level_override = -1);
+  // Wakes the next eligible head-of-queue waiter, round-robin over tenants.
+  void AdmitNextLocked();
+  uint64_t RetryAfterMsLocked() const;
+
+  AdmissionConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, Tenant> tenants_;
+  std::size_t active_total_ = 0;
+  std::size_t waiting_total_ = 0;
+  bool draining_ = false;
+  double ema_query_seconds_;
+  // Round-robin cursor: name of the tenant admitted most recently.
+  std::string last_admitted_tenant_;
+  // Counter mirrors for snapshot(); the MetricsRegistry gets the same
+  // increments (resolved once in the constructor).
+  uint64_t admitted_ = 0;
+  uint64_t queued_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t queue_timeouts_ = 0;
+  uint64_t degraded_ = 0;
+  class Counter* metric_admitted_;
+  class Counter* metric_queued_;
+  class Counter* metric_shed_;
+  class Counter* metric_timeout_;
+  class Counter* metric_degraded_;
+  class Histogram* metric_queue_wait_us_;
+};
+
+}  // namespace htqo
+
+#endif  // HTQO_SERVER_ADMISSION_H_

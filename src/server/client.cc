@@ -1,0 +1,195 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace htqo {
+
+namespace {
+
+double ParseDoubleField(const Frame& frame, std::string_view key) {
+  auto it = frame.fields.find(key);
+  if (it == frame.fields.end()) return 0;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace
+
+Client::Client(ClientOptions options)
+    : options_(std::move(options)), rng_(options_.backoff_jitter_seed) {}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::Connect() {
+  if (fd_ >= 0) return Status::Internal("already connected");
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket failed: ") +
+                            std::strerror(errno));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("invalid host '" + options_.host + "'");
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    ::close(fd);
+    return Status::Internal(std::string("connect failed: ") +
+                            std::strerror(errno));
+  }
+  fd_ = fd;
+  carry_.clear();
+  Frame hello;
+  hello.type = FrameType::kHello;
+  hello.fields["tenant"] = options_.tenant;
+  Frame reply;
+  Status s = RoundTrip(hello, &reply);
+  if (!s.ok()) {
+    Close();
+    return s;
+  }
+  if (reply.type != FrameType::kOk) {
+    Status err = Status::Internal("HELLO rejected: " + reply.payload);
+    Close();
+    return err;
+  }
+  return Status::Ok();
+}
+
+Status Client::RoundTrip(const Frame& frame, Frame* reply) {
+  if (fd_ < 0) return Status::Internal("not connected");
+  Status s = WriteFrame(fd_, frame);
+  if (!s.ok()) return s;
+  s = ReadFrame(fd_, &carry_, reply, options_.response_timeout_ms);
+  if (s.code() == StatusCode::kNotFound) {
+    return Status::Internal("server closed the connection");
+  }
+  return s;
+}
+
+Result<QueryReply> Client::Query(const std::string& sql,
+                                 uint64_t deadline_ms) {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline =
+      deadline_ms > 0 ? Clock::now() + std::chrono::milliseconds(deadline_ms)
+                      : Clock::time_point::max();
+  QueryReply out;
+  for (int attempt = 0;; ++attempt) {
+    Frame query;
+    query.type = FrameType::kQuery;
+    query.payload = sql;
+    if (deadline_ms > 0) {
+      // Forward what's left, not the original: queue time already spent in
+      // earlier shed/backoff rounds must count against this query.
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - Clock::now())
+                      .count();
+      if (left <= 0) return Status::DeadlineExceeded("query deadline passed");
+      query.fields["deadline_ms"] = std::to_string(left);
+    }
+    Frame reply;
+    Status s = RoundTrip(query, &reply);
+    if (!s.ok()) return s;
+    if (reply.type == FrameType::kOk) {
+      out.result_text = std::move(reply.payload);
+      out.rows = reply.GetUint("rows");
+      out.queued_us = reply.GetUint("queued_us");
+      out.plan_ms = ParseDoubleField(reply, "plan_ms");
+      out.exec_ms = ParseDoubleField(reply, "exec_ms");
+      out.degradations = static_cast<int>(reply.GetUint("degraded"));
+      out.admission_level =
+          static_cast<int>(reply.GetUint("admission_level"));
+      out.sheds_retried = attempt;
+      return out;
+    }
+    if (reply.type != FrameType::kErr) {
+      return Status::Internal(std::string("unexpected reply frame ") +
+                              FrameTypeName(reply.type));
+    }
+    StatusCode code = StatusCodeFromWireName(reply.GetString("code"));
+    if (code != StatusCode::kResourceExhausted ||
+        attempt >= options_.max_retries) {
+      // Not a shed (or out of retries): surface the server's error as-is.
+      std::string message = std::move(reply.payload);
+      switch (code) {
+        case StatusCode::kInvalidArgument:
+          return Status::InvalidArgument(std::move(message));
+        case StatusCode::kNotFound:
+          return Status::NotFound(std::move(message));
+        case StatusCode::kResourceExhausted:
+          return Status::ResourceExhausted(std::move(message));
+        case StatusCode::kDeadlineExceeded:
+          return Status::DeadlineExceeded(std::move(message));
+        default:
+          return Status::Internal(std::move(message));
+      }
+    }
+    // Shed: back off for the server's hint plus decorrelated jitter in
+    // [0, hint), capped, then retry.
+    uint64_t hint = reply.GetUint("retry_after_ms", 50);
+    if (hint == 0) hint = 50;
+    uint64_t sleep_ms = hint + rng_.Uniform(hint);
+    if (sleep_ms > options_.max_backoff_ms) sleep_ms = options_.max_backoff_ms;
+    if (deadline != Clock::time_point::max() &&
+        Clock::now() + std::chrono::milliseconds(sleep_ms) >= deadline) {
+      return Status::DeadlineExceeded(
+          "query deadline would pass during retry backoff");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    out.backoff_ms += sleep_ms;
+  }
+}
+
+Result<std::string> Client::Metrics() {
+  Frame req;
+  req.type = FrameType::kMetrics;
+  Frame reply;
+  Status s = RoundTrip(req, &reply);
+  if (!s.ok()) return s;
+  if (reply.type != FrameType::kOk) {
+    return Status::Internal("METRICS rejected: " + reply.payload);
+  }
+  return std::move(reply.payload);
+}
+
+Status Client::Ping() {
+  Frame req;
+  req.type = FrameType::kPing;
+  Frame reply;
+  Status s = RoundTrip(req, &reply);
+  if (!s.ok()) return s;
+  if (reply.type != FrameType::kOk) {
+    return Status::Internal("PING rejected: " + reply.payload);
+  }
+  return Status::Ok();
+}
+
+void Client::Close() {
+  if (fd_ < 0) return;
+  Frame quit;
+  quit.type = FrameType::kQuit;
+  Frame reply;
+  (void)RoundTrip(quit, &reply);  // best effort: BYE or bust
+  ::close(fd_);
+  fd_ = -1;
+  carry_.clear();
+}
+
+}  // namespace htqo

@@ -1,0 +1,275 @@
+#include "server/protocol.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/fault_injector.h"
+
+namespace htqo {
+
+namespace {
+
+struct TypeName {
+  FrameType type;
+  const char* name;
+};
+constexpr TypeName kTypeNames[] = {
+    {FrameType::kHello, "HELLO"},     {FrameType::kQuery, "QUERY"},
+    {FrameType::kPing, "PING"},       {FrameType::kMetrics, "METRICS"},
+    {FrameType::kQuit, "QUIT"},       {FrameType::kOk, "OK"},
+    {FrameType::kErr, "ERR"},         {FrameType::kBye, "BYE"},
+};
+
+}  // namespace
+
+const char* FrameTypeName(FrameType type) {
+  for (const TypeName& t : kTypeNames) {
+    if (t.type == type) return t.name;
+  }
+  return "?";
+}
+
+const char* StatusCodeWireName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kResourceExhausted:
+      return "resource-exhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+StatusCode StatusCodeFromWireName(std::string_view name) {
+  if (name == "ok") return StatusCode::kOk;
+  if (name == "invalid-argument") return StatusCode::kInvalidArgument;
+  if (name == "not-found") return StatusCode::kNotFound;
+  if (name == "resource-exhausted") return StatusCode::kResourceExhausted;
+  if (name == "deadline-exceeded") return StatusCode::kDeadlineExceeded;
+  return StatusCode::kInternal;
+}
+
+std::string_view Frame::GetString(std::string_view key,
+                                  std::string_view def) const {
+  auto it = fields.find(key);
+  return it == fields.end() ? def : std::string_view(it->second);
+}
+
+uint64_t Frame::GetUint(std::string_view key, uint64_t def) const {
+  auto it = fields.find(key);
+  if (it == fields.end()) return def;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') return def;
+  return static_cast<uint64_t>(v);
+}
+
+std::string Frame::Serialize() const {
+  std::string out = FrameTypeName(type);
+  for (const auto& [key, value] : fields) {
+    out += ' ';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  if (!payload.empty()) {
+    out += " len=";
+    out += std::to_string(payload.size());
+  }
+  out += '\n';
+  out += payload;
+  return out;
+}
+
+Status ParseFrameHeader(std::string_view line, Frame* frame,
+                        std::size_t* payload_len) {
+  frame->fields.clear();
+  frame->payload.clear();
+  *payload_len = 0;
+  if (line.size() > kMaxHeaderBytes) {
+    return Status::InvalidArgument("frame header exceeds " +
+                                   std::to_string(kMaxHeaderBytes) + " bytes");
+  }
+  std::size_t sp = line.find(' ');
+  std::string_view type_token = line.substr(0, sp);
+  bool known = false;
+  for (const TypeName& t : kTypeNames) {
+    if (type_token == t.name) {
+      frame->type = t.type;
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    return Status::InvalidArgument("unknown frame type '" +
+                                   std::string(type_token) + "'");
+  }
+  std::string_view rest = sp == std::string_view::npos ? "" : line.substr(sp);
+  while (!rest.empty()) {
+    if (rest[0] != ' ') {
+      return Status::InvalidArgument("malformed frame fields");
+    }
+    rest.remove_prefix(1);
+    std::size_t end = rest.find(' ');
+    std::string_view field = rest.substr(0, end);
+    rest = end == std::string_view::npos ? "" : rest.substr(end);
+    std::size_t eq = field.find('=');
+    if (eq == 0 || eq == std::string_view::npos) {
+      return Status::InvalidArgument("malformed field '" + std::string(field) +
+                                     "' (expected key=value)");
+    }
+    std::string key(field.substr(0, eq));
+    std::string value(field.substr(eq + 1));
+    if (key == "len") {
+      errno = 0;
+      char* num_end = nullptr;
+      unsigned long long n = std::strtoull(value.c_str(), &num_end, 10);
+      if (errno != 0 || num_end == value.c_str() || *num_end != '\0') {
+        return Status::InvalidArgument("malformed len field '" + value + "'");
+      }
+      if (n > kMaxPayloadBytes) {
+        return Status::InvalidArgument(
+            "frame payload of " + value + " bytes exceeds the " +
+            std::to_string(kMaxPayloadBytes) + "-byte limit");
+      }
+      *payload_len = static_cast<std::size_t>(n);
+    } else {
+      frame->fields[std::move(key)] = std::move(value);
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+// Waits for readability; kDeadlineExceeded on timeout, kInternal on error.
+// `deadline_ms` <= 0 waits forever.
+Status WaitReadable(int fd, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms <= 0 ? -1 : timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    return Status::Internal(std::string("poll failed: ") +
+                            std::strerror(errno));
+  }
+  if (rc == 0) return Status::DeadlineExceeded("read timed out");
+  return Status::Ok();
+}
+
+// One recv into `buf`; kNotFound on EOF, kInternal on error/injected fault.
+Status RecvSome(int fd, std::string* buf) {
+  if (FaultInjector::Instance().ShouldFail(kFaultSiteServerRead)) {
+    return Status::Internal("injected fault at server.read");
+  }
+  char chunk[4096];
+  ssize_t n;
+  do {
+    n = ::recv(fd, chunk, sizeof(chunk), 0);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    return Status::Internal(std::string("recv failed: ") +
+                            std::strerror(errno));
+  }
+  if (n == 0) return Status::NotFound("peer closed the connection");
+  buf->append(chunk, static_cast<std::size_t>(n));
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ReadFrame(int fd, std::string* carry, Frame* frame, int timeout_ms) {
+  // `carry` is only consumed once the complete frame (header + payload) is
+  // buffered, so a timeout mid-frame leaves the stream intact and the next
+  // call resumes exactly where this one stopped.
+  while (true) {
+    std::size_t newline = carry->find('\n');
+    if (newline != std::string::npos) {
+      std::size_t payload_len = 0;
+      Status parsed =
+          ParseFrameHeader(std::string_view(*carry).substr(0, newline), frame,
+                           &payload_len);
+      if (!parsed.ok()) {
+        // Malformed header: consume the line so the connection could in
+        // principle resync, though callers close on kInvalidArgument.
+        carry->erase(0, newline + 1);
+        return parsed;
+      }
+      if (carry->size() >= newline + 1 + payload_len) {
+        frame->payload = carry->substr(newline + 1, payload_len);
+        carry->erase(0, newline + 1 + payload_len);
+        return Status::Ok();
+      }
+    } else if (carry->size() > kMaxHeaderBytes) {
+      return Status::InvalidArgument("frame header exceeds " +
+                                     std::to_string(kMaxHeaderBytes) +
+                                     " bytes");
+    }
+    Status ready = WaitReadable(fd, timeout_ms);
+    if (!ready.ok()) return ready;
+    Status got = RecvSome(fd, carry);
+    if (!got.ok()) {
+      if (got.code() == StatusCode::kNotFound && !carry->empty()) {
+        return Status::InvalidArgument("connection closed mid-frame");
+      }
+      return got;
+    }
+  }
+}
+
+Status WriteFrame(int fd, const Frame& frame) {
+  if (FaultInjector::Instance().ShouldFail(kFaultSiteServerWrite)) {
+    return Status::Internal("injected fault at server.write");
+  }
+  std::string wire = frame.Serialize();
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    ssize_t n;
+    do {
+      n = ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) {
+      return Status::Internal(std::string("send failed: ") +
+                              std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Frame MakeOkFrame(std::string payload) {
+  Frame f;
+  f.type = FrameType::kOk;
+  f.payload = std::move(payload);
+  return f;
+}
+
+Frame MakeErrFrame(const Status& status, uint64_t retry_after_ms) {
+  Frame f;
+  f.type = FrameType::kErr;
+  f.fields["code"] = StatusCodeWireName(status.code());
+  if (retry_after_ms > 0) {
+    f.fields["retry_after_ms"] = std::to_string(retry_after_ms);
+  }
+  f.payload = status.message();
+  return f;
+}
+
+}  // namespace htqo

@@ -1,0 +1,119 @@
+// Wire protocol for the htqo query server: line/length-prefixed frames.
+//
+// Every frame is one ASCII header line terminated by '\n', optionally
+// followed by a binary payload of exactly the byte count named by the
+// header's `len=` field:
+//
+//   frame       := header-line payload?
+//   header-line := type field* '\n'
+//   field       := ' ' key '=' value
+//   payload     := len bytes (present iff len > 0)
+//
+// Types (client -> server): HELLO, QUERY, PING, METRICS, QUIT.
+// Types (server -> client): OK, ERR, BYE.
+//
+//   HELLO tenant=<name>                 first frame on a connection
+//   QUERY len=<n> [deadline_ms=<d>]     n bytes of SQL follow
+//   PING                                liveness probe -> OK len=0
+//   METRICS                             -> OK with Prometheus text payload
+//   QUIT                                -> BYE, connection closes
+//
+//   OK len=<n> [rows=<r>] [queued_us=<q>] [plan_ms=<p>] [exec_ms=<e>]
+//      [degraded=<d>]                   payload = rendered result table
+//   ERR code=<code> len=<n> [retry_after_ms=<t>]
+//                                       payload = human-readable message
+//
+// <code> is the kebab-case StatusCode name (invalid-argument, not-found,
+// resource-exhausted, deadline-exceeded, internal). resource-exhausted
+// responses carrying retry_after_ms are the load shedder speaking: the
+// client contract is to back off at least that long (with jitter) before
+// retrying. deadline-exceeded is never retryable — the query's own budget
+// is gone.
+//
+// Values are space-free ASCII tokens; anything free-form (SQL, result
+// tables, error text) travels in the length-prefixed payload, so the
+// header grammar never needs quoting. Limits: header line <= 4096 bytes,
+// payload <= 64 MiB — both enforced on read so a malicious peer cannot
+// balloon server memory.
+//
+// The socket helpers route through the `server.read` / `server.write`
+// fault sites; an injected failure surfaces as a clean kInternal Status,
+// exactly like a peer that vanished mid-frame.
+
+#ifndef HTQO_SERVER_PROTOCOL_H_
+#define HTQO_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace htqo {
+
+enum class FrameType {
+  kHello,
+  kQuery,
+  kPing,
+  kMetrics,
+  kQuit,
+  kOk,
+  kErr,
+  kBye,
+};
+
+const char* FrameTypeName(FrameType type);
+
+// StatusCode <-> wire `code=` token.
+const char* StatusCodeWireName(StatusCode code);
+StatusCode StatusCodeFromWireName(std::string_view name);
+
+struct Frame {
+  FrameType type = FrameType::kPing;
+  // Header key/value fields, excluding `len` (implied by payload.size()).
+  std::map<std::string, std::string, std::less<>> fields;
+  std::string payload;
+
+  // Field accessors with defaults; numeric parses that fail return `def`.
+  std::string_view GetString(std::string_view key,
+                             std::string_view def = "") const;
+  uint64_t GetUint(std::string_view key, uint64_t def = 0) const;
+
+  // Serializes header line + payload, ready for a single write.
+  std::string Serialize() const;
+};
+
+inline constexpr std::size_t kMaxHeaderBytes = 4096;
+inline constexpr std::size_t kMaxPayloadBytes = 64ull << 20;
+
+// Parses one header line (without the trailing '\n') into `frame` (type and
+// fields; payload left empty) and reports the payload length the caller
+// must read next. Unknown types, malformed fields, and oversized lengths
+// are kInvalidArgument.
+Status ParseFrameHeader(std::string_view line, Frame* frame,
+                        std::size_t* payload_len);
+
+// Blocking frame I/O over a connected socket. ReadFrame enforces the
+// header/payload limits and returns:
+//   kOk               a complete frame was read
+//   kNotFound         clean EOF before any header byte (peer closed)
+//   kDeadlineExceeded no complete frame within `timeout_ms` (<=0 = forever)
+//   kInvalidArgument  malformed or oversized frame
+//   kInternal         socket error, or the server.read fault site fired
+// `carry` holds bytes read past the previous frame; pass the same buffer
+// for every read on one connection.
+Status ReadFrame(int fd, std::string* carry, Frame* frame, int timeout_ms);
+
+// Writes frame.Serialize() fully; kInternal on socket error or when the
+// server.write fault site fires. Uses MSG_NOSIGNAL so a vanished peer is a
+// Status, never a SIGPIPE.
+Status WriteFrame(int fd, const Frame& frame);
+
+// Convenience constructors for the common server responses.
+Frame MakeOkFrame(std::string payload);
+Frame MakeErrFrame(const Status& status, uint64_t retry_after_ms = 0);
+
+}  // namespace htqo
+
+#endif  // HTQO_SERVER_PROTOCOL_H_

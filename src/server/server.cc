@@ -1,0 +1,258 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "util/fault_injector.h"
+#include "util/thread_pool.h"
+
+namespace htqo {
+
+namespace {
+
+constexpr int kAcceptPollMs = 200;
+
+// Bound + listening TCP socket on host:port; fills *bound_port with the
+// kernel-assigned port when `port` is 0. Returns -1 on failure.
+int Listen(const std::string& host, uint16_t port, uint16_t* bound_port,
+           std::string* error) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *error = std::string("socket failed: ") + std::strerror(errno);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "invalid listen address '" + host + "'";
+    ::close(fd);
+    return -1;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 128) != 0) {
+    *error = std::string("bind/listen failed: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+// Accepts one connection if the listener is readable within the poll
+// slice; -1 when there is nothing to accept (or the socket died).
+int AcceptOne(int listen_fd) {
+  struct pollfd pfd;
+  pfd.fd = listen_fd;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, kAcceptPollMs);
+  } while (rc < 0 && errno == EINTR);
+  if (rc <= 0) return -1;
+  int fd;
+  do {
+    fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+}  // namespace
+
+QueryServer::QueryServer(const Catalog* catalog,
+                         const StatisticsRegistry* stats,
+                         ServerOptions options)
+    : options_(std::move(options)),
+      optimizer_(catalog, stats),
+      admission_(options_.admission) {}
+
+QueryServer::~QueryServer() {
+  if (running()) Drain(/*deadline_seconds=*/1.0);
+}
+
+Status QueryServer::Start() {
+  if (running()) return Status::Internal("server already started");
+  std::string error;
+  listen_fd_ = Listen(options_.host, options_.port, &port_, &error);
+  if (listen_fd_ < 0) return Status::Internal(error);
+  if (options_.enable_metrics_http) {
+    metrics_fd_ = Listen(options_.host, options_.metrics_http_port,
+                         &metrics_http_port_, &error);
+    if (metrics_fd_ < 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::Internal("metrics listener: " + error);
+    }
+  }
+  // Pre-grow the shared pool to this server's per-query lane count before
+  // any session exists: ThreadPool::Shared growth joins the old pool, so
+  // it must never race an in-flight query.
+  ThreadPool::Shared(options_.run_template.num_threads);
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (metrics_fd_ >= 0) {
+    metrics_thread_ = std::thread([this] { MetricsLoop(); });
+  }
+  return Status::Ok();
+}
+
+void QueryServer::ReapFinishedLocked() {
+  for (std::size_t i = 0; i < sessions_.size();) {
+    if (sessions_[i].session->finished()) {
+      sessions_[i].thread.join();
+      sessions_[i] = std::move(sessions_.back());
+      sessions_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+void QueryServer::AcceptLoop() {
+  Counter* connections =
+      MetricsRegistry::Global().GetCounter(kMetricServerConnectionsTotal);
+  Counter* protocol_errors =
+      MetricsRegistry::Global().GetCounter(kMetricServerProtocolErrorsTotal);
+  while (!stop_.load(std::memory_order_acquire)) {
+    int fd = AcceptOne(listen_fd_);
+    if (fd < 0) continue;
+    if (FaultInjector::Instance().ShouldFail(kFaultSiteServerAccept)) {
+      // Injected accept failure: this connection is lost, the server is
+      // not. The peer sees a reset; every existing session keeps running.
+      protocol_errors->Increment();
+      ::close(fd);
+      continue;
+    }
+    connections->Increment();
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    ReapFinishedLocked();
+    if (sessions_.size() >= options_.max_sessions) {
+      // Session cap: tell the peer to back off, exactly like a shed query.
+      WriteFrame(fd, MakeErrFrame(
+                         AdmissionShedStatus("server at max sessions"),
+                         admission_.RetryAfterMs()));
+      ::close(fd);
+      continue;
+    }
+    SessionHandle handle;
+    handle.session =
+        std::make_unique<Session>(this, fd, next_session_id_++);
+    Session* raw = handle.session.get();
+    handle.thread = std::thread([raw] { raw->Run(); });
+    sessions_.push_back(std::move(handle));
+  }
+}
+
+void QueryServer::MetricsLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    int fd = AcceptOne(metrics_fd_);
+    if (fd < 0) continue;
+    // Minimal HTTP: read whatever one poll slice delivers of the request,
+    // answer with the full exposition, close. Enough for Prometheus and
+    // curl; anything fancier belongs behind a real proxy.
+    char buf[2048];
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    if (::poll(&pfd, 1, 1000) > 0) {
+      (void)::recv(fd, buf, sizeof(buf), 0);
+    }
+    std::string body = MetricsRegistry::Global().PrometheusText();
+    std::string response =
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) +
+        "\r\n"
+        "Connection: close\r\n\r\n" +
+        body;
+    std::size_t sent = 0;
+    while (sent < response.size()) {
+      ssize_t n = ::send(fd, response.data() + sent, response.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+  }
+}
+
+Status QueryServer::Drain(double deadline_seconds, std::size_t* cancelled) {
+  if (cancelled != nullptr) *cancelled = 0;
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return Status::Ok();  // already drained
+  }
+  // Phase 1: stop taking work. The accept loop exits at its next poll
+  // slice; queued admissions are shed with the drain message; sessions are
+  // told to wind down after their current frame.
+  admission_.BeginDrain();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (SessionHandle& h : sessions_) h.session->RequestDrain();
+  }
+  // Phase 2: wait for in-flight queries until the drain deadline.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(std::max(0.0, deadline_seconds)));
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool busy = false;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      for (SessionHandle& h : sessions_) {
+        if (h.session->query_in_flight()) busy = true;
+      }
+    }
+    if (!busy) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // Phase 3: cancel stragglers through their governors and unblock every
+  // session's socket; then joining is bounded by a governor checkpoint.
+  std::size_t late = 0;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (SessionHandle& h : sessions_) {
+      if (h.session->query_in_flight()) ++late;
+      h.session->Cancel();
+    }
+  }
+  if (late > 0) {
+    MetricsRegistry::Global()
+        .GetCounter(kMetricServerDrainCancelledTotal)
+        ->Add(late);
+  }
+  if (cancelled != nullptr) *cancelled = late;
+  // Phase 4: tear down threads and sockets.
+  stop_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (metrics_thread_.joinable()) metrics_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (SessionHandle& h : sessions_) h.thread.join();
+    sessions_.clear();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (metrics_fd_ >= 0) ::close(metrics_fd_);
+  listen_fd_ = -1;
+  metrics_fd_ = -1;
+  return Status::Ok();
+}
+
+}  // namespace htqo

@@ -1,0 +1,130 @@
+// QueryServer: the long-running, multi-session front end (DESIGN.md §6f).
+//
+// Wraps a Catalog + StatisticsRegistry (both treated as immutable while
+// serving) behind the TCP frame protocol, with an AdmissionController
+// mapping per-tenant quotas onto per-query ResourceGovernor budgets. All
+// sessions share the process-wide ThreadPool (pre-grown once in Start(),
+// so pool growth never races in-flight queries), DecompCache, and
+// MetricsRegistry — which is the point: a hot query template planned by
+// one tenant is a cache hit for every other tenant.
+//
+// Robustness contract:
+//   * admission queues are bounded and deadline-aware; overload degrades
+//     per-query service (shrunk budgets, forced spill) before shedding,
+//     and sheds carry retry-after hints;
+//   * injected faults at server.accept / server.read / server.write /
+//     admission.enqueue, or a peer vanishing at any point, end at most
+//     that one connection — never the server, never shared state;
+//   * Drain() stops accepting, sheds the queues, lets in-flight queries
+//     finish until the drain deadline, then cancels stragglers through
+//     their governors' cancel flags, and joins every thread. A drained
+//     server is fully torn down: Drain is what the destructor runs.
+//
+// The optional metrics listener speaks just enough HTTP to serve
+// GET /metrics in Prometheus text exposition format on a second port.
+
+#ifndef HTQO_SERVER_SERVER_H_
+#define HTQO_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/hybrid_optimizer.h"
+#include "server/admission.h"
+#include "server/session.h"
+#include "stats/statistics.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace htqo {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = kernel-assigned; read back via port()
+  // Prometheus text endpoint (GET /metrics) on a second listener; port 0 =
+  // kernel-assigned. Disabled unless enable_metrics_http is set.
+  bool enable_metrics_http = false;
+  uint16_t metrics_http_port = 0;
+  AdmissionConfig admission;
+  // Template for every query run; per-query deadline and the admission
+  // grant's budgets/spill overrides are layered on top. num_threads here
+  // decides the shared pool size Start() pre-grows.
+  RunOptions run_template;
+  // Deadline applied when a QUERY frame carries no deadline_ms field (an
+  // explicit deadline_ms=0 disables the deadline for that query).
+  double default_deadline_seconds = 30;
+  double idle_timeout_seconds = 300;   // session dies after this much quiet
+  std::size_t max_result_rows = 100;   // result-table render cap
+  std::size_t max_sessions = 256;      // concurrent connections cap
+};
+
+class QueryServer {
+ public:
+  // The pointees must outlive the server and stay unmodified while it
+  // serves (analyze before Start; plan-cache epochs handle the rest).
+  QueryServer(const Catalog* catalog, const StatisticsRegistry* stats,
+              ServerOptions options);
+  ~QueryServer();  // drains with a short default deadline if still running
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  // Binds, listens, pre-grows the shared thread pool, and spawns the
+  // accept (and metrics) threads. kInternal on bind/listen failure.
+  Status Start();
+
+  // Bound ports, valid after Start() (useful with port = 0).
+  uint16_t port() const { return port_; }
+  uint16_t metrics_http_port() const { return metrics_http_port_; }
+
+  // Graceful shutdown: stop accepting, shed the admission queues, wait up
+  // to `deadline_seconds` for in-flight queries, cancel stragglers, join
+  // everything. Idempotent; returns the number of cancelled stragglers
+  // through *cancelled (optional).
+  Status Drain(double deadline_seconds, std::size_t* cancelled = nullptr);
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  AdmissionController& admission() { return admission_; }
+  const ServerOptions& options() const { return options_; }
+  const HybridOptimizer& optimizer() const { return optimizer_; }
+
+ private:
+  friend class Session;
+
+  void AcceptLoop();
+  void MetricsLoop();
+  // Drops finished sessions (joining their threads); called from the
+  // accept loop between accepts and from Drain.
+  void ReapFinishedLocked();
+
+  ServerOptions options_;
+  HybridOptimizer optimizer_;
+  AdmissionController admission_;
+
+  int listen_fd_ = -1;
+  int metrics_fd_ = -1;
+  uint16_t port_ = 0;
+  uint16_t metrics_http_port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  std::thread metrics_thread_;
+
+  struct SessionHandle {
+    std::unique_ptr<Session> session;
+    std::thread thread;
+  };
+  std::mutex sessions_mu_;
+  std::vector<SessionHandle> sessions_;
+  uint64_t next_session_id_ = 1;
+};
+
+}  // namespace htqo
+
+#endif  // HTQO_SERVER_SERVER_H_

@@ -1,0 +1,217 @@
+#include "server/session.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "server/server.h"
+
+namespace htqo {
+
+namespace {
+
+// Poll slice for the frame loop: short enough that drain requests and idle
+// timeouts are noticed promptly, long enough to stay out of the way.
+constexpr int kPollSliceMs = 200;
+
+std::string FormatMs(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", seconds * 1e3);
+  return buf;
+}
+
+}  // namespace
+
+Session::Session(QueryServer* server, int fd, uint64_t id)
+    : server_(server), fd_(fd), id_(id) {}
+
+Session::~Session() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Session::Cancel() {
+  cancel_.store(true, std::memory_order_relaxed);
+  drain_requested_.store(true, std::memory_order_relaxed);
+  // Half-close unblocks a session parked in poll(); the frame loop then
+  // reads EOF and exits through its normal cleanup.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Session::SendOrDrop(const Frame& frame) {
+  // A failed response write (peer vanished, server.write fault) ends the
+  // session on the next loop iteration; the write itself must not.
+  Status s = WriteFrame(fd_, frame);
+  if (!s.ok()) {
+    MetricsRegistry::Global()
+        .GetCounter(kMetricServerProtocolErrorsTotal)
+        ->Increment();
+    drain_requested_.store(true, std::memory_order_relaxed);
+  }
+}
+
+void Session::Run() {
+  using Clock = std::chrono::steady_clock;
+  auto last_activity = Clock::now();
+  const double idle_limit = server_->options().idle_timeout_seconds;
+  while (!drain_requested_.load(std::memory_order_relaxed)) {
+    Frame frame;
+    Status s = ReadFrame(fd_, &carry_, &frame, kPollSliceMs);
+    if (s.code() == StatusCode::kDeadlineExceeded) {
+      // Poll slice elapsed without a complete frame: check idle + drain.
+      if (idle_limit > 0 &&
+          std::chrono::duration<double>(Clock::now() - last_activity)
+                  .count() > idle_limit) {
+        SendOrDrop(MakeErrFrame(
+            Status::DeadlineExceeded("session idle timeout")));
+        break;
+      }
+      continue;
+    }
+    if (s.code() == StatusCode::kNotFound) break;  // clean EOF
+    if (!s.ok()) {
+      MetricsRegistry::Global()
+          .GetCounter(kMetricServerProtocolErrorsTotal)
+          ->Increment();
+      if (s.code() == StatusCode::kInvalidArgument) {
+        SendOrDrop(MakeErrFrame(s));
+      }
+      break;
+    }
+    last_activity = Clock::now();
+    if (!HandleFrame(frame)) break;
+  }
+  // Half-close immediately: a peer still waiting on a response must see
+  // EOF now, not when the server gets around to reaping this session.
+  ::shutdown(fd_, SHUT_RDWR);
+  finished_.store(true, std::memory_order_release);
+}
+
+bool Session::HandleFrame(const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kHello: {
+      std::string tenant(frame.GetString("tenant"));
+      if (tenant.empty()) {
+        SendOrDrop(MakeErrFrame(
+            Status::InvalidArgument("HELLO requires tenant=<name>")));
+        return false;
+      }
+      tenant_ = std::move(tenant);
+      Frame ok = MakeOkFrame("");
+      ok.fields["session"] = std::to_string(id_);
+      SendOrDrop(ok);
+      return true;
+    }
+    case FrameType::kPing:
+      SendOrDrop(MakeOkFrame(""));
+      return true;
+    case FrameType::kMetrics:
+      SendOrDrop(MakeOkFrame(MetricsRegistry::Global().PrometheusText()));
+      return true;
+    case FrameType::kQuery:
+      HandleQuery(frame);
+      return true;
+    case FrameType::kQuit:
+      {
+        Frame bye;
+        bye.type = FrameType::kBye;
+        SendOrDrop(bye);
+      }
+      return false;
+    default:
+      SendOrDrop(MakeErrFrame(Status::InvalidArgument(
+          std::string("unexpected frame type ") + FrameTypeName(frame.type))));
+      return false;
+  }
+}
+
+void Session::HandleQuery(const Frame& frame) {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.GetCounter(kMetricServerQueriesTotal)->Increment();
+  const auto started = std::chrono::steady_clock::now();
+  if (tenant_.empty()) {
+    SendOrDrop(MakeErrFrame(
+        Status::InvalidArgument("QUERY before HELLO: no tenant bound")));
+    return;
+  }
+  // Per-query deadline: the frame's deadline_ms, else the server default;
+  // an explicit deadline_ms=0 means "no deadline" (trusted clients only).
+  double deadline_seconds = server_->options().default_deadline_seconds;
+  if (frame.fields.count("deadline_ms") > 0) {
+    deadline_seconds =
+        static_cast<double>(frame.GetUint("deadline_ms")) / 1e3;
+  }
+  const auto deadline =
+      deadline_seconds > 0
+          ? started + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(deadline_seconds))
+          : std::chrono::steady_clock::time_point::max();
+
+  query_in_flight_.store(true, std::memory_order_relaxed);
+  auto admitted =
+      server_->admission().Acquire(tenant_, deadline);
+  if (!admitted.ok()) {
+    query_in_flight_.store(false, std::memory_order_relaxed);
+    uint64_t retry_after =
+        admitted.status().code() == StatusCode::kResourceExhausted
+            ? server_->admission().RetryAfterMs()
+            : 0;
+    SendOrDrop(MakeErrFrame(admitted.status(), retry_after));
+    return;
+  }
+  AdmissionTicket ticket = std::move(admitted.value());
+  const AdmissionGrant& grant = ticket.grant();
+
+  RunOptions opts = server_->options().run_template;
+  opts.cancel_flag = &cancel_;
+  opts.search_node_budget =
+      std::min(opts.search_node_budget, grant.node_budget);
+  opts.memory_budget_bytes =
+      std::min(opts.memory_budget_bytes, grant.memory_budget_bytes);
+  if (grant.force_spill &&
+      opts.memory_budget_bytes != std::numeric_limits<std::size_t>::max()) {
+    opts.enable_spill = true;
+  }
+  if (deadline != std::chrono::steady_clock::time_point::max()) {
+    // Budget what's left after the queue, floored so the run can at least
+    // start (its own first checkpoint will trip if the floor was charity).
+    opts.deadline_seconds = std::max(
+        1e-3, std::chrono::duration<double>(
+                  deadline - std::chrono::steady_clock::now())
+                  .count());
+  } else {
+    opts.deadline_seconds = 0;
+  }
+
+  auto run = server_->optimizer().Run(frame.payload, opts);
+  query_in_flight_.store(false, std::memory_order_relaxed);
+  ticket.Release();  // frees the slot before the (possibly slow) write
+
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - started)
+                             .count();
+  metrics.GetHistogram(kMetricServerQueryLatencyUs)
+      ->Record(static_cast<uint64_t>(elapsed * 1e6));
+  if (!run.ok()) {
+    SendOrDrop(MakeErrFrame(run.status()));
+    return;
+  }
+  Frame ok = MakeOkFrame(
+      run->output.ToString(server_->options().max_result_rows));
+  ok.fields["rows"] = std::to_string(run->output.NumRows());
+  ok.fields["queued_us"] = std::to_string(grant.queue_wait.count());
+  ok.fields["plan_ms"] = FormatMs(run->plan_seconds);
+  ok.fields["exec_ms"] = FormatMs(run->exec_seconds);
+  if (!run->degradations.empty()) {
+    ok.fields["degraded"] = std::to_string(run->degradations.size());
+  }
+  if (grant.degrade_level > 0) {
+    ok.fields["admission_level"] = std::to_string(grant.degrade_level);
+  }
+  SendOrDrop(ok);
+}
+
+}  // namespace htqo

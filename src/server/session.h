@@ -1,0 +1,85 @@
+// One connected client: frame loop, per-session state, idle timeout.
+//
+// A Session owns its socket and runs on its own thread (the server spawns
+// one per accepted connection; query *concurrency* is bounded by the
+// admission controller, not the session count). The lifecycle:
+//
+//   HELLO tenant=<t>            binds the session to a tenant
+//   QUERY ...                   admission -> run -> OK/ERR response
+//   PING / METRICS              served without admission (cheap, bounded)
+//   QUIT / EOF / idle timeout   session ends
+//
+// Queries run synchronously on the session thread between frames, so a
+// session never has a query in flight while blocked in a read — which is
+// what makes teardown safe: a peer that vanishes mid-query is discovered
+// on the response write, the admission ticket is released by RAII, and no
+// shared state (cache, metrics, catalog) is left inconsistent.
+//
+// Drain protocol: RequestDrain() makes the frame loop exit at the next
+// poll slice (idle sessions) or after the in-flight query completes (busy
+// sessions). Cancel() additionally flips the session's cancel flag — every
+// governor the session's queries create polls it — and half-closes the
+// socket, unblocking any read. The server escalates from RequestDrain to
+// Cancel when the drain deadline expires.
+
+#ifndef HTQO_SERVER_SESSION_H_
+#define HTQO_SERVER_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace htqo {
+
+class QueryServer;
+
+class Session {
+ public:
+  // `fd` is an accepted, connected socket; the session owns and closes it.
+  Session(QueryServer* server, int fd, uint64_t id);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // Blocking frame loop; returns when the session ends (QUIT, EOF, error,
+  // idle timeout, or drain). Runs on the session's thread.
+  void Run();
+
+  // Cooperative teardown (callable from any thread).
+  void RequestDrain() { drain_requested_.store(true, std::memory_order_relaxed); }
+  // Drain escalation: cancel the in-flight query (if any) and unblock
+  // reads. The session still exits through its normal cleanup path.
+  void Cancel();
+
+  uint64_t id() const { return id_; }
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
+  // True while a query is between admission and response — the drain path
+  // uses this to distinguish stragglers (cancelled) from idle sessions.
+  bool query_in_flight() const {
+    return query_in_flight_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // One frame dispatch; false = end the session.
+  bool HandleFrame(const Frame& frame);
+  void HandleQuery(const Frame& frame);
+  void SendOrDrop(const Frame& frame);
+
+  QueryServer* server_;
+  int fd_;
+  uint64_t id_;
+  std::string tenant_;  // empty until HELLO
+  std::string carry_;   // read-ahead buffer shared across ReadFrame calls
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<bool> cancel_{false};  // RunOptions::cancel_flag pointee
+  std::atomic<bool> query_in_flight_{false};
+  std::atomic<bool> finished_{false};
+};
+
+}  // namespace htqo
+
+#endif  // HTQO_SERVER_SESSION_H_

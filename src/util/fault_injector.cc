@@ -52,7 +52,9 @@ std::vector<std::string> FaultInjector::KnownSites() {
           kFaultSiteGovernorCheckpoint, kFaultSiteSpillOpen,
           kFaultSiteSpillWrite,         kFaultSiteSpillRead,
           kFaultSiteTraceWrite,         kFaultSiteMetricsExport,
-          kFaultSiteCacheInsert};
+          kFaultSiteCacheInsert,        kFaultSiteServerAccept,
+          kFaultSiteServerRead,         kFaultSiteServerWrite,
+          kFaultSiteAdmissionEnqueue};
 }
 
 }  // namespace htqo

@@ -22,6 +22,17 @@
 //   cache.insert         DecompCache fails to retain a computed entry; the
 //                        query keeps its freshly computed decomposition and
 //                        only the caching degrades (to a future miss)
+//   server.accept        QueryServer's accept loop drops the incoming
+//                        connection (simulated accept(2) failure); the
+//                        server keeps serving existing sessions
+//   server.read          a session read fails as if the peer vanished; the
+//                        session closes cleanly, shared state untouched
+//   server.write         a session write fails mid-response (broken pipe);
+//                        the session closes cleanly after the query's
+//                        admission slot and metrics are settled
+//   admission.enqueue    the admission controller fails to enqueue a query
+//                        that would have waited; the client sees an
+//                        admission-shed rejection with a retry-after hint
 
 #ifndef HTQO_UTIL_FAULT_INJECTOR_H_
 #define HTQO_UTIL_FAULT_INJECTOR_H_
@@ -50,6 +61,10 @@ inline constexpr const char kFaultSiteSpillRead[] = "spill.read";
 inline constexpr const char kFaultSiteTraceWrite[] = "trace.write";
 inline constexpr const char kFaultSiteMetricsExport[] = "metrics.export";
 inline constexpr const char kFaultSiteCacheInsert[] = "cache.insert";
+inline constexpr const char kFaultSiteServerAccept[] = "server.accept";
+inline constexpr const char kFaultSiteServerRead[] = "server.read";
+inline constexpr const char kFaultSiteServerWrite[] = "server.write";
+inline constexpr const char kFaultSiteAdmissionEnqueue[] = "admission.enqueue";
 
 struct FaultPlan {
   // Exact site to target; the empty string targets every site.

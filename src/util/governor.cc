@@ -18,6 +18,8 @@ const char* TripReasonName(TripReason reason) {
       return "memory";
     case TripReason::kCancelled:
       return "cancelled";
+    case TripReason::kAdmissionShed:
+      return "admission-shed";
   }
   return "none";
 }
@@ -31,6 +33,7 @@ void GovernorStats::Merge(const GovernorStats& other) {
   memory_hits += other.memory_hits;
   cancellations += other.cancellations;
   soft_memory_hits += other.soft_memory_hits;
+  admission_sheds += other.admission_sheds;
   // The aggregate keeps the first attempt's reason: that trip is what set
   // the degradation ladder in motion.
   if (trip_reason == TripReason::kNone) trip_reason = other.trip_reason;
@@ -76,7 +79,9 @@ Status ResourceGovernor::trip_status() const {
 }
 
 Status ResourceGovernor::Poll() {
-  if (cancel_requested_.load(std::memory_order_relaxed)) {
+  if (cancel_requested_.load(std::memory_order_relaxed) ||
+      (options_.cancel_flag != nullptr &&
+       options_.cancel_flag->load(std::memory_order_relaxed))) {
     return Trip(TripReason::kCancelled, &GovernorStats::cancellations,
                 "query cancelled");
   }
@@ -151,6 +156,19 @@ double ResourceGovernor::elapsed_seconds() const {
   return std::chrono::duration<double>(Clock::now() - start_).count();
 }
 
+Status ResourceGovernor::TripShed(std::string message) {
+  std::lock_guard<std::mutex> lock(trip_mu_);
+  if (!tripped_.load(std::memory_order_relaxed)) {
+    ++trip_counters_.admission_sheds;
+    trip_counters_.trip_reason = TripReason::kAdmissionShed;
+    // AdmissionShedStatus appends the "[governor trip: …]" suffix; unlike
+    // Trip() this surfaces as kResourceExhausted, the retryable code.
+    trip_ = AdmissionShedStatus(std::move(message));
+    tripped_.store(true, std::memory_order_release);
+  }
+  return trip_;
+}
+
 GovernorStats ResourceGovernor::stats() const {
   GovernorStats out;
   {
@@ -163,6 +181,20 @@ GovernorStats ResourceGovernor::stats() const {
   out.soft_memory_hits = soft_exceeded_.load(std::memory_order_relaxed) ? 1 : 0;
   out.elapsed_seconds = elapsed_seconds();
   return out;
+}
+
+std::size_t ScaleBudget(std::size_t budget, double share) {
+  if (budget == std::numeric_limits<std::size_t>::max()) return budget;
+  if (share >= 1.0 || share <= 0.0) return budget;
+  double scaled = static_cast<double>(budget) * share;
+  return std::max<std::size_t>(1, static_cast<std::size_t>(scaled));
+}
+
+Status AdmissionShedStatus(std::string message) {
+  message += " [governor trip: ";
+  message += TripReasonName(TripReason::kAdmissionShed);
+  message += "]";
+  return Status::ResourceExhausted(std::move(message));
 }
 
 }  // namespace htqo

@@ -81,6 +81,12 @@ enum class TripReason {
   kNodeBudget,
   kMemory,
   kCancelled,
+  // Shed at the admission door before any search or execution ran — the
+  // query server's load shedder rejected the query (queue full, drain in
+  // progress, or the admission.enqueue fault site fired). Distinguishes
+  // "never started" from "tripped mid-query" in bench JSON and the
+  // `[governor trip: …]` message suffixes.
+  kAdmissionShed,
 };
 
 const char* TripReasonName(TripReason reason);
@@ -96,11 +102,13 @@ struct GovernorStats {
   std::size_t memory_hits = 0;       // trips by the memory budget
   std::size_t cancellations = 0;     // trips by Cancel()
   std::size_t soft_memory_hits = 0;  // soft-threshold crossings (no trip)
+  std::size_t admission_sheds = 0;   // rejected at the admission door
   TripReason trip_reason = TripReason::kNone;  // first trip's reason
   double elapsed_seconds = 0;
 
   std::size_t trips() const {
-    return deadline_hits + budget_hits + memory_hits + cancellations;
+    return deadline_hits + budget_hits + memory_hits + cancellations +
+           admission_sheds;
   }
   void Merge(const GovernorStats& other);
 };
@@ -122,6 +130,12 @@ class ResourceGovernor {
     // Invoked at most once, from whichever thread first crosses the soft
     // threshold, with the live byte balance at the crossing. May be empty.
     std::function<void(std::size_t)> soft_memory_callback;
+    // External cooperative-cancel flag, polled at every checkpoint next to
+    // the internal Cancel() request. One flag can cover a whole group of
+    // governors: the shell's SIGINT handler and the query server's drain
+    // path both flip a single atomic to cancel every in-flight query. The
+    // pointee must outlive the governor; nullptr disables the poll.
+    const std::atomic<bool>* cancel_flag = nullptr;
 
     static Options Unlimited() { return Options(); }
     // Deadline `seconds` from now; <= 0 means no deadline.
@@ -179,6 +193,12 @@ class ResourceGovernor {
 
   static constexpr std::size_t kPollStride = 256;
 
+  // Records an admission-door shed against this governor: trips it with
+  // TripReason::kAdmissionShed so stats()/trip_status() report "shed before
+  // any work ran". Used by the server's admission controller, which creates
+  // the per-query governor only to account for the rejection.
+  Status TripShed(std::string message);
+
  private:
   Status Trip(TripReason reason, std::size_t GovernorStats::* counter,
               std::string message);
@@ -200,6 +220,19 @@ class ResourceGovernor {
   Status trip_;
   GovernorStats trip_counters_;
 };
+
+// Tenant-scoped budget derivation: scales a process-wide budget by a
+// tenant's share, preserving the "unlimited" sentinel (SIZE_MAX stays
+// SIZE_MAX at any share) and never rounding a positive budget down to zero.
+// Shares are clamped to (0, 1]. The query server's admission controller
+// uses this to split memory_budget_bytes / node budgets across tenants.
+std::size_t ScaleBudget(std::size_t budget, double share);
+
+// The canonical Status for a query shed at the admission door: carries the
+// same "[governor trip: …]" suffix convention as mid-query trips, with the
+// admission-shed reason, under kResourceExhausted (retryable — unlike the
+// kDeadlineExceeded a governed query trips mid-flight).
+Status AdmissionShedStatus(std::string message);
 
 }  // namespace htqo
 

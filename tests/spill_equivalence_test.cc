@@ -217,10 +217,12 @@ TEST(FaultSiteRegistryTest, UnknownSiteIsInvalidArgumentAndStaysDisarmed) {
 
 TEST(FaultSiteRegistryTest, KnownSitesIncludeSpillSites) {
   std::vector<std::string> sites = FaultInjector::KnownSites();
-  EXPECT_EQ(sites.size(), 9u);
-  for (const char* site : {kFaultSiteSpillOpen, kFaultSiteSpillWrite,
-                           kFaultSiteSpillRead, kFaultSiteTraceWrite,
-                           kFaultSiteMetricsExport, kFaultSiteCacheInsert}) {
+  EXPECT_EQ(sites.size(), 13u);
+  for (const char* site :
+       {kFaultSiteSpillOpen, kFaultSiteSpillWrite, kFaultSiteSpillRead,
+        kFaultSiteTraceWrite, kFaultSiteMetricsExport, kFaultSiteCacheInsert,
+        kFaultSiteServerAccept, kFaultSiteServerRead, kFaultSiteServerWrite,
+        kFaultSiteAdmissionEnqueue}) {
     bool found = false;
     for (const std::string& s : sites) found |= s == site;
     EXPECT_TRUE(found) << site;

@@ -9,7 +9,14 @@
 #   tools/check.sh --chaos  # ASan+UBSan build, then the chaos sweep and the
 #                           # spill/fault suites under injection: every fault
 #                           # site x {always, p=0.05} x {1, 4} threads
-#   tools/check.sh --all    # plain + ASan + TSan + chaos
+#   tools/check.sh --server # query-server smoke: start htqo_server, run the
+#                           # htqo_client load-test sweep (4/16/64 clients,
+#                           # mixed tenants, chaos disconnects), assert the
+#                           # shed/drain metrics on the Prometheus endpoint,
+#                           # SIGTERM-drain, and emit BENCH_server.json; then
+#                           # repeat the smoke + server/admission suites
+#                           # under ASan and TSan
+#   tools/check.sh --all    # plain + ASan + TSan + chaos + server
 #
 # The sanitized passes are what give the fault-injection sweep and the
 # parallel engine their teeth: an injected failure that leaks, touches
@@ -38,17 +45,95 @@ require_sanitize() {
   fi
 }
 
+# Query-server smoke against the binaries in $1: start the daemon, sweep it
+# with concurrent clients (including the mid-query disconnector), assert the
+# admission/drain metrics, then SIGTERM and require a clean exit-0 drain.
+# $2 (optional) names a BENCH_server.json to emit from the sweep.
+server_smoke() {
+  local dir="$1" bench_json="${2:-}"
+  local log
+  log="$(mktemp)"
+  "$dir/examples/htqo_server" --load tpch 0.002 --metrics-port 0 \
+    --max-concurrent 2 --queue-depth 4 --drain-deadline 5 >"$log" 2>&1 &
+  local server_pid=$!
+  local port=""
+  for _ in $(seq 1 300); do
+    port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$log")"
+    [[ -n "$port" ]] && break
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+      echo "error: htqo_server died during startup:" >&2
+      cat "$log" >&2
+      return 1
+    fi
+    sleep 0.1
+  done
+  if [[ -z "$port" ]]; then
+    echo "error: htqo_server never reported its port" >&2
+    cat "$log" >&2
+    kill -KILL "$server_pid" 2>/dev/null || true
+    return 1
+  fi
+
+  local sweep_args=(--port "$port" --loadtest --clients 4,16,64 --queries 5)
+  [[ -n "$bench_json" ]] && sweep_args+=(--json "$bench_json")
+  "$dir/examples/htqo_client" "${sweep_args[@]}"
+
+  # The metrics endpoint must expose the admission counters, the sweep must
+  # have admitted work, and the overloaded levels must have exercised the
+  # queue (shed or queued — 64 clients against 2 slots guarantees one).
+  local metrics
+  metrics="$("$dir/examples/htqo_client" --port "$port" --metrics)"
+  local admitted queued shed
+  admitted="$(awk '$1=="htqo_admission_admitted_total"{print $2}' <<<"$metrics")"
+  queued="$(awk '$1=="htqo_admission_queued_total"{print $2}' <<<"$metrics")"
+  shed="$(awk '$1=="htqo_admission_shed_total"{print $2}' <<<"$metrics")"
+  grep -q '^htqo_server_queries_total ' <<<"$metrics"
+  grep -q '^htqo_admission_queue_timeout_total ' <<<"$metrics"
+  if [[ -z "$admitted" || "$admitted" -eq 0 ]]; then
+    echo "error: server admitted nothing during the sweep" >&2
+    return 1
+  fi
+  if [[ "${queued:-0}" -eq 0 && "${shed:-0}" -eq 0 ]]; then
+    echo "error: 64 clients on 2 slots neither queued nor shed" >&2
+    return 1
+  fi
+
+  # Graceful drain: SIGTERM must exit 0 within the drain deadline (+ grace).
+  kill -TERM "$server_pid"
+  local waited=0 rc=""
+  while kill -0 "$server_pid" 2>/dev/null; do
+    if (( waited >= 150 )); then
+      echo "error: server did not drain within 15s of SIGTERM" >&2
+      kill -KILL "$server_pid" 2>/dev/null || true
+      return 1
+    fi
+    sleep 0.1
+    waited=$((waited + 1))
+  done
+  wait "$server_pid" && rc=0 || rc=$?
+  if [[ "$rc" -ne 0 ]]; then
+    echo "error: server exited $rc after SIGTERM (want 0):" >&2
+    cat "$log" >&2
+    return 1
+  fi
+  grep -q '^drained:' "$log"
+  rm -f "$log"
+}
+
 want_asan=false
 want_tsan=false
 want_chaos=false
+want_server=false
 case "${1:-}" in
   "") ;;
   --asan) want_asan=true ;;
   --tsan) want_tsan=true ;;
   --chaos) want_chaos=true ;;
-  --all) want_asan=true; want_tsan=true; want_chaos=true ;;
+  --server) want_server=true ;;
+  --all) want_asan=true; want_tsan=true; want_chaos=true; want_server=true ;;
   *)
-    echo "error: unknown flag '${1}' (expected --asan, --tsan, --chaos, or --all)" >&2
+    echo "error: unknown flag '${1}' (expected --asan, --tsan, --chaos," \
+         "--server, or --all)" >&2
     exit 2
     ;;
 esac
@@ -76,7 +161,7 @@ if $want_chaos; then
   ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
   UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
-      -R 'Chaos|Spill|Fault|ValueCodec'
+      -R 'Chaos|Spill|Fault|ValueCodec|Server|Admission'
 fi
 
 if $want_tsan; then
@@ -89,7 +174,40 @@ if $want_tsan; then
   cmake --build build-tsan -j"$(nproc)"
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-      -R 'Parallel|Threading|ThreadPool|Governor|ExecContext|Fault'
+      -R 'Parallel|Threading|ThreadPool|Governor|ExecContext|Fault|Server|Admission'
+fi
+
+if $want_server; then
+  # The acceptance bar for the server front end: the load-test sweep (mixed
+  # tenants + a client that disconnects mid-query), shed/drain metrics on
+  # the Prometheus endpoint, and a SIGTERM drain exiting 0 — plain first
+  # (emitting BENCH_server.json), then the same smoke plus the server and
+  # admission suites under ASan and under TSan.
+  echo "==> server smoke (plain)"
+  cmake --build build -j"$(nproc)"
+  server_smoke build BENCH_server.json
+
+  echo "==> server smoke + suites (ASan+UBSan)"
+  cmake -B build-asan -S . -DHTQO_SANITIZE=ON
+  require_sanitize build-asan ON
+  cmake --build build-asan -j"$(nproc)"
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
+      -R 'Server|Admission'
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
+    server_smoke build-asan
+
+  echo "==> server smoke + suites (TSan)"
+  cmake -B build-tsan -S . -DHTQO_SANITIZE=thread
+  require_sanitize build-tsan thread
+  cmake --build build-tsan -j"$(nproc)"
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
+      -R 'Server|Admission'
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    server_smoke build-tsan
 fi
 
 echo "==> all checks passed"
