@@ -11,7 +11,9 @@
 #include <numeric>
 #include <vector>
 
+#include "cq/isolator.h"
 #include "exec/operators.h"
+#include "sql/parser.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 #include "workload/synthetic.h"
@@ -205,7 +207,100 @@ void MergeByTagStableSort(benchmark::State& state) {
                           static_cast<int64_t>(state.range(0)));
 }
 
+// Row-vs-vectorized pairs. Each operator runs twice on identical inputs —
+// once with the batch engine off (the pre-existing row-at-a-time loops) and
+// once with it on — under names CI's compare_bench.py --pair mode matches up
+// ("XRow/<arg>" against "XVec/<arg>") to gate the geomean speedup. The two
+// sides produce byte-identical output (asserted by the equivalence suites),
+// so the ratio is pure execution-engine cost.
+
+void ScanFilterImpl(benchmark::State& state, bool vectorized) {
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  Catalog catalog;
+  catalog.Put("r1", MakeSyntheticRelation(rows, {"a", "b"}, 30, 7));
+  // ~half the domain passes the constant filter; the variable comparison
+  // then exercises the column-vs-column compare kernel.
+  const std::size_t domain = std::max<std::size_t>(1, rows * 30 / 100);
+  auto stmt = ParseSelect("SELECT DISTINCT r1.a FROM r1 WHERE r1.a < " +
+                          std::to_string(domain / 2) + " AND r1.a <= r1.b");
+  HTQO_CHECK(stmt.ok());
+  auto rq =
+      IsolateConjunctiveQuery(*stmt, catalog, IsolatorOptions{TidMode::kNone});
+  HTQO_CHECK(rq.ok());
+  std::size_t out_rows = 0;
+  for (auto _ : state) {
+    ExecContext ctx;
+    ctx.vectorized = vectorized;
+    auto out = ScanAtom(*rq, 0, catalog, &ctx);
+    HTQO_CHECK(out.ok());
+    out_rows = out->NumRows();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["out"] = static_cast<double>(out_rows);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(state.range(0)));
+}
+void ScanFilterRow(benchmark::State& state) { ScanFilterImpl(state, false); }
+void ScanFilterVec(benchmark::State& state) { ScanFilterImpl(state, true); }
+
+void HashJoinImpl(benchmark::State& state, bool vectorized) {
+  auto [left, right] = MakeInputs(static_cast<std::size_t>(state.range(0)));
+  std::size_t out_rows = 0;
+  for (auto _ : state) {
+    ExecContext ctx;
+    ctx.vectorized = vectorized;
+    auto out = NaturalHashJoin(left, right, &ctx);
+    HTQO_CHECK(out.ok());
+    out_rows = out->NumRows();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["out"] = static_cast<double>(out_rows);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(state.range(0)));
+}
+void HashJoinRow(benchmark::State& state) { HashJoinImpl(state, false); }
+void HashJoinVec(benchmark::State& state) { HashJoinImpl(state, true); }
+
+void SemiJoinImpl(benchmark::State& state, bool vectorized) {
+  auto [left, right] = MakeInputs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    ExecContext ctx;
+    ctx.vectorized = vectorized;
+    auto out = NaturalSemiJoin(left, right, &ctx);
+    HTQO_CHECK(out.ok());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(state.range(0)));
+}
+void SemiJoinRow(benchmark::State& state) { SemiJoinImpl(state, false); }
+void SemiJoinVec(benchmark::State& state) { SemiJoinImpl(state, true); }
+
+void DistinctImpl(benchmark::State& state, bool vectorized) {
+  Relation rel = MakeSyntheticRelation(
+      static_cast<std::size_t>(state.range(0)), {"a", "b"}, 20, 3);
+  for (auto _ : state) {
+    ExecContext ctx;
+    ctx.vectorized = vectorized;
+    auto out = SpillableDistinct(rel, &ctx);
+    HTQO_CHECK(out.ok());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(state.range(0)));
+}
+void DistinctRow(benchmark::State& state) { DistinctImpl(state, false); }
+void DistinctVec(benchmark::State& state) { DistinctImpl(state, true); }
+
 BENCHMARK(HashJoin)->RangeMultiplier(4)->Range(256, 65536);
+BENCHMARK(ScanFilterRow)->RangeMultiplier(4)->Range(4096, 65536);
+BENCHMARK(ScanFilterVec)->RangeMultiplier(4)->Range(4096, 65536);
+BENCHMARK(HashJoinRow)->RangeMultiplier(4)->Range(4096, 65536);
+BENCHMARK(HashJoinVec)->RangeMultiplier(4)->Range(4096, 65536);
+BENCHMARK(SemiJoinRow)->RangeMultiplier(4)->Range(4096, 65536);
+BENCHMARK(SemiJoinVec)->RangeMultiplier(4)->Range(4096, 65536);
+BENCHMARK(DistinctRow)->RangeMultiplier(4)->Range(4096, 65536);
+BENCHMARK(DistinctVec)->RangeMultiplier(4)->Range(4096, 65536);
 BENCHMARK(KeyHashPrecompute)->RangeMultiplier(4)->Range(256, 65536);
 BENCHMARK(HashJoinParallel)
     ->ArgsProduct({{16384, 65536}, {1, 2, 4, 8}});

@@ -86,6 +86,8 @@ void PrintHelp() {
       "  \\threads <n>                       worker lanes (1 = serial)\n"
       "  \\cache [on|off|clear]              plan cache control; no argument\n"
       "                                     prints hit/miss/eviction stats\n"
+      "  \\vectorized [on|off]               batch engine (default on); off\n"
+      "                                     selects the row-at-a-time path\n"
       "  \\explain                           toggle plan explanation\n"
       "  \\analyze                           toggle EXPLAIN ANALYZE (traced\n"
       "                                     run, per-node rows and times)\n"
@@ -309,6 +311,22 @@ bool HandleCommand(ShellState& state, const std::string& line) {
                   static_cast<unsigned long long>(s.evictions),
                   static_cast<unsigned long long>(s.singleflight_waits));
     }
+  } else if (cmd == "\\vectorized") {
+    std::string arg;
+    in >> arg;
+    if (arg == "on") {
+      state.options.use_vectorized = true;
+    } else if (arg == "off") {
+      state.options.use_vectorized = false;
+    } else if (!arg.empty()) {
+      std::printf("usage: \\vectorized [on|off]\n");
+      return true;
+    } else {
+      state.options.use_vectorized = !state.options.use_vectorized;
+    }
+    std::printf("vectorized engine %s%s\n",
+                state.options.use_vectorized ? "on" : "off",
+                state.options.use_vectorized ? "" : " (row-at-a-time path)");
   } else if (cmd == "\\explain") {
     state.explain = !state.explain;
     std::printf("explain %s\n", state.explain ? "on" : "off");

@@ -79,6 +79,7 @@ void AnnotatePlanDetails(const Tracer* tracer, const Hypergraph& h,
     uint64_t rows = 0;
     uint64_t thread = 0;
     std::size_t spill_partitions = 0;
+    uint64_t batches = 0;
   };
   std::map<std::size_t, NodeActuals> actuals;
   std::unordered_map<uint64_t, uint64_t> parent_of;
@@ -102,13 +103,27 @@ void AnnotatePlanDetails(const Tracer* tracer, const Hypergraph& h,
   }
   if (actuals.empty()) return;
   for (const Span& span : spans) {
-    if (span.name != "spill.partition") continue;
-    // Attribute the partition to its nearest qhd.node ancestor.
+    const bool is_spill = span.name == "spill.partition";
+    uint64_t span_batches = 0;
+    if (!is_spill) {
+      // Vectorized operator spans (op.*) carry a "batches" attr; roll those
+      // up into the owning decomposition node like the spill partitions.
+      if (span.name.rfind("op.", 0) != 0) continue;
+      for (const SpanAttr& attr : span.attrs) {
+        if (attr.key == "batches") span_batches = std::stoull(attr.value);
+      }
+      if (span_batches == 0) continue;
+    }
+    // Attribute the span to its nearest qhd.node ancestor.
     uint64_t cursor = span.parent;
     for (int guard = 0; cursor != 0 && guard < 64; ++guard) {
       auto node_it = span_to_node.find(cursor);
       if (node_it != span_to_node.end()) {
-        ++actuals[node_it->second].spill_partitions;
+        if (is_spill) {
+          ++actuals[node_it->second].spill_partitions;
+        } else {
+          actuals[node_it->second].batches += span_batches;
+        }
         break;
       }
       auto parent_it = parent_of.find(cursor);
@@ -126,6 +141,9 @@ void AnnotatePlanDetails(const Tracer* tracer, const Hypergraph& h,
                   it->second.ms,
                   static_cast<unsigned long long>(it->second.thread));
     std::string annotation = buf;
+    if (it->second.batches > 0) {
+      annotation += " batches=" + std::to_string(it->second.batches);
+    }
     if (it->second.spill_partitions > 0) {
       annotation +=
           " spill_partitions=" + std::to_string(it->second.spill_partitions);
@@ -393,6 +411,7 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
   ThreadPool* pool = ThreadPool::Shared(options.num_threads);
   run.ctx.pool = pool;
   run.ctx.num_threads = options.num_threads;
+  run.ctx.vectorized = options.use_vectorized;
   run.ctx.tracer = tracer;
   run.ctx.trace_parent = Tracer::CurrentParent(tracer);
 
@@ -499,6 +518,8 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
         ->Record(run.ctx.hash_probes.load(std::memory_order_relaxed));
     metrics.GetHistogram(kMetricBloomSkipsPerQuery)
         ->Record(run.ctx.bloom_skips.load(std::memory_order_relaxed));
+    metrics.GetHistogram(kMetricExecBatchesPerQuery)
+        ->Record(run.ctx.batches.load(std::memory_order_relaxed));
     if (run.spill.spill_events > 0) {
       metrics.GetCounter(kMetricSpillEventsTotal)->Add(run.spill.spill_events);
       metrics.GetCounter(kMetricSpillBytesWrittenTotal)

@@ -1,0 +1,294 @@
+#include "exec/batch.h"
+
+#include <functional>
+#include <unordered_map>
+
+namespace htqo {
+
+namespace {
+
+// The 64-bit mixing used by Value::Hash for int64/date payloads (and for
+// doubles folded to an integral value).
+inline std::size_t HashI64Payload(int64_t v) {
+  uint64_t z = static_cast<uint64_t>(v) * 0x9e3779b97f4a7c15ull;
+  return static_cast<std::size_t>(z ^ (z >> 32));
+}
+
+// Value::Hash for kDouble: integral doubles hash as their int64 value so
+// Int64(3) and Double(3.0), which compare equal, hash equal.
+inline std::size_t HashF64Payload(double d) {
+  int64_t as_int = static_cast<int64_t>(d);
+  if (static_cast<double>(as_int) == d) return HashI64Payload(as_int);
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  uint64_t z = bits * 0x9e3779b97f4a7c15ull;
+  return static_cast<std::size_t>(z ^ (z >> 32));
+}
+
+// HashRowKey's per-column combiner.
+inline void MixKeyHash(std::size_t* h, std::size_t elem_hash) {
+  *h ^= elem_hash + 0x9e3779b97f4a7c15ull + (*h << 6) + (*h >> 2);
+}
+
+ColumnClass ClassOfTag(ValueType t) {
+  switch (t) {
+    case ValueType::kInt64:
+    case ValueType::kDate:
+      return ColumnClass::kI64;
+    case ValueType::kDouble:
+      return ColumnClass::kF64;
+    case ValueType::kString:
+      return ColumnClass::kStr;
+  }
+  return ColumnClass::kGeneric;
+}
+
+// Re-extracts [first_row, first_row + n) of `col` as whole Values after a
+// type-tag mismatch demoted the column to the generic class.
+void ExtractGeneric(const Relation& rel, std::size_t col,
+                    std::size_t first_row, std::size_t n, ColumnVector* out) {
+  out->cls = ColumnClass::kGeneric;
+  out->i64.clear();
+  out->f64.clear();
+  out->str.clear();
+  out->codes.clear();
+  out->dict_values.clear();
+  out->dict_hashes.clear();
+  out->dict_active = false;
+  out->generic.resize(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    out->generic[r] = rel.At(first_row + r, col);
+  }
+}
+
+}  // namespace
+
+std::size_t NullBitmap::CountValid() const {
+  if (words_.empty()) return n_;
+  std::size_t valid = 0;
+  for (std::size_t i = 0; i < n_; ++i) valid += IsValid(i) ? 1 : 0;
+  return valid;
+}
+
+Value ColumnVector::ValueAt(std::size_t r) const {
+  switch (cls) {
+    case ColumnClass::kI64:
+      return value_tag == ValueType::kDate ? Value::Date(i64[r])
+                                           : Value::Int64(i64[r]);
+    case ColumnClass::kF64:
+      return Value::Double(f64[r]);
+    case ColumnClass::kStr:
+      // The pointer came out of a live kString value, so it is already in
+      // the intern pool — no pool lookup needed.
+      return Value::InternedString(str[r]);
+    case ColumnClass::kGeneric:
+      return generic[r];
+  }
+  return Value();
+}
+
+ColumnVector ExtractColumn(const Relation& rel, std::size_t col,
+                           std::size_t first_row, std::size_t num_rows) {
+  ColumnVector out;
+  out.size = num_rows;
+  out.nulls.Reset(num_rows);
+  if (num_rows == 0) {
+    out.cls = ClassOfTag(rel.schema().column(col).type);
+    out.value_tag = rel.schema().column(col).type;
+    return out;
+  }
+
+  // One strided pointer walk per class: the cell address advances by the
+  // relation's arity instead of re-deriving row * arity + col per element.
+  const std::size_t stride = rel.arity();
+  const Value* cell = &rel.At(first_row, col);
+  const ValueType tag = cell->type();
+  out.value_tag = tag;
+  out.cls = ClassOfTag(tag);
+  switch (out.cls) {
+    case ColumnClass::kI64: {
+      out.i64.resize(num_rows);
+      for (std::size_t r = 0; r < num_rows; ++r, cell += stride) {
+        const Value& v = *cell;
+        if (v.type() != tag) {
+          // int64/date mixes still share payload semantics; anything else
+          // (a lying schema) demotes to the generic class.
+          if (v.type() == ValueType::kInt64 || v.type() == ValueType::kDate) {
+            out.i64[r] = v.AsInt64();
+            continue;
+          }
+          ExtractGeneric(rel, col, first_row, num_rows, &out);
+          return out;
+        }
+        out.i64[r] = v.AsInt64();
+      }
+      return out;
+    }
+    case ColumnClass::kF64: {
+      out.f64.resize(num_rows);
+      for (std::size_t r = 0; r < num_rows; ++r, cell += stride) {
+        const Value& v = *cell;
+        if (v.type() != ValueType::kDouble) {
+          ExtractGeneric(rel, col, first_row, num_rows, &out);
+          return out;
+        }
+        out.f64[r] = v.AsDouble();
+      }
+      return out;
+    }
+    case ColumnClass::kStr: {
+      out.str.resize(num_rows);
+      out.codes.resize(num_rows);
+      out.dict_active = true;
+      std::unordered_map<const std::string*, uint32_t> dict;
+      for (std::size_t r = 0; r < num_rows; ++r, cell += stride) {
+        const Value& v = *cell;
+        if (v.type() != ValueType::kString) {
+          ExtractGeneric(rel, col, first_row, num_rows, &out);
+          return out;
+        }
+        const std::string* s = &v.AsString();
+        out.str[r] = s;
+        if (!out.dict_active) continue;
+        auto [it, inserted] =
+            dict.emplace(s, static_cast<uint32_t>(out.dict_values.size()));
+        if (inserted) {
+          if (out.dict_values.size() >= kDictMaxEntries) {
+            // Dictionary overflow: keep the plain interned pointers, drop
+            // the code/hash cache — per-row hashing from here on.
+            out.dict_active = false;
+            out.codes.clear();
+            out.dict_values.clear();
+            out.dict_hashes.clear();
+            dict.clear();
+            continue;
+          }
+          out.dict_values.push_back(s);
+          out.dict_hashes.push_back(std::hash<std::string>()(*s));
+        }
+        out.codes[r] = it->second;
+      }
+      return out;
+    }
+    case ColumnClass::kGeneric:
+      break;
+  }
+  ExtractGeneric(rel, col, first_row, num_rows, &out);
+  return out;
+}
+
+std::size_t ElemHash(const ColumnVector& c, std::size_t r) {
+  switch (c.cls) {
+    case ColumnClass::kI64:
+      return HashI64Payload(c.i64[r]);
+    case ColumnClass::kF64:
+      return HashF64Payload(c.f64[r]);
+    case ColumnClass::kStr:
+      return c.dict_active ? c.dict_hashes[c.codes[r]]
+                           : std::hash<std::string>()(*c.str[r]);
+    case ColumnClass::kGeneric:
+      return c.generic[r].Hash();
+  }
+  return 0;
+}
+
+namespace internal_batch {
+
+bool GenericElemsEqual(const ColumnVector& a, std::size_t ar,
+                       const ColumnVector& b, std::size_t br) {
+  // Exact Value::Compare semantics via full reconstruction; only reached
+  // for heterogeneous columns or class mixes the typed paths don't cover.
+  return a.ValueAt(ar).Compare(b.ValueAt(br)) == 0;
+}
+
+}  // namespace internal_batch
+
+KeyBlock BuildKeyBlock(const Relation& rel,
+                       const std::vector<std::size_t>& key_cols) {
+  return BuildKeyBlock(rel, key_cols, 0, rel.NumRows());
+}
+
+KeyBlock BuildKeyBlock(const Relation& rel,
+                       const std::vector<std::size_t>& key_cols,
+                       std::size_t first_row, std::size_t num_rows) {
+  KeyBlock out;
+  const std::size_t n = num_rows;
+  out.cols.reserve(key_cols.size());
+  for (std::size_t c : key_cols) {
+    out.cols.push_back(ExtractColumn(rel, c, first_row, n));
+  }
+  // Column-major combine: per-row state evolves exactly like HashRowKey's
+  // per-column fold, but each column's element hashing runs as one typed
+  // loop (string hashes come from the dictionary cache).
+  out.hashes.assign(n, 0x9e3779b97f4a7c15ull);
+  for (const ColumnVector& cv : out.cols) {
+    switch (cv.cls) {
+      case ColumnClass::kI64:
+        for (std::size_t r = 0; r < n; ++r) {
+          MixKeyHash(&out.hashes[r], HashI64Payload(cv.i64[r]));
+        }
+        break;
+      case ColumnClass::kF64:
+        for (std::size_t r = 0; r < n; ++r) {
+          MixKeyHash(&out.hashes[r], HashF64Payload(cv.f64[r]));
+        }
+        break;
+      case ColumnClass::kStr:
+        if (cv.dict_active) {
+          for (std::size_t r = 0; r < n; ++r) {
+            MixKeyHash(&out.hashes[r], cv.dict_hashes[cv.codes[r]]);
+          }
+        } else {
+          for (std::size_t r = 0; r < n; ++r) {
+            MixKeyHash(&out.hashes[r], std::hash<std::string>()(*cv.str[r]));
+          }
+        }
+        break;
+      case ColumnClass::kGeneric:
+        for (std::size_t r = 0; r < n; ++r) {
+          MixKeyHash(&out.hashes[r], cv.generic[r].Hash());
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+ColumnarChunk ColumnarChunk::FromRelation(const Relation& rel,
+                                          std::size_t first_row,
+                                          std::size_t num_rows) {
+  ColumnarChunk chunk;
+  chunk.first_row = first_row;
+  chunk.num_rows = num_rows;
+  chunk.columns.reserve(rel.arity());
+  for (std::size_t c = 0; c < rel.arity(); ++c) {
+    chunk.columns.push_back(ExtractColumn(rel, c, first_row, num_rows));
+  }
+  chunk.selection.resize(num_rows);
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    chunk.selection[r] = static_cast<uint32_t>(r);
+  }
+  return chunk;
+}
+
+void ColumnarChunk::AppendToRelation(Relation* out) const {
+  HTQO_CHECK(out->arity() == columns.size());
+  std::vector<Value> row(columns.size());
+  for (uint32_t r : selection) {
+    bool valid = true;
+    for (const ColumnVector& cv : columns) {
+      if (!cv.nulls.IsValid(r)) {
+        valid = false;
+        break;
+      }
+    }
+    if (!valid) continue;
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      row[c] = columns[c].ValueAt(r);
+    }
+    out->AddRow(row);
+  }
+}
+
+}  // namespace htqo

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 
+#include "exec/batch.h"
 #include "exec/expression.h"
 #include "exec/spill.h"
 #include "util/strings.h"
@@ -122,7 +123,7 @@ Result<Relation> ProjectToOutputVars(const ResolvedQuery& rq,
   if (!s.ok()) return s;
   auto out = ProjectByName(join_result, names, /*distinct=*/true, ctx);
   if (!out.ok()) return out.status();
-  ctx->NotePeak(out->NumRows());
+  ctx->NotePeak(*out);
   return out;
 }
 
@@ -149,22 +150,54 @@ Result<Relation> EvaluateSelectOutput(const ResolvedQuery& rq,
                                !stmt.having.empty();
 
   if (!aggregate_query) {
-    std::vector<Value> row(stmt.items.size());
-    for (std::size_t r = 0; r < answer.NumRows(); ++r) {
-      Status s = ctx->ChargeWork(1);
-      if (!s.ok()) return s;
-      auto src = answer.Row(r);
-      ColumnLookup lookup = [&](const Expr& ref) {
+    if (ctx->vectorized) {
+      // Batch path: each select item evaluates over a whole batch with
+      // column refs resolved once per node per batch (the row loop below
+      // re-resolves per cell through a std::function), then the item
+      // vectors transpose into row-major output.
+      ColumnIndexLookup col_index = [&](const Expr& ref) {
         auto idx = AnswerColumnOf(rq, answer, ref);
         HTQO_CHECK(idx.ok());
-        return src[*idx];
+        return *idx;
       };
-      for (std::size_t i = 0; i < stmt.items.size(); ++i) {
-        row[i] = EvalScalar(stmt.items[i].expr, lookup);
+      const std::size_t n_items = stmt.items.size();
+      std::vector<std::vector<Value>> item_vals(n_items);
+      for (std::size_t lo = 0; lo < answer.NumRows(); lo += kBatchRows) {
+        const std::size_t hi = std::min(lo + kBatchRows, answer.NumRows());
+        Status s = ctx->ChargeWork(hi - lo);
+        if (!s.ok()) return s;
+        for (std::size_t i = 0; i < n_items; ++i) {
+          EvalScalarBatch(stmt.items[i].expr, answer, lo, hi, col_index,
+                          &item_vals[i]);
+        }
+        Status st = ctx->ChargeRows(hi - lo);
+        if (!st.ok()) return st;
+        Value* base = output.AppendRaw(hi - lo);
+        for (std::size_t i = 0; i < n_items; ++i) {
+          for (std::size_t k = 0; k < hi - lo; ++k) {
+            base[k * n_items + i] = item_vals[i][k];
+          }
+        }
+        ctx->batches.fetch_add(1, std::memory_order_relaxed);
       }
-      Status st = ctx->ChargeRows(1);
-      if (!st.ok()) return st;
-      output.AddRow(row);
+    } else {
+      std::vector<Value> row(stmt.items.size());
+      for (std::size_t r = 0; r < answer.NumRows(); ++r) {
+        Status s = ctx->ChargeWork(1);
+        if (!s.ok()) return s;
+        auto src = answer.Row(r);
+        ColumnLookup lookup = [&](const Expr& ref) {
+          auto idx = AnswerColumnOf(rq, answer, ref);
+          HTQO_CHECK(idx.ok());
+          return src[*idx];
+        };
+        for (std::size_t i = 0; i < stmt.items.size(); ++i) {
+          row[i] = EvalScalar(stmt.items[i].expr, lookup);
+        }
+        Status st = ctx->ChargeRows(1);
+        if (!st.ok()) return st;
+        output.AddRow(row);
+      }
     }
     if (stmt.distinct) {
       auto distinct = SpillableDistinct(output, ctx);
@@ -217,9 +250,10 @@ Result<Relation> EvaluateSelectOutput(const ResolvedQuery& rq,
   std::vector<Group> groups;
   std::unordered_multimap<std::size_t, std::size_t> group_index;
 
-  auto find_or_create_group = [&](std::span<const Value> row,
-                                  uint64_t tag) -> Group& {
-    std::size_t h = HashRowKey(row, group_cols);
+  // `h` is the group-key hash of `row` (HashRowKey over group_cols); the
+  // row path computes it per row, the batch path reads it from a KeyBlock.
+  auto find_or_create_group = [&](std::span<const Value> row, uint64_t tag,
+                                  std::size_t h) -> Group& {
     auto [lo, hi] = group_index.equal_range(h);
     for (auto it = lo; it != hi; ++it) {
       Group& g = groups[it->second];
@@ -243,7 +277,7 @@ Result<Relation> EvaluateSelectOutput(const ResolvedQuery& rq,
   };
 
   auto accumulate = [&](std::span<const Value> src, uint64_t tag) {
-    Group& g = find_or_create_group(src, tag);
+    Group& g = find_or_create_group(src, tag, HashRowKey(src, group_cols));
     ColumnLookup lookup = [&](const Expr& ref) {
       auto idx = AnswerColumnOf(rq, answer, ref);
       HTQO_CHECK(idx.ok());
@@ -312,6 +346,46 @@ Result<Relation> EvaluateSelectOutput(const ResolvedQuery& rq,
                        return a.first_tag < b.first_tag;
                      });
     group_index.clear();
+  } else if (ctx->vectorized) {
+    // Batch aggregation: group-key hashes for the whole canonicalized input
+    // come from one KeyBlock (bit-identical to HashRowKey, so group
+    // discovery order — and with it output order — matches the row loop),
+    // and each aggregate argument evaluates per batch. Accumulation itself
+    // stays per row in input order: float sums must add in the exact same
+    // sequence to stay bit-identical.
+    ScopedTableMemory working(
+        ctx, group_cols.empty() ? 0 : group_working_bytes);
+    if (!working.status().ok()) return working.status();
+    ColumnIndexLookup col_index = [&](const Expr& ref) {
+      auto idx = AnswerColumnOf(rq, answer, ref);
+      HTQO_CHECK(idx.ok());
+      return *idx;
+    };
+    KeyBlock gkeys = BuildKeyBlock(sorted_answer, group_cols);
+    std::vector<std::vector<Value>> arg_vals(agg_nodes.size());
+    for (std::size_t lo = 0; lo < sorted_answer.NumRows(); lo += kBatchRows) {
+      const std::size_t hi = std::min(lo + kBatchRows, sorted_answer.NumRows());
+      Status s = ctx->ChargeWork(hi - lo);
+      if (!s.ok()) return s;
+      for (std::size_t a = 0; a < agg_nodes.size(); ++a) {
+        if (agg_nodes[a]->lhs != nullptr) {
+          EvalScalarBatch(*agg_nodes[a]->lhs, sorted_answer, lo, hi,
+                          col_index, &arg_vals[a]);
+        }
+      }
+      for (std::size_t r = lo; r < hi; ++r) {
+        Group& g =
+            find_or_create_group(sorted_answer.Row(r), r, gkeys.hashes[r]);
+        for (std::size_t a = 0; a < agg_nodes.size(); ++a) {
+          if (agg_nodes[a]->lhs == nullptr) {
+            g.accumulators[a].AddCountStar();
+          } else {
+            g.accumulators[a].Add(arg_vals[a][r - lo]);
+          }
+        }
+      }
+      ctx->batches.fetch_add(1, std::memory_order_relaxed);
+    }
   } else {
     ScopedTableMemory working(
         ctx, group_cols.empty() ? 0 : group_working_bytes);

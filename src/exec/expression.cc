@@ -53,6 +53,65 @@ Value EvalScalar(const Expr& e, const ColumnLookup& col_lookup,
   return Value();
 }
 
+void EvalScalarBatch(const Expr& e, const Relation& rel, std::size_t lo,
+                     std::size_t hi, const ColumnIndexLookup& col_index,
+                     std::vector<Value>* out) {
+  const std::size_t n = hi - lo;
+  out->resize(n);
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      for (std::size_t k = 0; k < n; ++k) (*out)[k] = e.literal;
+      return;
+    case ExprKind::kColumnRef: {
+      const std::size_t idx = col_index(e);
+      for (std::size_t k = 0; k < n; ++k) (*out)[k] = rel.At(lo + k, idx);
+      return;
+    }
+    case ExprKind::kAggregate:
+    case ExprKind::kScalarSubquery:
+      HTQO_CHECK(false);
+      return;
+    case ExprKind::kBinary: {
+      std::vector<Value> lv, rv;
+      EvalScalarBatch(*e.lhs, rel, lo, hi, col_index, &lv);
+      EvalScalarBatch(*e.rhs, rel, lo, hi, col_index, &rv);
+      // Per-element type rules match EvalScalar exactly (operand types can
+      // vary across rows of an untyped column).
+      for (std::size_t k = 0; k < n; ++k) {
+        const Value& l = lv[k];
+        const Value& r = rv[k];
+        HTQO_CHECK(l.type() != ValueType::kString &&
+                   r.type() != ValueType::kString);
+        const bool integral = l.type() == ValueType::kInt64 &&
+                              r.type() == ValueType::kInt64 && e.op != '/';
+        double a = l.AsDouble();
+        double b = r.AsDouble();
+        double v = 0;
+        switch (e.op) {
+          case '+':
+            v = a + b;
+            break;
+          case '-':
+            v = a - b;
+            break;
+          case '*':
+            v = a * b;
+            break;
+          case '/':
+            v = b == 0 ? 0 : a / b;
+            break;
+          default:
+            HTQO_CHECK(false);
+        }
+        (*out)[k] = integral ? Value::Int64(static_cast<int64_t>(v))
+                             : Value::Double(v);
+      }
+      return;
+    }
+  }
+  HTQO_CHECK(false);
+}
+
 void AggAccumulator::Add(const Value& v) {
   ++count_;
   switch (func_) {

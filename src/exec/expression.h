@@ -5,8 +5,10 @@
 
 #include <functional>
 #include <optional>
+#include <vector>
 
 #include "sql/ast.h"
+#include "storage/relation.h"
 #include "storage/value.h"
 
 namespace htqo {
@@ -15,12 +17,27 @@ namespace htqo {
 using ColumnLookup = std::function<Value(const Expr& column_ref)>;
 // Resolves a kAggregate node to its (already accumulated) value.
 using AggregateLookup = std::function<Value(const Expr& aggregate)>;
+// Resolves a kColumnRef node to its column index in the input relation.
+// The batch evaluator calls it once per node per batch, where the per-row
+// ColumnLookup re-resolves per cell.
+using ColumnIndexLookup = std::function<std::size_t(const Expr& column_ref)>;
 
 // Evaluates `e` bottom-up. Aggregate nodes require `agg_lookup`; evaluating
 // one without it is a checked failure (aggregates never appear in WHERE in
 // the supported fragment).
 Value EvalScalar(const Expr& e, const ColumnLookup& col_lookup,
                  const AggregateLookup* agg_lookup = nullptr);
+
+// Batch evaluation of `e` over rows [lo, hi) of `rel` into `out` (resized
+// to hi - lo; out[k] is row lo + k's value). Bit-identical to EvalScalar on
+// each row — same integral/division rules, same checked failures — with
+// column refs resolved once per node per batch instead of once per cell.
+// Aggregate and scalar-subquery nodes are checked failures: the vectorized
+// executor evaluates select items (post-rewrite) and aggregate arguments,
+// where neither can appear.
+void EvalScalarBatch(const Expr& e, const Relation& rel, std::size_t lo,
+                     std::size_t hi, const ColumnIndexLookup& col_index,
+                     std::vector<Value>* out);
 
 // Streaming accumulator for one aggregate call.
 class AggAccumulator {

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <functional>
 #include <numeric>
+#include <utility>
 
+#include "exec/batch.h"
 #include "exec/spill.h"
 #include "util/bloom.h"
 #include "util/hash_chain.h"
@@ -16,8 +18,11 @@ namespace {
 // the chunk bookkeeping costs more than it buys.
 constexpr std::size_t kParallelRowThreshold = 2048;
 // Rows per chunk. Chunk boundaries never affect results: per-chunk outputs
-// are concatenated in chunk order, which equals serial row order.
+// are concatenated in chunk order, which equals serial row order. Equals
+// kBatchRows so serial vectorized loops and pool lanes process identical
+// batches — per-batch charges and batch counts match at any thread count.
 constexpr std::size_t kParallelGrain = 1024;
+static_assert(kParallelGrain == kBatchRows);
 
 bool UseParallel(const ExecContext* ctx, std::size_t rows) {
   return ctx->parallel() && rows >= kParallelRowThreshold;
@@ -43,6 +48,246 @@ std::vector<std::size_t> PrecomputeKeyHashes(
     fill(0, rel.NumRows());
   }
   return hashes;
+}
+
+// ---------- Vectorized kernels ----------------------------------------------
+//
+// The vectorized operators (ExecContext::vectorized) extract columns into
+// typed vectors (exec/batch.h) and run tight per-batch loops, charging the
+// context once per batch. Output bytes, charge totals, and probe/bloom
+// meters are identical to the row path: hashes and equality reproduce
+// Value::Hash/Value::Compare bit for bit, batch boundaries equal the
+// parallel grain, and per-batch charges sum to the row path's per-row
+// totals (budgets trip on totals, so trip/no-trip outcomes match).
+
+// `a <op> b` over int64 payloads — Value::Compare's int64/date branch.
+bool I64Cmp(CompareOp op, int64_t a, int64_t b) {
+  switch (op) {
+    case CompareOp::kEq: return a == b;
+    case CompareOp::kNe: return a != b;
+    case CompareOp::kLt: return a < b;
+    case CompareOp::kLe: return a <= b;
+    case CompareOp::kGt: return a > b;
+    case CompareOp::kGe: return a >= b;
+  }
+  return false;
+}
+
+// `a <op> b` over doubles with Value::Compare's ordering (a NaN operand
+// makes Compare return 0, i.e. "equal"), so kEq/kNe/kLe/kGe must be spelled
+// through < and > rather than ==.
+bool F64Cmp(CompareOp op, double a, double b) {
+  switch (op) {
+    case CompareOp::kEq: return !(a < b) && !(a > b);
+    case CompareOp::kNe: return (a < b) || (a > b);
+    case CompareOp::kLt: return a < b;
+    case CompareOp::kLe: return !(a > b);
+    case CompareOp::kGt: return a > b;
+    case CompareOp::kGe: return !(a < b);
+  }
+  return false;
+}
+
+// Narrows `sel` to the elements of `cv` satisfying `f`. Typed loops cover
+// the simple column-op-constant cases; membership/NOT IN and class mixes
+// the typed loops can't express take AtomFilter::Matches on reconstructed
+// Values — exactly the row path's predicate (checked failures included).
+void FilterSelection(const AtomFilter& f, const ColumnVector& cv,
+                     Selection* sel) {
+  Selection& s = *sel;
+  std::size_t kept = 0;
+  if (f.in_values.empty() && !f.negated) {
+    const ValueType vt = f.value.type();
+    if (cv.cls == ColumnClass::kI64 &&
+        (vt == ValueType::kInt64 || vt == ValueType::kDate)) {
+      // Branchless compaction (here and in the loops below): the survivor
+      // store always executes and the cursor advances by the predicate
+      // bit, so mid-selectivity batches cost no branch mispredictions.
+      const int64_t c = f.value.AsInt64();
+      for (uint32_t r : s) {
+        s[kept] = r;
+        kept += I64Cmp(f.op, cv.i64[r], c) ? 1 : 0;
+      }
+      s.resize(kept);
+      return;
+    }
+    const bool col_num =
+        cv.cls == ColumnClass::kI64 || cv.cls == ColumnClass::kF64;
+    if (col_num && vt != ValueType::kString) {
+      // At least one double side: Value::Compare promotes both to double.
+      const double c = f.value.AsDouble();
+      if (cv.cls == ColumnClass::kF64) {
+        for (uint32_t r : s) {
+          s[kept] = r;
+          kept += F64Cmp(f.op, cv.f64[r], c) ? 1 : 0;
+        }
+      } else {
+        for (uint32_t r : s) {
+          s[kept] = r;
+          kept += F64Cmp(f.op, static_cast<double>(cv.i64[r]), c) ? 1 : 0;
+        }
+      }
+      s.resize(kept);
+      return;
+    }
+    if (cv.cls == ColumnClass::kStr && vt == ValueType::kString &&
+        f.op == CompareOp::kEq) {
+      const std::string* c = &f.value.AsString();
+      for (uint32_t r : s) {
+        s[kept] = r;
+        kept += cv.str[r] == c ? 1 : 0;  // interned pointer equality
+      }
+      s.resize(kept);
+      return;
+    }
+  }
+  for (uint32_t r : s) {
+    if (f.Matches(cv.ValueAt(r))) s[kept++] = r;
+  }
+  s.resize(kept);
+}
+
+// Narrows `sel` by the column/column comparison `lc <op> rc`.
+void CompareSelection(CompareOp op, const ColumnVector& lc,
+                      const ColumnVector& rc, Selection* sel) {
+  Selection& s = *sel;
+  std::size_t kept = 0;
+  if (lc.cls == ColumnClass::kI64 && rc.cls == ColumnClass::kI64) {
+    for (uint32_t r : s) {
+      s[kept] = r;
+      kept += I64Cmp(op, lc.i64[r], rc.i64[r]) ? 1 : 0;
+    }
+    s.resize(kept);
+    return;
+  }
+  const bool l_num = lc.cls == ColumnClass::kI64 || lc.cls == ColumnClass::kF64;
+  const bool r_num = rc.cls == ColumnClass::kI64 || rc.cls == ColumnClass::kF64;
+  if (l_num && r_num) {
+    for (uint32_t r : s) {
+      const double a = lc.cls == ColumnClass::kF64
+                           ? lc.f64[r]
+                           : static_cast<double>(lc.i64[r]);
+      const double b = rc.cls == ColumnClass::kF64
+                           ? rc.f64[r]
+                           : static_cast<double>(rc.i64[r]);
+      s[kept] = r;
+      kept += F64Cmp(op, a, b) ? 1 : 0;
+    }
+    s.resize(kept);
+    return;
+  }
+  for (uint32_t r : s) {
+    if (EvalCompare(op, lc.ValueAt(r), rc.ValueAt(r))) s[kept++] = r;
+  }
+  s.resize(kept);
+}
+
+// Narrows `sel` to elements where the two columns agree (intra-atom
+// variable equality), under Value::Compare()==0 semantics.
+void EqualitySelection(const ColumnVector& a, const ColumnVector& b,
+                       Selection* sel) {
+  Selection& s = *sel;
+  std::size_t kept = 0;
+  for (uint32_t r : s) {
+    if (ColumnElemsEqual(a, r, b, r)) s[kept++] = r;
+  }
+  s.resize(kept);
+}
+
+// Gathers the selected elements of `cv` into row-major output at column
+// `at`: base[k * stride + at] = element sel[k], with exact type tags and
+// no intern-pool lookups.
+void GatherColumn(const ColumnVector& cv, const Selection& sel, Value* base,
+                  std::size_t stride, std::size_t at) {
+  switch (cv.cls) {
+    case ColumnClass::kI64:
+      if (cv.value_tag == ValueType::kDate) {
+        for (std::size_t k = 0; k < sel.size(); ++k) {
+          base[k * stride + at] = Value::Date(cv.i64[sel[k]]);
+        }
+      } else {
+        for (std::size_t k = 0; k < sel.size(); ++k) {
+          base[k * stride + at] = Value::Int64(cv.i64[sel[k]]);
+        }
+      }
+      return;
+    case ColumnClass::kF64:
+      for (std::size_t k = 0; k < sel.size(); ++k) {
+        base[k * stride + at] = Value::Double(cv.f64[sel[k]]);
+      }
+      return;
+    case ColumnClass::kStr:
+      for (std::size_t k = 0; k < sel.size(); ++k) {
+        base[k * stride + at] = Value::InternedString(cv.str[sel[k]]);
+      }
+      return;
+    case ColumnClass::kGeneric:
+      for (std::size_t k = 0; k < sel.size(); ++k) {
+        base[k * stride + at] = cv.generic[sel[k]];
+      }
+      return;
+  }
+}
+
+// Number of kBatchRows batches covering `total` rows; the deterministic
+// per-operator batch count reported on op spans.
+std::size_t NumBatches(std::size_t total) {
+  return (total + kBatchRows - 1) / kBatchRows;
+}
+
+// Runs `batch_body` over [0, total) in kBatchRows strides — the serial twin
+// of ParallelAppend's chunking (same boundaries, same sink).
+Status SerialBatches(
+    std::size_t total, Relation* out,
+    const std::function<Status(std::size_t, std::size_t, Relation*)>&
+        batch_body) {
+  for (std::size_t lo = 0; lo < total; lo += kBatchRows) {
+    Status s = batch_body(lo, std::min(lo + kBatchRows, total), out);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+// Relation::Distinct through the columnar layer: one full-row KeyBlock (the
+// hashes equal HashRowKey over all columns), dedup against kept-row indices
+// with typed equality, then gather survivors as whole-row memcpys. First
+// occurrence of every row, in input order — byte-identical to Distinct().
+// Requires arity > 0 and charges nothing, like Distinct().
+Relation VectorizedDistinct(const Relation& rel, ExecContext* ctx) {
+  std::vector<std::size_t> all_cols(rel.arity());
+  std::iota(all_cols.begin(), all_cols.end(), std::size_t{0});
+  const std::size_t n = rel.NumRows();
+  KeyBlock keys = BuildKeyBlock(rel, all_cols);
+  HashChainIndex seen(n);
+  std::vector<uint32_t> kept;
+  kept.reserve(n);
+  for (std::size_t lo = 0; lo < n; lo += kBatchRows) {
+    const std::size_t hi = std::min(lo + kBatchRows, n);
+    for (std::size_t r = lo; r < hi; ++r) {
+      const std::size_t h = keys.hashes[r];
+      bool dup = false;
+      for (uint32_t it = seen.First(h); it != HashChainIndex::kEnd;
+           it = seen.Next(it)) {
+        if (keys.hashes[kept[it]] == h && KeyRowsEqual(keys, kept[it], keys, r)) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) {
+        seen.Insert(h, kept.size());
+        kept.push_back(static_cast<uint32_t>(r));
+      }
+    }
+    ctx->batches.fetch_add(1, std::memory_order_relaxed);
+  }
+  Relation out{rel.schema()};
+  out.Reserve(kept.size());
+  const std::size_t stride = rel.arity();
+  Value* base = out.AppendRaw(kept.size());
+  for (std::size_t k = 0; k < kept.size(); ++k) {
+    std::copy_n(rel.RowPtr(kept[k]), stride, base + k * stride);
+  }
+  return out;
 }
 
 // Runs range_body(lo, hi, sink) over [0, total) on the context's pool and
@@ -76,6 +321,9 @@ Status ParallelAppend(
   for (std::size_t c = 0; c < num_chunks; ++c) {
     if (!chunk_status[c].ok()) return chunk_status[c];
   }
+  std::size_t merged_rows = out->NumRows();
+  for (const Relation& chunk : chunk_out) merged_rows += chunk.NumRows();
+  out->Reserve(merged_rows);
   for (const Relation& chunk : chunk_out) out->AppendFrom(chunk);
   return Status::Ok();
 }
@@ -125,25 +373,30 @@ constexpr std::size_t kMinSpillRows = 64;
 
 // Working-set estimates in bytes, used both for the in-memory governor
 // charge and the spill decision. A hash join pins the build rows, a chain
-// index (~24 B/row with its hash array), and the probe hash array.
+// index (~24 B/row with its hash array), and the probe hash array. The
+// pinned side's interned-string payloads count once each (a 16-byte Value
+// only holds the handle), so memory budgets and spill thresholds see the
+// real footprint of string-heavy relations; numeric schemas skip the scan.
 std::size_t JoinWorkingBytes(const Relation& build, const Relation& probe) {
   return build.NumRows() * (build.arity() * sizeof(Value) + 24) +
-         probe.NumRows() * 8;
+         build.StringPayloadBytes() + probe.NumRows() * 8;
 }
 
 std::size_t SemiJoinWorkingBytes(const Relation& right, const Relation& left) {
   return right.NumRows() * (right.arity() * sizeof(Value) + 24) +
-         left.NumRows() * 8;
+         right.StringPayloadBytes() + left.NumRows() * 8;
 }
 
 std::size_t DistinctWorkingBytes(const Relation& rel) {
-  return rel.NumRows() * (rel.arity() * sizeof(Value) + 16);
+  return rel.NumRows() * (rel.arity() * sizeof(Value) + 16) +
+         rel.StringPayloadBytes();
 }
 
 // Bytes a loaded partition pair keeps resident while its kernel runs.
 std::size_t LoadedPairBytes(const Relation& build, const Relation& probe) {
   return build.NumRows() * (build.arity() * sizeof(Value) + 24) +
-         probe.NumRows() * probe.arity() * sizeof(Value);
+         probe.NumRows() * probe.arity() * sizeof(Value) +
+         build.StringPayloadBytes() + probe.StringPayloadBytes();
 }
 
 // Partition index for `hash` at recursion `depth`: a depth-salted SplitMix64
@@ -180,13 +433,33 @@ Result<std::vector<std::unique_ptr<SpillFile>>> PartitionToSpill(
     if (!file.ok()) return file.status();
     parts.push_back(std::move(*file));
   }
-  for (std::size_t r = 0; r < rel.NumRows(); ++r) {
-    Status w = ctx->ChargeWork(1);
-    if (!w.ok()) return w;
-    auto row = rel.Row(r);
-    std::size_t p = SpillPartitionOf(HashRowKey(row, cols), depth, fanout);
-    Status s = parts[p]->Append(tags[r], row);
-    if (!s.ok()) return s;
+  if (ctx->vectorized && rel.arity() > 0) {
+    // Batch mode: key hashes computed per batch through the columnar
+    // extractor (one batch of key columns resident at a time — this path
+    // runs under memory pressure), whole batches serialized through the
+    // tagged codec, one work charge per batch. Same bytes, same hash per
+    // row, same work total as the per-row loop below.
+    for (std::size_t lo = 0; lo < rel.NumRows(); lo += kBatchRows) {
+      const std::size_t hi = std::min(lo + kBatchRows, rel.NumRows());
+      Status w = ctx->ChargeWork(hi - lo);
+      if (!w.ok()) return w;
+      KeyBlock keys = BuildKeyBlock(rel, cols, lo, hi - lo);
+      for (std::size_t r = lo; r < hi; ++r) {
+        std::size_t p = SpillPartitionOf(keys.hashes[r - lo], depth, fanout);
+        Status s = parts[p]->Append(tags[r], rel.Row(r));
+        if (!s.ok()) return s;
+      }
+      ctx->batches.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    for (std::size_t r = 0; r < rel.NumRows(); ++r) {
+      Status w = ctx->ChargeWork(1);
+      if (!w.ok()) return w;
+      auto row = rel.Row(r);
+      std::size_t p = SpillPartitionOf(HashRowKey(row, cols), depth, fanout);
+      Status s = parts[p]->Append(tags[r], row);
+      if (!s.ok()) return s;
+    }
   }
   for (auto& part : parts) {
     Status s = part->Finish();
@@ -474,11 +747,14 @@ Result<Relation> SpillableDistinct(const Relation& rel, ExecContext* ctx) {
   if (rel.arity() == 0 || rel.NumRows() == 0) return rel.Distinct();
   std::vector<std::size_t> all_cols(rel.arity());
   std::iota(all_cols.begin(), all_cols.end(), std::size_t{0});
-  if (!ctx->ShouldSpill(DistinctWorkingBytes(rel))) {
-    ScopedTableMemory working(ctx, DistinctWorkingBytes(rel));
+  const std::size_t working_bytes = DistinctWorkingBytes(rel);
+  if (!ctx->ShouldSpill(working_bytes)) {
+    ScopedTableMemory working(ctx, working_bytes);
     if (!working.status().ok()) return working.status();
-    Relation distinct = rel.Distinct();
+    Relation distinct =
+        ctx->vectorized ? VectorizedDistinct(rel, ctx) : rel.Distinct();
     op_span.Attr("rows_out", distinct.NumRows());
+    if (ctx->vectorized) op_span.Attr("batches", NumBatches(rel.NumRows()));
     return distinct;
   }
 
@@ -588,6 +864,112 @@ Result<Relation> ScanAtom(const ResolvedQuery& rq, std::size_t atom_index,
   Status alloc = out.TryReserve(rel.NumRows());
   if (!alloc.ok()) return alloc;
 
+  if (ctx->vectorized) {
+    // Vectorized scan: per batch, extract each referenced base column once,
+    // narrow a selection vector through filters / local comparisons /
+    // intra-atom equalities with typed loops, then gather the survivors
+    // column-wise. One work charge per batch (the row path charges one unit
+    // per input row), one row charge per batch's emissions.
+    std::vector<std::size_t> referenced;  // base columns this scan touches
+    std::vector<std::size_t> slot(rel.arity(), static_cast<std::size_t>(-1));
+    auto reference = [&](std::size_t col) {
+      if (slot[col] == static_cast<std::size_t>(-1)) {
+        slot[col] = referenced.size();
+        referenced.push_back(col);
+      }
+    };
+    for (const AtomFilter& f : atom.filters) reference(f.column);
+    for (const LocalComparison& c : atom.local_comparisons) {
+      reference(c.lcolumn);
+      reference(c.rcolumn);
+    }
+    for (const AtomBinding& b : atom.bindings) reference(b.column);
+    for (std::size_t c : source_col) {
+      if (c != kTid) reference(c);
+    }
+    // Intra-atom equality pairs, deduplicated: the row path's nested
+    // binding loops test every ordered pair of same-var bindings, which
+    // reduces to "all bindings of a var agree" — the unordered pairs below.
+    std::vector<std::pair<std::size_t, std::size_t>> equal_pairs;
+    for (std::size_t i = 0; i < atom.bindings.size(); ++i) {
+      for (std::size_t j = i + 1; j < atom.bindings.size(); ++j) {
+        if (atom.bindings[i].var == atom.bindings[j].var &&
+            atom.bindings[i].column != atom.bindings[j].column) {
+          equal_pairs.emplace_back(atom.bindings[i].column,
+                                   atom.bindings[j].column);
+        }
+      }
+    }
+
+    const bool parallel = UseParallel(ctx, rel.NumRows());
+    auto scan_batch = [&](std::size_t lo, std::size_t hi,
+                          Relation* sink) -> Status {
+      Status work = ctx->ChargeWork(hi - lo);
+      if (!work.ok()) return work;
+      const std::size_t n = hi - lo;
+      std::vector<ColumnVector> cols_v(referenced.size());
+      for (std::size_t i = 0; i < referenced.size(); ++i) {
+        cols_v[i] = ExtractColumn(rel, referenced[i], lo, n);
+      }
+      Selection sel(n);
+      std::iota(sel.begin(), sel.end(), uint32_t{0});
+      for (const AtomFilter& f : atom.filters) {
+        if (sel.empty()) break;
+        FilterSelection(f, cols_v[slot[f.column]], &sel);
+      }
+      for (const LocalComparison& c : atom.local_comparisons) {
+        if (sel.empty()) break;
+        CompareSelection(c.op, cols_v[slot[c.lcolumn]],
+                         cols_v[slot[c.rcolumn]], &sel);
+      }
+      for (const auto& [ca, cb] : equal_pairs) {
+        if (sel.empty()) break;
+        EqualitySelection(cols_v[slot[ca]], cols_v[slot[cb]], &sel);
+      }
+      ctx->batches.fetch_add(1, std::memory_order_relaxed);
+      if (sel.empty()) return Status::Ok();
+      Status s = ctx->ChargeRows(sel.size());
+      if (!s.ok()) return s;
+      const std::size_t stride = source_col.size();
+      if (!parallel) {
+        // Serial sinks span every batch: extrapolate survivor density over
+        // [0, hi) to the whole relation and reserve once (capped by the
+        // input size — a scan never emits more rows than it reads) instead
+        // of riding the doubling ladder. Parallel chunk sinks get one
+        // exact-size append each.
+        const std::size_t need = sink->NumRows() + sel.size();
+        if (need > sink->CapacityRows()) {
+          const auto projected = static_cast<std::size_t>(
+              static_cast<double>(need) * static_cast<double>(rel.NumRows()) /
+              static_cast<double>(hi));
+          sink->Reserve(std::min(rel.NumRows(),
+                                 std::max(need, projected + projected / 8)));
+        }
+      }
+      Value* base = sink->AppendRaw(sel.size());
+      for (std::size_t i = 0; i < stride; ++i) {
+        if (source_col[i] == kTid) {
+          for (std::size_t k = 0; k < sel.size(); ++k) {
+            base[k * stride + i] =
+                Value::Int64(static_cast<int64_t>(lo + sel[k]));
+          }
+        } else {
+          GatherColumn(cols_v[slot[source_col[i]]], sel, base, stride, i);
+        }
+      }
+      return Status::Ok();
+    };
+    Status scan = UseParallel(ctx, rel.NumRows())
+                      ? ParallelAppend(ctx, rel.NumRows(), &out, op_span.id(),
+                                       scan_batch)
+                      : SerialBatches(rel.NumRows(), &out, scan_batch);
+    if (!scan.ok()) return scan;
+    ctx->NotePeak(out);
+    op_span.Attr("rows_out", out.NumRows());
+    op_span.Attr("batches", NumBatches(rel.NumRows()));
+    return out;
+  }
+
   auto scan_range = [&](std::size_t lo, std::size_t hi,
                         Relation* sink) -> Status {
     std::vector<Value> row(source_col.size());
@@ -638,7 +1020,7 @@ Result<Relation> ScanAtom(const ResolvedQuery& rq, std::size_t atom_index,
           ? ParallelAppend(ctx, rel.NumRows(), &out, op_span.id(), scan_range)
           : scan_range(0, rel.NumRows(), &out);
   if (!scan.ok()) return scan;
-  ctx->NotePeak(out.NumRows());
+  ctx->NotePeak(out);
   op_span.Attr("rows_out", out.NumRows());
   return out;
 }
@@ -668,15 +1050,130 @@ Result<Relation> NaturalHashJoin(const Relation& left, const Relation& right,
   // past the soft threshold, take the Grace spill path (byte-identical
   // output). Otherwise charge the working set against the governor — with
   // spilling disarmed this is where an undersized memory budget trips.
-  if (!lcols.empty() && ctx->ShouldSpill(JoinWorkingBytes(build, probe))) {
+  const std::size_t working_bytes = JoinWorkingBytes(build, probe);
+  if (!lcols.empty() && ctx->ShouldSpill(working_bytes)) {
     op_span.Attr("spilled", 1);
     auto spilled = GraceHashJoin(left, right, build_left, lcols, rcols,
                                  right_only, out.schema(), ctx);
     if (spilled.ok()) op_span.Attr("rows_out", spilled->NumRows());
     return spilled;
   }
-  ScopedTableMemory working(ctx, JoinWorkingBytes(build, probe));
+  ScopedTableMemory working(ctx, working_bytes);
   if (!working.status().ok()) return working.status();
+
+  if (ctx->vectorized && !lcols.empty()) {
+    // Vectorized probe. Key columns and hashes are extracted once per side
+    // into typed blocks (hashes bit-identical to HashRowKey, so the Bloom
+    // filter, bucket layout and chain candidate sets equal the row path's).
+    // Each probe batch collects its (build, probe) match pairs in a tight
+    // loop — no Status, no Value calls — then charges work for every chain
+    // candidate visited and one row per match, and gathers output rows as
+    // whole-row memcpys. Cross products (no shared columns) stay on the
+    // row path below.
+    KeyBlock bkey = BuildKeyBlock(build, bcols);
+    KeyBlock pkey = BuildKeyBlock(probe, pcols);
+    BlockedBloomFilter bloom(build.NumRows());
+    for (std::size_t h : bkey.hashes) bloom.Add(h);
+    HashChainIndex table(build.NumRows());
+    for (std::size_t r = 0; r < build.NumRows(); ++r) {
+      table.Insert(bkey.hashes[r], r);
+    }
+    // Single-int64-key fast path: the hash is a pure function of the
+    // payload, so payload equality decides exactly what the hash check +
+    // KeyRowsEqual pair decides — one load and compare per candidate.
+    const bool key_i64 = bkey.cols.size() == 1 &&
+                         bkey.cols[0].cls == ColumnClass::kI64 &&
+                         pkey.cols[0].cls == ColumnClass::kI64;
+    const int64_t* bkey_i64 = key_i64 ? bkey.cols[0].i64.data() : nullptr;
+    const int64_t* pkey_i64 = key_i64 ? pkey.cols[0].i64.data() : nullptr;
+    const bool parallel = UseParallel(ctx, probe.NumRows());
+
+    auto probe_batch = [&](std::size_t lo, std::size_t hi,
+                           Relation* sink) -> Status {
+      // (build row, probe offset in [lo, hi)) per match, in probe order.
+      std::vector<std::pair<uint32_t, uint32_t>> matches;
+      matches.reserve(hi - lo);
+      std::size_t candidates = 0;
+      std::size_t bloom_skipped = 0;
+      for (std::size_t p = lo; p < hi; ++p) {
+        const std::size_t h = pkey.hashes[p];
+        if (!bloom.MayContain(h)) {
+          ++bloom_skipped;
+          continue;
+        }
+        if (key_i64) {
+          const int64_t key = pkey_i64[p];
+          for (uint32_t it = table.First(h); it != HashChainIndex::kEnd;
+               it = table.Next(it)) {
+            ++candidates;
+            if (bkey_i64[it] == key) {
+              matches.emplace_back(it, static_cast<uint32_t>(p - lo));
+            }
+          }
+          continue;
+        }
+        for (uint32_t it = table.First(h); it != HashChainIndex::kEnd;
+             it = table.Next(it)) {
+          ++candidates;
+          if (bkey.hashes[it] == h && KeyRowsEqual(bkey, it, pkey, p)) {
+            matches.emplace_back(it, static_cast<uint32_t>(p - lo));
+          }
+        }
+      }
+      ctx->batches.fetch_add(1, std::memory_order_relaxed);
+      ctx->hash_probes.fetch_add(hi - lo, std::memory_order_relaxed);
+      ctx->bloom_skips.fetch_add(bloom_skipped, std::memory_order_relaxed);
+      if (candidates > 0) {
+        Status st = ctx->ChargeWork(candidates);
+        if (!st.ok()) return st;
+      }
+      if (matches.empty()) return Status::Ok();
+      Status st = ctx->ChargeRows(matches.size());
+      if (!st.ok()) return st;
+      const std::size_t la = left.arity();
+      const std::size_t stride = out.arity();
+      const std::size_t barity = build.arity();
+      const std::size_t parity = probe.arity();
+      const Value* bdata = build.RowPtr(0);
+      const Value* pdata = probe.RowPtr(lo);
+      if (!parallel) {
+        // The serial sink spans every batch, so match density over [0, hi)
+        // extrapolates to the whole probe side; one density-informed
+        // reserve replaces the doubling ladder, which would recopy all
+        // rows gathered so far at each step. Parallel chunk sinks see one
+        // exact-size append each and skip this.
+        const std::size_t need = sink->NumRows() + matches.size();
+        if (need > sink->CapacityRows()) {
+          const auto projected = static_cast<std::size_t>(
+              static_cast<double>(need) *
+              static_cast<double>(probe.NumRows()) / static_cast<double>(hi));
+          sink->Reserve(std::max(need, projected + projected / 8));
+        }
+      }
+      Value* base = sink->AppendRaw(matches.size());
+      for (std::size_t k = 0; k < matches.size(); ++k) {
+        const Value* brow = bdata + matches[k].first * barity;
+        const Value* prow = pdata + matches[k].second * parity;
+        const Value* lrow = build_left ? brow : prow;
+        const Value* rrow = build_left ? prow : brow;
+        Value* dst = base + k * stride;
+        std::copy_n(lrow, la, dst);
+        std::size_t i = la;
+        for (std::size_t rc : right_only) dst[i++] = rrow[rc];
+      }
+      return Status::Ok();
+    };
+    Status vec_status =
+        UseParallel(ctx, probe.NumRows())
+            ? ParallelAppend(ctx, probe.NumRows(), &out, op_span.id(),
+                             probe_batch)
+            : SerialBatches(probe.NumRows(), &out, probe_batch);
+    if (!vec_status.ok()) return vec_status;
+    ctx->NotePeak(out);
+    op_span.Attr("rows_out", out.NumRows());
+    op_span.Attr("batches", NumBatches(probe.NumRows()));
+    return out;
+  }
 
   // Both sides' key hashes up front; the build table is then pure pointer
   // writes and the probe loop never calls Value::Hash. The table is built
@@ -755,7 +1252,7 @@ Result<Relation> NaturalHashJoin(const Relation& left, const Relation& right,
                            probe_range)
           : probe_range(0, probe.NumRows(), &out);
   if (!probe_status.ok()) return probe_status;
-  ctx->NotePeak(out.NumRows());
+  ctx->NotePeak(out);
   op_span.Attr("rows_out", out.NumRows());
   return out;
 }
@@ -788,7 +1285,7 @@ Result<Relation> NaturalNestedLoopJoin(const Relation& left,
       out.AddRow(row);
     }
   }
-  ctx->NotePeak(out.NumRows());
+  ctx->NotePeak(out);
   op_span.Attr("rows_out", out.NumRows());
   return out;
 }
@@ -869,7 +1366,7 @@ Result<Relation> NaturalSortMergeJoin(const Relation& left,
     l = l_end;
     r = r_end;
   }
-  ctx->NotePeak(out.NumRows());
+  ctx->NotePeak(out);
   op_span.Attr("rows_out", out.NumRows());
   return out;
 }
@@ -893,14 +1390,103 @@ Result<Relation> NaturalSemiJoin(const Relation& left, const Relation& right,
   }
   Status s = ctx->ChargeWork(left.NumRows() + right.NumRows());
   if (!s.ok()) return s;
-  if (ctx->ShouldSpill(SemiJoinWorkingBytes(right, left))) {
+  const std::size_t working_bytes = SemiJoinWorkingBytes(right, left);
+  if (ctx->ShouldSpill(working_bytes)) {
     op_span.Attr("spilled", 1);
     auto spilled = GraceSemiJoin(left, right, lcols, rcols, ctx);
     if (spilled.ok()) op_span.Attr("rows_out", spilled->NumRows());
     return spilled;
   }
-  ScopedTableMemory working(ctx, SemiJoinWorkingBytes(right, left));
+  ScopedTableMemory working(ctx, working_bytes);
   if (!working.status().ok()) return working.status();
+
+  if (ctx->vectorized) {
+    // Vectorized probe: same shape as the hash join's, but first match
+    // wins and — like the row path — chain candidates charge no work (the
+    // semijoin's work charge is the prolog's per-input-row charge). Matched
+    // left rows are gathered as whole-row memcpys in probe order.
+    KeyBlock rkey = BuildKeyBlock(right, rcols);
+    KeyBlock lkey = BuildKeyBlock(left, lcols);
+    BlockedBloomFilter bloom(right.NumRows());
+    for (std::size_t h : rkey.hashes) bloom.Add(h);
+    HashChainIndex table(right.NumRows());
+    for (std::size_t r = 0; r < right.NumRows(); ++r) {
+      table.Insert(rkey.hashes[r], r);
+    }
+    // Single-int64-key fast path, as in the hash join: payload equality is
+    // exactly the hash check + KeyRowsEqual pair for this class.
+    const bool key_i64 = rkey.cols.size() == 1 &&
+                         rkey.cols[0].cls == ColumnClass::kI64 &&
+                         lkey.cols[0].cls == ColumnClass::kI64;
+    const int64_t* rkey_i64 = key_i64 ? rkey.cols[0].i64.data() : nullptr;
+    const int64_t* lkey_i64 = key_i64 ? lkey.cols[0].i64.data() : nullptr;
+    const bool parallel = UseParallel(ctx, left.NumRows());
+    auto probe_batch = [&](std::size_t lo, std::size_t hi,
+                           Relation* sink) -> Status {
+      std::vector<uint32_t> matched;  // offsets in [lo, hi), ascending
+      std::size_t bloom_skipped = 0;
+      for (std::size_t l = lo; l < hi; ++l) {
+        const std::size_t h = lkey.hashes[l];
+        if (!bloom.MayContain(h)) {
+          ++bloom_skipped;
+          continue;
+        }
+        if (key_i64) {
+          const int64_t key = lkey_i64[l];
+          for (uint32_t it = table.First(h); it != HashChainIndex::kEnd;
+               it = table.Next(it)) {
+            if (rkey_i64[it] == key) {
+              matched.push_back(static_cast<uint32_t>(l - lo));
+              break;
+            }
+          }
+          continue;
+        }
+        for (uint32_t it = table.First(h); it != HashChainIndex::kEnd;
+             it = table.Next(it)) {
+          if (rkey.hashes[it] == h && KeyRowsEqual(rkey, it, lkey, l)) {
+            matched.push_back(static_cast<uint32_t>(l - lo));
+            break;
+          }
+        }
+      }
+      ctx->batches.fetch_add(1, std::memory_order_relaxed);
+      ctx->hash_probes.fetch_add(hi - lo, std::memory_order_relaxed);
+      ctx->bloom_skips.fetch_add(bloom_skipped, std::memory_order_relaxed);
+      if (matched.empty()) return Status::Ok();
+      Status st = ctx->ChargeRows(matched.size());
+      if (!st.ok()) return st;
+      const std::size_t stride = left.arity();
+      if (!parallel) {
+        // Same density-extrapolated reserve as the scan; a semijoin never
+        // emits more rows than its left input.
+        const std::size_t need = sink->NumRows() + matched.size();
+        if (need > sink->CapacityRows()) {
+          const auto projected = static_cast<std::size_t>(
+              static_cast<double>(need) * static_cast<double>(left.NumRows()) /
+              static_cast<double>(hi));
+          sink->Reserve(std::min(left.NumRows(),
+                                 std::max(need, projected + projected / 8)));
+        }
+      }
+      Value* base = sink->AppendRaw(matched.size());
+      for (std::size_t k = 0; k < matched.size(); ++k) {
+        std::copy_n(left.RowPtr(lo + matched[k]), stride, base + k * stride);
+      }
+      return Status::Ok();
+    };
+    Status vec_status =
+        UseParallel(ctx, left.NumRows())
+            ? ParallelAppend(ctx, left.NumRows(), &out, op_span.id(),
+                             probe_batch)
+            : SerialBatches(left.NumRows(), &out, probe_batch);
+    if (!vec_status.ok()) return vec_status;
+    ctx->NotePeak(out);
+    op_span.Attr("rows_out", out.NumRows());
+    op_span.Attr("batches", NumBatches(left.NumRows()));
+    return out;
+  }
+
   std::vector<std::size_t> right_hash = PrecomputeKeyHashes(right, rcols, ctx);
   std::vector<std::size_t> left_hash = PrecomputeKeyHashes(left, lcols, ctx);
   // Bloom prefilter over the right-side hashes — the semijoin's selective
@@ -942,7 +1528,7 @@ Result<Relation> NaturalSemiJoin(const Relation& left, const Relation& right,
                            probe_range)
           : probe_range(0, left.NumRows(), &out);
   if (!probe_status.ok()) return probe_status;
-  ctx->NotePeak(out.NumRows());
+  ctx->NotePeak(out);
   op_span.Attr("rows_out", out.NumRows());
   return out;
 }
@@ -955,7 +1541,7 @@ Status MergeRowsByTag(const Relation& rows, const std::vector<uint64_t>& tags,
   Status alloc = out->TryReserve(rows.NumRows());
   if (!alloc.ok()) return alloc;
   if (n == 0) {
-    ctx->NotePeak(out->NumRows());
+    ctx->NotePeak(*out);
     return Status::Ok();
   }
   uint64_t max_tag = 0;
@@ -983,7 +1569,7 @@ Status MergeRowsByTag(const Relation& rows, const std::vector<uint64_t>& tags,
     }
   }
   for (std::size_t idx : order) out->AddRow(rows.Row(idx));
-  ctx->NotePeak(out->NumRows());
+  ctx->NotePeak(*out);
   return Status::Ok();
 }
 

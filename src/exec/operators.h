@@ -64,6 +64,11 @@ struct ExecContext {
   // barrier waves. Borrowed like `governor`.
   Tracer* tracer = nullptr;
   uint64_t trace_parent = 0;
+  // Vectorized execution: operators process kBatchRows-sized columnar
+  // batches with tight typed kernels instead of row-at-a-time Value loops.
+  // Output, charge totals, and probe/bloom meters are byte-identical either
+  // way (see exec/batch.h); the row path stays for differential testing.
+  bool vectorized = true;
 
   std::atomic<std::size_t> rows_charged{0};
   std::atomic<std::size_t> work_charged{0};
@@ -77,6 +82,11 @@ struct ExecContext {
   // same precomputed hashes at every thread count), so serial and parallel
   // runs report identical counts. Feeds htqo_bloom_skips_per_query.
   std::atomic<std::size_t> bloom_skips{0};
+  // Columnar batches processed by the vectorized kernels; zero on the row
+  // path. Feeds EXPLAIN ANALYZE per-operator batch counts and the
+  // htqo_exec_batches_per_query metric. Deterministic at any thread count:
+  // the parallel grain equals kBatchRows, so chunk boundaries match.
+  std::atomic<std::size_t> batches{0};
 
   ExecContext() = default;
   // Copyable/assignable despite the atomics so QueryRun (which embeds one)
@@ -92,6 +102,7 @@ struct ExecContext {
     soft_memory_bytes = other.soft_memory_bytes;
     tracer = other.tracer;
     trace_parent = other.trace_parent;
+    vectorized = other.vectorized;
     rows_charged.store(other.rows_charged.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
     work_charged.store(other.work_charged.load(std::memory_order_relaxed),
@@ -102,6 +113,8 @@ struct ExecContext {
                       std::memory_order_relaxed);
     bloom_skips.store(other.bloom_skips.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
+    batches.store(other.batches.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
     return *this;
   }
 
@@ -134,6 +147,16 @@ struct ExecContext {
     AtomicMax(&peak_rows, rows);
     if (governor != nullptr) {
       governor->NotePeakMemory(rows * sizeof(Value));
+    }
+  }
+  // Relation-aware overload: reports the real footprint — tuple store plus
+  // interned-string payload bytes (each distinct string counted once) — so
+  // governor memory budgets reflect string-heavy relations, not just their
+  // 16-byte handles. The row-count high-water mark is unchanged.
+  void NotePeak(const Relation& rel) {
+    AtomicMax(&peak_rows, rel.NumRows());
+    if (governor != nullptr) {
+      governor->NotePeakMemory(rel.FootprintBytes());
     }
   }
 

@@ -135,13 +135,13 @@ Result<Relation> EvaluateDecomposition(const ResolvedQuery& rq,
       auto projected = project_needed(*joined, used);
       if (!projected.ok()) return projected.status();
       current = std::move(projected.value());
-      ctx->NotePeak(current->NumRows());
+      ctx->NotePeak(*current);
     }
     // Final projection to chi(p) exactly.
     auto chi_rel = ProjectToChi(rq, node.chi, *current, ctx);
     if (!chi_rel.ok()) return chi_rel.status();
     current = std::move(chi_rel.value());
-    ctx->NotePeak(current->NumRows());
+    ctx->NotePeak(*current);
 
     HTQO_CHECK(current.has_value());
     // Every chi(p) variable must now be available (guaranteed by condition 3

@@ -26,6 +26,7 @@
 #define HTQO_OPT_TREE_WAVES_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <vector>
@@ -94,6 +95,8 @@ inline Status RunWaves(ExecContext* ctx,
     ScopedSpan wave_span(ctx->tracer, "wave");
     wave_span.Attr("index", wave_index++);
     wave_span.Attr("nodes", wave.size());
+    const std::size_t batches_before =
+        ctx->batches.load(std::memory_order_relaxed);
     ctx->trace_parent = wave_span.id() != 0 ? wave_span.id() : saved_parent;
     if (ctx->parallel() && wave.size() > 1) {
       std::vector<Status> status(wave.size(), Status::Ok());
@@ -106,15 +109,14 @@ inline Status RunWaves(ExecContext* ctx,
                              });
       if (ctx->governor != nullptr && ctx->governor->exhausted()) {
         result = ctx->governor->trip_status();
-        break;
-      }
-      for (const Status& s : status) {
-        if (!s.ok()) {
-          result = s;
-          break;
+      } else {
+        for (const Status& s : status) {
+          if (!s.ok()) {
+            result = s;
+            break;
+          }
         }
       }
-      if (!result.ok()) break;
     } else {
       for (std::size_t p : wave) {
         Status s = node_body(p);
@@ -123,8 +125,10 @@ inline Status RunWaves(ExecContext* ctx,
           break;
         }
       }
-      if (!result.ok()) break;
     }
+    wave_span.Attr("batches", ctx->batches.load(std::memory_order_relaxed) -
+                                  batches_before);
+    if (!result.ok()) break;
   }
   ctx->trace_parent = saved_parent;
   return result;

@@ -52,7 +52,7 @@ Result<Relation> ThreePass(std::vector<Relation> nodes, const Forest& forest,
       if (!reduced.ok()) return reduced.status();
       nodes[p] = std::move(reduced.value());
     }
-    ctx->NotePeak(nodes[p].NumRows());
+    ctx->NotePeak(nodes[p]);
     return Status::Ok();
   };
 
@@ -99,7 +99,7 @@ Result<Relation> ThreePass(std::vector<Relation> nodes, const Forest& forest,
     auto projected = ProjectByName(t, keep, /*distinct=*/true, ctx);
     if (!projected.ok()) return projected.status();
     collected[p] = std::move(projected.value());
-    ctx->NotePeak(collected[p]->NumRows());
+    ctx->NotePeak(*collected[p]);
     return Status::Ok();
   };
 
@@ -295,7 +295,7 @@ Result<Relation> EvaluateDecompositionClassic(const ResolvedQuery& rq,
     auto chi_rel = ProjectByName(current, chi_names, /*distinct=*/true, ctx);
     if (!chi_rel.ok()) return chi_rel.status();
     nodes.push_back(std::move(chi_rel.value()));
-    ctx->NotePeak(nodes.back().NumRows());
+    ctx->NotePeak(nodes.back());
   }
 
   // Step S2'': Yannakakis over the decomposition tree.

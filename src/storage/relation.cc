@@ -1,6 +1,7 @@
 #include "storage/relation.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "util/fault_injector.h"
 #include "util/hash_chain.h"
@@ -141,6 +142,32 @@ bool Relation::SameRowsAs(const Relation& other) const {
     if (CompareRows(a.Row(r), b.Row(r), all) != 0) return false;
   }
   return true;
+}
+
+std::size_t Relation::StringPayloadBytes() const {
+  bool any_string = false;
+  for (const Column& c : schema_.columns()) {
+    if (c.type == ValueType::kString) {
+      any_string = true;
+      break;
+    }
+  }
+  if (!any_string) return 0;
+  // Interned pointers are stable and unique per content, so a pointer set
+  // counts each payload exactly once.
+  std::unordered_set<const std::string*> seen;
+  std::size_t bytes = 0;
+  const std::size_t n = NumRows();
+  for (std::size_t c = 0; c < arity(); ++c) {
+    if (schema_.column(c).type != ValueType::kString) continue;
+    for (std::size_t r = 0; r < n; ++r) {
+      const Value& v = At(r, c);
+      if (v.type() != ValueType::kString) continue;  // schema is advisory
+      const std::string* s = &v.AsString();
+      if (seen.insert(s).second) bytes += s->size() + sizeof(std::string);
+    }
+  }
+  return bytes;
 }
 
 std::string Relation::ToString(std::size_t max_rows) const {

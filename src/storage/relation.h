@@ -39,6 +39,13 @@ class Relation {
 
   void Reserve(std::size_t rows) { data_.reserve(rows * arity()); }
 
+  // Rows the tuple store can hold before reallocating. The vectorized join
+  // extrapolates its output density through this to reserve once instead of
+  // riding vector doubling (each doubling recopies every row written so far).
+  std::size_t CapacityRows() const {
+    return arity() == 0 ? 0 : data_.capacity() / arity();
+  }
+
   // Fallible allocation entry point used by the physical operators when
   // materializing output: consults the fault injector's relation.alloc site
   // (so tests can simulate allocation failure as a clean Status) and
@@ -76,9 +83,30 @@ class Relation {
     data_.insert(data_.end(), other.data_.begin(), other.data_.end());
   }
 
+  // Appends `n` default-initialized rows and returns a write pointer to the
+  // first new value. The vectorized gather kernels fill output rows through
+  // this instead of per-row AddRow span inserts. Returns nullptr for
+  // zero-arity relations (the rows are still counted).
+  Value* AppendRaw(std::size_t n) {
+    if (arity() == 0) {
+      zero_arity_rows_ += n;
+      return nullptr;
+    }
+    std::size_t old = data_.size();
+    data_.resize(old + n * arity());
+    return data_.data() + old;
+  }
+
   std::span<const Value> Row(std::size_t i) const {
     HTQO_DCHECK(i < NumRows());
     return {data_.data() + i * arity(), arity()};
+  }
+
+  // Raw pointer to row `i`'s first value; the vectorized kernels memcpy
+  // whole rows through this (Value is trivially copyable).
+  const Value* RowPtr(std::size_t i) const {
+    HTQO_DCHECK(i < NumRows());
+    return data_.data() + i * arity();
   }
 
   const Value& At(std::size_t row, std::size_t col) const {
@@ -106,6 +134,18 @@ class Relation {
   // True when both relations contain the same multiset of rows, ignoring
   // order. Schemas must have equal arity; column names are not compared.
   bool SameRowsAs(const Relation& other) const;
+
+  // Bytes of interned-string payload reachable from this relation, counting
+  // each distinct pooled string once. Zero-cost when the schema declares no
+  // string columns (the common numeric-join case).
+  std::size_t StringPayloadBytes() const;
+
+  // Approximate resident footprint: tuple store plus distinct string
+  // payloads. Feeds governor memory accounting (NotePeak / spill
+  // thresholds) so string-heavy relations register their real size.
+  std::size_t FootprintBytes() const {
+    return NumRows() * arity() * sizeof(Value) + StringPayloadBytes();
+  }
 
   // Human-readable dump, truncated to `max_rows`.
   std::string ToString(std::size_t max_rows = 20) const;

@@ -62,6 +62,16 @@ class Value {
     out.int_ = days;
     return out;
   }
+  // Wraps a pointer that is already in the intern pool (obtained from the
+  // string_ of a live kString value) without the pool lookup. The vectorized
+  // gather kernels reconstruct string cells through this; passing a pointer
+  // from outside the pool would break the pointer-equality fast path.
+  static Value InternedString(const std::string* s) {
+    Value out;
+    out.type_ = ValueType::kString;
+    out.string_ = s;
+    return out;
+  }
 
   // Parses "YYYY-MM-DD" into a kDate value; checked failure on bad input
   // (callers validate first — the SQL lexer does).

@@ -1,0 +1,308 @@
+// Unit tests for the columnar batch layer (DESIGN.md §6g). The load-bearing
+// property is the equivalence contract: every hash and equality primitive
+// here must reproduce Value::Hash / Value::Compare / HashRowKey bit for bit,
+// because the vectorized join kernels feed these hashes into the same Bloom
+// filters and chain indexes the row engine uses — any divergence shows up as
+// different bloom_skips/work_charged meters, not just wrong rows.
+
+#include "exec/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+#include "storage/value.h"
+#include "test_util.h"
+
+namespace htqo {
+namespace {
+
+// --- NullBitmap. -------------------------------------------------------------
+
+TEST(NullBitmapTest, StartsAllValidWithoutMaterializingWords) {
+  NullBitmap bits;
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{63},
+                        std::size_t{64}, std::size_t{65}, kBatchRows}) {
+    bits.Reset(n);
+    EXPECT_TRUE(bits.AllValid()) << n;
+    EXPECT_EQ(bits.CountValid(), n);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_TRUE(bits.IsValid(i)) << i;
+  }
+}
+
+TEST(NullBitmapTest, SetNullMaterializesAndSetValidRestores) {
+  NullBitmap bits;
+  bits.Reset(130);  // spans three words; bit 129 exercises the tail word
+  bits.SetNull(0);
+  bits.SetNull(64);
+  bits.SetNull(129);
+  EXPECT_FALSE(bits.AllValid());
+  EXPECT_EQ(bits.CountValid(), 127u);
+  EXPECT_FALSE(bits.IsValid(0));
+  EXPECT_FALSE(bits.IsValid(64));
+  EXPECT_FALSE(bits.IsValid(129));
+  EXPECT_TRUE(bits.IsValid(1));
+  bits.SetValid(64);
+  EXPECT_TRUE(bits.IsValid(64));
+  EXPECT_EQ(bits.CountValid(), 128u);
+}
+
+TEST(NullBitmapTest, AllNullColumnCountsZero) {
+  NullBitmap bits;
+  bits.Reset(70);
+  for (std::size_t i = 0; i < 70; ++i) bits.SetNull(i);
+  EXPECT_EQ(bits.CountValid(), 0u);
+}
+
+// --- ExtractColumn classes and tags. -----------------------------------------
+
+TEST(ExtractColumnTest, Int64ColumnsComeBackAsI64) {
+  Relation rel = IntRelation({"a"}, {{5}, {-3}, {0}});
+  ColumnVector c = ExtractColumn(rel, 0, 0, rel.NumRows());
+  EXPECT_EQ(c.cls, ColumnClass::kI64);
+  EXPECT_EQ(c.value_tag, ValueType::kInt64);
+  ASSERT_EQ(c.size, 3u);
+  EXPECT_EQ(c.i64[0], 5);
+  EXPECT_EQ(c.i64[1], -3);
+  EXPECT_TRUE(c.nulls.AllValid());
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(c.ValueAt(r), rel.At(r, 0));
+    EXPECT_EQ(c.ValueAt(r).type(), ValueType::kInt64);
+  }
+}
+
+TEST(ExtractColumnTest, DateAndInt64MixStaysI64WithExactTags) {
+  // kDate and kInt64 share payload, hash and ordering; the class stays kI64
+  // and ValueAt reconstructs whichever tag led the column.
+  Relation rel{Schema({Column{"d", ValueType::kDate}})};
+  rel.AddRow({Value::Date(19000)});
+  rel.AddRow({Value::Date(19001)});
+  ColumnVector c = ExtractColumn(rel, 0, 0, rel.NumRows());
+  EXPECT_EQ(c.cls, ColumnClass::kI64);
+  EXPECT_EQ(c.value_tag, ValueType::kDate);
+  EXPECT_EQ(c.ValueAt(0).type(), ValueType::kDate);
+  EXPECT_EQ(c.ValueAt(0), Value::Date(19000));
+}
+
+TEST(ExtractColumnTest, DoubleColumnsComeBackAsF64) {
+  Relation rel{Schema({Column{"x", ValueType::kDouble}})};
+  rel.AddRow({Value::Double(1.5)});
+  rel.AddRow({Value::Double(-0.0)});
+  ColumnVector c = ExtractColumn(rel, 0, 0, rel.NumRows());
+  EXPECT_EQ(c.cls, ColumnClass::kF64);
+  EXPECT_EQ(c.ValueAt(0), Value::Double(1.5));
+  EXPECT_EQ(c.ValueAt(1).type(), ValueType::kDouble);
+}
+
+TEST(ExtractColumnTest, StringColumnsInternPointersAndBuildDictionary) {
+  Relation rel{Schema({Column{"s", ValueType::kString}})};
+  rel.AddRow({Value::String("FRANCE")});
+  rel.AddRow({Value::String("GERMANY")});
+  rel.AddRow({Value::String("FRANCE")});
+  ColumnVector c = ExtractColumn(rel, 0, 0, rel.NumRows());
+  EXPECT_EQ(c.cls, ColumnClass::kStr);
+  EXPECT_TRUE(c.dict_active);
+  // Interning: repeated content shares one pointer, so one dict code.
+  EXPECT_EQ(c.str[0], c.str[2]);
+  EXPECT_NE(c.str[0], c.str[1]);
+  EXPECT_EQ(c.codes[0], c.codes[2]);
+  EXPECT_EQ(c.dict_values.size(), 2u);
+  EXPECT_EQ(c.ValueAt(1), Value::String("GERMANY"));
+}
+
+TEST(ExtractColumnTest, MixedTagColumnFallsBackToGeneric) {
+  // The SQL paths never mix string and numeric in one column, but the layer
+  // must degrade to exact Value semantics instead of misclassifying.
+  Relation rel{Schema({Column{"m", ValueType::kInt64}})};
+  rel.AddRow({Value::Int64(7)});
+  rel.AddRow({Value::String("x")});
+  rel.AddRow({Value::Double(2.5)});
+  ColumnVector c = ExtractColumn(rel, 0, 0, rel.NumRows());
+  EXPECT_EQ(c.cls, ColumnClass::kGeneric);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(c.ValueAt(r).type(), rel.At(r, 0).type());
+    EXPECT_EQ(ElemHash(c, r), rel.At(r, 0).Hash());
+  }
+}
+
+TEST(ExtractColumnTest, Int64ThenDoubleMixFallsBackToGeneric) {
+  // int64 and double do NOT share a payload class (hashes differ), so a mix
+  // must restart as generic even though both are numeric.
+  Relation rel{Schema({Column{"m", ValueType::kInt64}})};
+  rel.AddRow({Value::Int64(2)});
+  rel.AddRow({Value::Double(2.5)});
+  ColumnVector c = ExtractColumn(rel, 0, 0, rel.NumRows());
+  EXPECT_EQ(c.cls, ColumnClass::kGeneric);
+  EXPECT_EQ(ElemHash(c, 0), Value::Int64(2).Hash());
+  EXPECT_EQ(ElemHash(c, 1), Value::Double(2.5).Hash());
+}
+
+// --- Hash equivalence: ElemHash == Value::Hash, KeyBlock == HashRowKey. ------
+
+TEST(ElemHashTest, MatchesValueHashAcrossTypes) {
+  Relation rel{Schema({Column{"v", ValueType::kInt64}})};
+  std::vector<Value> values = {
+      Value::Int64(0),      Value::Int64(-1),
+      Value::Int64(1 << 20)};
+  for (const Value& v : values) rel.AddRow({v});
+  ColumnVector ints = ExtractColumn(rel, 0, 0, rel.NumRows());
+  for (std::size_t r = 0; r < rel.NumRows(); ++r) {
+    EXPECT_EQ(ElemHash(ints, r), rel.At(r, 0).Hash()) << r;
+  }
+
+  Relation dbl{Schema({Column{"v", ValueType::kDouble}})};
+  // 4.0 is integral: Value::Hash folds it to the int64 hash; 4.5 is not.
+  for (double d : {4.0, 4.5, -0.0, 1e300}) dbl.AddRow({Value::Double(d)});
+  ColumnVector doubles = ExtractColumn(dbl, 0, 0, dbl.NumRows());
+  for (std::size_t r = 0; r < dbl.NumRows(); ++r) {
+    EXPECT_EQ(ElemHash(doubles, r), dbl.At(r, 0).Hash()) << r;
+  }
+  // The integral-double fold means Double(4.0) hashes like Int64(4) — the
+  // cross-class join key case.
+  EXPECT_EQ(ElemHash(doubles, 0), Value::Int64(4).Hash());
+
+  Relation str{Schema({Column{"v", ValueType::kString}})};
+  for (const char* s : {"", "a", "FRANCE", "FRANCE"}) {
+    str.AddRow({Value::String(s)});
+  }
+  ColumnVector strings = ExtractColumn(str, 0, 0, str.NumRows());
+  EXPECT_TRUE(strings.dict_active);
+  for (std::size_t r = 0; r < str.NumRows(); ++r) {
+    EXPECT_EQ(ElemHash(strings, r), str.At(r, 0).Hash()) << r;
+  }
+}
+
+TEST(ElemHashTest, DictionaryOverflowFallsBackAndStaysCorrect) {
+  Relation rel{Schema({Column{"s", ValueType::kString}})};
+  const std::size_t n = kDictMaxEntries + 17;
+  for (std::size_t i = 0; i < n; ++i) {
+    rel.AddRow({Value::String("k" + std::to_string(i))});
+  }
+  ColumnVector c = ExtractColumn(rel, 0, 0, rel.NumRows());
+  EXPECT_EQ(c.cls, ColumnClass::kStr);
+  EXPECT_FALSE(c.dict_active);  // > kDictMaxEntries distinct values
+  for (std::size_t r = 0; r < n; r += 97) {
+    EXPECT_EQ(ElemHash(c, r), rel.At(r, 0).Hash()) << r;
+  }
+  EXPECT_EQ(ElemHash(c, n - 1), rel.At(n - 1, 0).Hash());
+}
+
+TEST(KeyBlockTest, HashesMatchHashRowKeyAndRangedVariantAgrees) {
+  Relation rel = IntRelation({"a", "b", "c"}, {});
+  for (int64_t i = 0; i < 2500; ++i) {
+    rel.AddRow(std::vector<Value>{Value::Int64(i % 37), Value::Int64(i % 11),
+                                  Value::Int64(i)});
+  }
+  const std::vector<std::size_t> key_cols = {2, 0};  // order matters
+  KeyBlock whole = BuildKeyBlock(rel, key_cols);
+  ASSERT_EQ(whole.num_rows(), rel.NumRows());
+  for (std::size_t r = 0; r < rel.NumRows(); ++r) {
+    ASSERT_EQ(whole.hashes[r], HashRowKey(rel.Row(r), key_cols)) << r;
+  }
+  // Ranged extraction (the spill partitioner's shape: odd tail included)
+  // produces the same hashes batch by batch.
+  for (std::size_t lo = 0; lo < rel.NumRows(); lo += kBatchRows) {
+    const std::size_t hi = std::min(lo + kBatchRows, rel.NumRows());
+    KeyBlock ranged = BuildKeyBlock(rel, key_cols, lo, hi - lo);
+    ASSERT_EQ(ranged.num_rows(), hi - lo);
+    for (std::size_t r = lo; r < hi; ++r) {
+      ASSERT_EQ(ranged.hashes[r - lo], whole.hashes[r]) << r;
+    }
+  }
+}
+
+TEST(KeyBlockTest, KeyRowsEqualMatchesRowKeysEqualOnNumericMixes) {
+  // Left int64 keys, right doubles (some integral): KeyRowsEqual must agree
+  // with RowKeysEqual everywhere, including Int64(4) == Double(4.0).
+  Relation l = IntRelation({"k"}, {{4}, {5}, {6}});
+  Relation r{Schema({Column{"k", ValueType::kDouble}})};
+  r.AddRow({Value::Double(4.0)});
+  r.AddRow({Value::Double(5.5)});
+  r.AddRow({Value::Double(6.0)});
+  const std::vector<std::size_t> cols = {0};
+  KeyBlock lk = BuildKeyBlock(l, cols);
+  KeyBlock rk = BuildKeyBlock(r, cols);
+  for (std::size_t i = 0; i < l.NumRows(); ++i) {
+    for (std::size_t j = 0; j < r.NumRows(); ++j) {
+      EXPECT_EQ(KeyRowsEqual(lk, i, rk, j),
+                RowKeysEqual(l.Row(i), cols, r.Row(j), cols))
+          << i << "," << j;
+    }
+  }
+}
+
+// --- ColumnarChunk round trips. -----------------------------------------------
+
+TEST(ColumnarChunkTest, RoundTripsSingleRowAndOddTails) {
+  Relation rel = IntRelation({"a", "b"}, {});
+  const std::size_t n = 2 * kBatchRows + 3;  // forces an odd tail chunk
+  for (std::size_t i = 0; i < n; ++i) {
+    rel.AddRow(std::vector<Value>{Value::Int64(static_cast<int64_t>(i)),
+                                  Value::Int64(static_cast<int64_t>(i * 7))});
+  }
+  Relation rebuilt{rel.schema()};
+  for (std::size_t lo = 0; lo < n; lo += kBatchRows) {
+    const std::size_t hi = std::min(lo + kBatchRows, n);
+    ColumnarChunk chunk = ColumnarChunk::FromRelation(rel, lo, hi - lo);
+    EXPECT_EQ(chunk.selection.size(), hi - lo);
+    chunk.AppendToRelation(&rebuilt);
+  }
+  ASSERT_EQ(rebuilt.NumRows(), n);
+  for (std::size_t r = 0; r < n; ++r) {
+    ASSERT_EQ(rebuilt.At(r, 0), rel.At(r, 0));
+    ASSERT_EQ(rebuilt.At(r, 1), rel.At(r, 1));
+  }
+
+  // Batch-size-1: a one-row chunk round-trips too.
+  Relation one{rel.schema()};
+  ColumnarChunk single = ColumnarChunk::FromRelation(rel, 5, 1);
+  single.AppendToRelation(&one);
+  ASSERT_EQ(one.NumRows(), 1u);
+  EXPECT_EQ(one.At(0, 0), Value::Int64(5));
+}
+
+TEST(ColumnarChunkTest, EmptySelectionAppendsNothing) {
+  // A filter cascade that empties the selection mid-pipeline must yield an
+  // empty gather, not a crash or stale rows.
+  Relation rel = IntRelation({"a"}, {{1}, {2}, {3}});
+  ColumnarChunk chunk = ColumnarChunk::FromRelation(rel, 0, rel.NumRows());
+  chunk.selection.clear();
+  Relation out{rel.schema()};
+  chunk.AppendToRelation(&out);
+  EXPECT_EQ(out.NumRows(), 0u);
+}
+
+TEST(ColumnarChunkTest, NullCarryingRowsAreDropped) {
+  Relation rel = IntRelation({"a", "b"}, {{1, 10}, {2, 20}, {3, 30}});
+  ColumnarChunk chunk = ColumnarChunk::FromRelation(rel, 0, rel.NumRows());
+  chunk.columns[1].nulls.SetNull(1);  // second row becomes null-carrying
+  Relation out{rel.schema()};
+  chunk.AppendToRelation(&out);
+  ASSERT_EQ(out.NumRows(), 2u);
+  EXPECT_EQ(out.At(0, 0), Value::Int64(1));
+  EXPECT_EQ(out.At(1, 0), Value::Int64(3));
+}
+
+TEST(ColumnarChunkTest, AllNullColumnDropsEveryRow) {
+  Relation rel = IntRelation({"a"}, {{1}, {2}, {3}});
+  ColumnarChunk chunk = ColumnarChunk::FromRelation(rel, 0, rel.NumRows());
+  for (std::size_t r = 0; r < rel.NumRows(); ++r) {
+    chunk.columns[0].nulls.SetNull(r);
+  }
+  EXPECT_EQ(chunk.columns[0].nulls.CountValid(), 0u);
+  Relation out{rel.schema()};
+  chunk.AppendToRelation(&out);
+  EXPECT_EQ(out.NumRows(), 0u);
+}
+
+TEST(ColumnarChunkTest, ZeroRowExtractKeepsSchemaClass) {
+  Relation rel{Schema({Column{"s", ValueType::kString}})};
+  ColumnVector c = ExtractColumn(rel, 0, 0, 0);
+  EXPECT_EQ(c.size, 0u);
+  EXPECT_EQ(c.cls, ColumnClass::kStr);  // class from the schema type
+}
+
+}  // namespace
+}  // namespace htqo

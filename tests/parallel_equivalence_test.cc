@@ -189,6 +189,93 @@ TEST_P(ParallelEquivalenceTest, RandomQueriesAreThreadCountInvariant) {
 INSTANTIATE_TEST_SUITE_P(RandomQueries, ParallelEquivalenceTest,
                          ::testing::Range<uint64_t>(0, 25));
 
+// --- Row engine vs. vectorized engine: byte-identical, meter-identical. -----
+
+// The batch engine's equivalence contract (DESIGN.md §6g): flipping
+// RunOptions::use_vectorized changes wall-clock only. Output bytes, row/work
+// charges, hash-probe and bloom-skip meters all replay exactly, at every
+// thread count — the vectorized kernels feed the same hashes to the same
+// Bloom filters and walk the same chains. (plan_details is NOT compared
+// across engines: EXPLAIN ANALYZE annotates batch counts on the vectorized
+// side only.)
+class EngineEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineEquivalenceTest, RowAndVectorizedEnginesAreByteIdentical) {
+  Rng rng(GetParam() * 52361 + 11);
+
+  const std::size_t n = 2 + rng.Uniform(5);
+  Catalog catalog;
+  std::vector<std::vector<std::string>> columns(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t arity = 2 + rng.Uniform(2);
+    for (std::size_t c = 0; c < arity; ++c) {
+      columns[i].push_back("c" + std::to_string(c));
+    }
+    catalog.Put("t" + std::to_string(i),
+                MakeSyntheticRelation(20 + rng.Uniform(80), columns[i],
+                                      20 + rng.Uniform(70), rng.Fork(i + 1)));
+  }
+  std::vector<std::string> where;
+  auto attr = [&](std::size_t atom) {
+    return "t" + std::to_string(atom) + ".c" +
+           std::to_string(rng.Uniform(columns[atom].size()));
+  };
+  for (std::size_t i = 1; i < n; ++i) {
+    where.push_back(attr(rng.Uniform(i)) + " = " + attr(i));
+  }
+  std::vector<std::string> from;
+  for (std::size_t i = 0; i < n; ++i) from.push_back("t" + std::to_string(i));
+  std::string sql = "SELECT DISTINCT " + attr(0) + " AS o0, " +
+                    attr(rng.Uniform(n)) + " AS o1 FROM " + Join(from, ", ") +
+                    " WHERE " + Join(where, " AND ");
+
+  StatisticsRegistry registry;
+  registry.AnalyzeAll(catalog);
+  HybridOptimizer optimizer(&catalog, &registry);
+  if (!optimizer.Resolve(sql, TidMode::kNone).ok()) {
+    GTEST_SKIP() << "outside fragment";
+  }
+
+  for (OptimizerMode mode :
+       {OptimizerMode::kQhdHybrid, OptimizerMode::kDpStatistics,
+        OptimizerMode::kYannakakis, OptimizerMode::kClassicHd}) {
+    for (std::size_t threads : {1, 2, 4}) {
+      RunOptions row_opts;
+      row_opts.mode = mode;
+      row_opts.tid_mode = TidMode::kNone;
+      row_opts.fallback_to_dp = true;
+      row_opts.num_threads = threads;
+      row_opts.use_vectorized = false;
+      RunOptions vec_opts = row_opts;
+      vec_opts.use_vectorized = true;
+      auto row_run = optimizer.Run(sql, row_opts);
+      auto vec_run = optimizer.Run(sql, vec_opts);
+      ASSERT_EQ(row_run.ok(), vec_run.ok())
+          << OptimizerModeName(mode) << " at " << threads
+          << " threads: engines disagree on success for\n"
+          << sql;
+      if (!row_run.ok()) continue;
+      EXPECT_TRUE(ByteIdentical(row_run->output, vec_run->output))
+          << OptimizerModeName(mode) << " at " << threads
+          << " threads diverges on\n"
+          << sql;
+      EXPECT_EQ(row_run->ctx.rows_charged.load(),
+                vec_run->ctx.rows_charged.load());
+      EXPECT_EQ(row_run->ctx.work_charged.load(),
+                vec_run->ctx.work_charged.load());
+      EXPECT_EQ(row_run->ctx.hash_probes.load(),
+                vec_run->ctx.hash_probes.load());
+      EXPECT_EQ(row_run->ctx.bloom_skips.load(),
+                vec_run->ctx.bloom_skips.load());
+      // The batch meter is what distinguishes the engines.
+      EXPECT_EQ(row_run->ctx.batches.load(), 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomQueries, EngineEquivalenceTest,
+                         ::testing::Range<uint64_t>(0, 15));
+
 // --- Inputs big enough to take the partitioned kernels. ---------------------
 
 class ParallelKernelFixture : public ::testing::Test {
@@ -293,6 +380,36 @@ TEST_F(ParallelKernelFixture, AggregatesUnderBagSemanticsMatch) {
     ASSERT_TRUE(run.ok()) << run.status().message();
     EXPECT_TRUE(ByteIdentical(reference->output, run->output))
         << threads << " threads";
+  }
+}
+
+TEST_F(ParallelKernelFixture, AggregatesMatchRowEngineAtAnyThreadCount) {
+  // GROUP BY exercises the vectorized aggregation path (KeyBlock group
+  // hashes + per-batch argument evaluation); output and charges must match
+  // the row engine's exactly, including float-sum accumulation order.
+  const std::string sql =
+      "SELECT r1.a AS k, count(*) AS n, sum(r3.b) AS s FROM r1, r2, r3 "
+      "WHERE r1.b = r2.a AND r2.b = r3.a GROUP BY r1.a ORDER BY k";
+  HybridOptimizer optimizer(&catalog_, &registry_);
+  RunOptions row_opts;
+  row_opts.mode = OptimizerMode::kQhdHybrid;
+  row_opts.tid_mode = TidMode::kAllAtoms;
+  row_opts.use_vectorized = false;
+  auto reference = optimizer.Run(sql, row_opts);
+  ASSERT_TRUE(reference.ok()) << reference.status().message();
+  for (std::size_t threads : {1, 2, 8}) {
+    RunOptions vec_opts = row_opts;
+    vec_opts.use_vectorized = true;
+    vec_opts.num_threads = threads;
+    auto run = optimizer.Run(sql, vec_opts);
+    ASSERT_TRUE(run.ok()) << run.status().message();
+    EXPECT_TRUE(ByteIdentical(reference->output, run->output))
+        << threads << " threads";
+    EXPECT_EQ(reference->ctx.rows_charged.load(),
+              run->ctx.rows_charged.load());
+    EXPECT_EQ(reference->ctx.work_charged.load(),
+              run->ctx.work_charged.load());
+    EXPECT_GT(run->ctx.batches.load(), 0u);
   }
 }
 

@@ -9,6 +9,12 @@
 #   tools/check.sh --chaos  # ASan+UBSan build, then the chaos sweep and the
 #                           # spill/fault suites under injection: every fault
 #                           # site x {always, p=0.05} x {1, 4} threads
+#   tools/check.sh --vectorized
+#                           # batch-engine gate: the row-vs-vectorized
+#                           # equivalence suites under ASan+UBSan, then the
+#                           # paired operator microbenches on the plain
+#                           # build, emitting BENCH_vectorized.json and
+#                           # requiring >=3x geomean on scan/filter + join
 #   tools/check.sh --server # query-server smoke: start htqo_server, run the
 #                           # htqo_client load-test sweep (4/16/64 clients,
 #                           # mixed tenants, chaos disconnects), assert the
@@ -124,16 +130,21 @@ want_asan=false
 want_tsan=false
 want_chaos=false
 want_server=false
+want_vectorized=false
 case "${1:-}" in
   "") ;;
   --asan) want_asan=true ;;
   --tsan) want_tsan=true ;;
   --chaos) want_chaos=true ;;
   --server) want_server=true ;;
-  --all) want_asan=true; want_tsan=true; want_chaos=true; want_server=true ;;
+  --vectorized) want_vectorized=true ;;
+  --all)
+    want_asan=true; want_tsan=true; want_chaos=true; want_server=true
+    want_vectorized=true
+    ;;
   *)
     echo "error: unknown flag '${1}' (expected --asan, --tsan, --chaos," \
-         "--server, or --all)" >&2
+         "--server, --vectorized, or --all)" >&2
     exit 2
     ;;
 esac
@@ -175,6 +186,34 @@ if $want_tsan; then
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
       -R 'Parallel|Threading|ThreadPool|Governor|ExecContext|Fault|Server|Admission'
+fi
+
+if $want_vectorized; then
+  # The batch engine's acceptance bar (DESIGN.md §6g): the row-vs-vectorized
+  # equivalence suites under ASan+UBSan — byte-identical output and meters
+  # with use_vectorized flipped, across thread counts and forced spill —
+  # then the paired microbenches on the optimized build, gating >=3x geomean
+  # on the scan/filter and hash-join kernels and emitting the full pair set
+  # (semijoin and distinct included) as BENCH_vectorized.json.
+  echo "==> vectorized equivalence sweep (ASan+UBSan)"
+  cmake -B build-asan -S . -DHTQO_SANITIZE=ON
+  require_sanitize build-asan ON
+  cmake --build build-asan -j"$(nproc)"
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
+      -R 'Batch|Chunk|KeyBlock|NullBitmap|ElemHash|ExtractColumn|Engine|Equivalence'
+
+  echo "==> vectorized speedup gate"
+  cmake --build build -j"$(nproc)" --target bench_operators
+  ./build/bench/bench_operators \
+    --benchmark_filter='(ScanFilter|HashJoin|SemiJoin|Distinct)(Row|Vec)' \
+    --benchmark_format=json --benchmark_repetitions=3 \
+    > BENCH_vectorized.json
+  tools/compare_bench.py BENCH_vectorized.json \
+    --pair ScanFilterRow:ScanFilterVec \
+    --pair HashJoinRow:HashJoinVec \
+    --min-speedup 3
 fi
 
 if $want_server; then

@@ -6,11 +6,13 @@ compiled in, but off: every instrumentation point is a null-tracer branch)
 does not regress the operator microbenchmarks against a
 -DHTQO_DISABLE_TRACING=ON build, where the instrumentation does not exist.
 
-Matching benchmarks are compared by the "_mean" aggregate when present
-(run both sides with --benchmark_repetitions) or the raw real_time
-otherwise, and the verdict is the geometric mean ratio across all common
-benchmarks — single-benchmark jitter does not fail the gate, a systematic
-slowdown does.
+Matching benchmarks are compared by the "_median" aggregate when present
+(run both sides with --benchmark_repetitions; the median shrugs off a
+single repetition inflated by scheduler noise or CPU steal, which skews
+the mean), falling back to "_mean", then to the raw real_time. The
+verdict is the geometric mean ratio across all common benchmarks —
+single-benchmark jitter does not fail the gate, a systematic slowdown
+does.
 
   tools/compare_bench.py baseline.json candidate.json --max-regress 0.05
 
@@ -22,6 +24,15 @@ paths are rows of the same run — machine-speed differences cancel out:
 
   tools/compare_bench.py plan_cache.json --pair PlanCold:PlanWarm \\
       --min-speedup 5
+
+--pair is repeatable; all matched pairs feed one combined geomean. CI's
+vectorized gate uses this to require the batch engine's speedup across
+scan/filter, hash join, semijoin and distinct in a single verdict:
+
+  tools/compare_bench.py BENCH_vectorized.json \\
+      --pair ScanFilterRow:ScanFilterVec --pair HashJoinRow:HashJoinVec \\
+      --pair SemiJoinRow:SemiJoinVec --pair DistinctRow:DistinctVec \\
+      --min-speedup 3
 
 --filter PREFIX restricts the two-file comparison to benchmarks whose
 name starts with PREFIX (e.g. only the PlanNoCache rows when checking the
@@ -37,34 +48,45 @@ import sys
 def load_times(path):
     with open(path) as f:
         doc = json.load(f)
-    raw, means = {}, {}
+    raw, means, medians = {}, {}, {}
     for b in doc.get("benchmarks", []):
         name = b["name"]
         if b.get("run_type") == "aggregate":
-            if b.get("aggregate_name") == "mean":
+            if b.get("aggregate_name") == "median":
+                medians[name.removesuffix("_median")] = b["real_time"]
+            elif b.get("aggregate_name") == "mean":
                 means[name.removesuffix("_mean")] = b["real_time"]
         else:
             # First repetition wins; good enough when aggregates exist.
             raw.setdefault(name, b["real_time"])
-    return means if means else raw
+    return medians or means or raw
 
 
-def run_pair(times, pair, min_speedup):
-    """Within-file gate: rows BASE/<arg> vs CAND/<arg> of one result set."""
-    base_prefix, _, cand_prefix = pair.partition(":")
-    if not base_prefix or not cand_prefix:
-        print(f"error: --pair wants BASE:CAND, got {pair!r}")
-        return 1
+def run_pair(times, pair_specs, min_speedup):
+    """Within-file gate: rows BASE/<arg> vs CAND/<arg> of one result set.
+
+    Accepts several BASE:CAND specs (repeated --pair flags); the verdict is
+    one geomean over every matched pair, so a multi-operator gate (e.g. the
+    row-vs-vectorized sweep) passes or fails as a whole.
+    """
     pairs = []
-    for name, base_time in sorted(times.items()):
-        if name != base_prefix and not name.startswith(base_prefix + "/"):
-            continue
-        counterpart = cand_prefix + name[len(base_prefix):]
-        if counterpart in times:
-            pairs.append((name, counterpart, base_time, times[counterpart]))
-    if not pairs:
-        print(f"error: no {base_prefix}/{cand_prefix} row pairs found")
-        return 1
+    for pair in pair_specs:
+        base_prefix, _, cand_prefix = pair.partition(":")
+        if not base_prefix or not cand_prefix:
+            print(f"error: --pair wants BASE:CAND, got {pair!r}")
+            return 1
+        matched = 0
+        for name, base_time in sorted(times.items()):
+            if name != base_prefix and not name.startswith(base_prefix + "/"):
+                continue
+            counterpart = cand_prefix + name[len(base_prefix):]
+            if counterpart in times:
+                pairs.append((name, counterpart, base_time,
+                              times[counterpart]))
+                matched += 1
+        if matched == 0:
+            print(f"error: no {base_prefix}/{cand_prefix} row pairs found")
+            return 1
 
     log_sum = 0.0
     for base_name, cand_name, base_time, cand_time in pairs:
@@ -90,9 +112,11 @@ def main():
                         help="candidate benchmark JSON (two-file mode)")
     parser.add_argument("--max-regress", type=float, default=0.05,
                         help="allowed geomean slowdown (0.05 = 5%%)")
-    parser.add_argument("--pair", default=None, metavar="BASE:CAND",
+    parser.add_argument("--pair", action="append", default=None,
+                        metavar="BASE:CAND",
                         help="single-file mode: compare BASE/<arg> rows "
-                        "against CAND/<arg> rows of `baseline`")
+                        "against CAND/<arg> rows of `baseline`; repeatable, "
+                        "the gate is the geomean over all matched pairs")
     parser.add_argument("--min-speedup", type=float, default=1.0,
                         help="required geomean speedup in --pair mode")
     parser.add_argument("--filter", default=None, metavar="PREFIX",
