@@ -1,0 +1,230 @@
+// Adaptive re-optimization benchmarks (DESIGN.md §6h): what the runtime
+// feedback loop is worth under data drift.
+//
+// The drift workload (workload/drift.h) regrows its hot relation 200-400x
+// with heavy join-key duplication *after* statistics were collected, so
+// every plan built from the stale registry joins hot first and pays a
+// ~4e5-row intermediate; the informed order pays ~1e2.
+//
+//   AdaptiveFeedbackOff/<i> — a batch of queries planned on the stale
+//                             statistics forever: every query repeats the
+//                             bad join order.
+//   AdaptiveFeedbackOn/<i>  — the same batch with a FeedbackCollector
+//                             reconciling each query's trace: query 1 pays
+//                             the bad order once, the reconciliation
+//                             refreshes hot's statistics, queries 2..K plan
+//                             informed. tools/compare_bench.py --pair
+//                             AdaptiveFeedbackOff:AdaptiveFeedbackOn gates
+//                             the geomean speedup (>= 1.5x) in CI.
+//   AdaptivePlanCacheDrift  — the cached-plan path under drift: the stale
+//                             entry's epochs go out of date when feedback
+//                             refreshes hot, the next lookup is a
+//                             stale-miss (re-plans, re-publishes), and the
+//                             one after is a plain hit — the
+//                             plan_cache_stale_misses / plan_cache_hits
+//                             counters prove epoch-driven self-correction.
+//   AdaptiveReplanRecovery  — the mid-query rung: q-HD evaluation with
+//                             enable_replan and a sub-1.0 blowup factor, so
+//                             the first wave barrier always trips; measures
+//                             the full checkpoint -> re-plan -> resume cycle
+//                             (the replans / m_htqo_replans_total counters
+//                             land in the JSON).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "bench_common.h"
+#include "cache/decomp_cache.h"
+#include "stats/feedback.h"
+#include "util/check.h"
+#include "workload/drift.h"
+
+namespace htqo {
+namespace bench {
+namespace {
+
+// Queries per timed batch: one blind query plus the informed tail the
+// feedback loop unlocks.
+constexpr int kQueriesPerBatch = 6;
+
+DriftConfig ConfigFor(int intensity) {
+  DriftConfig config;
+  config.drifted_hot_rows = intensity == 0 ? 20000 : 40000;
+  return config;
+}
+
+// The drifted world: catalog holds post-drift data, `stats` was analyzed
+// pre-drift, and `stale_hot` snapshots the lie so each batch can forget
+// what feedback learned.
+struct DriftWorld {
+  Catalog catalog;
+  StatisticsRegistry stats;
+  RelationStats stale_hot;
+  ResolvedQuery rq;
+  std::unique_ptr<HybridOptimizer> optimizer;
+};
+
+std::unique_ptr<DriftWorld> MakeWorld(int intensity) {
+  auto w = std::make_unique<DriftWorld>();  // Catalog is pinned in place
+  const DriftConfig config = ConfigFor(intensity);
+  PopulateDriftCatalog(config, &w->catalog);
+  w->stats.AnalyzeAll(w->catalog);  // pre-drift truth...
+  ApplyDrift(config, &w->catalog);  // ...now a 200-400x lie about hot
+  const RelationStats* hot = w->stats.Find("hot");
+  HTQO_CHECK(hot != nullptr);
+  w->stale_hot = *hot;
+  w->optimizer = std::make_unique<HybridOptimizer>(&w->catalog, &w->stats);
+  auto rq = w->optimizer->Resolve(DriftQuerySql());
+  HTQO_CHECK(rq.ok());
+  w->rq = std::move(rq.value());
+  return w;
+}
+
+RunOptions DpOptions() {
+  RunOptions options;
+  options.mode = OptimizerMode::kDpStatistics;
+  options.work_budget = kWorkBudget;
+  options.row_budget = kRowBudget;
+  options.fallback_to_dp = false;
+  options.degrade_on_budget = false;
+  return options;
+}
+
+// One traced query. Both batch variants trace (the collector needs the
+// op.scan spans), so the comparison isolates the feedback loop itself.
+Result<QueryRun> RunTraced(DriftWorld* w, RunOptions options,
+                           Tracer* tracer) {
+  options.trace.tracer = tracer;
+  return w->optimizer->RunResolved(w->rq, options);
+}
+
+void AdaptiveFeedbackOff(benchmark::State& state) {
+  auto w = MakeWorld(static_cast<int>(state.range(0)));
+  std::size_t work = 0;
+  std::size_t out = 0;
+  for (auto _ : state) {
+    w->stats.Put("hot", w->stale_hot);  // symmetric with the On batch
+    work = 0;
+    for (int q = 0; q < kQueriesPerBatch; ++q) {
+      Tracer tracer;
+      auto run = RunTraced(w.get(), DpOptions(), &tracer);
+      HTQO_CHECK(run.ok());
+      work += run->ctx.work_charged;
+      out = run->output.NumRows();
+      benchmark::DoNotOptimize(run);
+    }
+  }
+  state.counters["queries"] = kQueriesPerBatch;
+  state.counters["work"] = static_cast<double>(work);
+  state.counters["out"] = static_cast<double>(out);
+}
+
+void AdaptiveFeedbackOn(benchmark::State& state) {
+  auto w = MakeWorld(static_cast<int>(state.range(0)));
+  std::size_t work = 0;
+  std::size_t out = 0;
+  std::size_t refreshed = 0;
+  double max_error = 1.0;
+  for (auto _ : state) {
+    w->stats.Put("hot", w->stale_hot);  // each batch starts blind
+    work = 0;
+    for (int q = 0; q < kQueriesPerBatch; ++q) {
+      Tracer tracer;
+      auto run = RunTraced(w.get(), DpOptions(), &tracer);
+      HTQO_CHECK(run.ok());
+      work += run->ctx.work_charged;
+      out = run->output.NumRows();
+      benchmark::DoNotOptimize(run);
+      FeedbackCollector collector(&w->catalog, &w->stats);
+      FeedbackReport report = collector.Reconcile(w->rq, tracer);
+      refreshed += report.refreshed.size();
+      if (report.max_error_factor > max_error) {
+        max_error = report.max_error_factor;
+      }
+    }
+  }
+  state.counters["queries"] = kQueriesPerBatch;
+  state.counters["work"] = static_cast<double>(work);
+  state.counters["out"] = static_cast<double>(out);
+  state.counters["refreshed"] = static_cast<double>(refreshed);
+  state.counters["max_error_factor"] = max_error;
+}
+
+void AdaptivePlanCacheDrift(benchmark::State& state) {
+  auto w = MakeWorld(1);
+  RunOptions options = DpOptions();
+  options.mode = OptimizerMode::kQhdHybrid;
+  options.use_plan_cache = true;
+  std::size_t stale_misses = 0;
+  std::size_t hits = 0;
+  std::size_t out = 0;
+  for (auto _ : state) {
+    DecompCache::Global().Clear();
+    w->stats.Put("hot", w->stale_hot);
+    // Query 1 misses and publishes an entry planned on the stale epochs.
+    Tracer tracer;
+    auto first = RunTraced(w.get(), options, &tracer);
+    HTQO_CHECK(first.ok());
+    // Reconciliation refreshes hot -> its stats epoch bumps -> the cached
+    // entry is now provably stale.
+    FeedbackCollector(&w->catalog, &w->stats).Reconcile(w->rq, tracer);
+    Tracer t2;
+    auto second = RunTraced(w.get(), options, &t2);
+    HTQO_CHECK(second.ok());
+    if (second->plan_cache == "stale-miss") stale_misses++;
+    // The re-published entry carries the fresh epochs: plain hit.
+    Tracer t3;
+    auto third = RunTraced(w.get(), options, &t3);
+    HTQO_CHECK(third.ok());
+    if (third->plan_cache == "hit") hits++;
+    out = third->output.NumRows();
+    benchmark::DoNotOptimize(third);
+  }
+  state.counters["plan_cache_stale_misses"] = static_cast<double>(stale_misses);
+  state.counters["plan_cache_hits"] = static_cast<double>(hits);
+  state.counters["out"] = static_cast<double>(out);
+}
+
+void AdaptiveReplanRecovery(benchmark::State& state) {
+  auto w = MakeWorld(1);
+  RunOptions options = DpOptions();
+  options.mode = OptimizerMode::kQhdHybrid;
+  options.enable_replan = true;
+  // Force the trip: the drift decomposition folds hot+mid into the root
+  // node (the last wave, past the final barrier), so estimate-driven trips
+  // cannot fire here; a sub-1.0 factor makes the leaf wave trip instead.
+  options.replan_blowup_factor = 0.5;
+  options.replan_min_rows = 1;
+  std::size_t replans = 0;
+  std::size_t out = 0;
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  for (auto _ : state) {
+    w->stats.Put("hot", w->stale_hot);  // stale estimates arm the trip
+    Tracer tracer;
+    auto run = RunTraced(w.get(), options, &tracer);
+    HTQO_CHECK(run.ok());
+    replans += run->replans;
+    out = run->output.NumRows();
+    benchmark::DoNotOptimize(run);
+  }
+  const MetricsSnapshot delta =
+      MetricsRegistry::Global().Snapshot().DeltaSince(before);
+  for (const auto& [name, value] : delta.counters) {
+    if (value > 0) state.counters["m_" + name] = static_cast<double>(value);
+  }
+  state.counters["replans"] = static_cast<double>(replans);
+  state.counters["out"] = static_cast<double>(out);
+}
+
+BENCHMARK(AdaptiveFeedbackOff)->DenseRange(0, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK(AdaptiveFeedbackOn)->DenseRange(0, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK(AdaptivePlanCacheDrift)->Unit(benchmark::kMillisecond);
+BENCHMARK(AdaptiveReplanRecovery)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace htqo
+
+BENCHMARK_MAIN();

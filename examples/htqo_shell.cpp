@@ -24,6 +24,7 @@
 #include "cache/decomp_cache.h"
 #include "cq/hypergraph_builder.h"
 #include "decomp/qhd.h"
+#include "stats/feedback.h"
 #include "storage/csv.h"
 #include "workload/synthetic.h"
 #include "workload/tpch_gen.h"
@@ -55,6 +56,9 @@ struct ShellState {
   bool explain = false;
   bool analyze = false;       // EXPLAIN ANALYZE: trace + annotated plan
   std::string trace_path;     // Chrome trace output per query ("" = off)
+  // Adaptive loop (\adaptive): mid-query replans armed + every query's
+  // trace reconciled into the statistics registry afterwards.
+  bool adaptive = false;
 };
 
 const struct {
@@ -88,6 +92,8 @@ void PrintHelp() {
       "                                     prints hit/miss/eviction stats\n"
       "  \\vectorized [on|off]               batch engine (default on); off\n"
       "                                     selects the row-at-a-time path\n"
+      "  \\adaptive [on|off]                 adaptive loop: mid-query replans\n"
+      "                                     + post-query stats feedback\n"
       "  \\explain                           toggle plan explanation\n"
       "  \\analyze                           toggle EXPLAIN ANALYZE (traced\n"
       "                                     run, per-node rows and times)\n"
@@ -107,9 +113,11 @@ void PrintHelp() {
 
 void RunSql(ShellState& state, const std::string& sql) {
   HybridOptimizer optimizer(&state.catalog, &state.stats);
-  // One tracer per query: \analyze and \trace both need the span tree, and
-  // a fresh tracer keeps each query's trace self-contained.
-  const bool traced = state.analyze || !state.trace_path.empty();
+  // One tracer per query: \analyze, \trace and the \adaptive feedback loop
+  // all need the span tree, and a fresh tracer keeps each query's trace
+  // self-contained.
+  const bool traced =
+      state.analyze || !state.trace_path.empty() || state.adaptive;
   Tracer tracer;
   state.options.trace.tracer = traced ? &tracer : nullptr;
   state.options.trace.parent = 0;
@@ -164,6 +172,27 @@ void RunSql(ShellState& state, const std::string& sql) {
   }
   if (state.analyze) {
     std::printf("-- spans --\n%s", tracer.ToTreeString().c_str());
+  }
+  if (run->replans > 0) {
+    std::printf("replans: %zu\n", run->replans);
+  }
+  if (state.adaptive) {
+    // Post-query reconciliation: mine this query's trace, refresh any
+    // relation whose statistics have drifted. Nested queries don't Resolve
+    // as a single CQ — skip feedback for those, never the query itself.
+    auto rq = optimizer.Resolve(sql, state.options.tid_mode);
+    if (rq.ok()) {
+      FeedbackCollector collector(&state.catalog, &state.stats);
+      FeedbackReport report = collector.Reconcile(rq.value(), tracer);
+      for (const std::string& name : report.refreshed) {
+        std::printf("feedback: refreshed statistics for %s (max estimate "
+                    "error %.1fx)\n",
+                    name.c_str(), report.max_error_factor);
+      }
+      if (report.skipped > 0) {
+        std::printf("feedback: %zu refresh(es) skipped\n", report.skipped);
+      }
+    }
   }
   std::printf("%s", run->output.ToString(25).c_str());
 }
@@ -327,6 +356,24 @@ bool HandleCommand(ShellState& state, const std::string& line) {
     std::printf("vectorized engine %s%s\n",
                 state.options.use_vectorized ? "on" : "off",
                 state.options.use_vectorized ? "" : " (row-at-a-time path)");
+  } else if (cmd == "\\adaptive") {
+    std::string arg;
+    in >> arg;
+    if (arg == "on") {
+      state.adaptive = true;
+    } else if (arg == "off") {
+      state.adaptive = false;
+    } else if (!arg.empty()) {
+      std::printf("usage: \\adaptive [on|off]\n");
+      return true;
+    } else {
+      state.adaptive = !state.adaptive;
+    }
+    state.options.enable_replan = state.adaptive;
+    std::printf("adaptive loop %s%s\n", state.adaptive ? "on" : "off",
+                state.adaptive
+                    ? " (mid-query replans + post-query stats feedback)"
+                    : "");
   } else if (cmd == "\\explain") {
     state.explain = !state.explain;
     std::printf("explain %s\n", state.explain ? "on" : "off");

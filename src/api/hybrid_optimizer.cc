@@ -1,6 +1,7 @@
 #include "api/hybrid_optimizer.h"
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <optional>
@@ -9,6 +10,7 @@
 #include "cache/decomp_cache.h"
 #include "cq/hypergraph_builder.h"
 #include "decomp/optimize.h"
+#include "exec/adaptive.h"
 #include "exec/executor.h"
 #include "exec/plan.h"
 #include "obs/metrics.h"
@@ -487,6 +489,7 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
   auto seal = [&]() {
     if (governor.has_value()) run.governor.Merge(governor->stats());
     run.ctx.governor = nullptr;
+    run.ctx.replan = nullptr;  // stack-local controller, must not escape
     if (spill_manager.has_value()) {
       run.spill = spill_manager->counters();
       if (run.spill.spill_events > 0) {
@@ -751,18 +754,135 @@ Result<QueryRun> HybridOptimizer::RunResolved(const ResolvedQuery& rq,
             std::to_string(decomp->width) + ", " +
             std::to_string(decomp->pruned) + " pruned)";
         run.plan_details = decomp->hd.ToString(h);
+
+        // Adaptive mid-query re-planning (DESIGN.md §6h). With a controller
+        // on the context, the evaluator backs out when an intermediate blows
+        // past its estimate; we then pin the observed scan cardinalities
+        // into the edge statistics, re-enter the decomposition search, and
+        // resume — checkpointed subtree results carry over. Structural mode
+        // re-plans with the stats model on defaults: the pins land either
+        // way.
+        std::optional<ReplanController> controller;
+        std::vector<StatsDecompositionCostModel::EdgeStats> edge_stats;
+        if (options.enable_replan) {
+          ReplanController::Options ropt;
+          ropt.blowup_factor = options.replan_blowup_factor;
+          ropt.min_rows = options.replan_min_rows;
+          controller.emplace(ropt);
+          controller->set_armed(options.max_replans > 0);
+          run.ctx.replan = &*controller;
+          Estimator estimator(stats_);
+          edge_stats = BuildEdgeStats(rq.cq, estimator);
+        }
+
+        Hypertree current_hd = std::move(decomp->hd);
         auto exec_start = std::chrono::steady_clock::now();
         std::optional<ScopedSpan> exec_span(std::in_place, tracer, "execute");
         run.ctx.trace_parent = exec_span->id();
-        auto answer = EvaluateDecomposition(rq, *catalog_, h, decomp->hd,
-                                            &run.ctx);
-        if (!answer.ok()) return answer.status();
+        Result<Relation> answer = Status::Internal("unset");
+        for (;;) {
+          if (controller.has_value()) {
+            StatsDecompositionCostModel est_model(h, edge_stats);
+            std::vector<double> estimates(current_hd.NumNodes(), 0.0);
+            for (std::size_t p = 0; p < current_hd.NumNodes(); ++p) {
+              estimates[p] = est_model.VertexRows(current_hd.node(p).lambda,
+                                                  current_hd.node(p).chi);
+            }
+            controller->BeginTree(std::move(estimates));
+          }
+          answer = EvaluateDecomposition(rq, *catalog_, h, current_hd,
+                                         &run.ctx);
+          if (answer.ok()) break;
+          if (!controller.has_value() || !controller->tripped()) {
+            run.ctx.replan = nullptr;
+            return answer.status();
+          }
+
+          // The evaluator tripped: account for the replan, then re-optimize
+          // with the observed cardinalities pinned.
+          ++run.replans;
+          run.governor.replan_trips += 1;
+          const std::size_t trip_node = controller->tripped_node();
+          const std::size_t actual = controller->tripped_actual();
+          const double estimate =
+              std::max(1.0, controller->tripped_estimate());
+          const double actual_f =
+              static_cast<double>(std::max<std::size_t>(1, actual));
+          const double error_factor = std::max(actual_f, estimate) /
+                                      std::min(actual_f, estimate);
+          MetricsRegistry& metrics = MetricsRegistry::Global();
+          metrics.GetCounter(kMetricReplansTotal)->Increment();
+          metrics.GetHistogram(kMetricEstimateErrorFactor)
+              ->Record(static_cast<uint64_t>(std::llround(error_factor)));
+          run.degradations.push_back(
+              "mid-query replan: node " + std::to_string(trip_node) +
+              " produced " + std::to_string(actual) + " rows vs estimate " +
+              std::to_string(static_cast<std::size_t>(estimate)) +
+              "; re-planning with observed cardinalities");
+          std::optional<ScopedSpan> replan_span(std::in_place, tracer,
+                                                "replan");
+          replan_span->Attr("node", trip_node);
+          replan_span->Attr("actual", actual);
+          replan_span->Attr("estimate",
+                            static_cast<std::size_t>(estimate));
+          replan_span->Attr("checkpoints",
+                            controller->checkpoints_stored());
+
+          for (const auto& [atom, rows] : controller->ObservedEdgeRows()) {
+            if (atom >= edge_stats.size()) continue;
+            const double r = std::max(1.0, static_cast<double>(rows));
+            edge_stats[atom].rows = r;
+            for (auto& [var, distinct] : edge_stats[atom].distinct) {
+              (void)var;
+              distinct = std::min(distinct, r);
+            }
+          }
+
+          // Fresh node/memory budgets for the re-planning search and the
+          // resumed evaluation; the wall deadline keeps running.
+          ResourceGovernor* rgov = begin_attempt();
+          auto replan_start = std::chrono::steady_clock::now();
+          QhdOptions sopt2;
+          sopt2.max_width = width;
+          sopt2.run_optimize = run_optimize;
+          sopt2.governor = rgov;
+          sopt2.pool = pool;
+          sopt2.num_threads = options.num_threads;
+          sopt2.tracer = tracer;
+          StatsDecompositionCostModel pinned_model(h, edge_stats);
+          // Deliberately bypasses the plan cache: a pinned search is
+          // specific to this execution's observations.
+          auto re = QHypertreeDecomp(h, out_vars, pinned_model, sopt2);
+          run.plan_seconds += SecondsSince(replan_start);
+          if (re.ok()) {
+            current_hd = std::move(re->hd);
+            run.decomposition_width = re->width;
+            run.pruned_lambda_entries = re->pruned;
+            run.plan_description =
+                "q-hypertree decomposition (width " +
+                std::to_string(re->width) + ", " +
+                std::to_string(re->pruned) + " pruned, replanned x" +
+                std::to_string(run.replans) + ")";
+            run.plan_details = current_hd.ToString(h);
+          }
+          // On search failure the current tree stands — the checkpoints
+          // still short-circuit its finished subtrees.
+          replan_span.reset();
+          controller->set_armed(run.replans < options.max_replans);
+        }
+        if (controller.has_value()) {
+          // Canonical order: the resumed tree may emit rows in a different
+          // order, so every replan-armed run sorts its answer — a replanned
+          // query and its never-replanned twin become byte-identical.
+          answer->SortBy({});
+          run.ctx.replan = nullptr;
+        }
         auto out = EvaluateSelectOutput(rq, *answer, &run.ctx);
         if (!out.ok()) return out.status();
         run.output = std::move(out.value());
         exec_span.reset();
         run.exec_seconds = SecondsSince(exec_start);
-        AnnotatePlanDetails(tracer, h, decomp->hd, &run);
+        AnnotatePlanDetails(tracer, h, current_hd, &run);
         seal();
         return run;
       }

@@ -136,6 +136,23 @@ struct RunOptions {
   // search-path tests/benches measure the real search. DESIGN.md §6e.
   bool use_plan_cache = false;
 
+  // --- Adaptive mid-query re-planning (opt-in; q-HD modes only). With
+  // enable_replan set, the q-HD evaluator compares every decomposition
+  // node's actual cardinality against the cost model's estimate at each
+  // wave barrier. When an intermediate exceeds its estimate by
+  // replan_blowup_factor (and is at least replan_min_rows tall), the
+  // completed node results are checkpointed, the decomposition search is
+  // re-entered with the observed scan cardinalities pinned, and evaluation
+  // resumes, reusing checkpoints whose subtree matches. Each replan records
+  // a kReplan degradation entry and htqo_replans_total. The final answer is
+  // canonically sorted whenever replan is armed, so a replanned query is
+  // byte-identical to its never-replanned twin at any thread count.
+  // DESIGN.md §6h.
+  bool enable_replan = false;
+  double replan_blowup_factor = 4.0;
+  std::size_t replan_min_rows = 1024;
+  std::size_t max_replans = 1;
+
   // --- Tracing (off by default: a null tracer costs one branch per
   // instrumentation point). With a tracer set, the pipeline emits one span
   // per stage — parse, isolation, stats lookup, each search width attempt,
@@ -173,6 +190,9 @@ struct QueryRun {
   // Spill-to-disk activity of the run (zeros when spilling never armed or
   // never activated). A run that spilled also records a degradation entry.
   SpillCounters spill;
+  // Mid-query replans taken (enable_replan only). Each one also appends a
+  // kReplan degradation entry and bumps governor.replan_trips.
+  std::size_t replans = 0;
 
   // Whether the produced plan differs from what the requested mode would
   // have produced unconstrained. Derived — `degradations` is the single

@@ -1,0 +1,61 @@
+#include "exec/adaptive.h"
+
+#include <algorithm>
+
+#include "util/fault_injector.h"
+
+namespace htqo {
+
+void ReplanController::NoteScanActual(std::size_t atom_index,
+                                      std::size_t rows) {
+  std::lock_guard<std::mutex> lock(scan_mu_);
+  observed_[atom_index] = rows;
+}
+
+std::map<std::size_t, std::size_t> ReplanController::ObservedEdgeRows() const {
+  std::lock_guard<std::mutex> lock(scan_mu_);
+  return observed_;
+}
+
+void ReplanController::BeginTree(std::vector<double> node_estimates) {
+  estimates_ = std::move(node_estimates);
+  tripped_ = false;
+  tripped_node_ = 0;
+  tripped_actual_ = 0;
+}
+
+bool ReplanController::ShouldTrip(std::size_t node,
+                                  std::size_t actual_rows) const {
+  if (!armed_ || tripped_) return false;
+  if (actual_rows < options_.min_rows) return false;
+  const double estimate = std::max(1.0, NodeEstimate(node));
+  return static_cast<double>(actual_rows) > options_.blowup_factor * estimate;
+}
+
+void ReplanController::RecordTrip(std::size_t node, std::size_t actual_rows) {
+  tripped_ = true;
+  tripped_node_ = node;
+  tripped_actual_ = actual_rows;
+}
+
+bool ReplanController::StoreCheckpoint(CheckpointKey key, Relation rel) {
+  if (FaultInjector::Instance().ShouldFail(kFaultSiteReplanCheckpoint)) {
+    ++dropped_;
+    return false;
+  }
+  checkpoints_[std::move(key)] = std::move(rel);
+  ++stored_;
+  return true;
+}
+
+std::optional<Relation> ReplanController::TakeCheckpoint(
+    const CheckpointKey& key) {
+  auto it = checkpoints_.find(key);
+  if (it == checkpoints_.end()) return std::nullopt;
+  Relation rel = std::move(it->second);
+  checkpoints_.erase(it);
+  ++reused_;
+  return rel;
+}
+
+}  // namespace htqo

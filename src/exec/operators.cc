@@ -5,6 +5,7 @@
 #include <numeric>
 #include <utility>
 
+#include "exec/adaptive.h"
 #include "exec/batch.h"
 #include "exec/spill.h"
 #include "util/bloom.h"
@@ -836,6 +837,10 @@ Result<Relation> ScanAtom(const ResolvedQuery& rq, std::size_t atom_index,
   const Atom& atom = rq.cq.atoms[atom_index];
   ScopedSpan op_span(ctx->tracer, "op.scan", ctx->SpanParent());
   op_span.Attr("relation", atom.relation);
+  // The atom index ties this span back to rq.cq.atoms for the feedback
+  // loop's actual-vs-estimated reconciliation (the relation name alone is
+  // ambiguous under self-joins).
+  op_span.Attr("atom", atom_index);
   auto base = catalog.Get(atom.relation);
   if (!base.ok()) return base.status();
   const Relation& rel = **base;
@@ -967,6 +972,9 @@ Result<Relation> ScanAtom(const ResolvedQuery& rq, std::size_t atom_index,
     ctx->NotePeak(out);
     op_span.Attr("rows_out", out.NumRows());
     op_span.Attr("batches", NumBatches(rel.NumRows()));
+    if (ctx->replan != nullptr) {
+      ctx->replan->NoteScanActual(atom_index, out.NumRows());
+    }
     return out;
   }
 
@@ -1022,6 +1030,9 @@ Result<Relation> ScanAtom(const ResolvedQuery& rq, std::size_t atom_index,
   if (!scan.ok()) return scan;
   ctx->NotePeak(out);
   op_span.Attr("rows_out", out.NumRows());
+  if (ctx->replan != nullptr) {
+    ctx->replan->NoteScanActual(atom_index, out.NumRows());
+  }
   return out;
 }
 

@@ -27,6 +27,8 @@
 
 namespace htqo {
 
+class ReplanController;
+
 // Budget/accounting shared by one query execution. Counters saturate at
 // SIZE_MAX instead of wrapping, so near-max budgets cannot be lapped.
 //
@@ -69,6 +71,12 @@ struct ExecContext {
   // Output, charge totals, and probe/bloom meters are byte-identical either
   // way (see exec/batch.h); the row path stays for differential testing.
   bool vectorized = true;
+  // Adaptive mid-query re-planning (exec/adaptive.h): with a controller
+  // armed, ScanAtom reports actual cardinalities and the q-HD evaluator
+  // checks intermediates against their estimates at every wave barrier.
+  // Borrowed like `governor`; nullptr (the default) keeps every operator on
+  // the exact non-adaptive code path.
+  ReplanController* replan = nullptr;
 
   std::atomic<std::size_t> rows_charged{0};
   std::atomic<std::size_t> work_charged{0};
@@ -103,6 +111,7 @@ struct ExecContext {
     tracer = other.tracer;
     trace_parent = other.trace_parent;
     vectorized = other.vectorized;
+    replan = other.replan;
     rows_charged.store(other.rows_charged.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
     work_charged.store(other.work_charged.load(std::memory_order_relaxed),

@@ -13,6 +13,53 @@ namespace htqo {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+// Per-page layout: [payload bytes u64][FNV-1a checksum u64][payload].
+constexpr std::size_t kPageHeaderBytes = 2 * sizeof(uint64_t);
+
+uint64_t PageChecksum(const char* data, std::size_t n) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a 64-bit
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Walks the page stream in `raw`, verifying each page's checksum, and
+// appends the concatenated payloads to `payload`. Any structural damage or
+// checksum mismatch is kDataLoss (the caller re-reads a bounded number of
+// times before surfacing it: a torn in-flight read heals, real on-disk
+// corruption does not).
+Status VerifyPages(const std::string& raw, const std::string& path,
+                   std::string* payload) {
+  payload->clear();
+  const char* cursor = raw.data();
+  const char* end = raw.data() + raw.size();
+  while (cursor < end) {
+    if (end - cursor < static_cast<std::ptrdiff_t>(kPageHeaderBytes)) {
+      return Status::DataLoss("spill: truncated page header in " + path);
+    }
+    uint64_t payload_size = 0;
+    uint64_t checksum = 0;
+    std::memcpy(&payload_size, cursor, sizeof(payload_size));
+    std::memcpy(&checksum, cursor + sizeof(payload_size), sizeof(checksum));
+    cursor += kPageHeaderBytes;
+    if (payload_size > static_cast<uint64_t>(end - cursor)) {
+      return Status::DataLoss("spill: truncated page payload in " + path);
+    }
+    if (PageChecksum(cursor, payload_size) != checksum) {
+      return Status::DataLoss("spill: page checksum mismatch in " + path);
+    }
+    payload->append(cursor, payload_size);
+    cursor += payload_size;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 SpillManager::SpillManager(SpillOptions options)
     : options_(std::move(options)) {
   if (options_.fanout < 2) options_.fanout = 2;
@@ -117,10 +164,21 @@ Status SpillFile::Append(uint64_t tag, std::span<const Value> row) {
 
 Status SpillFile::Flush() {
   if (buffer_.empty()) return Status::Ok();
+  // Each flush lands as one self-verifying page — size, FNV-1a checksum,
+  // payload — so ReadBack can tell a torn or bit-flipped partition from a
+  // clean one instead of decoding garbage.
+  const uint64_t payload_size = buffer_.size();
+  const uint64_t checksum = PageChecksum(buffer_.data(), buffer_.size());
+  std::string page;
+  page.reserve(kPageHeaderBytes + buffer_.size());
+  page.append(reinterpret_cast<const char*>(&payload_size),
+              sizeof(payload_size));
+  page.append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  page.append(buffer_);
   // The disk budget is charged before the bytes land so a run can never
   // overshoot it by a whole buffer unobserved; this is the spill path's
   // hard kill and is not retried.
-  Status budget = manager_->ChargeDisk(buffer_.size());
+  Status budget = manager_->ChargeDisk(page.size());
   if (!budget.ok()) return budget;
   FaultInjector& injector = FaultInjector::Instance();
   const std::size_t retry_limit = manager_->options().retry_limit;
@@ -134,12 +192,11 @@ Status SpillFile::Flush() {
       manager_->NoteRetry();
       continue;
     }
-    if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
-        buffer_.size()) {
+    if (std::fwrite(page.data(), 1, page.size(), file_) != page.size()) {
       manager_->NoteRetry();
       continue;
     }
-    bytes_ += buffer_.size();
+    bytes_ += page.size();
     buffer_.clear();
     return Status::Ok();
   }
@@ -151,6 +208,12 @@ Status SpillFile::Flush() {
 Status SpillFile::Finish() {
   Status s = Flush();
   if (!s.ok()) return s;
+  // Push the stdio buffer to the kernel: a finished partition is readable
+  // through any handle, and the page checksums guard bytes on disk, not
+  // bytes parked in a userspace buffer.
+  if (std::fflush(file_) != 0) {
+    return Status::ResourceExhausted("spill: flush failed for " + path_);
+  }
   finished_ = true;
   return Status::Ok();
 }
@@ -160,7 +223,9 @@ Status SpillFile::ReadBack(Relation* out, std::vector<uint64_t>* tags) {
   FaultInjector& injector = FaultInjector::Instance();
   const std::size_t retry_limit = manager_->options().retry_limit;
   std::string raw;
+  std::string payload;
   bool read_ok = false;
+  Status corruption = Status::Ok();
   for (std::size_t attempt = 0; attempt <= retry_limit; ++attempt) {
     if (injector.ShouldFail(kFaultSiteSpillRead)) {
       manager_->NoteRetry();
@@ -176,10 +241,23 @@ Status SpillFile::ReadBack(Relation* out, std::vector<uint64_t>* tags) {
       manager_->NoteRetry();
       continue;
     }
+    // Verify every page before trusting a byte of it; a mismatch burns a
+    // retry (it may be a torn concurrent read) before surfacing as the
+    // persistent-corruption status.
+    corruption = VerifyPages(raw, path_, &payload);
+    if (!corruption.ok()) {
+      manager_->NoteRetry();
+      continue;
+    }
     read_ok = true;
     break;
   }
   if (!read_ok) {
+    if (!corruption.ok()) {
+      return Status::DataLoss(corruption.message() + " after " +
+                              std::to_string(retry_limit + 1) +
+                              " attempts (site spill.read)");
+    }
     return Status::ResourceExhausted(
         "spill: read failed after " + std::to_string(retry_limit + 1) +
         " attempts (site spill.read)");
@@ -190,8 +268,8 @@ Status SpillFile::ReadBack(Relation* out, std::vector<uint64_t>* tags) {
   Status alloc = out->TryReserve(rows_);
   if (!alloc.ok()) return alloc;
   tags->reserve(tags->size() + rows_);
-  const char* cursor = raw.data();
-  const char* end = raw.data() + raw.size();
+  const char* cursor = payload.data();
+  const char* end = payload.data() + payload.size();
   std::vector<Value> row(arity);
   for (std::size_t r = 0; r < rows_; ++r) {
     uint64_t tag;

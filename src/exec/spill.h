@@ -17,6 +17,12 @@
 // so a p=0.05 chaos plan usually completes while an always-fire plan fails
 // as a clean typed Status.
 //
+// On-disk integrity: every flush lands as one self-verifying page
+// [payload bytes u64][FNV-1a checksum u64][payload]. ReadBack verifies all
+// page checksums before decoding a byte; a mismatch burns a bounded re-read
+// retry (a torn concurrent read heals) and, if it persists, surfaces as
+// kDataLoss — bit rot is reported, never silently decoded into wrong rows.
+//
 // The hard kill: spilling charges every flushed byte against
 // SpillOptions::disk_budget_bytes; exceeding it returns kResourceExhausted
 // (degradation has run out of road — memory *and* disk are exhausted).
@@ -107,12 +113,15 @@ class SpillFile {
   Status Finish();
 
   std::size_t rows() const { return rows_; }
-  // Total encoded bytes on disk (valid after Finish) — what loading this
-  // partition back will roughly cost in memory.
+  // Total encoded bytes on disk including page headers (valid after Finish)
+  // — what loading this partition back will roughly cost in memory.
   std::size_t bytes() const { return bytes_; }
+  // On-disk location; exposed so corruption tests can flip bits in place.
+  const std::string& path() const { return path_; }
 
   // Decodes the whole run into `out` (whose schema fixes the arity) and the
   // parallel tag vector, through the spill.read site with bounded retry.
+  // Persistent page-checksum mismatches surface as kDataLoss.
   Status ReadBack(Relation* out, std::vector<uint64_t>* tags);
 
  private:

@@ -200,6 +200,21 @@ inline constexpr const char kMetricServerProtocolErrorsTotal[] =
     "htqo_server_protocol_errors_total";
 inline constexpr const char kMetricServerDrainCancelledTotal[] =
     "htqo_server_drain_cancelled_total";
+// Adaptive re-optimization (DESIGN.md §6h). replans counts mid-query
+// re-planning rungs taken; the estimate-error histogram records, per scanned
+// atom the feedback loop reconciles, the factor by which the actual
+// cardinality diverged from the estimate (max(actual,est)/min(actual,est),
+// so 1.0 = perfect and both over- and under-estimates land on the same
+// scale). feedback_refreshes counts relations whose statistics were rebuilt
+// (each bumping that relation's stats epoch); feedback_skipped counts
+// refreshes abandoned because the stats.feedback fault site fired.
+inline constexpr const char kMetricReplansTotal[] = "htqo_replans_total";
+inline constexpr const char kMetricEstimateErrorFactor[] =
+    "htqo_estimate_error_factor";
+inline constexpr const char kMetricFeedbackRefreshesTotal[] =
+    "htqo_feedback_refreshes_total";
+inline constexpr const char kMetricFeedbackSkippedTotal[] =
+    "htqo_feedback_skipped_total";
 
 }  // namespace htqo
 

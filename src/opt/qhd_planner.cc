@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "cq/hypergraph_builder.h"
+#include "exec/adaptive.h"
 #include "exec/executor.h"
 #include "opt/tree_waves.h"
 
@@ -33,7 +34,56 @@ Result<Relation> EvaluateDecomposition(const ResolvedQuery& rq,
 
   std::vector<std::optional<Relation>> rel(hd.NumNodes());
 
+  // Adaptive re-planning (DESIGN.md §6h): with a controller on the context,
+  // both engines iterate height waves (so trip decisions happen at thread-
+  // count-independent barriers), node results are compared against their
+  // estimates after each wave, and checkpointed subtree results from an
+  // abandoned pass short-circuit matching nodes of the resumed one.
+  ReplanController* const rc = ctx->replan;
+  std::vector<ReplanController::CheckpointKey> keys;
+  // Checkpointed results are taken here, on the coordinating thread, before
+  // any pool lane runs (the controller's checkpoint store is not locked);
+  // nodes beneath a staged one are skipped entirely.
+  std::vector<std::optional<Relation>> staged(hd.NumNodes());
+  std::vector<bool> skip(hd.NumNodes(), false);
+  // Nodes restored from a checkpoint already tripped (or were paid for) in
+  // the abandoned pass; they never re-trigger a trip this pass.
+  std::vector<bool> reused(hd.NumNodes(), false);
+  if (rc != nullptr) {
+    keys.resize(hd.NumNodes());
+    std::vector<Bitset> subtree_lambda(hd.NumNodes());
+    for (std::size_t p : hd.PostOrder()) {
+      subtree_lambda[p] = hd.node(p).lambda;
+      for (std::size_t c : hd.node(p).children) {
+        subtree_lambda[p] |= subtree_lambda[c];
+      }
+      keys[p] = {subtree_lambda[p].ToVector(), hd.node(p).chi.ToVector()};
+    }
+    for (std::size_t p : hd.PreOrder()) {
+      const std::size_t parent = hd.node(p).parent;
+      if (parent != HypertreeNode::kNoParent &&
+          (skip[parent] || staged[parent].has_value())) {
+        skip[p] = true;
+      } else {
+        staged[p] = rc->TakeCheckpoint(keys[p]);
+        reused[p] = staged[p].has_value();
+      }
+    }
+  }
+
   auto process_node = [&](std::size_t p) -> Status {
+    if (rc != nullptr) {
+      if (skip[p]) return Status::Ok();
+      if (staged[p].has_value()) {
+        ScopedSpan node_span(ctx->tracer, "qhd.node", ctx->SpanParent());
+        node_span.Attr("node", p);
+        node_span.Attr("checkpoint", "reused");
+        node_span.Attr("rows", staged[p]->NumRows());
+        rel[p] = std::move(*staged[p]);
+        staged[p].reset();
+        return Status::Ok();
+      }
+    }
     const HypertreeNode& node = hd.node(p);
     // Explicit parent: under RunWaves this body runs on a pool lane whose
     // TLS stack is empty, so the wave span arrives via ctx->trace_parent.
@@ -154,16 +204,53 @@ Result<Relation> EvaluateDecomposition(const ResolvedQuery& rq,
     return Status::Ok();
   };
 
+  // Between waves — on the coordinating thread, after every node body of
+  // the wave has joined — compare each freshly computed node against its
+  // installed estimate. A completed wave set is a function of the tree
+  // alone, so the trip decision (and the checkpointed node set) is
+  // identical at any thread count. On a trip, every live intermediate is
+  // checkpointed in node-index order and the evaluator backs out; the
+  // optimizer re-plans with the observed cardinalities pinned and resumes.
+  auto wave_barrier = [&]() -> Status {
+    if (rc == nullptr || !rc->armed()) return Status::Ok();
+    std::size_t trip_node = hd.NumNodes();
+    for (std::size_t p = 0; p < hd.NumNodes(); ++p) {
+      if (reused[p] || !rel[p].has_value()) continue;
+      if (rc->ShouldTrip(p, rel[p]->NumRows())) {
+        trip_node = p;
+        break;
+      }
+    }
+    if (trip_node == hd.NumNodes()) return Status::Ok();
+    const std::size_t actual = rel[trip_node]->NumRows();
+    const double estimate = rc->NodeEstimate(trip_node);
+    for (std::size_t p = 0; p < hd.NumNodes(); ++p) {
+      if (!rel[p].has_value()) continue;
+      // Reused results are re-stored too: a second pass may need them.
+      rc->StoreCheckpoint(keys[p], std::move(*rel[p]));
+      rel[p].reset();
+    }
+    rc->RecordTrip(trip_node, actual);
+    return Status::Internal(
+        "mid-query replan requested: node " + std::to_string(trip_node) +
+        " produced " + std::to_string(actual) + " rows vs estimate " +
+        std::to_string(static_cast<std::size_t>(estimate)));
+  };
+
   const std::vector<std::size_t> postorder = hd.PostOrder();
-  if (ctx->parallel()) {
+  if (ctx->parallel() || rc != nullptr) {
     // Sibling subtrees evaluate concurrently, height wave by height wave;
     // each node touches only its own slot and its finished children, so the
-    // result is identical to the serial postorder sweep.
+    // result is identical to the serial postorder sweep. Adaptive runs take
+    // this path even on the serial engine: trip decisions must land at the
+    // same wave barriers at every thread count.
     std::vector<std::vector<std::size_t>> children(hd.NumNodes());
     for (std::size_t p = 0; p < hd.NumNodes(); ++p) {
       children[p] = hd.node(p).children;
     }
-    Status s = RunWaves(ctx, HeightWaves(postorder, children), process_node);
+    Status s = RunWaves(ctx, HeightWaves(postorder, children), process_node,
+                        rc != nullptr ? wave_barrier
+                                      : std::function<Status()>());
     if (!s.ok()) return s;
   } else {
     for (std::size_t p : postorder) {

@@ -78,12 +78,19 @@ inline std::vector<std::vector<std::size_t>> DepthWaves(
 }
 
 // Runs node_body over each wave in order, fanning a wave's nodes out onto
-// the context's pool. Callers use this only when ctx->parallel(); the
+// the context's pool. Callers use this only when ctx->parallel() — the
 // serial engine keeps its original single loops so num_threads=1 is the
-// exact pre-existing behavior.
+// exact pre-existing behavior — except adaptive (replan-armed) runs, which
+// go through waves in both engines so trip decisions land at the same
+// barriers at any thread count.
+//
+// `wave_barrier`, when set, runs on the calling thread after each wave
+// except the last, once every node body of the wave has joined; a non-ok
+// status aborts the remaining waves (used for mid-query replan trips).
 inline Status RunWaves(ExecContext* ctx,
                        const std::vector<std::vector<std::size_t>>& waves,
-                       const std::function<Status(std::size_t)>& node_body) {
+                       const std::function<Status(std::size_t)>& node_body,
+                       const std::function<Status()>& wave_barrier = {}) {
   // Pool lanes parent their spans through ctx->trace_parent; repointing it
   // at each wave's span is race-free because the write happens on the
   // calling thread between barrier waves (task handoff and join give
@@ -129,6 +136,10 @@ inline Status RunWaves(ExecContext* ctx,
     wave_span.Attr("batches", ctx->batches.load(std::memory_order_relaxed) -
                                   batches_before);
     if (!result.ok()) break;
+    if (wave_barrier && wave_index < waves.size()) {
+      result = wave_barrier();
+      if (!result.ok()) break;
+    }
   }
   ctx->trace_parent = saved_parent;
   return result;

@@ -46,6 +46,9 @@ AdmissionController::AdmissionController(AdmissionConfig config)
     : config_(std::move(config)),
       ema_query_seconds_(std::max(1e-4, config_.initial_query_seconds)) {
   if (config_.max_total_concurrent == 0) config_.max_total_concurrent = 1;
+  config_.retry_after_floor_ms = std::max(1.0, config_.retry_after_floor_ms);
+  config_.retry_after_cap_ms =
+      std::max(config_.retry_after_floor_ms, config_.retry_after_cap_ms);
   MetricsRegistry& m = MetricsRegistry::Global();
   metric_admitted_ = m.GetCounter(kMetricAdmissionAdmittedTotal);
   metric_queued_ = m.GetCounter(kMetricAdmissionQueuedTotal);
@@ -292,12 +295,19 @@ uint64_t AdmissionController::RetryAfterMsLocked() const {
       static_cast<double>(waiting_total_ + active_total_ + 1) /
       static_cast<double>(config_.max_total_concurrent);
   double ms = ema_query_seconds_ * 1e3 * oversubscription;
-  return static_cast<uint64_t>(std::clamp(ms, 1.0, 10000.0));
+  return static_cast<uint64_t>(std::clamp(ms, config_.retry_after_floor_ms,
+                                          config_.retry_after_cap_ms));
 }
 
 uint64_t AdmissionController::RetryAfterMs() const {
   std::lock_guard<std::mutex> lock(mu_);
   return RetryAfterMsLocked();
+}
+
+void AdmissionController::NoteQueryDuration(double query_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ema_query_seconds_ =
+      0.8 * ema_query_seconds_ + 0.2 * std::max(query_seconds, 1e-4);
 }
 
 AdmissionController::Snapshot AdmissionController::snapshot() const {

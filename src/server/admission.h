@@ -84,6 +84,13 @@ struct AdmissionConfig {
   // Seed EMA for the retry-after / would-expire estimates before any query
   // has completed.
   double initial_query_seconds = 0.05;
+  // Bounds on the retry-after hint the EMA pricing may emit. The floor
+  // keeps a cold (or microsecond-query) EMA from telling clients to hammer
+  // the server back instantly; the cap keeps one pathological slow query
+  // from parking every client for minutes. Sanitized in the constructor:
+  // floor is clamped to >= 1ms, cap to >= floor.
+  double retry_after_floor_ms = 10.0;
+  double retry_after_cap_ms = 10000.0;
 };
 
 class AdmissionController;
@@ -144,8 +151,14 @@ class AdmissionController {
   bool draining() const;
 
   // Suggested client backoff right now: scales with how oversubscribed the
-  // slots are, priced by the recent-duration EMA. Always >= 1.
+  // slots are, priced by the recent-duration EMA and clamped to
+  // [retry_after_floor_ms, retry_after_cap_ms].
   uint64_t RetryAfterMs() const;
+
+  // Feeds one observed query duration into the retry-after EMA without
+  // touching slot accounting — for callers that time queries outside the
+  // ticket, and for tests steering the pricing.
+  void NoteQueryDuration(double query_seconds);
 
   struct Snapshot {
     std::size_t active_total = 0;

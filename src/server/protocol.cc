@@ -48,6 +48,8 @@ const char* StatusCodeWireName(StatusCode code) {
       return "deadline-exceeded";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kDataLoss:
+      return "data-loss";
   }
   return "internal";
 }
@@ -58,6 +60,7 @@ StatusCode StatusCodeFromWireName(std::string_view name) {
   if (name == "not-found") return StatusCode::kNotFound;
   if (name == "resource-exhausted") return StatusCode::kResourceExhausted;
   if (name == "deadline-exceeded") return StatusCode::kDeadlineExceeded;
+  if (name == "data-loss") return StatusCode::kDataLoss;
   return StatusCode::kInternal;
 }
 

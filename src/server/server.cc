@@ -81,6 +81,13 @@ QueryServer::QueryServer(const Catalog* catalog,
       optimizer_(catalog, stats),
       admission_(options_.admission) {}
 
+QueryServer::QueryServer(const Catalog* catalog, StatisticsRegistry* stats,
+                         ServerOptions options)
+    : options_(std::move(options)),
+      optimizer_(catalog, stats),
+      admission_(options_.admission),
+      mutable_stats_(stats) {}
+
 QueryServer::~QueryServer() {
   if (running()) Drain(/*deadline_seconds=*/1.0);
 }

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -61,6 +62,13 @@ struct ServerOptions {
   double idle_timeout_seconds = 300;   // session dies after this much quiet
   std::size_t max_result_rows = 100;   // result-table render cap
   std::size_t max_sessions = 256;      // concurrent connections cap
+  // Adaptive feedback loop (DESIGN.md §6h): after every successful query,
+  // mine its trace and re-analyze relations whose statistics have drifted.
+  // Requires the mutable-statistics constructor — silently off otherwise.
+  // Queries take a shared lock on the registry; a refresh takes the
+  // exclusive lock for the (brief) re-analyze, so a burst of sessions never
+  // reads statistics mid-rewrite.
+  bool enable_feedback = false;
 };
 
 class QueryServer {
@@ -68,6 +76,12 @@ class QueryServer {
   // The pointees must outlive the server and stay unmodified while it
   // serves (analyze before Start; plan-cache epochs handle the rest).
   QueryServer(const Catalog* catalog, const StatisticsRegistry* stats,
+              ServerOptions options);
+  // As above with a *mutable* statistics registry: unlocks the
+  // enable_feedback path, which re-analyzes drifted relations in place
+  // (each refresh bumps that relation's stats epoch, so cached plans
+  // self-invalidate). The catalog still stays unmodified.
+  QueryServer(const Catalog* catalog, StatisticsRegistry* stats,
               ServerOptions options);
   ~QueryServer();  // drains with a short default deadline if still running
 
@@ -93,6 +107,11 @@ class QueryServer {
   AdmissionController& admission() { return admission_; }
   const ServerOptions& options() const { return options_; }
   const HybridOptimizer& optimizer() const { return optimizer_; }
+  // True when the adaptive feedback loop is active (enable_feedback set AND
+  // the server was built over a mutable statistics registry).
+  bool feedback_enabled() const {
+    return options_.enable_feedback && mutable_stats_ != nullptr;
+  }
 
  private:
   friend class Session;
@@ -106,6 +125,11 @@ class QueryServer {
   ServerOptions options_;
   HybridOptimizer optimizer_;
   AdmissionController admission_;
+  // Feedback path (nullptr under the const-statistics constructor).
+  // stats_mu_ arbitrates sessions (shared: plan + run) against the
+  // feedback refresh (exclusive: StatisticsRegistry::Put).
+  StatisticsRegistry* mutable_stats_ = nullptr;
+  std::shared_mutex stats_mu_;
 
   int listen_fd_ = -1;
   int metrics_fd_ = -1;

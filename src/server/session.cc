@@ -5,9 +5,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <optional>
 
 #include "obs/metrics.h"
 #include "server/server.h"
+#include "stats/feedback.h"
 
 namespace htqo {
 
@@ -186,7 +188,40 @@ void Session::HandleQuery(const Frame& frame) {
     opts.deadline_seconds = 0;
   }
 
-  auto run = server_->optimizer().Run(frame.payload, opts);
+  // Adaptive feedback loop (DESIGN.md §6h). When enabled, the query runs
+  // traced under a shared statistics lock; after a success, the trace is
+  // reconciled against the registry under the exclusive lock — a drifted
+  // relation's statistics are re-analyzed in place, its stats epoch bumps,
+  // and the next query (any session) plans informed. Queries that don't
+  // resolve to a single CQ (nested FROM subqueries) run the plain path:
+  // they can't be trace-mined, and correctness never depends on feedback.
+  const bool feedback = server_->feedback_enabled();
+  Tracer tracer;
+  std::optional<ResolvedQuery> resolved;
+  if (feedback) {
+    auto rq = server_->optimizer().Resolve(frame.payload, opts.tid_mode);
+    if (rq.ok()) {
+      resolved = std::move(rq.value());
+      opts.trace.tracer = &tracer;
+    }
+  }
+  Result<QueryRun> run = Status::Internal("query never ran");
+  {
+    std::shared_lock<std::shared_mutex> stats_lock(server_->stats_mu_,
+                                                   std::defer_lock);
+    if (feedback) stats_lock.lock();
+    run = resolved.has_value()
+              ? server_->optimizer().RunResolved(*resolved, opts)
+              : server_->optimizer().Run(frame.payload, opts);
+  }
+  std::size_t feedback_refreshed = 0;
+  if (run.ok() && resolved.has_value()) {
+    std::unique_lock<std::shared_mutex> stats_lock(server_->stats_mu_);
+    FeedbackCollector collector(&server_->optimizer().catalog(),
+                                server_->mutable_stats_);
+    feedback_refreshed =
+        collector.Reconcile(*resolved, tracer).refreshed.size();
+  }
   query_in_flight_.store(false, std::memory_order_relaxed);
   ticket.Release();  // frees the slot before the (possibly slow) write
 
@@ -210,6 +245,12 @@ void Session::HandleQuery(const Frame& frame) {
   }
   if (grant.degrade_level > 0) {
     ok.fields["admission_level"] = std::to_string(grant.degrade_level);
+  }
+  if (run->replans > 0) {
+    ok.fields["replans"] = std::to_string(run->replans);
+  }
+  if (feedback_refreshed > 0) {
+    ok.fields["feedback_refreshed"] = std::to_string(feedback_refreshed);
   }
   SendOrDrop(ok);
 }

@@ -54,7 +54,8 @@ std::vector<std::string> FaultInjector::KnownSites() {
           kFaultSiteTraceWrite,         kFaultSiteMetricsExport,
           kFaultSiteCacheInsert,        kFaultSiteServerAccept,
           kFaultSiteServerRead,         kFaultSiteServerWrite,
-          kFaultSiteAdmissionEnqueue};
+          kFaultSiteAdmissionEnqueue,   kFaultSiteStatsFeedback,
+          kFaultSiteReplanCheckpoint};
 }
 
 }  // namespace htqo

@@ -33,6 +33,13 @@
 //   admission.enqueue    the admission controller fails to enqueue a query
 //                        that would have waited; the client sees an
 //                        admission-shed rejection with a retry-after hint
+//   stats.feedback       FeedbackCollector fails to refresh a relation's
+//                        statistics after reconciliation; the refresh (and
+//                        its epoch bump) is skipped, the query result that
+//                        produced the trace is unaffected
+//   replan.checkpoint    checkpointing a completed subtree result during a
+//                        mid-query replan fails; that node is recomputed by
+//                        the replanned tree instead of reused
 
 #ifndef HTQO_UTIL_FAULT_INJECTOR_H_
 #define HTQO_UTIL_FAULT_INJECTOR_H_
@@ -65,6 +72,8 @@ inline constexpr const char kFaultSiteServerAccept[] = "server.accept";
 inline constexpr const char kFaultSiteServerRead[] = "server.read";
 inline constexpr const char kFaultSiteServerWrite[] = "server.write";
 inline constexpr const char kFaultSiteAdmissionEnqueue[] = "admission.enqueue";
+inline constexpr const char kFaultSiteStatsFeedback[] = "stats.feedback";
+inline constexpr const char kFaultSiteReplanCheckpoint[] = "replan.checkpoint";
 
 struct FaultPlan {
   // Exact site to target; the empty string targets every site.

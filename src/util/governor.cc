@@ -20,6 +20,8 @@ const char* TripReasonName(TripReason reason) {
       return "cancelled";
     case TripReason::kAdmissionShed:
       return "admission-shed";
+    case TripReason::kReplan:
+      return "replan";
   }
   return "none";
 }
@@ -34,6 +36,7 @@ void GovernorStats::Merge(const GovernorStats& other) {
   cancellations += other.cancellations;
   soft_memory_hits += other.soft_memory_hits;
   admission_sheds += other.admission_sheds;
+  replan_trips += other.replan_trips;
   // The aggregate keeps the first attempt's reason: that trip is what set
   // the degradation ladder in motion.
   if (trip_reason == TripReason::kNone) trip_reason = other.trip_reason;

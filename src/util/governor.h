@@ -87,6 +87,12 @@ enum class TripReason {
   // "never started" from "tripped mid-query" in bench JSON and the
   // `[governor trip: …]` message suffixes.
   kAdmissionShed,
+  // Mid-query re-planning rung: an intermediate's actual cardinality blew
+  // past its estimate and execution was abandoned to re-enter the optimizer
+  // with observed cardinalities pinned. Unlike the reasons above this is a
+  // *soft* trip — the query still answers; the reason only labels the
+  // degradation entry and the replan_trips counter.
+  kReplan,
 };
 
 const char* TripReasonName(TripReason reason);
@@ -103,6 +109,9 @@ struct GovernorStats {
   std::size_t cancellations = 0;     // trips by Cancel()
   std::size_t soft_memory_hits = 0;  // soft-threshold crossings (no trip)
   std::size_t admission_sheds = 0;   // rejected at the admission door
+  // Mid-query replans taken (soft trips: the query still answered, so these
+  // are excluded from trips() and never set trip_reason).
+  std::size_t replan_trips = 0;
   TripReason trip_reason = TripReason::kNone;  // first trip's reason
   double elapsed_seconds = 0;
 

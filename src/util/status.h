@@ -23,6 +23,8 @@ enum class StatusCode {
   kDeadlineExceeded,   // governor trip: deadline, search-node or memory
                        // budget, or cooperative cancellation
   kInternal,
+  kDataLoss,  // persisted bytes failed verification (spill page checksum
+              // mismatch that survived the bounded re-read retries)
 };
 
 // A success/error outcome with a human-readable message.
@@ -47,6 +49,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

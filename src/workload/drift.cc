@@ -1,0 +1,104 @@
+#include "workload/drift.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace htqo {
+namespace {
+
+// A two-int64-column relation (a, b) with a = row index (so the DISTINCT
+// head has real work to do) and b drawn uniformly from
+// [key_lo, key_lo + key_span).
+Relation MakeKeyedRelation(std::size_t rows, std::size_t key_lo,
+                           std::size_t key_span, uint64_t seed) {
+  Relation rel{Schema({Column{"a", ValueType::kInt64},
+                       Column{"b", ValueType::kInt64}})};
+  rel.Reserve(rows);
+  Rng rng(seed);
+  std::vector<Value> row(2);
+  for (std::size_t r = 0; r < rows; ++r) {
+    row[0] = Value::Int64(static_cast<int64_t>(r));
+    row[1] = Value::Int64(
+        static_cast<int64_t>(key_lo + rng.Uniform(std::max<std::size_t>(
+                                          1, key_span))));
+    rel.AddRow(row);
+  }
+  return rel;
+}
+
+// dim(a, b): the join key is column a (mid.b = dim.a), so here *a* is the
+// shifted random key and b is the row index.
+Relation MakeDimRelation(std::size_t rows, std::size_t key_lo,
+                         std::size_t key_span, uint64_t seed) {
+  Relation rel{Schema({Column{"a", ValueType::kInt64},
+                       Column{"b", ValueType::kInt64}})};
+  rel.Reserve(rows);
+  Rng rng(seed);
+  std::vector<Value> row(2);
+  for (std::size_t r = 0; r < rows; ++r) {
+    row[0] = Value::Int64(
+        static_cast<int64_t>(key_lo + rng.Uniform(std::max<std::size_t>(
+                                          1, key_span))));
+    row[1] = Value::Int64(static_cast<int64_t>(r));
+    rel.AddRow(row);
+  }
+  return rel;
+}
+
+// mid(a, b): a uniform over the hot-key domain (the hot join side), b
+// uniform over the dim-key domain (the dim join side).
+Relation MakeMidRelation(const DriftConfig& c, uint64_t seed) {
+  Relation rel{Schema({Column{"a", ValueType::kInt64},
+                       Column{"b", ValueType::kInt64}})};
+  rel.Reserve(c.mid_rows);
+  Rng rng(seed);
+  std::vector<Value> row(2);
+  for (std::size_t r = 0; r < c.mid_rows; ++r) {
+    row[0] = Value::Int64(static_cast<int64_t>(
+        rng.Uniform(std::max<std::size_t>(1, c.hot_key_domain))));
+    row[1] = Value::Int64(static_cast<int64_t>(
+        rng.Uniform(std::max<std::size_t>(1, c.dim_key_domain))));
+    rel.AddRow(row);
+  }
+  return rel;
+}
+
+}  // namespace
+
+void PopulateDriftCatalog(const DriftConfig& config, Catalog* catalog) {
+  Rng rng(config.seed);
+  // Pre-drift hot: tiny, join key spread over mid.a's whole domain.
+  catalog->Put("hot", MakeKeyedRelation(config.initial_hot_rows, 0,
+                                        config.hot_key_domain, rng.Fork(1)));
+  catalog->Put("mid", MakeMidRelation(config, rng.Fork(2)));
+  // dim.a is shifted up so only the top `dim_overlap_keys` values of its
+  // range can match mid.b: both sides have a small V(), so the estimator
+  // over-predicts mid ⋈ dim by ~dim_key_domain / dim_overlap_keys while
+  // the actual join stays tiny. See the header comment for why.
+  const std::size_t overlap =
+      std::min(config.dim_overlap_keys, config.dim_key_domain);
+  catalog->Put("dim",
+               MakeDimRelation(config.dim_rows,
+                               config.dim_key_domain - overlap,
+                               config.dim_key_domain, rng.Fork(3)));
+}
+
+void ApplyDrift(const DriftConfig& config, Catalog* catalog) {
+  Rng rng(config.seed);
+  // Post-drift hot: regrown, join key collapsed onto a few hot values at
+  // the bottom of mid.a's domain.
+  catalog->Put("hot",
+               MakeKeyedRelation(config.drifted_hot_rows, 0,
+                                 std::min(config.drifted_hot_keys,
+                                          config.hot_key_domain),
+                                 rng.Fork(4)));
+}
+
+std::string DriftQuerySql() {
+  return "SELECT DISTINCT hot.a FROM hot, mid, dim "
+         "WHERE hot.b = mid.a AND mid.b = dim.a";
+}
+
+}  // namespace htqo

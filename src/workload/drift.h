@@ -1,0 +1,70 @@
+// Drift workload for the adaptive re-optimization loop (DESIGN.md §6h).
+//
+// Three relations forming a line query  hot ⋈ mid ⋈ dim:
+//
+//   hot(a, b)   the drifting fact table: starts tiny with b spread over
+//               mid.a's key domain, then ApplyDrift regrows it orders of
+//               magnitude larger with b collapsed onto a handful of heavily
+//               duplicated keys — the classic "yesterday's ANALYZE lies
+//               about today's load" scenario.
+//   mid(a, b)   a stable bridge table; every hot.b key matches ~10 rows, so
+//               joining the drifted hot first explodes.
+//   dim(a, b)   a stable, *mis-estimated* dimension: dim.a's value range
+//               barely overlaps mid.b's, so the V-based join estimate
+//               (|mid||dim| / max(V(mid.b), V(dim.a))) over-predicts mid ⋈
+//               dim by ~10x. That over-prediction is the trap: with stale
+//               statistics the DP orderer believes hot is still tiny and
+//               joins it first (estimated ~1e3 rows, actual ~4e5); with
+//               refreshed statistics hot's true size pushes the search to
+//               the dim-first order whose actual intermediate is ~1e2 rows.
+//
+// The gap between the two orders is what bench_adaptive measures: a
+// feedback-on loop (FeedbackCollector refreshing hot after the first
+// post-drift query) against a feedback-off loop stuck on the stale plan.
+
+#ifndef HTQO_WORKLOAD_DRIFT_H_
+#define HTQO_WORKLOAD_DRIFT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/catalog.h"
+
+namespace htqo {
+
+struct DriftConfig {
+  // Pre-drift hot: what ANALYZE sees before the data moves.
+  std::size_t initial_hot_rows = 100;
+  // Post-drift hot: ApplyDrift regrows it to this many rows...
+  std::size_t drifted_hot_rows = 40000;
+  // ...with the join key b drawn from only this many distinct values
+  // (heavy duplication = join fan-out the stale plan never priced).
+  std::size_t drifted_hot_keys = 40;
+  // mid.a (and pre-drift hot.b) value domain.
+  std::size_t hot_key_domain = 400;
+  std::size_t mid_rows = 8000;
+  // mid.b / dim.a live in [0, dim_key_domain); dim.a is shifted so only
+  // `dim_overlap_keys` of its values can match mid.b — the source of the
+  // deliberate over-estimate documented above.
+  std::size_t dim_key_domain = 100;
+  std::size_t dim_overlap_keys = 5;
+  std::size_t dim_rows = 120;
+  uint64_t seed = 11;
+};
+
+// Registers hot/mid/dim in their pre-drift shape (overwrites existing
+// entries, so a bench can rebuild the world between iterations).
+void PopulateDriftCatalog(const DriftConfig& config, Catalog* catalog);
+
+// Replaces `hot` with its post-drift shape. Statistics collected before
+// this call are stale by ~drifted_hot_rows / initial_hot_rows in both row
+// count and key skew.
+void ApplyDrift(const DriftConfig& config, Catalog* catalog);
+
+// The probe query: SELECT DISTINCT hot.a FROM hot, mid, dim
+//                  WHERE hot.b = mid.a AND mid.b = dim.a
+std::string DriftQuerySql();
+
+}  // namespace htqo
+
+#endif  // HTQO_WORKLOAD_DRIFT_H_

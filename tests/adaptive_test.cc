@@ -1,0 +1,495 @@
+// Adaptive re-optimization (DESIGN.md §6h): the runtime-feedback loop and
+// the mid-query re-planning rung.
+//
+//   - FeedbackCollector: trace mining refreshes drifted statistics, bumps
+//     the relation's stats epoch (so DecompCache entries self-invalidate),
+//     leaves accurate statistics alone, and the stats.feedback fault site
+//     skips a refresh cleanly.
+//   - The refreshed statistics flip the DP join order on the drift
+//     workload, and the plan cache self-corrects: miss -> (epoch bump) ->
+//     stale-miss -> hit.
+//   - ReplanController units: trip policy, checkpoint store semantics, the
+//     replan.checkpoint fault site.
+//   - End-to-end replan: a tripped run records a kReplan degradation entry,
+//     governor.replan_trips, htqo_replans_total and the estimate-error
+//     histogram — and its output is byte-identical to the never-replanned
+//     twin at 1/2/4 threads, spill on and off, over randomized catalogs,
+//     with identical row/work meter readings.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/hybrid_optimizer.h"
+#include "cache/decomp_cache.h"
+#include "exec/adaptive.h"
+#include "obs/metrics.h"
+#include "stats/estimator.h"
+#include "stats/feedback.h"
+#include "stats/statistics.h"
+#include "util/fault_injector.h"
+#include "workload/drift.h"
+#include "workload/query_gen.h"
+#include "workload/synthetic.h"
+
+namespace htqo {
+namespace {
+
+// Order-sensitive equality — the replan determinism contract.
+bool ByteIdentical(const Relation& a, const Relation& b) {
+  if (a.arity() != b.arity() || a.NumRows() != b.NumRows()) return false;
+  for (std::size_t r = 0; r < a.NumRows(); ++r) {
+    for (std::size_t c = 0; c < a.arity(); ++c) {
+      if (!(a.At(r, c) == b.At(r, c))) return false;
+    }
+  }
+  return true;
+}
+
+bool HasReplanDegradation(const QueryRun& run) {
+  for (const std::string& d : run.degradations) {
+    if (d.find("mid-query replan") != std::string::npos) return true;
+  }
+  return false;
+}
+
+// --- Feedback loop. ---------------------------------------------------------
+
+class FeedbackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DriftConfig config;
+    PopulateDriftCatalog(config, &catalog_);
+    stats_.AnalyzeAll(catalog_);  // pre-drift truth...
+    ApplyDrift(config, &catalog_);  // ...now a 400x lie about hot
+    optimizer_.emplace(&catalog_, &stats_);
+    auto rq = optimizer_->Resolve(DriftQuerySql());
+    ASSERT_TRUE(rq.ok()) << rq.status().message();
+    rq_ = std::move(rq.value());
+  }
+
+  // One traced kDpStatistics query (the feedback loop's input).
+  Result<QueryRun> RunTraced(Tracer* tracer) {
+    RunOptions options;
+    options.mode = OptimizerMode::kDpStatistics;
+    options.trace.tracer = tracer;
+    return optimizer_->RunResolved(rq_, options);
+  }
+
+  Catalog catalog_;
+  StatisticsRegistry stats_;
+  std::optional<HybridOptimizer> optimizer_;
+  ResolvedQuery rq_;
+};
+
+TEST_F(FeedbackTest, ReconcileRefreshesDriftedStatisticsAndBumpsEpoch) {
+  const uint64_t epoch_before = StatsEpochRegistry::Global().Get("hot");
+  const double stale_rows = Estimator(&stats_).Rows("hot");
+  EXPECT_LT(stale_rows, 1000.0);  // the registry still believes pre-drift
+
+  Tracer tracer;
+  auto run = RunTraced(&tracer);
+  ASSERT_TRUE(run.ok()) << run.status().message();
+
+  FeedbackCollector collector(&catalog_, &stats_);
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  FeedbackReport report = collector.Reconcile(rq_, tracer);
+  const MetricsSnapshot delta =
+      MetricsRegistry::Global().Snapshot().DeltaSince(before);
+
+  ASSERT_EQ(report.refreshed.size(), 1u);
+  EXPECT_EQ(report.refreshed[0], "hot");
+  EXPECT_GE(report.max_error_factor, 100.0);
+  EXPECT_EQ(report.skipped, 0u);
+  ASSERT_FALSE(report.errors.empty());
+
+  // The registry now tells the truth and the epoch moved, so any cached
+  // plan built from the stale estimates is invalidated.
+  EXPECT_GT(Estimator(&stats_).Rows("hot"), 10000.0);
+  EXPECT_GT(StatsEpochRegistry::Global().Get("hot"), epoch_before);
+  auto refreshes = delta.counters.find(kMetricFeedbackRefreshesTotal);
+  ASSERT_NE(refreshes, delta.counters.end());
+  EXPECT_GE(refreshes->second, 1u);
+}
+
+TEST_F(FeedbackTest, AccurateStatisticsAreLeftAlone) {
+  Tracer tracer;
+  ASSERT_TRUE(RunTraced(&tracer).ok());
+  FeedbackCollector collector(&catalog_, &stats_);
+  ASSERT_EQ(collector.Reconcile(rq_, tracer).refreshed.size(), 1u);
+
+  // Second round: statistics now match the data; nothing to refresh, no
+  // epoch churn.
+  const uint64_t epoch = StatsEpochRegistry::Global().Get("hot");
+  Tracer tracer2;
+  ASSERT_TRUE(RunTraced(&tracer2).ok());
+  FeedbackReport report = collector.Reconcile(rq_, tracer2);
+  EXPECT_TRUE(report.refreshed.empty());
+  EXPECT_LT(report.max_error_factor, 2.0);
+  EXPECT_EQ(StatsEpochRegistry::Global().Get("hot"), epoch);
+}
+
+TEST_F(FeedbackTest, ReconcileActualsFeedsBackWithoutATrace) {
+  // The replan rung has the observed scan cardinalities in hand — no
+  // tracer. Entries of SIZE_MAX mean "not observed" and must be ignored.
+  std::vector<std::size_t> actuals(rq_.cq.atoms.size(), SIZE_MAX);
+  for (std::size_t a = 0; a < rq_.cq.atoms.size(); ++a) {
+    if (rq_.cq.atoms[a].relation == "hot") {
+      actuals[a] = (*catalog_.Get("hot"))->NumRows();
+    }
+  }
+  FeedbackCollector collector(&catalog_, &stats_);
+  FeedbackReport report = collector.ReconcileActuals(rq_.cq, actuals);
+  ASSERT_EQ(report.refreshed.size(), 1u);
+  EXPECT_EQ(report.refreshed[0], "hot");
+  EXPECT_GT(Estimator(&stats_).Rows("hot"), 10000.0);
+}
+
+TEST_F(FeedbackTest, FeedbackFaultSiteSkipsRefreshCleanly) {
+  Tracer tracer;
+  ASSERT_TRUE(RunTraced(&tracer).ok());
+
+  const uint64_t epoch = StatsEpochRegistry::Global().Get("hot");
+  const double stale_rows = Estimator(&stats_).Rows("hot");
+  FaultPlan plan;
+  plan.site = kFaultSiteStatsFeedback;
+  plan.probability = 1.0;
+  ScopedFaultInjection injection(plan);
+  ASSERT_TRUE(injection.status().ok());
+
+  FeedbackCollector collector(&catalog_, &stats_);
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  FeedbackReport report = collector.Reconcile(rq_, tracer);
+  const MetricsSnapshot delta =
+      MetricsRegistry::Global().Snapshot().DeltaSince(before);
+
+  // The error was seen but the refresh (and its epoch bump) was skipped;
+  // the registry is untouched.
+  EXPECT_GE(report.skipped, 1u);
+  EXPECT_TRUE(report.refreshed.empty());
+  EXPECT_GE(report.max_error_factor, 100.0);
+  EXPECT_EQ(StatsEpochRegistry::Global().Get("hot"), epoch);
+  EXPECT_EQ(Estimator(&stats_).Rows("hot"), stale_rows);
+  auto skipped = delta.counters.find(kMetricFeedbackSkippedTotal);
+  ASSERT_NE(skipped, delta.counters.end());
+  EXPECT_GE(skipped->second, 1u);
+}
+
+TEST_F(FeedbackTest, RefreshedStatisticsFlipTheDpJoinOrder) {
+  Tracer tracer;
+  auto stale_run = RunTraced(&tracer);
+  ASSERT_TRUE(stale_run.ok());
+
+  FeedbackCollector collector(&catalog_, &stats_);
+  ASSERT_FALSE(collector.Reconcile(rq_, tracer).refreshed.empty());
+
+  Tracer tracer2;
+  auto fresh_run = RunTraced(&tracer2);
+  ASSERT_TRUE(fresh_run.ok());
+
+  // Same answer, different plan, and the informed plan does a fraction of
+  // the work — the whole point of the feedback loop.
+  EXPECT_NE(stale_run->plan_description, fresh_run->plan_description);
+  EXPECT_LT(static_cast<std::size_t>(fresh_run->ctx.work_charged) * 2,
+            static_cast<std::size_t>(stale_run->ctx.work_charged));
+  Relation a = stale_run->output;
+  Relation b = fresh_run->output;
+  a.SortBy({});
+  b.SortBy({});
+  EXPECT_TRUE(ByteIdentical(a, b));
+}
+
+TEST_F(FeedbackTest, PlanCacheSelfCorrectsAcrossTheEpochBump) {
+  DecompCache::Global().Clear();
+  RunOptions options;
+  options.mode = OptimizerMode::kQhdHybrid;
+  options.use_plan_cache = true;
+
+  Tracer tracer;
+  options.trace.tracer = &tracer;
+  auto first = optimizer_->RunResolved(rq_, options);
+  ASSERT_TRUE(first.ok()) << first.status().message();
+  EXPECT_EQ(first->plan_cache, "miss");
+
+  // Feedback refreshes hot -> epoch bump -> the published entry is stale.
+  FeedbackCollector collector(&catalog_, &stats_);
+  ASSERT_FALSE(collector.Reconcile(rq_, tracer).refreshed.empty());
+
+  Tracer tracer2;
+  options.trace.tracer = &tracer2;
+  auto second = optimizer_->RunResolved(rq_, options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->plan_cache, "stale-miss");
+
+  // The re-published entry carries the fresh epochs.
+  Tracer tracer3;
+  options.trace.tracer = &tracer3;
+  auto third = optimizer_->RunResolved(rq_, options);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->plan_cache, "hit");
+}
+
+// --- ReplanController units. ------------------------------------------------
+
+TEST(ReplanControllerTest, TripPolicyHonorsArmedFactorAndFloor) {
+  ReplanController::Options options;
+  options.blowup_factor = 4.0;
+  options.min_rows = 100;
+  ReplanController rc(options);
+  rc.BeginTree({10.0, 1000.0});
+
+  EXPECT_TRUE(rc.ShouldTrip(0, 200));    // 200 > 4*10 and >= 100
+  EXPECT_FALSE(rc.ShouldTrip(0, 40));    // blown up but under the floor
+  EXPECT_FALSE(rc.ShouldTrip(1, 3999));  // under 4x its estimate
+  EXPECT_TRUE(rc.ShouldTrip(1, 4001));
+
+  rc.set_armed(false);
+  EXPECT_FALSE(rc.ShouldTrip(0, 200));  // disarmed never trips
+  rc.set_armed(true);
+  rc.RecordTrip(0, 200);
+  EXPECT_TRUE(rc.tripped());
+  EXPECT_EQ(rc.tripped_node(), 0u);
+  EXPECT_EQ(rc.tripped_actual(), 200u);
+  EXPECT_FALSE(rc.ShouldTrip(1, 4001));  // one trip per pass
+
+  rc.BeginTree({10.0});  // a new pass clears the trip
+  EXPECT_FALSE(rc.tripped());
+}
+
+TEST(ReplanControllerTest, CheckpointsAreConsumedOnce) {
+  ReplanController rc({});
+  Relation rel{Schema({Column{"x", ValueType::kInt64}})};
+  rel.AddRow({Value::Int64(42)});
+  ReplanController::CheckpointKey key{{0, 2}, {1}};
+
+  EXPECT_TRUE(rc.StoreCheckpoint(key, rel));
+  EXPECT_EQ(rc.checkpoints_stored(), 1u);
+  ASSERT_TRUE(rc.HasCheckpoint(key));
+
+  auto taken = rc.TakeCheckpoint(key);
+  ASSERT_TRUE(taken.has_value());
+  EXPECT_EQ(taken->NumRows(), 1u);
+  EXPECT_FALSE(rc.HasCheckpoint(key));  // consumed
+  EXPECT_EQ(rc.checkpoints_reused(), 1u);
+  EXPECT_FALSE(rc.TakeCheckpoint(key).has_value());
+}
+
+TEST(ReplanControllerTest, CheckpointFaultSiteDropsTheStore) {
+  FaultPlan plan;
+  plan.site = kFaultSiteReplanCheckpoint;
+  plan.probability = 1.0;
+  ScopedFaultInjection injection(plan);
+  ASSERT_TRUE(injection.status().ok());
+
+  ReplanController rc({});
+  Relation rel{Schema({Column{"x", ValueType::kInt64}})};
+  EXPECT_FALSE(rc.StoreCheckpoint({{0}, {0}}, rel));
+  EXPECT_EQ(rc.checkpoints_stored(), 0u);
+  EXPECT_EQ(rc.checkpoints_dropped(), 1u);
+  EXPECT_FALSE(rc.HasCheckpoint({{0}, {0}}));
+}
+
+TEST(ReplanControllerTest, ObservedScansPinIntoEdgeStats) {
+  ReplanController rc({});
+  rc.NoteScanActual(0, 500);
+  rc.NoteScanActual(2, 10000);
+  rc.NoteScanActual(0, 500);  // re-scan overwrites, no double counting
+  auto observed = rc.ObservedEdgeRows();
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_EQ(observed[0], 500u);
+  EXPECT_EQ(observed[2], 10000u);
+}
+
+// --- End-to-end mid-query replan. -------------------------------------------
+
+class AdaptiveReplanTest : public ::testing::Test {
+ protected:
+  // blowup_factor < 1 makes the first wave barrier trip deterministically
+  // on any multi-node decomposition — the "forced replan" the determinism
+  // sweep needs. The twin arms replan with an unreachable factor: same
+  // canonical-sort output contract, zero trips.
+  static RunOptions ReplanOptions(std::size_t threads, bool forced,
+                                  bool spill) {
+    RunOptions options;
+    options.mode = OptimizerMode::kQhdHybrid;
+    options.num_threads = threads;
+    options.enable_replan = true;
+    options.replan_blowup_factor = forced ? 0.01 : 1e12;
+    options.replan_min_rows = 1;
+    if (spill) {
+      options.enable_spill = true;
+      options.memory_budget_bytes = 16u << 20;
+      options.soft_memory_fraction = 0.002;
+    }
+    return options;
+  }
+};
+
+TEST_F(AdaptiveReplanTest, ForcedReplanRecordsFullAccounting) {
+  Catalog catalog;
+  PopulateSyntheticCatalog(SyntheticConfig{2000, 50, 5, 7}, &catalog);
+  StatisticsRegistry stats;
+  stats.AnalyzeAll(catalog);
+  HybridOptimizer optimizer(&catalog, &stats);
+
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  auto run = optimizer.Run(LineQuerySql(5),
+                           ReplanOptions(1, /*forced=*/true, /*spill=*/false));
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  const MetricsSnapshot delta =
+      MetricsRegistry::Global().Snapshot().DeltaSince(before);
+
+  EXPECT_EQ(run->replans, 1u);  // max_replans defaults to 1
+  EXPECT_TRUE(HasReplanDegradation(*run)) << "no kReplan degradation entry";
+  EXPECT_EQ(run->governor.replan_trips, 1u);
+  // A replan is a recovery, not a failure: it must not count as a
+  // budget/deadline trip.
+  EXPECT_EQ(run->governor.trips(), 0u);
+
+  auto replans = delta.counters.find(kMetricReplansTotal);
+  ASSERT_NE(replans, delta.counters.end());
+  EXPECT_EQ(replans->second, 1u);
+  auto error_hist = delta.histograms.find(kMetricEstimateErrorFactor);
+  ASSERT_NE(error_hist, delta.histograms.end());
+  EXPECT_GE(error_hist->second.count, 1u);
+}
+
+TEST_F(AdaptiveReplanTest, ReplannedRunsAreByteIdenticalToTheTwin) {
+  Catalog catalog;
+  PopulateSyntheticCatalog(SyntheticConfig{2000, 40, 5, 13}, &catalog);
+  StatisticsRegistry stats;
+  stats.AnalyzeAll(catalog);
+  HybridOptimizer optimizer(&catalog, &stats);
+
+  for (const std::string& sql : {LineQuerySql(5), ChainQuerySql(4)}) {
+    // The never-replanned twin: replan armed (same canonical-sort path)
+    // but unreachable, single-threaded, in-memory.
+    auto twin =
+        optimizer.Run(sql, ReplanOptions(1, /*forced=*/false, false));
+    ASSERT_TRUE(twin.ok()) << twin.status().message();
+    ASSERT_EQ(twin->replans, 0u);
+
+    // Exact meter accounting: within one spill setting, the replanned
+    // pipeline charges the same rows and work at any thread count.
+    std::optional<std::size_t> baseline_rows[2];
+    std::optional<std::size_t> baseline_work[2];
+    for (std::size_t threads : {1, 2, 4}) {
+      for (bool spill : {false, true}) {
+        auto run =
+            optimizer.Run(sql, ReplanOptions(threads, /*forced=*/true, spill));
+        std::string label = sql + " threads=" + std::to_string(threads) +
+                            " spill=" + std::to_string(spill);
+        ASSERT_TRUE(run.ok()) << label << ": " << run.status().message();
+        EXPECT_GE(run->replans, 1u) << label;
+        EXPECT_TRUE(ByteIdentical(twin->output, run->output)) << label;
+        const std::size_t rows = run->ctx.rows_charged;
+        const std::size_t work = run->ctx.work_charged;
+        std::optional<std::size_t>& ref_rows = baseline_rows[spill ? 1 : 0];
+        std::optional<std::size_t>& ref_work = baseline_work[spill ? 1 : 0];
+        if (!ref_rows.has_value()) {
+          ref_rows = rows;
+          ref_work = work;
+        } else {
+          EXPECT_EQ(*ref_rows, rows) << label;
+          EXPECT_EQ(*ref_work, work) << label;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(AdaptiveReplanTest, RandomizedCatalogsStayDeterministic) {
+  std::size_t total_replans = 0;
+  for (uint64_t seed : {3u, 11u, 29u}) {
+    Catalog catalog;
+    PopulateSyntheticCatalog(
+        SyntheticConfig{1500, 30 + static_cast<std::size_t>(seed), 5, seed},
+        &catalog);
+    StatisticsRegistry stats;
+    stats.AnalyzeAll(catalog);
+    HybridOptimizer optimizer(&catalog, &stats);
+    const std::string sql = LineQuerySql(5);
+
+    std::optional<QueryRun> reference;
+    for (std::size_t threads : {1, 2, 4}) {
+      auto run = optimizer.Run(
+          sql, ReplanOptions(threads, /*forced=*/true, /*spill=*/false));
+      ASSERT_TRUE(run.ok())
+          << "seed " << seed << " threads " << threads << ": "
+          << run.status().message();
+      total_replans += run->replans;
+      if (!reference.has_value()) {
+        reference = std::move(run.value());
+        continue;
+      }
+      std::string label =
+          "seed " + std::to_string(seed) + " threads " + std::to_string(threads);
+      EXPECT_TRUE(ByteIdentical(reference->output, run->output)) << label;
+      EXPECT_EQ(reference->replans, run->replans) << label;
+      EXPECT_EQ(static_cast<std::size_t>(reference->ctx.rows_charged),
+                static_cast<std::size_t>(run->ctx.rows_charged))
+          << label;
+      EXPECT_EQ(static_cast<std::size_t>(reference->ctx.work_charged),
+                static_cast<std::size_t>(run->ctx.work_charged))
+          << label;
+    }
+  }
+  EXPECT_GT(total_replans, 0u) << "forced replan never tripped";
+}
+
+TEST_F(AdaptiveReplanTest, MaxReplansBoundsTheTripCount) {
+  Catalog catalog;
+  PopulateSyntheticCatalog(SyntheticConfig{2000, 50, 5, 7}, &catalog);
+  StatisticsRegistry stats;
+  stats.AnalyzeAll(catalog);
+  HybridOptimizer optimizer(&catalog, &stats);
+
+  RunOptions two = ReplanOptions(1, /*forced=*/true, /*spill=*/false);
+  two.max_replans = 2;
+  auto run2 = optimizer.Run(LineQuerySql(5), two);
+  ASSERT_TRUE(run2.ok());
+  EXPECT_LE(run2->replans, 2u);
+  EXPECT_GE(run2->replans, 1u);
+
+  // max_replans = 0 never arms: the run completes in one pass but still
+  // goes through the canonical-sort output contract.
+  RunOptions zero = ReplanOptions(1, /*forced=*/true, /*spill=*/false);
+  zero.max_replans = 0;
+  auto run0 = optimizer.Run(LineQuerySql(5), zero);
+  ASSERT_TRUE(run0.ok());
+  EXPECT_EQ(run0->replans, 0u);
+  EXPECT_TRUE(ByteIdentical(run2->output, run0->output));
+}
+
+TEST_F(AdaptiveReplanTest, CheckpointFaultSiteNeverCorruptsTheAnswer) {
+  Catalog catalog;
+  PopulateSyntheticCatalog(SyntheticConfig{2000, 50, 5, 7}, &catalog);
+  StatisticsRegistry stats;
+  stats.AnalyzeAll(catalog);
+  HybridOptimizer optimizer(&catalog, &stats);
+
+  auto twin = optimizer.Run(LineQuerySql(5),
+                            ReplanOptions(1, /*forced=*/false, false));
+  ASSERT_TRUE(twin.ok());
+
+  // Always-firing replan.checkpoint: every checkpoint store is dropped, so
+  // the resumed pass recomputes every node — slower, never wrong.
+  FaultPlan plan;
+  plan.site = kFaultSiteReplanCheckpoint;
+  plan.probability = 1.0;
+  ScopedFaultInjection injection(plan);
+  ASSERT_TRUE(injection.status().ok());
+
+  for (std::size_t threads : {1, 4}) {
+    auto run = optimizer.Run(
+        LineQuerySql(5), ReplanOptions(threads, /*forced=*/true, false));
+    ASSERT_TRUE(run.ok()) << run.status().message();
+    EXPECT_GE(run->replans, 1u);
+    EXPECT_TRUE(ByteIdentical(twin->output, run->output))
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace htqo

@@ -368,6 +368,49 @@ TEST(AdmissionTest, ScaleBudgetEdgeCases) {
   EXPECT_EQ(ScaleBudget(1, 0.001), 1u);       // floors at 1, never 0
 }
 
+// --- Retry-after pricing bounds. --------------------------------------------
+// The EMA hint must never tell clients "retry in 0ms" (cold server,
+// microsecond queries) nor park them for minutes behind one slow query.
+
+TEST(AdmissionTest, RetryAfterHintIsFlooredUnderColdEma) {
+  AdmissionConfig config = SmallConfig(2, 2, 2);
+  config.initial_query_seconds = 1e-4;  // microsecond EMA: raw hint ~0ms
+  config.retry_after_floor_ms = 25.0;
+  config.retry_after_cap_ms = 5000.0;
+  AdmissionController ac(config);
+  EXPECT_EQ(ac.RetryAfterMs(), 25u);
+}
+
+TEST(AdmissionTest, RetryAfterHintIsCappedUnderHugeEma) {
+  AdmissionConfig config = SmallConfig(1, 1, 1);
+  config.initial_query_seconds = 3600.0;  // one-hour EMA: raw hint 3.6e6 ms
+  config.retry_after_cap_ms = 2000.0;
+  AdmissionController ac(config);
+  EXPECT_EQ(ac.RetryAfterMs(), 2000u);
+}
+
+TEST(AdmissionTest, RetryAfterEmaFeedbackStaysWithinBounds) {
+  AdmissionConfig config = SmallConfig(1, 1, 1);
+  config.retry_after_floor_ms = 10.0;
+  config.retry_after_cap_ms = 500.0;
+  AdmissionController ac(config);
+  // A pathologically slow query pushes the EMA way past the cap...
+  ac.NoteQueryDuration(120.0);
+  EXPECT_EQ(ac.RetryAfterMs(), 500u);
+  // ...and a burst of instant queries drags it back down to the floor.
+  for (int i = 0; i < 200; ++i) ac.NoteQueryDuration(1e-5);
+  EXPECT_EQ(ac.RetryAfterMs(), 10u);
+}
+
+TEST(AdmissionTest, RetryAfterBoundsAreSanitized) {
+  AdmissionConfig config = SmallConfig(1, 1, 1);
+  config.initial_query_seconds = 3600.0;
+  config.retry_after_floor_ms = -5.0;  // nonsense: clamped to >= 1ms
+  config.retry_after_cap_ms = 0.0;     // below the floor: raised to it
+  AdmissionController ac(config);
+  EXPECT_EQ(ac.RetryAfterMs(), 1u);  // cap == sanitized floor == 1ms
+}
+
 TEST(AdmissionTest, GovernorCountsAdmissionSheds) {
   GovernorStats stats;
   stats.admission_sheds = 2;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "api/hybrid_optimizer.h"
+#include "stats/feedback.h"
 #include "util/fault_injector.h"
 #include "workload/query_gen.h"
 #include "workload/synthetic.h"
@@ -150,6 +151,65 @@ TEST_F(ChaosSweepTest, AlwaysFiringSpillSitesFailTypedAndNeverWrong) {
           << site << ": " << run.status().ToString();
       EXPECT_NE(run.status().message().find(site), std::string::npos)
           << run.status().message();
+    }
+  }
+}
+
+TEST_F(ChaosSweepTest, FeedbackAndReplanSitesAreReachableAndFailSoft) {
+  // The main sweep cannot reach stats.feedback / replan.checkpoint (it
+  // neither reconciles nor replans, so those cells pass vacuously); this
+  // focused cell proves both sites fire and both fail *soft*: the adaptive
+  // layer degrades — refresh skipped, checkpoint recomputed — while the
+  // query answer is never affected.
+  HybridOptimizer optimizer(&catalog_, &registry_);
+  auto rq = optimizer.Resolve(ChainQuerySql(4));
+  ASSERT_TRUE(rq.ok()) << rq.status().message();
+
+  // stats.feedback: an always-firing site abandons every refresh.
+  {
+    RunOptions options = ChaosOptions(OptimizerMode::kQhdHybrid, 1);
+    Tracer tracer;
+    options.trace.tracer = &tracer;
+    auto run = optimizer.RunResolved(rq.value(), options);
+    ASSERT_TRUE(run.ok()) << run.status().message();
+
+    FaultPlan plan;
+    plan.site = kFaultSiteStatsFeedback;
+    plan.probability = 1.0;
+    ScopedFaultInjection injection(plan);
+    ASSERT_TRUE(injection.status().ok());
+    // An empty scratch registry estimates every scan from defaults, so
+    // every relation's error factor crosses the refresh threshold and every
+    // refresh attempt must hit the firing site.
+    StatisticsRegistry scratch;
+    FeedbackCollector collector(&catalog_, &scratch);
+    FeedbackReport report = collector.Reconcile(rq.value(), tracer);
+    EXPECT_GT(report.skipped, 0u) << "stats.feedback site unreachable";
+    EXPECT_TRUE(report.refreshed.empty());
+  }
+
+  // replan.checkpoint: every checkpoint store is dropped mid-replan; the
+  // resumed pass recomputes the lost nodes and still answers correctly.
+  {
+    auto reference = optimizer.Run(
+        ChainQuerySql(4), ChaosOptions(OptimizerMode::kQhdHybrid, 1));
+    ASSERT_TRUE(reference.ok()) << reference.status().message();
+
+    FaultPlan plan;
+    plan.site = kFaultSiteReplanCheckpoint;
+    plan.probability = 1.0;
+    ScopedFaultInjection injection(plan);
+    ASSERT_TRUE(injection.status().ok());
+    for (std::size_t threads : {1, 4}) {
+      RunOptions options = ChaosOptions(OptimizerMode::kQhdHybrid, threads);
+      options.enable_replan = true;
+      options.replan_blowup_factor = 0.01;  // first wave barrier trips
+      options.replan_min_rows = 1;
+      auto run = optimizer.Run(ChainQuerySql(4), options);
+      ASSERT_TRUE(run.ok()) << run.status().message();
+      EXPECT_GE(run->replans, 1u) << "replan.checkpoint site unreachable";
+      EXPECT_TRUE(SameRowMultiset(reference->output, run->output))
+          << "threads=" << threads;
     }
   }
 }

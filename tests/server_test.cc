@@ -25,8 +25,10 @@
 #include "server/client.h"
 #include "server/protocol.h"
 #include "server/server.h"
+#include "stats/estimator.h"
 #include "stats/statistics.h"
 #include "util/fault_injector.h"
+#include "workload/drift.h"
 #include "workload/query_gen.h"
 #include "workload/synthetic.h"
 
@@ -124,6 +126,130 @@ TEST(ServerProtocolTest, ReadFrameSurvivesTimeoutMidFrame) {
   close(fds[0]);
   EXPECT_EQ(ReadFrame(fds[1], &carry, &got, 1000).code(),
             StatusCode::kInvalidArgument);
+  close(fds[1]);
+}
+
+// Deterministic fuzz over the header parser: random byte soup, mutated
+// valid headers, truncations, embedded NULs and non-ASCII verbs. The
+// contract is narrow — every input returns kOk or kInvalidArgument (never a
+// crash, never a payload_len past the cap) — so a blind generator covers it
+// well.
+TEST(ServerProtocolTest, ParseFrameHeaderFuzzNeverCrashes) {
+  uint64_t state = 0x9e3779b97f4a7c15ull;  // fixed seed: reproducible
+  auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<uint32_t>(state >> 33);
+  };
+  const std::string valid = "QUERY deadline_ms=250 len=11";
+  Frame frame;
+  std::size_t len = 0;
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::string line;
+    switch (next() % 4) {
+      case 0: {  // pure byte soup, full 0-255 range
+        std::size_t n = next() % 64;
+        for (std::size_t i = 0; i < n; ++i) {
+          line.push_back(static_cast<char>(next() % 256));
+        }
+        break;
+      }
+      case 1: {  // truncated valid header
+        line = valid.substr(0, next() % (valid.size() + 1));
+        break;
+      }
+      case 2: {  // valid header with one byte flipped
+        line = valid;
+        line[next() % line.size()] =
+            static_cast<char>(next() % 256);
+        break;
+      }
+      default: {  // valid header with garbage appended (incl. non-ASCII)
+        line = valid;
+        std::size_t n = next() % 16;
+        for (std::size_t i = 0; i < n; ++i) {
+          line.push_back(static_cast<char>(next() % 256));
+        }
+        break;
+      }
+    }
+    Status s = ParseFrameHeader(line, &frame, &len);
+    ASSERT_TRUE(s.ok() || s.code() == StatusCode::kInvalidArgument)
+        << "input bytes: " << line.size() << " status: " << s.message();
+    if (s.ok()) ASSERT_LE(len, kMaxPayloadBytes);
+  }
+  // The header-size cap itself.
+  std::string huge(kMaxHeaderBytes + 1, 'A');
+  EXPECT_EQ(ParseFrameHeader(huge, &frame, &len).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Malformed streams over a real socket: non-ASCII verbs, oversized length
+// prefixes, never-terminated headers, and payloads trickling in one byte
+// per read must end in a typed error or a complete frame — never a hang,
+// never a desynchronized stream.
+TEST(ServerProtocolTest, MalformedStreamsFailCleanlyOverSocket) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::string carry;
+  Frame got;
+
+  // Non-ASCII verb: rejected, line consumed, stream resyncs on the next
+  // well-formed frame.
+  std::string bad_verb = "\xff\xfe\x01QUERY len=3\nabc";
+  ASSERT_EQ(write(fds[0], bad_verb.data(), bad_verb.size()),
+            static_cast<ssize_t>(bad_verb.size()));
+  EXPECT_EQ(ReadFrame(fds[1], &carry, &got, 1000).code(),
+            StatusCode::kInvalidArgument);
+  // The carry still holds "abc" (3 junk bytes), which the next header line
+  // absorbs as a bad verb too; drain it, then verify resync.
+  std::string resync = "\nPING\n";
+  ASSERT_EQ(write(fds[0], resync.data(), resync.size()),
+            static_cast<ssize_t>(resync.size()));
+  EXPECT_EQ(ReadFrame(fds[1], &carry, &got, 1000).code(),
+            StatusCode::kInvalidArgument);  // "abc" line
+  ASSERT_TRUE(ReadFrame(fds[1], &carry, &got, 1000).ok());
+  EXPECT_EQ(got.type, FrameType::kPing);
+  EXPECT_TRUE(carry.empty());
+
+  // Oversized length prefix: refused at parse, before any payload read.
+  std::string oversized =
+      "QUERY len=" + std::to_string(kMaxPayloadBytes + 1) + "\n";
+  ASSERT_EQ(write(fds[0], oversized.data(), oversized.size()),
+            static_cast<ssize_t>(oversized.size()));
+  EXPECT_EQ(ReadFrame(fds[1], &carry, &got, 1000).code(),
+            StatusCode::kInvalidArgument);
+  carry.clear();  // a real session closes the connection here
+
+  // Header that never terminates: bounded by kMaxHeaderBytes, not by the
+  // peer's patience.
+  std::string runaway(kMaxHeaderBytes + 64, 'Q');
+  ASSERT_EQ(write(fds[0], runaway.data(), runaway.size()),
+            static_cast<ssize_t>(runaway.size()));
+  EXPECT_EQ(ReadFrame(fds[1], &carry, &got, 1000).code(),
+            StatusCode::kInvalidArgument);
+  carry.clear();
+
+  // Payload split across many tiny reads: a writer thread trickles one
+  // byte at a time; ReadFrame must reassemble the exact frame.
+  Frame query;
+  query.type = FrameType::kQuery;
+  query.fields["deadline_ms"] = "250";
+  query.payload = "SELECT 1";
+  std::string wire = query.Serialize();
+  std::thread trickler([&] {
+    for (char c : wire) {
+      ASSERT_EQ(write(fds[0], &c, 1), 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  ASSERT_TRUE(ReadFrame(fds[1], &carry, &got, 10000).ok());
+  trickler.join();
+  EXPECT_EQ(got.type, FrameType::kQuery);
+  EXPECT_EQ(got.GetUint("deadline_ms"), 250u);
+  EXPECT_EQ(got.payload, "SELECT 1");
+  EXPECT_TRUE(carry.empty());
+
+  close(fds[0]);
   close(fds[1]);
 }
 
@@ -450,6 +576,44 @@ TEST_F(ServerTest, QueryBeforeHelloAndUnknownTenantHandling) {
 // the same relations bumps the (global, deliberately conservative) epochs;
 // cached plans for those relations must re-validate — stale entries are
 // detected, and no session ever sees a wrong result.
+TEST_F(ServerTest, FeedbackLoopRefreshesDriftedStatsServerSide) {
+  // A server built over a *mutable* registry with enable_feedback: the
+  // first post-drift query's trace is reconciled server-side, so the
+  // registry learns hot's true size without any external ANALYZE. Results
+  // before and after the refresh are the same multiset (only the join
+  // order may change).
+  Catalog catalog;
+  StatisticsRegistry stats;
+  DriftConfig config;
+  config.drifted_hot_rows = 20000;
+  PopulateDriftCatalog(config, &catalog);
+  stats.AnalyzeAll(catalog);
+  ApplyDrift(config, &catalog);
+  ASSERT_LT(Estimator(&stats).Rows("hot"), 1000.0);  // the pre-drift lie
+
+  ServerOptions options = BaseOptions();
+  options.run_template.mode = OptimizerMode::kDpStatistics;
+  options.run_template.use_plan_cache = false;
+  options.enable_feedback = true;
+  QueryServer server(&catalog, &stats, options);  // mutable-stats overload
+  ASSERT_TRUE(server.Start().ok());
+
+  Client client(ClientFor(server, "t0"));
+  ASSERT_TRUE(client.Connect().ok());
+  auto first = client.Query(DriftQuerySql(), /*deadline_ms=*/30000);
+  ASSERT_TRUE(first.ok()) << first.status().message();
+  auto second = client.Query(DriftQuerySql(), /*deadline_ms=*/30000);
+  ASSERT_TRUE(second.ok()) << second.status().message();
+  EXPECT_EQ(SortedLines(first->result_text),
+            SortedLines(second->result_text))
+      << "feedback refresh changed the answer";
+  client.Close();
+  ASSERT_TRUE(server.Drain(5.0).ok());
+
+  EXPECT_GT(Estimator(&stats).Rows("hot"), 10000.0)
+      << "server-side reconciliation never refreshed hot";
+}
+
 TEST_F(ServerTest, StatsEpochRaceDetectsStalenessNeverWrongResults) {
   ServerOptions options = BaseOptions();
   options.admission.max_total_concurrent = 4;

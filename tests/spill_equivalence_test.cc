@@ -127,6 +127,101 @@ TEST(SpillFileTest, WriteReadRoundTripPreservesRowsAndTags) {
   EXPECT_EQ(counters.retries, 0u);
 }
 
+// Flips one bit of an on-disk spill page (header or payload) in place.
+void FlipBitAt(const std::string& path, long offset) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  ASSERT_NE(std::fputc(byte ^ 0x10, f), EOF);
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+TEST(SpillFileTest, BitFlippedPayloadSurfacesAsDataLossAfterBoundedRetry) {
+  SpillOptions options;
+  options.retry_limit = 2;
+  SpillManager manager{options};
+  auto file = manager.Create();
+  ASSERT_TRUE(file.ok()) << file.status().message();
+  Relation in{TestSchema()};
+  for (int i = 0; i < 50; ++i) {
+    in.AddRow({Value::Int64(i), Value::String("payload"),
+               Value::Double(i * 0.5)});
+  }
+  for (std::size_t r = 0; r < in.NumRows(); ++r) {
+    ASSERT_TRUE((*file)->Append(r, in.Row(r)).ok());
+  }
+  ASSERT_TRUE((*file)->Finish().ok());
+
+  // Corrupt a payload byte past the 16-byte page header: the FNV check must
+  // refuse to decode it — never silently return wrong rows.
+  FlipBitAt((*file)->path(), 40);
+
+  Relation out{TestSchema()};
+  std::vector<uint64_t> tags;
+  Status s = (*file)->ReadBack(&out, &tags);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss) << s.ToString();
+  EXPECT_NE(s.message().find("checksum mismatch"), std::string::npos)
+      << s.message();
+  // The persistent mismatch burns every bounded retry before surfacing.
+  EXPECT_NE(s.message().find("after 3 attempts"), std::string::npos)
+      << s.message();
+  EXPECT_NE(s.message().find("spill.read"), std::string::npos) << s.message();
+  EXPECT_EQ(manager.counters().retries, 3u);
+  EXPECT_EQ(out.NumRows(), 0u);  // nothing was decoded from the bad page
+}
+
+TEST(SpillFileTest, BitFlippedPageHeaderIsDataLossNotGarbageDecode) {
+  SpillManager manager{SpillOptions{}};
+  auto file = manager.Create();
+  ASSERT_TRUE(file.ok()) << file.status().message();
+  Relation in{TestSchema()};
+  in.AddRow({Value::Int64(7), Value::String("x"), Value::Double(1.0)});
+  ASSERT_TRUE((*file)->Append(0, in.Row(0)).ok());
+  ASSERT_TRUE((*file)->Finish().ok());
+
+  // Bit 36 of the length prefix: the page now claims a payload far past
+  // EOF, which the verifier reports as truncation rather than reading
+  // out of bounds.
+  FlipBitAt((*file)->path(), 4);
+
+  Relation out{TestSchema()};
+  std::vector<uint64_t> tags;
+  Status s = (*file)->ReadBack(&out, &tags);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss) << s.ToString();
+  EXPECT_NE(s.message().find("truncated page payload"), std::string::npos)
+      << s.message();
+}
+
+TEST(SpillFileTest, CleanFilesRoundTripWithZeroRetries) {
+  // Guard against the checksum layer tripping on its own pages: a pristine
+  // multi-page file (small write buffer forces several flushes) verifies
+  // and decodes without burning a single retry.
+  SpillOptions options;
+  options.write_buffer_bytes = 128;  // several pages for 50 rows
+  SpillManager manager{options};
+  auto file = manager.Create();
+  ASSERT_TRUE(file.ok()) << file.status().message();
+  Relation in{TestSchema()};
+  for (int i = 0; i < 50; ++i) {
+    in.AddRow({Value::Int64(i), Value::String("s" + std::to_string(i)),
+               Value::Double(i / 3.0)});
+  }
+  for (std::size_t r = 0; r < in.NumRows(); ++r) {
+    ASSERT_TRUE((*file)->Append(r, in.Row(r)).ok());
+  }
+  ASSERT_TRUE((*file)->Finish().ok());
+  Relation out{TestSchema()};
+  std::vector<uint64_t> tags;
+  ASSERT_TRUE((*file)->ReadBack(&out, &tags).ok());
+  EXPECT_TRUE(ByteIdentical(in, out));
+  EXPECT_EQ(manager.counters().retries, 0u);
+}
+
 TEST(SpillManagerTest, DiskBudgetIsAHardKill) {
   SpillOptions options;
   options.disk_budget_bytes = 256;
@@ -217,12 +312,13 @@ TEST(FaultSiteRegistryTest, UnknownSiteIsInvalidArgumentAndStaysDisarmed) {
 
 TEST(FaultSiteRegistryTest, KnownSitesIncludeSpillSites) {
   std::vector<std::string> sites = FaultInjector::KnownSites();
-  EXPECT_EQ(sites.size(), 13u);
+  EXPECT_EQ(sites.size(), 15u);
   for (const char* site :
        {kFaultSiteSpillOpen, kFaultSiteSpillWrite, kFaultSiteSpillRead,
         kFaultSiteTraceWrite, kFaultSiteMetricsExport, kFaultSiteCacheInsert,
         kFaultSiteServerAccept, kFaultSiteServerRead, kFaultSiteServerWrite,
-        kFaultSiteAdmissionEnqueue}) {
+        kFaultSiteAdmissionEnqueue, kFaultSiteStatsFeedback,
+        kFaultSiteReplanCheckpoint}) {
     bool found = false;
     for (const std::string& s : sites) found |= s == site;
     EXPECT_TRUE(found) << site;

@@ -15,6 +15,13 @@
 #                           # paired operator microbenches on the plain
 #                           # build, emitting BENCH_vectorized.json and
 #                           # requiring >=3x geomean on scan/filter + join
+#   tools/check.sh --adaptive
+#                           # adaptive re-optimization gate: the feedback /
+#                           # replan / drift suites under ASan+UBSan, then
+#                           # bench_adaptive on the plain build, emitting
+#                           # BENCH_adaptive.json and requiring >=1.5x
+#                           # geomean of feedback-on over feedback-off under
+#                           # drift plus a self-correcting plan cache
 #   tools/check.sh --server # query-server smoke: start htqo_server, run the
 #                           # htqo_client load-test sweep (4/16/64 clients,
 #                           # mixed tenants, chaos disconnects), assert the
@@ -22,7 +29,8 @@
 #                           # SIGTERM-drain, and emit BENCH_server.json; then
 #                           # repeat the smoke + server/admission suites
 #                           # under ASan and TSan
-#   tools/check.sh --all    # plain + ASan + TSan + chaos + server
+#   tools/check.sh --all    # plain + ASan + TSan + chaos + vectorized +
+#                           # adaptive + server
 #
 # The sanitized passes are what give the fault-injection sweep and the
 # parallel engine their teeth: an injected failure that leaks, touches
@@ -131,6 +139,7 @@ want_tsan=false
 want_chaos=false
 want_server=false
 want_vectorized=false
+want_adaptive=false
 case "${1:-}" in
   "") ;;
   --asan) want_asan=true ;;
@@ -138,13 +147,14 @@ case "${1:-}" in
   --chaos) want_chaos=true ;;
   --server) want_server=true ;;
   --vectorized) want_vectorized=true ;;
+  --adaptive) want_adaptive=true ;;
   --all)
     want_asan=true; want_tsan=true; want_chaos=true; want_server=true
-    want_vectorized=true
+    want_vectorized=true; want_adaptive=true
     ;;
   *)
     echo "error: unknown flag '${1}' (expected --asan, --tsan, --chaos," \
-         "--server, --vectorized, or --all)" >&2
+         "--server, --vectorized, --adaptive, or --all)" >&2
     exit 2
     ;;
 esac
@@ -214,6 +224,53 @@ if $want_vectorized; then
     --pair ScanFilterRow:ScanFilterVec \
     --pair HashJoinRow:HashJoinVec \
     --min-speedup 3
+fi
+
+if $want_adaptive; then
+  # The adaptive loop's acceptance bar (DESIGN.md §6h): the feedback /
+  # replan / drift / spill-corruption suites under ASan+UBSan — replanned
+  # queries byte-identical to their never-replanned twins at 1/2/4 threads,
+  # fault sites failing soft — then bench_adaptive on the optimized build.
+  # The gate: feedback-on beats feedback-off by >=1.5x geomean under drift,
+  # and the plan cache proves epoch-driven self-correction (stale-miss ->
+  # hit) with nonzero counters in the JSON.
+  echo "==> adaptive suites (ASan+UBSan)"
+  cmake -B build-asan -S . -DHTQO_SANITIZE=ON
+  require_sanitize build-asan ON
+  cmake --build build-asan -j"$(nproc)"
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
+      -R 'Feedback|Replan|Adaptive|Chaos|Spill'
+
+  echo "==> adaptive drift gate"
+  cmake --build build -j"$(nproc)" --target bench_adaptive
+  ./build/bench/bench_adaptive \
+    --benchmark_format=json --benchmark_repetitions=3 \
+    > BENCH_adaptive.json
+  tools/compare_bench.py BENCH_adaptive.json \
+    --pair AdaptiveFeedbackOff:AdaptiveFeedbackOn \
+    --min-speedup 1.5
+  python3 - <<'EOF'
+import json
+
+with open("BENCH_adaptive.json") as f:
+    data = json.load(f)
+
+stale = hits = None
+for b in data["benchmarks"]:
+    if b["name"].startswith("AdaptivePlanCacheDrift") and \
+       "plan_cache_stale_misses" in b:
+        stale = b["plan_cache_stale_misses"]
+        hits = b.get("plan_cache_hits", 0)
+        break
+if not stale or not hits:
+    raise SystemExit(
+        "plan cache never self-corrected under drift: "
+        f"stale_misses={stale} hits={hits}")
+print(f"plan cache self-correction: {stale:.0f} stale-miss(es), "
+      f"{hits:.0f} hit(s) after epoch bumps")
+EOF
 fi
 
 if $want_server; then
