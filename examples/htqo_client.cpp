@@ -96,7 +96,8 @@ void ChaosLoop(const std::string& host, uint16_t port, const std::string& sql,
 
 LevelResult RunLevel(const std::string& host, uint16_t port, int clients,
                      int queries_per_client, const std::string& sql,
-                     uint64_t deadline_ms, bool chaos) {
+                     uint64_t deadline_ms, bool chaos,
+                     const std::string& trace_dir) {
   LevelResult result;
   result.clients = clients;
   std::mutex mu;
@@ -120,6 +121,9 @@ LevelResult RunLevel(const std::string& host, uint16_t port, int clients,
       copts.port = port;
       copts.tenant = "t" + std::to_string(w % 4);
       copts.backoff_jitter_seed = 1000 + static_cast<uint64_t>(w);
+      // One traced worker per level is enough to produce client-initiated
+      // stitched traces without drowning the trace directory.
+      if (w == 0) copts.trace_dir = trace_dir;
       Client client(copts);
       if (!client.Connect().ok()) {
         std::lock_guard<std::mutex> lock(mu);
@@ -255,6 +259,14 @@ int Usage(const char* argv0) {
       "default)\n"
       "  --metrics            print the server's Prometheus metrics and "
       "exit\n"
+      "  --debug <what>       print a /debug JSON document and exit; <what> "
+      "is\n"
+      "                       sessions|queues|cache|slow|record|build\n"
+      "  --id <n>             flight-record id for --debug record\n"
+      "  --n <k>              slow-log bound for --debug slow\n"
+      "  --trace-dir <dir>    trace queries client-side; send trace context "
+      "so\n"
+      "                       the server's spans stitch under ours\n"
       "  --loadtest           run the concurrency sweep instead of one "
       "query\n"
       "  --clients <a,b,c>    sweep levels (default 4,16,64)\n"
@@ -281,6 +293,10 @@ int main(int argc, char** argv) {
   int queries_per_client = 10;
   std::string json_path;
   std::string sql;
+  std::string debug_what;
+  uint64_t debug_id = 0;
+  uint64_t debug_n = 0;
+  std::string trace_dir;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -301,6 +317,14 @@ int main(int argc, char** argv) {
       deadline_ms = static_cast<uint64_t>(std::atoll(next("ms")));
     } else if (arg == "--metrics") {
       metrics_only = true;
+    } else if (arg == "--debug") {
+      debug_what = next("what");
+    } else if (arg == "--id") {
+      debug_id = static_cast<uint64_t>(std::atoll(next("record id")));
+    } else if (arg == "--n") {
+      debug_n = static_cast<uint64_t>(std::atoll(next("count")));
+    } else if (arg == "--trace-dir") {
+      trace_dir = next("directory");
     } else if (arg == "--loadtest") {
       loadtest = true;
     } else if (arg == "--no-chaos") {
@@ -323,6 +347,28 @@ int main(int argc, char** argv) {
     }
   }
   if (port == 0) return Usage(argv[0]);
+
+  if (!debug_what.empty()) {
+    ClientOptions copts;
+    copts.host = host;
+    copts.port = port;
+    copts.tenant = tenant;
+    Client client(copts);
+    Status s = client.Connect();
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    auto json = client.Debug(debug_what, debug_id, debug_n);
+    if (!json.ok()) {
+      std::fprintf(stderr, "error: %s\n", json.status().ToString().c_str());
+      client.Close();
+      return 1;
+    }
+    std::printf("%s\n", json->c_str());
+    client.Close();
+    return 0;
+  }
 
   if (metrics_only) {
     ClientOptions copts;
@@ -351,7 +397,7 @@ int main(int argc, char** argv) {
     std::vector<LevelResult> results;
     for (int clients : levels) {
       results.push_back(RunLevel(host, port, clients, queries_per_client,
-                                 sql, deadline_ms, chaos));
+                                 sql, deadline_ms, chaos, trace_dir));
     }
     if (!json_path.empty()) {
       ClientOptions copts;
@@ -395,6 +441,7 @@ int main(int argc, char** argv) {
   copts.host = host;
   copts.port = port;
   copts.tenant = tenant;
+  copts.trace_dir = trace_dir;
   Client client(copts);
   Status s = client.Connect();
   if (!s.ok()) {

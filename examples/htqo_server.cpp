@@ -62,7 +62,21 @@ int Usage(const char* argv0) {
       "  --default-deadline <s>    deadline for QUERY without deadline_ms "
       "(default 30)\n"
       "  --idle-timeout <s>        session idle timeout (default 300)\n"
-      "  --drain-deadline <s>      grace period on SIGTERM (default 5)\n",
+      "  --drain-deadline <s>      grace period on SIGTERM (default 5)\n"
+      "  --trace-dir <dir>         arm per-query tracing; export Chrome "
+      "traces here\n"
+      "  --trace-sample <frac>     head-sampling fraction in [0,1] "
+      "(default 0)\n"
+      "  --trace-slow-ms <ms>      tail-capture queries slower than this\n"
+      "  --slo-p99 <ms>            default tenant SLO target p99 (default "
+      "250)\n"
+      "  --slo-budget <frac>       default tenant error budget (default "
+      "0.01)\n"
+      "  --tenant-slo <t> <ms> <b> per-tenant SLO override\n"
+      "  --flight-capacity <n>     flight-recorder ring size (default "
+      "1024)\n"
+      "  --crash-dump <path>       dump the flight ring here on a fatal "
+      "signal\n",
       argv0);
   return 2;
 }
@@ -134,6 +148,27 @@ int main(int argc, char** argv) {
       options.idle_timeout_seconds = std::atof(next("seconds"));
     } else if (arg == "--drain-deadline") {
       drain_deadline = std::atof(next("seconds"));
+    } else if (arg == "--trace-dir") {
+      options.trace_dir = next("directory");
+    } else if (arg == "--trace-sample") {
+      options.trace_sample_rate = std::atof(next("fraction"));
+    } else if (arg == "--trace-slow-ms") {
+      options.trace_slow_ms = std::atof(next("milliseconds"));
+    } else if (arg == "--slo-p99") {
+      options.default_slo.target_p99_ms = std::atof(next("milliseconds"));
+    } else if (arg == "--slo-budget") {
+      options.default_slo.error_budget = std::atof(next("fraction"));
+    } else if (arg == "--tenant-slo") {
+      std::string tenant = next("tenant");
+      SloPolicy policy;
+      policy.target_p99_ms = std::atof(next("p99 ms"));
+      policy.error_budget = std::atof(next("error budget"));
+      options.tenant_slos[tenant] = policy;
+    } else if (arg == "--flight-capacity") {
+      options.flight_capacity =
+          static_cast<std::size_t>(std::atoll(next("records")));
+    } else if (arg == "--crash-dump") {
+      options.crash_dump_path = next("path");
     } else {
       return Usage(argv[0]);
     }
@@ -186,6 +221,13 @@ int main(int argc, char** argv) {
   if (metrics) {
     std::printf("metrics on http://%s:%u/metrics\n", host.c_str(),
                 server.metrics_http_port());
+    std::printf("debug on http://%s:%u/debug/{sessions,queues,cache,slow}\n",
+                host.c_str(), server.metrics_http_port());
+  }
+  if (!options.trace_dir.empty()) {
+    std::printf("tracing to %s (sample %g, slow >= %gms)\n",
+                options.trace_dir.c_str(), options.trace_sample_rate,
+                options.trace_slow_ms);
   }
   std::fflush(stdout);
 

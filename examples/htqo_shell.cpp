@@ -24,6 +24,7 @@
 #include "cache/decomp_cache.h"
 #include "cq/hypergraph_builder.h"
 #include "decomp/qhd.h"
+#include "obs/flightrec.h"
 #include "stats/feedback.h"
 #include "storage/csv.h"
 #include "workload/synthetic.h"
@@ -105,6 +106,8 @@ void PrintHelp() {
       "  \\export <name> <path.csv>          write a relation to CSV\n"
       "  \\relations                         list relations\n"
       "  \\q5 / \\q8                          run the TPC-H queries\n"
+      "  \\slow [n]                          slowest queries this session\n"
+      "                                     (flight recorder, default 10)\n"
       "  \\help, \\quit\n"
       "modes:");
   for (const auto& m : kModes) std::printf(" %s", m.name);
@@ -128,6 +131,26 @@ void RunSql(ShellState& state, const std::string& sql) {
   auto run = optimizer.Run(sql, state.options);
   state.options.cancel_flag = nullptr;
   state.options.trace.tracer = nullptr;
+  // Every completed query — success or failure — lands in the flight
+  // recorder, the same ring \slow reads and the server dumps on crash.
+  FlightRecord rec;
+  rec.SetTenant("shell");
+  rec.fingerprint = QueryShapeFingerprint(sql);
+  rec.status = static_cast<int32_t>(run.ok() ? StatusCode::kOk
+                                             : run.status().code());
+  if (run.ok()) {
+    rec.rows = run->output.NumRows();
+    rec.width = static_cast<uint32_t>(run->decomposition_width);
+    rec.degradations = static_cast<uint32_t>(run->degradations.size());
+    rec.replans = static_cast<uint32_t>(run->replans);
+    rec.spill_bytes = run->spill.bytes_written;
+    rec.parse_us = static_cast<uint64_t>(run->parse_seconds * 1e6);
+    rec.plan_us = static_cast<uint64_t>(run->plan_seconds * 1e6);
+    rec.exec_us = static_cast<uint64_t>(run->exec_seconds * 1e6);
+    rec.total_us = static_cast<uint64_t>(
+        (run->parse_seconds + run->plan_seconds + run->exec_seconds) * 1e6);
+  }
+  FlightRecorder::Global().Record(rec);
   if (!run.ok()) {
     std::printf("error: %s\n", run.status().ToString().c_str());
     return;
@@ -443,6 +466,32 @@ bool HandleCommand(ShellState& state, const std::string& line) {
     RunSql(state, TpchQ5());
   } else if (cmd == "\\q8") {
     RunSql(state, TpchQ8());
+  } else if (cmd == "\\slow") {
+    std::size_t n = 10;
+    in >> n;
+    if (n == 0) n = 10;
+    const FlightRecorder& recorder = FlightRecorder::Global();
+    auto slow = recorder.Slowest(n);
+    if (slow.empty()) {
+      std::printf("flight recorder empty — run a query first\n");
+    } else {
+      std::printf("%-5s %-10s %-16s %9s %6s %5s %5s %10s %10s\n", "id",
+                  "status", "fingerprint", "total ms", "rows", "w", "deg",
+                  "plan ms", "exec ms");
+      for (const FlightRecord& r : slow) {
+        std::printf("%-5llu %-10s %016llx %9.2f %6llu %5u %5u %10.2f "
+                    "%10.2f\n",
+                    static_cast<unsigned long long>(r.id),
+                    StatusCodeKebab(r.status),
+                    static_cast<unsigned long long>(r.fingerprint),
+                    r.total_us / 1e3, static_cast<unsigned long long>(r.rows),
+                    r.width, r.degradations, r.plan_us / 1e3,
+                    r.exec_us / 1e3);
+      }
+      std::printf("%zu of %llu recorded (ring capacity %zu)\n", slow.size(),
+                  static_cast<unsigned long long>(recorder.total_recorded()),
+                  recorder.capacity());
+    }
   } else {
     std::printf("unknown command: %s (try \\help)\n", cmd.c_str());
   }

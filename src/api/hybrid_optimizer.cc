@@ -196,10 +196,14 @@ Result<QueryRun> HybridOptimizer::Run(std::string_view sql,
   BeginQueryRoot(&root, options, options.mode);
   std::optional<ScopedSpan> parse_span(std::in_place, options.trace.tracer,
                                        "parse");
+  const auto parse_start = std::chrono::steady_clock::now();
   auto stmt = ParseSelect(sql);
+  const double parse_seconds = SecondsSince(parse_start);
   parse_span.reset();
   if (!stmt.ok()) return stmt.status();
-  return RunStatement(*stmt, options);
+  auto run = RunStatement(*stmt, options);
+  if (run.ok()) run->parse_seconds = parse_seconds;
+  return run;
 }
 
 Result<QueryRun> HybridOptimizer::RunStatement(const SelectStatement& stmt,

@@ -165,6 +165,7 @@ struct RunOptions {
 struct QueryRun {
   Relation output;           // final SELECT result
   ExecContext ctx;           // rows/work metering
+  double parse_seconds = 0;  // SQL parse time (0 on pre-parsed entry points)
   double plan_seconds = 0;   // optimization time (decomposition or search)
   double exec_seconds = 0;   // evaluation time
   std::string plan_description;

@@ -1,0 +1,329 @@
+#include "obs/flightrec.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "util/fault_injector.h"
+
+namespace htqo {
+
+const char* StatusCodeKebab(int32_t code) {
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kResourceExhausted:
+      return "resource-exhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kDataLoss:
+      return "data-loss";
+  }
+  return "unknown";
+}
+
+namespace {
+
+int64_t NowUnixMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+// ---- async-signal-safe crash-dump machinery -------------------------------
+//
+// The handler may run with arbitrary state (heap corrupt, locks held), so it
+// touches only: these statics, the ring's flat POD array (captured at
+// install time), write(2), and stack buffers. Reads of the live ring race
+// with a concurrent Record() by design — a torn record in a post-mortem
+// dump beats a deadlocked handler.
+
+struct CrashDumpState {
+  char path[256] = {};
+  const FlightRecord* ring = nullptr;
+  std::size_t capacity = 0;
+  const uint64_t* total = nullptr;
+  bool installed = false;
+};
+CrashDumpState g_crash;
+
+void SafeAppend(char* buf, std::size_t cap, std::size_t* pos,
+                const char* s) {
+  while (*s != '\0' && *pos + 1 < cap) buf[(*pos)++] = *s++;
+}
+
+void SafeAppendUint(char* buf, std::size_t cap, std::size_t* pos,
+                    uint64_t v) {
+  char digits[24];
+  std::size_t n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0 && n < sizeof(digits));
+  while (n > 0 && *pos + 1 < cap) buf[(*pos)++] = digits[--n];
+}
+
+// One record as a JSON line using only stack formatting (no allocation).
+std::size_t FormatRecordLineSafe(const FlightRecord& r, char* buf,
+                                 std::size_t cap) {
+  std::size_t pos = 0;
+  SafeAppend(buf, cap, &pos, "{\"id\":");
+  SafeAppendUint(buf, cap, &pos, r.id);
+  SafeAppend(buf, cap, &pos, ",\"tenant\":\"");
+  SafeAppend(buf, cap, &pos, r.tenant);  // tenant names are label-safe ASCII
+  SafeAppend(buf, cap, &pos, "\",\"status\":\"");
+  SafeAppend(buf, cap, &pos, StatusCodeKebab(r.status));
+  SafeAppend(buf, cap, &pos, "\",\"rows\":");
+  SafeAppendUint(buf, cap, &pos, r.rows);
+  SafeAppend(buf, cap, &pos, ",\"total_us\":");
+  SafeAppendUint(buf, cap, &pos, r.total_us);
+  SafeAppend(buf, cap, &pos, ",\"trace_id\":\"");
+  SafeAppend(buf, cap, &pos, r.trace_id);
+  SafeAppend(buf, cap, &pos, "\"}\n");
+  return pos;
+}
+
+void CrashHandler(int sig) {
+  if (g_crash.ring != nullptr && g_crash.path[0] != '\0') {
+    const int fd = ::open(g_crash.path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      char buf[512];
+      std::size_t pos = 0;
+      SafeAppend(buf, sizeof(buf), &pos, "{\"crash_signal\":");
+      SafeAppendUint(buf, sizeof(buf), &pos, static_cast<uint64_t>(sig));
+      SafeAppend(buf, sizeof(buf), &pos, ",\"total_recorded\":");
+      SafeAppendUint(buf, sizeof(buf), &pos,
+                     g_crash.total != nullptr ? *g_crash.total : 0);
+      SafeAppend(buf, sizeof(buf), &pos, "}\n");
+      (void)!::write(fd, buf, pos);
+      const uint64_t total = g_crash.total != nullptr ? *g_crash.total : 0;
+      const std::size_t n =
+          total < g_crash.capacity ? static_cast<std::size_t>(total)
+                                   : g_crash.capacity;
+      const uint64_t first = total - n;  // oldest retained id - 1
+      for (uint64_t i = 0; i < n; ++i) {
+        const uint64_t id = first + i + 1;
+        const FlightRecord& r = g_crash.ring[(id - 1) % g_crash.capacity];
+        pos = FormatRecordLineSafe(r, buf, sizeof(buf));
+        (void)!::write(fd, buf, pos);
+      }
+      ::close(fd);
+    }
+  }
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+void FlightRecord::SetTenant(std::string_view t) {
+  const std::size_t n = std::min(t.size(), sizeof(tenant) - 1);
+  std::memcpy(tenant, t.data(), n);
+  tenant[n] = '\0';
+}
+
+void FlightRecord::SetTraceIdHex(std::string_view hex) {
+  const std::size_t n = std::min(hex.size(), sizeof(trace_id) - 1);
+  std::memcpy(trace_id, hex.data(), n);
+  trace_id[n] = '\0';
+}
+
+uint64_t QueryShapeFingerprint(std::string_view sql) {
+  uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto mix = [&hash](char c) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  };
+  bool pending_space = false;
+  char prev = '\0';  // last character mixed
+  for (std::size_t i = 0; i < sql.size(); ++i) {
+    char c = sql[i];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      pending_space = true;
+      continue;
+    }
+    if (pending_space) {
+      mix(' ');
+      prev = ' ';
+      pending_space = false;
+    }
+    if (c == '\'') {  // quoted string literal -> placeholder
+      mix('S');
+      prev = 'S';
+      ++i;
+      while (i < sql.size() && sql[i] != '\'') ++i;
+      continue;
+    }
+    if (c >= '0' && c <= '9') {
+      // Digits continuing an identifier (r2, t_10) are shape; a standalone
+      // digit run is a numeric literal -> placeholder.
+      const bool ident_tail = (prev >= 'a' && prev <= 'z') ||
+                              (prev >= '0' && prev <= '9') || prev == '_';
+      if (!ident_tail) {
+        mix('N');
+        prev = 'N';
+        while (i + 1 < sql.size() &&
+               ((sql[i + 1] >= '0' && sql[i + 1] <= '9') ||
+                sql[i + 1] == '.')) {
+          ++i;
+        }
+        continue;
+      }
+    }
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    mix(c);
+    prev = c;
+  }
+  return hash;
+}
+
+std::string FlightRecordJson(const FlightRecord& r) {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"id\":%" PRIu64 ",\"time_us\":%" PRId64
+      ",\"tenant\":\"%s\",\"fingerprint\":\"%016" PRIx64
+      "\",\"trace_id\":\"%s\",\"status\":\"%s\",\"rows\":%" PRIu64
+      ",\"width\":%u,\"degradations\":%u,\"replans\":%u"
+      ",\"admission_level\":%d,\"spill_bytes\":%" PRIu64
+      ",\"queue_us\":%" PRIu64 ",\"parse_us\":%" PRIu64
+      ",\"plan_us\":%" PRIu64 ",\"exec_us\":%" PRIu64
+      ",\"total_us\":%" PRIu64 ",\"sampled_trace\":%s}",
+      r.id, r.wall_unix_us, r.tenant, r.fingerprint, r.trace_id,
+      StatusCodeKebab(r.status), r.rows, r.width, r.degradations, r.replans,
+      r.admission_level, r.spill_bytes, r.queue_us, r.parse_us, r.plan_us,
+      r.exec_us, r.total_us, r.sampled_trace ? "true" : "false");
+  return buf;
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : ring_(std::max<std::size_t>(1, capacity)),
+      capacity_(std::max<std::size_t>(1, capacity)) {}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::Reset(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<std::size_t>(1, capacity);
+  ring_.assign(capacity_, FlightRecord{});
+  total_ = 0;
+}
+
+uint64_t FlightRecorder::Record(FlightRecord r) {
+  if (r.wall_unix_us == 0) r.wall_unix_us = NowUnixMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  r.id = ++total_;
+  ring_[(r.id - 1) % capacity_] = r;
+  return r.id;
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t n =
+      total_ < capacity_ ? static_cast<std::size_t>(total_) : capacity_;
+  std::vector<FlightRecord> out;
+  out.reserve(n);
+  const uint64_t first = total_ - n;  // oldest retained id - 1
+  for (uint64_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(first + i) % capacity_]);
+  }
+  return out;
+}
+
+std::vector<FlightRecord> FlightRecorder::Slowest(std::size_t n) const {
+  std::vector<FlightRecord> records = Snapshot();
+  std::sort(records.begin(), records.end(),
+            [](const FlightRecord& a, const FlightRecord& b) {
+              if (a.total_us != b.total_us) return a.total_us > b.total_us;
+              return a.id > b.id;
+            });
+  if (records.size() > n) records.resize(n);
+  return records;
+}
+
+bool FlightRecorder::Find(uint64_t id, FlightRecord* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > total_) return false;
+  const std::size_t n =
+      total_ < capacity_ ? static_cast<std::size_t>(total_) : capacity_;
+  if (id <= total_ - n) return false;  // already overwritten
+  const FlightRecord& r = ring_[(id - 1) % capacity_];
+  if (r.id != id) return false;
+  if (out != nullptr) *out = r;
+  return true;
+}
+
+std::size_t FlightRecorder::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+std::size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ < capacity_ ? static_cast<std::size_t>(total_) : capacity_;
+}
+
+uint64_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+Status FlightRecorder::DumpToFile(const std::string& path) const {
+  if (FaultInjector::Instance().ShouldFail(kFaultSiteFlightRecDump)) {
+    return Status::Internal("injected fault: obs.flightrec.dump (" + path +
+                            ")");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open flight dump file '" + path + "'");
+  }
+  for (const FlightRecord& r : Snapshot()) {
+    out << FlightRecordJson(r) << '\n';
+  }
+  out.flush();
+  if (!out) {
+    return Status::Internal("short write to flight dump file '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+void FlightRecorder::InstallCrashHandler(const char* path) {
+  FlightRecorder& rec = Global();
+  {
+    std::lock_guard<std::mutex> lock(rec.mu_);
+    std::snprintf(g_crash.path, sizeof(g_crash.path), "%s", path);
+    // Captured raw: the handler cannot lock. Reset() after installation
+    // would dangle these, so the server sizes the ring first.
+    g_crash.ring = rec.ring_.data();
+    g_crash.capacity = rec.capacity_;
+    g_crash.total = &rec.total_;
+  }
+  if (g_crash.installed) return;
+  g_crash.installed = true;
+  for (int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT}) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = CrashHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESETHAND;
+    ::sigaction(sig, &sa, nullptr);
+  }
+}
+
+}  // namespace htqo

@@ -1,0 +1,126 @@
+// Flight recorder: a fixed-size ring of the last N completed query records.
+//
+// Every finished query — server session or shell — deposits one POD
+// FlightRecord (tenant, query-shape fingerprint, width, degradations,
+// replans, rows, spill, per-phase latencies, trace id). The ring backs
+// three consumers (DESIGN.md §6i):
+//
+//   * the slow-query log (`/debug/slow`, shell `\slow`): Slowest(n) over
+//     the retained window, sorted by total latency;
+//   * point lookup (`/debug/record/<id>`): Find() by the monotonically
+//     increasing record id the OK frame echoes back to clients;
+//   * the crash dump: InstallCrashHandler() registers fatal-signal handlers
+//     that write the ring to disk with async-signal-safe primitives only
+//     (write(2) + stack-buffer formatting, no allocation, no locking), so a
+//     crashing server leaves behind its last ~N queries for post-mortem.
+//
+// "Lock-cheap": Record() copies one POD under a mutex held for a few dozen
+// nanoseconds — once per completed query, invisible next to the query
+// itself, and TSan-clean (no seqlock games). Records are POD on purpose:
+// fixed char arrays for tenant/trace-id keep the crash path free of
+// std::string internals.
+//
+// DumpToFile() is the testable non-signal exporter; it goes through the
+// `obs.flightrec.dump` fault site and returns a Status the caller degrades
+// to a warning (the ring itself is never affected).
+
+#ifndef HTQO_OBS_FLIGHTREC_H_
+#define HTQO_OBS_FLIGHTREC_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace htqo {
+
+struct FlightRecord {
+  uint64_t id = 0;           // assigned by Record(); 1-based, monotonic
+  int64_t wall_unix_us = 0;  // completion wall clock (0 = stamped on Record)
+  char tenant[32] = {};      // NUL-terminated, truncated to fit
+  char trace_id[36] = {};    // 32-hex trace id or empty when untraced
+  uint64_t fingerprint = 0;  // QueryShapeFingerprint of the SQL text
+  int32_t status = 0;        // StatusCode as int
+  uint64_t rows = 0;
+  uint32_t width = 0;         // decomposition width (0 = non-decomposed path)
+  uint32_t degradations = 0;  // ladder steps taken
+  uint32_t replans = 0;
+  int32_t admission_level = 0;
+  uint64_t spill_bytes = 0;
+  // Per-phase latencies, microseconds. total >= queue+parse+plan+exec
+  // (render/feedback ride in the remainder).
+  uint64_t queue_us = 0;
+  uint64_t parse_us = 0;
+  uint64_t plan_us = 0;
+  uint64_t exec_us = 0;
+  uint64_t total_us = 0;
+  uint8_t sampled_trace = 0;  // 1 when a per-query trace file was exported
+
+  void SetTenant(std::string_view t);
+  void SetTraceIdHex(std::string_view hex);
+};
+
+// Kebab-case name of a StatusCode stored in FlightRecord::status — the
+// wire/JSON spelling ("ok", "resource-exhausted", ...).
+const char* StatusCodeKebab(int32_t code);
+
+// Stable fingerprint of a query's *shape*: whitespace collapsed, letters
+// lowercased, numeric literals and quoted strings replaced by placeholders
+// (digits continuing an identifier, as in `r2`, are kept — they are shape),
+// FNV-1a hashed. Two queries differing only in constants collide (by
+// design — that is the repeated-shape signal), different joins do not.
+uint64_t QueryShapeFingerprint(std::string_view sql);
+
+// One record as a JSON object (the /debug endpoint + DEBUG verb schema).
+std::string FlightRecordJson(const FlightRecord& r);
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 1024);
+
+  // Process-wide ring shared by server sessions and the shell.
+  static FlightRecorder& Global();
+
+  // Drops all records and resizes the ring (server startup, tests).
+  void Reset(std::size_t capacity);
+
+  // Deposits one record; assigns and returns its id. Thread-safe.
+  uint64_t Record(FlightRecord r);
+
+  // Retained records, oldest first.
+  std::vector<FlightRecord> Snapshot() const;
+  // The n slowest retained records by total_us, slowest first.
+  std::vector<FlightRecord> Slowest(std::size_t n) const;
+  bool Find(uint64_t id, FlightRecord* out) const;
+
+  std::size_t capacity() const;
+  std::size_t size() const;
+  uint64_t total_recorded() const;
+
+  // Writes the retained records as JSON lines through the
+  // `obs.flightrec.dump` fault site. Exporter failure only; the ring is
+  // untouched.
+  Status DumpToFile(const std::string& path) const;
+
+  // Registers fatal-signal handlers (SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT)
+  // that dump Global()'s ring to `path` using async-signal-safe primitives,
+  // then re-raise with the default disposition. Idempotent; the path is
+  // copied into static storage.
+  static void InstallCrashHandler(const char* path);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<FlightRecord> ring_;
+  std::size_t capacity_;
+  uint64_t total_ = 0;  // lifetime records; ring slot = (id-1) % capacity
+};
+
+}  // namespace htqo
+
+#endif  // HTQO_OBS_FLIGHTREC_H_

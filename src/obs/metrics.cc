@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
@@ -9,6 +10,109 @@
 #include "util/fault_injector.h"
 
 namespace htqo {
+namespace {
+
+// Unix seconds captured when the obs library is initialized (process start,
+// for all practical purposes — the registry is linked into every binary).
+const double g_process_start_seconds =
+    std::chrono::duration<double>(
+        std::chrono::system_clock::now().time_since_epoch())
+        .count();
+const std::chrono::steady_clock::time_point g_process_start_steady =
+    std::chrono::steady_clock::now();
+
+void AppendEscapedLabelValue(std::string* out, std::string_view value) {
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+// Splits `fam{inner}` into ("fam", "inner"); a plain name yields ("fam", "").
+std::pair<std::string_view, std::string_view> SplitMetricName(
+    std::string_view name) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string_view::npos || name.back() != '}') {
+    return {name, std::string_view{}};
+  }
+  return {name.substr(0, brace), name.substr(brace + 1, name.size() - brace - 2)};
+}
+
+void AppendGaugeValue(std::string* out, double value) {
+  char buf[48];
+  // %.10g round-trips the values we emit (ratios, seconds) without noise.
+  std::snprintf(buf, sizeof(buf), " %.10g\n", value);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string LabeledMetricName(
+    std::string_view family,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels) {
+  std::string out(family);
+  if (labels.size() == 0) return out;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    AppendEscapedLabelValue(&out, value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string TenantMetricName(std::string_view family, std::string_view tenant) {
+  return LabeledMetricName(family, {{"tenant", tenant}});
+}
+
+const char* BuildVersionString() {
+#if defined(HTQO_VERSION)
+  return HTQO_VERSION;
+#else
+  return "unknown";
+#endif
+}
+
+const char* BuildGitShaString() {
+#if defined(HTQO_GIT_SHA)
+  return HTQO_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+const char* BuildSanitizerString() {
+#if defined(HTQO_SANITIZE_TAG)
+  return HTQO_SANITIZE_TAG;
+#else
+  return "none";
+#endif
+}
+
+double ProcessStartTimeSeconds() { return g_process_start_seconds; }
+
+double ProcessUptimeSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       g_process_start_steady)
+      .count();
+}
 
 void Histogram::Record(uint64_t value) {
   count_.fetch_add(1, std::memory_order_relaxed);
@@ -56,6 +160,7 @@ MetricsSnapshot MetricsSnapshot::DeltaSince(const MetricsSnapshot& base) const {
     const uint64_t before = it == base.counters.end() ? 0 : it->second;
     out.counters[name] = value > before ? value - before : 0;
   }
+  out.gauges = gauges;  // instantaneous, not cumulative: no delta semantics
   for (const auto& [name, hist] : histograms) {
     HistogramData delta = hist;
     auto it = base.histograms.find(name);
@@ -91,6 +196,18 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
   return it->second.get();
 }
 
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::make_unique<Gauge>(std::string(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
 Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
@@ -109,6 +226,9 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   for (const auto& [name, counter] : counters_) {
     out.counters[name] = counter->value();
   }
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges[name] = gauge->value();
+  }
   for (const auto& [name, hist] : histograms_) {
     MetricsSnapshot::HistogramData data;
     data.name = name;
@@ -124,35 +244,97 @@ std::string MetricsRegistry::PrometheusText() const {
   const MetricsSnapshot snap = Snapshot();
   std::string out;
   char buf[96];
+  // Group series by family so labeled variants ({tenant="..."}) share one
+  // `# TYPE` line and render contiguously, as the exposition format expects.
+  std::map<std::string, std::vector<std::pair<std::string, uint64_t>>,
+           std::less<>>
+      counter_families;
   for (const auto& [name, value] : snap.counters) {
-    out += "# TYPE " + name + " counter\n";
-    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", value);
-    out += name + buf;
+    counter_families[std::string(SplitMetricName(name).first)].emplace_back(
+        name, value);
   }
-  for (const auto& [name, hist] : snap.histograms) {
-    out += "# TYPE " + name + " histogram\n";
-    uint64_t cumulative = 0;
-    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
-      cumulative += hist.buckets[b];
-      // Skip empty leading/interior buckets except the first occupied run's
-      // context; emitting all 65 le-lines per histogram would be noise.
-      if (hist.buckets[b] == 0) continue;
-      const double le =
-          b == 0 ? 0.0
-                 : (b >= 64 ? static_cast<double>(UINT64_MAX)
-                            : static_cast<double>((uint64_t{1} << b) - 1));
-      std::snprintf(buf, sizeof(buf), "_bucket{le=\"%.0f\"} %" PRIu64 "\n", le,
-                    cumulative);
+  for (const auto& [family, series] : counter_families) {
+    out += "# TYPE " + family + " counter\n";
+    for (const auto& [name, value] : series) {
+      std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", value);
       out += name + buf;
     }
-    std::snprintf(buf, sizeof(buf), "_bucket{le=\"+Inf\"} %" PRIu64 "\n",
-                  hist.count);
-    out += name + buf;
-    std::snprintf(buf, sizeof(buf), "_sum %" PRIu64 "\n", hist.sum);
-    out += name + buf;
-    std::snprintf(buf, sizeof(buf), "_count %" PRIu64 "\n", hist.count);
-    out += name + buf;
   }
+  std::map<std::string, std::vector<std::pair<std::string, double>>,
+           std::less<>>
+      gauge_families;
+  for (const auto& [name, value] : snap.gauges) {
+    gauge_families[std::string(SplitMetricName(name).first)].emplace_back(
+        name, value);
+  }
+  for (const auto& [family, series] : gauge_families) {
+    out += "# TYPE " + family + " gauge\n";
+    for (const auto& [name, value] : series) {
+      out += name;
+      AppendGaugeValue(&out, value);
+    }
+  }
+  std::map<std::string,
+           std::vector<const MetricsSnapshot::HistogramData*>, std::less<>>
+      histogram_families;
+  for (const auto& [name, hist] : snap.histograms) {
+    histogram_families[std::string(SplitMetricName(name).first)].push_back(
+        &hist);
+  }
+  for (const auto& [family, series] : histogram_families) {
+    out += "# TYPE " + family + " histogram\n";
+    for (const MetricsSnapshot::HistogramData* hist : series) {
+      const auto [fam, labels] = SplitMetricName(hist->name);
+      // `le` joins any existing label block: fam_bucket{tenant="x",le="..."}.
+      const std::string bucket_prefix =
+          std::string(fam) + "_bucket{" +
+          (labels.empty() ? std::string() : std::string(labels) + ",");
+      const std::string label_block =
+          labels.empty() ? std::string() : "{" + std::string(labels) + "}";
+      uint64_t cumulative = 0;
+      for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+        cumulative += hist->buckets[b];
+        // Skip empty leading/interior buckets except the first occupied
+        // run's context; emitting all 65 le-lines per histogram would be
+        // noise.
+        if (hist->buckets[b] == 0) continue;
+        const double le =
+            b == 0 ? 0.0
+                   : (b >= 64 ? static_cast<double>(UINT64_MAX)
+                              : static_cast<double>((uint64_t{1} << b) - 1));
+        std::snprintf(buf, sizeof(buf), "le=\"%.0f\"} %" PRIu64 "\n", le,
+                      cumulative);
+        out += bucket_prefix + buf;
+      }
+      std::snprintf(buf, sizeof(buf), "le=\"+Inf\"} %" PRIu64 "\n",
+                    hist->count);
+      out += bucket_prefix + buf;
+      std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", hist->sum);
+      out += std::string(fam) + "_sum" + label_block + buf;
+      std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", hist->count);
+      out += std::string(fam) + "_count" + label_block + buf;
+    }
+  }
+  // Synthetic build / lifetime gauges: computed at exposition time so they
+  // are present in every scrape without anyone having to record them.
+  out += "# TYPE ";
+  out += kMetricBuildInfo;
+  out += " gauge\n";
+  out += LabeledMetricName(kMetricBuildInfo,
+                           {{"version", BuildVersionString()},
+                            {"git_sha", BuildGitShaString()},
+                            {"sanitizer", BuildSanitizerString()}});
+  out += " 1\n";
+  out += "# TYPE ";
+  out += kMetricProcessStartTimeSeconds;
+  out += " gauge\n";
+  out += kMetricProcessStartTimeSeconds;
+  AppendGaugeValue(&out, ProcessStartTimeSeconds());
+  out += "# TYPE ";
+  out += kMetricProcessUptimeSeconds;
+  out += " gauge\n";
+  out += kMetricProcessUptimeSeconds;
+  AppendGaugeValue(&out, ProcessUptimeSeconds());
   return out;
 }
 

@@ -1,13 +1,24 @@
-// Process-wide metrics: named monotonic counters and log-scale histograms.
+// Process-wide metrics: named monotonic counters, gauges, and log-scale
+// histograms.
 //
 // MetricsRegistry::Global() is the process singleton the pipeline records
 // into (per-query latencies, rows, spill bytes, governor trips). Lookup by
 // name takes a mutex, so hot paths resolve a metric once and keep the
-// pointer; Counter::Add and Histogram::Record are then lock-free atomics,
-// safe from pool workers. Metric objects live for the process — pointers
-// never dangle and a registry is never "reset", consumers diff snapshots
-// instead (MetricsSnapshot::DeltaSince), which is how bench_common scopes
-// per-case histograms out of process-cumulative state.
+// pointer; Counter::Add, Gauge::Set, and Histogram::Record are then
+// lock-free atomics, safe from pool workers. Metric objects live for the
+// process — pointers never dangle and a registry is never "reset",
+// consumers diff snapshots instead (MetricsSnapshot::DeltaSince), which is
+// how bench_common scopes per-case histograms out of process-cumulative
+// state.
+//
+// Labeled families (DESIGN.md §6i): a metric name may carry a Prometheus
+// label block — `htqo_tenant_queries_total{tenant="t0"}` — built with
+// LabeledMetricName()/TenantMetricName(). Each labeled series is its own
+// registry entry (own stable pointer, own lock-free hot path); the
+// exposition groups series by family so `# TYPE` is emitted once per
+// family and histogram buckets merge `le` into the label block. Label
+// cardinality is the caller's contract: tenants are the only unbounded
+// dimension and are bounded by admission's tenant set.
 //
 // Histograms use log2 buckets: value v lands in bucket bit_width(v), i.e.
 // bucket b covers [2^(b-1), 2^b). 65 buckets cover the full uint64 range in
@@ -17,9 +28,11 @@
 //
 // Metric names follow prometheus conventions (htqo_<noun>_<unit/total>);
 // the set used by the pipeline is part of the stable contract in
-// DESIGN.md §6d. PrometheusText() emits the text exposition format;
-// WritePrometheus() goes through the `metrics.export` fault site and
-// returns a Status the caller degrades to a warning.
+// DESIGN.md §6d. PrometheusText() emits the text exposition format —
+// including the synthetic `htqo_build_info` gauge (version/git sha/
+// sanitizer labels) and process start-time/uptime gauges; WritePrometheus()
+// goes through the `metrics.export` fault site and returns a Status the
+// caller degrades to a warning.
 
 #ifndef HTQO_OBS_METRICS_H_
 #define HTQO_OBS_METRICS_H_
@@ -27,11 +40,13 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/status.h"
@@ -50,6 +65,20 @@ class Counter {
  private:
   std::string name_;
   std::atomic<uint64_t> value_{0};
+};
+
+// Settable instantaneous value (burn rates, queue depths, build info).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<double> value_{0.0};
 };
 
 class Histogram {
@@ -73,6 +102,15 @@ class Histogram {
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
 };
 
+// Builds `family{k1="v1",k2="v2"}`; label values are escaped (\, ", \n).
+// With no labels, returns the family name unchanged.
+std::string LabeledMetricName(
+    std::string_view family,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels);
+// The common single-label case: `family{tenant="<tenant>"}`.
+std::string TenantMetricName(std::string_view family, std::string_view tenant);
+
 // Point-in-time copy of every metric, detached from the live registry.
 struct MetricsSnapshot {
   struct HistogramData {
@@ -88,11 +126,13 @@ struct MetricsSnapshot {
   };
 
   std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
   std::map<std::string, HistogramData> histograms;
 
   // This snapshot minus `base` (counters/buckets that shrank clamp to 0;
   // metrics absent from `base` pass through whole). Scopes an interval of
-  // activity out of process-cumulative metrics.
+  // activity out of process-cumulative metrics. Gauges are instantaneous,
+  // not cumulative: they copy through unchanged.
   MetricsSnapshot DeltaSince(const MetricsSnapshot& base) const;
 };
 
@@ -103,12 +143,16 @@ class MetricsRegistry {
   // Name lookup, creating on first use. The returned pointer is stable for
   // the life of the registry — resolve once, record lock-free after.
   Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
   Histogram* GetHistogram(std::string_view name);
 
   MetricsSnapshot Snapshot() const;
 
   // Prometheus text exposition format: counters as `# TYPE ... counter`,
-  // histograms as `_count`/`_sum` plus cumulative `_bucket{le="..."}` lines.
+  // gauges as `# TYPE ... gauge`, histograms as `_count`/`_sum` plus
+  // cumulative `_bucket{le="..."}` lines. Series of one labeled family are
+  // emitted contiguously under a single TYPE line. Appends the synthetic
+  // build-info / start-time / uptime gauges (Build*String()).
   std::string PrometheusText() const;
   // Writes PrometheusText() to `path` through the `metrics.export` fault
   // site. Failure is the exporter's, never the query's: callers warn.
@@ -121,8 +165,19 @@ class MetricsRegistry {
  private:
   mutable std::mutex mu_;  // guards the maps, not the metric objects
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
+
+// Build identity baked in by CMake (HTQO_VERSION / HTQO_GIT_SHA /
+// HTQO_SANITIZE_TAG compile definitions; "unknown"/"none" fallbacks).
+const char* BuildVersionString();
+const char* BuildGitShaString();
+const char* BuildSanitizerString();
+// Unix seconds at process start (captured at static-init of the obs
+// library) and seconds elapsed since.
+double ProcessStartTimeSeconds();
+double ProcessUptimeSeconds();
 
 // The pipeline's metric names (stable contract, DESIGN.md §6d).
 inline constexpr const char kMetricQueriesTotal[] = "htqo_queries_total";
@@ -215,6 +270,70 @@ inline constexpr const char kMetricFeedbackRefreshesTotal[] =
     "htqo_feedback_refreshes_total";
 inline constexpr const char kMetricFeedbackSkippedTotal[] =
     "htqo_feedback_skipped_total";
+// Per-tenant families (DESIGN.md §6i). Every family below is recorded as a
+// labeled series `<family>{tenant="..."}` via TenantMetricName; the session
+// resolves the pointers once per connection, so the per-query path stays
+// lock-free. Queries/errors/latency classify every QUERY frame the session
+// finished; the admission families mirror the global admission counters per
+// tenant; spill/plan-cache/replan attribution comes from the QueryRun.
+inline constexpr const char kMetricTenantQueriesTotal[] =
+    "htqo_tenant_queries_total";
+inline constexpr const char kMetricTenantErrorsTotal[] =
+    "htqo_tenant_errors_total";
+inline constexpr const char kMetricTenantQueryLatencyUs[] =
+    "htqo_tenant_query_latency_us";
+inline constexpr const char kMetricTenantAdmittedTotal[] =
+    "htqo_tenant_admitted_total";
+inline constexpr const char kMetricTenantQueuedTotal[] =
+    "htqo_tenant_queued_total";
+inline constexpr const char kMetricTenantShedTotal[] =
+    "htqo_tenant_shed_total";
+inline constexpr const char kMetricTenantQueueTimeoutTotal[] =
+    "htqo_tenant_queue_timeout_total";
+inline constexpr const char kMetricTenantDegradedTotal[] =
+    "htqo_tenant_degraded_total";
+inline constexpr const char kMetricTenantQueueWaitUs[] =
+    "htqo_tenant_queue_wait_us";
+inline constexpr const char kMetricTenantSpillBytesTotal[] =
+    "htqo_tenant_spill_bytes_total";
+inline constexpr const char kMetricTenantPlanCacheHitsTotal[] =
+    "htqo_tenant_plan_cache_hits_total";
+inline constexpr const char kMetricTenantPlanCacheMissesTotal[] =
+    "htqo_tenant_plan_cache_misses_total";
+inline constexpr const char kMetricTenantReplansTotal[] =
+    "htqo_tenant_replans_total";
+// Per-tenant SLOs: target/budget are configuration echoed as gauges so
+// dashboards can draw the objective next to the observed burn rate
+// (windowed violation rate / error budget; > 1.0 means the tenant is
+// burning budget faster than allowed). violations counts every query over
+// target p99 or ending in error.
+inline constexpr const char kMetricTenantSloTargetP99Ms[] =
+    "htqo_tenant_slo_target_p99_ms";
+inline constexpr const char kMetricTenantSloErrorBudget[] =
+    "htqo_tenant_slo_error_budget";
+inline constexpr const char kMetricTenantSloBurnRate[] =
+    "htqo_tenant_slo_burn_rate";
+inline constexpr const char kMetricTenantSloViolationsTotal[] =
+    "htqo_tenant_slo_violations_total";
+// Observability plane self-accounting: spans rejected by tracer caps,
+// per-query trace files exported (head-sampled or tail-captured), flight
+// records written, and DEBUG verb / debug-endpoint requests served.
+inline constexpr const char kMetricTraceDroppedSpansTotal[] =
+    "htqo_trace_dropped_spans_total";
+inline constexpr const char kMetricTracesExportedTotal[] =
+    "htqo_traces_exported_total";
+inline constexpr const char kMetricFlightRecordsTotal[] =
+    "htqo_flight_records_total";
+inline constexpr const char kMetricDebugRequestsTotal[] =
+    "htqo_debug_requests_total";
+// Build identity / process lifetime (satellite of DESIGN.md §6i); the
+// build-info gauge is synthesized in PrometheusText, always 1, with
+// version/git_sha/sanitizer labels.
+inline constexpr const char kMetricBuildInfo[] = "htqo_build_info";
+inline constexpr const char kMetricProcessStartTimeSeconds[] =
+    "htqo_process_start_time_seconds";
+inline constexpr const char kMetricProcessUptimeSeconds[] =
+    "htqo_process_uptime_seconds";
 
 }  // namespace htqo
 

@@ -1,0 +1,87 @@
+#include "obs/slo.h"
+
+#include "obs/metrics.h"
+
+namespace htqo {
+
+SloTracker::SloTracker(SloPolicy default_policy)
+    : default_policy_(default_policy) {}
+
+SloTracker::TenantState& SloTracker::StateFor(const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    TenantState state;
+    state.policy = default_policy_;
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    state.violations_total =
+        reg.GetCounter(TenantMetricName(kMetricTenantSloViolationsTotal,
+                                        tenant));
+    state.burn_rate =
+        reg.GetGauge(TenantMetricName(kMetricTenantSloBurnRate, tenant));
+    state.target_gauge =
+        reg.GetGauge(TenantMetricName(kMetricTenantSloTargetP99Ms, tenant));
+    state.budget_gauge =
+        reg.GetGauge(TenantMetricName(kMetricTenantSloErrorBudget, tenant));
+    state.target_gauge->Set(state.policy.target_p99_ms);
+    state.budget_gauge->Set(state.policy.error_budget);
+    state.burn_rate->Set(0.0);
+    it = tenants_.emplace(tenant, std::move(state)).first;
+  }
+  return it->second;
+}
+
+double SloTracker::BurnRate(const TenantState& s) {
+  if (s.filled == 0 || s.policy.error_budget <= 0.0) return 0.0;
+  const double rate = static_cast<double>(s.window_violations) /
+                      static_cast<double>(s.filled);
+  return rate / s.policy.error_budget;
+}
+
+void SloTracker::SetPolicy(const std::string& tenant, SloPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = StateFor(tenant);
+  state.policy = policy;
+  state.target_gauge->Set(policy.target_p99_ms);
+  state.budget_gauge->Set(policy.error_budget);
+  state.burn_rate->Set(BurnRate(state));
+}
+
+void SloTracker::Record(const std::string& tenant, double latency_ms,
+                        bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = StateFor(tenant);
+  const bool violation = !ok || latency_ms > state.policy.target_p99_ms;
+  ++state.queries;
+  if (violation) {
+    ++state.violations;
+    state.violations_total->Increment();
+  }
+  // Slide the window: retire the slot we are about to overwrite.
+  if (state.filled == kWindow) {
+    state.window_violations -= state.window[state.pos];
+  } else {
+    ++state.filled;
+  }
+  state.window[state.pos] = violation ? 1 : 0;
+  state.window_violations += state.window[state.pos];
+  state.pos = (state.pos + 1) % kWindow;
+  state.burn_rate->Set(BurnRate(state));
+}
+
+std::vector<SloTracker::TenantSlo> SloTracker::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TenantSlo> out;
+  out.reserve(tenants_.size());
+  for (const auto& [tenant, state] : tenants_) {
+    TenantSlo slo;
+    slo.tenant = tenant;
+    slo.policy = state.policy;
+    slo.queries = state.queries;
+    slo.violations = state.violations;
+    slo.burn_rate = BurnRate(state);
+    out.push_back(std::move(slo));
+  }
+  return out;
+}
+
+}  // namespace htqo

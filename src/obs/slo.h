@@ -1,0 +1,95 @@
+// Per-tenant service-level objectives and burn-rate gauges.
+//
+// An SloPolicy is the operator's promise for one tenant: queries should
+// finish under target_p99_ms, and at most error_budget (a fraction) of
+// recent queries may miss that target or fail outright. The SloTracker
+// turns per-query observations into Prometheus series (DESIGN.md §6i):
+//
+//   htqo_tenant_slo_target_p99_ms{tenant=...}    policy echo (gauge)
+//   htqo_tenant_slo_error_budget{tenant=...}     policy echo (gauge)
+//   htqo_tenant_slo_violations_total{tenant=...} every violating query
+//   htqo_tenant_slo_burn_rate{tenant=...}        windowed violation rate
+//                                                divided by the budget
+//
+// Burn rate reads like an SRE burn rate: 1.0 means the tenant is consuming
+// its error budget exactly as fast as allowed; above 1.0 the budget is
+// burning down; 0 means no recent violations. The window is a fixed ring
+// of the last kWindow observations per tenant, so the gauge reacts in
+// O(window) queries and needs no clocks.
+//
+// Record() takes one short mutex; the per-tenant metric handles are
+// resolved once on first sight of the tenant.
+
+#ifndef HTQO_OBS_SLO_H_
+#define HTQO_OBS_SLO_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace htqo {
+
+class Counter;
+class Gauge;
+
+struct SloPolicy {
+  double target_p99_ms = 250.0;
+  double error_budget = 0.01;  // allowed fraction of violating queries
+};
+
+class SloTracker {
+ public:
+  // Observations per tenant contributing to the burn-rate window.
+  static constexpr std::size_t kWindow = 256;
+
+  explicit SloTracker(SloPolicy default_policy = SloPolicy{});
+
+  // Overrides the policy for one tenant (before or after first Record).
+  void SetPolicy(const std::string& tenant, SloPolicy policy);
+
+  // One finished query: ok=false or latency over target counts as a
+  // violation. Creates the tenant state (and its metric series) on first
+  // sight.
+  void Record(const std::string& tenant, double latency_ms, bool ok);
+
+  struct TenantSlo {
+    std::string tenant;
+    SloPolicy policy;
+    uint64_t queries = 0;
+    uint64_t violations = 0;
+    double burn_rate = 0.0;
+  };
+  std::vector<TenantSlo> Snapshot() const;
+
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+ private:
+  struct TenantState {
+    SloPolicy policy;
+    uint64_t queries = 0;
+    uint64_t violations = 0;
+    std::array<uint8_t, kWindow> window{};  // 1 = violation
+    std::size_t pos = 0;
+    std::size_t filled = 0;
+    uint32_t window_violations = 0;
+    Counter* violations_total = nullptr;
+    Gauge* burn_rate = nullptr;
+    Gauge* target_gauge = nullptr;
+    Gauge* budget_gauge = nullptr;
+  };
+
+  TenantState& StateFor(const std::string& tenant);  // mu_ held
+  static double BurnRate(const TenantState& s);
+
+  mutable std::mutex mu_;
+  SloPolicy default_policy_;
+  std::map<std::string, TenantState> tenants_;
+};
+
+}  // namespace htqo
+
+#endif  // HTQO_OBS_SLO_H_

@@ -1,9 +1,12 @@
 #include "obs/trace.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
+#include <random>
 #include <utility>
 
 #include "util/fault_injector.h"
@@ -50,7 +53,47 @@ void AppendJsonEscaped(std::string* out, std::string_view s) {
   }
 }
 
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
 }  // namespace
+
+std::string TraceId::ToHex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64 "%016" PRIx64, hi, lo);
+  return buf;
+}
+
+TraceId TraceId::FromHex(std::string_view hex) {
+  TraceId id;
+  if (hex.size() != 32) return TraceId{};
+  for (int i = 0; i < 32; ++i) {
+    const int d = HexDigit(hex[static_cast<std::size_t>(i)]);
+    if (d < 0) return TraceId{};
+    uint64_t& word = i < 16 ? id.hi : id.lo;
+    word = (word << 4) | static_cast<uint64_t>(d);
+  }
+  return id;
+}
+
+TraceId TraceId::Random() {
+  thread_local std::mt19937_64 rng = [] {
+    std::random_device rd;
+    std::seed_seq seq{
+        rd(), rd(), rd(), rd(),
+        static_cast<unsigned>(::getpid()),
+        static_cast<unsigned>(
+            std::chrono::steady_clock::now().time_since_epoch().count())};
+    return std::mt19937_64(seq);
+  }();
+  TraceId id{rng(), rng()};
+  if (!id.valid()) id.lo = 1;  // reserve zero for "no trace id"
+  return id;
+}
 
 #if !defined(HTQO_DISABLE_TRACING)
 namespace {
@@ -63,7 +106,9 @@ thread_local std::vector<std::pair<const Tracer*, uint64_t>> g_span_stack;
 }  // namespace
 #endif
 
-Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+Tracer::Tracer()
+    : epoch_(std::chrono::steady_clock::now()),
+      export_pid_(static_cast<uint64_t>(::getpid())) {}
 
 uint64_t Tracer::Begin(std::string_view name, uint64_t parent) {
   const int64_t start_ns =
@@ -71,6 +116,10 @@ uint64_t Tracer::Begin(std::string_view name, uint64_t parent) {
           std::chrono::steady_clock::now() - epoch_)
           .count();
   std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= max_spans_) {
+    ++dropped_spans_;
+    return 0;  // every consumer of span ids already ignores 0
+  }
   Span& span = spans_.emplace_back();
   span.id = spans_.size();  // ids are 1-based indexes into spans_
   span.parent = parent;
@@ -111,6 +160,58 @@ uint64_t Tracer::CurrentParent(const Tracer* tracer) {
   return 0;
 }
 
+void Tracer::SetMaxSpans(std::size_t max_spans) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_spans_ = max_spans;
+}
+
+std::size_t Tracer::max_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_spans_;
+}
+
+uint64_t Tracer::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_spans_;
+}
+
+void Tracer::SetTraceId(TraceId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_id_ = id;
+}
+
+TraceId Tracer::trace_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_id_;
+}
+
+void Tracer::SetRemoteParent(std::string wire_span_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  remote_parent_ = std::move(wire_span_id);
+}
+
+std::string Tracer::remote_parent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return remote_parent_;
+}
+
+void Tracer::SetExportPid(uint64_t pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  export_pid_ = pid;
+}
+
+uint64_t Tracer::export_pid() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return export_pid_;
+}
+
+std::string Tracer::WireSpanId(uint64_t id) const {
+  if (id == 0) return "0";
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ":%" PRIu64, export_pid(), id);
+  return buf;
+}
+
 std::size_t Tracer::NumSpans() const {
   std::lock_guard<std::mutex> lock(mu_);
   return spans_.size();
@@ -123,8 +224,12 @@ std::vector<Span> Tracer::Snapshot() const {
 
 std::string Tracer::ChromeTraceJson() const {
   const std::vector<Span> spans = Snapshot();
+  const uint64_t pid = export_pid();
+  const std::string remote = remote_parent();
+  const TraceId tid128 = trace_id();
+  const uint64_t dropped = dropped_spans();
   std::string out = "{\"traceEvents\":[";
-  char buf[160];
+  char buf[192];
   uint64_t max_thread = 0;
   bool first = true;
   for (const Span& span : spans) {
@@ -139,11 +244,23 @@ std::string Tracer::ChromeTraceJson() const {
     out += "{\"name\":\"";
     AppendJsonEscaped(&out, span.name);
     std::snprintf(buf, sizeof(buf),
-                  "\",\"ph\":\"X\",\"pid\":1,\"tid\":%" PRIu64
+                  "\",\"ph\":\"X\",\"pid\":%" PRIu64 ",\"tid\":%" PRIu64
                   ",\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"span_id\":\"%" PRIu64
-                  "\",\"parent_id\":\"%" PRIu64 "\"",
-                  span.thread, ts_us, dur_us, span.id, span.parent);
+                  ":%" PRIu64 "\"",
+                  pid, span.thread, ts_us, dur_us, pid, span.id);
     out += buf;
+    // Parent in wire form. Roots re-parent under the remote (cross-process)
+    // span when one was propagated — that edge is what stitches the files.
+    out += ",\"parent_id\":\"";
+    if (span.parent != 0) {
+      std::snprintf(buf, sizeof(buf), "%" PRIu64 ":%" PRIu64, pid, span.parent);
+      out += buf;
+    } else if (!remote.empty()) {
+      AppendJsonEscaped(&out, remote);
+    } else {
+      out += '0';
+    }
+    out += '"';
     for (const SpanAttr& attr : span.attrs) {
       out += ",\"";
       AppendJsonEscaped(&out, attr.key);
@@ -156,10 +273,30 @@ std::string Tracer::ChromeTraceJson() const {
   // Thread-name metadata so the track list reads "worker N", not bare ids.
   for (uint64_t tid = 0; !spans.empty() && tid <= max_thread; ++tid) {
     std::snprintf(buf, sizeof(buf),
-                  ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
-                  "\"tid\":%" PRIu64
+                  ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%" PRIu64
+                  ",\"tid\":%" PRIu64
                   ",\"args\":{\"name\":\"worker %" PRIu64 "\"}}",
-                  tid, tid);
+                  pid, tid, tid);
+    out += buf;
+  }
+  // Trace identity + drop accounting, as metadata events so stitch-aware
+  // tools (validate_trace.py) can pair per-process files without heuristics.
+  if (tid128.valid()) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"trace_id\",\"ph\":\"M\",\"pid\":%" PRIu64
+                  ",\"tid\":0,\"args\":{\"trace_id\":\"%s\"}}",
+                  pid, tid128.ToHex().c_str());
+    out += buf;
+  }
+  if (dropped > 0) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"dropped_spans\",\"ph\":\"M\",\"pid\":%" PRIu64
+                  ",\"tid\":0,\"args\":{\"count\":\"%" PRIu64 "\"}}",
+                  pid, dropped);
     out += buf;
   }
   out += "]}";

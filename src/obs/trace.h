@@ -20,6 +20,19 @@
 // Span names and attribute keys are a stable contract (DESIGN.md §6d):
 // exporters, tools/validate_trace.py, and the bench harness key off them.
 //
+// Memory is bounded: a tracer retains at most max_spans() spans (default
+// kDefaultMaxSpans). Begin() past the cap returns 0 — the universal "no
+// span" id every other entry point already ignores — and bumps
+// dropped_spans(), which exporters surface as metadata.
+//
+// Cross-process stitching (DESIGN.md §6i): a tracer can carry a 128-bit
+// TraceId plus a remote parent span reference received over the wire. The
+// Chrome exporter emits span ids in wire form "<pid>:<id>" and a trace_id
+// metadata event, so per-process trace files that share a TraceId can be
+// concatenated by tools/validate_trace.py --stitch (or loaded together in
+// Perfetto) into one tree: the server's root spans attach under the
+// client's span via the remote parent reference.
+//
 // Exporters: ChromeTraceJson()/WriteChromeTrace() emit Chrome trace_event
 // JSON loadable in chrome://tracing or Perfetto; ToTreeString() renders the
 // span tree for the shell's \analyze. WriteChromeTrace goes through the
@@ -48,6 +61,29 @@ inline constexpr bool kTracingCompiledIn = false;
 inline constexpr bool kTracingCompiledIn = true;
 #endif
 
+// Default retained-span cap per tracer. Generous: a pathological query with
+// millions of operator spans stops accumulating here instead of exhausting
+// memory; ordinary queries stay far below it.
+inline constexpr std::size_t kDefaultMaxSpans = 1u << 18;
+
+// 128-bit trace identity shared by every process participating in one
+// logical query. Zero (the default) means "no trace id assigned".
+struct TraceId {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool valid() const { return (hi | lo) != 0; }
+  bool operator==(const TraceId& o) const { return hi == o.hi && lo == o.lo; }
+
+  // 32 lowercase hex characters, the wire form carried on QUERY frames.
+  std::string ToHex() const;
+  // Parses ToHex() output; anything else (wrong length, non-hex) yields the
+  // invalid (zero) id, which callers treat as "no trace context".
+  static TraceId FromHex(std::string_view hex);
+  // Fresh pseudo-random id (seeded from std::random_device + pid + clock).
+  static TraceId Random();
+};
+
 struct SpanAttr {
   std::string key;
   std::string value;
@@ -70,6 +106,7 @@ class Tracer {
   Tracer& operator=(const Tracer&) = delete;
 
   // Begins a span; `parent` is a span id or 0 for a root span. Thread-safe.
+  // Returns 0 (and counts a drop) once max_spans() spans are retained.
   uint64_t Begin(std::string_view name, uint64_t parent);
   // Ends the span (records its duration). Thread-safe, idempotent.
   void End(uint64_t id);
@@ -80,13 +117,36 @@ class Tracer {
   // Null-safe: CurrentParent(nullptr) is 0.
   static uint64_t CurrentParent(const Tracer* tracer);
 
+  // Retained-span cap. Lowering it below the current span count only
+  // affects future Begin() calls; already-recorded spans are kept.
+  void SetMaxSpans(std::size_t max_spans);
+  std::size_t max_spans() const;
+  // Spans rejected by Begin() because the cap was reached.
+  uint64_t dropped_spans() const;
+
+  // Trace identity for cross-process stitching. Not required for local
+  // tracing; set by the server/client when a query carries trace context.
+  void SetTraceId(TraceId id);
+  TraceId trace_id() const;
+  // Wire-form span id ("<pid>:<id>") of a parent span living in another
+  // process; the exporter re-parents this tracer's root spans under it.
+  void SetRemoteParent(std::string wire_span_id);
+  std::string remote_parent() const;
+  // Process id used in the export (defaults to the real pid). Tests
+  // override it to fabricate multi-process stitched traces in one process.
+  void SetExportPid(uint64_t pid);
+  uint64_t export_pid() const;
+  // Wire form of a local span id: "<export_pid>:<id>" ("0" for id 0).
+  std::string WireSpanId(uint64_t id) const;
+
   std::size_t NumSpans() const;
   // Copy of all spans, in creation order.
   std::vector<Span> Snapshot() const;
 
   // Chrome trace_event JSON: {"traceEvents": [...]} with one complete ("X")
   // event per span (ts/dur in microseconds) plus thread-name metadata. Span
-  // id/parent ride in args so the tree survives the flat format.
+  // id/parent ride in args (wire form "<pid>:<id>") so the tree survives
+  // the flat format and ids stay unique across stitched per-process files.
   std::string ChromeTraceJson() const;
   // Writes ChromeTraceJson() to `path` through the `trace.write` fault
   // site. Failure is the exporter's, never the query's: callers warn.
@@ -102,6 +162,11 @@ class Tracer {
   mutable std::mutex mu_;
   std::vector<Span> spans_;
   std::chrono::steady_clock::time_point epoch_;
+  std::size_t max_spans_ = kDefaultMaxSpans;
+  uint64_t dropped_spans_ = 0;
+  TraceId trace_id_;
+  std::string remote_parent_;
+  uint64_t export_pid_ = 0;  // set to getpid() in the constructor
 };
 
 #if !defined(HTQO_DISABLE_TRACING)

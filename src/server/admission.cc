@@ -67,6 +67,16 @@ AdmissionController::Tenant& AdmissionController::TenantState(
     t.quota = q == config_.tenant_quotas.end() ? config_.default_quota
                                                : q->second;
     t.quota.max_concurrent = std::max<std::size_t>(1, t.quota.max_concurrent);
+    MetricsRegistry& m = MetricsRegistry::Global();
+    t.m_admitted = m.GetCounter(TenantMetricName(kMetricTenantAdmittedTotal, name));
+    t.m_queued = m.GetCounter(TenantMetricName(kMetricTenantQueuedTotal, name));
+    t.m_shed = m.GetCounter(TenantMetricName(kMetricTenantShedTotal, name));
+    t.m_timeout =
+        m.GetCounter(TenantMetricName(kMetricTenantQueueTimeoutTotal, name));
+    t.m_degraded =
+        m.GetCounter(TenantMetricName(kMetricTenantDegradedTotal, name));
+    t.m_queue_wait_us =
+        m.GetHistogram(TenantMetricName(kMetricTenantQueueWaitUs, name));
     it = tenants_.emplace(name, std::move(t)).first;
   }
   return it->second;
@@ -114,15 +124,19 @@ AdmissionGrant AdmissionController::GrantLocked(
   g.force_spill = g.degrade_level >= 2;
   ++admitted_;
   metric_admitted_->Increment();
+  t.m_admitted->Increment();
   if (waited) {
     ++queued_;
     metric_queued_->Increment();
+    t.m_queued->Increment();
   }
   if (g.degrade_level >= 1) {
     ++degraded_;
     metric_degraded_->Increment();
+    t.m_degraded->Increment();
   }
   metric_queue_wait_us_->Record(static_cast<uint64_t>(wait.count()));
+  t.m_queue_wait_us->Record(static_cast<uint64_t>(wait.count()));
   return g;
 }
 
@@ -169,18 +183,20 @@ Result<AdmissionTicket> AdmissionController::Acquire(
     const std::string& tenant, Clock::time_point deadline) {
   const auto arrival = Clock::now();
   std::unique_lock<std::mutex> lock(mu_);
+  Tenant& t = TenantState(tenant);
   if (draining_) {
     ++shed_;
     metric_shed_->Increment();
+    t.m_shed->Increment();
     return AdmissionShedStatus("server is draining");
   }
   if (deadline != Clock::time_point::max() && arrival >= deadline) {
     ++queue_timeouts_;
     metric_timeout_->Increment();
+    t.m_timeout->Increment();
     return Status::DeadlineExceeded(
         "deadline expired before admission [governor trip: deadline]");
   }
-  Tenant& t = TenantState(tenant);
   if (t.queue.empty() && t.active < t.quota.max_concurrent &&
       active_total_ < config_.max_total_concurrent) {
     ++t.active;
@@ -194,6 +210,7 @@ Result<AdmissionTicket> AdmissionController::Acquire(
   if (t.queue.size() >= t.quota.max_queue_depth) {
     ++shed_;
     metric_shed_->Increment();
+    t.m_shed->Increment();
     return AdmissionShedStatus("admission queue full for tenant '" + tenant +
                                "' (" + std::to_string(t.quota.max_queue_depth) +
                                " waiting)");
@@ -211,6 +228,7 @@ Result<AdmissionTicket> AdmissionController::Acquire(
     if (est_admit >= deadline) {
       ++queue_timeouts_;
       metric_timeout_->Increment();
+      t.m_timeout->Increment();
       return Status::DeadlineExceeded(
           "deadline would expire in admission queue (estimated wait " +
           std::to_string(est_wait_seconds) + "s) [governor trip: deadline]");
@@ -219,6 +237,7 @@ Result<AdmissionTicket> AdmissionController::Acquire(
   if (FaultInjector::Instance().ShouldFail(kFaultSiteAdmissionEnqueue)) {
     ++shed_;
     metric_shed_->Increment();
+    t.m_shed->Increment();
     return AdmissionShedStatus("injected fault at admission.enqueue");
   }
   Waiter w;
@@ -236,6 +255,7 @@ Result<AdmissionTicket> AdmissionController::Acquire(
       }
       ++queue_timeouts_;
       metric_timeout_->Increment();
+      t.m_timeout->Increment();
       return Status::DeadlineExceeded(
           "deadline expired in admission queue [governor trip: deadline]");
     }
@@ -278,6 +298,7 @@ void AdmissionController::BeginDrain() {
       w->shed = true;
       ++shed_;
       metric_shed_->Increment();
+      t.m_shed->Increment();
     }
     t.queue.clear();
   }
@@ -320,9 +341,19 @@ AdmissionController::Snapshot AdmissionController::snapshot() const {
   s.shed = shed_;
   s.queue_timeouts = queue_timeouts_;
   s.degraded = degraded_;
+  s.pressure = PressureLocked();
+  s.degrade_level = DegradeLevelLocked();
+  s.draining = draining_;
+  s.retry_after_ms = RetryAfterMsLocked();
   for (const auto& [name, t] : tenants_) {
     if (!t.queue.empty()) s.waiting_by_tenant[name] = t.queue.size();
     if (t.active > 0) s.active_by_tenant[name] = t.active;
+    Snapshot::TenantInfo info;
+    info.active = t.active;
+    info.waiting = t.queue.size();
+    info.max_concurrent = t.quota.max_concurrent;
+    info.max_queue_depth = t.quota.max_queue_depth;
+    s.tenants[name] = info;
   }
   return s;
 }

@@ -168,8 +168,21 @@ class AdmissionController {
     uint64_t shed = 0;           // queue-full / fault / drain rejections
     uint64_t queue_timeouts = 0; // deadline died in (or would die in) queue
     uint64_t degraded = 0;       // grants at level >= 1
+    double pressure = 0.0;       // instantaneous [0,1] ladder input
+    int degrade_level = 0;       // ladder level implied by pressure
+    bool draining = false;
+    uint64_t retry_after_ms = 0; // hint the shedder would emit right now
     std::map<std::string, std::size_t> waiting_by_tenant;
     std::map<std::string, std::size_t> active_by_tenant;
+    // Per-tenant occupancy vs. quota for /debug/queues — every tenant seen
+    // since startup, idle ones included.
+    struct TenantInfo {
+      std::size_t active = 0;
+      std::size_t waiting = 0;
+      std::size_t max_concurrent = 0;
+      std::size_t max_queue_depth = 0;
+    };
+    std::map<std::string, TenantInfo> tenants;
   };
   Snapshot snapshot() const;
 
@@ -190,6 +203,14 @@ class AdmissionController {
     TenantQuota quota;
     std::size_t active = 0;
     std::deque<Waiter*> queue;  // FIFO: head = next to admit
+    // Labeled mirrors of the admission counters (htqo_tenant_*{tenant=...}),
+    // resolved once when the tenant is first seen (DESIGN.md §6i).
+    class Counter* m_admitted = nullptr;
+    class Counter* m_queued = nullptr;
+    class Counter* m_shed = nullptr;
+    class Counter* m_timeout = nullptr;
+    class Counter* m_degraded = nullptr;
+    class Histogram* m_queue_wait_us = nullptr;
   };
 
   void Release(const std::string& tenant, double query_seconds);

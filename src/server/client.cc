@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <thread>
 
 namespace htqo {
@@ -91,22 +92,60 @@ Result<QueryReply> Client::Query(const std::string& sql,
       deadline_ms > 0 ? Clock::now() + std::chrono::milliseconds(deadline_ms)
                       : Clock::time_point::max();
   QueryReply out;
+  // Client half of the stitched trace: one tracer for the whole retry
+  // loop, a root span covering it, and one child span per attempt whose
+  // wire id rides the QUERY frame as parent_span. Exported (best effort)
+  // after the final attempt; the server's half shares the hex prefix.
+  std::optional<Tracer> tracer;
+  uint64_t root_span = 0;
+  if (!options_.trace_dir.empty()) {
+    tracer.emplace();
+    tracer->SetTraceId(TraceId::Random());
+    if (options_.trace_export_pid != 0) {
+      tracer->SetExportPid(options_.trace_export_pid);
+    }
+    root_span = tracer->Begin("client.query", 0);
+    tracer->Attr(root_span, "tenant", options_.tenant);
+    out.trace_id = tracer->trace_id().ToHex();
+  }
+  auto export_trace = [&] {
+    if (!tracer.has_value()) return;
+    tracer->End(root_span);
+    const std::string path = options_.trace_dir + "/trace_" +
+                             tracer->trace_id().ToHex() + "_" +
+                             std::to_string(tracer->export_pid()) + ".json";
+    (void)tracer->WriteChromeTrace(path);  // exporter failure is not ours
+  };
   for (int attempt = 0;; ++attempt) {
     Frame query;
     query.type = FrameType::kQuery;
     query.payload = sql;
+    uint64_t attempt_span = 0;
+    if (tracer.has_value()) {
+      attempt_span = tracer->Begin("client.attempt", root_span);
+      tracer->Attr(attempt_span, "attempt", std::to_string(attempt));
+      query.fields["trace_id"] = tracer->trace_id().ToHex();
+      query.fields["parent_span"] = tracer->WireSpanId(attempt_span);
+    }
     if (deadline_ms > 0) {
       // Forward what's left, not the original: queue time already spent in
       // earlier shed/backoff rounds must count against this query.
       auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
                       deadline - Clock::now())
                       .count();
-      if (left <= 0) return Status::DeadlineExceeded("query deadline passed");
+      if (left <= 0) {
+        export_trace();
+        return Status::DeadlineExceeded("query deadline passed");
+      }
       query.fields["deadline_ms"] = std::to_string(left);
     }
     Frame reply;
     Status s = RoundTrip(query, &reply);
-    if (!s.ok()) return s;
+    if (tracer.has_value()) tracer->End(attempt_span);
+    if (!s.ok()) {
+      export_trace();
+      return s;
+    }
     if (reply.type == FrameType::kOk) {
       out.result_text = std::move(reply.payload);
       out.rows = reply.GetUint("rows");
@@ -116,10 +155,18 @@ Result<QueryReply> Client::Query(const std::string& sql,
       out.degradations = static_cast<int>(reply.GetUint("degraded"));
       out.admission_level =
           static_cast<int>(reply.GetUint("admission_level"));
+      out.replans = static_cast<int>(reply.GetUint("replans"));
+      out.record_id = reply.GetUint("record");
       out.sheds_retried = attempt;
+      if (tracer.has_value()) {
+        tracer->Attr(root_span, "rows", std::to_string(out.rows));
+        tracer->Attr(root_span, "record", std::to_string(out.record_id));
+      }
+      export_trace();
       return out;
     }
     if (reply.type != FrameType::kErr) {
+      export_trace();
       return Status::Internal(std::string("unexpected reply frame ") +
                               FrameTypeName(reply.type));
     }
@@ -127,6 +174,7 @@ Result<QueryReply> Client::Query(const std::string& sql,
     if (code != StatusCode::kResourceExhausted ||
         attempt >= options_.max_retries) {
       // Not a shed (or out of retries): surface the server's error as-is.
+      export_trace();
       std::string message = std::move(reply.payload);
       switch (code) {
         case StatusCode::kInvalidArgument:
@@ -149,12 +197,29 @@ Result<QueryReply> Client::Query(const std::string& sql,
     if (sleep_ms > options_.max_backoff_ms) sleep_ms = options_.max_backoff_ms;
     if (deadline != Clock::time_point::max() &&
         Clock::now() + std::chrono::milliseconds(sleep_ms) >= deadline) {
+      export_trace();
       return Status::DeadlineExceeded(
           "query deadline would pass during retry backoff");
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
     out.backoff_ms += sleep_ms;
   }
+}
+
+Result<std::string> Client::Debug(const std::string& what, uint64_t id,
+                                  uint64_t n) {
+  Frame req;
+  req.type = FrameType::kDebug;
+  req.fields["what"] = what;
+  if (id > 0) req.fields["id"] = std::to_string(id);
+  if (n > 0) req.fields["n"] = std::to_string(n);
+  Frame reply;
+  Status s = RoundTrip(req, &reply);
+  if (!s.ok()) return s;
+  if (reply.type != FrameType::kOk) {
+    return Status::InvalidArgument("DEBUG rejected: " + reply.payload);
+  }
+  return std::move(reply.payload);
 }
 
 Result<std::string> Client::Metrics() {

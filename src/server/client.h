@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/trace.h"
 #include "server/protocol.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -35,6 +36,16 @@ struct ClientOptions {
   uint64_t backoff_jitter_seed = 42;
   // Cap on any single backoff sleep, whatever the server hints.
   uint64_t max_backoff_ms = 2000;
+  // Client-side tracing (DESIGN.md §6i). Non-empty: every Query() runs
+  // under a client Tracer with a fresh 128-bit trace id, sends
+  // trace_id/parent_span on the QUERY frame so the server's spans stitch
+  // under the client's, and exports trace_<hex>_<pid>.json here — the
+  // other half of the server's file of the same hex prefix.
+  std::string trace_dir;
+  // Test hook: overrides the pid baked into exported span ids, so a test
+  // running client and server in one process still yields a stitchable
+  // two-"process" trace pair. 0 = the real pid.
+  uint64_t trace_export_pid = 0;
 };
 
 // One query's worth of response detail.
@@ -46,8 +57,11 @@ struct QueryReply {
   double exec_ms = 0;
   int degradations = 0;          // optimizer ladder steps taken server-side
   int admission_level = 0;       // admission degrade level (0 = full budgets)
+  int replans = 0;               // mid-query replans taken server-side
   int sheds_retried = 0;         // sheds absorbed by the retry loop
   uint64_t backoff_ms = 0;       // total time slept in backoff
+  uint64_t record_id = 0;        // server flight-recorder id (0 = none)
+  std::string trace_id;          // 32-hex trace id when tracing was on
 };
 
 class Client {
@@ -70,6 +84,12 @@ class Client {
   // Fetches the Prometheus exposition over the query connection (METRICS
   // frame — no separate HTTP listener needed).
   Result<std::string> Metrics();
+
+  // Live introspection over the query connection (DEBUG frame): JSON for
+  // `what` in sessions|queues|cache|slow|record|build. `id` selects a
+  // flight record (what=record), `n` bounds the slow log (0 = default).
+  Result<std::string> Debug(const std::string& what, uint64_t id = 0,
+                            uint64_t n = 0);
 
   Status Ping();
 

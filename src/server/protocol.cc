@@ -21,8 +21,9 @@ struct TypeName {
 constexpr TypeName kTypeNames[] = {
     {FrameType::kHello, "HELLO"},     {FrameType::kQuery, "QUERY"},
     {FrameType::kPing, "PING"},       {FrameType::kMetrics, "METRICS"},
-    {FrameType::kQuit, "QUIT"},       {FrameType::kOk, "OK"},
-    {FrameType::kErr, "ERR"},         {FrameType::kBye, "BYE"},
+    {FrameType::kDebug, "DEBUG"},     {FrameType::kQuit, "QUIT"},
+    {FrameType::kOk, "OK"},           {FrameType::kErr, "ERR"},
+    {FrameType::kBye, "BYE"},
 };
 
 }  // namespace

@@ -9,17 +9,26 @@
 //   field       := ' ' key '=' value
 //   payload     := len bytes (present iff len > 0)
 //
-// Types (client -> server): HELLO, QUERY, PING, METRICS, QUIT.
+// Types (client -> server): HELLO, QUERY, PING, METRICS, DEBUG, QUIT.
 // Types (server -> client): OK, ERR, BYE.
 //
 //   HELLO tenant=<name>                 first frame on a connection
 //   QUERY len=<n> [deadline_ms=<d>]     n bytes of SQL follow
+//         [trace_id=<32hex>]            wire trace context (DESIGN.md §6i):
+//         [parent_span=<pid:id>]        the server's query spans stitch
+//                                       under the client's span
 //   PING                                liveness probe -> OK len=0
 //   METRICS                             -> OK with Prometheus text payload
+//   DEBUG what=<w> [id=<n>] [n=<k>]     -> OK with JSON payload; <w> is one
+//                                       of sessions|queues|cache|slow|
+//                                       record|build (id selects a flight
+//                                       record, n bounds the slow log)
 //   QUIT                                -> BYE, connection closes
 //
 //   OK len=<n> [rows=<r>] [queued_us=<q>] [plan_ms=<p>] [exec_ms=<e>]
-//      [degraded=<d>]                   payload = rendered result table
+//      [degraded=<d>] [record=<id>]     payload = rendered result table;
+//                                       record = flight-recorder id of this
+//                                       query (/debug/record/<id>)
 //   ERR code=<code> len=<n> [retry_after_ms=<t>]
 //                                       payload = human-readable message
 //
@@ -57,6 +66,7 @@ enum class FrameType {
   kQuery,
   kPing,
   kMetrics,
+  kDebug,
   kQuit,
   kOk,
   kErr,

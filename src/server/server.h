@@ -21,13 +21,16 @@
 //     server is fully torn down: Drain is what the destructor runs.
 //
 // The optional metrics listener speaks just enough HTTP to serve
-// GET /metrics in Prometheus text exposition format on a second port.
+// GET /metrics (Prometheus text exposition) and the live-introspection
+// endpoints GET /debug/{sessions,queues,cache,slow,record/<id>,build}
+// (JSON) on a second port.
 
 #ifndef HTQO_SERVER_SERVER_H_
 #define HTQO_SERVER_SERVER_H_
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -36,6 +39,7 @@
 #include <vector>
 
 #include "api/hybrid_optimizer.h"
+#include "obs/slo.h"
 #include "server/admission.h"
 #include "server/session.h"
 #include "stats/statistics.h"
@@ -69,6 +73,30 @@ struct ServerOptions {
   // exclusive lock for the (brief) re-analyze, so a burst of sessions never
   // reads statistics mid-rewrite.
   bool enable_feedback = false;
+
+  // --- Observability plane (DESIGN.md §6i) ---
+  // Per-query trace export directory. Non-empty arms always-on tracing:
+  // every query runs under a Tracer carrying a 128-bit trace id (the
+  // client's, when the QUERY frame sent one, else freshly minted), and the
+  // export decision is made *after* the run — head-sampled by
+  // trace_sample_rate (deterministic on the trace id, so client and server
+  // sample the same queries), plus tail capture of queries slower than
+  // trace_slow_ms or that errored, plus every query that arrived with
+  // client trace context (the stitching case). Files land as
+  // trace_<hex>_<pid>.json so per-process halves of one query share a name
+  // prefix.
+  std::string trace_dir;
+  double trace_sample_rate = 0.0;  // head-sampling fraction in [0, 1]
+  double trace_slow_ms = 0.0;      // >0: tail-capture threshold
+  // Per-tenant SLOs: target p99 + error budget, exported as burn-rate
+  // gauges. Tenants absent from tenant_slos get default_slo.
+  SloPolicy default_slo;
+  std::map<std::string, SloPolicy> tenant_slos;
+  // Flight recorder ring size (Start() resizes the process-global ring) and
+  // the optional fatal-signal crash-dump target. An empty path installs no
+  // signal handlers.
+  std::size_t flight_capacity = 1024;
+  std::string crash_dump_path;
 };
 
 class QueryServer {
@@ -105,8 +133,15 @@ class QueryServer {
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   AdmissionController& admission() { return admission_; }
+  SloTracker& slo() { return slo_; }
   const ServerOptions& options() const { return options_; }
   const HybridOptimizer& optimizer() const { return optimizer_; }
+
+  // Live-introspection JSON shared by the DEBUG frame verb and the HTTP
+  // /debug/* endpoints. `what` is sessions|queues|cache|slow|record|build;
+  // `id` selects a flight record (what=record), `n` bounds the slow log
+  // (what=slow, 0 = default). Unknown `what` returns the empty string.
+  std::string DebugJson(const std::string& what, uint64_t id, uint64_t n);
   // True when the adaptive feedback loop is active (enable_feedback set AND
   // the server was built over a mutable statistics registry).
   bool feedback_enabled() const {
@@ -125,6 +160,7 @@ class QueryServer {
   ServerOptions options_;
   HybridOptimizer optimizer_;
   AdmissionController admission_;
+  SloTracker slo_;
   // Feedback path (nullptr under the const-statistics constructor).
   // stats_mu_ arbitrates sessions (shared: plan + run) against the
   // feedback refresh (exclusive: StatisticsRegistry::Put).

@@ -6,7 +6,7 @@
 //
 //   HELLO tenant=<t>            binds the session to a tenant
 //   QUERY ...                   admission -> run -> OK/ERR response
-//   PING / METRICS              served without admission (cheap, bounded)
+//   PING / METRICS / DEBUG      served without admission (cheap, bounded)
 //   QUIT / EOF / idle timeout   session ends
 //
 // Queries run synchronously on the session thread between frames, so a
@@ -27,6 +27,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "server/protocol.h"
@@ -34,6 +35,8 @@
 
 namespace htqo {
 
+class Counter;
+class Histogram;
 class QueryServer;
 
 class Session {
@@ -63,6 +66,18 @@ class Session {
     return query_in_flight_.load(std::memory_order_relaxed);
   }
 
+  // Cross-thread view for /debug/sessions. The tenant copy is taken under
+  // the same mutex HELLO writes it under; the counters are relaxed atomics.
+  struct StatsView {
+    uint64_t id = 0;
+    std::string tenant;
+    bool in_flight = false;
+    uint64_t queries = 0;
+    uint64_t errors = 0;
+    uint64_t last_record_id = 0;  // flight-recorder id of the last query
+  };
+  StatsView Stats() const;
+
  private:
   // One frame dispatch; false = end the session.
   bool HandleFrame(const Frame& frame);
@@ -72,12 +87,27 @@ class Session {
   QueryServer* server_;
   int fd_;
   uint64_t id_;
-  std::string tenant_;  // empty until HELLO
+  std::string tenant_;  // empty until HELLO; only the session thread writes
   std::string carry_;   // read-ahead buffer shared across ReadFrame calls
+  // Guards tenant_ against the /debug/sessions reader (the only other
+  // thread that ever looks at it).
+  mutable std::mutex meta_mu_;
   std::atomic<bool> drain_requested_{false};
   std::atomic<bool> cancel_{false};  // RunOptions::cancel_flag pointee
   std::atomic<bool> query_in_flight_{false};
   std::atomic<bool> finished_{false};
+  std::atomic<uint64_t> queries_served_{0};
+  std::atomic<uint64_t> query_errors_{0};
+  std::atomic<uint64_t> last_record_id_{0};
+  // Per-tenant labeled metric handles (htqo_tenant_*{tenant=...}), resolved
+  // once at HELLO so the per-query path stays registry-lookup-free.
+  Counter* m_queries_ = nullptr;
+  Counter* m_errors_ = nullptr;
+  Histogram* m_latency_us_ = nullptr;
+  Counter* m_spill_bytes_ = nullptr;
+  Counter* m_cache_hits_ = nullptr;
+  Counter* m_cache_misses_ = nullptr;
+  Counter* m_replans_ = nullptr;
 };
 
 }  // namespace htqo

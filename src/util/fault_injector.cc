@@ -55,7 +55,7 @@ std::vector<std::string> FaultInjector::KnownSites() {
           kFaultSiteCacheInsert,        kFaultSiteServerAccept,
           kFaultSiteServerRead,         kFaultSiteServerWrite,
           kFaultSiteAdmissionEnqueue,   kFaultSiteStatsFeedback,
-          kFaultSiteReplanCheckpoint};
+          kFaultSiteReplanCheckpoint,   kFaultSiteFlightRecDump};
 }
 
 }  // namespace htqo

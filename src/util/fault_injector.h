@@ -40,6 +40,9 @@
 //   replan.checkpoint    checkpointing a completed subtree result during a
 //                        mid-query replan fails; that node is recomputed by
 //                        the replanned tree instead of reused
+//   obs.flightrec.dump   FlightRecorder::DumpToFile fails (exporter I/O);
+//                        the in-memory ring and the query results that fed
+//                        it are unaffected, callers warn
 
 #ifndef HTQO_UTIL_FAULT_INJECTOR_H_
 #define HTQO_UTIL_FAULT_INJECTOR_H_
@@ -74,6 +77,7 @@ inline constexpr const char kFaultSiteServerWrite[] = "server.write";
 inline constexpr const char kFaultSiteAdmissionEnqueue[] = "admission.enqueue";
 inline constexpr const char kFaultSiteStatsFeedback[] = "stats.feedback";
 inline constexpr const char kFaultSiteReplanCheckpoint[] = "replan.checkpoint";
+inline constexpr const char kFaultSiteFlightRecDump[] = "obs.flightrec.dump";
 
 struct FaultPlan {
   // Exact site to target; the empty string targets every site.

@@ -14,11 +14,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "api/hybrid_optimizer.h"
+#include "obs/flightrec.h"
 #include "stats/feedback.h"
 #include "util/fault_injector.h"
 #include "workload/query_gen.h"
@@ -212,6 +215,47 @@ TEST_F(ChaosSweepTest, FeedbackAndReplanSitesAreReachableAndFailSoft) {
           << "threads=" << threads;
     }
   }
+}
+
+TEST_F(ChaosSweepTest, FlightRecorderDumpSiteFailsSoftAndRingSurvives) {
+  // The main sweep passes obs.flightrec.dump vacuously (optimizer.Run never
+  // dumps); this focused cell arms the site around a populated ring. The
+  // dump must fail with a typed Internal naming the site, the ring must be
+  // untouched (exporter failure only), and with the site disarmed the same
+  // ring dumps cleanly — the degrade-to-warning contract of the crash-dump
+  // path.
+  FlightRecorder rec(8);
+  for (int i = 0; i < 5; ++i) {
+    FlightRecord r;
+    r.SetTenant("chaos");
+    r.total_us = 100 * (i + 1);
+    rec.Record(r);
+  }
+  const std::string path =
+      ::testing::TempDir() + "/htqo_chaos_flightrec_dump.jsonl";
+  std::remove(path.c_str());
+  {
+    FaultPlan plan;
+    plan.site = kFaultSiteFlightRecDump;
+    plan.probability = 1.0;
+    ScopedFaultInjection injection(plan);
+    ASSERT_TRUE(injection.status().ok());
+    Status dumped = rec.DumpToFile(path);
+    ASSERT_FALSE(dumped.ok());
+    EXPECT_EQ(dumped.code(), StatusCode::kInternal);
+    EXPECT_NE(dumped.message().find(kFaultSiteFlightRecDump),
+              std::string::npos)
+        << dumped.message();
+  }
+  EXPECT_EQ(rec.size(), 5u);
+  EXPECT_EQ(rec.total_recorded(), 5u);
+  ASSERT_TRUE(rec.DumpToFile(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 5u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -15,6 +15,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -681,6 +683,264 @@ TEST_F(ServerTest, StatsEpochRaceDetectsStalenessNeverWrongResults) {
   writer.join();
   EXPECT_EQ(wrong.load(), 0)
       << "a session saw a wrong or failed result during the stats race";
+  ASSERT_TRUE(server.Drain(5.0).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Observability plane (DESIGN.md §6i): DEBUG verb, /debug HTTP endpoints,
+// per-tenant labeled series + SLO gauges, and client↔server stitched traces.
+
+// One-shot HTTP GET against the metrics listener; returns the whole
+// response (status line + headers + body). The server closes after one
+// response, so read-to-EOF frames it.
+std::string HttpGet(uint16_t port, const std::string& path) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return "";
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (write(fd, req.data(), req.size()) != static_cast<ssize_t>(req.size())) {
+    close(fd);
+    return "";
+  }
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = read(fd, buf, sizeof(buf))) > 0) out.append(buf, n);
+  close(fd);
+  return out;
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST_F(ServerTest, DebugVerbServesIntrospectionJson) {
+  ServerOptions options = BaseOptions();
+  QueryServer server(&catalog_, &stats_, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client client(ClientFor(server, "debug-tenant"));
+  ASSERT_TRUE(client.Connect().ok());
+  auto reply = client.Query(ChainQuerySql(3), 20000);
+  ASSERT_TRUE(reply.ok()) << reply.status().message();
+  // The OK frame echoes the flight-recorder id of this very query.
+  ASSERT_GT(reply->record_id, 0u);
+
+  auto sessions = client.Debug("sessions");
+  ASSERT_TRUE(sessions.ok()) << sessions.status().message();
+  EXPECT_NE(sessions->find("\"tenant\":\"debug-tenant\""), std::string::npos);
+  EXPECT_NE(sessions->find("\"queries\":1"), std::string::npos);
+
+  auto queues = client.Debug("queues");
+  ASSERT_TRUE(queues.ok());
+  EXPECT_NE(queues->find("\"admitted\":"), std::string::npos);
+  EXPECT_NE(queues->find("\"slo\":"), std::string::npos);
+  EXPECT_NE(queues->find("\"tenant\":\"debug-tenant\""), std::string::npos);
+
+  auto cache = client.Debug("cache");
+  ASSERT_TRUE(cache.ok());
+  EXPECT_NE(cache->find("\"entries\":"), std::string::npos);
+  EXPECT_NE(cache->find("\"hits\":"), std::string::npos);
+
+  auto slow = client.Debug("slow");
+  ASSERT_TRUE(slow.ok());
+  EXPECT_NE(slow->find("\"records\":["), std::string::npos);
+  EXPECT_NE(slow->find("\"tenant\":\"debug-tenant\""), std::string::npos);
+
+  auto record = client.Debug("record", reply->record_id);
+  ASSERT_TRUE(record.ok());
+  EXPECT_NE(record->find("\"id\":" + std::to_string(reply->record_id)),
+            std::string::npos);
+  EXPECT_NE(record->find("\"tenant\":\"debug-tenant\""), std::string::npos);
+  EXPECT_NE(record->find("\"status\":\"ok\""), std::string::npos);
+
+  // A rotated-out (never recorded) id answers with an error object, not an
+  // empty payload or a dropped connection.
+  auto missing = client.Debug("record", reply->record_id + 100000);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_NE(missing->find("\"error\""), std::string::npos);
+
+  auto build = client.Debug("build");
+  ASSERT_TRUE(build.ok());
+  EXPECT_NE(build->find("\"version\":"), std::string::npos);
+  EXPECT_NE(build->find("\"uptime_seconds\":"), std::string::npos);
+
+  // Unknown target: typed InvalidArgument naming the valid ones.
+  auto bogus = client.Debug("bogus");
+  ASSERT_FALSE(bogus.ok());
+  EXPECT_NE(bogus.status().message().find("sessions|queues"),
+            std::string::npos);
+
+  client.Close();
+  ASSERT_TRUE(server.Drain(5.0).ok());
+}
+
+TEST_F(ServerTest, DebugHttpEndpointsServeJsonNextToMetrics) {
+  ServerOptions options = BaseOptions();
+  options.enable_metrics_http = true;
+  options.metrics_http_port = 0;  // kernel-assigned
+  QueryServer server(&catalog_, &stats_, options);
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t http_port = server.metrics_http_port();
+  ASSERT_NE(http_port, 0);
+
+  Client client(ClientFor(server, "http-tenant"));
+  ASSERT_TRUE(client.Connect().ok());
+  ASSERT_TRUE(client.Query(ChainQuerySql(3), 20000).ok());
+  ASSERT_TRUE(client.Query(ChainQuerySql(3), 20000).ok());
+  client.Close();
+
+  const std::string metrics = HttpGet(http_port, "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("htqo_tenant_queries_total{tenant=\"http-tenant\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("htqo_tenant_slo_burn_rate{tenant=\"http-tenant\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("htqo_build_info{"), std::string::npos);
+
+  const std::string sessions = HttpGet(http_port, "/debug/sessions");
+  EXPECT_NE(sessions.find("200 OK"), std::string::npos);
+  EXPECT_NE(sessions.find("application/json"), std::string::npos);
+  EXPECT_NE(sessions.find("\"sessions\":["), std::string::npos);
+
+  const std::string queues = HttpGet(http_port, "/debug/queues");
+  EXPECT_NE(queues.find("\"tenant\":\"http-tenant\""), std::string::npos);
+
+  // The slow log honors ?n= and contains the queries just served.
+  const std::string slow = HttpGet(http_port, "/debug/slow?n=1");
+  EXPECT_NE(slow.find("200 OK"), std::string::npos);
+  EXPECT_NE(slow.find("\"tenant\":\"http-tenant\""), std::string::npos);
+  // n=1: exactly one record object in the array.
+  std::size_t ids = 0;
+  for (std::size_t pos = slow.find("\"id\":"); pos != std::string::npos;
+       pos = slow.find("\"id\":", pos + 1)) {
+    ++ids;
+  }
+  EXPECT_EQ(ids, 1u);
+
+  // Record lookup by path segment.
+  const std::string rec = HttpGet(http_port, "/debug/record/1");
+  EXPECT_NE(rec.find("200 OK"), std::string::npos);
+  EXPECT_NE(rec.find("\"id\":1"), std::string::npos);
+
+  // Unknown paths 404 with a JSON hint; the listener survives to serve the
+  // next scrape.
+  const std::string bogus = HttpGet(http_port, "/debug/bogus");
+  EXPECT_NE(bogus.find("404"), std::string::npos);
+  EXPECT_NE(bogus.find("\"paths\""), std::string::npos);
+  const std::string still = HttpGet(http_port, "/metrics");
+  EXPECT_NE(still.find("200 OK"), std::string::npos);
+
+  ASSERT_TRUE(server.Drain(5.0).ok());
+}
+
+TEST_F(ServerTest, ClientInitiatedTraceStitchesAcrossProcessBoundary) {
+  const std::string trace_dir = ::testing::TempDir();
+  // A fake client-side export pid turns the in-process pair into a
+  // two-"process" stitched trace (the server always exports its real pid).
+  constexpr uint64_t kFakeClientPid = 4200042;
+
+  ServerOptions options = BaseOptions();
+  options.trace_dir = trace_dir;
+  QueryServer server(&catalog_, &stats_, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions copts = ClientFor(server, "traced");
+  copts.trace_dir = trace_dir;
+  copts.trace_export_pid = kFakeClientPid;
+  Client client(copts);
+  ASSERT_TRUE(client.Connect().ok());
+  auto reply = client.Query(ChainQuerySql(3), 20000);
+  ASSERT_TRUE(reply.ok()) << reply.status().message();
+  ASSERT_EQ(reply->trace_id.size(), 32u);
+  client.Close();
+  ASSERT_TRUE(server.Drain(5.0).ok());
+
+  const std::string client_path = trace_dir + "/trace_" + reply->trace_id +
+                                  "_" + std::to_string(kFakeClientPid) +
+                                  ".json";
+  const std::string server_path = trace_dir + "/trace_" + reply->trace_id +
+                                  "_" + std::to_string(::getpid()) + ".json";
+  const std::string client_json = ReadWholeFile(client_path);
+  const std::string server_json = ReadWholeFile(server_path);
+  ASSERT_FALSE(client_json.empty()) << "client half missing: " << client_path;
+  ASSERT_FALSE(server_json.empty()) << "server half missing: " << server_path;
+
+  // Both halves carry the same trace id metadata.
+  const std::string tid_meta = "\"trace_id\":\"" + reply->trace_id + "\"";
+  EXPECT_NE(client_json.find(tid_meta), std::string::npos);
+  EXPECT_NE(server_json.find(tid_meta), std::string::npos);
+  // The client half has the root + attempt spans under the fake pid.
+  EXPECT_NE(client_json.find("client.query"), std::string::npos);
+  EXPECT_NE(client_json.find("client.attempt"), std::string::npos);
+  EXPECT_NE(client_json.find("\"span_id\":\"4200042:"), std::string::npos);
+  // The server half re-parents its roots under the client's attempt span —
+  // the cross-process edge validate_trace.py --stitch resolves.
+  EXPECT_NE(server_json.find("\"parent_id\":\"4200042:"), std::string::npos);
+  // And the flight record points back at the same trace.
+  ASSERT_GT(reply->record_id, 0u);
+  std::remove(client_path.c_str());
+  std::remove(server_path.c_str());
+}
+
+TEST_F(ServerTest, PerTenantSeriesStayDisjointUnderConcurrentSessions) {
+  ServerOptions options = BaseOptions();
+  options.admission.max_total_concurrent = 4;
+  QueryServer server(&catalog_, &stats_, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string sql = ChainQuerySql(3);
+  constexpr int kClientsPerTenant = 2;
+  constexpr int kQueriesPerClient = 5;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 2 * kClientsPerTenant; ++i) {
+    workers.emplace_back([&, i] {
+      Client client(
+          ClientFor(server, "iso" + std::to_string(i % 2)));
+      if (!client.Connect().ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        if (!client.Query(sql, 20000).ok()) failures.fetch_add(1);
+      }
+      client.Close();
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // Each tenant's labeled counter accounts exactly its own queries, even
+  // with both tenants' sessions racing (the labeled-family TSan check).
+  Client observer(ClientFor(server, "observer"));
+  ASSERT_TRUE(observer.Connect().ok());
+  auto metrics = observer.Metrics();
+  ASSERT_TRUE(metrics.ok());
+  const uint64_t expect =
+      static_cast<uint64_t>(kClientsPerTenant * kQueriesPerClient);
+  for (const char* tenant : {"iso0", "iso1"}) {
+    const std::string line = "htqo_tenant_queries_total{tenant=\"" +
+                             std::string(tenant) + "\"} " +
+                             std::to_string(expect);
+    EXPECT_NE(metrics->find(line), std::string::npos)
+        << "missing or miscounted series: " << line << "\n"
+        << *metrics;
+    EXPECT_NE(metrics->find("htqo_tenant_slo_burn_rate{tenant=\"" +
+                            std::string(tenant) + "\"}"),
+              std::string::npos);
+  }
+  observer.Close();
   ASSERT_TRUE(server.Drain(5.0).ok());
 }
 

@@ -312,13 +312,13 @@ TEST(FaultSiteRegistryTest, UnknownSiteIsInvalidArgumentAndStaysDisarmed) {
 
 TEST(FaultSiteRegistryTest, KnownSitesIncludeSpillSites) {
   std::vector<std::string> sites = FaultInjector::KnownSites();
-  EXPECT_EQ(sites.size(), 15u);
+  EXPECT_EQ(sites.size(), 16u);
   for (const char* site :
        {kFaultSiteSpillOpen, kFaultSiteSpillWrite, kFaultSiteSpillRead,
         kFaultSiteTraceWrite, kFaultSiteMetricsExport, kFaultSiteCacheInsert,
         kFaultSiteServerAccept, kFaultSiteServerRead, kFaultSiteServerWrite,
         kFaultSiteAdmissionEnqueue, kFaultSiteStatsFeedback,
-        kFaultSiteReplanCheckpoint}) {
+        kFaultSiteReplanCheckpoint, kFaultSiteFlightRecDump}) {
     bool found = false;
     for (const std::string& s : sites) found |= s == site;
     EXPECT_TRUE(found) << site;

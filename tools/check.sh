@@ -59,16 +59,22 @@ require_sanitize() {
   fi
 }
 
-# Query-server smoke against the binaries in $1: start the daemon, sweep it
-# with concurrent clients (including the mid-query disconnector), assert the
-# admission/drain metrics, then SIGTERM and require a clean exit-0 drain.
+# Query-server smoke against the binaries in $1: start the daemon (with the
+# observability plane armed: tracing, per-tenant SLOs, flight recorder),
+# sweep it with concurrent clients (including the mid-query disconnector),
+# assert the admission/drain metrics plus the per-tenant series, scrape the
+# /debug endpoints, validate a stitched client+server trace, then SIGTERM
+# and require a clean exit-0 drain.
 # $2 (optional) names a BENCH_server.json to emit from the sweep.
 server_smoke() {
   local dir="$1" bench_json="${2:-}"
-  local log
+  local log trace_dir
   log="$(mktemp)"
+  trace_dir="$(mktemp -d)"
   "$dir/examples/htqo_server" --load tpch 0.002 --metrics-port 0 \
-    --max-concurrent 2 --queue-depth 4 --drain-deadline 5 >"$log" 2>&1 &
+    --max-concurrent 2 --queue-depth 4 --drain-deadline 5 \
+    --trace-dir "$trace_dir" --slo-p99 250 --slo-budget 0.05 \
+    --flight-capacity 256 >"$log" 2>&1 &
   local server_pid=$!
   local port=""
   for _ in $(seq 1 300); do
@@ -88,7 +94,8 @@ server_smoke() {
     return 1
   fi
 
-  local sweep_args=(--port "$port" --loadtest --clients 4,16,64 --queries 5)
+  local sweep_args=(--port "$port" --loadtest --clients 4,16,64 --queries 5
+                    --trace-dir "$trace_dir")
   [[ -n "$bench_json" ]] && sweep_args+=(--json "$bench_json")
   "$dir/examples/htqo_client" "${sweep_args[@]}"
 
@@ -112,6 +119,38 @@ server_smoke() {
     return 1
   fi
 
+  # Observability plane (DESIGN.md §6i): per-tenant labeled series with SLO
+  # burn-rate gauges, a populated slow log behind the DEBUG verb, and a
+  # client-initiated trace whose per-process halves stitch.
+  grep -q 'htqo_tenant_queries_total{tenant="t0"}' <<<"$metrics"
+  grep -q 'htqo_tenant_queries_total{tenant="t1"}' <<<"$metrics"
+  grep -q 'htqo_tenant_slo_burn_rate{tenant="t0"}' <<<"$metrics"
+  grep -q '^htqo_flight_records_total ' <<<"$metrics"
+  local slow_json
+  slow_json="$("$dir/examples/htqo_client" --port "$port" --debug slow --n 5)"
+  python3 -c 'import json,sys
+d = json.loads(sys.stdin.read())
+assert d["records"], "slow log empty after the sweep"' <<<"$slow_json"
+  local stitch
+  stitch="$(python3 - "$trace_dir" <<'EOF'
+import collections, glob, os, sys
+groups = collections.defaultdict(set)
+for f in glob.glob(os.path.join(sys.argv[1], "trace_*_*.json")):
+    groups[os.path.basename(f).split("_")[1]].add(f)
+for hexid, files in sorted(groups.items()):
+    if len(files) >= 2:
+        print(" ".join(sorted(files)))
+        break
+EOF
+)"
+  if [[ -z "$stitch" ]]; then
+    echo "error: no stitched client+server trace pair in $trace_dir" >&2
+    return 1
+  fi
+  # shellcheck disable=SC2086
+  "$(dirname "$0")/validate_trace.py" $stitch --stitch \
+    --require client.query,client.attempt,query,execute
+
   # Graceful drain: SIGTERM must exit 0 within the drain deadline (+ grace).
   kill -TERM "$server_pid"
   local waited=0 rc=""
@@ -132,6 +171,7 @@ server_smoke() {
   fi
   grep -q '^drained:' "$log"
   rm -f "$log"
+  rm -rf "$trace_dir"
 }
 
 want_asan=false

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validates a Chrome trace_event JSON file produced by the htqo tracer.
+"""Validates Chrome trace_event JSON files produced by the htqo tracer.
 
 Checks, per file:
   - the file parses as JSON with a top-level "traceEvents" array;
@@ -9,10 +9,23 @@ Checks, per file:
     (the tracer's happens-before contract, so no tolerance is needed);
   - the required query-lifecycle spans are present (--require).
 
-Exit code 0 = valid, 1 = any file failed. Usage:
+With --stitch, the files are treated as the per-process halves of ONE
+cross-process trace (DESIGN.md §6i) and validated as a unit:
+  - every file must carry the same non-zero trace_id metadata;
+  - the union must span at least two distinct pids (one file per process);
+  - span ids must be unique across the union (the tracer's "<pid>:<id>"
+    wire form guarantees this);
+  - every parent_id must resolve somewhere in the union — a server span
+    whose remote parent is missing from the client file is an orphan and
+    fails;
+  - temporal enclosure is only enforced between spans of the same pid:
+    per-process tracers have independent epochs, so cross-process
+    timestamps are not comparable.
+
+Exit code 0 = valid, 1 = any failure. Usage:
 
   tools/validate_trace.py trace.json [more.json ...] \
-      [--require query,parse,execute]
+      [--require query,parse,execute] [--stitch]
 """
 
 import argparse
@@ -20,22 +33,30 @@ import json
 import sys
 
 
-def validate(path, required):
+def parse_file(path):
+    """Parses one trace file.
+
+    Returns (spans, trace_id, errors): spans maps span_id -> event,
+    trace_id is the trace_id metadata value (None when absent).
+    """
     errors = []
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        return [f"unreadable or invalid JSON: {e}"]
+        return {}, None, [f"unreadable or invalid JSON: {e}"]
 
     events = doc.get("traceEvents")
     if not isinstance(events, list):
-        return ["missing traceEvents array"]
+        return {}, None, ["missing traceEvents array"]
 
     spans = {}
+    trace_id = None
     for i, ev in enumerate(events):
         ph = ev.get("ph")
-        if ph == "M":  # thread-name metadata
+        if ph == "M":  # metadata: thread names, trace_id, dropped_spans
+            if ev.get("name") == "trace_id":
+                trace_id = ev.get("args", {}).get("trace_id")
             continue
         if ph != "X":
             errors.append(f"event {i}: unexpected phase {ph!r}")
@@ -52,7 +73,15 @@ def validate(path, required):
         if ev.get("dur", -1) < 0:
             errors.append(f"span {span_id} ({ev.get('name')}): negative dur")
         spans[span_id] = ev
+    return spans, trace_id, errors
 
+
+def check_parents(spans, errors, same_pid_only=False):
+    """Parent resolution + temporal enclosure over one span universe.
+
+    With same_pid_only, enclosure is skipped for cross-pid edges (stitched
+    mode: per-process epochs are not comparable); resolution still applies.
+    """
     for span_id, ev in spans.items():
         parent_id = ev.get("args", {}).get("parent_id")
         if parent_id in (None, 0, "0"):
@@ -62,6 +91,8 @@ def validate(path, required):
             errors.append(
                 f"span {span_id} ({ev['name']}): dead parent {parent_id}")
             continue
+        if same_pid_only and ev.get("pid") != parent.get("pid"):
+            continue
         if ev["ts"] < parent["ts"]:
             errors.append(
                 f"span {span_id} ({ev['name']}) starts before parent")
@@ -70,11 +101,66 @@ def validate(path, required):
                 f"span {span_id} ({ev['name']}) outlives parent "
                 f"{parent_id} ({parent['name']})")
 
+
+def check_required(spans, required, errors):
     names = {ev["name"] for ev in spans.values()}
     for name in required:
         if name not in names:
             errors.append(f"required span missing: {name}")
+
+
+def validate(path, required):
+    spans, _, errors = parse_file(path)
+    if spans or not errors:
+        check_parents(spans, errors)
+        check_required(spans, required, errors)
     return errors
+
+
+def validate_stitched(paths, required):
+    """Validates the files as the per-process halves of one trace."""
+    errors = []
+    union = {}
+    trace_ids = {}
+    for path in paths:
+        spans, trace_id, file_errors = parse_file(path)
+        errors.extend(f"{path}: {e}" for e in file_errors)
+        trace_ids[path] = trace_id
+        for span_id, ev in spans.items():
+            if span_id in union:
+                errors.append(
+                    f"{path}: span_id {span_id} collides across files")
+            union[span_id] = ev
+
+    for path, trace_id in trace_ids.items():
+        if not trace_id or set(trace_id) == {"0"}:
+            errors.append(f"{path}: missing or zero trace_id metadata")
+    distinct = {t for t in trace_ids.values() if t}
+    if len(distinct) > 1:
+        errors.append(
+            f"files carry {len(distinct)} different trace ids: "
+            f"{sorted(distinct)}")
+
+    pids = {ev.get("pid") for ev in union.values()}
+    if len(pids) < 2:
+        errors.append(
+            f"stitched trace must span >= 2 processes, saw pids {sorted(pids)}")
+
+    check_parents(union, errors, same_pid_only=True)
+    check_required(union, required, errors)
+    return errors
+
+
+def report(label, errors):
+    if errors:
+        print(f"{label}: INVALID")
+        for e in errors[:20]:
+            print(f"  {e}")
+        if len(errors) > 20:
+            print(f"  ... and {len(errors) - 20} more")
+        return True
+    print(f"{label}: ok")
+    return False
 
 
 def main():
@@ -83,21 +169,22 @@ def main():
     parser.add_argument(
         "--require", default="",
         help="comma-separated span names that must be present")
+    parser.add_argument(
+        "--stitch", action="store_true",
+        help="validate all files together as one cross-process trace")
     args = parser.parse_args()
     required = [n for n in args.require.split(",") if n]
 
+    if args.stitch:
+        if len(args.traces) < 2:
+            print("--stitch needs at least two per-process trace files")
+            return 1
+        errors = validate_stitched(args.traces, required)
+        return 1 if report(" + ".join(args.traces), errors) else 0
+
     failed = False
     for path in args.traces:
-        errors = validate(path, required)
-        if errors:
-            failed = True
-            print(f"{path}: INVALID")
-            for e in errors[:20]:
-                print(f"  {e}")
-            if len(errors) > 20:
-                print(f"  ... and {len(errors) - 20} more")
-        else:
-            print(f"{path}: ok")
+        failed |= report(path, validate(path, required))
     return 1 if failed else 0
 
 
