@@ -1,0 +1,152 @@
+// Sharded-evaluation scale-out bench (DESIGN.md §6j): the Yannakakis
+// reduction run as a distributed semijoin program over S hash-partitioned
+// shard pieces with Bloom-filter exchange, against the unsharded engine.
+//
+// Rows (one per workload <q>):
+//   Unsharded/<q> — RunOptions::num_shards = 0, the stock single-node path
+//   ShardS<S>/<q> — the sharded path at S in {1, 2, 4, 8}, num_threads = 1,
+//                   so the only parallelism is the S shard lanes
+//
+// CI's sharded job gates this output three ways (tools/compare_bench.py):
+//   --pair ShardS1:ShardS4 --min-speedup 1.5     # scale-out floor
+//   --pair Unsharded:ShardS1 --min-speedup 0.98  # S=1 overhead <= ~2%
+//   --scaling ShardS                             # parallel efficiency
+// plus an inline check that shard_row_ship_bytes >= 10x the exchanged
+// (shard_filter_bytes + shard_key_bytes) on every sharded row — the
+// Bloom exchange must beat broadcasting rows by an order of magnitude.
+//
+// The workloads are the regime the sharded reduction targets: selective
+// multi-way joins over relations large enough that the partition/build/
+// probe sweep dominates wall clock and the exchange prunes most rows
+// before the collect joins run. Attribute selectivity above 100% draws
+// values from a domain wider than the relation, so each link keeps only a
+// fraction of its rows.
+
+#include "bench_common.h"
+
+#include <string>
+#include <vector>
+
+#include "stats/statistics.h"
+#include "workload/synthetic.h"
+
+namespace htqo {
+namespace bench {
+namespace {
+
+constexpr std::size_t kShardSweep[] = {1, 2, 4, 8};
+
+struct Workload {
+  std::string name;
+  std::string sql;
+};
+
+struct Env {
+  Catalog catalog;
+  StatisticsRegistry registry;
+  std::vector<Workload> workloads;
+};
+
+Env& SharedEnv() {
+  static Env* env = [] {
+    auto* e = new Env();
+    // chain: 5-relation selective chain, 120k rows x 4 columns each.
+    for (std::size_t i = 0; i < 5; ++i) {
+      e->catalog.Put("ch" + std::to_string(i),
+                     MakeSyntheticRelation(120'000, {"c0", "c1", "c2", "c3"},
+                                           300, 1000 + i));
+    }
+    e->workloads.push_back(
+        {"chain",
+         "SELECT DISTINCT ch0.c0 AS o0, ch4.c3 AS o1 "
+         "FROM ch0, ch1, ch2, ch3, ch4 "
+         "WHERE ch0.c1 = ch1.c0 AND ch1.c1 = ch2.c0 AND ch2.c1 = ch3.c0 "
+         "AND ch3.c1 = ch4.c0"});
+    // star: a 200k-row hub joining four 130k-row satellites on distinct
+    // hub columns — every link partitions the hub on a different key. The
+    // satellite cardinality sits just under a power-of-two Bloom boundary
+    // (131072 keys), so their filters carry ~8 effective bits per key
+    // instead of the up-to-2x pow2-rounding overshoot.
+    e->catalog.Put("hub",
+                   MakeSyntheticRelation(
+                       200'000, {"c0", "c1", "c2", "c3", "c4"}, 300, 2000));
+    for (std::size_t i = 0; i < 4; ++i) {
+      e->catalog.Put("sat" + std::to_string(i),
+                     MakeSyntheticRelation(130'000, {"c0", "c1"}, 300,
+                                           2100 + i));
+    }
+    e->workloads.push_back(
+        {"star",
+         "SELECT DISTINCT hub.c0 AS o0, sat0.c1 AS o1, sat1.c1 AS o2, "
+         "sat2.c1 AS o3, sat3.c1 AS o4 "
+         "FROM hub, sat0, sat1, sat2, sat3 "
+         "WHERE hub.c1 = sat0.c0 AND hub.c2 = sat1.c0 "
+         "AND hub.c3 = sat2.c0 AND hub.c4 = sat3.c0"});
+    // wide: fewer, wider rows (8 columns) — the row-broadcast baseline the
+    // exchange ratio is judged against grows with arity, the Bloom bytes
+    // do not.
+    for (std::size_t i = 0; i < 4; ++i) {
+      e->catalog.Put(
+          "w" + std::to_string(i),
+          MakeSyntheticRelation(
+              90'000, {"c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7"}, 400,
+              2200 + i));
+    }
+    e->workloads.push_back(
+        {"wide",
+         "SELECT DISTINCT w0.c0 AS o0, w3.c7 AS o1 FROM w0, w1, w2, w3 "
+         "WHERE w0.c1 = w1.c0 AND w1.c1 = w2.c0 AND w2.c1 = w3.c0"});
+    e->registry.AnalyzeAll(e->catalog);
+    return e;
+  }();
+  return *env;
+}
+
+void RunSharded(benchmark::State& state, const Workload& workload,
+                std::size_t num_shards) {
+  Env& env = SharedEnv();
+  HybridOptimizer optimizer(&env.catalog, &env.registry);
+  RunOutcome outcome;
+  for (auto _ : state) {
+    outcome = RunOnce(optimizer, workload.sql, OptimizerMode::kYannakakis,
+                      /*seed=*/1, /*max_width=*/4, /*deadline_seconds=*/0,
+                      std::numeric_limits<std::size_t>::max(),
+                      /*num_threads=*/1,
+                      std::numeric_limits<std::size_t>::max(),
+                      /*enable_spill=*/false, num_shards);
+  }
+  SetCounters(state, outcome);
+}
+
+void RegisterAll() {
+  for (const Workload& w : SharedEnv().workloads) {
+    benchmark::RegisterBenchmark(("Unsharded/" + w.name).c_str(),
+                                 [&w](benchmark::State& state) {
+                                   RunSharded(state, w, 0);
+                                 })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+    for (std::size_t shards : kShardSweep) {
+      benchmark::RegisterBenchmark(
+          ("ShardS" + std::to_string(shards) + "/" + w.name).c_str(),
+          [&w, shards](benchmark::State& state) {
+            RunSharded(state, w, shards);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace htqo
+
+int main(int argc, char** argv) {
+  htqo::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -28,6 +28,7 @@
 namespace htqo {
 
 class ReplanController;
+struct ShardRuntime;
 
 // Budget/accounting shared by one query execution. Counters saturate at
 // SIZE_MAX instead of wrapping, so near-max budgets cannot be lapped.
@@ -77,6 +78,13 @@ struct ExecContext {
   // Borrowed like `governor`; nullptr (the default) keeps every operator on
   // the exact non-adaptive code path.
   ReplanController* replan = nullptr;
+  // Sharded evaluation (exec/shard.h): with a runtime attached, the
+  // Yannakakis/q-HD reduction passes run as a hash-partitioned semijoin
+  // program with Bloom-filter exchange between shard pieces. Borrowed like
+  // `governor`; nullptr (the default) keeps the single-shard code paths.
+  // Replan-armed runs ignore it (replanning already owns the wave
+  // barriers); sharding silently stays off there.
+  ShardRuntime* shard = nullptr;
 
   std::atomic<std::size_t> rows_charged{0};
   std::atomic<std::size_t> work_charged{0};
@@ -112,6 +120,7 @@ struct ExecContext {
     trace_parent = other.trace_parent;
     vectorized = other.vectorized;
     replan = other.replan;
+    shard = other.shard;
     rows_charged.store(other.rows_charged.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
     work_charged.store(other.work_charged.load(std::memory_order_relaxed),

@@ -1,0 +1,583 @@
+// Sharded semijoin reduction: partition, Bloom/exact exchange, probe,
+// tag-stable gather. See shard.h for the determinism contract.
+
+#include "exec/shard.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <span>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/trace.h"
+#include "opt/tree_waves.h"
+#include "util/fault_injector.h"
+#include "util/thread_pool.h"
+
+namespace htqo {
+
+namespace {
+
+// Shard fan-out lanes: the shard plan multiplies the per-query thread
+// budget, which is why RunResolved grows the shared pool by
+// num_threads x num_shards before attaching the runtime.
+std::size_t ShardLanes(const ExecContext* ctx) {
+  const std::size_t s =
+      ctx->shard != nullptr ? ctx->shard->options.num_shards : 1;
+  return std::max<std::size_t>(1, s) *
+         std::max<std::size_t>(1, ctx->num_threads);
+}
+
+}  // namespace
+
+// Parallel map with per-item status slots; first failing index wins, and a
+// governor trip mid-sweep surfaces as the trip status even when later
+// chunks were never claimed (same error selection as RunWaves).
+Status ShardParallelMap(ExecContext* ctx, std::size_t n,
+                        const std::function<Status(std::size_t)>& body) {
+  const std::size_t lanes = ShardLanes(ctx);
+  if (ctx->pool != nullptr && lanes > 1 && n > 1) {
+    std::vector<Status> status(n, Status::Ok());
+    ctx->pool->ParallelFor(0, n, /*grain=*/1, lanes, ctx->governor,
+                           [&](std::size_t lo, std::size_t hi) {
+                             for (std::size_t i = lo; i < hi; ++i) {
+                               status[i] = body(i);
+                             }
+                           });
+    if (ctx->governor != nullptr && ctx->governor->exhausted()) {
+      return ctx->governor->trip_status();
+    }
+    for (const Status& s : status) {
+      if (!s.ok()) return s;
+    }
+    return Status::Ok();
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    Status s = body(i);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+void AtomicMinSize(std::atomic<std::size_t>* target, std::size_t value) {
+  std::size_t cur = target->load(std::memory_order_relaxed);
+  while (value < cur && !target->compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+// Column indices of the names `a` and `b` share, aligned pairwise in `a`'s
+// schema order — both sides must project key tuples in the same value
+// order for their hashes to agree.
+void SharedKeyColumns(const Schema& a, const Schema& b,
+                      std::vector<std::size_t>* a_cols,
+                      std::vector<std::size_t>* b_cols) {
+  a_cols->clear();
+  b_cols->clear();
+  for (std::size_t i = 0; i < a.arity(); ++i) {
+    if (auto j = b.IndexOf(a.column(i).name)) {
+      a_cols->push_back(i);
+      b_cols->push_back(*j);
+    }
+  }
+}
+
+// One reduction link: `source`'s pieces summarize their keys, the merged
+// message filters `target`'s pieces. src_cols / dst_cols are aligned.
+struct LinkPlan {
+  std::size_t source = 0;
+  std::size_t target = 0;
+  std::vector<std::size_t> src_cols;
+  std::vector<std::size_t> dst_cols;
+  std::size_t expected_keys = 1;
+  std::vector<ExchangeMessage> piece_msgs;
+  ExchangeMessage merged;
+  // hash -> rows of merged.exact_keys, for exact probes.
+  std::unordered_map<std::size_t, std::vector<std::size_t>> exact_index;
+};
+
+// Summarizes one source piece: Bloom filter over every key hash (geometry
+// fixed by the link's S-invariant total row count) plus the piece's
+// distinct key tuples until they pass the exact-key threshold. A piece
+// that overflows alone implies the union overflows, so the merged
+// use-exact decision stays independent of how rows were partitioned.
+ExchangeMessage BuildPieceMessage(const Relation& piece,
+                                  const std::vector<std::size_t>& cols,
+                                  std::size_t expected_keys,
+                                  std::size_t exact_threshold) {
+  ExchangeMessage msg;
+  msg.nonempty = piece.NumRows() > 0;
+  if (cols.empty()) {
+    msg.empty_key = true;
+    return msg;
+  }
+  msg.filter = BlockedBloomFilter(expected_keys);
+  msg.exact_keys = Relation(piece.schema().Project(cols));
+  std::vector<std::size_t> id_cols(cols.size());
+  std::iota(id_cols.begin(), id_cols.end(), 0);
+  std::unordered_map<std::size_t, std::vector<std::size_t>> index;
+  std::vector<Value> key(cols.size());
+  for (std::size_t i = 0; i < piece.NumRows(); ++i) {
+    std::span<const Value> row = piece.Row(i);
+    const std::size_t h = HashRowKey(row, cols);
+    msg.filter.Add(h);
+    if (msg.exact_overflow) continue;
+    std::vector<std::size_t>& bucket = index[h];
+    bool seen = false;
+    for (std::size_t k : bucket) {
+      if (RowKeysEqual(msg.exact_keys.Row(k), id_cols, row, cols)) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    if (msg.exact_keys.NumRows() >= exact_threshold) {
+      msg.exact_overflow = true;
+      msg.exact_keys = Relation(msg.exact_keys.schema());
+      index.clear();
+      continue;
+    }
+    for (std::size_t c = 0; c < cols.size(); ++c) key[c] = row[cols[c]];
+    msg.exact_keys.AddRow(key);
+    bucket.push_back(msg.exact_keys.NumRows() - 1);
+  }
+  return msg;
+}
+
+// Coordinator step: OR-merges the piece filters (identical geometry), forms
+// the distinct-key union, decides filter-vs-exact shipment, and books the
+// exchange volume against the row-shipping baseline. The shard.exchange
+// fault site fires here with bounded retries.
+Status MergeLinkExchange(LinkPlan* link, std::size_t source_rows,
+                         std::size_t source_arity,
+                         std::size_t target_pieces, ExecContext* ctx) {
+  ShardRuntime* rt = ctx->shard;
+  FaultInjector& injector = FaultInjector::Instance();
+  const std::size_t retry_limit = rt->options.retry_limit;
+  for (std::size_t attempt = 0; attempt <= retry_limit; ++attempt) {
+    if (injector.ShouldFail(kFaultSiteShardExchange)) {
+      rt->retries.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    ExchangeMessage merged;
+    merged.empty_key = link->src_cols.empty();
+    link->exact_index.clear();
+    std::size_t gathered_filter = 0;
+    std::size_t gathered_keys = 0;
+    if (merged.empty_key) {
+      for (const ExchangeMessage& m : link->piece_msgs) {
+        merged.nonempty |= m.nonempty;
+      }
+    } else {
+      merged.filter = BlockedBloomFilter(link->expected_keys);
+      merged.exact_keys = Relation(link->piece_msgs[0].exact_keys.schema());
+      std::vector<std::size_t> id_cols(link->src_cols.size());
+      std::iota(id_cols.begin(), id_cols.end(), 0);
+      bool overflow = false;
+      for (const ExchangeMessage& m : link->piece_msgs) {
+        overflow |= m.exact_overflow;
+      }
+      for (const ExchangeMessage& m : link->piece_msgs) {
+        merged.nonempty |= m.nonempty;
+        merged.filter.MergeFrom(m.filter);
+        gathered_filter += m.filter.SizeBytes();
+        if (overflow) continue;
+        gathered_keys +=
+            m.exact_keys.NumRows() * m.exact_keys.arity() * sizeof(Value);
+        for (std::size_t i = 0; i < m.exact_keys.NumRows(); ++i) {
+          std::span<const Value> row = m.exact_keys.Row(i);
+          const std::size_t h = HashRowKey(row, id_cols);
+          std::vector<std::size_t>& bucket = link->exact_index[h];
+          bool seen = false;
+          for (std::size_t k : bucket) {
+            if (RowKeysEqual(merged.exact_keys.Row(k), id_cols, row,
+                             id_cols)) {
+              seen = true;
+              break;
+            }
+          }
+          if (seen) continue;
+          if (merged.exact_keys.NumRows() >= rt->options.exact_key_threshold) {
+            overflow = true;
+            break;
+          }
+          merged.exact_keys.AddRow(row);
+          bucket.push_back(merged.exact_keys.NumRows() - 1);
+        }
+      }
+      const std::size_t union_bytes = merged.exact_keys.NumRows() *
+                                      merged.exact_keys.arity() *
+                                      sizeof(Value);
+      merged.use_exact = !overflow && union_bytes <= merged.filter.SizeBytes();
+      rt->filter_bytes.fetch_add(gathered_filter, std::memory_order_relaxed);
+      if (merged.use_exact) {
+        rt->exact_exchanges.fetch_add(1, std::memory_order_relaxed);
+        rt->key_bytes.fetch_add(gathered_keys + union_bytes * target_pieces,
+                                std::memory_order_relaxed);
+      } else {
+        rt->filter_bytes.fetch_add(merged.filter.SizeBytes() * target_pieces,
+                                   std::memory_order_relaxed);
+        merged.exact_keys = Relation(merged.exact_keys.schema());
+        link->exact_index.clear();
+      }
+    }
+    rt->exchanges.fetch_add(1, std::memory_order_relaxed);
+    rt->row_ship_bytes.fetch_add(
+        source_rows * std::max<std::size_t>(1, source_arity) * sizeof(Value) *
+            target_pieces,
+        std::memory_order_relaxed);
+    link->merged = std::move(merged);
+    link->piece_msgs.clear();
+    return Status::Ok();
+  }
+  return Status::ResourceExhausted(
+      "shard: exchange merge failed after " +
+      std::to_string(retry_limit + 1) + " attempts (site shard.exchange)");
+}
+
+// Filters one target piece against a link's merged message, preserving row
+// order (and the ascending tag order the gather relies on). Work is
+// charged per row probed, rows per survivor — both partition-sums over
+// S-invariant survivor sets, so charge totals match at any shard count.
+Status ProbePiece(const LinkPlan& link, Relation* piece,
+                  std::vector<uint64_t>* tags, ExecContext* ctx) {
+  const std::size_t n = piece->NumRows();
+  Status work = ctx->ChargeWork(n);
+  if (!work.ok()) return work;
+  ShardRuntime* rt = ctx->shard;
+  const ExchangeMessage& msg = link.merged;
+  if (msg.empty_key) {
+    if (msg.nonempty) return ctx->ChargeRows(n);
+    rt->rows_pruned.fetch_add(n, std::memory_order_relaxed);
+    *piece = Relation(piece->schema());
+    tags->clear();
+    return Status::Ok();
+  }
+  std::vector<std::size_t> id_cols(link.dst_cols.size());
+  std::iota(id_cols.begin(), id_cols.end(), 0);
+  Relation out(piece->schema());
+  std::vector<uint64_t> out_tags;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::span<const Value> row = piece->Row(i);
+    const std::size_t h = HashRowKey(row, link.dst_cols);
+    bool keep;
+    if (msg.use_exact) {
+      keep = false;
+      auto it = link.exact_index.find(h);
+      if (it != link.exact_index.end()) {
+        for (std::size_t k : it->second) {
+          if (RowKeysEqual(msg.exact_keys.Row(k), id_cols, row,
+                           link.dst_cols)) {
+            keep = true;
+            break;
+          }
+        }
+      }
+    } else {
+      keep = msg.filter.MayContain(h);
+    }
+    if (keep) {
+      out.AddRow(row);
+      out_tags.push_back((*tags)[i]);
+    }
+  }
+  rt->rows_pruned.fetch_add(n - out.NumRows(), std::memory_order_relaxed);
+  Status rows = ctx->ChargeRows(out.NumRows());
+  *piece = std::move(out);
+  *tags = std::move(out_tags);
+  return rows;
+}
+
+// One barrier wave of the reduction: build per-piece summaries in
+// parallel, merge per link on the coordinator, probe target pieces in
+// parallel (a target with several incoming links is probed in link order
+// inside one task, keeping per-piece work deterministic).
+Status RunReductionWave(std::vector<LinkPlan>* links,
+                        std::vector<ShardedRelation>* sharded,
+                        ExecContext* ctx, const char* phase,
+                        std::size_t wave_index) {
+  ScopedSpan wave_span(ctx->tracer, "shard.wave", ctx->SpanParent());
+  wave_span.Attr("phase", phase);
+  wave_span.Attr("index", wave_index);
+  wave_span.Attr("links", links->size());
+  std::vector<std::pair<std::size_t, std::size_t>> build_items;
+  for (std::size_t li = 0; li < links->size(); ++li) {
+    LinkPlan& link = (*links)[li];
+    const ShardedRelation& src = (*sharded)[link.source];
+    link.expected_keys = std::max<std::size_t>(1, src.TotalRows());
+    link.piece_msgs.resize(src.pieces.size());
+    for (std::size_t s = 0; s < src.pieces.size(); ++s) {
+      build_items.emplace_back(li, s);
+    }
+  }
+  Status built = ShardParallelMap(ctx, build_items.size(), [&](std::size_t k) {
+    const auto [li, s] = build_items[k];
+    LinkPlan& link = (*links)[li];
+    const Relation& piece = (*sharded)[link.source].pieces[s];
+    Status work = ctx->ChargeWork(piece.NumRows());
+    if (!work.ok()) return work;
+    link.piece_msgs[s] =
+        BuildPieceMessage(piece, link.src_cols, link.expected_keys,
+                          ctx->shard->options.exact_key_threshold);
+    return Status::Ok();
+  });
+  if (!built.ok()) return built;
+  for (LinkPlan& link : *links) {
+    ScopedSpan ex_span(ctx->tracer, "shard.exchange", ctx->SpanParent());
+    ex_span.Attr("source", link.source);
+    ex_span.Attr("target", link.target);
+    const ShardedRelation& src = (*sharded)[link.source];
+    Status merged = MergeLinkExchange(
+        &link, src.TotalRows(),
+        src.pieces.empty() ? 0 : src.pieces[0].arity(),
+        (*sharded)[link.target].pieces.size(), ctx);
+    if (!merged.ok()) return merged;
+    ex_span.Attr("exact", link.merged.use_exact ? 1 : 0);
+  }
+  // Group incoming links per target, preserving link (= child index) order.
+  std::vector<std::size_t> targets;
+  std::unordered_map<std::size_t, std::vector<std::size_t>> links_of;
+  for (std::size_t li = 0; li < links->size(); ++li) {
+    std::vector<std::size_t>& bucket = links_of[(*links)[li].target];
+    if (bucket.empty()) targets.push_back((*links)[li].target);
+    bucket.push_back(li);
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> probe_items;
+  for (std::size_t t : targets) {
+    for (std::size_t s = 0; s < (*sharded)[t].pieces.size(); ++s) {
+      probe_items.emplace_back(t, s);
+    }
+  }
+  return ShardParallelMap(ctx, probe_items.size(), [&](std::size_t k) {
+    const auto [t, s] = probe_items[k];
+    for (std::size_t li : links_of[t]) {
+      Status probed = ProbePiece((*links)[li], &(*sharded)[t].pieces[s],
+                                 &(*sharded)[t].tags[s], ctx);
+      if (!probed.ok()) return probed;
+    }
+    return Status::Ok();
+  });
+}
+
+// S-way merge of a node's surviving pieces by ascending original-row tag,
+// restoring exactly the row order the unpartitioned reduction would have
+// produced. No charges: the gather is bookkeeping, not operator work, and
+// skipping it for single-piece nodes must not skew meters across S.
+Status GatherSharded(ShardedRelation&& sr, Relation* out) {
+  if (sr.pieces.size() == 1) {
+    *out = std::move(sr.pieces[0]);
+    return Status::Ok();
+  }
+  Relation merged(sr.pieces[0].schema());
+  std::size_t total = sr.TotalRows();
+  merged.Reserve(total);
+  std::vector<std::size_t> pos(sr.pieces.size(), 0);
+  for (; total > 0; --total) {
+    std::size_t best = sr.pieces.size();
+    uint64_t best_tag = 0;
+    for (std::size_t s = 0; s < sr.pieces.size(); ++s) {
+      if (pos[s] >= sr.pieces[s].NumRows()) continue;
+      const uint64_t tag = sr.tags[s][pos[s]];
+      if (best == sr.pieces.size() || tag < best_tag) {
+        best = s;
+        best_tag = tag;
+      }
+    }
+    merged.AddRow(sr.pieces[best].Row(pos[best]));
+    ++pos[best];
+  }
+  *out = std::move(merged);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status PartitionRelation(Relation&& rel,
+                         const std::vector<std::size_t>& key_cols,
+                         ExecContext* ctx, ShardedRelation* out) {
+  ShardRuntime* rt = ctx->shard;
+  HTQO_CHECK(rt != nullptr && rt->options.num_shards >= 1);
+  const std::size_t num_shards = rt->options.num_shards;
+  const std::size_t n = rel.NumRows();
+  ScopedSpan span(ctx->tracer, "shard.partition", ctx->SpanParent());
+  span.Attr("rows", n);
+  Status work = ctx->ChargeWork(n);
+  if (!work.ok()) return work;
+  FaultInjector& injector = FaultInjector::Instance();
+  const std::size_t retry_limit = rt->options.retry_limit;
+  for (std::size_t attempt = 0; attempt <= retry_limit; ++attempt) {
+    if (injector.ShouldFail(kFaultSiteShardPartition)) {
+      rt->retries.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    out->pieces.clear();
+    out->tags.clear();
+    if (num_shards == 1 || key_cols.empty() ||
+        n < rt->options.replicate_threshold) {
+      // Replicate-small / broadcast fallback: one piece, semantically
+      // present on every shard. At S=1 the single shard simply owns it.
+      out->replicated = num_shards > 1;
+      out->tags.emplace_back(n);
+      std::iota(out->tags[0].begin(), out->tags[0].end(), uint64_t{0});
+      out->pieces.push_back(std::move(rel));
+      if (out->replicated) {
+        rt->replicated.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        rt->partitions.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      out->replicated = false;
+      out->pieces.assign(num_shards, Relation(rel.schema()));
+      out->tags.assign(num_shards, {});
+      for (Relation& p : out->pieces) p.Reserve(n / num_shards + 1);
+      for (std::size_t i = 0; i < n; ++i) {
+        std::span<const Value> row = rel.Row(i);
+        const std::size_t s = HashRowKey(row, key_cols) % num_shards;
+        out->pieces[s].AddRow(row);
+        out->tags[s].push_back(i);
+      }
+      rt->partitions.fetch_add(1, std::memory_order_relaxed);
+      std::size_t mx = 0;
+      std::size_t mn = std::numeric_limits<std::size_t>::max();
+      for (const Relation& p : out->pieces) {
+        mx = std::max(mx, p.NumRows());
+        mn = std::min(mn, p.NumRows());
+      }
+      AtomicMax(&rt->skew_max_rows, mx);
+      AtomicMinSize(&rt->skew_min_rows, mn);
+    }
+    span.Attr("pieces", out->pieces.size());
+    span.Attr("replicated", out->replicated ? 1 : 0);
+    return Status::Ok();
+  }
+  return Status::ResourceExhausted(
+      "shard: partition failed after " + std::to_string(retry_limit + 1) +
+      " attempts (site shard.partition)");
+}
+
+Status ShardedReduceForest(std::vector<Relation>* nodes,
+                           const std::vector<std::size_t>& parent,
+                           const std::vector<std::vector<std::size_t>>& children,
+                           const std::vector<std::size_t>& postorder,
+                           std::size_t none, ExecContext* ctx) {
+  ShardRuntime* rt = ctx->shard;
+  HTQO_CHECK(rt != nullptr);
+  const std::size_t n = nodes->size();
+  ScopedSpan span(ctx->tracer, "shard.reduce", ctx->SpanParent());
+  span.Attr("nodes", n);
+  span.Attr("shards", rt->options.num_shards);
+  const uint64_t saved_parent = ctx->trace_parent;
+  if (span.id() != 0) ctx->trace_parent = span.id();
+  Status result = [&]() -> Status {
+    // Partition keys: the columns shared with the parent link (roots
+    // anchor on their first child); no shared columns means broadcast.
+    std::vector<std::vector<std::size_t>> part_cols(n);
+    std::vector<std::size_t> scratch;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t anchor = parent[i];
+      if (anchor == none) {
+        anchor = children[i].empty() ? none : children[i][0];
+      }
+      if (anchor != none) {
+        SharedKeyColumns((*nodes)[i].schema(), (*nodes)[anchor].schema(),
+                         &part_cols[i], &scratch);
+      }
+    }
+    std::vector<ShardedRelation> sharded(n);
+    Status st = ShardParallelMap(ctx, n, [&](std::size_t i) {
+      return PartitionRelation(std::move((*nodes)[i]), part_cols[i], ctx,
+                               &sharded[i]);
+    });
+    if (!st.ok()) return st;
+
+    // Upward reduction: every parent filtered by its children's merged
+    // exchanges, one height wave at a time (children are final before
+    // their parent's wave, exactly like the serial semijoin sweep).
+    const auto up = HeightWaves(postorder, children);
+    for (std::size_t w = 0; w < up.size(); ++w) {
+      std::vector<LinkPlan> links;
+      for (std::size_t p : up[w]) {
+        for (std::size_t c : children[p]) {
+          LinkPlan link;
+          link.source = c;
+          link.target = p;
+          SharedKeyColumns(sharded[c].pieces[0].schema(),
+                           sharded[p].pieces[0].schema(), &link.src_cols,
+                           &link.dst_cols);
+          links.push_back(std::move(link));
+        }
+      }
+      if (links.empty()) continue;
+      st = RunReductionWave(&links, &sharded, ctx, "up", w);
+      if (!st.ok()) return st;
+    }
+
+    // Downward reduction: every child filtered by its (already final)
+    // parent, one depth wave at a time.
+    const auto down = DepthWaves(postorder, parent, none);
+    for (std::size_t w = 0; w < down.size(); ++w) {
+      std::vector<LinkPlan> links;
+      for (std::size_t c : down[w]) {
+        if (parent[c] == none) continue;
+        LinkPlan link;
+        link.source = parent[c];
+        link.target = c;
+        SharedKeyColumns(sharded[link.source].pieces[0].schema(),
+                         sharded[c].pieces[0].schema(), &link.src_cols,
+                         &link.dst_cols);
+        links.push_back(std::move(link));
+      }
+      if (links.empty()) continue;
+      st = RunReductionWave(&links, &sharded, ctx, "down", w);
+      if (!st.ok()) return st;
+    }
+
+    return ShardParallelMap(ctx, n, [&](std::size_t i) {
+      return GatherSharded(std::move(sharded[i]), &(*nodes)[i]);
+    });
+  }();
+  ctx->trace_parent = saved_parent;
+  return result;
+}
+
+SpanningForest BuildSharedColumnForest(const std::vector<Relation>& rels) {
+  const std::size_t n = rels.size();
+  SpanningForest forest;
+  forest.parent.assign(n, SpanningForest::kNone);
+  forest.children.assign(n, {});
+  auto shares = [&](std::size_t a, std::size_t b) {
+    const Schema& sa = rels[a].schema();
+    for (std::size_t i = 0; i < sa.arity(); ++i) {
+      if (rels[b].schema().IndexOf(sa.column(i).name)) return true;
+    }
+    return false;
+  };
+  std::vector<char> visited(n, 0);
+  std::vector<std::size_t> order;  // preorder, roots first
+  order.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    if (visited[r]) continue;
+    visited[r] = 1;
+    std::vector<std::size_t> queue{r};
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const std::size_t u = queue[head];
+      order.push_back(u);
+      for (std::size_t v = 0; v < n; ++v) {
+        if (visited[v] || !shares(u, v)) continue;
+        visited[v] = 1;
+        forest.parent[v] = u;
+        forest.children[u].push_back(v);
+        queue.push_back(v);
+      }
+    }
+  }
+  // BFS order visits parents before children; its reverse lists children
+  // before parents, which is all HeightWaves/DepthWaves need.
+  forest.postorder.assign(order.rbegin(), order.rend());
+  return forest;
+}
+
+}  // namespace htqo

@@ -1,0 +1,239 @@
+// In-process sharded evaluation: hash-partitioned shard pieces running the
+// Yannakakis semijoin program as a distributed data-reduction plan with
+// Bloom-filter exchange.
+//
+// The decomposition search stays central; only the semijoin *reduction* of
+// the tree-wave schedule distributes. Each forest node's relation is
+// hash-partitioned into S shard pieces on the node's parent-link join
+// columns (relations that are small, or that share no columns with their
+// parent, fall back to replicate-small: one piece semantically present on
+// every shard). The upward and downward reduction passes then never move
+// rows between shards — a link ships an ExchangeMessage instead: a
+// fixed-geometry blocked Bloom filter over the source side's join-key
+// hashes, OR-merged across pieces by the coordinator, plus the exact
+// distinct key set when it is small enough to be cheaper than the filter.
+// Target pieces filter locally against the merged message.
+//
+// Determinism contract (what the equivalence sweeps assert):
+//  * The merged exchange for a link is independent of S: the filter's
+//    geometry is sized from the link's total row count (a partition-sum,
+//    the same at any S), so OR-ing per-piece filters of identical geometry
+//    reproduces exactly the filter a single shard would build; the exact
+//    key-set decision compares S-invariant quantities (the distinct-key
+//    union and the filter size). Surviving rows are therefore the same set
+//    at any shard count, and the tag-stable gather puts them back in
+//    original row order — evaluation downstream of the reduction sees
+//    byte-identical inputs at any S and any thread count.
+//  * Bloom reduction is approximate but sound: a false positive leaves a
+//    dangling row in place (a phantom), it never drops a joining row. The
+//    collect/evaluation joins that follow eliminate phantoms, so final
+//    query output matches the unsharded engine exactly for the
+//    forest-reduction modes; only meters may differ vs. unsharded (the
+//    sharded reduction charges filter probes, not semijoin hash probes).
+//    Across shard counts all charge totals are partition-sums over
+//    S-invariant survivor sets, so meters are equal at any S.
+//
+// This layer is the seam where a process-split version later slots in:
+// ExchangeMessage is the only payload that crosses shard boundaries, and
+// ShardStats::filter_bytes / key_bytes vs. row_ship_bytes measure what the
+// wire would carry against shipping the rows themselves.
+
+#ifndef HTQO_EXEC_SHARD_H_
+#define HTQO_EXEC_SHARD_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "exec/operators.h"
+#include "storage/relation.h"
+#include "util/bloom.h"
+#include "util/status.h"
+
+namespace htqo {
+
+// Ceiling on the num_threads x num_shards lane product a query may request
+// from the shared pool. RunResolved clamps its pool fetch to this, and
+// QueryServer pre-grows to the same clamp before any session exists — the
+// two must agree, because growing ThreadPool::Shared rebuilds the pool and
+// must never race an in-flight query. Also the oversubscription guard: a
+// misconfigured S x T cannot stall the host under hundreds of workers.
+inline constexpr std::size_t kMaxShardLanes = 64;
+
+struct ShardOptions {
+  // Number of hash partitions per relation. 0 disables sharding (the
+  // runtime is simply not attached); 1 runs the full sharded code path
+  // with a single piece per node — the baseline the scale-out bench
+  // compares against, and the cheapest way to keep one uniform path.
+  std::size_t num_shards = 0;
+  // Relations below this many rows are not partitioned but replicated
+  // (one piece visible to every shard) — partitioning tiny relations
+  // costs more in exchange rounds than it saves in per-shard work.
+  std::size_t replicate_threshold = 64;
+  // A link whose distinct-key union stays at or under this many keys may
+  // ship the exact key set instead of (or in addition to) the Bloom
+  // filter, making the reduction exact for that link.
+  std::size_t exact_key_threshold = 4096;
+  // Bounded retries for the shard.partition / shard.exchange fault sites,
+  // mirroring the spill sites' semantics.
+  std::size_t retry_limit = 2;
+};
+
+// Plain counters snapshot, reported on QueryRun::shard. All byte figures
+// describe what a process-split exchange would put on the wire.
+struct ShardStats {
+  std::size_t num_shards = 0;     // S of the run (0 = sharding off)
+  std::size_t partitions = 0;     // relations hash-partitioned
+  std::size_t replicated = 0;     // relations kept whole (replicate-small)
+  std::size_t exchanges = 0;      // link exchanges built (both passes)
+  std::size_t exact_exchanges = 0;  // exchanges that shipped exact key sets
+  std::size_t filter_bytes = 0;   // Bloom filter bytes exchanged
+  std::size_t key_bytes = 0;      // exact key-set bytes exchanged
+  std::size_t row_ship_bytes = 0;  // what broadcasting the rows would cost
+  std::size_t rows_pruned = 0;    // rows dropped by exchange probes
+  std::size_t retries = 0;        // injected-fault retries at shard sites
+  std::size_t skew_max_rows = 0;  // largest hash-partitioned piece
+  std::size_t skew_min_rows = 0;  // smallest hash-partitioned piece
+
+  void Merge(const ShardStats& other) {
+    num_shards = num_shards > other.num_shards ? num_shards
+                                               : other.num_shards;
+    partitions += other.partitions;
+    replicated += other.replicated;
+    exchanges += other.exchanges;
+    exact_exchanges += other.exact_exchanges;
+    filter_bytes += other.filter_bytes;
+    key_bytes += other.key_bytes;
+    row_ship_bytes += other.row_ship_bytes;
+    rows_pruned += other.rows_pruned;
+    retries += other.retries;
+    if (other.skew_max_rows > skew_max_rows) {
+      skew_max_rows = other.skew_max_rows;
+    }
+    if (skew_min_rows == 0 ||
+        (other.skew_min_rows != 0 && other.skew_min_rows < skew_min_rows)) {
+      skew_min_rows = other.skew_min_rows;
+    }
+  }
+};
+
+// Per-query sharding state hung on ExecContext::shard (borrowed, owned by
+// HybridOptimizer::RunResolved alongside the governor). Attached iff
+// RunOptions::num_shards >= 1; evaluators treat a null pointer as
+// "sharding off". Counters are atomic because partition/exchange/probe
+// work runs from pool lanes.
+struct ShardRuntime {
+  ShardOptions options;
+
+  std::atomic<std::size_t> partitions{0};
+  std::atomic<std::size_t> replicated{0};
+  std::atomic<std::size_t> exchanges{0};
+  std::atomic<std::size_t> exact_exchanges{0};
+  std::atomic<std::size_t> filter_bytes{0};
+  std::atomic<std::size_t> key_bytes{0};
+  std::atomic<std::size_t> row_ship_bytes{0};
+  std::atomic<std::size_t> rows_pruned{0};
+  std::atomic<std::size_t> retries{0};
+  std::atomic<std::size_t> skew_max_rows{0};
+  std::atomic<std::size_t> skew_min_rows{
+      std::numeric_limits<std::size_t>::max()};
+
+  ShardStats Snapshot() const {
+    ShardStats s;
+    s.num_shards = options.num_shards;
+    s.partitions = partitions.load(std::memory_order_relaxed);
+    s.replicated = replicated.load(std::memory_order_relaxed);
+    s.exchanges = exchanges.load(std::memory_order_relaxed);
+    s.exact_exchanges = exact_exchanges.load(std::memory_order_relaxed);
+    s.filter_bytes = filter_bytes.load(std::memory_order_relaxed);
+    s.key_bytes = key_bytes.load(std::memory_order_relaxed);
+    s.row_ship_bytes = row_ship_bytes.load(std::memory_order_relaxed);
+    s.rows_pruned = rows_pruned.load(std::memory_order_relaxed);
+    s.retries = retries.load(std::memory_order_relaxed);
+    s.skew_max_rows = skew_max_rows.load(std::memory_order_relaxed);
+    std::size_t mn = skew_min_rows.load(std::memory_order_relaxed);
+    s.skew_min_rows =
+        mn == std::numeric_limits<std::size_t>::max() ? 0 : mn;
+    return s;
+  }
+};
+
+// One relation hash-partitioned into shard pieces. tags[s][i] is the row's
+// index in the original relation; within a piece tags ascend, so the
+// gather step is an S-way merge that restores original row order exactly.
+struct ShardedRelation {
+  bool replicated = false;  // single piece, semantically on every shard
+  std::vector<Relation> pieces;
+  std::vector<std::vector<uint64_t>> tags;
+
+  std::size_t TotalRows() const {
+    std::size_t n = 0;
+    for (const Relation& p : pieces) n += p.NumRows();
+    return n;
+  }
+};
+
+// The payload a reduction link ships between shards. `filter` geometry is
+// sized from the link's S-invariant total row count so per-piece filters
+// OR-merge into exactly the filter one shard would build. For a link with
+// no shared columns (pure existence check) only `nonempty` is meaningful.
+struct ExchangeMessage {
+  bool empty_key = false;
+  bool nonempty = false;
+  BlockedBloomFilter filter{0};
+  // Distinct key tuples of this piece (schema = the key columns), tracked
+  // until the count passes the exact-key threshold.
+  bool exact_overflow = false;
+  Relation exact_keys;
+  // Set on the merged message when the union qualified and is cheaper to
+  // ship than the filter; probes then use it for an exact reduction.
+  bool use_exact = false;
+};
+
+// Parallel map over [0, n) on the shared pool with shard-fan-out lanes
+// (num_shards x num_threads), used by the sharded reduction phases and the
+// evaluators' scan fan-out. Serial (and allocation-free) without a pool.
+// Error selection is deterministic: the first failing index wins, and a
+// governor trip mid-sweep surfaces as the trip status.
+Status ShardParallelMap(ExecContext* ctx, std::size_t n,
+                        const std::function<Status(std::size_t)>& body);
+
+// Hash-partitions `rel` into `out` (consuming it), keying on `key_cols`.
+// Falls back to replicate-small when key_cols is empty or the relation is
+// under the replicate threshold. The shard.partition fault site fires here
+// with bounded retries -> kResourceExhausted.
+Status PartitionRelation(Relation&& rel,
+                         const std::vector<std::size_t>& key_cols,
+                         ExecContext* ctx, ShardedRelation* out);
+
+// Runs the sharded up+down exchange reduction over the forest described by
+// parent/children/postorder (`none` marks roots), replacing the two
+// semijoin passes of the Yannakakis schedule. Relations in `nodes` are
+// partitioned, reduced in place, and gathered back in original row order.
+// Requires ctx->shard != nullptr.
+Status ShardedReduceForest(std::vector<Relation>* nodes,
+                           const std::vector<std::size_t>& parent,
+                           const std::vector<std::vector<std::size_t>>& children,
+                           const std::vector<std::size_t>& postorder,
+                           std::size_t none, ExecContext* ctx);
+
+// Spanning forest of the "shares a column name" graph over `rels`, for
+// pre-reducing q-HD atom scans: semijoin reduction over *any* spanning
+// forest is sound (it only removes rows that cannot match a neighbouring
+// atom on their shared variables), even for cyclic queries where a join
+// forest proper does not exist.
+struct SpanningForest {
+  static constexpr std::size_t kNone =
+      std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> parent;
+  std::vector<std::vector<std::size_t>> children;
+  std::vector<std::size_t> postorder;  // children before parents
+};
+SpanningForest BuildSharedColumnForest(const std::vector<Relation>& rels);
+
+}  // namespace htqo
+
+#endif  // HTQO_EXEC_SHARD_H_

@@ -24,6 +24,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/check.h"
+
 namespace htqo {
 
 class BlockedBloomFilter {
@@ -48,6 +50,18 @@ class BlockedBloomFilter {
   }
 
   std::size_t SizeBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  // ORs `other`'s bits into this filter. Both filters must share geometry
+  // (same expected-key sizing); the result is exactly the filter that one
+  // builder inserting both key sets would produce — the property the
+  // sharded exchange relies on to merge per-piece filters into an
+  // S-invariant link summary.
+  void MergeFrom(const BlockedBloomFilter& other) {
+    HTQO_CHECK(words_.size() == other.words_.size());
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] |= other.words_[i];
+    }
+  }
 
  private:
   // Word index from hash bits 12.., disjoint from the 12 mask bits below

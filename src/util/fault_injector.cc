@@ -55,7 +55,8 @@ std::vector<std::string> FaultInjector::KnownSites() {
           kFaultSiteCacheInsert,        kFaultSiteServerAccept,
           kFaultSiteServerRead,         kFaultSiteServerWrite,
           kFaultSiteAdmissionEnqueue,   kFaultSiteStatsFeedback,
-          kFaultSiteReplanCheckpoint,   kFaultSiteFlightRecDump};
+          kFaultSiteReplanCheckpoint,   kFaultSiteFlightRecDump,
+          kFaultSiteShardPartition,     kFaultSiteShardExchange};
 }
 
 }  // namespace htqo

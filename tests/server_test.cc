@@ -30,6 +30,7 @@
 #include "stats/estimator.h"
 #include "stats/statistics.h"
 #include "util/fault_injector.h"
+#include "util/thread_pool.h"
 #include "workload/drift.h"
 #include "workload/query_gen.h"
 #include "workload/synthetic.h"
@@ -341,6 +342,62 @@ TEST_F(ServerTest, ConcurrentTenantsGetByteIdenticalResults) {
   }
   for (std::thread& t : clients) t.join();
   EXPECT_EQ(failures.load(), 0) << "a tenant saw a wrong or failed result";
+  ASSERT_TRUE(server.Drain(5.0).ok());
+}
+
+TEST_F(ServerTest, ShardedServerPreGrowsPoolAndServesCorrectResults) {
+  // Regression: the server used to pre-grow the shared pool to num_threads
+  // only. A sharded run then requested num_threads x num_shards lanes,
+  // forcing ThreadPool::Shared to tear down and rebuild the pool *during*
+  // the first in-flight query — a rebuild the pool contract forbids — and
+  // concurrent sharded queries could stall behind a pool sized for one
+  // shard. Start() must pre-grow to the full (capped) lane product before
+  // any session exists.
+  ServerOptions options = BaseOptions();
+  options.run_template.mode = OptimizerMode::kYannakakis;
+  options.run_template.num_threads = 4;
+  options.run_template.num_shards = 4;
+  options.run_template.shard_replicate_threshold = 8;
+  options.admission.max_total_concurrent = 4;
+  QueryServer server(&catalog_, &stats_, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // The pool already holds the full lane product's workers. Probing with a
+  // tiny request can never grow the pool, so the observed size is whatever
+  // Start() left behind — it must cover num_threads x num_shards lanes.
+  ThreadPool* pool = ThreadPool::Shared(2);
+  ASSERT_NE(pool, nullptr);
+  EXPECT_GE(pool->workers() + 1,
+            options.run_template.num_threads *
+                options.run_template.num_shards);
+
+  const std::string sql = LineQuerySql(5);
+  const std::string expected = Expected(options, sql);
+  ASSERT_FALSE(expected.empty());
+
+  // Concurrent sharded queries: all must complete well inside the deadline
+  // (an oversubscription stall would blow it) with the exact answer.
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 4; ++i) {
+    clients.emplace_back([&, i] {
+      Client client(ClientFor(server, "t" + std::to_string(i)));
+      if (!client.Connect().ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int q = 0; q < 3; ++q) {
+        auto reply = client.Query(sql, /*deadline_ms=*/20000);
+        if (!reply.ok() || reply->result_text != expected) {
+          failures.fetch_add(1);
+        }
+      }
+      client.Close();
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0)
+      << "a sharded query stalled or returned a wrong result";
   ASSERT_TRUE(server.Drain(5.0).ok());
 }
 

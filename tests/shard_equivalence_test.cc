@@ -1,0 +1,270 @@
+// The determinism contract of sharded evaluation (DESIGN.md §6j): for any
+// query in the forest-reduction modes and any RunOptions::num_shards, the
+// pipeline produces
+//   - byte-identical output relations at every shard count (and identical
+//     to the unsharded engine for the Yannakakis-family modes),
+//   - identical row/work meter readings at every shard count,
+// at any thread count, with spill on or off. Swept over random join
+// topologies plus targeted skew and replicate-small-fallback catalogs.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/hybrid_optimizer.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "workload/query_gen.h"
+#include "workload/synthetic.h"
+
+namespace htqo {
+namespace {
+
+constexpr std::size_t kShardSweep[] = {1, 2, 4, 8};
+
+// Order-sensitive equality — stronger than Relation::SameRowsAs.
+bool ByteIdentical(const Relation& a, const Relation& b) {
+  if (a.arity() != b.arity() || a.NumRows() != b.NumRows()) return false;
+  for (std::size_t r = 0; r < a.NumRows(); ++r) {
+    for (std::size_t c = 0; c < a.arity(); ++c) {
+      if (!(a.At(r, c) == b.At(r, c))) return false;
+    }
+  }
+  return true;
+}
+
+std::string RandomJoinSql(Rng* rng, Catalog* catalog) {
+  const std::size_t n = 2 + rng->Uniform(5);
+  std::vector<std::vector<std::string>> columns(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t arity = 2 + rng->Uniform(2);
+    for (std::size_t c = 0; c < arity; ++c) {
+      columns[i].push_back("c" + std::to_string(c));
+    }
+    catalog->Put("t" + std::to_string(i),
+                 MakeSyntheticRelation(20 + rng->Uniform(80), columns[i],
+                                       20 + rng->Uniform(70),
+                                       rng->Fork(i + 1)));
+  }
+  std::vector<std::string> where;
+  auto attr = [&](std::size_t atom) {
+    return "t" + std::to_string(atom) + ".c" +
+           std::to_string(rng->Uniform(columns[atom].size()));
+  };
+  for (std::size_t i = 1; i < n; ++i) {
+    where.push_back(attr(rng->Uniform(i)) + " = " + attr(i));
+  }
+  if (rng->Uniform(2) == 0) {
+    std::size_t a = rng->Uniform(n), b = rng->Uniform(n);
+    if (a != b) where.push_back(attr(a) + " = " + attr(b));
+  }
+  std::vector<std::string> from;
+  for (std::size_t i = 0; i < n; ++i) from.push_back("t" + std::to_string(i));
+  return "SELECT DISTINCT " + attr(0) + " AS o0, " + attr(rng->Uniform(n)) +
+         " AS o1 FROM " + Join(from, ", ") + " WHERE " + Join(where, " AND ");
+}
+
+// Sweeps one (catalog, sql) pair: for each mode and thread/spill config,
+// S in {1,2,4,8} must be byte-identical and meter-identical to each other;
+// the Yannakakis-family modes must also be byte-identical to unsharded.
+void SweepShardCounts(HybridOptimizer* optimizer, const std::string& sql,
+                      bool low_replicate_threshold) {
+  for (OptimizerMode mode :
+       {OptimizerMode::kYannakakis, OptimizerMode::kClassicHd,
+        OptimizerMode::kTreeDecomposition, OptimizerMode::kQhdHybrid}) {
+    // q-HD reorders its greedy fold when scans arrive pre-reduced, so the
+    // unsharded comparison weakens to same-rows; across shard counts the
+    // output stays byte-identical either way.
+    const bool exact_vs_unsharded = mode != OptimizerMode::kQhdHybrid;
+    for (std::size_t threads : {1, 2, 4}) {
+      for (bool spill : {false, true}) {
+        RunOptions base;
+        base.mode = mode;
+        base.tid_mode = TidMode::kNone;
+        base.fallback_to_dp = true;
+        base.num_threads = threads;
+        if (low_replicate_threshold) base.shard_replicate_threshold = 8;
+        if (spill) {
+          base.enable_spill = true;
+          base.memory_budget_bytes = 4u << 20;
+          base.soft_memory_fraction = 0.0005;  // soft ≈ 2 KiB
+        }
+        auto unsharded = optimizer->Run(sql, base);
+        std::optional<QueryRun> reference;
+        for (std::size_t shards : kShardSweep) {
+          RunOptions options = base;
+          options.num_shards = shards;
+          auto run = optimizer->Run(sql, options);
+          ASSERT_EQ(unsharded.ok(), run.ok())
+              << OptimizerModeName(mode) << " S=" << shards
+              << " disagrees with unsharded on success: "
+              << (run.ok() ? unsharded.status().message()
+                           : run.status().message());
+          if (!run.ok()) break;
+          if (mode != OptimizerMode::kQhdHybrid || !unsharded->used_fallback()) {
+            EXPECT_EQ(run->shard.num_shards, shards);
+          }
+          if (exact_vs_unsharded) {
+            EXPECT_TRUE(ByteIdentical(unsharded->output, run->output))
+                << OptimizerModeName(mode) << " S=" << shards << " t="
+                << threads << (spill ? " spill" : "") << " diverges from "
+                << "unsharded on\n"
+                << sql;
+          } else {
+            EXPECT_TRUE(run->output.SameRowsAs(unsharded->output))
+                << OptimizerModeName(mode) << " S=" << shards
+                << " loses rows vs unsharded on\n"
+                << sql;
+          }
+          if (!reference.has_value()) {
+            reference = std::move(run.value());
+            continue;
+          }
+          EXPECT_TRUE(ByteIdentical(reference->output, run->output))
+              << OptimizerModeName(mode) << " S=" << shards << " t="
+              << threads << (spill ? " spill" : "") << " diverges from S="
+              << kShardSweep[0] << " on\n"
+              << sql;
+          EXPECT_EQ(reference->ctx.rows_charged.load(),
+                    run->ctx.rows_charged.load())
+              << OptimizerModeName(mode) << " S=" << shards << " t="
+              << threads << (spill ? " spill" : "");
+          EXPECT_EQ(reference->ctx.work_charged.load(),
+                    run->ctx.work_charged.load())
+              << OptimizerModeName(mode) << " S=" << shards << " t="
+              << threads << (spill ? " spill" : "");
+          EXPECT_EQ(reference->ctx.hash_probes.load(),
+                    run->ctx.hash_probes.load());
+          EXPECT_EQ(reference->ctx.bloom_skips.load(),
+                    run->ctx.bloom_skips.load());
+          EXPECT_EQ(reference->ctx.batches.load(), run->ctx.batches.load());
+          EXPECT_EQ(reference->spill.spill_events, run->spill.spill_events);
+        }
+      }
+    }
+  }
+}
+
+// --- Random conjunctive queries: byte-identical at any shard count. ---------
+
+class ShardEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShardEquivalenceTest, RandomQueriesAreShardCountInvariant) {
+  Rng rng(GetParam() * 40087 + 19);
+  Catalog catalog;
+  std::string sql = RandomJoinSql(&rng, &catalog);
+  StatisticsRegistry registry;
+  registry.AnalyzeAll(catalog);
+  HybridOptimizer optimizer(&catalog, &registry);
+  if (!optimizer.Resolve(sql, TidMode::kNone).ok()) {
+    GTEST_SKIP() << "outside fragment";
+  }
+  // Low replicate threshold so these 20..100-row relations actually hash-
+  // partition (the default threshold of 64 would replicate many of them —
+  // that path is exercised by the fallback test below).
+  SweepShardCounts(&optimizer, sql, /*low_replicate_threshold=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomQueries, ShardEquivalenceTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+// --- Replicate-small fallback and skewed keys. ------------------------------
+
+TEST(ShardFallbackTest, SmallRelationsReplicateAndStayEquivalent) {
+  // Every relation under the default 64-row replicate threshold: the whole
+  // reduction runs on replicated single pieces, and must still match the
+  // unsharded engine byte-for-byte.
+  Rng rng(31);
+  Catalog catalog;
+  for (std::size_t i = 0; i < 4; ++i) {
+    catalog.Put("t" + std::to_string(i),
+                MakeSyntheticRelation(10 + rng.Uniform(30),
+                                      {"c0", "c1"}, 12, rng.Fork(i + 1)));
+  }
+  std::string sql =
+      "SELECT DISTINCT t0.c0 AS o0, t3.c1 AS o1 FROM t0, t1, t2, t3 "
+      "WHERE t0.c1 = t1.c0 AND t1.c1 = t2.c0 AND t2.c1 = t3.c0";
+  StatisticsRegistry registry;
+  registry.AnalyzeAll(catalog);
+  HybridOptimizer optimizer(&catalog, &registry);
+  SweepShardCounts(&optimizer, sql, /*low_replicate_threshold=*/false);
+
+  RunOptions options;
+  options.mode = OptimizerMode::kYannakakis;
+  options.num_shards = 4;
+  auto run = optimizer.Run(sql, options);
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  EXPECT_GT(run->shard.replicated, 0u);
+  EXPECT_EQ(run->shard.partitions, 0u);
+}
+
+TEST(ShardSkewTest, SingleHotKeyCatalogStaysEquivalentAndReportsSkew) {
+  // All join keys collapse to one value: hash partitioning lands every row
+  // of the partition key in one piece (maximal skew). Results must still be
+  // shard-count invariant, and the skew meters must expose the imbalance.
+  std::vector<Column> cols_r{{"a", ValueType::kInt64},
+                             {"b", ValueType::kInt64}};
+  std::vector<Column> cols_s{{"b", ValueType::kInt64},
+                             {"c", ValueType::kInt64}};
+  Relation r{Schema(cols_r)}, s{Schema(cols_s)};
+  for (int64_t i = 0; i < 300; ++i) {
+    r.AddRow({Value::Int64(i), Value::Int64(7)});
+    s.AddRow({Value::Int64(7), Value::Int64(i % 40)});
+  }
+  Catalog catalog;
+  catalog.Put("r", std::move(r));
+  catalog.Put("s", std::move(s));
+  std::string sql =
+      "SELECT DISTINCT r.a AS o0, s.c AS o1 FROM r, s WHERE r.b = s.b";
+  StatisticsRegistry registry;
+  registry.AnalyzeAll(catalog);
+  HybridOptimizer optimizer(&catalog, &registry);
+  SweepShardCounts(&optimizer, sql, /*low_replicate_threshold=*/true);
+
+  RunOptions options;
+  options.mode = OptimizerMode::kYannakakis;
+  options.num_shards = 4;
+  options.shard_replicate_threshold = 8;
+  auto run = optimizer.Run(sql, options);
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  EXPECT_GT(run->shard.partitions, 0u);
+  EXPECT_EQ(run->shard.skew_min_rows, 0u);
+  EXPECT_GE(run->shard.skew_max_rows, 300u);
+}
+
+// --- Exchange accounting. ---------------------------------------------------
+
+TEST(ShardExchangeTest, BloomExchangeShipsFarLessThanRows) {
+  // A selective chain of wide-ish relations: the exchange's Bloom/key bytes
+  // must come in at least 10x under the row-shipping baseline the same
+  // links would have broadcast.
+  Rng rng(41);
+  Catalog catalog;
+  for (std::size_t i = 0; i < 4; ++i) {
+    catalog.Put("t" + std::to_string(i),
+                MakeSyntheticRelation(2000, {"c0", "c1", "c2", "c3"}, 500,
+                                      rng.Fork(i + 1)));
+  }
+  std::string sql =
+      "SELECT DISTINCT t0.c0 AS o0, t3.c3 AS o1 FROM t0, t1, t2, t3 "
+      "WHERE t0.c1 = t1.c0 AND t1.c1 = t2.c0 AND t2.c1 = t3.c0";
+  StatisticsRegistry registry;
+  registry.AnalyzeAll(catalog);
+  HybridOptimizer optimizer(&catalog, &registry);
+  RunOptions options;
+  options.mode = OptimizerMode::kYannakakis;
+  options.num_shards = 4;
+  auto run = optimizer.Run(sql, options);
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  ASSERT_GT(run->shard.exchanges, 0u);
+  const std::size_t shipped = run->shard.filter_bytes + run->shard.key_bytes;
+  ASSERT_GT(shipped, 0u);
+  EXPECT_GE(run->shard.row_ship_bytes, shipped * 10)
+      << "exchange shipped " << shipped << " bytes vs row baseline "
+      << run->shard.row_ship_bytes;
+}
+
+}  // namespace
+}  // namespace htqo

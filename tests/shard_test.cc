@@ -1,0 +1,286 @@
+// Unit tests for the sharded-evaluation building blocks (exec/shard.h):
+// partition/gather round-trips, Bloom-filter merging, the spanning forest
+// over shared column names, and the exchange-reduction wave driver.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "exec/shard.h"
+#include "util/bloom.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace htqo {
+namespace {
+
+// Order-sensitive equality — stronger than Relation::SameRowsAs.
+bool ByteIdentical(const Relation& a, const Relation& b) {
+  if (a.arity() != b.arity() || a.NumRows() != b.NumRows()) return false;
+  for (std::size_t r = 0; r < a.NumRows(); ++r) {
+    for (std::size_t c = 0; c < a.arity(); ++c) {
+      if (!(a.At(r, c) == b.At(r, c))) return false;
+    }
+  }
+  return true;
+}
+
+ExecContext MakeShardContext(ShardRuntime* rt, std::size_t num_shards) {
+  rt->options.num_shards = num_shards;
+  ExecContext ctx;
+  ctx.shard = rt;
+  return ctx;
+}
+
+TEST(ShardBloomMergeTest, MergedFilterEqualsSingleBuilderFilter) {
+  // The S-invariance cornerstone: filters of identical geometry OR-merge
+  // into exactly the filter one builder inserting all keys would produce.
+  constexpr std::size_t kKeys = 1000;
+  BlockedBloomFilter whole(kKeys);
+  BlockedBloomFilter part_a(kKeys);
+  BlockedBloomFilter part_b(kKeys);
+  Rng rng(7);
+  std::vector<std::size_t> hashes;
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    hashes.push_back(rng.Next());
+    whole.Add(hashes.back());
+    (i % 2 == 0 ? part_a : part_b).Add(hashes.back());
+  }
+  part_a.MergeFrom(part_b);
+  EXPECT_EQ(part_a.SizeBytes(), whole.SizeBytes());
+  // Equality of the bit patterns is observable through probes: sweep both
+  // the inserted keys and a large random sample of foreign hashes.
+  for (std::size_t h : hashes) {
+    EXPECT_TRUE(part_a.MayContain(h));
+    EXPECT_TRUE(whole.MayContain(h));
+  }
+  for (std::size_t i = 0; i < 100'000; ++i) {
+    const std::size_t h = rng.Next();
+    EXPECT_EQ(part_a.MayContain(h), whole.MayContain(h)) << h;
+  }
+}
+
+TEST(ShardPartitionTest, PartitionGatherRoundTripsAtAnyShardCount) {
+  Rng rng(11);
+  Relation rel = MakeSyntheticRelation(500, {"a", "b", "c"}, 40, rng.Fork(1));
+  for (std::size_t shards : {1, 2, 3, 4, 8}) {
+    ShardRuntime rt;
+    rt.options.replicate_threshold = 1;  // force real partitioning
+    ExecContext ctx = MakeShardContext(&rt, shards);
+    ShardedRelation sharded;
+    Relation copy = rel;
+    ASSERT_TRUE(
+        PartitionRelation(std::move(copy), {0, 1}, &ctx, &sharded).ok());
+    if (shards == 1) {
+      ASSERT_EQ(sharded.pieces.size(), 1u);
+      EXPECT_FALSE(sharded.replicated);
+    } else {
+      ASSERT_EQ(sharded.pieces.size(), shards);
+    }
+    EXPECT_EQ(sharded.TotalRows(), rel.NumRows());
+    // Tags ascend within each piece (the gather's merge invariant).
+    for (const auto& tags : sharded.tags) {
+      EXPECT_TRUE(std::is_sorted(tags.begin(), tags.end()));
+    }
+    // Reduce nothing, gather back: must reproduce the input byte-for-byte.
+    std::vector<Relation> nodes(1);
+    std::vector<std::size_t> parent{SpanningForest::kNone};
+    std::vector<std::vector<std::size_t>> children{{}};
+    std::vector<std::size_t> postorder{0};
+    nodes[0] = rel;
+    ASSERT_TRUE(ShardedReduceForest(&nodes, parent, children, postorder,
+                                    SpanningForest::kNone, &ctx)
+                    .ok());
+    EXPECT_TRUE(ByteIdentical(nodes[0], rel)) << shards << " shards";
+  }
+}
+
+TEST(ShardPartitionTest, SmallRelationsFallBackToReplication) {
+  Rng rng(13);
+  Relation rel = MakeSyntheticRelation(10, {"a", "b"}, 5, rng.Fork(2));
+  ShardRuntime rt;
+  rt.options.replicate_threshold = 64;
+  ExecContext ctx = MakeShardContext(&rt, 4);
+  ShardedRelation sharded;
+  ASSERT_TRUE(PartitionRelation(std::move(rel), {0}, &ctx, &sharded).ok());
+  EXPECT_TRUE(sharded.replicated);
+  EXPECT_EQ(sharded.pieces.size(), 1u);
+  EXPECT_EQ(rt.replicated.load(), 1u);
+  EXPECT_EQ(rt.partitions.load(), 0u);
+}
+
+TEST(ShardPartitionTest, EmptyKeyAlwaysReplicates) {
+  Rng rng(17);
+  Relation rel = MakeSyntheticRelation(500, {"a", "b"}, 40, rng.Fork(3));
+  ShardRuntime rt;
+  rt.options.replicate_threshold = 1;
+  ExecContext ctx = MakeShardContext(&rt, 4);
+  ShardedRelation sharded;
+  ASSERT_TRUE(PartitionRelation(std::move(rel), {}, &ctx, &sharded).ok());
+  EXPECT_TRUE(sharded.replicated);
+  EXPECT_EQ(sharded.pieces.size(), 1u);
+}
+
+TEST(ShardPartitionTest, SkewStatsTrackPieceExtremes) {
+  // All rows share one key value: hash partitioning puts every row in the
+  // same piece, the definition of maximal skew.
+  std::vector<Column> cols{{"k", ValueType::kInt64}};
+  Relation rel{Schema(cols)};
+  for (int64_t i = 0; i < 200; ++i) rel.AddRow({Value::Int64(42)});
+  ShardRuntime rt;
+  rt.options.replicate_threshold = 1;
+  ExecContext ctx = MakeShardContext(&rt, 4);
+  ShardedRelation sharded;
+  ASSERT_TRUE(PartitionRelation(std::move(rel), {0}, &ctx, &sharded).ok());
+  ShardStats stats = rt.Snapshot();
+  EXPECT_EQ(stats.skew_max_rows, 200u);
+  EXPECT_EQ(stats.skew_min_rows, 0u);
+}
+
+// Two relations joined on a shared column: the sharded reduction must leave
+// exactly the semijoin-reduced rows, in original order, at any S.
+TEST(ShardReduceTest, TwoNodeForestReducesLikeASemijoin) {
+  std::vector<Column> cols_r{{"a", ValueType::kInt64},
+                             {"b", ValueType::kInt64}};
+  std::vector<Column> cols_s{{"b", ValueType::kInt64},
+                             {"c", ValueType::kInt64}};
+  Relation r{Schema(cols_r)}, s{Schema(cols_s)};
+  for (int64_t i = 0; i < 300; ++i) {
+    r.AddRow({Value::Int64(i), Value::Int64(i % 100)});
+    // s.b covers only even values below 40: r keeps rows with b even < 40.
+    s.AddRow({Value::Int64((i % 20) * 2), Value::Int64(i)});
+  }
+  Relation expected_r{r.schema()};
+  for (std::size_t i = 0; i < r.NumRows(); ++i) {
+    const int64_t b = r.At(i, 1).AsInt64();
+    if (b % 2 == 0 && b < 40) expected_r.AddRow(r.Row(i));
+  }
+  ASSERT_LT(expected_r.NumRows(), r.NumRows());
+  for (std::size_t shards : {1, 2, 4, 8}) {
+    ShardRuntime rt;
+    rt.options.replicate_threshold = 1;
+    // Tiny threshold keeps the exchange in Bloom mode; a second config
+    // below covers the exact-key mode.
+    for (std::size_t exact_threshold : {std::size_t{1}, std::size_t{4096}}) {
+      rt.options.exact_key_threshold = exact_threshold;
+      ExecContext ctx = MakeShardContext(&rt, shards);
+      std::vector<Relation> nodes{r, s};
+      std::vector<std::size_t> parent{SpanningForest::kNone, 0};
+      std::vector<std::vector<std::size_t>> children{{1}, {}};
+      std::vector<std::size_t> postorder{1, 0};
+      ASSERT_TRUE(ShardedReduceForest(&nodes, parent, children, postorder,
+                                      SpanningForest::kNone, &ctx)
+                      .ok());
+      // Bloom mode may keep false-positive phantoms, but never drops a
+      // joining row and never reorders; exact mode matches exactly.
+      ASSERT_GE(nodes[0].NumRows(), expected_r.NumRows());
+      if (exact_threshold > 1) {
+        EXPECT_TRUE(ByteIdentical(nodes[0], expected_r))
+            << shards << " shards";
+        EXPECT_GT(rt.Snapshot().exact_exchanges, 0u);
+      }
+      std::size_t at = 0;
+      for (std::size_t i = 0; i < nodes[0].NumRows(); ++i) {
+        const int64_t b = nodes[0].At(i, 1).AsInt64();
+        if (b % 2 == 0 && b < 40) {
+          ASSERT_LT(at, expected_r.NumRows());
+          EXPECT_EQ(nodes[0].At(i, 0).AsInt64(),
+                    expected_r.At(at, 0).AsInt64());
+          ++at;
+        }
+      }
+      EXPECT_EQ(at, expected_r.NumRows()) << "a joining row was dropped";
+      EXPECT_GT(rt.Snapshot().rows_pruned, 0u);
+    }
+  }
+}
+
+TEST(ShardReduceTest, SurvivorsAndChargesAreShardCountInvariant) {
+  Rng rng(23);
+  Relation r = MakeSyntheticRelation(400, {"a", "b"}, 60, rng.Fork(1));
+  Relation s = MakeSyntheticRelation(350, {"b", "c"}, 45, rng.Fork(2));
+  std::vector<std::size_t> parent{SpanningForest::kNone, 0};
+  std::vector<std::vector<std::size_t>> children{{1}, {}};
+  std::vector<std::size_t> postorder{1, 0};
+  std::optional<std::pair<Relation, Relation>> reference;
+  std::size_t ref_rows = 0, ref_work = 0;
+  for (std::size_t shards : {1, 2, 4, 8}) {
+    ShardRuntime rt;
+    rt.options.replicate_threshold = 1;
+    ExecContext ctx = MakeShardContext(&rt, shards);
+    std::vector<Relation> nodes{r, s};
+    ASSERT_TRUE(ShardedReduceForest(&nodes, parent, children, postorder,
+                                    SpanningForest::kNone, &ctx)
+                    .ok());
+    if (!reference.has_value()) {
+      reference.emplace(std::move(nodes[0]), std::move(nodes[1]));
+      ref_rows = ctx.rows_charged.load();
+      ref_work = ctx.work_charged.load();
+      continue;
+    }
+    EXPECT_TRUE(ByteIdentical(reference->first, nodes[0]))
+        << shards << " shards";
+    EXPECT_TRUE(ByteIdentical(reference->second, nodes[1]))
+        << shards << " shards";
+    EXPECT_EQ(ref_rows, ctx.rows_charged.load()) << shards << " shards";
+    EXPECT_EQ(ref_work, ctx.work_charged.load()) << shards << " shards";
+  }
+}
+
+TEST(ShardForestTest, SharedColumnForestSpansConnectedComponents) {
+  auto rel = [](std::vector<std::string> names) {
+    std::vector<Column> cols;
+    for (const std::string& n : names) cols.push_back({n, ValueType::kInt64});
+    return Relation{Schema(cols)};
+  };
+  // {0,1,2} chain on b/c; {3} isolated.
+  std::vector<Relation> rels;
+  rels.push_back(rel({"a", "b"}));
+  rels.push_back(rel({"b", "c"}));
+  rels.push_back(rel({"c", "d"}));
+  rels.push_back(rel({"x", "y"}));
+  SpanningForest f = BuildSharedColumnForest(rels);
+  ASSERT_EQ(f.parent.size(), 4u);
+  EXPECT_EQ(f.parent[0], SpanningForest::kNone);
+  EXPECT_EQ(f.parent[1], 0u);
+  EXPECT_EQ(f.parent[2], 1u);
+  EXPECT_EQ(f.parent[3], SpanningForest::kNone);
+  // postorder lists children before parents.
+  ASSERT_EQ(f.postorder.size(), 4u);
+  std::vector<std::size_t> seen_at(4);
+  for (std::size_t i = 0; i < 4; ++i) seen_at[f.postorder[i]] = i;
+  EXPECT_LT(seen_at[2], seen_at[1]);
+  EXPECT_LT(seen_at[1], seen_at[0]);
+}
+
+TEST(ShardForestTest, CyclicShareGraphStillYieldsAForest) {
+  auto rel = [](std::vector<std::string> names) {
+    std::vector<Column> cols;
+    for (const std::string& n : names) cols.push_back({n, ValueType::kInt64});
+    return Relation{Schema(cols)};
+  };
+  // Triangle: every pair shares a column; BFS must produce a tree (no node
+  // with two parents, no cycles).
+  std::vector<Relation> rels;
+  rels.push_back(rel({"a", "b"}));
+  rels.push_back(rel({"b", "c"}));
+  rels.push_back(rel({"c", "a"}));
+  SpanningForest f = BuildSharedColumnForest(rels);
+  std::size_t roots = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (f.parent[i] == SpanningForest::kNone) {
+      ++roots;
+    } else {
+      EXPECT_LT(f.parent[i], 3u);
+    }
+  }
+  EXPECT_EQ(roots, 1u);
+  std::size_t edges = 0;
+  for (const auto& c : f.children) edges += c.size();
+  EXPECT_EQ(edges, 2u);
+}
+
+}  // namespace
+}  // namespace htqo

@@ -312,13 +312,14 @@ TEST(FaultSiteRegistryTest, UnknownSiteIsInvalidArgumentAndStaysDisarmed) {
 
 TEST(FaultSiteRegistryTest, KnownSitesIncludeSpillSites) {
   std::vector<std::string> sites = FaultInjector::KnownSites();
-  EXPECT_EQ(sites.size(), 16u);
+  EXPECT_EQ(sites.size(), 18u);
   for (const char* site :
        {kFaultSiteSpillOpen, kFaultSiteSpillWrite, kFaultSiteSpillRead,
         kFaultSiteTraceWrite, kFaultSiteMetricsExport, kFaultSiteCacheInsert,
         kFaultSiteServerAccept, kFaultSiteServerRead, kFaultSiteServerWrite,
         kFaultSiteAdmissionEnqueue, kFaultSiteStatsFeedback,
-        kFaultSiteReplanCheckpoint, kFaultSiteFlightRecDump}) {
+        kFaultSiteReplanCheckpoint, kFaultSiteFlightRecDump,
+        kFaultSiteShardPartition, kFaultSiteShardExchange}) {
     bool found = false;
     for (const std::string& s : sites) found |= s == site;
     EXPECT_TRUE(found) << site;
